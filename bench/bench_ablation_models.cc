@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation: the paper's core claim. Cross-validated error of the
+ * neural network against the linear model of prior work (refs
+ * [2,20,21]) and the analytic non-linear baselines the paper proposes
+ * as future work (polynomial, logarithmic) plus an RBF network
+ * (section 2.1's other approximator family).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "model/cross_validation.hh"
+#include "model/feature_models.hh"
+#include "model/linear_model.hh"
+#include "model/rbf_model.hh"
+
+int
+main()
+{
+    using namespace wcnn;
+    bench::printHeader("Ablation: model families on the same workload "
+                       "samples (5-fold CV, paper's error metric)");
+
+    const model::StudyResult study = bench::canonicalStudy();
+    const data::Dataset &ds = study.dataset;
+
+    struct Row
+    {
+        std::string name;
+        std::vector<double> errors;
+        double overall;
+    };
+    std::vector<Row> rows;
+
+    const auto evaluate = [&](const std::string &name,
+                              const model::ModelFactory &factory) {
+        model::CvOptions cv;
+        cv.seed = 2008;
+        cv.keepPredictions = false;
+        const auto result = model::crossValidate(factory, ds, cv);
+        rows.push_back(Row{name, result.averageValidationError(),
+                           result.overallValidationError()});
+    };
+
+    const model::NnModelOptions nn_opts = study.tunedNn;
+    evaluate("neural-network", [&nn_opts] {
+        return std::make_unique<model::NnModel>(nn_opts);
+    });
+    evaluate("linear (prior work)", [] {
+        return std::make_unique<model::LinearModel>();
+    });
+    evaluate("polynomial(2)", [] {
+        return std::make_unique<model::PolynomialModel>(2);
+    });
+    evaluate("polynomial(3)", [] {
+        return std::make_unique<model::PolynomialModel>(3);
+    });
+    evaluate("logarithmic", [] {
+        return std::make_unique<model::LogarithmicModel>();
+    });
+    evaluate("rbf", [] {
+        return std::make_unique<model::RbfModel>(
+            wcnn::nn::RbfNetwork::Options{.centers = 24}, 9);
+    });
+
+    std::printf("\n%-22s", "model");
+    for (const auto &name : ds.outputs())
+        std::printf("%20s", name.c_str());
+    std::printf("%12s\n", "overall");
+    for (const auto &row : rows) {
+        std::printf("%-22s", row.name.c_str());
+        for (double e : row.errors)
+            std::printf("%19.1f%%", 100.0 * e);
+        std::printf("%11.1f%%\n", 100.0 * row.overall);
+    }
+
+    // Shape criteria: the non-linear NN model beats the linear model
+    // overall (the paper's thesis), and the margin is substantial.
+    const double nn = rows[0].overall;
+    const double linear = rows[1].overall;
+    bench::printVerdict("neural network beats the linear baseline",
+                        nn < linear);
+    bench::printVerdict(
+        "margin is substantial (linear error >= 1.5x NN error)",
+        linear >= 1.5 * nn);
+    return 0;
+}

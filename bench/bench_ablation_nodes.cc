@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: hidden node count (paper section 3.2 — "when it comes to
+ * this question there seems to be no definite answer"). Sweeps the
+ * hidden layer width and reports training and validation error.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "model/cross_validation.hh"
+
+int
+main()
+{
+    using namespace wcnn;
+    bench::printHeader(
+        "Ablation: hidden node count (paper section 3.2)");
+
+    const model::StudyResult study = bench::canonicalStudy();
+    const data::Dataset &ds = study.dataset;
+
+    std::printf("\n%8s %14s %14s\n", "units", "train err",
+                "validation err");
+    std::vector<std::pair<std::size_t, double>> sweep;
+    for (std::size_t units : {2ul, 4ul, 8ul, 12ul, 16ul, 24ul, 32ul}) {
+        model::NnModelOptions opts = study.tunedNn;
+        opts.hiddenUnits = {units};
+        model::CvOptions cv;
+        cv.seed = 2012;
+        cv.keepPredictions = false;
+        const auto result = model::crossValidate(
+            [&opts] { return std::make_unique<model::NnModel>(opts); },
+            ds, cv);
+        double train_err = 0.0;
+        for (const auto &trial : result.trials) {
+            train_err += trial.training.averageHarmonicError() /
+                         static_cast<double>(result.trials.size());
+        }
+        const double val_err = result.overallValidationError();
+        std::printf("%8zu %13.1f%% %13.1f%%\n", units,
+                    100.0 * train_err, 100.0 * val_err);
+        sweep.emplace_back(units, val_err);
+    }
+
+    // Shape criteria: too few nodes underfit; moderate capacity beats
+    // the smallest net. (The paper's "rough order of nodes" argument.)
+    double tiny = 0.0, best = 1e9;
+    std::size_t best_units = 0;
+    for (const auto &[units, err] : sweep) {
+        if (units == 2)
+            tiny = err;
+        if (err < best) {
+            best = err;
+            best_units = units;
+        }
+    }
+    bench::printVerdict(
+        "a 2-unit net underfits relative to the best width",
+        tiny > best);
+    std::printf("  best width in sweep: %zu units (%.1f%%)\n",
+                best_units, 100.0 * best);
+    bench::printVerdict("best width is moderate (4..32 units)",
+                        best_units >= 4 && best_units <= 32);
+    return 0;
+}

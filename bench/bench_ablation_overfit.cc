@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Ablation: the loose-fit rule (paper section 3.3). Sweeps the
+ * training stop threshold from very loose to very tight and reports
+ * train vs validation error: overfitting shows up as the training
+ * error shrinking while the validation error stops improving (or
+ * worsens).
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "model/cross_validation.hh"
+
+int
+main()
+{
+    using namespace wcnn;
+    bench::printHeader("Ablation: stop threshold / overfitting "
+                       "(paper section 3.3)");
+
+    const model::StudyResult study = bench::canonicalStudy();
+    const data::Dataset &ds = study.dataset;
+
+    std::printf("\n%12s %14s %14s %10s\n", "threshold", "train err",
+                "validation err", "epochs");
+    double loosest_val = 0.0, tightest_val = 0.0;
+    double loosest_train = 0.0, tightest_train = 0.0;
+    const double thresholds[] = {0.10, 0.05, 0.02, 0.008, 0.002,
+                                 0.0005};
+    for (double threshold : thresholds) {
+        model::NnModelOptions opts = study.tunedNn;
+        opts.train.targetLoss = threshold;
+        opts.train.maxEpochs = 12000;
+        model::CvOptions cv;
+        cv.seed = 2014;
+        cv.keepPredictions = false;
+        const auto result = model::crossValidate(
+            [&opts] { return std::make_unique<model::NnModel>(opts); },
+            ds, cv);
+        double train_err = 0.0;
+        for (const auto &trial : result.trials) {
+            train_err += trial.training.averageHarmonicError() /
+                         static_cast<double>(result.trials.size());
+        }
+        const double val_err = result.overallValidationError();
+
+        // Epochs of a single fit on the full data, for reference.
+        model::NnModel probe(opts);
+        probe.fit(ds);
+        std::printf("%12.4f %13.1f%% %13.1f%% %10zu\n", threshold,
+                    100.0 * train_err, 100.0 * val_err,
+                    probe.lastTraining().epochs);
+
+        if (threshold == thresholds[0]) {
+            loosest_val = val_err;
+            loosest_train = train_err;
+        }
+        if (threshold == thresholds[5]) {
+            tightest_val = val_err;
+            tightest_train = train_err;
+        }
+    }
+
+    bench::printVerdict(
+        "tighter fitting keeps shrinking the training error",
+        tightest_train < loosest_train);
+    bench::printVerdict(
+        "validation error does not improve proportionally "
+        "(diminishing returns of tight fitting)",
+        (loosest_val - tightest_val) <
+            0.5 * (loosest_train - tightest_train) + 0.02);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation: PCA over the workload indicators. The characterization
+ * literature around the paper (refs [10-14, 19]) uses principal
+ * components to expose redundancy between metrics. This bench runs PCA
+ * on the 5 indicators of the collected samples: the three dealer
+ * response times are strongly coupled (shared web queue), so a couple
+ * of components carry almost all the variance.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "numeric/pca.hh"
+
+int
+main()
+{
+    using namespace wcnn;
+    bench::printHeader(
+        "Ablation: principal components of the 5 indicators");
+
+    const model::StudyResult study = bench::canonicalStudy();
+    const numeric::Matrix y = study.dataset.yMatrix();
+
+    numeric::Pca pca;
+    pca.fit(y); // standardized (correlation-matrix) PCA
+
+    const auto ratio = pca.explainedVarianceRatio();
+    std::printf("\n%12s %14s %12s\n", "component", "variance %",
+                "cumulative");
+    double cum = 0.0;
+    for (std::size_t k = 0; k < ratio.size(); ++k) {
+        cum += ratio[k];
+        std::printf("%12zu %13.1f%% %11.1f%%\n", k + 1,
+                    100.0 * ratio[k], 100.0 * cum);
+    }
+
+    std::printf("\nleading component loadings (indicator weights):\n");
+    const auto names = study.dataset.outputs();
+    for (std::size_t k = 0; k < 2; ++k) {
+        const auto comp = pca.component(k);
+        std::printf("  PC%zu:", k + 1);
+        for (std::size_t j = 0; j < comp.size(); ++j)
+            std::printf(" %s=%+.2f", names[j].c_str(), comp[j]);
+        std::printf("\n");
+    }
+
+    const std::size_t k90 = pca.componentsFor(0.90);
+    std::printf("\ncomponents for 90%% of the variance: %zu of %zu\n",
+                k90, pca.dim());
+    bench::printVerdict(
+        "indicators are redundant: <= 3 components carry 90 % of the "
+        "variance",
+        k90 <= 3);
+
+    // The dealer response times load together on the top component.
+    const auto pc1 = pca.component(0);
+    const bool dealers_together =
+        pc1[1] * pc1[2] > 0.0 && pc1[2] * pc1[3] > 0.0;
+    bench::printVerdict(
+        "the three dealer response times move together (shared web "
+        "queue)",
+        dealers_together);
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Ablation: training-set size and optimizer. Section 3.2 lists "the
+ * number of training samples" among the factors governing model
+ * capacity; this bench traces the learning curve (holdout error vs
+ * sample count) and compares plain momentum SGD with RMSProp on
+ * epochs-to-threshold.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "data/metrics.hh"
+#include "model/nn_model.hh"
+#include "numeric/rng.hh"
+#include "sim/sample_space.hh"
+
+int
+main()
+{
+    using namespace wcnn;
+    bench::printHeader("Ablation: learning curve + optimizer "
+                       "(analytic workload)");
+
+    const auto params = sim::WorkloadParams::defaults();
+    const sim::SampleSpace space = sim::SampleSpace::paperLike();
+    numeric::Rng rng(61);
+
+    // Fixed probe set.
+    const data::Dataset probe = sim::collectAnalytic(
+        sim::latinHypercubeDesign(space, 96, rng), params);
+
+    std::printf("\n-- learning curve --\n%10s %14s\n", "samples",
+                "probe error");
+    double small_err = 0.0, large_err = 0.0;
+    for (std::size_t n : {8ul, 16ul, 32ul, 64ul, 128ul}) {
+        const data::Dataset train = sim::collectAnalytic(
+            sim::latinHypercubeDesign(space, n, rng), params);
+        model::NnModelOptions opts;
+        opts.hiddenUnits = {12};
+        opts.train.maxEpochs = 6000;
+        opts.train.targetLoss = 0.01;
+        model::NnModel mdl(opts);
+        mdl.fit(train);
+        const double err =
+            data::evaluate(probe.outputs(), probe.yMatrix(),
+                           mdl.predictAll(probe))
+                .averageHarmonicError();
+        std::printf("%10zu %13.1f%%\n", n, 100.0 * err);
+        if (n == 8)
+            small_err = err;
+        if (n == 128)
+            large_err = err;
+    }
+    bench::printVerdict(
+        "more samples help: 128-sample model beats the 8-sample one",
+        large_err < small_err);
+    bench::printVerdict("the curve saturates in the low percents",
+                        large_err < 0.05);
+
+    // Optimizer comparison at fixed budget.
+    std::printf("\n-- optimizer (64 samples, threshold 0.01) --\n");
+    const data::Dataset train = sim::collectAnalytic(
+        sim::latinHypercubeDesign(space, 64, rng), params);
+    std::printf("%12s %10s %14s\n", "optimizer", "epochs",
+                "probe error");
+    std::size_t sgd_epochs = 0, rms_epochs = 0;
+    for (const bool use_rmsprop : {false, true}) {
+        model::NnModelOptions opts;
+        opts.hiddenUnits = {12};
+        opts.train.maxEpochs = 12000;
+        opts.train.targetLoss = 0.01;
+        opts.train.rmsprop = use_rmsprop;
+        if (use_rmsprop)
+            opts.train.learningRate = 0.01;
+        model::NnModel mdl(opts);
+        mdl.fit(train);
+        const double err =
+            data::evaluate(probe.outputs(), probe.yMatrix(),
+                           mdl.predictAll(probe))
+                .averageHarmonicError();
+        std::printf("%12s %10zu %13.1f%%\n",
+                    use_rmsprop ? "rmsprop" : "sgd+momentum",
+                    mdl.lastTraining().epochs, 100.0 * err);
+        (use_rmsprop ? rms_epochs : sgd_epochs) =
+            mdl.lastTraining().epochs;
+    }
+    bench::printVerdict(
+        "both optimizers reach the loose threshold",
+        sgd_epochs < 12000 && rms_epochs < 12000);
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Ablation: recovering per-input influence from the black box. The
+ * paper notes that the NN's generality sacrifices "the analytical
+ * power of the model"; finite-difference sensitivity analysis over the
+ * surrogate recovers a quantitative influence table, which must agree
+ * with the known mechanics of the simulated workload.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "model/sensitivity.hh"
+
+int
+main()
+{
+    using namespace wcnn;
+    bench::printHeader("Ablation: sensitivity analysis of the fitted "
+                       "surrogate (elasticities, sign = direction)");
+
+    const model::StudyResult study = bench::canonicalStudy();
+    const auto report = model::analyzeSensitivity(
+        study.finalModel, study.dataset);
+
+    std::printf("\n%s\n", report.toText().c_str());
+
+    // Known mechanics of the substrate:
+    //  * dealer purchase RT is dominated by the default queue (its
+    //    work items ride it) with a negative direction (more threads,
+    //    less latency);
+    //  * browse never touches the default queue, so the default
+    //    queue's pull on it is far weaker than on purchase.
+    const std::size_t purchase = 1, browse = 3, tput = 4;
+    const std::size_t def_axis = 1;
+
+    bench::printVerdict(
+        "default queue is the dominant input for dealer purchase RT",
+        report.dominantInput(purchase) == def_axis);
+    bench::printVerdict(
+        "more default threads reduce purchase RT (negative direction)",
+        report.direction(def_axis, purchase) < 0.0);
+    bench::printVerdict(
+        "default queue pulls purchase RT harder than browse RT "
+        "(browse never rides it)",
+        report.elasticity(def_axis, purchase) >
+            1.25 * report.elasticity(def_axis, browse));
+    bench::printVerdict(
+        "more default threads raise effective throughput",
+        report.direction(def_axis, tput) > 0.0);
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Ablation: sample pre-processing (paper section 3.1). Removing the
+ * z-score standardization of inputs/outputs leaves gradient descent
+ * fighting raw magnitudes (injection rate ~560 vs thread counts ~16,
+ * throughput ~500 vs response times ~1), which the paper argues
+ * strands training in local minima.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "common.hh"
+#include "model/cross_validation.hh"
+
+int
+main()
+{
+    using namespace wcnn;
+    bench::printHeader("Ablation: standardization on/off "
+                       "(paper section 3.1)");
+
+    const model::StudyResult study = bench::canonicalStudy();
+    const data::Dataset &ds = study.dataset;
+
+    struct Variant
+    {
+        const char *label;
+        bool std_inputs;
+        bool std_outputs;
+    };
+    const Variant variants[] = {
+        {"standardize inputs+outputs (paper)", true, true},
+        {"raw inputs, standardized outputs", false, true},
+        {"standardized inputs, raw outputs", true, false},
+        {"raw everything", false, false},
+    };
+
+    std::printf("\n%-40s %10s %12s\n", "variant", "overall",
+                "accuracy");
+    double paper_err = 0.0, raw_err = 0.0;
+    for (const auto &v : variants) {
+        model::NnModelOptions opts = study.tunedNn;
+        opts.standardizeInputs = v.std_inputs;
+        opts.standardizeOutputs = v.std_outputs;
+        model::CvOptions cv;
+        cv.seed = 2010;
+        cv.keepPredictions = false;
+        const auto result = model::crossValidate(
+            [&opts] { return std::make_unique<model::NnModel>(opts); },
+            ds, cv);
+        const double overall = result.overallValidationError();
+        std::printf("%-40s %9.1f%% %11.1f%%\n", v.label,
+                    100.0 * overall,
+                    100.0 * result.overallAccuracy());
+        if (v.std_inputs && v.std_outputs)
+            paper_err = overall;
+        if (!v.std_inputs && !v.std_outputs)
+            raw_err = overall;
+    }
+
+    bench::printVerdict(
+        "dropping standardization degrades the model (paper's "
+        "local-minimum argument)",
+        paper_err < raw_err);
+    bench::printVerdict("degradation is large (>= 2x error)",
+                        raw_err >= 2.0 * paper_err);
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 2 reproduction: the logistic sigmoid for several slope
+ * parameters, showing the approach to a hard limiter as |a| grows.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "nn/activation.hh"
+
+int
+main()
+{
+    using wcnn::nn::Activation;
+    wcnn::bench::printHeader(
+        "Figure 2: sigmoid activation vs slope parameter a");
+
+    const double slopes[] = {0.25, 0.5, 1.0, 2.0, 4.0, 10.0};
+    std::printf("%8s", "x");
+    for (double a : slopes)
+        std::printf("   a=%-5.4g", a);
+    std::printf("\n");
+    for (double x = -10.0; x <= 10.0 + 1e-9; x += 1.0) {
+        std::printf("%8.1f", x);
+        for (double a : slopes)
+            std::printf("%10.4f", Activation::logistic(a).value(x));
+        std::printf("\n");
+    }
+
+    // Shape checks: strictly increasing; larger slope -> closer to a
+    // hard limiter at x = 1.
+    bool increasing = true;
+    const Activation unit = Activation::logistic(1.0);
+    for (double x = -10.0; x < 10.0; x += 0.5)
+        increasing &= unit.value(x + 0.5) > unit.value(x);
+    wcnn::bench::printVerdict("sigmoid strictly increasing",
+                              increasing);
+
+    bool sharpens = true;
+    double prev = Activation::logistic(slopes[0]).value(1.0);
+    for (double a : {0.5, 1.0, 2.0, 4.0, 10.0}) {
+        const double v = Activation::logistic(a).value(1.0);
+        sharpens &= v > prev;
+        prev = v;
+    }
+    wcnn::bench::printVerdict(
+        "larger slope approaches the hard limiter", sharpens);
+    return 0;
+}

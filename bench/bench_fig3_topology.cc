@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 3 companion: the MLP topology used for the 4-input/5-output
+ * workload model (the paper's figure is schematic; this bench prints
+ * the concrete network our study instantiates).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "nn/mlp.hh"
+#include "numeric/rng.hh"
+
+int
+main()
+{
+    using namespace wcnn::nn;
+    wcnn::bench::printHeader("Figure 3: multilayer perceptron topology");
+
+    wcnn::numeric::Rng rng(1);
+    const Mlp net(4,
+                  {LayerSpec{16, Activation::logistic(1.0)},
+                   LayerSpec{16, Activation::logistic(1.0)},
+                   LayerSpec{5, Activation::identity()}},
+                  InitRule::SmallUniform, rng);
+
+    std::printf("topology:   %s\n", net.describe().c_str());
+    std::printf("parameters: %zu weights + biases\n",
+                net.parameterCount());
+    std::printf("\n");
+    std::printf("  x1..x4 (configuration: injection rate, default/"
+                "mfg/web queue threads)\n");
+    for (std::size_t l = 0; l < net.depth(); ++l) {
+        const auto &spec = net.layers()[l];
+        std::printf("    |  W%zu: %zux%zu, b%zu: %zu\n", l,
+                    net.weights(l).rows(), net.weights(l).cols(), l,
+                    net.biases(l).size());
+        std::printf("  [%zu %s unit%s]%s\n", spec.units,
+                    spec.activation.name().c_str(),
+                    spec.units == 1 ? "" : "s",
+                    l + 1 == net.depth()
+                        ? "  -> y1..y5 (4 response times + throughput)"
+                        : "");
+    }
+
+    wcnn::bench::printVerdict(
+        "4-in/5-out network with sigmoid hidden layers constructed",
+        net.inputDim() == 4 && net.outputDim() == 5);
+    return 0;
+}

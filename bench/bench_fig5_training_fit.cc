@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 5 reproduction: actual (o) vs predicted (x) values over the
+ * *training* set of one cross-validation trial, for all five
+ * indicators. The paper stresses that the model is deliberately
+ * loosely fit here to preserve flexibility (section 3.3).
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "data/metrics.hh"
+
+int
+main()
+{
+    using namespace wcnn;
+    bench::printHeader("Figure 5: actual vs predicted, training set "
+                       "(trial 1 of the 5-fold cross validation)");
+
+    const model::StudyResult study = bench::canonicalStudy();
+    const model::CvTrial &trial = study.cv.trials.front();
+    const data::Dataset &train = trial.trainSet;
+    const auto &pred = trial.trainPredicted;
+
+    for (std::size_t j = 0; j < train.outputDim(); ++j) {
+        std::printf("\n-- %s --\n", train.outputs()[j].c_str());
+        std::printf("%6s %12s %12s %10s\n", "idx", "actual(o)",
+                    "predicted(x)", "rel.err");
+        for (std::size_t i = 0; i < train.size(); ++i) {
+            const double actual = train[i].y[j];
+            const double predicted = pred(i, j);
+            std::printf("%6zu %12.4f %12.4f %9.1f%%\n", i, actual,
+                        predicted,
+                        actual != 0.0
+                            ? 100.0 * (predicted - actual) / actual
+                            : 0.0);
+        }
+    }
+
+    // Shape criteria: the training fit is loose (non-zero residuals)
+    // yet close (small harmonic error).
+    const auto report = data::evaluate(train.outputs(),
+                                       train.yMatrix(), pred);
+    bool loose = false;
+    for (double e : report.harmonicError)
+        loose |= e > 0.001;
+    bench::printVerdict(
+        "training fit is loose on purpose (visible residuals)", loose);
+    bool close = true;
+    for (double e : report.harmonicError)
+        close &= e < 0.20;
+    bench::printVerdict("training fit tracks every indicator (< 20 %)",
+                        close);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 6 reproduction: actual (o) vs predicted (x) values over the
+ * held-out *validation* fold of the same trial as Figure 5 — the
+ * model's predictions for configurations it never saw.
+ */
+
+#include <cstdio>
+
+#include "common.hh"
+#include "data/metrics.hh"
+
+int
+main()
+{
+    using namespace wcnn;
+    bench::printHeader("Figure 6: actual vs predicted, validation set "
+                       "(same trial as Figure 5)");
+
+    const model::StudyResult study = bench::canonicalStudy();
+    const model::CvTrial &trial = study.cv.trials.front();
+    const data::Dataset &validation = trial.validationSet;
+    const auto &pred = trial.validationPredicted;
+
+    for (std::size_t j = 0; j < validation.outputDim(); ++j) {
+        std::printf("\n-- %s --\n", validation.outputs()[j].c_str());
+        std::printf("%6s %12s %12s %10s\n", "idx", "actual(o)",
+                    "predicted(x)", "rel.err");
+        for (std::size_t i = 0; i < validation.size(); ++i) {
+            const double actual = validation[i].y[j];
+            const double predicted = pred(i, j);
+            std::printf("%6zu %12.4f %12.4f %9.1f%%\n", i, actual,
+                        predicted,
+                        actual != 0.0
+                            ? 100.0 * (predicted - actual) / actual
+                            : 0.0);
+        }
+    }
+
+    // Shape criterion: generalization does not blow up relative to
+    // the training fit (the point of the loose-fit rule).
+    const auto val_report = data::evaluate(
+        validation.outputs(), validation.yMatrix(), pred);
+    const auto train_report = data::evaluate(
+        trial.trainSet.outputs(), trial.trainSet.yMatrix(),
+        trial.trainPredicted);
+    std::printf("\nvalidation harmonic error per indicator:");
+    for (double e : val_report.harmonicError)
+        std::printf(" %.1f%%", 100.0 * e);
+    std::printf("\ntraining   harmonic error per indicator:");
+    for (double e : train_report.harmonicError)
+        std::printf(" %.1f%%", 100.0 * e);
+    std::printf("\n");
+
+    double val_avg = 0.0, train_avg = 0.0;
+    for (double e : val_report.harmonicError)
+        val_avg += e / 5.0;
+    for (double e : train_report.harmonicError)
+        train_avg += e / 5.0;
+    bench::printVerdict(
+        "no overfitting blow-up: validation error < 5x training error",
+        val_avg < 5.0 * train_avg + 0.02);
+    bench::printVerdict("validation predictions within 20 % on average",
+                        val_avg < 0.20);
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the NN substrate: forward and
+ * backward passes, full training epochs, and the matrix kernels they
+ * sit on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "nn/loss.hh"
+#include "nn/mlp.hh"
+#include "nn/trainer.hh"
+#include "numeric/rng.hh"
+
+using namespace wcnn;
+
+namespace {
+
+nn::Mlp
+makeNet(std::size_t hidden, numeric::Rng &rng)
+{
+    return nn::Mlp(4,
+                   {nn::LayerSpec{hidden, nn::Activation::logistic(1.0)},
+                    nn::LayerSpec{5, nn::Activation::identity()}},
+                   nn::InitRule::Xavier, rng);
+}
+
+} // namespace
+
+static void
+BM_MatrixMultiply(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    numeric::Rng rng(1);
+    const auto a = numeric::Matrix::random(n, n, rng, -1, 1);
+    const auto b = numeric::Matrix::random(n, n, rng, -1, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a * b);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * n * n * n));
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(16)->Arg(64)->Arg(128);
+
+static void
+BM_MlpForward(benchmark::State &state)
+{
+    numeric::Rng rng(2);
+    const nn::Mlp net =
+        makeNet(static_cast<std::size_t>(state.range(0)), rng);
+    const numeric::Vector x{0.1, -0.5, 1.2, 0.3};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.forward(x));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlpForward)->Arg(8)->Arg(16)->Arg(64);
+
+static void
+BM_MlpBackward(benchmark::State &state)
+{
+    numeric::Rng rng(3);
+    nn::Mlp net = makeNet(static_cast<std::size_t>(state.range(0)),
+                          rng);
+    const numeric::Vector x{0.1, -0.5, 1.2, 0.3};
+    const numeric::Vector target{0, 0, 0, 0, 0};
+    nn::Mlp::Cache cache;
+    for (auto _ : state) {
+        const auto out = net.forward(x, cache);
+        benchmark::DoNotOptimize(
+            net.backward(cache, nn::mseGradient(out, target)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlpBackward)->Arg(8)->Arg(16)->Arg(64);
+
+static void
+BM_TrainEpochs(benchmark::State &state)
+{
+    // Train the paper-shaped net on 64 synthetic samples for a fixed
+    // number of epochs per iteration.
+    numeric::Rng data_rng(4);
+    const std::size_t n = 64;
+    numeric::Matrix x(n, 4), y(n, 5);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < 4; ++j)
+            x(i, j) = data_rng.uniform(-1, 1);
+        for (std::size_t j = 0; j < 5; ++j)
+            y(i, j) = data_rng.uniform(-1, 1);
+    }
+    nn::TrainOptions opts;
+    opts.maxEpochs = 50;
+    opts.targetLoss = 0.0;
+    opts.recordHistory = false;
+    const nn::Trainer trainer(opts);
+    for (auto _ : state) {
+        numeric::Rng rng(5);
+        nn::Mlp net = makeNet(16, rng);
+        numeric::Rng shuffle(6);
+        benchmark::DoNotOptimize(
+            trainer.train(net, x, y, shuffle));
+    }
+    state.SetItemsProcessed(state.iterations() * 50);
+    state.SetLabel("items = epochs");
+}
+BENCHMARK(BM_TrainEpochs);
+
+BENCHMARK_MAIN();

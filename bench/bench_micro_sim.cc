@@ -1,0 +1,71 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation substrate: DES
+ * event throughput, a full 3-tier run, and the analytic model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "sim/analytic_surface.hh"
+#include "sim/simulator.hh"
+#include "sim/three_tier.hh"
+
+using namespace wcnn::sim;
+
+static void
+BM_EventDispatch(benchmark::State &state)
+{
+    // A self-rescheduling event chain: measures raw calendar cost.
+    for (auto _ : state) {
+        Simulator sim;
+        std::size_t count = 0;
+        std::function<void()> tick = [&] {
+            if (++count < 10000)
+                sim.schedule(0.001, tick);
+        };
+        sim.schedule(0.001, tick);
+        sim.run(1e9);
+        benchmark::DoNotOptimize(count);
+    }
+    state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventDispatch);
+
+static void
+BM_ThreeTierRun(benchmark::State &state)
+{
+    // Full simulation of `range(0)` seconds of workload at the paper's
+    // example operating point.
+    const double seconds = static_cast<double>(state.range(0));
+    std::uint64_t seed = 1;
+    std::size_t events = 0;
+    for (auto _ : state) {
+        ThreeTierConfig cfg;
+        cfg.warmup = 0.0;
+        cfg.measure = seconds;
+        cfg.seed = seed++;
+        RunDiagnostics diag;
+        benchmark::DoNotOptimize(simulateThreeTier(
+            cfg, WorkloadParams::defaults(), &diag));
+        events += diag.eventsProcessed;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.SetLabel("items = DES events");
+}
+BENCHMARK(BM_ThreeTierRun)->Arg(5)->Arg(20);
+
+static void
+BM_AnalyticEvaluation(benchmark::State &state)
+{
+    ThreeTierConfig cfg;
+    double web = 14.0;
+    for (auto _ : state) {
+        cfg.webQueue = web;
+        web = web >= 20.0 ? 14.0 : web + 1.0;
+        benchmark::DoNotOptimize(analyticThreeTier(cfg));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AnalyticEvaluation);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CSV persistence for datasets so collected sample sets are replayable
+ * without re-running the simulator.
+ *
+ * Format: a header row `x:<name>,...,y:<name>,...` followed by one data
+ * row per sample. The `x:`/`y:` prefixes encode which columns are
+ * configuration parameters and which are performance indicators.
+ */
+
+#ifndef WCNN_DATA_CSV_HH
+#define WCNN_DATA_CSV_HH
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "data/dataset.hh"
+
+namespace wcnn {
+namespace data {
+
+/** Error thrown on malformed CSV input or I/O failure. */
+class CsvError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Serialize a dataset to a stream in the prefixed-header CSV format.
+ *
+ * @param ds Dataset to write.
+ * @param os Destination stream.
+ */
+void writeCsv(const Dataset &ds, std::ostream &os);
+
+/**
+ * Serialize a dataset to a file.
+ *
+ * @param ds   Dataset to write.
+ * @param path Destination file path.
+ * @throws CsvError if the file cannot be opened.
+ */
+void saveCsv(const Dataset &ds, const std::string &path);
+
+/**
+ * Parse a dataset from a stream.
+ *
+ * @param is Source stream positioned at the header row.
+ * @throws CsvError on malformed headers or rows.
+ */
+Dataset readCsv(std::istream &is);
+
+/**
+ * Parse a dataset from a file.
+ *
+ * @param path Source file path.
+ * @throws CsvError if the file cannot be opened or parsed.
+ */
+Dataset loadCsv(const std::string &path);
+
+} // namespace data
+} // namespace wcnn
+
+#endif // WCNN_DATA_CSV_HH

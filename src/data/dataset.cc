@@ -1,0 +1,90 @@
+#include "dataset.hh"
+
+#include <cassert>
+
+#include "numeric/rng.hh"
+
+namespace wcnn {
+namespace data {
+
+Dataset::Dataset(std::vector<std::string> input_names,
+                 std::vector<std::string> output_names)
+    : inputNames(std::move(input_names)),
+      outputNames(std::move(output_names))
+{
+}
+
+void
+Dataset::add(numeric::Vector x, numeric::Vector y)
+{
+    assert(x.size() == inputDim());
+    assert(y.size() == outputDim());
+    samples.push_back(Sample{std::move(x), std::move(y)});
+}
+
+numeric::Matrix
+Dataset::xMatrix() const
+{
+    numeric::Matrix m(size(), inputDim());
+    for (std::size_t i = 0; i < size(); ++i)
+        m.setRow(i, samples[i].x);
+    return m;
+}
+
+numeric::Matrix
+Dataset::yMatrix() const
+{
+    numeric::Matrix m(size(), outputDim());
+    for (std::size_t i = 0; i < size(); ++i)
+        m.setRow(i, samples[i].y);
+    return m;
+}
+
+numeric::Vector
+Dataset::yColumn(std::size_t j) const
+{
+    assert(j < outputDim());
+    numeric::Vector v(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        v[i] = samples[i].y[j];
+    return v;
+}
+
+numeric::Vector
+Dataset::xColumn(std::size_t j) const
+{
+    assert(j < inputDim());
+    numeric::Vector v(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        v[i] = samples[i].x[j];
+    return v;
+}
+
+Dataset
+Dataset::select(const std::vector<std::size_t> &indices) const
+{
+    Dataset out(inputNames, outputNames);
+    for (std::size_t idx : indices) {
+        assert(idx < size());
+        out.samples.push_back(samples[idx]);
+    }
+    return out;
+}
+
+Dataset
+Dataset::shuffled(numeric::Rng &rng) const
+{
+    return select(rng.permutation(size()));
+}
+
+void
+Dataset::append(const Dataset &other)
+{
+    assert(other.inputDim() == inputDim());
+    assert(other.outputDim() == outputDim());
+    samples.insert(samples.end(), other.samples.begin(),
+                   other.samples.end());
+}
+
+} // namespace data
+} // namespace wcnn

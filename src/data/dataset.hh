@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Sample container for workload characterization.
+ *
+ * The paper (section 2.2) represents a sample as a tuple
+ * (X, Y) = (x1..xn, y1..ym): n configuration parameters and m performance
+ * indicators measured by running the application under that
+ * configuration. A Dataset is an ordered collection of such tuples plus
+ * column names.
+ */
+
+#ifndef WCNN_DATA_DATASET_HH
+#define WCNN_DATA_DATASET_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "numeric/matrix.hh"
+
+namespace wcnn {
+namespace numeric {
+class Rng;
+} // namespace numeric
+
+namespace data {
+
+/** One (configuration, indicators) observation. */
+struct Sample
+{
+    /** Configuration parameters x1..xn. */
+    numeric::Vector x;
+    /** Performance indicators y1..ym. */
+    numeric::Vector y;
+};
+
+/**
+ * Named table of (X, Y) samples with fixed input/output arity.
+ */
+class Dataset
+{
+  public:
+    /** Empty dataset with no declared columns. */
+    Dataset() = default;
+
+    /**
+     * Construct with declared column names. Arity is fixed from the name
+     * lists.
+     *
+     * @param input_names  Names of the configuration parameters.
+     * @param output_names Names of the performance indicators.
+     */
+    Dataset(std::vector<std::string> input_names,
+            std::vector<std::string> output_names);
+
+    /** Number of samples. */
+    std::size_t size() const { return samples.size(); }
+    /** True when no samples are present. */
+    bool empty() const { return samples.empty(); }
+    /** Configuration-parameter count n. */
+    std::size_t inputDim() const { return inputNames.size(); }
+    /** Performance-indicator count m. */
+    std::size_t outputDim() const { return outputNames.size(); }
+
+    /** Declared input column names. */
+    const std::vector<std::string> &inputs() const { return inputNames; }
+    /** Declared output column names. */
+    const std::vector<std::string> &outputs() const { return outputNames; }
+
+    /**
+     * Append a sample; arities must match the declared columns.
+     *
+     * @param x Configuration vector of size inputDim().
+     * @param y Indicator vector of size outputDim().
+     */
+    void add(numeric::Vector x, numeric::Vector y);
+
+    /** Access one sample. */
+    const Sample &
+    operator[](std::size_t i) const
+    {
+        assert(i < samples.size());
+        return samples[i];
+    }
+
+    /** Iteration support. */
+    std::vector<Sample>::const_iterator begin() const
+    {
+        return samples.begin();
+    }
+    /** Iteration support. */
+    std::vector<Sample>::const_iterator end() const
+    {
+        return samples.end();
+    }
+
+    /**
+     * All configurations as an n_samples x inputDim matrix.
+     */
+    numeric::Matrix xMatrix() const;
+
+    /**
+     * All indicators as an n_samples x outputDim matrix.
+     */
+    numeric::Matrix yMatrix() const;
+
+    /**
+     * One indicator column across all samples.
+     *
+     * @param j Output index.
+     */
+    numeric::Vector yColumn(std::size_t j) const;
+
+    /**
+     * One configuration column across all samples.
+     *
+     * @param j Input index.
+     */
+    numeric::Vector xColumn(std::size_t j) const;
+
+    /**
+     * Subset by sample indices (order preserved, duplicates allowed).
+     *
+     * @param indices Indices into this dataset.
+     */
+    Dataset select(const std::vector<std::size_t> &indices) const;
+
+    /**
+     * Copy with sample order randomly permuted.
+     *
+     * @param rng Generator driving the permutation.
+     */
+    Dataset shuffled(numeric::Rng &rng) const;
+
+    /**
+     * Concatenate another dataset's samples (schemas must match).
+     */
+    void append(const Dataset &other);
+
+  private:
+    std::vector<std::string> inputNames;
+    std::vector<std::string> outputNames;
+    std::vector<Sample> samples;
+};
+
+} // namespace data
+} // namespace wcnn
+
+#endif // WCNN_DATA_DATASET_HH

@@ -1,0 +1,105 @@
+#include "metrics.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "numeric/stats.hh"
+
+namespace wcnn {
+namespace data {
+
+namespace {
+
+/** Actual values smaller than this are skipped for relative error. */
+constexpr double relativeFloor = 1e-9;
+
+} // namespace
+
+std::vector<double>
+relativeErrors(const numeric::Vector &actual,
+               const numeric::Vector &predicted)
+{
+    assert(actual.size() == predicted.size());
+    std::vector<double> errs;
+    errs.reserve(actual.size());
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        if (std::fabs(actual[i]) < relativeFloor)
+            continue;
+        errs.push_back(std::fabs(actual[i] - predicted[i]) /
+                       std::fabs(actual[i]));
+    }
+    return errs;
+}
+
+double
+harmonicRelativeError(const numeric::Vector &actual,
+                      const numeric::Vector &predicted)
+{
+    return numeric::harmonicMean(relativeErrors(actual, predicted));
+}
+
+double
+mape(const numeric::Vector &actual, const numeric::Vector &predicted)
+{
+    return numeric::mean(relativeErrors(actual, predicted));
+}
+
+double
+rmse(const numeric::Vector &actual, const numeric::Vector &predicted)
+{
+    assert(actual.size() == predicted.size());
+    if (actual.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        acc += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+    return std::sqrt(acc / static_cast<double>(actual.size()));
+}
+
+double
+meanAbsoluteError(const numeric::Vector &actual,
+                  const numeric::Vector &predicted)
+{
+    assert(actual.size() == predicted.size());
+    if (actual.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i)
+        acc += std::fabs(actual[i] - predicted[i]);
+    return acc / static_cast<double>(actual.size());
+}
+
+double
+ErrorReport::averageHarmonicError() const
+{
+    return numeric::mean(harmonicError);
+}
+
+double
+ErrorReport::averageAccuracy() const
+{
+    return 1.0 - numeric::mean(mape);
+}
+
+ErrorReport
+evaluate(const std::vector<std::string> &names,
+         const numeric::Matrix &actual, const numeric::Matrix &predicted)
+{
+    assert(actual.rows() == predicted.rows());
+    assert(actual.cols() == predicted.cols());
+    assert(names.size() == actual.cols());
+    ErrorReport report;
+    report.names = names;
+    for (std::size_t j = 0; j < actual.cols(); ++j) {
+        const numeric::Vector a = actual.col(j);
+        const numeric::Vector p = predicted.col(j);
+        report.harmonicError.push_back(harmonicRelativeError(a, p));
+        report.mape.push_back(mape(a, p));
+        report.rmse.push_back(rmse(a, p));
+        report.r2.push_back(numeric::rSquared(a, p));
+    }
+    return report;
+}
+
+} // namespace data
+} // namespace wcnn

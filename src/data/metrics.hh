@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Prediction-error metrics.
+ *
+ * The paper's validity metric (section 3.3) is the harmonic mean of
+ * |absolute error| / actual over the validation samples, computed per
+ * performance indicator and averaged across cross-validation trials
+ * (Table 2). Supporting metrics (MAPE, RMSE, R^2) are provided for the
+ * ablation studies.
+ */
+
+#ifndef WCNN_DATA_METRICS_HH
+#define WCNN_DATA_METRICS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "numeric/matrix.hh"
+
+namespace wcnn {
+namespace data {
+
+/**
+ * Per-sample relative errors |actual - predicted| / |actual|.
+ *
+ * Samples whose actual value is (near) zero are skipped — relative error
+ * is undefined there.
+ *
+ * @param actual    Ground-truth series.
+ * @param predicted Prediction series, same length.
+ */
+std::vector<double> relativeErrors(const numeric::Vector &actual,
+                                   const numeric::Vector &predicted);
+
+/**
+ * The paper's error metric: harmonic mean of |error|/actual.
+ *
+ * @param actual    Ground-truth series.
+ * @param predicted Prediction series, same length.
+ */
+double harmonicRelativeError(const numeric::Vector &actual,
+                             const numeric::Vector &predicted);
+
+/** Mean absolute percentage error (arithmetic mean of relative errors). */
+double mape(const numeric::Vector &actual,
+            const numeric::Vector &predicted);
+
+/** Root-mean-square error. */
+double rmse(const numeric::Vector &actual,
+            const numeric::Vector &predicted);
+
+/** Mean absolute error. */
+double meanAbsoluteError(const numeric::Vector &actual,
+                         const numeric::Vector &predicted);
+
+/**
+ * Per-indicator error report for a prediction matrix, in the shape of one
+ * row of the paper's Table 2.
+ */
+struct ErrorReport
+{
+    /** Indicator names (column order of the matrices). */
+    std::vector<std::string> names;
+    /** Harmonic-mean relative error per indicator (paper's metric). */
+    std::vector<double> harmonicError;
+    /** MAPE per indicator. */
+    std::vector<double> mape;
+    /** RMSE per indicator. */
+    std::vector<double> rmse;
+    /** R^2 per indicator. */
+    std::vector<double> r2;
+
+    /** Mean of harmonicError across indicators. */
+    double averageHarmonicError() const;
+
+    /** Overall prediction accuracy, 1 - mean MAPE (paper quotes 95%). */
+    double averageAccuracy() const;
+};
+
+/**
+ * Build an ErrorReport comparing two n_samples x n_indicators matrices
+ * column by column.
+ *
+ * @param names     Indicator names, one per column.
+ * @param actual    Ground truth matrix.
+ * @param predicted Prediction matrix of identical shape.
+ */
+ErrorReport evaluate(const std::vector<std::string> &names,
+                     const numeric::Matrix &actual,
+                     const numeric::Matrix &predicted);
+
+} // namespace data
+} // namespace wcnn
+
+#endif // WCNN_DATA_METRICS_HH

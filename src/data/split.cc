@@ -1,0 +1,77 @@
+#include "split.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "numeric/rng.hh"
+
+namespace wcnn {
+namespace data {
+
+Split
+trainValidationSplit(const Dataset &ds, double train_fraction,
+                     numeric::Rng &rng)
+{
+    assert(train_fraction >= 0.0 && train_fraction <= 1.0);
+    const auto perm = rng.permutation(ds.size());
+    const std::size_t n_train = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(ds.size()) + 0.5);
+    std::vector<std::size_t> train_idx(perm.begin(),
+                                       perm.begin() + n_train);
+    std::vector<std::size_t> val_idx(perm.begin() + n_train, perm.end());
+    // Keep original sample order within each side for readable plots.
+    std::sort(train_idx.begin(), train_idx.end());
+    std::sort(val_idx.begin(), val_idx.end());
+    return Split{ds.select(train_idx), ds.select(val_idx)};
+}
+
+KFold::KFold(std::size_t n_samples, std::size_t k, numeric::Rng &rng)
+{
+    assert(k >= 2);
+    assert(n_samples >= k);
+    const auto perm = rng.permutation(n_samples);
+    foldIndices.resize(k);
+    const std::size_t base = n_samples / k;
+    const std::size_t extra = n_samples % k;
+    std::size_t cursor = 0;
+    for (std::size_t f = 0; f < k; ++f) {
+        const std::size_t len = base + (f < extra ? 1 : 0);
+        auto &fold = foldIndices[f];
+        fold.assign(perm.begin() + static_cast<std::ptrdiff_t>(cursor),
+                    perm.begin() + static_cast<std::ptrdiff_t>(cursor + len));
+        std::sort(fold.begin(), fold.end());
+        cursor += len;
+    }
+}
+
+const std::vector<std::size_t> &
+KFold::validationIndices(std::size_t fold) const
+{
+    assert(fold < foldIndices.size());
+    return foldIndices[fold];
+}
+
+std::vector<std::size_t>
+KFold::trainIndices(std::size_t fold) const
+{
+    assert(fold < foldIndices.size());
+    std::vector<std::size_t> out;
+    for (std::size_t f = 0; f < foldIndices.size(); ++f) {
+        if (f == fold)
+            continue;
+        out.insert(out.end(), foldIndices[f].begin(),
+                   foldIndices[f].end());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Split
+KFold::split(const Dataset &ds, std::size_t fold) const
+{
+    return Split{ds.select(trainIndices(fold)),
+                 ds.select(validationIndices(fold))};
+}
+
+} // namespace data
+} // namespace wcnn

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Train/validation splitting and deterministic k-fold partitioning
+ * (paper section 3.3).
+ *
+ * In k-fold cross validation the sample set is divided into k sets of
+ * (as near as possible) equal size; each trial holds one set out as the
+ * validation set and trains on the remaining k-1.
+ */
+
+#ifndef WCNN_DATA_SPLIT_HH
+#define WCNN_DATA_SPLIT_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset.hh"
+
+namespace wcnn {
+namespace numeric {
+class Rng;
+} // namespace numeric
+
+namespace data {
+
+/** A train/validation pair of datasets. */
+struct Split
+{
+    Dataset train;
+    Dataset validation;
+};
+
+/**
+ * Random train/validation split.
+ *
+ * @param ds             Source dataset.
+ * @param train_fraction Fraction of samples assigned to train, in [0, 1].
+ * @param rng            Generator driving the permutation.
+ */
+Split trainValidationSplit(const Dataset &ds, double train_fraction,
+                           numeric::Rng &rng);
+
+/**
+ * Deterministic k-fold partitioner.
+ *
+ * The fold assignment is a random permutation sliced into k contiguous
+ * chunks whose sizes differ by at most one; the permutation is fixed at
+ * construction so every trial sees the same partition.
+ */
+class KFold
+{
+  public:
+    /**
+     * Partition a dataset of n samples into k folds.
+     *
+     * @param n_samples Sample count; must be >= k.
+     * @param k         Fold count; must be >= 2.
+     * @param rng       Generator for the assignment permutation.
+     */
+    KFold(std::size_t n_samples, std::size_t k, numeric::Rng &rng);
+
+    /** Number of folds. */
+    std::size_t folds() const { return foldIndices.size(); }
+
+    /**
+     * Sample indices held out by the given trial.
+     *
+     * @param fold Fold number in [0, folds()).
+     */
+    const std::vector<std::size_t> &validationIndices(std::size_t fold) const;
+
+    /**
+     * Sample indices trained on by the given trial (all others).
+     *
+     * @param fold Fold number in [0, folds()).
+     */
+    std::vector<std::size_t> trainIndices(std::size_t fold) const;
+
+    /**
+     * Materialize the train/validation datasets for one trial.
+     *
+     * @param ds   Source dataset; size must match n_samples.
+     * @param fold Fold number in [0, folds()).
+     */
+    Split split(const Dataset &ds, std::size_t fold) const;
+
+  private:
+    std::vector<std::vector<std::size_t>> foldIndices;
+};
+
+} // namespace data
+} // namespace wcnn
+
+#endif // WCNN_DATA_SPLIT_HH

@@ -1,0 +1,88 @@
+#include "standardizer.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "numeric/stats.hh"
+
+namespace wcnn {
+namespace data {
+
+Standardizer
+Standardizer::identity(std::size_t d)
+{
+    Standardizer s;
+    s.mu.assign(d, 0.0);
+    s.sigma.assign(d, 1.0);
+    return s;
+}
+
+Standardizer
+Standardizer::fromMoments(numeric::Vector mu, numeric::Vector sigma)
+{
+    assert(mu.size() == sigma.size());
+    for (double s : sigma)
+        assert(s > 0.0);
+    Standardizer out;
+    out.mu = std::move(mu);
+    out.sigma = std::move(sigma);
+    return out;
+}
+
+void
+Standardizer::fit(const numeric::Matrix &samples)
+{
+    const std::size_t d = samples.cols();
+    mu.assign(d, 0.0);
+    sigma.assign(d, 1.0);
+    for (std::size_t j = 0; j < d; ++j) {
+        const numeric::Vector column = samples.col(j);
+        mu[j] = numeric::mean(column);
+        const double s = numeric::stddev(column);
+        // Constant columns keep scale 1 so the transform stays invertible.
+        sigma[j] = s > 0.0 ? s : 1.0;
+    }
+}
+
+numeric::Vector
+Standardizer::transform(const numeric::Vector &x) const
+{
+    assert(x.size() == dim());
+    numeric::Vector z(x.size());
+    for (std::size_t j = 0; j < x.size(); ++j)
+        z[j] = (x[j] - mu[j]) / sigma[j];
+    return z;
+}
+
+numeric::Matrix
+Standardizer::transform(const numeric::Matrix &xs) const
+{
+    assert(xs.cols() == dim());
+    numeric::Matrix out(xs.rows(), xs.cols());
+    for (std::size_t i = 0; i < xs.rows(); ++i)
+        out.setRow(i, transform(xs.row(i)));
+    return out;
+}
+
+numeric::Vector
+Standardizer::inverse(const numeric::Vector &z) const
+{
+    assert(z.size() == dim());
+    numeric::Vector x(z.size());
+    for (std::size_t j = 0; j < z.size(); ++j)
+        x[j] = z[j] * sigma[j] + mu[j];
+    return x;
+}
+
+numeric::Matrix
+Standardizer::inverse(const numeric::Matrix &zs) const
+{
+    assert(zs.cols() == dim());
+    numeric::Matrix out(zs.rows(), zs.cols());
+    for (std::size_t i = 0; i < zs.rows(); ++i)
+        out.setRow(i, inverse(zs.row(i)));
+    return out;
+}
+
+} // namespace data
+} // namespace wcnn

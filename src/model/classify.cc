@@ -1,0 +1,155 @@
+#include "classify.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace wcnn {
+namespace model {
+
+const char *
+surfaceClassName(SurfaceClass cls)
+{
+    switch (cls) {
+      case SurfaceClass::ParallelSlopes:
+        return "parallel-slopes";
+      case SurfaceClass::Valley:
+        return "valley";
+      case SurfaceClass::Hill:
+        return "hill";
+      case SurfaceClass::Mixed:
+        return "mixed";
+    }
+    return "unknown";
+}
+
+std::string
+SurfaceAnalysis::describe() const
+{
+    std::ostringstream os;
+    os << surfaceClassName(cls) << " (variation A=" << variationA
+       << ", B=" << variationB << "; valley prom=" << valleyProminence
+       << " at [" << minA << "," << minB
+       << "]; hill prom=" << hillProminence << " at [" << maxA << ","
+       << maxB << "])";
+    return os.str();
+}
+
+SurfaceAnalysis
+classifySurface(const SurfaceGrid &grid, const ClassifyOptions &options)
+{
+    const numeric::Matrix &z = grid.z;
+    assert(z.rows() >= 3 && z.cols() >= 3);
+
+    SurfaceAnalysis out;
+    const double zmin = grid.zMin(&out.minA, &out.minB);
+    const double zmax = grid.zMax(&out.maxA, &out.maxB);
+    const double range = zmax - zmin;
+    if (range <= 0.0)
+        return out; // flat: Mixed with zero evidence
+
+    // Normalized variation along each axis.
+    double var_a = 0.0;
+    for (std::size_t j = 0; j < z.cols(); ++j) {
+        double lo = z(0, j), hi = z(0, j);
+        for (std::size_t i = 1; i < z.rows(); ++i) {
+            lo = std::min(lo, z(i, j));
+            hi = std::max(hi, z(i, j));
+        }
+        var_a += (hi - lo) / range;
+    }
+    var_a /= static_cast<double>(z.cols());
+
+    double var_b = 0.0;
+    for (std::size_t i = 0; i < z.rows(); ++i) {
+        double lo = z(i, 0), hi = z(i, 0);
+        for (std::size_t j = 1; j < z.cols(); ++j) {
+            lo = std::min(lo, z(i, j));
+            hi = std::max(hi, z(i, j));
+        }
+        var_b += (hi - lo) / range;
+    }
+    var_b /= static_cast<double>(z.rows());
+
+    out.variationA = var_a;
+    out.variationB = var_b;
+
+    // Interior prominence of an extremum: how far z moves back toward
+    // the interior value at both ends of the cross-sections through it,
+    // relative to the extremum's own magnitude (robust against range
+    // inflation from saturated corners).
+    const auto prominence = [&](std::size_t ai, std::size_t bj,
+                                bool is_min) {
+        const double v = z(ai, bj);
+        const double sign = is_min ? 1.0 : -1.0;
+        const double end_a0 = sign * (z(0, bj) - v);
+        const double end_a1 = sign * (z(z.rows() - 1, bj) - v);
+        const double end_b0 = sign * (z(ai, 0) - v);
+        const double end_b1 = sign * (z(ai, z.cols() - 1) - v);
+        const double prom_a = std::min(end_a0, end_a1);
+        const double prom_b = std::min(end_b0, end_b1);
+        // Normalize by the global range: scale- and level-invariant,
+        // so a throughput surface at ~500 tps and a response-time
+        // surface at ~1 s are judged by the same geometry.
+        return std::max(prom_a, prom_b) / range;
+    };
+    // Evaluate prominence at the global extremum and at the extrema of
+    // the center row/column: a diagonal trough (the paper's
+    // joint-tuning valley) can park its *global* minimum in a corner
+    // while the interior cross-sections still dip clearly.
+    const auto best_prominence = [&](bool is_min) {
+        const std::size_t mid_i = z.rows() / 2;
+        const std::size_t mid_j = z.cols() / 2;
+        std::size_t row_ext = 0, col_ext = 0;
+        for (std::size_t j = 1; j < z.cols(); ++j) {
+            const bool better = is_min
+                                    ? z(mid_i, j) < z(mid_i, row_ext)
+                                    : z(mid_i, j) > z(mid_i, row_ext);
+            if (better)
+                row_ext = j;
+        }
+        for (std::size_t i = 1; i < z.rows(); ++i) {
+            const bool better = is_min
+                                    ? z(i, mid_j) < z(col_ext, mid_j)
+                                    : z(i, mid_j) > z(col_ext, mid_j);
+            if (better)
+                col_ext = i;
+        }
+        const std::size_t gi = is_min ? out.minA : out.maxA;
+        const std::size_t gj = is_min ? out.minB : out.maxB;
+        double best = prominence(gi, gj, is_min);
+        best = std::max(best, prominence(mid_i, row_ext, is_min));
+        best = std::max(best, prominence(col_ext, mid_j, is_min));
+        return std::max(0.0, best);
+    };
+    out.valleyProminence = best_prominence(true);
+    out.hillProminence = best_prominence(false);
+
+    // Decision: a prominent interior extremum wins (the paper's
+    // valleys and hills are the actionable shapes); otherwise a clearly
+    // flat axis; otherwise Mixed.
+    const bool valley =
+        out.valleyProminence >= options.prominenceThreshold;
+    const bool hill = out.hillProminence >= options.prominenceThreshold;
+    if (valley && (!hill || out.valleyProminence >= out.hillProminence)) {
+        out.cls = SurfaceClass::Valley;
+        return out;
+    }
+    if (hill) {
+        out.cls = SurfaceClass::Hill;
+        return out;
+    }
+    const double lo_var = std::min(var_a, var_b);
+    const double hi_var = std::max(var_a, var_b);
+    if (lo_var < options.flatThreshold &&
+        hi_var > options.flatRatio * std::max(lo_var, 1e-12)) {
+        out.cls = SurfaceClass::ParallelSlopes;
+        return out;
+    }
+    out.cls = SurfaceClass::Mixed;
+    return out;
+}
+
+} // namespace model
+} // namespace wcnn

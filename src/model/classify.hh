@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Automatic surface classification (paper sections 5.1-5.3).
+ *
+ * The paper sorts the model's 3-D surfaces into three recurring shapes:
+ *
+ *  * parallel slopes — one swept parameter barely matters once the
+ *    others are fixed (tuning it is futile);
+ *  * valleys — the indicator's minimum lies along an interior trough,
+ *    so two parameters must be tuned *jointly*;
+ *  * hills — an interior maximum that single-parameter sweeps are
+ *    likely to miss entirely.
+ *
+ * This module turns those visual judgements into a deterministic
+ * classifier over SurfaceGrid data.
+ */
+
+#ifndef WCNN_MODEL_CLASSIFY_HH
+#define WCNN_MODEL_CLASSIFY_HH
+
+#include <string>
+
+#include "model/surface.hh"
+
+namespace wcnn {
+namespace model {
+
+/** Surface shape taxonomy of paper section 5. */
+enum class SurfaceClass
+{
+    ParallelSlopes, ///< one axis nearly irrelevant (paper 5.1)
+    Valley,         ///< interior minimum / trough (paper 5.2)
+    Hill,           ///< interior maximum (paper 5.3)
+    Mixed,          ///< none of the above dominates
+};
+
+/** Name of a SurfaceClass value. */
+const char *surfaceClassName(SurfaceClass cls);
+
+/** Quantitative evidence behind a classification. */
+struct SurfaceAnalysis
+{
+    /** Assigned class. */
+    SurfaceClass cls = SurfaceClass::Mixed;
+
+    /**
+     * Mean variation along axis A (range of z over a row, normalized by
+     * the global range).
+     */
+    double variationA = 0.0;
+
+    /** Mean variation along axis B, normalized likewise. */
+    double variationB = 0.0;
+
+    /**
+     * Interior prominence of the deepest dip: how far z rises from the
+     * minimum to the ends of the cross-sections through it, normalized
+     * by the global range (0 when no interior dip exists).
+     */
+    double valleyProminence = 0.0;
+
+    /** Interior prominence of the global maximum, likewise. */
+    double hillProminence = 0.0;
+
+    /** Grid location of the global minimum. */
+    std::size_t minA = 0, minB = 0;
+    /** Grid location of the global maximum. */
+    std::size_t maxA = 0, maxB = 0;
+
+    /** One-line human-readable summary. */
+    std::string describe() const;
+};
+
+/** Classifier thresholds. */
+struct ClassifyOptions
+{
+    /**
+     * An axis with normalized variation below this is "flat"; combined
+     * with the other axis exceeding flatRatio x its variation, the
+     * surface is ParallelSlopes.
+     */
+    double flatThreshold = 0.25;
+
+    /** Dominance ratio for ParallelSlopes. */
+    double flatRatio = 2.5;
+
+    /**
+     * Minimum prominence (relative to the surface's global range) to
+     * call a valley/hill. Interior optima of thread-pool surfaces are
+     * genuinely shallow near the top, hence the small default.
+     */
+    double prominenceThreshold = 0.015;
+};
+
+/**
+ * Classify a surface.
+ *
+ * @param grid    Surface to analyze (at least 3x3).
+ * @param options Thresholds.
+ */
+SurfaceAnalysis classifySurface(const SurfaceGrid &grid,
+                                const ClassifyOptions &options = {});
+
+} // namespace model
+} // namespace wcnn
+
+#endif // WCNN_MODEL_CLASSIFY_HH

@@ -1,0 +1,123 @@
+#include "cross_validation.hh"
+
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+#include "numeric/rng.hh"
+#include "numeric/stats.hh"
+
+namespace wcnn {
+namespace model {
+
+std::vector<double>
+CvResult::averageValidationError() const
+{
+    if (trials.empty())
+        return {};
+    std::vector<double> avg(trials.front().validation.harmonicError.size(),
+                            0.0);
+    for (const auto &trial : trials) {
+        for (std::size_t j = 0; j < avg.size(); ++j)
+            avg[j] += trial.validation.harmonicError[j];
+    }
+    for (auto &v : avg)
+        v /= static_cast<double>(trials.size());
+    return avg;
+}
+
+double
+CvResult::overallValidationError() const
+{
+    return numeric::mean(averageValidationError());
+}
+
+double
+CvResult::overallAccuracy() const
+{
+    // 1 minus the paper's error metric (harmonic-mean relative error),
+    // averaged over indicators and trials — the basis of the paper's
+    // "average prediction accuracy of 95%" claim.
+    return 1.0 - overallValidationError();
+}
+
+CvResult
+crossValidate(const ModelFactory &factory, const data::Dataset &ds,
+              const CvOptions &options)
+{
+    assert(options.folds >= 2);
+    assert(ds.size() >= options.folds);
+
+    numeric::Rng rng(options.seed);
+    data::KFold kfold(ds.size(), options.folds, rng);
+
+    CvResult result;
+    result.indicatorNames = ds.outputs();
+
+    for (std::size_t f = 0; f < options.folds; ++f) {
+        const data::Split split = kfold.split(ds, f);
+        auto model = factory();
+        model->fit(split.train);
+
+        const numeric::Matrix train_pred =
+            model->predictAll(split.train);
+        const numeric::Matrix val_pred =
+            model->predictAll(split.validation);
+
+        CvTrial trial;
+        trial.fold = f;
+        trial.training = data::evaluate(ds.outputs(),
+                                        split.train.yMatrix(),
+                                        train_pred);
+        trial.validation = data::evaluate(ds.outputs(),
+                                          split.validation.yMatrix(),
+                                          val_pred);
+        if (options.keepPredictions) {
+            trial.trainSet = split.train;
+            trial.validationSet = split.validation;
+            trial.trainPredicted = train_pred;
+            trial.validationPredicted = val_pred;
+        }
+        result.trials.push_back(std::move(trial));
+    }
+    return result;
+}
+
+std::string
+formatTable(const CvResult &result, bool percent)
+{
+    std::ostringstream os;
+    const double scale = percent ? 100.0 : 1.0;
+    const char *unit = percent ? " %" : "";
+
+    os << std::left << std::setw(8) << "Trial";
+    for (const auto &name : result.indicatorNames)
+        os << std::right << std::setw(22) << name;
+    os << '\n';
+
+    os << std::fixed << std::setprecision(percent ? 1 : 4);
+    for (const auto &trial : result.trials) {
+        os << std::left << std::setw(8) << (trial.fold + 1);
+        for (double e : trial.validation.harmonicError) {
+            std::ostringstream cell;
+            cell << std::fixed
+                 << std::setprecision(percent ? 1 : 4) << e * scale
+                 << unit;
+            os << std::right << std::setw(22) << cell.str();
+        }
+        os << '\n';
+    }
+
+    os << std::left << std::setw(8) << "Average";
+    for (double e : result.averageValidationError()) {
+        std::ostringstream cell;
+        cell << std::fixed << std::setprecision(percent ? 1 : 4)
+             << e * scale << unit;
+        os << std::right << std::setw(22) << cell.str();
+    }
+    os << '\n';
+    return os.str();
+}
+
+} // namespace model
+} // namespace wcnn

@@ -1,0 +1,137 @@
+#include "feature_models.hh"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "numeric/linalg.hh"
+
+namespace wcnn {
+namespace model {
+
+void
+FeatureExpansionModel::fit(const data::Dataset &ds)
+{
+    assert(!ds.empty());
+    xStd.fit(ds.xMatrix());
+
+    const std::size_t n = ds.size();
+    const numeric::Vector probe =
+        expand(xStd.transform(ds[0].x));
+    const std::size_t k = probe.size();
+
+    numeric::Matrix design(n, k);
+    for (std::size_t i = 0; i < n; ++i)
+        design.setRow(i, expand(xStd.transform(ds[i].x)));
+
+    coef = numeric::Matrix(k, ds.outputDim());
+    for (std::size_t j = 0; j < ds.outputDim(); ++j) {
+        const auto solution =
+            numeric::leastSquares(design, ds.yColumn(j), ridge);
+        assert(solution.has_value());
+        for (std::size_t r = 0; r < k; ++r)
+            coef(r, j) = (*solution)[r];
+    }
+}
+
+numeric::Vector
+FeatureExpansionModel::predict(const numeric::Vector &x) const
+{
+    assert(fitted());
+    const numeric::Vector phi = expand(xStd.transform(x));
+    assert(phi.size() == coef.rows());
+    numeric::Vector y(coef.cols(), 0.0);
+    for (std::size_t j = 0; j < coef.cols(); ++j) {
+        double acc = 0.0;
+        for (std::size_t r = 0; r < phi.size(); ++r)
+            acc += phi[r] * coef(r, j);
+        y[j] = acc;
+    }
+    return y;
+}
+
+PolynomialModel::PolynomialModel(std::size_t degree, double ridge)
+    : FeatureExpansionModel(ridge), degree(degree)
+{
+    assert(degree >= 1);
+}
+
+std::string
+PolynomialModel::name() const
+{
+    std::ostringstream os;
+    os << "polynomial(degree=" << degree << ")";
+    return os.str();
+}
+
+void
+PolynomialModel::buildExponents(std::size_t dims) const
+{
+    exponents.clear();
+    // Depth-first enumeration of all exponent tuples with total degree
+    // <= degree, in lexicographic order (constant term first).
+    std::vector<std::size_t> current(dims, 0);
+    const auto recurse = [&](auto &&self, std::size_t axis,
+                             std::size_t budget) -> void {
+        if (axis == dims) {
+            exponents.push_back(current);
+            return;
+        }
+        for (std::size_t e = 0; e <= budget; ++e) {
+            current[axis] = e;
+            self(self, axis + 1, budget - e);
+        }
+        current[axis] = 0;
+    };
+    recurse(recurse, 0, degree);
+}
+
+numeric::Vector
+PolynomialModel::expand(const numeric::Vector &z) const
+{
+    if (exponents.empty() || exponents.front().size() != z.size())
+        buildExponents(z.size());
+    numeric::Vector phi;
+    phi.reserve(exponents.size());
+    for (const auto &exps : exponents) {
+        double term = 1.0;
+        for (std::size_t j = 0; j < z.size(); ++j) {
+            for (std::size_t e = 0; e < exps[j]; ++e)
+                term *= z[j];
+        }
+        phi.push_back(term);
+    }
+    return phi;
+}
+
+LogarithmicModel::LogarithmicModel(double ridge)
+    : FeatureExpansionModel(ridge)
+{
+}
+
+numeric::Vector
+LogarithmicModel::expand(const numeric::Vector &z) const
+{
+    // Basis per input: the value itself, a symmetric log around the
+    // mean, and shifted logs anchored below the data range (z is
+    // standardized, so the bulk lies in [-3, 3]). The anchored terms
+    // capture saturating growth whose curvature concentrates at the
+    // range edge, e.g. log(1 + a x) workload laws.
+    numeric::Vector phi;
+    phi.reserve(1 + 4 * z.size());
+    phi.push_back(1.0);
+    for (double v : z)
+        phi.push_back(v);
+    for (double v : z) {
+        const double lg = std::log1p(std::fabs(v));
+        phi.push_back(v >= 0.0 ? lg : -lg);
+    }
+    for (double v : z)
+        phi.push_back(std::log(std::max(v + 2.0, 0.05)));
+    for (double v : z)
+        phi.push_back(std::log(std::max(v + 4.0, 0.05)));
+    return phi;
+}
+
+} // namespace model
+} // namespace wcnn

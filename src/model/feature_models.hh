@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Analytic non-linear baselines: polynomial and logarithmic regression.
+ *
+ * The paper's future work (section 7) proposes approximating the
+ * workload "with other non-linear functions such as polynomial and
+ * logarithmic functions" once the NN prototype has revealed the shape.
+ * Both models here are linear least squares over fixed non-linear
+ * feature expansions of the standardized inputs, so they fit in closed
+ * form and — unlike the MLP — remain analytically inspectable.
+ */
+
+#ifndef WCNN_MODEL_FEATURE_MODELS_HH
+#define WCNN_MODEL_FEATURE_MODELS_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "data/standardizer.hh"
+#include "model/model.hh"
+
+namespace wcnn {
+namespace model {
+
+/**
+ * Least-squares model over a caller-defined feature expansion of the
+ * standardized inputs. Base for the polynomial/logarithmic models.
+ */
+class FeatureExpansionModel : public PerformanceModel
+{
+  public:
+    void fit(const data::Dataset &ds) override;
+
+    numeric::Vector predict(const numeric::Vector &x) const override;
+
+    bool fitted() const override { return !coef.empty(); }
+
+    /** Number of expanded features (including the constant). */
+    std::size_t featureCount() const { return coef.rows(); }
+
+  protected:
+    /**
+     * @param ridge Tikhonov damping for the least-squares solve.
+     */
+    explicit FeatureExpansionModel(double ridge) : ridge(ridge) {}
+
+    /**
+     * Expand one standardized input vector into the feature vector
+     * (must include its own constant term if desired).
+     *
+     * @param z Standardized configuration.
+     */
+    virtual numeric::Vector expand(const numeric::Vector &z) const = 0;
+
+  private:
+    double ridge;
+    data::Standardizer xStd;
+    numeric::Matrix coef; // featureCount x outputDim
+};
+
+/**
+ * Full multivariate polynomial of bounded total degree (all monomials
+ * x1^a1 ... xn^an with a1+...+an <= degree).
+ */
+class PolynomialModel : public FeatureExpansionModel
+{
+  public:
+    /**
+     * @param degree Total degree bound (>= 1).
+     * @param ridge  Least-squares damping.
+     */
+    explicit PolynomialModel(std::size_t degree = 2,
+                             double ridge = 1e-8);
+
+    std::string name() const override;
+
+  protected:
+    numeric::Vector expand(const numeric::Vector &z) const override;
+
+  private:
+    /** Enumerate exponent tuples once per input arity. */
+    void buildExponents(std::size_t dims) const;
+
+    std::size_t degree;
+    mutable std::vector<std::vector<std::size_t>> exponents;
+};
+
+/**
+ * Logarithmic model: constant, linear terms and symmetric log terms
+ * sign(z) log(1 + |z|) per input, echoing the logarithmic networks of
+ * the paper's ref [23].
+ */
+class LogarithmicModel : public FeatureExpansionModel
+{
+  public:
+    /**
+     * @param ridge Least-squares damping.
+     */
+    explicit LogarithmicModel(double ridge = 1e-8);
+
+    std::string name() const override { return "logarithmic"; }
+
+  protected:
+    numeric::Vector expand(const numeric::Vector &z) const override;
+};
+
+} // namespace model
+} // namespace wcnn
+
+#endif // WCNN_MODEL_FEATURE_MODELS_HH

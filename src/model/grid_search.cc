@@ -1,0 +1,65 @@
+#include "grid_search.hh"
+
+#include <cassert>
+#include <limits>
+
+#include "data/metrics.hh"
+#include "data/split.hh"
+#include "numeric/rng.hh"
+#include "numeric/stats.hh"
+
+namespace wcnn {
+namespace model {
+
+GridSearchResult
+gridSearch(const NnModelOptions &base, const data::Dataset &ds,
+           const GridSearchOptions &options)
+{
+    assert(!options.hiddenUnits.empty());
+    assert(!options.targetLosses.empty());
+    assert(ds.size() >= 4);
+
+    numeric::Rng rng(options.seed);
+    const data::Split split =
+        data::trainValidationSplit(ds, options.trainFraction, rng);
+
+    GridSearchResult result;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t units : options.hiddenUnits) {
+        for (double target : options.targetLosses) {
+            NnModelOptions opts = base;
+            opts.hiddenUnits = {units};
+            opts.train.targetLoss = target;
+            NnModel candidate(opts);
+            candidate.fit(split.train);
+
+            const data::ErrorReport report = data::evaluate(
+                ds.outputs(), split.validation.yMatrix(),
+                candidate.predictAll(split.validation));
+            const double err =
+                numeric::mean(report.harmonicError);
+
+            if (err < best) {
+                best = err;
+                result.bestIndex = result.entries.size();
+            }
+            result.entries.push_back(
+                GridSearchEntry{units, target, err});
+        }
+    }
+    return result;
+}
+
+NnModelOptions
+tunedOptions(const NnModelOptions &base, const data::Dataset &ds,
+             const GridSearchOptions &options)
+{
+    const GridSearchResult result = gridSearch(base, ds, options);
+    NnModelOptions tuned = base;
+    tuned.hiddenUnits = {result.best().hiddenUnits};
+    tuned.train.targetLoss = result.best().targetLoss;
+    return tuned;
+}
+
+} // namespace model
+} // namespace wcnn

@@ -1,0 +1,52 @@
+#include "linear_model.hh"
+
+#include <cassert>
+
+#include "numeric/linalg.hh"
+
+namespace wcnn {
+namespace model {
+
+void
+LinearModel::fit(const data::Dataset &ds)
+{
+    assert(!ds.empty());
+    const std::size_t n = ds.size();
+    const std::size_t d = ds.inputDim();
+    const std::size_t m = ds.outputDim();
+
+    numeric::Matrix design(n, d + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto &x = ds[i].x;
+        for (std::size_t j = 0; j < d; ++j)
+            design(i, j) = x[j];
+        design(i, d) = 1.0; // intercept
+    }
+
+    coef = numeric::Matrix(d + 1, m);
+    for (std::size_t j = 0; j < m; ++j) {
+        const auto solution =
+            numeric::leastSquares(design, ds.yColumn(j), ridge);
+        assert(solution.has_value());
+        for (std::size_t r = 0; r <= d; ++r)
+            coef(r, j) = (*solution)[r];
+    }
+}
+
+numeric::Vector
+LinearModel::predict(const numeric::Vector &x) const
+{
+    assert(fitted());
+    assert(x.size() + 1 == coef.rows());
+    numeric::Vector y(coef.cols(), 0.0);
+    for (std::size_t j = 0; j < coef.cols(); ++j) {
+        double acc = coef(x.size(), j); // intercept
+        for (std::size_t r = 0; r < x.size(); ++r)
+            acc += coef(r, j) * x[r];
+        y[j] = acc;
+    }
+    return y;
+}
+
+} // namespace model
+} // namespace wcnn

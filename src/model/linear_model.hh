@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Linear baseline model.
+ *
+ * Prior work approximated multi-tier workloads with linear models fitted
+ * in a Design-of-Experiments style (paper refs [2, 20, 21], Chow et
+ * al.). This baseline is ordinary least squares with an intercept per
+ * indicator, optionally ridge-damped. The paper's thesis is that such
+ * models cannot capture the valleys and hills of section 5 — the
+ * model-comparison ablation quantifies exactly that.
+ */
+
+#ifndef WCNN_MODEL_LINEAR_MODEL_HH
+#define WCNN_MODEL_LINEAR_MODEL_HH
+
+#include "model/model.hh"
+
+namespace wcnn {
+namespace model {
+
+/**
+ * Ordinary-least-squares y = Bx + c model, one column per indicator.
+ */
+class LinearModel : public PerformanceModel
+{
+  public:
+    /**
+     * @param ridge Non-negative Tikhonov damping for the normal
+     *              equations (keeps degenerate designs solvable).
+     */
+    explicit LinearModel(double ridge = 1e-8) : ridge(ridge) {}
+
+    void fit(const data::Dataset &ds) override;
+
+    numeric::Vector predict(const numeric::Vector &x) const override;
+
+    bool fitted() const override { return !coef.empty(); }
+
+    std::string name() const override { return "linear"; }
+
+    /**
+     * Fitted coefficients: (inputDim + 1) x outputDim; the last row is
+     * the intercept.
+     */
+    const numeric::Matrix &coefficients() const { return coef; }
+
+  private:
+    double ridge;
+    numeric::Matrix coef;
+};
+
+} // namespace model
+} // namespace wcnn
+
+#endif // WCNN_MODEL_LINEAR_MODEL_HH

@@ -1,0 +1,29 @@
+#include "model.hh"
+
+#include <cassert>
+
+namespace wcnn {
+namespace model {
+
+numeric::Matrix
+PerformanceModel::predictAll(const numeric::Matrix &xs) const
+{
+    assert(fitted());
+    numeric::Matrix out;
+    for (std::size_t i = 0; i < xs.rows(); ++i) {
+        const numeric::Vector y = predict(xs.row(i));
+        if (i == 0)
+            out = numeric::Matrix(xs.rows(), y.size());
+        out.setRow(i, y);
+    }
+    return out;
+}
+
+numeric::Matrix
+PerformanceModel::predictAll(const data::Dataset &ds) const
+{
+    return predictAll(ds.xMatrix());
+}
+
+} // namespace model
+} // namespace wcnn

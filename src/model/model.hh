@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Abstract performance model.
+ *
+ * "In the abstract level, a model is a multivariate relation between the
+ * controllable parameters and the performance indicators" (paper
+ * section 1). Every model family in this library — the paper's neural
+ * network, the linear baseline of Chow et al., and the
+ * polynomial/logarithmic models of the paper's future work — implements
+ * this interface: fit on a sample collection, then predict indicators
+ * for unseen configurations.
+ */
+
+#ifndef WCNN_MODEL_MODEL_HH
+#define WCNN_MODEL_MODEL_HH
+
+#include <string>
+
+#include "data/dataset.hh"
+#include "numeric/matrix.hh"
+
+namespace wcnn {
+namespace model {
+
+/**
+ * Interface of a trainable configuration -> indicators model.
+ */
+class PerformanceModel
+{
+  public:
+    virtual ~PerformanceModel() = default;
+
+    /**
+     * Fit the model to a sample collection.
+     *
+     * @param ds Training samples; must be non-empty.
+     */
+    virtual void fit(const data::Dataset &ds) = 0;
+
+    /**
+     * Predict the indicators for one configuration.
+     *
+     * @param x Configuration vector of the dimensionality seen at fit().
+     * @return Indicator vector.
+     */
+    virtual numeric::Vector predict(const numeric::Vector &x) const = 0;
+
+    /** True once fit() has completed. */
+    virtual bool fitted() const = 0;
+
+    /** Model family name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Predict for every row of a configuration matrix.
+     *
+     * @param xs One configuration per row.
+     * @return One indicator row per configuration.
+     */
+    numeric::Matrix predictAll(const numeric::Matrix &xs) const;
+
+    /**
+     * Predict for every sample of a dataset.
+     *
+     * @param ds Samples whose configurations are evaluated.
+     * @return One indicator row per sample.
+     */
+    numeric::Matrix predictAll(const data::Dataset &ds) const;
+};
+
+} // namespace model
+} // namespace wcnn
+
+#endif // WCNN_MODEL_MODEL_HH

@@ -1,0 +1,154 @@
+#include "nn_model.hh"
+
+#include <cassert>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "nn/serialize.hh"
+#include "numeric/rng.hh"
+
+namespace wcnn {
+namespace model {
+
+NnModel::NnModel(NnModelOptions options) : opts(std::move(options)) {}
+
+void
+NnModel::fit(const data::Dataset &ds)
+{
+    assert(!ds.empty());
+
+    numeric::Matrix x = ds.xMatrix();
+    numeric::Matrix y = ds.yMatrix();
+
+    if (opts.standardizeInputs) {
+        xStd.fit(x);
+        x = xStd.transform(x);
+    } else {
+        xStd = data::Standardizer::identity(ds.inputDim());
+    }
+    if (opts.standardizeOutputs) {
+        yStd.fit(y);
+        y = yStd.transform(y);
+    } else {
+        yStd = data::Standardizer::identity(ds.outputDim());
+    }
+
+    numeric::Rng rng(opts.seed);
+    std::vector<nn::LayerSpec> layers;
+    for (std::size_t units : opts.hiddenUnits)
+        layers.push_back(nn::LayerSpec{units, opts.hiddenActivation});
+    layers.push_back(
+        nn::LayerSpec{ds.outputDim(), opts.outputActivation});
+    net = nn::Mlp(ds.inputDim(), std::move(layers), opts.initRule, rng);
+
+    nn::Trainer trainer(opts.train);
+    numeric::Rng shuffle_rng = rng.split();
+    lastResult = trainer.train(net, x, y, shuffle_rng);
+    isFitted = true;
+}
+
+numeric::Vector
+NnModel::predict(const numeric::Vector &x) const
+{
+    assert(isFitted);
+    return yStd.inverse(net.forward(xStd.transform(x)));
+}
+
+} // namespace model
+} // namespace wcnn
+
+namespace wcnn {
+namespace model {
+namespace {
+
+void
+writeMoments(std::ostream &os, const char *tag,
+             const data::Standardizer &std_)
+{
+    os << tag << ' ' << std_.dim();
+    os << std::setprecision(17);
+    for (double v : std_.means())
+        os << ' ' << v;
+    for (double v : std_.stddevs())
+        os << ' ' << v;
+    os << '\n';
+}
+
+data::Standardizer
+readMoments(std::istream &is, const char *tag)
+{
+    std::string token;
+    if (!(is >> token) || token != tag)
+        throw nn::SerializeError(std::string("expected ") + tag);
+    std::size_t d = 0;
+    if (!(is >> d))
+        throw nn::SerializeError("bad moment count");
+    numeric::Vector mu(d), sigma(d);
+    for (auto &v : mu)
+        if (!(is >> v))
+            throw nn::SerializeError("bad mean");
+    for (auto &v : sigma) {
+        if (!(is >> v) || v <= 0.0)
+            throw nn::SerializeError("bad scale");
+    }
+    return data::Standardizer::fromMoments(std::move(mu),
+                                           std::move(sigma));
+}
+
+} // namespace
+
+void
+NnModel::save(std::ostream &os) const
+{
+    assert(isFitted);
+    os << "wcnn-nn-model 1\n";
+    writeMoments(os, "x_moments", xStd);
+    writeMoments(os, "y_moments", yStd);
+    nn::Serializer::write(net, os);
+}
+
+void
+NnModel::save(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        throw nn::SerializeError("cannot open for writing: " + path);
+    save(os);
+    if (!os)
+        throw nn::SerializeError("write failed: " + path);
+}
+
+NnModel
+NnModel::load(std::istream &is)
+{
+    std::string magic;
+    int version = 0;
+    if (!(is >> magic >> version) || magic != "wcnn-nn-model" ||
+        version != 1) {
+        throw nn::SerializeError("not a wcnn-nn-model file");
+    }
+    NnModel mdl;
+    mdl.xStd = readMoments(is, "x_moments");
+    mdl.yStd = readMoments(is, "y_moments");
+    mdl.net = nn::Serializer::read(is);
+    if (mdl.net.inputDim() != mdl.xStd.dim() ||
+        mdl.net.outputDim() != mdl.yStd.dim()) {
+        throw nn::SerializeError(
+            "network arity does not match the stored moments");
+    }
+    mdl.isFitted = true;
+    return mdl;
+}
+
+NnModel
+NnModel::load(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw nn::SerializeError("cannot open for reading: " + path);
+    return load(is);
+}
+
+} // namespace model
+} // namespace wcnn

@@ -1,0 +1,29 @@
+#include "rbf_model.hh"
+
+#include <cassert>
+
+#include "numeric/rng.hh"
+
+namespace wcnn {
+namespace model {
+
+void
+RbfModel::fit(const data::Dataset &ds)
+{
+    assert(!ds.empty());
+    xStd.fit(ds.xMatrix());
+    yStd.fit(ds.yMatrix());
+    numeric::Rng rng(seed);
+    net.fit(xStd.transform(ds.xMatrix()), yStd.transform(ds.yMatrix()),
+            opts, rng);
+}
+
+numeric::Vector
+RbfModel::predict(const numeric::Vector &x) const
+{
+    assert(fitted());
+    return yStd.inverse(net.predict(xStd.transform(x)));
+}
+
+} // namespace model
+} // namespace wcnn

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * RBF-network performance model.
+ *
+ * Paper section 2.1: "In the function approximation area, single or
+ * multilayer perceptrons and Radial Bases Function (RBF) networks are
+ * used." This adapter puts the nn::RbfNetwork behind the
+ * PerformanceModel interface for the model-comparison ablation.
+ */
+
+#ifndef WCNN_MODEL_RBF_MODEL_HH
+#define WCNN_MODEL_RBF_MODEL_HH
+
+#include <cstdint>
+
+#include "data/standardizer.hh"
+#include "model/model.hh"
+#include "nn/rbf.hh"
+
+namespace wcnn {
+namespace model {
+
+/**
+ * Gaussian RBF network over standardized inputs and outputs.
+ */
+class RbfModel : public PerformanceModel
+{
+  public:
+    /**
+     * @param options Kernel-count and width hyperparameters.
+     * @param seed    Seed for k-means center selection.
+     */
+    explicit RbfModel(nn::RbfNetwork::Options options = {},
+                      std::uint64_t seed = 42)
+        : opts(options), seed(seed)
+    {
+    }
+
+    void fit(const data::Dataset &ds) override;
+
+    numeric::Vector predict(const numeric::Vector &x) const override;
+
+    bool fitted() const override { return net.fitted(); }
+
+    std::string name() const override { return "rbf"; }
+
+    /** Underlying network (valid after fit()). */
+    const nn::RbfNetwork &network() const { return net; }
+
+  private:
+    nn::RbfNetwork::Options opts;
+    std::uint64_t seed;
+    nn::RbfNetwork net;
+    data::Standardizer xStd;
+    data::Standardizer yStd;
+};
+
+} // namespace model
+} // namespace wcnn
+
+#endif // WCNN_MODEL_RBF_MODEL_HH

@@ -1,0 +1,108 @@
+#include "recommender.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "numeric/stats.hh"
+
+namespace wcnn {
+namespace model {
+
+double
+ScoringFunction::score(const numeric::Vector &y) const
+{
+    assert(y.size() == goals.size());
+    double total = 0.0;
+    for (std::size_t j = 0; j < goals.size(); ++j) {
+        const IndicatorGoal &goal = goals[j];
+        const double scale = goal.scale > 0.0 ? goal.scale : 1.0;
+        const double normalized = y[j] / scale;
+        total += goal.weight *
+                 (goal.higherIsBetter ? normalized : -normalized);
+        if (!std::isnan(goal.limit)) {
+            const bool violated = goal.higherIsBetter
+                                      ? y[j] < goal.limit
+                                      : y[j] > goal.limit;
+            if (violated)
+                total -= violationPenalty;
+        }
+    }
+    return total;
+}
+
+ScoringFunction
+ScoringFunction::forWorkload(const data::Dataset &ds)
+{
+    assert(ds.outputDim() >= 1);
+    ScoringFunction fn;
+    for (std::size_t j = 0; j < ds.outputDim(); ++j) {
+        IndicatorGoal goal;
+        goal.higherIsBetter = j + 1 == ds.outputDim(); // throughput last
+        goal.weight = 1.0;
+        const double mu = numeric::mean(ds.yColumn(j));
+        goal.scale = mu > 0.0 ? mu : 1.0;
+        fn.goals.push_back(goal);
+    }
+    return fn;
+}
+
+Recommender::Recommender(const PerformanceModel &mdl,
+                         std::vector<SearchAxis> axes)
+    : mdl(mdl), axes(std::move(axes))
+{
+    assert(mdl.fitted());
+    for (const auto &axis : this->axes) {
+        assert(axis.points >= 1);
+        assert(axis.hi >= axis.lo);
+    }
+}
+
+std::vector<Recommendation>
+Recommender::recommend(const ScoringFunction &fn, std::size_t k) const
+{
+    assert(k >= 1);
+    std::vector<Recommendation> best;
+
+    // Odometer enumeration of the full grid.
+    std::vector<std::size_t> ticks(axes.size(), 0);
+    numeric::Vector config(axes.size());
+    bool done = false;
+    while (!done) {
+        for (std::size_t d = 0; d < axes.size(); ++d) {
+            const SearchAxis &axis = axes[d];
+            config[d] =
+                axis.points == 1
+                    ? axis.lo
+                    : axis.lo + (axis.hi - axis.lo) *
+                                    static_cast<double>(ticks[d]) /
+                                    static_cast<double>(axis.points - 1);
+        }
+        Recommendation rec;
+        rec.config = config;
+        rec.predicted = mdl.predict(config);
+        rec.score = fn.score(rec.predicted);
+
+        // Insertion into the (small) top-k list.
+        const auto pos = std::find_if(
+            best.begin(), best.end(),
+            [&](const Recommendation &r) { return rec.score > r.score; });
+        best.insert(pos, std::move(rec));
+        if (best.size() > k)
+            best.pop_back();
+
+        // Advance the odometer.
+        done = true;
+        for (std::size_t d = 0; d < axes.size(); ++d) {
+            if (++ticks[d] < axes[d].points) {
+                done = false;
+                break;
+            }
+            ticks[d] = 0;
+        }
+    }
+    return best;
+}
+
+} // namespace model
+} // namespace wcnn

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Configuration recommender (paper section 5.3).
+ *
+ * "In addition, we can further build a system that recommends the best
+ * configuration according to a scoring function." The recommender
+ * searches the configuration space through the fitted model's
+ * predictions: each candidate is scored by a weighted combination of
+ * indicators (response times to minimize, throughput to maximize) with
+ * penalties for violated response-time constraints, and the top
+ * candidates are returned.
+ */
+
+#ifndef WCNN_MODEL_RECOMMENDER_HH
+#define WCNN_MODEL_RECOMMENDER_HH
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hh"
+#include "model/model.hh"
+
+namespace wcnn {
+namespace model {
+
+/** Per-indicator scoring terms. */
+struct IndicatorGoal
+{
+    /** Weight of this indicator in the score (>= 0). */
+    double weight = 1.0;
+
+    /** Larger values are better (throughput) vs worse (latency). */
+    bool higherIsBetter = false;
+
+    /**
+     * Hard constraint: lower-is-better indicators above this limit (or
+     * higher-is-better ones below it) incur the violation penalty.
+     * Defaults to "no constraint".
+     */
+    double limit = std::numeric_limits<double>::quiet_NaN();
+
+    /**
+     * Typical magnitude used to normalize this indicator's contribution
+     * so heterogeneous units are comparable; <= 0 means auto (derived
+     * from the dataset's column mean).
+     */
+    double scale = 0.0;
+};
+
+/** Scoring function over a predicted indicator vector. */
+struct ScoringFunction
+{
+    /** One goal per indicator, in column order. */
+    std::vector<IndicatorGoal> goals;
+
+    /** Additive penalty per violated constraint. */
+    double violationPenalty = 10.0;
+
+    /**
+     * Score a prediction (higher is better).
+     *
+     * @param y Indicator vector; size must equal goals.size().
+     */
+    double score(const numeric::Vector &y) const;
+
+    /**
+     * Convenience: minimize all response times and maximize throughput
+     * for the paper's 5-indicator workload, normalizing by the dataset
+     * column means.
+     *
+     * @param ds Sample collection supplying scales; its last output
+     *           column is treated as throughput.
+     */
+    static ScoringFunction forWorkload(const data::Dataset &ds);
+};
+
+/** One scored configuration. */
+struct Recommendation
+{
+    /** Configuration vector. */
+    numeric::Vector config;
+    /** Model-predicted indicators. */
+    numeric::Vector predicted;
+    /** Score (higher is better). */
+    double score = 0.0;
+};
+
+/** Search axes for the recommender. */
+struct SearchAxis
+{
+    /** Inclusive bounds. */
+    double lo = 0.0, hi = 1.0;
+    /** Grid resolution along this axis (>= 1). */
+    std::size_t points = 1;
+};
+
+/**
+ * Exhaustive grid search over the model's predictions.
+ */
+class Recommender
+{
+  public:
+    /**
+     * @param mdl  Fitted model (must outlive the recommender).
+     * @param axes One axis per input dimension.
+     */
+    Recommender(const PerformanceModel &mdl,
+                std::vector<SearchAxis> axes);
+
+    /**
+     * Best k configurations under a scoring function.
+     *
+     * @param fn Scoring function.
+     * @param k  Number of recommendations (>= 1).
+     * @return Top-k recommendations, best first.
+     */
+    std::vector<Recommendation> recommend(const ScoringFunction &fn,
+                                          std::size_t k = 1) const;
+
+  private:
+    const PerformanceModel &mdl;
+    std::vector<SearchAxis> axes;
+};
+
+} // namespace model
+} // namespace wcnn
+
+#endif // WCNN_MODEL_RECOMMENDER_HH

@@ -1,0 +1,136 @@
+#include "refine.hh"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <set>
+
+#include "numeric/rng.hh"
+
+namespace wcnn {
+namespace model {
+
+namespace {
+
+/** Quantized identity of a configuration, for dedup. */
+std::array<long long, 4>
+configKey(const numeric::Vector &x)
+{
+    assert(x.size() == 4);
+    return {static_cast<long long>(std::llround(x[0])),
+            static_cast<long long>(std::llround(x[1])),
+            static_cast<long long>(std::llround(x[2])),
+            static_cast<long long>(std::llround(x[3]))};
+}
+
+sim::ThreeTierConfig
+toConfig(const numeric::Vector &x)
+{
+    sim::ThreeTierConfig cfg;
+    cfg.injectionRate = x[0];
+    cfg.defaultQueue = x[1];
+    cfg.mfgQueue = x[2];
+    cfg.webQueue = x[3];
+    return cfg;
+}
+
+} // namespace
+
+AdaptiveResult
+adaptiveTune(const sim::SampleSpace &space, const sim::SampleFn &fn,
+             const ScoringFunction &score,
+             const AdaptiveTunerOptions &options)
+{
+    assert(options.initialSamples >= 4);
+    numeric::Rng rng(options.seed);
+
+    AdaptiveResult result;
+    result.measurements =
+        data::Dataset(sim::ThreeTierConfig::parameterNames(),
+                      sim::PerfSample::indicatorNames());
+    std::set<std::array<long long, 4>> measured;
+
+    const auto measure = [&](const sim::ThreeTierConfig &cfg) {
+        const sim::PerfSample sample = fn(cfg);
+        const numeric::Vector x = cfg.toVector();
+        const numeric::Vector y = sample.toVector();
+        result.measurements.add(x, y);
+        measured.insert(configKey(x));
+        const double s = score.score(y);
+        if (result.measurements.size() == 1 || s > result.bestScore) {
+            result.bestScore = s;
+            result.bestConfig = x;
+        }
+    };
+
+    // Round 0: space-filling design.
+    for (const auto &cfg : sim::latinHypercubeDesign(
+             space, options.initialSamples, rng)) {
+        measure(cfg);
+    }
+    result.history.push_back(AdaptiveRound{
+        0, result.measurements.size(), result.bestScore,
+        result.bestConfig});
+
+    const auto axes = std::vector<SearchAxis>{
+        SearchAxis{space.injectionRate.lo, space.injectionRate.hi,
+                   options.gridPointsPerAxis},
+        SearchAxis{space.defaultQueue.lo, space.defaultQueue.hi,
+                   options.gridPointsPerAxis},
+        SearchAxis{space.mfgQueue.lo, space.mfgQueue.hi,
+                   options.gridPointsPerAxis},
+        SearchAxis{space.webQueue.lo, space.webQueue.hi,
+                   options.gridPointsPerAxis}};
+
+    for (std::size_t round = 1; round <= options.rounds; ++round) {
+        auto surrogate_ptr = options.surrogateFactory();
+        PerformanceModel &surrogate = *surrogate_ptr;
+        surrogate.fit(result.measurements);
+
+        const std::size_t explore = static_cast<std::size_t>(
+            std::ceil(options.explorationFraction *
+                      static_cast<double>(options.batchPerRound)));
+        const std::size_t exploit =
+            options.batchPerRound > explore
+                ? options.batchPerRound - explore
+                : 0;
+
+        // Exploit: best predicted configurations not yet measured.
+        Recommender recommender(surrogate, axes);
+        const auto ranked = recommender.recommend(
+            score, options.batchPerRound * 8);
+        std::size_t taken = 0;
+        for (const auto &candidate : ranked) {
+            if (taken >= exploit)
+                break;
+            if (measured.count(configKey(candidate.config)))
+                continue;
+            measure(toConfig(candidate.config));
+            ++taken;
+        }
+
+        // Explore: uniform random draws (duplicates skipped).
+        auto random_cfgs =
+            sim::randomDesign(space, explore * 3 + 3, rng);
+        std::size_t explored = 0;
+        for (const auto &cfg : random_cfgs) {
+            if (explored >= explore)
+                break;
+            if (measured.count(configKey(cfg.toVector())))
+                continue;
+            measure(cfg);
+            ++explored;
+        }
+
+        result.history.push_back(AdaptiveRound{
+            round, result.measurements.size(), result.bestScore,
+            result.bestConfig});
+    }
+
+    result.surrogate = options.surrogateFactory();
+    result.surrogate->fit(result.measurements);
+    return result;
+}
+
+} // namespace model
+} // namespace wcnn

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Adaptive, model-guided experiment refinement.
+ *
+ * The paper's closing argument is that the model "can effectively
+ * narrow down the configuration combinations which we should
+ * concentrate [on], thus radically reducing ineffectual experiments".
+ * This module operationalizes that: in each round the surrogate is
+ * refitted on everything measured so far, the scoring function ranks
+ * candidate configurations by *predicted* merit, the most promising
+ * unmeasured candidates are actually run, and their measurements join
+ * the training set. The loop converges on good configurations using
+ * far fewer real experiments than blind sweeps.
+ */
+
+#ifndef WCNN_MODEL_REFINE_HH
+#define WCNN_MODEL_REFINE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include <memory>
+
+#include "model/cross_validation.hh"
+#include "model/nn_model.hh"
+#include "model/recommender.hh"
+#include "sim/sample_space.hh"
+
+namespace wcnn {
+namespace model {
+
+/** Options for the adaptive tuning loop. */
+struct AdaptiveTunerOptions
+{
+    /** Initial space-filling design size. */
+    std::size_t initialSamples = 16;
+
+    /** Refinement rounds after the initial design. */
+    std::size_t rounds = 5;
+
+    /** Configurations measured per round. */
+    std::size_t batchPerRound = 4;
+
+    /** Candidate-grid resolution per axis for the recommender. */
+    std::size_t gridPointsPerAxis = 9;
+
+    /**
+     * Fraction of each round's batch drawn uniformly at random
+     * instead of by predicted score (exploration).
+     */
+    double explorationFraction = 0.25;
+
+    /**
+     * Produces the fresh surrogate refitted each round. Defaults to
+     * the paper's NN model; a PolynomialModel factory suits smooth
+     * low-sample campaigns.
+     */
+    ModelFactory surrogateFactory =
+        [] { return std::make_unique<NnModel>(); };
+
+    /** Master seed. */
+    std::uint64_t seed = 17;
+};
+
+/** One round's bookkeeping. */
+struct AdaptiveRound
+{
+    /** Round number (0 = initial design). */
+    std::size_t round = 0;
+
+    /** Measurements taken so far (cumulative). */
+    std::size_t totalMeasurements = 0;
+
+    /** Best *measured* score so far. */
+    double bestScore = 0.0;
+
+    /** Configuration achieving bestScore. */
+    numeric::Vector bestConfig;
+};
+
+/** Outcome of a tuning campaign. */
+struct AdaptiveResult
+{
+    /** Per-round progress, including the initial design as round 0. */
+    std::vector<AdaptiveRound> history;
+
+    /** Every measurement taken (the final training set). */
+    data::Dataset measurements;
+
+    /** Final surrogate fitted on all measurements. */
+    std::unique_ptr<PerformanceModel> surrogate;
+
+    /** Best measured configuration overall. */
+    numeric::Vector bestConfig;
+
+    /** Its measured score. */
+    double bestScore = 0.0;
+};
+
+/**
+ * Run the adaptive tuning loop.
+ *
+ * @param space   Configuration-space bounds.
+ * @param fn      Real experiment (simulator run, typically averaged).
+ * @param score   Merit function over measured indicators.
+ * @param options Loop parameters.
+ */
+AdaptiveResult adaptiveTune(const sim::SampleSpace &space,
+                            const sim::SampleFn &fn,
+                            const ScoringFunction &score,
+                            const AdaptiveTunerOptions &options = {});
+
+} // namespace model
+} // namespace wcnn
+
+#endif // WCNN_MODEL_REFINE_HH

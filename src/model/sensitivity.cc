@@ -1,0 +1,108 @@
+#include "sensitivity.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace wcnn {
+namespace model {
+
+std::size_t
+SensitivityReport::dominantInput(std::size_t indicator) const
+{
+    assert(indicator < indicatorNames.size());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < inputNames.size(); ++i)
+        if (elasticity(i, indicator) > elasticity(best, indicator))
+            best = i;
+    return best;
+}
+
+std::string
+SensitivityReport::toText() const
+{
+    std::ostringstream os;
+    os << std::left << std::setw(18) << "input\\indicator";
+    for (const auto &name : indicatorNames)
+        os << std::right << std::setw(20) << name;
+    os << '\n';
+    os << std::fixed << std::setprecision(3);
+    for (std::size_t i = 0; i < inputNames.size(); ++i) {
+        os << std::left << std::setw(18) << inputNames[i];
+        for (std::size_t j = 0; j < indicatorNames.size(); ++j) {
+            std::ostringstream cell;
+            cell << std::fixed << std::setprecision(3)
+                 << elasticity(i, j)
+                 << (direction(i, j) >= 0.0 ? "(+)" : "(-)");
+            os << std::right << std::setw(20) << cell.str();
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+SensitivityReport
+analyzeSensitivity(const PerformanceModel &mdl, const data::Dataset &ds,
+                   const SensitivityOptions &options)
+{
+    assert(mdl.fitted());
+    assert(!ds.empty());
+    const std::size_t d = ds.inputDim();
+    const std::size_t m = ds.outputDim();
+
+    // Observed ranges normalize both axes of the derivative.
+    numeric::Vector x_lo(d), x_hi(d), y_lo(m), y_hi(m);
+    for (std::size_t j = 0; j < d; ++j) {
+        const auto col = ds.xColumn(j);
+        x_lo[j] = *std::min_element(col.begin(), col.end());
+        x_hi[j] = *std::max_element(col.begin(), col.end());
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+        const auto col = ds.yColumn(j);
+        y_lo[j] = *std::min_element(col.begin(), col.end());
+        y_hi[j] = *std::max_element(col.begin(), col.end());
+    }
+
+    SensitivityReport report;
+    report.inputNames = ds.inputs();
+    report.indicatorNames = ds.outputs();
+    report.elasticity = numeric::Matrix(d, m);
+    report.direction = numeric::Matrix(d, m);
+
+    const std::size_t stride = std::max<std::size_t>(
+        1, ds.size() / std::min(options.maxProbes, ds.size()));
+    std::size_t probes = 0;
+    for (std::size_t s = 0; s < ds.size(); s += stride) {
+        ++probes;
+        for (std::size_t i = 0; i < d; ++i) {
+            const double range_x = x_hi[i] - x_lo[i];
+            if (range_x <= 0.0)
+                continue;
+            const double h = options.stepFraction * range_x;
+            numeric::Vector up = ds[s].x;
+            numeric::Vector down = ds[s].x;
+            up[i] += h;
+            down[i] -= h;
+            const numeric::Vector y_up = mdl.predict(up);
+            const numeric::Vector y_down = mdl.predict(down);
+            for (std::size_t j = 0; j < m; ++j) {
+                const double range_y =
+                    std::max(y_hi[j] - y_lo[j], 1e-12);
+                const double grad =
+                    (y_up[j] - y_down[j]) / (2.0 * h);
+                const double scaled = grad * range_x / range_y;
+                report.elasticity(i, j) += std::fabs(scaled);
+                report.direction(i, j) += scaled;
+            }
+        }
+    }
+    const double inv = 1.0 / static_cast<double>(probes);
+    report.elasticity *= inv;
+    report.direction *= inv;
+    return report;
+}
+
+} // namespace model
+} // namespace wcnn

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sensitivity analysis of a fitted performance model.
+ *
+ * The paper concedes that "it is hard to perform a quantitative
+ * analysis for a complete understanding of the individual contribution
+ * of a particular feature to the output" — the price of the NN's
+ * generality. This module recovers a numeric approximation of exactly
+ * that: per-(input, indicator) elasticities estimated by central
+ * finite differences of the surrogate, averaged over the sampled
+ * configurations, normalized so the entries of one indicator's row are
+ * comparable across inputs.
+ */
+
+#ifndef WCNN_MODEL_SENSITIVITY_HH
+#define WCNN_MODEL_SENSITIVITY_HH
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hh"
+#include "model/model.hh"
+
+namespace wcnn {
+namespace model {
+
+/** Options for analyzeSensitivity(). */
+struct SensitivityOptions
+{
+    /**
+     * Finite-difference step as a fraction of each input's observed
+     * range.
+     */
+    double stepFraction = 0.02;
+
+    /**
+     * Evaluate the differences at at most this many sample points
+     * (evenly strided through the dataset).
+     */
+    std::size_t maxProbes = 64;
+};
+
+/** Per-input/per-indicator sensitivity table. */
+struct SensitivityReport
+{
+    /** Input names (rows of the tables). */
+    std::vector<std::string> inputNames;
+    /** Indicator names (columns). */
+    std::vector<std::string> indicatorNames;
+
+    /**
+     * Mean |dY/dX| * range(X) / range(Y): the fraction of the
+     * indicator's observed range a full swing of the input can move,
+     * averaged over probe points.
+     */
+    numeric::Matrix elasticity;
+
+    /**
+     * Signed mean dY/dX * range(X) / range(Y): direction of the
+     * average effect (positive = indicator grows with the input).
+     */
+    numeric::Matrix direction;
+
+    /**
+     * The input with the largest elasticity for one indicator.
+     *
+     * @param indicator Indicator column.
+     */
+    std::size_t dominantInput(std::size_t indicator) const;
+
+    /** Formatted table (inputs x indicators). */
+    std::string toText() const;
+};
+
+/**
+ * Estimate sensitivities of a fitted model over a dataset's region.
+ *
+ * @param mdl     Fitted model.
+ * @param ds      Samples defining probe points and ranges.
+ * @param options Step size and probe budget.
+ */
+SensitivityReport analyzeSensitivity(const PerformanceModel &mdl,
+                                     const data::Dataset &ds,
+                                     const SensitivityOptions &options
+                                     = {});
+
+} // namespace model
+} // namespace wcnn
+
+#endif // WCNN_MODEL_SENSITIVITY_HH

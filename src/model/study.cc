@@ -1,0 +1,84 @@
+#include "study.hh"
+
+#include <cmath>
+
+#include "numeric/rng.hh"
+
+namespace wcnn {
+namespace model {
+
+StudyResult
+runStudy(const StudyOptions &options)
+{
+    StudyResult result;
+
+    // 1. Experiment design + sample collection: a Latin hypercube over
+    // the full space plus a grid anchored at the analysis slice.
+    numeric::Rng rng(options.seed);
+    auto configs = sim::latinHypercubeDesign(
+        options.space, options.designSamples, rng);
+    if (options.sliceAnchorsPerAxis > 0) {
+        const std::size_t k = options.sliceAnchorsPerAxis;
+        for (std::size_t i = 0; i < k; ++i) {
+            for (std::size_t j = 0; j < k; ++j) {
+                sim::ThreeTierConfig cfg;
+                cfg.injectionRate = 560.0;
+                cfg.mfgQueue = 16.0;
+                const auto frac = [k](std::size_t t) {
+                    return k == 1 ? 0.5
+                                  : static_cast<double>(t) /
+                                        static_cast<double>(k - 1);
+                };
+                cfg.defaultQueue = std::round(
+                    options.space.defaultQueue.lo +
+                    frac(i) * (options.space.defaultQueue.hi -
+                               options.space.defaultQueue.lo));
+                cfg.webQueue = std::round(
+                    options.space.webQueue.lo +
+                    frac(j) * (options.space.webQueue.hi -
+                               options.space.webQueue.lo));
+                // Anchors feed the section-5 surface analysis, so
+                // they get longer measurement windows than the
+                // space-filling samples (less sampling noise exactly
+                // where the figures are drawn).
+                cfg.warmup = 40.0;
+                cfg.measure = 240.0;
+                configs.push_back(cfg);
+            }
+        }
+    }
+    if (options.source == StudyOptions::Source::Simulator) {
+        result.dataset = sim::collectSimulated(
+            configs, options.params, options.seed, options.replicates);
+    } else {
+        result.dataset = sim::collectAnalytic(configs, options.params);
+    }
+
+    // 2. Hyperparameter tuning (automated version of the paper's
+    // hand-tuned first trial).
+    result.tunedNn = options.nn;
+    if (options.tune) {
+        GridSearchOptions tuning = options.tuning;
+        tuning.seed = options.seed + 1;
+        result.tuning = gridSearch(options.nn, result.dataset, tuning);
+        result.tunedNn.hiddenUnits = {result.tuning.best().hiddenUnits};
+        result.tunedNn.train.targetLoss =
+            result.tuning.best().targetLoss;
+    }
+
+    // 3. k-fold cross validation with the tuned settings.
+    CvOptions cv = options.cv;
+    cv.seed = options.seed + 2;
+    const NnModelOptions tuned = result.tunedNn;
+    result.cv = crossValidate(
+        [&tuned]() { return std::make_unique<NnModel>(tuned); },
+        result.dataset, cv);
+
+    // 4. Final surrogate on all samples.
+    result.finalModel = NnModel(result.tunedNn);
+    result.finalModel.fit(result.dataset);
+    return result;
+}
+
+} // namespace model
+} // namespace wcnn

@@ -1,0 +1,201 @@
+#include "surface.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace wcnn {
+namespace model {
+
+namespace {
+
+std::vector<double>
+linspace(double lo, double hi, std::size_t n)
+{
+    assert(n >= 2);
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        v[i] = lo + (hi - lo) * static_cast<double>(i) /
+                        static_cast<double>(n - 1);
+    }
+    return v;
+}
+
+} // namespace
+
+double
+SurfaceGrid::zMin(std::size_t *ai, std::size_t *bj) const
+{
+    double best = z(0, 0);
+    std::size_t bi = 0, bb = 0;
+    for (std::size_t i = 0; i < z.rows(); ++i) {
+        for (std::size_t j = 0; j < z.cols(); ++j) {
+            if (z(i, j) < best) {
+                best = z(i, j);
+                bi = i;
+                bb = j;
+            }
+        }
+    }
+    if (ai)
+        *ai = bi;
+    if (bj)
+        *bj = bb;
+    return best;
+}
+
+double
+SurfaceGrid::zMax(std::size_t *ai, std::size_t *bj) const
+{
+    double best = z(0, 0);
+    std::size_t bi = 0, bb = 0;
+    for (std::size_t i = 0; i < z.rows(); ++i) {
+        for (std::size_t j = 0; j < z.cols(); ++j) {
+            if (z(i, j) > best) {
+                best = z(i, j);
+                bi = i;
+                bb = j;
+            }
+        }
+    }
+    if (ai)
+        *ai = bi;
+    if (bj)
+        *bj = bb;
+    return best;
+}
+
+std::string
+SurfaceGrid::toText() const
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3);
+    os << std::setw(10) << (axisAName + "\\" + axisBName);
+    for (double b : bValues)
+        os << std::setw(9) << b;
+    os << '\n';
+    for (std::size_t i = 0; i < aValues.size(); ++i) {
+        os << std::setw(10) << aValues[i];
+        for (std::size_t j = 0; j < bValues.size(); ++j)
+            os << std::setw(9) << z(i, j);
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+SurfaceGrid::toHeatmap() const
+{
+    // Nine-step brightness ramp; '.'=low, '@'=high.
+    static const char ramp[] = " .:-=+*#%@";
+    const double lo = zMin();
+    const double hi = zMax();
+    const double span = hi - lo;
+
+    std::ostringstream os;
+    os << indicatorName << "  [" << ramp[1] << " = " << std::fixed
+       << std::setprecision(3) << lo << ", " << ramp[9] << " = " << hi
+       << "]\n";
+    for (std::size_t i = aValues.size(); i-- > 0;) {
+        os << std::setw(8) << std::setprecision(1) << aValues[i]
+           << " |";
+        for (std::size_t j = 0; j < bValues.size(); ++j) {
+            int level = 1;
+            if (span > 0.0) {
+                level = 1 + static_cast<int>(
+                                8.0 * (z(i, j) - lo) / span + 0.5);
+                level = std::max(1, std::min(9, level));
+            }
+            os << ' ' << ramp[level];
+        }
+        os << '\n';
+    }
+    os << std::setw(8) << ' ' << " +";
+    for (std::size_t j = 0; j < bValues.size(); ++j)
+        os << "--";
+    os << '\n' << std::setw(10) << ' ';
+    for (std::size_t j = 0; j < bValues.size(); ++j) {
+        if (j % 2 == 0) {
+            os << std::setw(4) << std::setprecision(0)
+               << bValues[j];
+        }
+    }
+    os << '\n' << std::setw(10) << ' ' << axisAName
+       << " (rows, bottom-up) vs " << axisBName << " (cols)\n";
+    return os.str();
+}
+
+SurfaceGrid
+sweepSurface(const PerformanceModel &mdl, const SurfaceRequest &request,
+             const data::Dataset &ds)
+{
+    assert(mdl.fitted());
+    assert(request.axisA != request.axisB);
+    assert(request.axisA < ds.inputDim());
+    assert(request.axisB < ds.inputDim());
+    assert(request.indicator < ds.outputDim());
+    assert(request.fixed.size() == ds.inputDim());
+
+    SurfaceGrid grid;
+    grid.axisAName = ds.inputs()[request.axisA];
+    grid.axisBName = ds.inputs()[request.axisB];
+    grid.indicatorName = ds.outputs()[request.indicator];
+
+    std::ostringstream label;
+    label << '(';
+    for (std::size_t j = 0; j < request.fixed.size(); ++j) {
+        if (j)
+            label << ", ";
+        if (j == request.axisA)
+            label << 'x';
+        else if (j == request.axisB)
+            label << 'y';
+        else
+            label << request.fixed[j];
+    }
+    label << ')';
+    grid.sliceLabel = label.str();
+
+    grid.aValues = linspace(request.loA, request.hiA, request.pointsA);
+    grid.bValues = linspace(request.loB, request.hiB, request.pointsB);
+    grid.z = numeric::Matrix(request.pointsA, request.pointsB);
+
+    numeric::Vector probe = request.fixed;
+    for (std::size_t i = 0; i < grid.aValues.size(); ++i) {
+        probe[request.axisA] = grid.aValues[i];
+        for (std::size_t j = 0; j < grid.bValues.size(); ++j) {
+            probe[request.axisB] = grid.bValues[j];
+            grid.z(i, j) = mdl.predict(probe)[request.indicator];
+        }
+    }
+    return grid;
+}
+
+std::vector<std::array<double, 3>>
+sliceSamples(const data::Dataset &ds, const SurfaceRequest &request,
+             double tolerance)
+{
+    std::vector<std::array<double, 3>> out;
+    for (const auto &sample : ds) {
+        bool on_slice = true;
+        for (std::size_t j = 0; j < sample.x.size(); ++j) {
+            if (j == request.axisA || j == request.axisB)
+                continue;
+            if (std::fabs(sample.x[j] - request.fixed[j]) > tolerance) {
+                on_slice = false;
+                break;
+            }
+        }
+        if (on_slice) {
+            out.push_back({sample.x[request.axisA],
+                           sample.x[request.axisB],
+                           sample.y[request.indicator]});
+        }
+    }
+    return out;
+}
+
+} // namespace model
+} // namespace wcnn

@@ -1,0 +1,126 @@
+#include "activation.hh"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace wcnn {
+namespace nn {
+
+Activation
+Activation::logistic(double slope)
+{
+    assert(slope > 0.0);
+    return Activation(Kind::Logistic, slope);
+}
+
+Activation
+Activation::tanh()
+{
+    return Activation(Kind::Tanh, 1.0);
+}
+
+Activation
+Activation::relu()
+{
+    return Activation(Kind::Relu, 1.0);
+}
+
+Activation
+Activation::identity()
+{
+    return Activation(Kind::Identity, 1.0);
+}
+
+Activation
+Activation::logarithmic(double slope)
+{
+    assert(slope > 0.0);
+    return Activation(Kind::Logarithmic, slope);
+}
+
+double
+Activation::value(double x) const
+{
+    switch (fnKind) {
+      case Kind::Logistic:
+        return 1.0 / (1.0 + std::exp(-slopeParam * x));
+      case Kind::Tanh:
+        return std::tanh(x);
+      case Kind::Relu:
+        return x > 0.0 ? x : 0.0;
+      case Kind::Identity:
+        return x;
+      case Kind::Logarithmic:
+        return x >= 0.0 ? std::log1p(slopeParam * x)
+                        : -std::log1p(-slopeParam * x);
+    }
+    return x; // unreachable
+}
+
+double
+Activation::derivative(double x, double fx) const
+{
+    switch (fnKind) {
+      case Kind::Logistic:
+        return slopeParam * fx * (1.0 - fx);
+      case Kind::Tanh:
+        return 1.0 - fx * fx;
+      case Kind::Relu:
+        return x > 0.0 ? 1.0 : 0.0;
+      case Kind::Identity:
+        return 1.0;
+      case Kind::Logarithmic:
+        return slopeParam / (1.0 + slopeParam * std::fabs(x));
+    }
+    return 1.0; // unreachable
+}
+
+std::string
+Activation::name() const
+{
+    std::ostringstream os;
+    switch (fnKind) {
+      case Kind::Logistic:
+        os << "logistic(a=" << slopeParam << ")";
+        break;
+      case Kind::Tanh:
+        os << "tanh";
+        break;
+      case Kind::Relu:
+        os << "relu";
+        break;
+      case Kind::Identity:
+        os << "identity";
+        break;
+      case Kind::Logarithmic:
+        os << "logarithmic(a=" << slopeParam << ")";
+        break;
+    }
+    return os.str();
+}
+
+Activation
+Activation::parse(const std::string &text)
+{
+    if (text == "tanh")
+        return tanh();
+    if (text == "relu")
+        return relu();
+    if (text == "identity")
+        return identity();
+    const auto parse_slope = [&text](const std::string &prefix) {
+        const std::string inner =
+            text.substr(prefix.size(), text.size() - prefix.size() - 1);
+        return std::stod(inner);
+    };
+    if (text.rfind("logistic(a=", 0) == 0 && text.back() == ')')
+        return logistic(parse_slope("logistic(a="));
+    if (text.rfind("logarithmic(a=", 0) == 0 && text.back() == ')')
+        return logarithmic(parse_slope("logarithmic(a="));
+    throw std::invalid_argument("unknown activation: " + text);
+}
+
+} // namespace nn
+} // namespace wcnn

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Perceptron activation ("squashing") functions.
+ *
+ * The paper (section 2.1) builds perceptrons around a sigmoid activation
+ * — the logistic function with a slope parameter `a` that controls the
+ * fuzziness of the decision boundary and approaches a hard limiter as |a|
+ * grows (Fig. 2). We additionally provide tanh, ReLU, identity (for
+ * regression output layers) and a symmetric logarithmic activation in the
+ * spirit of Hines '96 (the paper's ref [23]) for the extrapolation
+ * ablation.
+ *
+ * Note: the paper prints the logistic as 1/(1+exp(ax)); that form is
+ * *decreasing* for a > 0, while its Fig. 2 plots the increasing curve.
+ * We implement the standard increasing form 1/(1+exp(-ax)).
+ */
+
+#ifndef WCNN_NN_ACTIVATION_HH
+#define WCNN_NN_ACTIVATION_HH
+
+#include <string>
+
+namespace wcnn {
+namespace nn {
+
+/**
+ * Value-type activation function with analytic derivative.
+ *
+ * Instances are small, copyable and trivially comparable; construct them
+ * with the named factories.
+ */
+class Activation
+{
+  public:
+    /** Supported function families. */
+    enum class Kind
+    {
+        Logistic,    ///< 1 / (1 + exp(-a x)), range (0, 1)
+        Tanh,        ///< tanh(x), range (-1, 1)
+        Relu,        ///< max(0, x)
+        Identity,    ///< x (linear output units)
+        Logarithmic, ///< sign(x) * log(1 + a |x|), unbounded (Hines '96)
+    };
+
+    /**
+     * Logistic sigmoid with slope parameter.
+     *
+     * @param slope The paper's `a`; must be > 0.
+     */
+    static Activation logistic(double slope = 1.0);
+
+    /** Hyperbolic tangent. */
+    static Activation tanh();
+
+    /** Rectified linear unit. */
+    static Activation relu();
+
+    /** Identity (linear) unit, used for regression output layers. */
+    static Activation identity();
+
+    /**
+     * Symmetric logarithmic unit sign(x) log(1 + a|x|): monotone and
+     * unbounded, so networks using it extrapolate more gracefully than
+     * saturating sigmoids.
+     *
+     * @param slope Scale parameter a; must be > 0.
+     */
+    static Activation logarithmic(double slope = 1.0);
+
+    /** Defaults to the paper's unit-slope logistic. */
+    Activation() : fnKind(Kind::Logistic), slopeParam(1.0) {}
+
+    /** Function family. */
+    Kind kind() const { return fnKind; }
+
+    /** Slope parameter (meaningful for Logistic and Logarithmic). */
+    double slope() const { return slopeParam; }
+
+    /**
+     * Evaluate f(x).
+     *
+     * @param x Pre-activation (weighted sum minus bias).
+     */
+    double value(double x) const;
+
+    /**
+     * Evaluate f'(x).
+     *
+     * @param x  Pre-activation.
+     * @param fx Previously computed f(x) — lets the sigmoid reuse
+     *           fx(1-fx) without re-exponentiating.
+     */
+    double derivative(double x, double fx) const;
+
+    /** Short name, e.g. "logistic(a=1)", for serialization and dumps. */
+    std::string name() const;
+
+    /**
+     * Parse a name produced by name().
+     *
+     * @param text Serialized form.
+     * @throws std::invalid_argument on unknown text.
+     */
+    static Activation parse(const std::string &text);
+
+    /** Structural equality. */
+    bool operator==(const Activation &other) const = default;
+
+  private:
+    Activation(Kind kind, double slope_param)
+        : fnKind(kind), slopeParam(slope_param)
+    {
+    }
+
+    Kind fnKind;
+    double slopeParam;
+};
+
+} // namespace nn
+} // namespace wcnn
+
+#endif // WCNN_NN_ACTIVATION_HH

@@ -1,0 +1,43 @@
+#include "initializer.hh"
+
+#include <cmath>
+
+#include "numeric/rng.hh"
+
+namespace wcnn {
+namespace nn {
+
+numeric::Matrix
+initWeights(InitRule rule, std::size_t fan_out, std::size_t fan_in,
+            numeric::Rng &rng)
+{
+    double bound = 0.5;
+    switch (rule) {
+      case InitRule::SmallUniform:
+        bound = 0.5;
+        break;
+      case InitRule::Xavier:
+        bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+        break;
+      case InitRule::He:
+        bound = std::sqrt(6.0 / static_cast<double>(fan_in));
+        break;
+      case InitRule::Zero:
+        return numeric::Matrix(fan_out, fan_in, 0.0);
+    }
+    return numeric::Matrix::random(fan_out, fan_in, rng, -bound, bound);
+}
+
+numeric::Vector
+initBiases(InitRule rule, std::size_t fan_out, numeric::Rng &rng)
+{
+    if (rule == InitRule::Zero)
+        return numeric::Vector(fan_out, 0.0);
+    numeric::Vector b(fan_out);
+    for (auto &v : b)
+        v = rng.uniform(-0.1, 0.1);
+    return b;
+}
+
+} // namespace nn
+} // namespace wcnn

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Weight initialization rules.
+ *
+ * The paper (section 3.1) notes that weights and biases are initialized
+ * with random values when training begins, and that this interacts with
+ * input standardization: un-standardized inputs plus small random weights
+ * put the initial hyperplanes where they miss the sample cloud entirely,
+ * stranding gradient descent in a local minimum. The paper's rule is
+ * small uniform noise; Xavier/He variants are provided for the ablations.
+ */
+
+#ifndef WCNN_NN_INITIALIZER_HH
+#define WCNN_NN_INITIALIZER_HH
+
+#include <cstddef>
+
+#include "numeric/matrix.hh"
+
+namespace wcnn {
+namespace numeric {
+class Rng;
+} // namespace numeric
+
+namespace nn {
+
+/** Initialization rule selector. */
+enum class InitRule
+{
+    /** Uniform in [-0.5, 0.5] (classic small random values). */
+    SmallUniform,
+    /** Xavier/Glorot uniform: +-sqrt(6 / (fan_in + fan_out)). */
+    Xavier,
+    /** He uniform: +-sqrt(6 / fan_in), suited to ReLU layers. */
+    He,
+    /** All zeros — degenerate on purpose, for tests of symmetry breaking. */
+    Zero,
+};
+
+/**
+ * Draw a weight matrix for a layer.
+ *
+ * @param rule    Initialization rule.
+ * @param fan_out Number of units in the layer (matrix rows).
+ * @param fan_in  Number of inputs per unit (matrix columns).
+ * @param rng     Generator to draw from.
+ */
+numeric::Matrix initWeights(InitRule rule, std::size_t fan_out,
+                            std::size_t fan_in, numeric::Rng &rng);
+
+/**
+ * Draw a bias vector for a layer. All rules start biases at small uniform
+ * noise except Zero.
+ *
+ * @param rule    Initialization rule.
+ * @param fan_out Number of units in the layer.
+ * @param rng     Generator to draw from.
+ */
+numeric::Vector initBiases(InitRule rule, std::size_t fan_out,
+                           numeric::Rng &rng);
+
+} // namespace nn
+} // namespace wcnn
+
+#endif // WCNN_NN_INITIALIZER_HH

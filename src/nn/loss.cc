@@ -1,0 +1,46 @@
+#include "loss.hh"
+
+#include <cassert>
+
+namespace wcnn {
+namespace nn {
+
+double
+mseLoss(const numeric::Vector &predicted, const numeric::Vector &target)
+{
+    assert(predicted.size() == target.size());
+    assert(!predicted.empty());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double d = predicted[i] - target[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(predicted.size());
+}
+
+numeric::Vector
+mseGradient(const numeric::Vector &predicted,
+            const numeric::Vector &target)
+{
+    assert(predicted.size() == target.size());
+    numeric::Vector g(predicted.size());
+    const double scale = 2.0 / static_cast<double>(predicted.size());
+    for (std::size_t i = 0; i < predicted.size(); ++i)
+        g[i] = scale * (predicted[i] - target[i]);
+    return g;
+}
+
+double
+sseLoss(const numeric::Vector &predicted, const numeric::Vector &target)
+{
+    assert(predicted.size() == target.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < predicted.size(); ++i) {
+        const double d = predicted[i] - target[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+} // namespace nn
+} // namespace wcnn

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Loss functions for gradient-descent training.
+ *
+ * The paper's training objective is minimizing ||Y_hat - Y|| over the
+ * training samples (section 2.2); we use the conventional mean-squared
+ * error whose gradient is linear in the residual.
+ */
+
+#ifndef WCNN_NN_LOSS_HH
+#define WCNN_NN_LOSS_HH
+
+#include "numeric/matrix.hh"
+
+namespace wcnn {
+namespace nn {
+
+/**
+ * Mean-squared error over one sample: (1/m) sum_j (pred_j - target_j)^2.
+ *
+ * @param predicted Network output.
+ * @param target    Desired output, same size.
+ */
+double mseLoss(const numeric::Vector &predicted,
+               const numeric::Vector &target);
+
+/**
+ * Gradient of mseLoss with respect to the prediction:
+ * (2/m) (pred - target).
+ *
+ * @param predicted Network output.
+ * @param target    Desired output, same size.
+ */
+numeric::Vector mseGradient(const numeric::Vector &predicted,
+                            const numeric::Vector &target);
+
+/**
+ * Sum of squared errors over one sample (no 1/m normalization).
+ */
+double sseLoss(const numeric::Vector &predicted,
+               const numeric::Vector &target);
+
+} // namespace nn
+} // namespace wcnn
+
+#endif // WCNN_NN_LOSS_HH

@@ -1,0 +1,192 @@
+#include "mlp.hh"
+
+#include <cassert>
+#include <sstream>
+
+#include "numeric/rng.hh"
+
+namespace wcnn {
+namespace nn {
+
+void
+Gradients::add(const Gradients &other)
+{
+    assert(weightGrads.size() == other.weightGrads.size());
+    for (std::size_t l = 0; l < weightGrads.size(); ++l) {
+        weightGrads[l] += other.weightGrads[l];
+        for (std::size_t i = 0; i < biasGrads[l].size(); ++i)
+            biasGrads[l][i] += other.biasGrads[l][i];
+    }
+}
+
+void
+Gradients::scale(double s)
+{
+    for (std::size_t l = 0; l < weightGrads.size(); ++l) {
+        weightGrads[l] *= s;
+        for (auto &b : biasGrads[l])
+            b *= s;
+    }
+}
+
+double
+Gradients::squaredNorm() const
+{
+    double acc = 0.0;
+    for (std::size_t l = 0; l < weightGrads.size(); ++l) {
+        for (double w : weightGrads[l].data())
+            acc += w * w;
+        for (double b : biasGrads[l])
+            acc += b * b;
+    }
+    return acc;
+}
+
+Mlp::Mlp(std::size_t input_dim, std::vector<LayerSpec> layers,
+         InitRule rule, numeric::Rng &rng)
+    : nInputs(input_dim), specs(std::move(layers))
+{
+    assert(nInputs > 0);
+    assert(!specs.empty());
+    std::size_t fan_in = nInputs;
+    for (const auto &spec : specs) {
+        assert(spec.units > 0);
+        weightsPerLayer.push_back(
+            initWeights(rule, spec.units, fan_in, rng));
+        biasesPerLayer.push_back(initBiases(rule, spec.units, rng));
+        fan_in = spec.units;
+    }
+}
+
+std::size_t
+Mlp::outputDim() const
+{
+    return specs.empty() ? 0 : specs.back().units;
+}
+
+std::size_t
+Mlp::parameterCount() const
+{
+    std::size_t count = 0;
+    for (std::size_t l = 0; l < specs.size(); ++l)
+        count += weightsPerLayer[l].size() + biasesPerLayer[l].size();
+    return count;
+}
+
+numeric::Vector
+Mlp::forward(const numeric::Vector &x) const
+{
+    assert(x.size() == nInputs);
+    numeric::Vector act = x;
+    for (std::size_t l = 0; l < specs.size(); ++l) {
+        numeric::Vector pre = weightsPerLayer[l] * act;
+        const Activation &fn = specs[l].activation;
+        for (std::size_t i = 0; i < pre.size(); ++i)
+            pre[i] = fn.value(pre[i] + biasesPerLayer[l][i]);
+        act = std::move(pre);
+    }
+    return act;
+}
+
+numeric::Vector
+Mlp::forward(const numeric::Vector &x, Cache &cache) const
+{
+    assert(x.size() == nInputs);
+    cache.input = x;
+    cache.preActivations.assign(specs.size(), {});
+    cache.activations.assign(specs.size(), {});
+    const numeric::Vector *act = &cache.input;
+    for (std::size_t l = 0; l < specs.size(); ++l) {
+        numeric::Vector pre = weightsPerLayer[l] * (*act);
+        for (std::size_t i = 0; i < pre.size(); ++i)
+            pre[i] += biasesPerLayer[l][i];
+        const Activation &fn = specs[l].activation;
+        numeric::Vector out(pre.size());
+        for (std::size_t i = 0; i < pre.size(); ++i)
+            out[i] = fn.value(pre[i]);
+        cache.preActivations[l] = std::move(pre);
+        cache.activations[l] = std::move(out);
+        act = &cache.activations[l];
+    }
+    return cache.activations.back();
+}
+
+Gradients
+Mlp::backward(const Cache &cache, const numeric::Vector &output_grad) const
+{
+    assert(output_grad.size() == outputDim());
+    assert(cache.activations.size() == specs.size());
+
+    Gradients grads = zeroGradients();
+
+    // delta starts as dLoss/dOutput and is pulled back layer by layer.
+    numeric::Vector delta = output_grad;
+    for (std::size_t li = specs.size(); li > 0; --li) {
+        const std::size_t l = li - 1;
+        const Activation &fn = specs[l].activation;
+        const numeric::Vector &pre = cache.preActivations[l];
+        const numeric::Vector &out = cache.activations[l];
+
+        // Through the activation: delta_i *= f'(pre_i).
+        for (std::size_t i = 0; i < delta.size(); ++i)
+            delta[i] *= fn.derivative(pre[i], out[i]);
+
+        const numeric::Vector &layer_in =
+            l == 0 ? cache.input : cache.activations[l - 1];
+
+        // dLoss/dW = delta x input^T; dLoss/db = delta.
+        grads.weightGrads[l] = numeric::outer(delta, layer_in);
+        grads.biasGrads[l] = delta;
+
+        if (l > 0) {
+            // Pull back through the weights: delta = W^T delta.
+            const numeric::Matrix &w = weightsPerLayer[l];
+            numeric::Vector prev(w.cols(), 0.0);
+            for (std::size_t i = 0; i < w.rows(); ++i) {
+                const double d = delta[i];
+                if (d == 0.0)
+                    continue;
+                for (std::size_t j = 0; j < w.cols(); ++j)
+                    prev[j] += w(i, j) * d;
+            }
+            delta = std::move(prev);
+        }
+    }
+    return grads;
+}
+
+Gradients
+Mlp::zeroGradients() const
+{
+    Gradients g;
+    for (std::size_t l = 0; l < specs.size(); ++l) {
+        g.weightGrads.emplace_back(weightsPerLayer[l].rows(),
+                                   weightsPerLayer[l].cols());
+        g.biasGrads.emplace_back(biasesPerLayer[l].size(), 0.0);
+    }
+    return g;
+}
+
+void
+Mlp::applyUpdate(const Gradients &step)
+{
+    assert(step.weightGrads.size() == specs.size());
+    for (std::size_t l = 0; l < specs.size(); ++l) {
+        weightsPerLayer[l] -= step.weightGrads[l];
+        for (std::size_t i = 0; i < biasesPerLayer[l].size(); ++i)
+            biasesPerLayer[l][i] -= step.biasGrads[l][i];
+    }
+}
+
+std::string
+Mlp::describe() const
+{
+    std::ostringstream os;
+    os << nInputs;
+    for (const auto &spec : specs)
+        os << " -> " << spec.units << ' ' << spec.activation.name();
+    return os.str();
+}
+
+} // namespace nn
+} // namespace wcnn

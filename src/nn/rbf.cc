@@ -1,0 +1,157 @@
+#include "rbf.hh"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "numeric/linalg.hh"
+#include "numeric/rng.hh"
+
+namespace wcnn {
+namespace nn {
+
+namespace {
+
+double
+squaredDistance(const numeric::Vector &a, const numeric::Vector &b)
+{
+    assert(a.size() == b.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return acc;
+}
+
+/**
+ * Plain Lloyd k-means over the rows of x. Returns at most k distinct
+ * centers (duplicates collapse when the data has fewer distinct rows).
+ */
+std::vector<numeric::Vector>
+kmeans(const numeric::Matrix &x, std::size_t k, std::size_t iterations,
+       numeric::Rng &rng)
+{
+    const std::size_t n = x.rows();
+    k = std::min(k, n);
+    std::vector<numeric::Vector> centers;
+    const auto perm = rng.permutation(n);
+    for (std::size_t i = 0; i < k; ++i)
+        centers.push_back(x.row(perm[i]));
+
+    std::vector<std::size_t> assignment(n, 0);
+    for (std::size_t it = 0; it < iterations; ++it) {
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            const numeric::Vector row = x.row(i);
+            std::size_t best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < centers.size(); ++c) {
+                const double d = squaredDistance(row, centers[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (assignment[i] != best) {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && it > 0)
+            break;
+        // Recompute centers; empty clusters keep their old position.
+        std::vector<numeric::Vector> sums(
+            centers.size(), numeric::Vector(x.cols(), 0.0));
+        std::vector<std::size_t> counts(centers.size(), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const numeric::Vector row = x.row(i);
+            for (std::size_t j = 0; j < row.size(); ++j)
+                sums[assignment[i]][j] += row[j];
+            ++counts[assignment[i]];
+        }
+        for (std::size_t c = 0; c < centers.size(); ++c) {
+            if (counts[c] == 0)
+                continue;
+            for (std::size_t j = 0; j < centers[c].size(); ++j)
+                centers[c][j] =
+                    sums[c][j] / static_cast<double>(counts[c]);
+        }
+    }
+    return centers;
+}
+
+} // namespace
+
+void
+RbfNetwork::fit(const numeric::Matrix &x, const numeric::Matrix &y,
+                const Options &opts, numeric::Rng &rng)
+{
+    assert(x.rows() == y.rows());
+    assert(x.rows() > 0);
+    assert(opts.centers > 0);
+
+    centerRows = kmeans(x, opts.centers, opts.kmeansIterations, rng);
+
+    // Width per kernel: widthScale * distance to the nearest other
+    // center (or 1 when there is a single center).
+    widths.assign(centerRows.size(), 1.0);
+    if (centerRows.size() > 1) {
+        for (std::size_t c = 0; c < centerRows.size(); ++c) {
+            double nearest = std::numeric_limits<double>::infinity();
+            for (std::size_t o = 0; o < centerRows.size(); ++o) {
+                if (o == c)
+                    continue;
+                nearest = std::min(
+                    nearest,
+                    squaredDistance(centerRows[c], centerRows[o]));
+            }
+            const double d = std::sqrt(nearest);
+            widths[c] = opts.widthScale * (d > 0.0 ? d : 1.0);
+        }
+    }
+
+    // Solve the linear readout per output column.
+    const std::size_t n = x.rows();
+    const std::size_t k = centerRows.size();
+    numeric::Matrix design(n, k + 1);
+    for (std::size_t i = 0; i < n; ++i)
+        design.setRow(i, features(x.row(i)));
+
+    readout = numeric::Matrix(k + 1, y.cols());
+    for (std::size_t j = 0; j < y.cols(); ++j) {
+        const auto coef =
+            numeric::leastSquares(design, y.col(j), opts.ridge);
+        assert(coef.has_value());
+        for (std::size_t r = 0; r < k + 1; ++r)
+            readout(r, j) = (*coef)[r];
+    }
+}
+
+numeric::Vector
+RbfNetwork::features(const numeric::Vector &x) const
+{
+    numeric::Vector phi(centerRows.size() + 1);
+    for (std::size_t c = 0; c < centerRows.size(); ++c) {
+        const double d2 = squaredDistance(x, centerRows[c]);
+        phi[c] = std::exp(-d2 / (2.0 * widths[c] * widths[c]));
+    }
+    phi.back() = 1.0; // bias feature
+    return phi;
+}
+
+numeric::Vector
+RbfNetwork::predict(const numeric::Vector &x) const
+{
+    assert(fitted());
+    const numeric::Vector phi = features(x);
+    numeric::Vector out(readout.cols(), 0.0);
+    for (std::size_t j = 0; j < readout.cols(); ++j) {
+        double acc = 0.0;
+        for (std::size_t r = 0; r < phi.size(); ++r)
+            acc += phi[r] * readout(r, j);
+        out[j] = acc;
+    }
+    return out;
+}
+
+} // namespace nn
+} // namespace wcnn

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Radial-basis-function network.
+ *
+ * The paper (section 2.1) names RBF networks as the other standard
+ * function-approximation family next to MLPs. We provide one for the
+ * model-comparison ablation: Gaussian kernels centered by k-means on the
+ * training inputs, widths from the average inter-center distance, and a
+ * linear readout solved in closed form by least squares.
+ */
+
+#ifndef WCNN_NN_RBF_HH
+#define WCNN_NN_RBF_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/matrix.hh"
+
+namespace wcnn {
+namespace numeric {
+class Rng;
+} // namespace numeric
+
+namespace nn {
+
+/**
+ * Gaussian RBF network with a linear (affine) readout.
+ */
+class RbfNetwork
+{
+  public:
+    /** Configuration for fit(). */
+    struct Options
+    {
+        /** Number of RBF centers (k-means clusters). */
+        std::size_t centers = 10;
+
+        /** k-means iterations. */
+        std::size_t kmeansIterations = 50;
+
+        /**
+         * Width multiplier: each kernel's sigma is this factor times
+         * the average distance to the nearest other center.
+         */
+        double widthScale = 1.0;
+
+        /** Ridge damping for the readout least-squares solve. */
+        double ridge = 1e-8;
+    };
+
+    /** Empty network; call fit() before predict(). */
+    RbfNetwork() = default;
+
+    /**
+     * Fit centers, widths and readout to training data.
+     *
+     * @param x    Training inputs, one row per sample.
+     * @param y    Training targets, one row per sample.
+     * @param opts Hyperparameters.
+     * @param rng  Generator for k-means seeding.
+     */
+    void fit(const numeric::Matrix &x, const numeric::Matrix &y,
+             const Options &opts, numeric::Rng &rng);
+
+    /** True once fit() succeeded. */
+    bool fitted() const { return !readout.empty(); }
+
+    /**
+     * Evaluate the network.
+     *
+     * @param x Input of the dimensionality seen at fit().
+     * @return Output vector of the target dimensionality.
+     */
+    numeric::Vector predict(const numeric::Vector &x) const;
+
+    /** Number of kernels actually placed (<= Options::centers). */
+    std::size_t centerCount() const { return centerRows.size(); }
+
+  private:
+    /** Kernel feature vector [phi_1..phi_k, 1] for an input. */
+    numeric::Vector features(const numeric::Vector &x) const;
+
+    std::vector<numeric::Vector> centerRows;
+    std::vector<double> widths;
+    /** (k+1) x m readout; last row is the bias. */
+    numeric::Matrix readout;
+};
+
+} // namespace nn
+} // namespace wcnn
+
+#endif // WCNN_NN_RBF_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Text serialization of trained networks.
+ *
+ * The paper notes that "learned knowledge is kept in MLPs by memorizing
+ * their weights and biases" — this module persists exactly that, so a
+ * model trained once can be reloaded and queried (e.g. by the tuning
+ * advisor) without retraining.
+ */
+
+#ifndef WCNN_NN_SERIALIZE_HH
+#define WCNN_NN_SERIALIZE_HH
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "nn/mlp.hh"
+
+namespace wcnn {
+namespace nn {
+
+/** Error thrown on malformed model files. */
+class SerializeError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Reads and writes Mlp instances in a line-oriented text format with
+ * full double precision.
+ */
+class Serializer
+{
+  public:
+    /**
+     * Write a network to a stream.
+     *
+     * @param net Network to persist.
+     * @param os  Destination stream.
+     */
+    static void write(const Mlp &net, std::ostream &os);
+
+    /**
+     * Read a network from a stream.
+     *
+     * @param is Source stream.
+     * @throws SerializeError on malformed input.
+     */
+    static Mlp read(std::istream &is);
+
+    /**
+     * Write a network to a file.
+     *
+     * @param net  Network to persist.
+     * @param path Destination path.
+     * @throws SerializeError if the file cannot be opened.
+     */
+    static void save(const Mlp &net, const std::string &path);
+
+    /**
+     * Read a network from a file.
+     *
+     * @param path Source path.
+     * @throws SerializeError if the file cannot be opened or parsed.
+     */
+    static Mlp load(const std::string &path);
+};
+
+} // namespace nn
+} // namespace wcnn
+
+#endif // WCNN_NN_SERIALIZE_HH

@@ -1,0 +1,202 @@
+#include "trainer.hh"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "nn/loss.hh"
+#include "numeric/rng.hh"
+
+namespace wcnn {
+namespace nn {
+
+namespace {
+
+/** Velocity buffers for momentum, shaped like the gradients. */
+struct Velocity
+{
+    Gradients v;
+
+    explicit Velocity(const Mlp &net) : v(net.zeroGradients()) {}
+
+    /**
+     * v = momentum * v + lr * grad; returns the step to subtract.
+     */
+    const Gradients &
+    update(const Gradients &grad, double lr, double momentum)
+    {
+        for (std::size_t l = 0; l < v.weightGrads.size(); ++l) {
+            auto &vw = v.weightGrads[l];
+            const auto &gw = grad.weightGrads[l];
+            vw *= momentum;
+            vw += gw * lr;
+            auto &vb = v.biasGrads[l];
+            const auto &gb = grad.biasGrads[l];
+            for (std::size_t i = 0; i < vb.size(); ++i)
+                vb[i] = momentum * vb[i] + lr * gb[i];
+        }
+        return v;
+    }
+};
+
+/** RMSProp accumulators: per-parameter adaptive step sizes. */
+struct RmsProp
+{
+    Gradients meanSquare;
+    Gradients step;
+
+    explicit RmsProp(const Mlp &net)
+        : meanSquare(net.zeroGradients()), step(net.zeroGradients())
+    {
+    }
+
+    /**
+     * ms = decay * ms + (1-decay) * g^2;
+     * step = lr * g / sqrt(ms + eps). Returns the step to subtract.
+     */
+    const Gradients &
+    update(const Gradients &grad, double lr, double decay)
+    {
+        constexpr double eps = 1e-8;
+        for (std::size_t l = 0; l < step.weightGrads.size(); ++l) {
+            auto &msw = meanSquare.weightGrads[l].data();
+            const auto &gw = grad.weightGrads[l].data();
+            auto &sw = step.weightGrads[l].data();
+            for (std::size_t i = 0; i < gw.size(); ++i) {
+                msw[i] = decay * msw[i] +
+                         (1.0 - decay) * gw[i] * gw[i];
+                sw[i] = lr * gw[i] / std::sqrt(msw[i] + eps);
+            }
+            auto &msb = meanSquare.biasGrads[l];
+            const auto &gb = grad.biasGrads[l];
+            auto &sb = step.biasGrads[l];
+            for (std::size_t i = 0; i < gb.size(); ++i) {
+                msb[i] = decay * msb[i] +
+                         (1.0 - decay) * gb[i] * gb[i];
+                sb[i] = lr * gb[i] / std::sqrt(msb[i] + eps);
+            }
+        }
+        return step;
+    }
+};
+
+} // namespace
+
+double
+Trainer::evaluateLoss(const Mlp &net, const numeric::Matrix &x,
+                      const numeric::Matrix &y)
+{
+    assert(x.rows() == y.rows());
+    if (x.rows() == 0)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.rows(); ++i)
+        acc += mseLoss(net.forward(x.row(i)), y.row(i));
+    return acc / static_cast<double>(x.rows());
+}
+
+TrainResult
+Trainer::train(Mlp &net, const numeric::Matrix &x,
+               const numeric::Matrix &y, numeric::Rng &rng,
+               const numeric::Matrix *val_x,
+               const numeric::Matrix *val_y) const
+{
+    assert(x.rows() == y.rows());
+    assert(x.cols() == net.inputDim());
+    assert(y.cols() == net.outputDim());
+    assert((val_x == nullptr) == (val_y == nullptr));
+
+    const std::size_t n = x.rows();
+    TrainResult result;
+    if (n == 0)
+        return result;
+
+    const bool has_validation = val_x != nullptr;
+    const std::size_t batch =
+        opts.batchSize == 0 ? n : std::min(opts.batchSize, n);
+
+    Velocity velocity(net);
+    RmsProp rmsprop(net);
+    Mlp::Cache cache;
+
+    double best_val = std::numeric_limits<double>::infinity();
+    std::size_t epochs_since_best = 0;
+    // Snapshot of the best-validation weights for restore-on-stop.
+    Mlp best_net;
+
+    for (std::size_t epoch = 0; epoch < opts.maxEpochs; ++epoch) {
+        const double lr =
+            opts.learningRate /
+            (1.0 + opts.lrDecay * static_cast<double>(epoch));
+
+        const auto order = rng.permutation(n);
+        double epoch_loss = 0.0;
+
+        std::size_t cursor = 0;
+        while (cursor < n) {
+            const std::size_t batch_end = std::min(cursor + batch, n);
+            Gradients batch_grad = net.zeroGradients();
+            for (std::size_t k = cursor; k < batch_end; ++k) {
+                const std::size_t idx = order[k];
+                const numeric::Vector input = x.row(idx);
+                const numeric::Vector target = y.row(idx);
+                const numeric::Vector out = net.forward(input, cache);
+                epoch_loss += mseLoss(out, target);
+                Gradients g =
+                    net.backward(cache, mseGradient(out, target));
+                batch_grad.add(g);
+            }
+            batch_grad.scale(1.0 /
+                             static_cast<double>(batch_end - cursor));
+            if (opts.rmsprop) {
+                net.applyUpdate(rmsprop.update(batch_grad, lr,
+                                               opts.rmspropDecay));
+            } else {
+                net.applyUpdate(
+                    velocity.update(batch_grad, lr, opts.momentum));
+            }
+            cursor = batch_end;
+        }
+
+        epoch_loss /= static_cast<double>(n);
+        result.epochs = epoch + 1;
+        result.finalTrainLoss = epoch_loss;
+        if (opts.recordHistory)
+            result.trainLossHistory.push_back(epoch_loss);
+
+        if (has_validation) {
+            const double val_loss = evaluateLoss(net, *val_x, *val_y);
+            if (opts.recordHistory)
+                result.validationLossHistory.push_back(val_loss);
+            if (val_loss < best_val) {
+                best_val = val_loss;
+                epochs_since_best = 0;
+                if (opts.patience > 0)
+                    best_net = net;
+            } else {
+                ++epochs_since_best;
+            }
+            if (opts.patience > 0 &&
+                epochs_since_best >= opts.patience) {
+                result.earlyStopped = true;
+                net = best_net;
+                break;
+            }
+        }
+
+        if (opts.targetLoss > 0.0 && epoch_loss <= opts.targetLoss) {
+            result.hitTargetLoss = true;
+            break;
+        }
+    }
+
+    result.bestValidationLoss =
+        has_validation && best_val !=
+                              std::numeric_limits<double>::infinity()
+            ? best_val
+            : 0.0;
+    return result;
+}
+
+} // namespace nn
+} // namespace wcnn

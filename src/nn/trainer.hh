@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Gradient-descent back-propagation training (paper sections 2.2, 3.3).
+ *
+ * Training repeatedly presents samples, backpropagates the MSE gradient
+ * and adjusts weights/biases until a desired error threshold is met —
+ * the paper deliberately uses a *loose* threshold so the model keeps the
+ * flexibility to generalize ("It is better to loosely fit to the
+ * training sample"; overfitting destroys validity on unseen samples).
+ * Besides the paper's threshold rule, the trainer supports max-epoch
+ * bounds and validation-loss early stopping with weight restore, and
+ * both full-batch gradient descent and mini-batch SGD with momentum.
+ */
+
+#ifndef WCNN_NN_TRAINER_HH
+#define WCNN_NN_TRAINER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/mlp.hh"
+#include "numeric/matrix.hh"
+
+namespace wcnn {
+namespace numeric {
+class Rng;
+} // namespace numeric
+
+namespace nn {
+
+/** Hyperparameters for one training run. */
+struct TrainOptions
+{
+    /** Gradient-descent step size. */
+    double learningRate = 0.05;
+
+    /** Momentum coefficient in [0, 1); 0 disables momentum. */
+    double momentum = 0.9;
+
+    /**
+     * Learning-rate decay: effective rate at epoch t is
+     * learningRate / (1 + lrDecay * t).
+     */
+    double lrDecay = 0.0;
+
+    /** Hard bound on training epochs. */
+    std::size_t maxEpochs = 2000;
+
+    /**
+     * The paper's stop rule: stop once the epoch-average training MSE
+     * (in standardized units) drops below this threshold. Larger values
+     * fit more loosely. Set to 0 to disable.
+     */
+    double targetLoss = 1e-3;
+
+    /**
+     * Mini-batch size; 0 trains full-batch (one update per epoch,
+     * classic gradient descent).
+     */
+    std::size_t batchSize = 0;
+
+    /**
+     * Validation-loss early stopping: stop after this many consecutive
+     * epochs without improvement and restore the best weights. 0
+     * disables. Only active when a validation set is supplied.
+     */
+    std::size_t patience = 0;
+
+    /**
+     * Use RMSProp per-parameter adaptive step sizes instead of plain
+     * momentum SGD. An anachronism relative to the paper (it predates
+     * RMSProp), provided for the optimizer ablation.
+     */
+    bool rmsprop = false;
+
+    /** RMSProp moving-average decay for the squared gradients. */
+    double rmspropDecay = 0.9;
+
+    /** Record loss history every epoch when true. */
+    bool recordHistory = true;
+};
+
+/** Outcome of one training run. */
+struct TrainResult
+{
+    /** Epochs actually executed. */
+    std::size_t epochs = 0;
+
+    /** Training MSE after the final epoch. */
+    double finalTrainLoss = 0.0;
+
+    /** Best validation MSE seen (0 when no validation set). */
+    double bestValidationLoss = 0.0;
+
+    /** True when targetLoss triggered the stop. */
+    bool hitTargetLoss = false;
+
+    /** True when validation patience triggered the stop. */
+    bool earlyStopped = false;
+
+    /** Per-epoch training MSE (empty unless recordHistory). */
+    std::vector<double> trainLossHistory;
+
+    /** Per-epoch validation MSE (empty unless validation provided). */
+    std::vector<double> validationLossHistory;
+};
+
+/**
+ * Back-propagation trainer. Stateless apart from its options; pass the
+ * network and data to train().
+ */
+class Trainer
+{
+  public:
+    /**
+     * @param options Hyperparameters for subsequent train() calls.
+     */
+    explicit Trainer(TrainOptions options) : opts(options) {}
+
+    /** Options in effect. */
+    const TrainOptions &options() const { return opts; }
+
+    /**
+     * Train a network in place.
+     *
+     * Inputs/targets are expected already standardized (see
+     * data::Standardizer); the trainer is agnostic but the paper's
+     * local-minimum argument applies.
+     *
+     * @param net   Network to train; modified in place.
+     * @param x     Training inputs, one row per sample.
+     * @param y     Training targets, one row per sample.
+     * @param rng   Generator for mini-batch shuffling.
+     * @param val_x Optional validation inputs (enables early stopping).
+     * @param val_y Optional validation targets.
+     * @return Statistics of the run.
+     */
+    TrainResult train(Mlp &net, const numeric::Matrix &x,
+                      const numeric::Matrix &y, numeric::Rng &rng,
+                      const numeric::Matrix *val_x = nullptr,
+                      const numeric::Matrix *val_y = nullptr) const;
+
+    /**
+     * Mean MSE of a network over a sample matrix.
+     *
+     * @param net Network to evaluate.
+     * @param x   Inputs, one row per sample.
+     * @param y   Targets, one row per sample.
+     */
+    static double evaluateLoss(const Mlp &net, const numeric::Matrix &x,
+                               const numeric::Matrix &y);
+
+  private:
+    TrainOptions opts;
+};
+
+} // namespace nn
+} // namespace wcnn
+
+#endif // WCNN_NN_TRAINER_HH

@@ -1,0 +1,159 @@
+#include "linalg.hh"
+
+#include <cmath>
+
+namespace wcnn {
+namespace numeric {
+
+namespace {
+
+constexpr double pivotTolerance = 1e-12;
+
+} // namespace
+
+std::optional<Matrix>
+cholesky(const Matrix &a)
+{
+    assert(a.rows() == a.cols());
+    const std::size_t n = a.rows();
+    Matrix l(n, n);
+    for (std::size_t j = 0; j < n; ++j) {
+        double diag = a(j, j);
+        for (std::size_t k = 0; k < j; ++k)
+            diag -= l(j, k) * l(j, k);
+        if (diag <= pivotTolerance)
+            return std::nullopt;
+        l(j, j) = std::sqrt(diag);
+        for (std::size_t i = j + 1; i < n; ++i) {
+            double acc = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                acc -= l(i, k) * l(j, k);
+            l(i, j) = acc / l(j, j);
+        }
+    }
+    return l;
+}
+
+Vector
+choleskySolve(const Matrix &l, const Vector &b)
+{
+    assert(l.rows() == l.cols() && b.size() == l.rows());
+    const std::size_t n = l.rows();
+    // Forward: L y = b.
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double acc = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            acc -= l(i, k) * y[k];
+        y[i] = acc / l(i, i);
+    }
+    // Backward: L^T x = y.
+    Vector x(n);
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        double acc = y[i];
+        for (std::size_t k = i + 1; k < n; ++k)
+            acc -= l(k, i) * x[k];
+        x[i] = acc / l(i, i);
+    }
+    return x;
+}
+
+std::optional<Vector>
+solve(const Matrix &a, const Vector &b)
+{
+    assert(a.rows() == a.cols() && b.size() == a.rows());
+    const std::size_t n = a.rows();
+    Matrix m(a);
+    Vector rhs(b);
+    for (std::size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        std::size_t pivot = col;
+        for (std::size_t i = col + 1; i < n; ++i)
+            if (std::fabs(m(i, col)) > std::fabs(m(pivot, col)))
+                pivot = i;
+        if (std::fabs(m(pivot, col)) < pivotTolerance)
+            return std::nullopt;
+        if (pivot != col) {
+            for (std::size_t j = 0; j < n; ++j)
+                std::swap(m(col, j), m(pivot, j));
+            std::swap(rhs[col], rhs[pivot]);
+        }
+        for (std::size_t i = col + 1; i < n; ++i) {
+            const double factor = m(i, col) / m(col, col);
+            if (factor == 0.0)
+                continue;
+            for (std::size_t j = col; j < n; ++j)
+                m(i, j) -= factor * m(col, j);
+            rhs[i] -= factor * rhs[col];
+        }
+    }
+    Vector x(n);
+    for (std::size_t ii = n; ii > 0; --ii) {
+        const std::size_t i = ii - 1;
+        double acc = rhs[i];
+        for (std::size_t j = i + 1; j < n; ++j)
+            acc -= m(i, j) * x[j];
+        x[i] = acc / m(i, i);
+    }
+    return x;
+}
+
+std::optional<Vector>
+leastSquares(const Matrix &a, const Vector &b, double ridge)
+{
+    assert(b.size() == a.rows());
+    assert(ridge >= 0.0);
+    const Matrix at = a.transposed();
+    Matrix normal = at * a;
+    for (std::size_t i = 0; i < normal.rows(); ++i)
+        normal(i, i) += ridge;
+    const Vector atb = at * b;
+    if (auto l = cholesky(normal))
+        return choleskySolve(*l, atb);
+    // Fall back to pivoted elimination for borderline systems.
+    return solve(normal, atb);
+}
+
+std::optional<Matrix>
+inverse(const Matrix &a)
+{
+    assert(a.rows() == a.cols());
+    const std::size_t n = a.rows();
+    Matrix m(a);
+    Matrix inv = Matrix::identity(n);
+    for (std::size_t col = 0; col < n; ++col) {
+        std::size_t pivot = col;
+        for (std::size_t i = col + 1; i < n; ++i)
+            if (std::fabs(m(i, col)) > std::fabs(m(pivot, col)))
+                pivot = i;
+        if (std::fabs(m(pivot, col)) < pivotTolerance)
+            return std::nullopt;
+        if (pivot != col) {
+            for (std::size_t j = 0; j < n; ++j) {
+                std::swap(m(col, j), m(pivot, j));
+                std::swap(inv(col, j), inv(pivot, j));
+            }
+        }
+        const double diag = m(col, col);
+        for (std::size_t j = 0; j < n; ++j) {
+            m(col, j) /= diag;
+            inv(col, j) /= diag;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            if (i == col)
+                continue;
+            const double factor = m(i, col);
+            if (factor == 0.0)
+                continue;
+            for (std::size_t j = 0; j < n; ++j) {
+                m(i, j) -= factor * m(col, j);
+                inv(i, j) -= factor * inv(col, j);
+            }
+        }
+    }
+    return inv;
+}
+
+} // namespace numeric
+} // namespace wcnn

@@ -1,0 +1,199 @@
+#include "pca.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "numeric/stats.hh"
+
+namespace wcnn {
+namespace numeric {
+
+void
+jacobiEigenSymmetric(const Matrix &symmetric, Vector &eigenvalues,
+                     Matrix &eigenvectors, std::size_t max_sweeps)
+{
+    assert(symmetric.rows() == symmetric.cols());
+    const std::size_t n = symmetric.rows();
+    Matrix a(symmetric);
+    Matrix v = Matrix::identity(n);
+
+    for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        // Sum of off-diagonal magnitudes decides convergence.
+        double off = 0.0;
+        for (std::size_t p = 0; p < n; ++p)
+            for (std::size_t q = p + 1; q < n; ++q)
+                off += std::fabs(a(p, q));
+        if (off < 1e-13)
+            break;
+
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                if (std::fabs(a(p, q)) < 1e-15)
+                    continue;
+                // Classic 2x2 rotation zeroing a(p, q).
+                const double theta =
+                    (a(q, q) - a(p, p)) / (2.0 * a(p, q));
+                const double t =
+                    (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::fabs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p);
+                    const double akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k);
+                    const double aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Order by descending eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(),
+              [&a](std::size_t i, std::size_t j) {
+                  return a(i, i) > a(j, j);
+              });
+
+    eigenvalues.assign(n, 0.0);
+    eigenvectors = Matrix(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        eigenvalues[k] = a(order[k], order[k]);
+        for (std::size_t r = 0; r < n; ++r)
+            eigenvectors(r, k) = v(r, order[k]);
+    }
+}
+
+void
+Pca::fit(const Matrix &samples, const Options &options)
+{
+    assert(samples.rows() >= 2);
+    const std::size_t n = samples.rows();
+    const std::size_t d = samples.cols();
+
+    mu.assign(d, 0.0);
+    sigma.assign(d, 1.0);
+    for (std::size_t j = 0; j < d; ++j) {
+        const Vector col = samples.col(j);
+        mu[j] = mean(col);
+        if (options.standardize) {
+            const double s = stddev(col);
+            sigma[j] = s > 0.0 ? s : 1.0;
+        }
+    }
+
+    // Covariance (or correlation) matrix of the normalized samples.
+    Matrix cov(d, d);
+    for (std::size_t i = 0; i < n; ++i) {
+        Vector z(d);
+        for (std::size_t j = 0; j < d; ++j)
+            z[j] = (samples(i, j) - mu[j]) / sigma[j];
+        for (std::size_t p = 0; p < d; ++p)
+            for (std::size_t q = p; q < d; ++q)
+                cov(p, q) += z[p] * z[q];
+    }
+    const double denom = static_cast<double>(n - 1);
+    for (std::size_t p = 0; p < d; ++p) {
+        for (std::size_t q = p; q < d; ++q) {
+            cov(p, q) /= denom;
+            cov(q, p) = cov(p, q);
+        }
+    }
+
+    jacobiEigenSymmetric(cov, eigenvalues, eigenvectors);
+    // Numerical guard: tiny negative eigenvalues are zero variance.
+    for (auto &ev : eigenvalues)
+        ev = std::max(ev, 0.0);
+}
+
+Vector
+Pca::explainedVarianceRatio() const
+{
+    assert(fitted());
+    double total = 0.0;
+    for (double ev : eigenvalues)
+        total += ev;
+    Vector ratio(eigenvalues.size(), 0.0);
+    if (total <= 0.0)
+        return ratio;
+    for (std::size_t k = 0; k < eigenvalues.size(); ++k)
+        ratio[k] = eigenvalues[k] / total;
+    return ratio;
+}
+
+std::size_t
+Pca::componentsFor(double fraction) const
+{
+    assert(fraction > 0.0 && fraction <= 1.0);
+    const Vector ratio = explainedVarianceRatio();
+    double acc = 0.0;
+    for (std::size_t k = 0; k < ratio.size(); ++k) {
+        acc += ratio[k];
+        if (acc >= fraction - 1e-12)
+            return k + 1;
+    }
+    return ratio.size();
+}
+
+Vector
+Pca::component(std::size_t k) const
+{
+    assert(fitted());
+    assert(k < dim());
+    return eigenvectors.col(k);
+}
+
+Vector
+Pca::transform(const Vector &x, std::size_t n_components) const
+{
+    assert(fitted());
+    assert(x.size() == dim());
+    assert(n_components <= dim());
+    Vector z(dim());
+    for (std::size_t j = 0; j < dim(); ++j)
+        z[j] = (x[j] - mu[j]) / sigma[j];
+    Vector scores(n_components, 0.0);
+    for (std::size_t k = 0; k < n_components; ++k) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < dim(); ++j)
+            acc += eigenvectors(j, k) * z[j];
+        scores[k] = acc;
+    }
+    return scores;
+}
+
+Vector
+Pca::inverse(const Vector &scores) const
+{
+    assert(fitted());
+    assert(scores.size() <= dim());
+    Vector z(dim(), 0.0);
+    for (std::size_t k = 0; k < scores.size(); ++k) {
+        for (std::size_t j = 0; j < dim(); ++j)
+            z[j] += eigenvectors(j, k) * scores[k];
+    }
+    Vector x(dim());
+    for (std::size_t j = 0; j < dim(); ++j)
+        x[j] = z[j] * sigma[j] + mu[j];
+    return x;
+}
+
+} // namespace numeric
+} // namespace wcnn

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Principal Component Analysis.
+ *
+ * The workload-characterization literature the paper builds on uses
+ * PCA heavily — Chow et al. characterized Java workloads by principal
+ * components (paper refs [10, 11]) and benchmark-subsetting studies
+ * rely on it ([12-14, 19]). This implementation provides the standard
+ * pipeline: center (optionally standardize) the samples, eigen-
+ * decompose the covariance matrix with cyclic Jacobi rotations, and
+ * expose ordered components, explained-variance ratios and projections.
+ */
+
+#ifndef WCNN_NUMERIC_PCA_HH
+#define WCNN_NUMERIC_PCA_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "numeric/matrix.hh"
+
+namespace wcnn {
+namespace numeric {
+
+/**
+ * Eigen-decomposition of a symmetric matrix by the cyclic Jacobi
+ * method. Eigenvalues are returned in descending order with matching
+ * eigenvector columns.
+ *
+ * @param symmetric  Symmetric input matrix.
+ * @param eigenvalues   Output eigenvalues, descending.
+ * @param eigenvectors  Output column eigenvectors (same order).
+ * @param max_sweeps Jacobi sweeps before giving up (convergence is
+ *                   quadratic; 32 is generous).
+ */
+void jacobiEigenSymmetric(const Matrix &symmetric,
+                          Vector &eigenvalues, Matrix &eigenvectors,
+                          std::size_t max_sweeps = 32);
+
+/**
+ * Principal component analysis of row-wise samples.
+ */
+class Pca
+{
+  public:
+    /** Options for fit(). */
+    struct Options
+    {
+        /**
+         * Standardize features to unit variance before the analysis
+         * (correlation-matrix PCA) instead of merely centering
+         * (covariance-matrix PCA). The characterization literature
+         * standardizes, since workload metrics have wildly different
+         * units.
+         */
+        bool standardize = true;
+    };
+
+    /** Empty analysis; call fit() before use. */
+    Pca() = default;
+
+    /**
+     * Fit components on a sample matrix.
+     *
+     * @param samples One observation per row; at least 2 rows.
+     * @param options Pre-processing choice.
+     */
+    void fit(const Matrix &samples, const Options &options);
+
+    /** Fit with default options. */
+    void fit(const Matrix &samples) { fit(samples, Options()); }
+
+    /** True once fit() succeeded. */
+    bool fitted() const { return !eigenvalues.empty(); }
+
+    /** Feature dimensionality. */
+    std::size_t dim() const { return eigenvalues.size(); }
+
+    /** Eigenvalues (component variances), descending. */
+    const Vector &variances() const { return eigenvalues; }
+
+    /**
+     * Fraction of total variance captured by each component,
+     * descending; sums to 1.
+     */
+    Vector explainedVarianceRatio() const;
+
+    /**
+     * Number of leading components needed to reach a cumulative
+     * explained-variance fraction.
+     *
+     * @param fraction Target in (0, 1].
+     */
+    std::size_t componentsFor(double fraction) const;
+
+    /**
+     * One principal axis (unit vector in feature space).
+     *
+     * @param k Component index, 0 = largest variance.
+     */
+    Vector component(std::size_t k) const;
+
+    /**
+     * Project an observation onto the first n_components axes.
+     *
+     * @param x            Feature vector of size dim().
+     * @param n_components Projection arity (<= dim()).
+     */
+    Vector transform(const Vector &x, std::size_t n_components) const;
+
+    /**
+     * Reconstruct an observation from a (possibly truncated)
+     * projection.
+     *
+     * @param scores Projection of size <= dim().
+     */
+    Vector inverse(const Vector &scores) const;
+
+  private:
+    Vector mu;
+    Vector sigma;
+    Vector eigenvalues;
+    Matrix eigenvectors; // columns = components
+};
+
+} // namespace numeric
+} // namespace wcnn
+
+#endif // WCNN_NUMERIC_PCA_HH

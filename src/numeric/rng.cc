@@ -1,0 +1,177 @@
+#include "rng.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace wcnn {
+namespace numeric {
+
+namespace {
+
+/** SplitMix64 step, used only to expand seeds into full state. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state)
+        word = splitMix64(s);
+    // xoshiro must not start from the all-zero state.
+    if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0)
+        state[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const std::uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next());
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    assert(hi >= lo);
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    assert(hi >= lo);
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range requested
+        return static_cast<std::int64_t>(next());
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + static_cast<std::int64_t>(v % span);
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare) {
+        hasSpare = false;
+        return sparePolar;
+    }
+    double u, v, s;
+    do {
+        u = uniform(-1.0, 1.0);
+        v = uniform(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    sparePolar = v * factor;
+    hasSpare = true;
+    return u * factor;
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    assert(stddev >= 0.0);
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double mean)
+{
+    assert(mean > 0.0);
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -mean * std::log(1.0 - uniform());
+}
+
+double
+Rng::lognormal(double mean, double cov)
+{
+    assert(mean > 0.0);
+    assert(cov >= 0.0);
+    if (cov == 0.0)
+        return mean;
+    const double sigma2 = std::log(1.0 + cov * cov);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+std::size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        assert(w >= 0.0);
+        total += w;
+    }
+    assert(total > 0.0);
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        x -= weights[i];
+        if (x < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<std::size_t>
+Rng::permutation(std::size_t n)
+{
+    std::vector<std::size_t> perm(n);
+    for (std::size_t i = 0; i < n; ++i)
+        perm[i] = i;
+    for (std::size_t i = n; i > 1; --i) {
+        const std::size_t j =
+            static_cast<std::size_t>(uniformInt(0, static_cast<std::int64_t>(i) - 1));
+        std::swap(perm[i - 1], perm[j]);
+    }
+    return perm;
+}
+
+} // namespace numeric
+} // namespace wcnn

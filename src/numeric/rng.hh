@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Deterministic random number generation for wcnn.
+ *
+ * Every stochastic component in the library (weight initialization, SGD
+ * shuffling, k-fold permutations, simulator arrivals and service times)
+ * draws from an explicitly seeded Rng so that experiments replay
+ * bit-identically. The generator is xoshiro256**, which is small, fast,
+ * and passes BigCrush; it is also splittable via jump-free substream
+ * derivation (split()) so concurrent components never share a stream.
+ */
+
+#ifndef WCNN_NUMERIC_RNG_HH
+#define WCNN_NUMERIC_RNG_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace wcnn {
+namespace numeric {
+
+/**
+ * Deterministic xoshiro256** pseudo-random generator with distribution
+ * helpers. Copyable; copies continue the same stream independently.
+ */
+class Rng
+{
+  public:
+    /** Result type contract for std-style usage. */
+    using result_type = std::uint64_t;
+
+    /**
+     * Construct a generator from a 64-bit seed. The four 64-bit words of
+     * state are derived with SplitMix64 so that nearby seeds still yield
+     * uncorrelated streams.
+     *
+     * @param seed Seed value; equal seeds give identical streams.
+     */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Smallest value next() can return. */
+    static constexpr result_type min() { return 0; }
+    /** Largest value next() can return. */
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Advance the state and return the next 64-bit output. */
+    std::uint64_t next();
+
+    /** std::uniform_random_bit_generator interface. */
+    result_type operator()() { return next(); }
+
+    /**
+     * Derive an independent substream. The child stream is seeded from
+     * this stream's output, so a parent seed fully determines the whole
+     * tree of substreams.
+     *
+     * @return A new generator statistically independent of this one.
+     */
+    Rng split();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /**
+     * Uniform double in [lo, hi).
+     *
+     * @param lo Inclusive lower bound.
+     * @param hi Exclusive upper bound; must satisfy hi >= lo.
+     */
+    double uniform(double lo, double hi);
+
+    /**
+     * Uniform integer in [lo, hi] (both inclusive).
+     *
+     * @param lo Inclusive lower bound.
+     * @param hi Inclusive upper bound; must satisfy hi >= lo.
+     */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal deviate (Marsaglia polar method). */
+    double normal();
+
+    /**
+     * Normal deviate with the given mean and standard deviation.
+     *
+     * @param mean   Distribution mean.
+     * @param stddev Distribution standard deviation (>= 0).
+     */
+    double normal(double mean, double stddev);
+
+    /**
+     * Exponential deviate with the given mean (i.e. rate 1/mean). Used
+     * for Poisson-process inter-arrival and memoryless service times.
+     *
+     * @param mean Distribution mean; must be > 0.
+     */
+    double exponential(double mean);
+
+    /**
+     * Lognormal deviate parameterized by the mean and coefficient of
+     * variation of the *resulting* distribution (more convenient for
+     * service-time modeling than mu/sigma).
+     *
+     * @param mean Desired mean of the lognormal variable (> 0).
+     * @param cov  Desired coefficient of variation (stddev/mean, >= 0).
+     */
+    double lognormal(double mean, double cov);
+
+    /**
+     * Bernoulli trial.
+     *
+     * @param p Success probability in [0, 1].
+     * @retval true with probability p.
+     */
+    bool bernoulli(double p);
+
+    /**
+     * Sample an index from a discrete distribution given by non-negative
+     * weights (not necessarily normalized).
+     *
+     * @param weights Weight per index; at least one must be positive.
+     * @return Index in [0, weights.size()).
+     */
+    std::size_t discrete(const std::vector<double> &weights);
+
+    /**
+     * Fisher-Yates shuffle of an index permutation [0, n).
+     *
+     * @param n Number of elements.
+     * @return A uniformly random permutation of 0..n-1.
+     */
+    std::vector<std::size_t> permutation(std::size_t n);
+
+  private:
+    std::array<std::uint64_t, 4> state;
+
+    /** Cached second deviate from the polar method. */
+    double sparePolar = 0.0;
+    bool hasSpare = false;
+};
+
+} // namespace numeric
+} // namespace wcnn
+
+#endif // WCNN_NUMERIC_RNG_HH

@@ -1,0 +1,252 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wcnn {
+namespace numeric {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mu = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - mu) * (x - mu);
+    return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double
+populationVariance(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    const double mu = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - mu) * (x - mu);
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    constexpr double floor_eps = 1e-12;
+    double acc = 0.0;
+    for (double x : xs) {
+        assert(x >= 0.0);
+        acc += 1.0 / std::max(x, floor_eps);
+    }
+    return static_cast<double>(xs.size()) / acc;
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    assert(p >= 0.0 && p <= 100.0);
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs.front();
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double
+correlation(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    assert(xs.size() == ys.size());
+    if (xs.size() < 2)
+        return 0.0;
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+double
+rSquared(const std::vector<double> &actual,
+         const std::vector<double> &predicted)
+{
+    assert(actual.size() == predicted.size());
+    if (actual.empty())
+        return 0.0;
+    const double mu = mean(actual);
+    double ss_res = 0.0, ss_tot = 0.0;
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+        ss_res += (actual[i] - predicted[i]) * (actual[i] - predicted[i]);
+        ss_tot += (actual[i] - mu) * (actual[i] - mu);
+    }
+    if (ss_tot == 0.0)
+        return ss_res == 0.0 ? 1.0 : 0.0;
+    return 1.0 - ss_res / ss_tot;
+}
+
+void
+RunningStats::add(double x)
+{
+    if (n == 0) {
+        minVal = maxVal = x;
+    } else {
+        minVal = std::min(minVal, x);
+        maxVal = std::max(maxVal, x);
+    }
+    ++n;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        *this = other;
+        return;
+    }
+    const double total = static_cast<double>(n + other.n);
+    const double delta = other.mu - mu;
+    const double new_mu =
+        mu + delta * static_cast<double>(other.n) / total;
+    m2 += other.m2 + delta * delta *
+          static_cast<double>(n) * static_cast<double>(other.n) / total;
+    mu = new_mu;
+    minVal = std::min(minVal, other.minVal);
+    maxVal = std::max(maxVal, other.maxVal);
+    n += other.n;
+}
+
+P2Quantile::P2Quantile(double q) : q(q)
+{
+    assert(q > 0.0 && q < 1.0);
+    desired[0] = 1.0;
+    desired[1] = 1.0 + 2.0 * q;
+    desired[2] = 1.0 + 4.0 * q;
+    desired[3] = 3.0 + 2.0 * q;
+    desired[4] = 5.0;
+    increments[0] = 0.0;
+    increments[1] = q / 2.0;
+    increments[2] = q;
+    increments[3] = (1.0 + q) / 2.0;
+    increments[4] = 1.0;
+}
+
+void
+P2Quantile::add(double x)
+{
+    if (n < 5) {
+        heights[n++] = x;
+        if (n == 5)
+            std::sort(heights, heights + 5);
+        return;
+    }
+
+    // Locate the cell containing x and clamp the extremes.
+    std::size_t k;
+    if (x < heights[0]) {
+        heights[0] = x;
+        k = 0;
+    } else if (x >= heights[4]) {
+        heights[4] = x;
+        k = 3;
+    } else {
+        k = 0;
+        while (k < 3 && x >= heights[k + 1])
+            ++k;
+    }
+
+    for (std::size_t i = k + 1; i < 5; ++i)
+        positions[i] += 1.0;
+    for (std::size_t i = 0; i < 5; ++i)
+        desired[i] += increments[i];
+    ++n;
+
+    // Adjust interior markers toward their desired positions.
+    for (std::size_t i = 1; i <= 3; ++i) {
+        const double d = desired[i] - positions[i];
+        const double right = positions[i + 1] - positions[i];
+        const double left = positions[i - 1] - positions[i];
+        if ((d >= 1.0 && right > 1.0) || (d <= -1.0 && left < -1.0)) {
+            const double sign = d >= 0.0 ? 1.0 : -1.0;
+            // Parabolic (P-squared) prediction.
+            const double hp =
+                heights[i] +
+                sign / (positions[i + 1] - positions[i - 1]) *
+                    ((positions[i] - positions[i - 1] + sign) *
+                         (heights[i + 1] - heights[i]) / right +
+                     (positions[i + 1] - positions[i] - sign) *
+                         (heights[i] - heights[i - 1]) / (-left));
+            if (heights[i - 1] < hp && hp < heights[i + 1]) {
+                heights[i] = hp;
+            } else {
+                // Linear fallback keeps the markers ordered.
+                const std::size_t j =
+                    sign > 0.0 ? i + 1 : i - 1;
+                heights[i] += sign * (heights[j] - heights[i]) /
+                              (positions[j] - positions[i]);
+            }
+            positions[i] += sign;
+        }
+    }
+}
+
+double
+P2Quantile::value() const
+{
+    if (n == 0)
+        return 0.0;
+    if (n < 5) {
+        // Exact small-sample quantile by sorting a copy.
+        std::vector<double> xs(heights, heights + n);
+        return percentile(std::move(xs), 100.0 * q);
+    }
+    return heights[2];
+}
+
+} // namespace numeric
+} // namespace wcnn

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Descriptive statistics used for sample pre-processing (paper section
+ * 3.1), error metrics (section 3.3) and simulator steady-state reduction
+ * (section 4, "averages of collected counter values").
+ */
+
+#ifndef WCNN_NUMERIC_STATS_HH
+#define WCNN_NUMERIC_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace wcnn {
+namespace numeric {
+
+/** Arithmetic mean; empty input returns 0. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Sample standard deviation (n-1 denominator); inputs with fewer than two
+ * elements return 0.
+ */
+double stddev(const std::vector<double> &xs);
+
+/** Population variance helper (n denominator); empty input returns 0. */
+double populationVariance(const std::vector<double> &xs);
+
+/**
+ * Harmonic mean. The paper's cross-validation error metric is the
+ * harmonic mean of per-sample |error|/actual values.
+ *
+ * Zero entries are tolerated by flooring each value at a tiny epsilon so
+ * that a single perfect prediction does not collapse the whole fold's
+ * error to zero.
+ *
+ * @param xs Non-negative values.
+ */
+double harmonicMean(const std::vector<double> &xs);
+
+/**
+ * Percentile by linear interpolation between order statistics.
+ *
+ * @param xs Values (copied and sorted internally).
+ * @param p  Percentile in [0, 100].
+ */
+double percentile(std::vector<double> xs, double p);
+
+/** Pearson correlation of two equal-length series. */
+double correlation(const std::vector<double> &xs,
+                   const std::vector<double> &ys);
+
+/**
+ * Coefficient of determination of predictions against actuals.
+ *
+ * @param actual    Ground-truth values.
+ * @param predicted Model predictions, same length.
+ */
+double rSquared(const std::vector<double> &actual,
+                const std::vector<double> &predicted);
+
+/**
+ * Single-pass mean/variance accumulator (Welford). Used by the simulator
+ * collector so per-class response-time statistics never store the raw
+ * per-transaction series.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return n; }
+
+    /** Mean of observations so far (0 when empty). */
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Sample variance (n-1 denominator; 0 with fewer than 2 samples). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation (0 when empty). */
+    double min() const { return n ? minVal : 0.0; }
+
+    /** Largest observation (0 when empty). */
+    double max() const { return n ? maxVal : 0.0; }
+
+    /** Sum of observations. */
+    double sum() const { return n ? mu * static_cast<double>(n) : 0.0; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Reset to the empty state. */
+    void reset() { *this = RunningStats(); }
+
+  private:
+    std::size_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double minVal = 0.0;
+    double maxVal = 0.0;
+};
+
+/**
+ * Streaming quantile estimator (Jain & Chlamtac's P-squared
+ * algorithm): tracks one quantile in O(1) memory without storing the
+ * sample series. Used by the simulator's collector for tail response
+ * times — the criterion real SPECjAppServer-class harnesses apply is
+ * a 90th-percentile bound, not a mean.
+ */
+class P2Quantile
+{
+  public:
+    /**
+     * @param q Target quantile in (0, 1), e.g. 0.9.
+     */
+    explicit P2Quantile(double q);
+
+    /** Fold one observation into the estimate. */
+    void add(double x);
+
+    /** Observations so far. */
+    std::size_t count() const { return n; }
+
+    /**
+     * Current estimate; exact while fewer than 5 observations have
+     * been seen, the P-squared parabolic estimate afterwards. 0 when
+     * empty.
+     */
+    double value() const;
+
+  private:
+    double q;
+    std::size_t n = 0;
+    /** Marker heights (q[i]) and positions (n[i]) per the paper. */
+    double heights[5] = {0, 0, 0, 0, 0};
+    double positions[5] = {1, 2, 3, 4, 5};
+    double desired[5] = {0, 0, 0, 0, 0};
+    double increments[5] = {0, 0, 0, 0, 0};
+};
+
+} // namespace numeric
+} // namespace wcnn
+
+#endif // WCNN_NUMERIC_STATS_HH

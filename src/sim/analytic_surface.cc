@@ -1,0 +1,321 @@
+#include "analytic_surface.hh"
+
+#include "sim/database.hh"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace wcnn {
+namespace sim {
+
+namespace {
+
+/** Stable-regime utilizations are clipped below this. */
+constexpr double stableClip = 0.98;
+
+/** Hard cap on any queueing delay (mirrors the DES backlog cap). */
+constexpr double maxWait = 8.0;
+
+/** Fixed-point sweeps for the capacity/stretch interaction. */
+constexpr int fixedPointIterations = 12;
+
+std::size_t
+effectiveThreads(double configured)
+{
+    const auto n = static_cast<std::size_t>(
+        std::llround(std::max(configured, 0.0)));
+    return n == 0 ? 1 : n;
+}
+
+/**
+ * Mean queueing delay of completed work at a c-server FIFO pool with
+ * bounded backlog. Stable pools follow M/M/c (Erlang C); overloaded
+ * pools plateau at the time to drain a full backlog, which is what the
+ * bounded-queue simulator measures for the transactions that do
+ * complete.
+ */
+double
+poolWait(std::size_t servers, double lambda, double s,
+         std::size_t backlog_cap)
+{
+    if (lambda <= 0.0 || s <= 0.0)
+        return 0.0;
+    const double c = static_cast<double>(servers);
+    const double rho = lambda * s / c;
+    const double plateau = std::min(
+        maxWait, static_cast<double>(backlog_cap) * s / c);
+    if (rho >= 1.0)
+        return plateau;
+    const double rho_c = std::min(rho, stableClip);
+    const double stable =
+        erlangC(servers, rho_c * c) * s / (c * (1.0 - rho_c));
+    return std::min(stable, plateau);
+}
+
+} // namespace
+
+double
+erlangC(std::size_t servers, double offered_load)
+{
+    assert(servers > 0);
+    assert(offered_load >= 0.0);
+    const double a = offered_load;
+    const double c = static_cast<double>(servers);
+    if (a <= 0.0)
+        return 0.0;
+    if (a >= c)
+        return 1.0;
+    // Iteratively build the Erlang B blocking probability, then convert.
+    double b = 1.0;
+    for (std::size_t k = 1; k <= servers; ++k) {
+        const double kk = static_cast<double>(k);
+        b = a * b / (kk + a * b);
+    }
+    const double rho = a / c;
+    return b / (1.0 - rho + rho * b);
+}
+
+PerfSample
+analyticThreeTier(const ThreeTierConfig &cfg,
+                  const WorkloadParams &params)
+{
+    const double lambda = cfg.injectionRate;
+    const std::size_t mfg_threads = effectiveThreads(cfg.mfgQueue);
+    const std::size_t web_threads = effectiveThreads(cfg.webQueue);
+    const std::size_t def_threads = effectiveThreads(cfg.defaultQueue);
+    const std::size_t total_threads =
+        mfg_threads + web_threads + def_threads;
+
+    // Per-class offered arrival rates from the mix.
+    double mix_total = 0.0;
+    for (TxnClass cls : allTxnClasses)
+        mix_total += params.profile(cls).mix;
+    std::array<double, numTxnClasses> offered{};
+    for (TxnClass cls : allTxnClasses) {
+        offered[static_cast<std::size_t>(cls)] =
+            lambda * params.profile(cls).mix / mix_total;
+    }
+    const auto idx = [](TxnClass cls) {
+        return static_cast<std::size_t>(cls);
+    };
+
+    // Per-configured-thread efficiency tax (the context-switch term is
+    // load dependent and folded into the stretch's utilization).
+    const double base_efficiency =
+        1.0 / (1.0 + params.threadOverhead *
+                         static_cast<double>(total_threads));
+    double efficiency = base_efficiency;
+
+    // Fixed point over (CPU stretch, pool capacity shares): overloaded
+    // pools complete only a fraction of their offered load, which feeds
+    // back into CPU utilization, DB contention and thus service times.
+    double share_mfg = 1.0, share_web = 1.0, share_def = 1.0;
+    double cpu_stretch = 1.0 / efficiency;
+    std::array<double, numDbDomains> db_inflation{1.0, 1.0};
+    double db_wait = 0.0;
+    double aux_service = 0.0, aux_wait = 0.0;
+    std::array<double, numTxnClasses> hold{};
+
+    const auto domain_of = [](TxnClass cls) {
+        return cls == TxnClass::Manufacturing
+                   ? static_cast<std::size_t>(DbDomain::Manufacturing)
+                   : static_cast<std::size_t>(DbDomain::Dealer);
+    };
+    const auto db_time = [&](std::size_t domain, double demand) {
+        return demand <= 0.0 ? 0.0
+                             : demand * db_inflation[domain] + db_wait;
+    };
+
+    for (int it = 0; it < fixedPointIterations; ++it) {
+        // Served rates per class at its primary pool.
+        std::array<double, numTxnClasses> served{};
+        for (TxnClass cls : allTxnClasses) {
+            served[idx(cls)] =
+                offered[idx(cls)] *
+                (cls == TxnClass::Manufacturing ? share_mfg
+                                                : share_web);
+        }
+        // Work items dispatched by served purchase/manage flows,
+        // clipped by the default queue's own capacity.
+        const auto aux_served = [&](TxnClass cls) {
+            return served[idx(cls)] * share_def;
+        };
+
+        // CPU. Allocation-driven GC freezes the CPU for a fraction of
+        // time proportional to the transaction completion rate.
+        double txn_flow = 0.0;
+        for (TxnClass cls : allTxnClasses)
+            txn_flow += served[idx(cls)];
+        double gc_stop = 0.0;
+        if (params.gcTxnInterval > 0) {
+            gc_stop = std::min(
+                0.6, txn_flow * params.gcPauseMean /
+                         static_cast<double>(params.gcTxnInterval));
+        }
+        efficiency = base_efficiency * (1.0 - gc_stop);
+
+        double cpu_rate = 0.0;
+        for (TxnClass cls : allTxnClasses) {
+            const TxnProfile &p = params.profile(cls);
+            cpu_rate += served[idx(cls)] * (p.cpuPre + p.cpuPost);
+            if (p.hasAuxHop)
+                cpu_rate += aux_served(cls) * p.auxCpu;
+        }
+        const double cpu_util = std::min(
+            stableClip,
+            cpu_rate / (static_cast<double>(params.cores) * efficiency));
+        cpu_stretch = 1.0 / (efficiency * (1.0 - cpu_util));
+
+        // Database: lock inflation per domain, connection wait shared.
+        std::array<double, numDbDomains> dom_rate{};
+        std::array<double, numDbDomains> dom_demand_rate{};
+        for (TxnClass cls : allTxnClasses) {
+            const TxnProfile &p = params.profile(cls);
+            const std::size_t dom = domain_of(cls);
+            dom_rate[dom] += served[idx(cls)];
+            dom_demand_rate[dom] += served[idx(cls)] * p.dbDemand;
+            if (p.hasAuxHop) {
+                const std::size_t dealer =
+                    static_cast<std::size_t>(DbDomain::Dealer);
+                dom_rate[dealer] += aux_served(cls);
+                dom_demand_rate[dealer] += aux_served(cls) * p.auxDb;
+            }
+        }
+        double db_rate = 0.0, db_demand_rate = 0.0;
+        for (std::size_t dom = 0; dom < numDbDomains; ++dom) {
+            const double mean_dom =
+                dom_rate[dom] > 0.0
+                    ? dom_demand_rate[dom] / dom_rate[dom]
+                    : 0.0;
+            const double concurrency =
+                dom_rate[dom] * mean_dom * db_inflation[dom];
+            db_inflation[dom] =
+                1.0 + params.dbLockFactor * concurrency;
+            db_rate += dom_rate[dom];
+            db_demand_rate += dom_demand_rate[dom] * db_inflation[dom];
+        }
+        const double mean_db =
+            db_rate > 0.0 ? db_demand_rate / db_rate : 0.0;
+        db_wait = poolWait(params.dbConnections, db_rate, mean_db,
+                           params.backlogCap);
+
+        // Default queue: open-loop M/M/c over the dispatched items.
+        double aux_rate = 0.0, aux_service_sum = 0.0;
+        for (TxnClass cls : allTxnClasses) {
+            const TxnProfile &p = params.profile(cls);
+            if (!p.hasAuxHop)
+                continue;
+            const double r = served[idx(cls)];
+            aux_rate += r;
+            aux_service_sum +=
+                r * (p.auxCpu * cpu_stretch +
+                     db_time(static_cast<std::size_t>(DbDomain::Dealer),
+                             p.auxDb));
+        }
+        aux_service =
+            aux_rate > 0.0 ? aux_service_sum / aux_rate : 0.0;
+        aux_wait = poolWait(def_threads, aux_rate, aux_service,
+                            params.defaultBacklogCap);
+        const double def_rho =
+            aux_rate * aux_service / static_cast<double>(def_threads);
+        share_def = def_rho > 1.0 ? 1.0 / def_rho : 1.0;
+
+        // Held-thread time per class at its primary pool (the work
+        // item does not hold the web thread).
+        for (TxnClass cls : allTxnClasses) {
+            const TxnProfile &p = params.profile(cls);
+            hold[idx(cls)] = (p.cpuPre + p.cpuPost) * cpu_stretch +
+                             db_time(domain_of(cls), p.dbDemand);
+        }
+
+        // Pool utilizations against *offered* load set the shares.
+        const double mfg_rho =
+            offered[idx(TxnClass::Manufacturing)] *
+            hold[idx(TxnClass::Manufacturing)] /
+            static_cast<double>(mfg_threads);
+        share_mfg = mfg_rho > 1.0 ? 1.0 / mfg_rho : 1.0;
+
+        double web_num = 0.0;
+        for (TxnClass cls :
+             {TxnClass::DealerPurchase, TxnClass::DealerManage,
+              TxnClass::DealerBrowse}) {
+            web_num += offered[idx(cls)] * hold[idx(cls)];
+        }
+        const double web_rho =
+            web_num / static_cast<double>(web_threads);
+        share_web = web_rho > 1.0 ? 1.0 / web_rho : 1.0;
+    }
+
+    // Final pool waits for completed transactions.
+    const double mfg_wait =
+        poolWait(mfg_threads, offered[idx(TxnClass::Manufacturing)],
+                 hold[idx(TxnClass::Manufacturing)], params.backlogCap);
+    double web_rate = 0.0, web_service_sum = 0.0;
+    for (TxnClass cls :
+         {TxnClass::DealerPurchase, TxnClass::DealerManage,
+          TxnClass::DealerBrowse}) {
+        web_rate += offered[idx(cls)];
+        web_service_sum += offered[idx(cls)] * hold[idx(cls)];
+    }
+    const double web_hold =
+        web_rate > 0.0 ? web_service_sum / web_rate : 0.0;
+    const double web_wait =
+        poolWait(web_threads, web_rate, web_hold, params.backlogCap);
+
+    // Response time: queueing + pre-CPU + DB + the slower of the two
+    // tail branches (post-CPU on the web thread vs the work item on the
+    // default queue, which run concurrently from the dispatch point).
+    const auto rt = [&](TxnClass cls) {
+        const TxnProfile &p = params.profile(cls);
+        const double queue_wait =
+            cls == TxnClass::Manufacturing ? mfg_wait : web_wait;
+        const std::size_t dealer =
+            static_cast<std::size_t>(DbDomain::Dealer);
+        const double head = p.cpuPre * cpu_stretch +
+                            db_time(cls == TxnClass::Manufacturing
+                                        ? static_cast<std::size_t>(
+                                              DbDomain::Manufacturing)
+                                        : dealer,
+                                    p.dbDemand);
+        const double web_tail = p.cpuPost * cpu_stretch;
+        double tail = web_tail;
+        if (p.hasAuxHop) {
+            const double aux_tail = aux_wait +
+                                    p.auxCpu * cpu_stretch +
+                                    db_time(dealer, p.auxDb);
+            tail = std::max(tail, aux_tail);
+        }
+        return params.networkLatency + queue_wait + head + tail;
+    };
+
+    PerfSample out;
+    out.manufacturingRt = rt(TxnClass::Manufacturing);
+    out.dealerPurchaseRt = rt(TxnClass::DealerPurchase);
+    out.dealerManageRt = rt(TxnClass::DealerManage);
+    out.dealerBrowseRt = rt(TxnClass::DealerBrowse);
+
+    // Effective throughput: completed flow meeting the constraint, with
+    // an Erlang-2 tail approximation for P(RT <= limit).
+    double effective = 0.0;
+    for (TxnClass cls : allTxnClasses) {
+        const TxnProfile &p = params.profile(cls);
+        double share = cls == TxnClass::Manufacturing ? share_mfg
+                                                      : share_web;
+        if (p.hasAuxHop)
+            share *= share_def;
+        const double mean_rt = rt(cls);
+        double p_ok = 1.0;
+        if (mean_rt > 0.0) {
+            const double z = 2.0 * p.rtLimit / mean_rt;
+            p_ok = 1.0 - (1.0 + z) * std::exp(-z);
+        }
+        effective += offered[idx(cls)] * share * p_ok;
+    }
+    out.throughput = effective;
+    return out;
+}
+
+} // namespace sim
+} // namespace wcnn

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Closed-form queueing approximation of the 3-tier workload.
+ *
+ * A fast analytic companion to the discrete-event simulator: the same
+ * 4-input/5-output mapping computed from M/M/c formulas (Erlang C pool
+ * waits, processor-sharing CPU stretch, fixed-point DB contention)
+ * instead of event simulation. It is three orders of magnitude faster
+ * and perfectly smooth, which makes it ideal for unit tests, quick
+ * benches and cross-checks of the simulator's trends. The paper's
+ * future-work section asks for exactly such analytic non-linear models
+ * to complement the neural network.
+ */
+
+#ifndef WCNN_SIM_ANALYTIC_SURFACE_HH
+#define WCNN_SIM_ANALYTIC_SURFACE_HH
+
+#include <cstddef>
+
+#include "sim/collector.hh"
+#include "sim/three_tier.hh"
+#include "sim/workload.hh"
+
+namespace wcnn {
+namespace sim {
+
+/**
+ * Erlang C formula: probability that an arriving customer must queue in
+ * an M/M/c system.
+ *
+ * @param servers      Server count c (> 0).
+ * @param offered_load Offered load a = lambda * S in Erlangs; must be
+ *                     < servers for a meaningful steady state (callers
+ *                     clip).
+ */
+double erlangC(std::size_t servers, double offered_load);
+
+/**
+ * Evaluate the analytic model.
+ *
+ * @param cfg    Configuration (seed and windows are ignored — the model
+ *               is deterministic and instantaneous).
+ * @param params Demand model; defaults match the simulator.
+ * @return The 5 performance indicators.
+ */
+PerfSample analyticThreeTier(
+    const ThreeTierConfig &cfg,
+    const WorkloadParams &params = WorkloadParams::defaults());
+
+} // namespace sim
+} // namespace wcnn
+
+#endif // WCNN_SIM_ANALYTIC_SURFACE_HH

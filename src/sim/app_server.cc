@@ -1,0 +1,142 @@
+#include "app_server.hh"
+
+#include <cassert>
+
+namespace wcnn {
+namespace sim {
+
+AppServer::AppServer(Simulator &sim, PsCpu &cpu, Database &db,
+                     ThreadPool &mfg_pool, ThreadPool &web_pool,
+                     ThreadPool &default_pool,
+                     const WorkloadParams &params, Collector &collector,
+                     numeric::Rng rng)
+    : sim(sim), cpu(cpu), db(db), mfgPool(mfg_pool), webPool(web_pool),
+      defaultPool(default_pool), params(params), collector(collector),
+      rng(rng)
+{
+}
+
+double
+AppServer::sampleDemand(double mean)
+{
+    if (mean <= 0.0)
+        return 0.0;
+    return rng.lognormal(mean, params.serviceCov);
+}
+
+void
+AppServer::handle(const Request &req)
+{
+    const TxnProfile &profile = params.profile(req.cls);
+
+    auto flow = std::make_shared<Flow>();
+    flow->req = req;
+    flow->profile = &profile;
+    // Draw every demand up front so the per-transaction RNG consumption
+    // is fixed regardless of queueing outcomes (replay determinism).
+    flow->cpuPre = sampleDemand(profile.cpuPre);
+    flow->cpuPost = sampleDemand(profile.cpuPost);
+    flow->dbDemand = sampleDemand(profile.dbDemand);
+    flow->auxCpu = sampleDemand(profile.auxCpu);
+    flow->auxDb = sampleDemand(profile.auxDb);
+    flow->pendingBranches = profile.hasAuxHop ? 2 : 1;
+
+    ThreadPool &pool =
+        req.cls == TxnClass::Manufacturing ? mfgPool : webPool;
+    const bool accepted =
+        pool.submit([this, flow](std::function<void()> done) {
+            flow->threadDone = std::move(done);
+            startFlow(flow);
+        });
+    if (!accepted) {
+        ++nPrimaryRejects;
+        collector.recordDrop(req.cls, sim.now());
+        if (onTerminal)
+            onTerminal(req, TxnOutcome::Rejected);
+    }
+}
+
+void
+AppServer::startFlow(const FlowPtr &flow)
+{
+    // Allocation happens while the request is processed, whether or not
+    // the transaction ultimately completes; GC pressure follows the
+    // *processed* request rate.
+    maybeCollectGarbage();
+    const DbDomain domain = flow->req.cls == TxnClass::Manufacturing
+                                ? DbDomain::Manufacturing
+                                : DbDomain::Dealer;
+    cpu.execute(flow->cpuPre, [this, flow, domain] {
+        db.query(domain, flow->dbDemand, [this, flow] {
+            if (flow->profile->hasAuxHop)
+                dispatchAux(flow);
+            finishPrimary(flow);
+        });
+    });
+}
+
+void
+AppServer::dispatchAux(const FlowPtr &flow)
+{
+    const bool accepted = defaultPool.submit(
+        [this, flow](std::function<void()> aux_done) {
+            cpu.execute(flow->auxCpu, [this, flow,
+                                       aux_done = std::move(aux_done)] {
+                db.query(DbDomain::Dealer, flow->auxDb,
+                         [this, flow, aux_done = std::move(aux_done)] {
+                             aux_done();
+                             branchDone(flow);
+                         });
+            });
+        });
+    if (!accepted) {
+        // Internal dispatch failed: the transaction will never be
+        // complete. The web branch still runs to release its thread.
+        ++nAuxRejects;
+        flow->failed = true;
+        assert(flow->pendingBranches > 0);
+        --flow->pendingBranches;
+        collector.recordDrop(flow->req.cls, sim.now());
+        if (flow->pendingBranches == 0 && onTerminal)
+            onTerminal(flow->req, TxnOutcome::Failed);
+    }
+}
+
+void
+AppServer::finishPrimary(const FlowPtr &flow)
+{
+    cpu.execute(flow->cpuPost, [this, flow] {
+        flow->threadDone();
+        branchDone(flow);
+    });
+}
+
+void
+AppServer::branchDone(const FlowPtr &flow)
+{
+    assert(flow->pendingBranches > 0);
+    if (--flow->pendingBranches != 0)
+        return;
+    if (!flow->failed) {
+        collector.recordCompletion(flow->req.cls, flow->req.arrivalTime,
+                                   sim.now());
+    }
+    if (onTerminal) {
+        onTerminal(flow->req, flow->failed ? TxnOutcome::Failed
+                                           : TxnOutcome::Completed);
+    }
+}
+
+void
+AppServer::maybeCollectGarbage()
+{
+    if (params.gcTxnInterval == 0)
+        return;
+    if (++txnsSinceGc < params.gcTxnInterval)
+        return;
+    txnsSinceGc = 0;
+    cpu.pause(rng.lognormal(params.gcPauseMean, 0.3));
+}
+
+} // namespace sim
+} // namespace wcnn

@@ -1,0 +1,64 @@
+#include "closed_driver.hh"
+
+#include <cassert>
+
+namespace wcnn {
+namespace sim {
+
+ClosedLoopDriver::ClosedLoopDriver(Simulator &sim, AppServer &server,
+                                   std::size_t population,
+                                   double think_time,
+                                   const WorkloadParams &params,
+                                   numeric::Rng rng, double horizon)
+    : sim(sim), server(server), population(population),
+      thinkTime(think_time), horizon(horizon), rng(rng)
+{
+    assert(population > 0);
+    assert(think_time > 0.0);
+    for (TxnClass cls : allTxnClasses)
+        mixWeights.push_back(params.profile(cls).mix);
+    server.setTerminalListener(
+        [this](const Request &req, TxnOutcome outcome) {
+            onTerminal(req, outcome);
+        });
+}
+
+void
+ClosedLoopDriver::start()
+{
+    for (std::size_t user = 0; user < population; ++user) {
+        sim.schedule(rng.exponential(thinkTime),
+                     [this, user] { issue(user); });
+    }
+}
+
+void
+ClosedLoopDriver::issue(std::size_t user)
+{
+    if (sim.now() > horizon)
+        return;
+    Request req;
+    req.id = ++nIssued;
+    req.cls = allTxnClasses[rng.discrete(mixWeights)];
+    req.arrivalTime = sim.now();
+    waiting.emplace(req.id, user);
+    server.handle(req);
+    // Synchronous rejection may already have erased the entry and
+    // rescheduled the user via onTerminal.
+}
+
+void
+ClosedLoopDriver::onTerminal(const Request &req, TxnOutcome outcome)
+{
+    (void)outcome; // errors and successes both return to thinking
+    const auto it = waiting.find(req.id);
+    if (it == waiting.end())
+        return; // not ours (e.g. issued by another driver)
+    const std::size_t user = it->second;
+    waiting.erase(it);
+    sim.schedule(rng.exponential(thinkTime),
+                 [this, user] { issue(user); });
+}
+
+} // namespace sim
+} // namespace wcnn

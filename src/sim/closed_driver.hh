@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Closed-loop load driver.
+ *
+ * The paper's driver injects at a fixed rate (open loop). Real
+ * SPECjAppServer-class drivers are *closed*: a fixed population of
+ * emulated users each thinks for an exponentially distributed time,
+ * issues one request, waits for its response (or failure), and thinks
+ * again. Closed loops self-throttle — response-time inflation slows
+ * the arrival stream — which changes the shape of the saturation
+ * region. The load-model ablation quantifies that difference.
+ */
+
+#ifndef WCNN_SIM_CLOSED_DRIVER_HH
+#define WCNN_SIM_CLOSED_DRIVER_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "numeric/rng.hh"
+#include "sim/app_server.hh"
+#include "sim/simulator.hh"
+#include "sim/txn.hh"
+#include "sim/workload.hh"
+
+namespace wcnn {
+namespace sim {
+
+/**
+ * Fixed-population think-time driver. Installs itself as the app
+ * server's terminal listener; do not combine with another listener.
+ */
+class ClosedLoopDriver
+{
+  public:
+    /**
+     * @param sim        Owning simulator.
+     * @param server     Target application server.
+     * @param population Number of emulated users (> 0).
+     * @param think_time Mean think time between a response and the
+     *                   next request (seconds, > 0; exponential).
+     * @param params     Workload (for the class mix).
+     * @param rng        Generator for think times and class draws.
+     * @param horizon    Users stop issuing new requests after this
+     *                   simulation time.
+     */
+    ClosedLoopDriver(Simulator &sim, AppServer &server,
+                     std::size_t population, double think_time,
+                     const WorkloadParams &params, numeric::Rng rng,
+                     double horizon);
+
+    /** Schedule every user's first think. */
+    void start();
+
+    /** Requests issued so far. */
+    std::uint64_t issued() const { return nIssued; }
+
+    /** Users currently waiting for a response. */
+    std::size_t usersWaiting() const { return waiting.size(); }
+
+  private:
+    /** End one user's think and issue their next request. */
+    void issue(std::size_t user);
+
+    /** Terminal event: resume the issuing user's think cycle. */
+    void onTerminal(const Request &req, TxnOutcome outcome);
+
+    Simulator &sim;
+    AppServer &server;
+    std::size_t population;
+    double thinkTime;
+    double horizon;
+    numeric::Rng rng;
+    std::vector<double> mixWeights;
+
+    std::uint64_t nIssued = 0;
+    /** request id -> issuing user. */
+    std::unordered_map<std::uint64_t, std::size_t> waiting;
+};
+
+} // namespace sim
+} // namespace wcnn
+
+#endif // WCNN_SIM_CLOSED_DRIVER_HH

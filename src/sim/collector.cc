@@ -1,0 +1,80 @@
+#include "collector.hh"
+
+#include <cassert>
+
+namespace wcnn {
+namespace sim {
+
+std::vector<double>
+PerfSample::toVector() const
+{
+    return {manufacturingRt, dealerPurchaseRt, dealerManageRt,
+            dealerBrowseRt, throughput};
+}
+
+std::vector<std::string>
+PerfSample::indicatorNames()
+{
+    return {"manufacturing_rt", "dealer_purchase_rt", "dealer_manage_rt",
+            "dealer_browse_rt", "throughput"};
+}
+
+Collector::Collector(double warmup_end, double run_end,
+                     const WorkloadParams &params)
+    : warmupEnd(warmup_end), runEnd(run_end), params(params)
+{
+    assert(run_end > warmup_end);
+}
+
+void
+Collector::recordCompletion(TxnClass cls, double arrival,
+                            double completion)
+{
+    assert(completion >= arrival);
+    if (completion < warmupEnd || completion > runEnd)
+        return;
+    const auto idx = static_cast<std::size_t>(cls);
+    const double rt = completion - arrival + params.networkLatency;
+    rtStats[idx].add(rt);
+    tailStats[idx].add(rt);
+    if (rt <= params.profile(cls).rtLimit)
+        ++nWithinLimit[idx];
+}
+
+void
+Collector::recordDrop(TxnClass cls, double when)
+{
+    if (when < warmupEnd || when > runEnd)
+        return;
+    ++nDrops[static_cast<std::size_t>(cls)];
+}
+
+PerfSample
+Collector::summarize() const
+{
+    const double window = runEnd - warmupEnd;
+    PerfSample out;
+
+    const auto class_rt = [this](TxnClass cls) {
+        const auto idx = static_cast<std::size_t>(cls);
+        if (rtStats[idx].count() == 0) {
+            // Jammed queue: nothing completed in the whole window.
+            return 4.0 * params.profile(cls).rtLimit;
+        }
+        return rtStats[idx].mean();
+    };
+
+    out.manufacturingRt = class_rt(TxnClass::Manufacturing);
+    out.dealerPurchaseRt = class_rt(TxnClass::DealerPurchase);
+    out.dealerManageRt = class_rt(TxnClass::DealerManage);
+    out.dealerBrowseRt = class_rt(TxnClass::DealerBrowse);
+
+    std::size_t effective = 0;
+    for (std::size_t i = 0; i < numTxnClasses; ++i)
+        effective += nWithinLimit[i];
+    out.throughput = static_cast<double>(effective) / window;
+    return out;
+}
+
+} // namespace sim
+} // namespace wcnn

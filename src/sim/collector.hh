@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Steady-state measurement of the simulated workload.
+ *
+ * The paper reduces each run to the averages of counters collected in
+ * steady state (section 4). The collector discards a warm-up window,
+ * then accumulates per-class response-time averages and the *effective*
+ * throughput — transactions per second that completed within their
+ * class's response-time constraint, matching the workload's "response
+ * time restrictions".
+ */
+
+#ifndef WCNN_SIM_COLLECTOR_HH
+#define WCNN_SIM_COLLECTOR_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "numeric/stats.hh"
+#include "sim/txn.hh"
+#include "sim/workload.hh"
+
+namespace wcnn {
+namespace sim {
+
+/**
+ * The 4-input workload's 5 performance indicators (paper section 4):
+ * four per-class mean response times plus effective throughput.
+ */
+struct PerfSample
+{
+    /** Mean manufacturing response time (s). */
+    double manufacturingRt = 0.0;
+    /** Mean dealer purchase response time (s). */
+    double dealerPurchaseRt = 0.0;
+    /** Mean dealer manage response time (s). */
+    double dealerManageRt = 0.0;
+    /** Mean dealer browse-autos response time (s). */
+    double dealerBrowseRt = 0.0;
+    /** Effective transactions per second. */
+    double throughput = 0.0;
+
+    /** Indicators as a vector in the canonical column order. */
+    std::vector<double> toVector() const;
+
+    /** Canonical indicator (output-column) names. */
+    static std::vector<std::string> indicatorNames();
+};
+
+/**
+ * Accumulates completions and drops over the measurement window.
+ */
+class Collector
+{
+  public:
+    /**
+     * @param warmup_end Completions before this time are discarded.
+     * @param run_end    End of the measurement window.
+     * @param params     Workload parameters (for the per-class
+     *                   response-time constraints).
+     */
+    Collector(double warmup_end, double run_end,
+              const WorkloadParams &params);
+
+    /**
+     * Record a completed transaction.
+     *
+     * @param cls        Transaction class.
+     * @param arrival    Injection time.
+     * @param completion Completion time.
+     */
+    void recordCompletion(TxnClass cls, double arrival,
+                          double completion);
+
+    /**
+     * Record a transaction rejected by an overloaded queue (it never
+     * completes and therefore never counts toward throughput).
+     *
+     * @param cls  Transaction class.
+     * @param when Rejection time.
+     */
+    void recordDrop(TxnClass cls, double when);
+
+    /**
+     * Reduce to the 5-indicator sample. Classes with no completions in
+     * the window report a saturation sentinel of 4x their constraint
+     * (the queue was jammed for the whole window).
+     */
+    PerfSample summarize() const;
+
+    /** Measured completions of one class. */
+    std::size_t
+    completions(TxnClass cls) const
+    {
+        return rtStats[static_cast<std::size_t>(cls)].count();
+    }
+
+    /** Measured drops of one class. */
+    std::size_t
+    drops(TxnClass cls) const
+    {
+        return nDrops[static_cast<std::size_t>(cls)];
+    }
+
+    /** Full response-time statistics of one class. */
+    const numeric::RunningStats &
+    responseTime(TxnClass cls) const
+    {
+        return rtStats[static_cast<std::size_t>(cls)];
+    }
+
+    /**
+     * Streaming 90th-percentile response time of one class — the
+     * criterion SPECjAppServer-class harnesses actually apply to
+     * their response-time bounds. 0 when the class saw no
+     * completions.
+     */
+    double
+    tailResponseTime(TxnClass cls) const
+    {
+        return tailStats[static_cast<std::size_t>(cls)].value();
+    }
+
+  private:
+    double warmupEnd;
+    double runEnd;
+    const WorkloadParams &params;
+
+    std::array<numeric::RunningStats, numTxnClasses> rtStats{};
+    std::array<numeric::P2Quantile, numTxnClasses> tailStats{
+        numeric::P2Quantile(0.9), numeric::P2Quantile(0.9),
+        numeric::P2Quantile(0.9), numeric::P2Quantile(0.9)};
+    std::array<std::size_t, numTxnClasses> nWithinLimit{};
+    std::array<std::size_t, numTxnClasses> nDrops{};
+};
+
+} // namespace sim
+} // namespace wcnn
+
+#endif // WCNN_SIM_COLLECTOR_HH

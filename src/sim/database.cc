@@ -1,0 +1,62 @@
+#include "database.hh"
+
+#include <cassert>
+
+namespace wcnn {
+namespace sim {
+
+Database::Database(Simulator &sim, std::size_t connections,
+                   double lock_factor)
+    : sim(sim), connections(connections), lockFactor(lock_factor)
+{
+    assert(connections > 0);
+    assert(lock_factor >= 0.0);
+}
+
+void
+Database::query(DbDomain domain, double demand,
+                std::function<void()> done)
+{
+    assert(demand > 0.0);
+    if (busy < connections) {
+        beginService(domain, demand, std::move(done));
+    } else {
+        backlog.push_back(Pending{domain, demand, std::move(done)});
+    }
+}
+
+void
+Database::beginService(DbDomain domain, double demand,
+                       std::function<void()> done)
+{
+    // Lock contention against same-domain queries already in flight.
+    const std::size_t domain_busy =
+        busyPerDomain[static_cast<std::size_t>(domain)];
+    const double service =
+        demand * (1.0 + lockFactor * static_cast<double>(domain_busy));
+    ++busy;
+    ++busyPerDomain[static_cast<std::size_t>(domain)];
+    sim.schedule(service,
+                 [this, domain, cb = std::move(done)]() mutable {
+                     onComplete(domain, std::move(cb));
+                 });
+}
+
+void
+Database::onComplete(DbDomain domain, std::function<void()> done)
+{
+    assert(busy > 0);
+    assert(busyPerDomain[static_cast<std::size_t>(domain)] > 0);
+    --busy;
+    --busyPerDomain[static_cast<std::size_t>(domain)];
+    ++nCompleted;
+    if (!backlog.empty() && busy < connections) {
+        Pending next = std::move(backlog.front());
+        backlog.pop_front();
+        beginService(next.domain, next.demand, std::move(next.done));
+    }
+    done();
+}
+
+} // namespace sim
+} // namespace wcnn

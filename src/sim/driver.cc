@@ -1,0 +1,40 @@
+#include "driver.hh"
+
+#include <cassert>
+
+namespace wcnn {
+namespace sim {
+
+Driver::Driver(Simulator &sim, AppServer &server, double rate,
+               const WorkloadParams &params, numeric::Rng rng,
+               double horizon)
+    : sim(sim), server(server), rate(rate), horizon(horizon), rng(rng)
+{
+    assert(rate > 0.0);
+    for (TxnClass cls : allTxnClasses)
+        mixWeights.push_back(params.profile(cls).mix);
+}
+
+void
+Driver::start()
+{
+    sim.schedule(rng.exponential(1.0 / rate), [this] { injectNext(); });
+}
+
+void
+Driver::injectNext()
+{
+    if (sim.now() > horizon)
+        return;
+
+    Request req;
+    req.id = ++nInjected;
+    req.cls = allTxnClasses[rng.discrete(mixWeights)];
+    req.arrivalTime = sim.now();
+    server.handle(req);
+
+    sim.schedule(rng.exponential(1.0 / rate), [this] { injectNext(); });
+}
+
+} // namespace sim
+} // namespace wcnn

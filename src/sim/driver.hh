@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Load driver.
+ *
+ * The paper's setup uses a driver machine "to inject the load to the
+ * system" at a configured injection rate (requests per second) — one of
+ * the four input parameters. The driver is open-loop: arrivals form a
+ * Poisson process, with the transaction class of each arrival drawn
+ * from the workload mix. The driver machine itself is not CPU bound
+ * (paper section 4), so it is modeled as an ideal source.
+ */
+
+#ifndef WCNN_SIM_DRIVER_HH
+#define WCNN_SIM_DRIVER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/rng.hh"
+#include "sim/app_server.hh"
+#include "sim/simulator.hh"
+#include "sim/txn.hh"
+#include "sim/workload.hh"
+
+namespace wcnn {
+namespace sim {
+
+/**
+ * Open-loop Poisson injector.
+ */
+class Driver
+{
+  public:
+    /**
+     * @param sim     Owning simulator.
+     * @param server  Target application server.
+     * @param rate    Injection rate in requests per second (> 0).
+     * @param params  Workload (for the class mix).
+     * @param rng     Generator for inter-arrival gaps and class draws.
+     * @param horizon Stop injecting at this simulation time.
+     */
+    Driver(Simulator &sim, AppServer &server, double rate,
+           const WorkloadParams &params, numeric::Rng rng,
+           double horizon);
+
+    /** Schedule the first arrival. */
+    void start();
+
+    /** Requests injected so far. */
+    std::uint64_t injected() const { return nInjected; }
+
+  private:
+    /** Inject one request and schedule the next arrival. */
+    void injectNext();
+
+    Simulator &sim;
+    AppServer &server;
+    double rate;
+    double horizon;
+    numeric::Rng rng;
+    std::vector<double> mixWeights;
+    std::uint64_t nInjected = 0;
+};
+
+} // namespace sim
+} // namespace wcnn
+
+#endif // WCNN_SIM_DRIVER_HH

@@ -1,0 +1,174 @@
+#include "sample_space.hh"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+#include "numeric/rng.hh"
+
+namespace wcnn {
+namespace sim {
+
+namespace {
+
+double
+snap(const ParameterRange &range, double v)
+{
+    v = std::clamp(v, range.lo, range.hi);
+    return range.integral ? std::round(v) : v;
+}
+
+/** Value at position frac in [0,1] along the range. */
+double
+lerp(const ParameterRange &range, double frac)
+{
+    return snap(range, range.lo + frac * (range.hi - range.lo));
+}
+
+ThreeTierConfig
+makeConfig(const SampleSpace &space, double f_inj, double f_def,
+           double f_mfg, double f_web)
+{
+    ThreeTierConfig cfg;
+    cfg.injectionRate = lerp(space.injectionRate, f_inj);
+    cfg.defaultQueue = lerp(space.defaultQueue, f_def);
+    cfg.mfgQueue = lerp(space.mfgQueue, f_mfg);
+    cfg.webQueue = lerp(space.webQueue, f_web);
+    return cfg;
+}
+
+} // namespace
+
+SampleSpace
+SampleSpace::paperLike()
+{
+    return SampleSpace{};
+}
+
+std::vector<ThreeTierConfig>
+gridDesign(const SampleSpace &space,
+           const std::array<std::size_t, 4> &points)
+{
+    for (std::size_t p : points)
+        assert(p >= 1);
+    std::vector<ThreeTierConfig> out;
+    out.reserve(points[0] * points[1] * points[2] * points[3]);
+    const auto frac = [](std::size_t i, std::size_t n) {
+        return n == 1 ? 0.5
+                      : static_cast<double>(i) /
+                            static_cast<double>(n - 1);
+    };
+    for (std::size_t a = 0; a < points[0]; ++a)
+        for (std::size_t b = 0; b < points[1]; ++b)
+            for (std::size_t c = 0; c < points[2]; ++c)
+                for (std::size_t d = 0; d < points[3]; ++d)
+                    out.push_back(makeConfig(
+                        space, frac(a, points[0]), frac(b, points[1]),
+                        frac(c, points[2]), frac(d, points[3])));
+    return out;
+}
+
+std::vector<ThreeTierConfig>
+randomDesign(const SampleSpace &space, std::size_t n, numeric::Rng &rng)
+{
+    std::vector<ThreeTierConfig> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        out.push_back(makeConfig(space, rng.uniform(), rng.uniform(),
+                                 rng.uniform(), rng.uniform()));
+    }
+    return out;
+}
+
+std::vector<ThreeTierConfig>
+latinHypercubeDesign(const SampleSpace &space, std::size_t n,
+                     numeric::Rng &rng)
+{
+    assert(n > 0);
+    std::array<std::vector<std::size_t>, 4> strata;
+    for (auto &s : strata)
+        s = rng.permutation(n);
+    std::vector<ThreeTierConfig> out;
+    out.reserve(n);
+    const double nn = static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto frac = [&](std::size_t axis) {
+            return (static_cast<double>(strata[axis][i]) +
+                    rng.uniform()) /
+                   nn;
+        };
+        out.push_back(
+            makeConfig(space, frac(0), frac(1), frac(2), frac(3)));
+    }
+    return out;
+}
+
+std::vector<ThreeTierConfig>
+factorialDesign(const SampleSpace &space, std::size_t center_points)
+{
+    std::vector<ThreeTierConfig> out;
+    out.reserve(16 + center_points);
+    for (int mask = 0; mask < 16; ++mask) {
+        out.push_back(makeConfig(space, (mask & 1) ? 1.0 : 0.0,
+                                 (mask & 2) ? 1.0 : 0.0,
+                                 (mask & 4) ? 1.0 : 0.0,
+                                 (mask & 8) ? 1.0 : 0.0));
+    }
+    for (std::size_t c = 0; c < center_points; ++c)
+        out.push_back(makeConfig(space, 0.5, 0.5, 0.5, 0.5));
+    return out;
+}
+
+data::Dataset
+collectDataset(const std::vector<ThreeTierConfig> &configs,
+               const SampleFn &fn)
+{
+    data::Dataset ds(ThreeTierConfig::parameterNames(),
+                     PerfSample::indicatorNames());
+    for (const auto &cfg : configs) {
+        const PerfSample sample = fn(cfg);
+        ds.add(cfg.toVector(), sample.toVector());
+    }
+    return ds;
+}
+
+data::Dataset
+collectSimulated(std::vector<ThreeTierConfig> configs,
+                 const WorkloadParams &params, std::uint64_t seed_base,
+                 std::size_t replicates)
+{
+    assert(replicates >= 1);
+    std::size_t run = 0;
+    return collectDataset(configs, [&](const ThreeTierConfig &cfg) {
+        PerfSample mean;
+        for (std::size_t r = 0; r < replicates; ++r) {
+            ThreeTierConfig replica = cfg;
+            replica.seed = seed_base + run++;
+            const PerfSample s = simulateThreeTier(replica, params);
+            mean.manufacturingRt += s.manufacturingRt;
+            mean.dealerPurchaseRt += s.dealerPurchaseRt;
+            mean.dealerManageRt += s.dealerManageRt;
+            mean.dealerBrowseRt += s.dealerBrowseRt;
+            mean.throughput += s.throughput;
+        }
+        const double n = static_cast<double>(replicates);
+        mean.manufacturingRt /= n;
+        mean.dealerPurchaseRt /= n;
+        mean.dealerManageRt /= n;
+        mean.dealerBrowseRt /= n;
+        mean.throughput /= n;
+        return mean;
+    });
+}
+
+data::Dataset
+collectAnalytic(const std::vector<ThreeTierConfig> &configs,
+                const WorkloadParams &params)
+{
+    return collectDataset(configs, [&](const ThreeTierConfig &cfg) {
+        return analyticThreeTier(cfg, params);
+    });
+}
+
+} // namespace sim
+} // namespace wcnn

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Experiment designs over the configuration space and dataset
+ * collection.
+ *
+ * "A set of training samples are collected by running the identical
+ * application under various configurations" (paper section 2.2). This
+ * module generates those configuration sets — full grids, uniform random
+ * draws, and Latin hypercube designs — and runs each through the
+ * simulator (or the analytic model) to build a data::Dataset with the
+ * paper's column names.
+ */
+
+#ifndef WCNN_SIM_SAMPLE_SPACE_HH
+#define WCNN_SIM_SAMPLE_SPACE_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "data/dataset.hh"
+#include "sim/analytic_surface.hh"
+#include "sim/three_tier.hh"
+
+namespace wcnn {
+namespace numeric {
+class Rng;
+} // namespace numeric
+
+namespace sim {
+
+/** Closed range of one configuration axis. */
+struct ParameterRange
+{
+    /** Inclusive lower bound. */
+    double lo = 0.0;
+    /** Inclusive upper bound. */
+    double hi = 0.0;
+    /** Round sampled values to integers (thread counts). */
+    bool integral = false;
+};
+
+/** Ranges of the four configuration axes. */
+struct SampleSpace
+{
+    ParameterRange injectionRate{500.0, 620.0, false};
+    ParameterRange defaultQueue{0.0, 20.0, true};
+    ParameterRange mfgQueue{12.0, 24.0, true};
+    ParameterRange webQueue{14.0, 20.0, true};
+
+    /**
+     * The region the paper's analysis explores: injection around 560,
+     * default 0-20, mfg around 16, web 14-20.
+     */
+    static SampleSpace paperLike();
+};
+
+/**
+ * Full-factorial grid with the given number of points per axis.
+ *
+ * @param space  Axis ranges.
+ * @param points Points per axis (injection, default, mfg, web); each
+ *               must be >= 1.
+ * @return points[0]*points[1]*points[2]*points[3] configurations.
+ */
+std::vector<ThreeTierConfig>
+gridDesign(const SampleSpace &space,
+           const std::array<std::size_t, 4> &points);
+
+/**
+ * Uniform random design.
+ *
+ * @param space Axis ranges.
+ * @param n     Number of configurations.
+ * @param rng   Generator.
+ */
+std::vector<ThreeTierConfig> randomDesign(const SampleSpace &space,
+                                          std::size_t n,
+                                          numeric::Rng &rng);
+
+/**
+ * Latin hypercube design: each axis is divided into n strata and each
+ * stratum is used exactly once, giving much better space coverage than
+ * uniform random for small n.
+ *
+ * @param space Axis ranges.
+ * @param n     Number of configurations.
+ * @param rng   Generator.
+ */
+std::vector<ThreeTierConfig> latinHypercubeDesign(const SampleSpace &space,
+                                                  std::size_t n,
+                                                  numeric::Rng &rng);
+
+/**
+ * Two-level full-factorial design with center points — the Design of
+ * Experiments style used by the linear-model prior work the paper
+ * compares against (refs [2, 20, 21]): every corner of the
+ * configuration hypercube (2^4 = 16 runs) plus replicated center
+ * points to expose curvature.
+ *
+ * @param space         Axis ranges.
+ * @param center_points Number of center-point runs appended.
+ */
+std::vector<ThreeTierConfig> factorialDesign(const SampleSpace &space,
+                                             std::size_t center_points
+                                             = 1);
+
+/** Maps a configuration to its 5 indicators. */
+using SampleFn = std::function<PerfSample(const ThreeTierConfig &)>;
+
+/**
+ * Run every configuration through a sampler and assemble the dataset
+ * with the paper's input/output column names.
+ *
+ * @param configs Configurations to evaluate.
+ * @param fn      Sampler (simulateThreeTier, analyticThreeTier, ...).
+ */
+data::Dataset collectDataset(const std::vector<ThreeTierConfig> &configs,
+                             const SampleFn &fn);
+
+/**
+ * Convenience: collect with the discrete-event simulator. Each
+ * configuration is run `replicates` times under distinct seeds and the
+ * indicators averaged — the paper likewise reduces each configuration
+ * to "the averages of collected counter values ... to reduce the effect
+ * of sampling error" (section 4).
+ *
+ * @param configs    Configurations to evaluate (seed field overwritten).
+ * @param params     Demand model.
+ * @param seed_base  First seed.
+ * @param replicates Runs per configuration (>= 1).
+ */
+data::Dataset collectSimulated(std::vector<ThreeTierConfig> configs,
+                               const WorkloadParams &params,
+                               std::uint64_t seed_base,
+                               std::size_t replicates = 3);
+
+/**
+ * Convenience: collect with the closed-form analytic model (fast,
+ * deterministic; for tests and quick benches).
+ *
+ * @param configs Configurations to evaluate.
+ * @param params  Demand model.
+ */
+data::Dataset collectAnalytic(const std::vector<ThreeTierConfig> &configs,
+                              const WorkloadParams &params);
+
+} // namespace sim
+} // namespace wcnn
+
+#endif // WCNN_SIM_SAMPLE_SPACE_HH

@@ -1,0 +1,55 @@
+#include "simulator.hh"
+
+#include <cassert>
+
+namespace wcnn {
+namespace sim {
+
+EventId
+Simulator::schedule(double delay, std::function<void()> fn)
+{
+    assert(delay >= 0.0);
+    return scheduleAt(clock + delay, std::move(fn));
+}
+
+EventId
+Simulator::scheduleAt(double when, std::function<void()> fn)
+{
+    assert(when >= clock);
+    const EventId id = nextId++;
+    calendar.push(Entry{when, id, std::move(fn)});
+    return id;
+}
+
+void
+Simulator::cancel(EventId id)
+{
+    if (id != 0 && id < nextId)
+        cancelled.insert(id);
+}
+
+void
+Simulator::run(double until)
+{
+    stopping = false;
+    while (!calendar.empty() && !stopping) {
+        if (calendar.top().when > until)
+            break;
+        // priority_queue::top is const; move out via const_cast is UB, so
+        // copy the small entry instead (fn is the only heap part).
+        Entry entry = calendar.top();
+        calendar.pop();
+        if (auto it = cancelled.find(entry.id); it != cancelled.end()) {
+            cancelled.erase(it);
+            continue;
+        }
+        clock = entry.when;
+        ++nProcessed;
+        entry.fn();
+    }
+    if (clock < until)
+        clock = until;
+}
+
+} // namespace sim
+} // namespace wcnn

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * The substrate replacing the paper's physical 3-tier testbed is a
+ * discrete-event queueing-network simulator. This kernel provides the
+ * virtual clock, a time-ordered event calendar with stable FIFO ordering
+ * for simultaneous events, and O(log n) schedule/cancel.
+ */
+
+#ifndef WCNN_SIM_SIMULATOR_HH
+#define WCNN_SIM_SIMULATOR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace wcnn {
+namespace sim {
+
+/** Opaque handle identifying a scheduled event (for cancellation). */
+using EventId = std::uint64_t;
+
+/**
+ * Event-calendar simulator with a double-precision clock.
+ *
+ * Events scheduled for the same timestamp fire in scheduling order.
+ * Cancellation is lazy: cancelled ids are skipped when popped.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Current simulation time (seconds). */
+    double now() const { return clock; }
+
+    /**
+     * Schedule a callback after a delay.
+     *
+     * @param delay Non-negative offset from now().
+     * @param fn    Callback to invoke at now() + delay.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(double delay, std::function<void()> fn);
+
+    /**
+     * Schedule a callback at an absolute time.
+     *
+     * @param when Absolute time >= now().
+     * @param fn   Callback to invoke.
+     * @return Handle usable with cancel().
+     */
+    EventId scheduleAt(double when, std::function<void()> fn);
+
+    /**
+     * Cancel a pending event. Cancelling an already-fired or unknown id
+     * is a harmless no-op.
+     *
+     * @param id Handle from schedule()/scheduleAt().
+     */
+    void cancel(EventId id);
+
+    /**
+     * Run until the calendar empties or the clock passes the horizon.
+     * Events at exactly the horizon still fire.
+     *
+     * @param until Simulation-time horizon (seconds).
+     */
+    void run(double until);
+
+    /** Stop a run() in progress after the current event returns. */
+    void stop() { stopping = true; }
+
+    /** Events dispatched so far (excludes cancelled ones). */
+    std::size_t eventsProcessed() const { return nProcessed; }
+
+    /** Pending (non-cancelled) event count. */
+    std::size_t pendingEvents() const
+    {
+        return calendar.size() - cancelled.size();
+    }
+
+  private:
+    struct Entry
+    {
+        double when;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.id > b.id; // FIFO among simultaneous events
+        }
+    };
+
+    double clock = 0.0;
+    EventId nextId = 1;
+    std::size_t nProcessed = 0;
+    bool stopping = false;
+    std::priority_queue<Entry, std::vector<Entry>, Later> calendar;
+    std::unordered_set<EventId> cancelled;
+};
+
+} // namespace sim
+} // namespace wcnn
+
+#endif // WCNN_SIM_SIMULATOR_HH

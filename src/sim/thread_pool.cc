@@ -1,0 +1,56 @@
+#include "thread_pool.hh"
+
+#include <cassert>
+
+namespace wcnn {
+namespace sim {
+
+ThreadPool::ThreadPool(Simulator &sim, std::string name,
+                       std::size_t threads, std::size_t backlog_cap)
+    : sim(sim), poolName(std::move(name)),
+      nThreads(threads == 0 ? 1 : threads), backlogCap(backlog_cap)
+{
+    assert(backlog_cap > 0);
+}
+
+bool
+ThreadPool::submit(Work work)
+{
+    if (nBusy < nThreads) {
+        dispatch(std::move(work), sim.now());
+        return true;
+    }
+    if (backlog.size() >= backlogCap) {
+        ++nDropped;
+        return false;
+    }
+    backlog.push_back(Pending{std::move(work), sim.now()});
+    return true;
+}
+
+void
+ThreadPool::dispatch(Work work, double enqueue_time)
+{
+    assert(nBusy < nThreads);
+    ++nBusy;
+    waitStats.add(sim.now() - enqueue_time);
+    // The item signals completion through this thunk; it may do so
+    // synchronously or after arbitrarily many simulated events.
+    work([this] { onItemDone(); });
+}
+
+void
+ThreadPool::onItemDone()
+{
+    assert(nBusy > 0);
+    --nBusy;
+    ++nCompleted;
+    if (!backlog.empty() && nBusy < nThreads) {
+        Pending next = std::move(backlog.front());
+        backlog.pop_front();
+        dispatch(std::move(next.work), next.enqueueTime);
+    }
+}
+
+} // namespace sim
+} // namespace wcnn

@@ -1,0 +1,101 @@
+#include "three_tier.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "numeric/rng.hh"
+#include "sim/app_server.hh"
+#include "sim/cpu.hh"
+#include "sim/database.hh"
+#include "sim/closed_driver.hh"
+#include "sim/driver.hh"
+#include "sim/simulator.hh"
+#include "sim/thread_pool.hh"
+
+namespace wcnn {
+namespace sim {
+
+namespace {
+
+/** Round a configured (possibly fractional) thread count. */
+std::size_t
+roundThreads(double v)
+{
+    assert(v >= 0.0);
+    return static_cast<std::size_t>(std::llround(v));
+}
+
+} // namespace
+
+std::vector<double>
+ThreeTierConfig::toVector() const
+{
+    return {injectionRate, defaultQueue, mfgQueue, webQueue};
+}
+
+std::vector<std::string>
+ThreeTierConfig::parameterNames()
+{
+    return {"injection_rate", "default_queue", "mfg_queue", "web_queue"};
+}
+
+PerfSample
+simulateThreeTier(const ThreeTierConfig &cfg,
+                  const WorkloadParams &params, RunDiagnostics *diag)
+{
+    assert(cfg.injectionRate > 0.0);
+    assert(cfg.warmup >= 0.0 && cfg.measure > 0.0);
+
+    Simulator sim;
+    numeric::Rng master(cfg.seed);
+
+    PsCpu cpu(sim, params.cores, params.threadOverhead,
+              params.csOverhead);
+    Database db(sim, params.dbConnections, params.dbLockFactor);
+
+    ThreadPool mfg_pool(sim, "mfg", roundThreads(cfg.mfgQueue),
+                        params.backlogCap);
+    ThreadPool web_pool(sim, "web", roundThreads(cfg.webQueue),
+                        params.backlogCap);
+    ThreadPool default_pool(sim, "default",
+                            roundThreads(cfg.defaultQueue),
+                            params.defaultBacklogCap);
+    cpu.setConfiguredThreads(mfg_pool.threads() + web_pool.threads() +
+                             default_pool.threads());
+
+    const double run_end = cfg.warmup + cfg.measure;
+    Collector collector(cfg.warmup, run_end, params);
+    AppServer server(sim, cpu, db, mfg_pool, web_pool, default_pool,
+                     params, collector, master.split());
+
+    std::uint64_t injected = 0;
+    if (cfg.loadModel == LoadModel::Open) {
+        Driver driver(sim, server, cfg.injectionRate, params,
+                      master.split(), run_end);
+        driver.start();
+        sim.run(run_end);
+        injected = driver.injected();
+    } else {
+        ClosedLoopDriver driver(sim, server, cfg.population,
+                                cfg.thinkTime, params, master.split(),
+                                run_end);
+        driver.start();
+        sim.run(run_end);
+        injected = driver.issued();
+    }
+
+    if (diag) {
+        diag->injected = injected;
+        diag->primaryRejects = server.primaryRejects();
+        diag->auxRejects = server.auxRejects();
+        diag->eventsProcessed = sim.eventsProcessed();
+        diag->completions.clear();
+        for (TxnClass cls : allTxnClasses)
+            diag->completions.push_back(collector.completions(cls));
+        diag->cpuDemand = cpu.demandAccepted();
+    }
+    return collector.summarize();
+}
+
+} // namespace sim
+} // namespace wcnn

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Facade over the full 3-tier simulation: configuration in, the paper's
+ * 4-input/5-output sample out.
+ *
+ * The four inputs are the paper's configuration parameters (section 4):
+ * thread counts of the mfg, web and default queues, plus the injection
+ * rate. The five outputs are the four per-class response times and the
+ * effective throughput.
+ */
+
+#ifndef WCNN_SIM_THREE_TIER_HH
+#define WCNN_SIM_THREE_TIER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/collector.hh"
+#include "sim/workload.hh"
+
+namespace wcnn {
+namespace sim {
+
+/** Load-generation model. */
+enum class LoadModel
+{
+    Open,   ///< Poisson arrivals at injectionRate (the paper's driver)
+    Closed, ///< fixed user population with think times
+};
+
+/** One run's configuration. */
+struct ThreeTierConfig
+{
+    /** Injected requests per second (Open load model). */
+    double injectionRate = 560.0;
+
+    /** Default execute queue thread count (floored to 1 internally). */
+    double defaultQueue = 10.0;
+
+    /** Manufacturing execute queue thread count. */
+    double mfgQueue = 16.0;
+
+    /** Web front-end execute queue thread count. */
+    double webQueue = 18.0;
+
+    /** RNG seed; equal seeds replay identical runs. */
+    std::uint64_t seed = 1;
+
+    /** Warm-up window discarded from measurement (seconds). */
+    double warmup = 30.0;
+
+    /** Measurement window length (seconds). */
+    double measure = 120.0;
+
+    /** Open (paper) or closed (think-time users) load generation. */
+    LoadModel loadModel = LoadModel::Open;
+
+    /** Closed model: emulated user population. */
+    std::size_t population = 400;
+
+    /** Closed model: mean think time per user (seconds). */
+    double thinkTime = 0.5;
+
+    /** Inputs in canonical column order. */
+    std::vector<double> toVector() const;
+
+    /** Canonical input (configuration) column names. */
+    static std::vector<std::string> parameterNames();
+};
+
+/** Diagnostics beyond the 5 indicators, for tests and calibration. */
+struct RunDiagnostics
+{
+    /** Requests the driver injected. */
+    std::uint64_t injected = 0;
+    /** Rejections at the mfg/web queues. */
+    std::size_t primaryRejects = 0;
+    /** Rejections of default-queue hops. */
+    std::size_t auxRejects = 0;
+    /** DES events dispatched. */
+    std::size_t eventsProcessed = 0;
+    /** Completed transactions per class (measurement window). */
+    std::vector<std::size_t> completions;
+    /** Total CPU demand accepted (CPU-seconds). */
+    double cpuDemand = 0.0;
+};
+
+/**
+ * Run one simulation.
+ *
+ * @param cfg    Configuration (inputs, seed, windows).
+ * @param params Demand model; defaults to WorkloadParams::defaults().
+ * @param diag   Optional diagnostics sink.
+ * @return The 5 performance indicators.
+ */
+PerfSample simulateThreeTier(
+    const ThreeTierConfig &cfg,
+    const WorkloadParams &params = WorkloadParams::defaults(),
+    RunDiagnostics *diag = nullptr);
+
+} // namespace sim
+} // namespace wcnn
+
+#endif // WCNN_SIM_THREE_TIER_HH

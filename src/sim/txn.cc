@@ -1,0 +1,23 @@
+#include "txn.hh"
+
+namespace wcnn {
+namespace sim {
+
+const char *
+txnClassName(TxnClass cls)
+{
+    switch (cls) {
+      case TxnClass::Manufacturing:
+        return "manufacturing";
+      case TxnClass::DealerPurchase:
+        return "dealer_purchase";
+      case TxnClass::DealerManage:
+        return "dealer_manage";
+      case TxnClass::DealerBrowse:
+        return "dealer_browse_autos";
+    }
+    return "unknown";
+}
+
+} // namespace sim
+} // namespace wcnn

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Transaction taxonomy of the simulated 3-tier workload.
+ *
+ * The paper's workload models the transactions among a manufacturing
+ * company, its dealers and suppliers, and reports four response-time
+ * indicators: manufacturing, dealer purchase, dealer manage and dealer
+ * browse-autos (section 4). We keep exactly those four transaction
+ * classes.
+ */
+
+#ifndef WCNN_SIM_TXN_HH
+#define WCNN_SIM_TXN_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace wcnn {
+namespace sim {
+
+/** Transaction classes of the simulated workload. */
+enum class TxnClass : std::uint8_t
+{
+    Manufacturing = 0, ///< WorkOrder flow on the mfg queue
+    DealerPurchase,    ///< dealer purchase on the web queue (+ default hop)
+    DealerManage,      ///< dealer manage on the web queue (+ default hop)
+    DealerBrowse,      ///< dealer browse-autos on the web queue
+};
+
+/** Number of transaction classes. */
+constexpr std::size_t numTxnClasses = 4;
+
+/** All classes in enum order, for iteration. */
+constexpr std::array<TxnClass, numTxnClasses> allTxnClasses = {
+    TxnClass::Manufacturing,
+    TxnClass::DealerPurchase,
+    TxnClass::DealerManage,
+    TxnClass::DealerBrowse,
+};
+
+/**
+ * Human-readable class name matching the paper's indicator labels.
+ *
+ * @param cls Transaction class.
+ */
+const char *txnClassName(TxnClass cls);
+
+/**
+ * One injected request.
+ */
+struct Request
+{
+    /** Monotonic id assigned by the driver. */
+    std::uint64_t id = 0;
+    /** Transaction class. */
+    TxnClass cls = TxnClass::Manufacturing;
+    /** Injection time (seconds). */
+    double arrivalTime = 0.0;
+};
+
+} // namespace sim
+} // namespace wcnn
+
+#endif // WCNN_SIM_TXN_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit and property tests for activation functions (paper Fig. 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/activation.hh"
+
+using wcnn::nn::Activation;
+
+TEST(ActivationTest, LogisticValuesAndRange)
+{
+    const Activation f = Activation::logistic(1.0);
+    EXPECT_DOUBLE_EQ(f.value(0.0), 0.5);
+    EXPECT_GT(f.value(10.0), 0.999);
+    EXPECT_LT(f.value(-10.0), 0.001);
+    for (double x = -20; x <= 20; x += 0.5) {
+        EXPECT_GT(f.value(x), 0.0);
+        EXPECT_LT(f.value(x), 1.0);
+    }
+}
+
+TEST(ActivationTest, LogisticIsIncreasing)
+{
+    const Activation f = Activation::logistic(2.0);
+    double prev = f.value(-10);
+    for (double x = -9.5; x <= 10; x += 0.5) {
+        EXPECT_GT(f.value(x), prev);
+        prev = f.value(x);
+    }
+}
+
+TEST(ActivationTest, SlopeSharpensTheBoundary)
+{
+    // Paper Fig. 2: as |a| grows the sigmoid approaches a hard limiter.
+    const Activation soft = Activation::logistic(0.5);
+    const Activation hard = Activation::logistic(10.0);
+    EXPECT_LT(soft.value(1.0), hard.value(1.0));
+    EXPECT_GT(soft.value(-1.0), hard.value(-1.0));
+    EXPECT_GT(hard.value(1.0), 0.9999);
+}
+
+TEST(ActivationTest, TanhRangeAndSymmetry)
+{
+    const Activation f = Activation::tanh();
+    EXPECT_DOUBLE_EQ(f.value(0.0), 0.0);
+    EXPECT_NEAR(f.value(2.0), -f.value(-2.0), 1e-12);
+    EXPECT_LT(f.value(100.0), 1.0 + 1e-12);
+}
+
+TEST(ActivationTest, ReluClampsNegative)
+{
+    const Activation f = Activation::relu();
+    EXPECT_DOUBLE_EQ(f.value(-3.0), 0.0);
+    EXPECT_DOUBLE_EQ(f.value(4.5), 4.5);
+}
+
+TEST(ActivationTest, IdentityPassesThrough)
+{
+    const Activation f = Activation::identity();
+    EXPECT_DOUBLE_EQ(f.value(-7.25), -7.25);
+    EXPECT_DOUBLE_EQ(f.derivative(-7.25, -7.25), 1.0);
+}
+
+TEST(ActivationTest, LogarithmicSymmetricAndUnbounded)
+{
+    const Activation f = Activation::logarithmic(1.0);
+    EXPECT_DOUBLE_EQ(f.value(0.0), 0.0);
+    EXPECT_NEAR(f.value(5.0), -f.value(-5.0), 1e-12);
+    EXPECT_GT(f.value(1e6), 10.0); // unbounded, unlike the sigmoid
+    // Monotone increasing.
+    EXPECT_GT(f.value(2.0), f.value(1.0));
+}
+
+TEST(ActivationTest, NameRoundTrip)
+{
+    for (const Activation &f :
+         {Activation::logistic(2.5), Activation::tanh(),
+          Activation::relu(), Activation::identity(),
+          Activation::logarithmic(0.5)}) {
+        const Activation parsed = Activation::parse(f.name());
+        EXPECT_EQ(parsed, f) << f.name();
+    }
+}
+
+TEST(ActivationTest, ParseRejectsUnknown)
+{
+    EXPECT_THROW(Activation::parse("sigmoidish"),
+                 std::invalid_argument);
+}
+
+/**
+ * Property: the analytic derivative matches a central finite
+ * difference, for every kind at several points.
+ */
+class ActivationDerivativeTest
+    : public ::testing::TestWithParam<Activation>
+{
+};
+
+TEST_P(ActivationDerivativeTest, MatchesFiniteDifference)
+{
+    const Activation f = GetParam();
+    const double h = 1e-6;
+    for (double x : {-3.0, -1.0, -0.3, 0.4, 1.0, 2.5}) {
+        const double numeric =
+            (f.value(x + h) - f.value(x - h)) / (2 * h);
+        const double analytic = f.derivative(x, f.value(x));
+        EXPECT_NEAR(analytic, numeric, 1e-5)
+            << f.name() << " at x=" << x;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ActivationDerivativeTest,
+    ::testing::Values(Activation::logistic(1.0),
+                      Activation::logistic(3.0), Activation::tanh(),
+                      Activation::identity(),
+                      Activation::logarithmic(1.0),
+                      Activation::logarithmic(2.0)),
+    [](const ::testing::TestParamInfo<Activation> &info) {
+        std::string name = info.param.name();
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name;
+    });

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for the closed-form queueing model: Erlang C correctness,
+ * determinism, and trend agreement with the discrete-event simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "numeric/stats.hh"
+#include "sim/analytic_surface.hh"
+#include "sim/sample_space.hh"
+#include "numeric/rng.hh"
+
+using namespace wcnn::sim;
+
+TEST(ErlangCTest, SingleServerEqualsUtilization)
+{
+    // For M/M/1 the probability of waiting equals rho.
+    for (double rho : {0.1, 0.5, 0.9}) {
+        EXPECT_NEAR(erlangC(1, rho), rho, 1e-12);
+    }
+}
+
+TEST(ErlangCTest, BoundaryValues)
+{
+    EXPECT_DOUBLE_EQ(erlangC(4, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(erlangC(4, 4.0), 1.0);
+    EXPECT_DOUBLE_EQ(erlangC(4, 10.0), 1.0);
+}
+
+TEST(ErlangCTest, KnownMultiServerValue)
+{
+    // M/M/2 with a = 1 (rho = 0.5): C = 1/3.
+    EXPECT_NEAR(erlangC(2, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ErlangCTest, MonotoneInLoad)
+{
+    double prev = 0.0;
+    for (double a = 0.5; a < 8.0; a += 0.5) {
+        const double c = erlangC(8, a);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(ErlangCTest, MoreServersWaitLess)
+{
+    // Same utilization, more servers -> lower wait probability.
+    EXPECT_LT(erlangC(16, 8.0), erlangC(2, 1.0));
+}
+
+TEST(AnalyticSurfaceTest, Deterministic)
+{
+    ThreeTierConfig cfg;
+    const PerfSample a = analyticThreeTier(cfg);
+    const PerfSample b = analyticThreeTier(cfg);
+    EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+    EXPECT_DOUBLE_EQ(a.manufacturingRt, b.manufacturingRt);
+}
+
+TEST(AnalyticSurfaceTest, SeedFieldIgnored)
+{
+    ThreeTierConfig a, b;
+    a.seed = 1;
+    b.seed = 999;
+    EXPECT_DOUBLE_EQ(analyticThreeTier(a).throughput,
+                     analyticThreeTier(b).throughput);
+}
+
+TEST(AnalyticSurfaceTest, IndicatorsArePositiveAndBounded)
+{
+    wcnn::numeric::Rng rng(3);
+    const auto configs =
+        randomDesign(SampleSpace::paperLike(), 50, rng);
+    for (const auto &cfg : configs) {
+        const PerfSample s = analyticThreeTier(cfg);
+        for (double v : s.toVector()) {
+            EXPECT_GT(v, 0.0);
+            EXPECT_LT(v, 20.0 * cfg.injectionRate);
+        }
+        EXPECT_LE(s.throughput, cfg.injectionRate);
+    }
+}
+
+TEST(AnalyticSurfaceTest, StarvedDefaultQueueHurtsPurchase)
+{
+    ThreeTierConfig starved;
+    starved.defaultQueue = 0;
+    ThreeTierConfig healthy;
+    healthy.defaultQueue = 10;
+    const PerfSample s = analyticThreeTier(starved);
+    const PerfSample h = analyticThreeTier(healthy);
+    EXPECT_GT(s.dealerPurchaseRt, 2.0 * h.dealerPurchaseRt);
+    EXPECT_LT(s.throughput, h.throughput);
+}
+
+TEST(AnalyticSurfaceTest, ThroughputRisesWithWebPoolUnderContention)
+{
+    ThreeTierConfig narrow;
+    narrow.webQueue = 14;
+    ThreeTierConfig wide;
+    wide.webQueue = 20;
+    EXPECT_GE(analyticThreeTier(wide).throughput,
+              analyticThreeTier(narrow).throughput);
+}
+
+TEST(AnalyticSurfaceTest, HigherInjectionNeverLowersResponseTimes)
+{
+    ThreeTierConfig lo, hi;
+    lo.injectionRate = 500;
+    hi.injectionRate = 620;
+    const PerfSample a = analyticThreeTier(lo);
+    const PerfSample b = analyticThreeTier(hi);
+    EXPECT_GE(b.dealerBrowseRt, a.dealerBrowseRt - 1e-9);
+    EXPECT_GE(b.manufacturingRt, a.manufacturingRt - 1e-9);
+}
+
+TEST(AnalyticSurfaceTest, TrendsCorrelateWithSimulator)
+{
+    // Rank-style agreement between the analytic model and the DES over
+    // a spread of configurations, per indicator. The analytic model is
+    // a companion, not a twin: we require strong positive correlation,
+    // not equality.
+    wcnn::numeric::Rng rng(11);
+    auto configs = latinHypercubeDesign(SampleSpace::paperLike(), 12,
+                                        rng);
+    WorkloadParams params = WorkloadParams::defaults();
+    std::vector<std::vector<double>> des(5), ana(5);
+    for (auto &cfg : configs) {
+        cfg.warmup = 10.0;
+        cfg.measure = 40.0;
+        cfg.seed = 1234;
+        const auto d = simulateThreeTier(cfg, params).toVector();
+        const auto a = analyticThreeTier(cfg, params).toVector();
+        for (std::size_t j = 0; j < 5; ++j) {
+            des[j].push_back(d[j]);
+            ana[j].push_back(a[j]);
+        }
+    }
+    // Dealer response times and throughput span wide ranges and must
+    // agree strongly; manufacturing sits at a knife edge, so we only
+    // require positive association there.
+    EXPECT_GT(wcnn::numeric::correlation(des[1], ana[1]), 0.7);
+    EXPECT_GT(wcnn::numeric::correlation(des[2], ana[2]), 0.7);
+    EXPECT_GT(wcnn::numeric::correlation(des[4], ana[4]), 0.7);
+    EXPECT_GT(wcnn::numeric::correlation(des[0], ana[0]), 0.0);
+}

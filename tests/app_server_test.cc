@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Component tests for the application server's transaction flows,
+ * driven by hand-injected requests on a real simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/app_server.hh"
+#include "sim/driver.hh"
+
+using namespace wcnn::sim;
+using wcnn::numeric::Rng;
+
+namespace {
+
+/** Deterministic workload: no service-time noise, no GC. */
+WorkloadParams
+quietParams()
+{
+    WorkloadParams p = WorkloadParams::defaults();
+    p.serviceCov = 0.0;
+    p.gcTxnInterval = 0;
+    p.networkLatency = 0.0;
+    p.threadOverhead = 0.0;
+    p.csOverhead = 0.0;
+    p.dbLockFactor = 0.0;
+    return p;
+}
+
+struct Bench
+{
+    Simulator sim;
+    WorkloadParams params = quietParams();
+    PsCpu cpu{sim, 16, 0.0, 0.0};
+    Database db{sim, 48, 0.0};
+    ThreadPool mfg{sim, "mfg", 4, 50};
+    ThreadPool web{sim, "web", 4, 50};
+    ThreadPool def{sim, "default", 2, 50};
+    Collector collector{0.0, 1000.0, params};
+    AppServer server{sim,       cpu, db,        mfg,
+                     web,       def, params,    collector,
+                     Rng(77)};
+
+    void
+    inject(TxnClass cls, double when = 0.0)
+    {
+        static std::uint64_t next_id = 1;
+        Request req{next_id++, cls, when};
+        if (when == 0.0) {
+            server.handle(req);
+        } else {
+            sim.scheduleAt(when, [this, req] { server.handle(req); });
+        }
+    }
+};
+
+} // namespace
+
+TEST(AppServerTest, ManufacturingCompletesWithExpectedServiceTime)
+{
+    Bench b;
+    b.inject(TxnClass::Manufacturing);
+    b.sim.run(100.0);
+    ASSERT_EQ(b.collector.completions(TxnClass::Manufacturing), 1u);
+    const TxnProfile &prof = b.params.profile(TxnClass::Manufacturing);
+    const double expected =
+        prof.cpuPre + prof.dbDemand + prof.cpuPost;
+    EXPECT_NEAR(b.collector.responseTime(TxnClass::Manufacturing).mean(),
+                expected, 1e-9);
+}
+
+TEST(AppServerTest, BrowseUsesWebPoolOnly)
+{
+    Bench b;
+    b.inject(TxnClass::DealerBrowse);
+    b.sim.run(100.0);
+    EXPECT_EQ(b.collector.completions(TxnClass::DealerBrowse), 1u);
+    EXPECT_EQ(b.web.completed(), 1u);
+    EXPECT_EQ(b.mfg.completed(), 0u);
+    EXPECT_EQ(b.def.completed(), 0u);
+}
+
+TEST(AppServerTest, PurchaseDispatchesWorkItemToDefaultQueue)
+{
+    Bench b;
+    b.inject(TxnClass::DealerPurchase);
+    b.sim.run(100.0);
+    EXPECT_EQ(b.collector.completions(TxnClass::DealerPurchase), 1u);
+    EXPECT_EQ(b.web.completed(), 1u);
+    EXPECT_EQ(b.def.completed(), 1u);
+}
+
+TEST(AppServerTest, PurchaseResponseIncludesSlowerBranch)
+{
+    // Make the work item far slower than the web tail: the measured
+    // response time must cover the work item.
+    Bench b;
+    b.params.profiles[static_cast<std::size_t>(
+        TxnClass::DealerPurchase)].auxDb = 2.0;
+    b.inject(TxnClass::DealerPurchase);
+    b.sim.run(100.0);
+    ASSERT_EQ(b.collector.completions(TxnClass::DealerPurchase), 1u);
+    EXPECT_GT(b.collector.responseTime(TxnClass::DealerPurchase).mean(),
+              2.0);
+}
+
+TEST(AppServerTest, WebThreadReleasedBeforeWorkItemFinishes)
+{
+    // One web thread; the first purchase's slow work item must not
+    // block a following browse transaction.
+    Bench b2;
+    Bench &b = b2;
+    b.params.profiles[static_cast<std::size_t>(
+        TxnClass::DealerPurchase)].auxDb = 5.0;
+    b.inject(TxnClass::DealerPurchase, 0.001);
+    b.inject(TxnClass::DealerBrowse, 0.002);
+    b.sim.run(2.0); // work item (5s) not yet done
+    EXPECT_EQ(b.collector.completions(TxnClass::DealerBrowse), 1u);
+    EXPECT_EQ(b.collector.completions(TxnClass::DealerPurchase), 0u);
+}
+
+TEST(AppServerTest, PrimaryQueueOverflowDropsRequests)
+{
+    Bench b;
+    // Tiny backlog: one worker + two queued, rest rejected.
+    Simulator sim;
+    WorkloadParams params = quietParams();
+    PsCpu cpu(sim, 16, 0.0, 0.0);
+    Database db(sim, 48, 0.0);
+    ThreadPool mfg(sim, "mfg", 1, 2);
+    ThreadPool web(sim, "web", 1, 2);
+    ThreadPool def(sim, "default", 1, 2);
+    Collector collector(0.0, 1000.0, params);
+    AppServer server(sim, cpu, db, mfg, web, def, params, collector,
+                     Rng(7));
+    for (std::uint64_t i = 0; i < 6; ++i)
+        server.handle(Request{i, TxnClass::DealerBrowse, 0.0});
+    EXPECT_EQ(server.primaryRejects(), 3u);
+    EXPECT_EQ(collector.drops(TxnClass::DealerBrowse), 3u);
+    sim.run(1000.0);
+    EXPECT_EQ(collector.completions(TxnClass::DealerBrowse), 3u);
+}
+
+TEST(AppServerTest, WorkItemRejectFailsTransaction)
+{
+    Simulator sim;
+    WorkloadParams params = quietParams();
+    // Make work items slow so the default pool jams.
+    params.profiles[static_cast<std::size_t>(
+        TxnClass::DealerPurchase)].auxDb = 10.0;
+    PsCpu cpu(sim, 16, 0.0, 0.0);
+    Database db(sim, 48, 0.0);
+    ThreadPool mfg(sim, "mfg", 1, 100);
+    ThreadPool web(sim, "web", 8, 100);
+    ThreadPool def(sim, "default", 1, 1); // 1 worker + 1 queued
+    Collector collector(0.0, 1000.0, params);
+    AppServer server(sim, cpu, db, mfg, web, def, params, collector,
+                     Rng(8));
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        sim.scheduleAt(0.001 * static_cast<double>(i + 1),
+                       [&server, i] {
+                           server.handle(Request{
+                               i, TxnClass::DealerPurchase,
+                               0.001 * static_cast<double>(i + 1)});
+                       });
+    }
+    sim.run(1000.0);
+    // 2 work items fit (1 in service + 1 queued), later ones rejected.
+    EXPECT_EQ(server.auxRejects(), 2u);
+    EXPECT_EQ(collector.completions(TxnClass::DealerPurchase), 2u);
+    EXPECT_EQ(collector.drops(TxnClass::DealerPurchase), 2u);
+    // All web threads were released regardless.
+    EXPECT_EQ(web.busy(), 0u);
+}
+
+TEST(AppServerTest, GcPausesAccumulateWithProcessedRequests)
+{
+    Simulator sim;
+    WorkloadParams params = quietParams();
+    params.gcTxnInterval = 5;
+    params.gcPauseMean = 0.05;
+    PsCpu cpu(sim, 16, 0.0, 0.0);
+    Database db(sim, 48, 0.0);
+    ThreadPool mfg(sim, "mfg", 4, 100);
+    ThreadPool web(sim, "web", 4, 100);
+    ThreadPool def(sim, "default", 2, 100);
+    Collector collector(0.0, 1000.0, params);
+    AppServer server(sim, cpu, db, mfg, web, def, params, collector,
+                     Rng(9));
+    for (std::uint64_t i = 0; i < 25; ++i) {
+        const double when = 0.05 * static_cast<double>(i + 1);
+        sim.scheduleAt(when, [&server, i, when] {
+            server.handle(
+                Request{i, TxnClass::DealerBrowse, when});
+        });
+    }
+    sim.run(1000.0);
+    // 25 processed requests at interval 5 -> 5 pauses.
+    EXPECT_GT(cpu.pausedTime(), 0.0);
+    EXPECT_NEAR(cpu.pausedTime() / 5.0, 0.05, 0.05);
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the parallel-slopes / valley / hill classifier on synthetic
+ * surfaces with known shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "model/classify.hh"
+
+using wcnn::model::classifySurface;
+using wcnn::model::SurfaceClass;
+using wcnn::model::SurfaceGrid;
+
+namespace {
+
+SurfaceGrid
+makeGrid(std::size_t rows, std::size_t cols,
+         const std::function<double(double, double)> &fn)
+{
+    SurfaceGrid grid;
+    grid.axisAName = "a";
+    grid.axisBName = "b";
+    grid.indicatorName = "z";
+    grid.z = wcnn::numeric::Matrix(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i) {
+        grid.aValues.push_back(static_cast<double>(i) /
+                               static_cast<double>(rows - 1));
+    }
+    for (std::size_t j = 0; j < cols; ++j) {
+        grid.bValues.push_back(static_cast<double>(j) /
+                               static_cast<double>(cols - 1));
+    }
+    for (std::size_t i = 0; i < rows; ++i)
+        for (std::size_t j = 0; j < cols; ++j)
+            grid.z(i, j) = fn(grid.aValues[i], grid.bValues[j]);
+    return grid;
+}
+
+} // namespace
+
+TEST(ClassifyTest, FlatSurfaceIsMixedWithZeroEvidence)
+{
+    const SurfaceGrid grid =
+        makeGrid(7, 7, [](double, double) { return 3.0; });
+    const auto analysis = classifySurface(grid);
+    EXPECT_EQ(analysis.cls, SurfaceClass::Mixed);
+    EXPECT_DOUBLE_EQ(analysis.variationA, 0.0);
+    EXPECT_DOUBLE_EQ(analysis.variationB, 0.0);
+}
+
+TEST(ClassifyTest, OneFlatAxisGivesParallelSlopes)
+{
+    // z depends on b only (paper Fig. 4's "tuning a is futile").
+    const SurfaceGrid grid = makeGrid(
+        9, 9, [](double, double b) { return 1.0 + 4.0 * b; });
+    const auto analysis = classifySurface(grid);
+    EXPECT_EQ(analysis.cls, SurfaceClass::ParallelSlopes)
+        << analysis.describe();
+    EXPECT_LT(analysis.variationA, 0.05);
+    EXPECT_GT(analysis.variationB, 0.9);
+}
+
+TEST(ClassifyTest, NearlyFlatAxisStillParallelSlopes)
+{
+    const SurfaceGrid grid = makeGrid(9, 9, [](double a, double b) {
+        return 1.0 + 4.0 * b + 0.1 * a;
+    });
+    EXPECT_EQ(classifySurface(grid).cls,
+              SurfaceClass::ParallelSlopes);
+}
+
+TEST(ClassifyTest, GaussianBumpIsHill)
+{
+    // Interior maximum (paper Fig. 8).
+    const SurfaceGrid grid = makeGrid(11, 11, [](double a, double b) {
+        const double da = a - 0.5, db = b - 0.4;
+        return 10.0 * std::exp(-8.0 * (da * da + db * db));
+    });
+    const auto analysis = classifySurface(grid);
+    EXPECT_EQ(analysis.cls, SurfaceClass::Hill) << analysis.describe();
+    EXPECT_GT(analysis.hillProminence, 0.5);
+    EXPECT_EQ(analysis.maxA, 5u); // a = 0.5
+}
+
+TEST(ClassifyTest, InvertedBumpIsValley)
+{
+    // Interior minimum (paper Fig. 7).
+    const SurfaceGrid grid = makeGrid(11, 11, [](double a, double b) {
+        const double da = a - 0.6, db = b - 0.5;
+        return 5.0 - 4.0 * std::exp(-6.0 * (da * da + db * db));
+    });
+    const auto analysis = classifySurface(grid);
+    EXPECT_EQ(analysis.cls, SurfaceClass::Valley)
+        << analysis.describe();
+    EXPECT_GT(analysis.valleyProminence, 0.5);
+}
+
+TEST(ClassifyTest, DiagonalTroughIsValley)
+{
+    // The paper's joint-tuning valley: a trough along the diagonal.
+    const SurfaceGrid grid = makeGrid(11, 11, [](double a, double b) {
+        const double d = a - b;
+        return 1.0 + 8.0 * d * d;
+    });
+    const auto analysis = classifySurface(grid);
+    EXPECT_EQ(analysis.cls, SurfaceClass::Valley)
+        << analysis.describe();
+}
+
+TEST(ClassifyTest, MonotoneRampOnBothAxesIsMixed)
+{
+    const SurfaceGrid grid = makeGrid(
+        9, 9, [](double a, double b) { return a + b; });
+    const auto analysis = classifySurface(grid);
+    EXPECT_EQ(analysis.cls, SurfaceClass::Mixed)
+        << analysis.describe();
+    EXPECT_LT(analysis.hillProminence, 0.01);
+    EXPECT_LT(analysis.valleyProminence, 0.01);
+}
+
+TEST(ClassifyTest, ValleyBeatsWeakerHill)
+{
+    // Both an interior min and max exist; the min is deeper.
+    const SurfaceGrid grid = makeGrid(13, 13, [](double a, double b) {
+        const double dv_a = a - 0.3, dv_b = b - 0.5;
+        const double dh_a = a - 0.8, dh_b = b - 0.5;
+        return 5.0 -
+               4.0 * std::exp(-20.0 * (dv_a * dv_a + dv_b * dv_b)) +
+               1.0 * std::exp(-20.0 * (dh_a * dh_a + dh_b * dh_b));
+    });
+    const auto analysis = classifySurface(grid);
+    EXPECT_EQ(analysis.cls, SurfaceClass::Valley)
+        << analysis.describe();
+}
+
+TEST(ClassifyTest, ThresholdsAreRespected)
+{
+    // A ridge bump that is shallow relative to a dominant ramp along
+    // the other axis is out-voted by the ramp under a strict
+    // threshold but registers as a hill when the threshold is
+    // lowered.
+    const SurfaceGrid grid = makeGrid(11, 11, [](double a, double b) {
+        const double da = a - 0.5, db = b - 0.5;
+        return 10.0 * b +
+               0.4 * std::exp(-8.0 * (da * da + db * db));
+    });
+    wcnn::model::ClassifyOptions opts;
+    opts.prominenceThreshold = 0.05; // bump ~3 % of the range
+    // Above the threshold the bump is ignored and the ramp dominates:
+    // one flat axis, one steep axis.
+    const auto analysis = classifySurface(grid, opts);
+    EXPECT_EQ(analysis.cls, SurfaceClass::ParallelSlopes)
+        << analysis.describe();
+    opts.prominenceThreshold = 0.002;
+    EXPECT_EQ(classifySurface(grid, opts).cls, SurfaceClass::Hill)
+        << classifySurface(grid, opts).describe();
+}
+
+TEST(ClassifyTest, NamesAreStable)
+{
+    EXPECT_STREQ(surfaceClassName(SurfaceClass::ParallelSlopes),
+                 "parallel-slopes");
+    EXPECT_STREQ(surfaceClassName(SurfaceClass::Valley), "valley");
+    EXPECT_STREQ(surfaceClassName(SurfaceClass::Hill), "hill");
+    EXPECT_STREQ(surfaceClassName(SurfaceClass::Mixed), "mixed");
+}
+
+TEST(ClassifyTest, DescribeMentionsClassAndEvidence)
+{
+    const SurfaceGrid grid = makeGrid(
+        9, 9, [](double, double b) { return b; });
+    const auto analysis = classifySurface(grid);
+    const std::string text = analysis.describe();
+    EXPECT_NE(text.find("parallel-slopes"), std::string::npos);
+    EXPECT_NE(text.find("variation"), std::string::npos);
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the closed-loop (think-time) load driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/closed_driver.hh"
+#include "sim/three_tier.hh"
+
+using namespace wcnn::sim;
+using wcnn::numeric::Rng;
+
+namespace {
+
+struct Harness
+{
+    Simulator sim;
+    WorkloadParams params = WorkloadParams::defaults();
+    PsCpu cpu{sim, 16, 0.0, 0.0};
+    Database db{sim, 48, 0.0};
+    ThreadPool mfg{sim, "mfg", 32, 1000};
+    ThreadPool web{sim, "web", 32, 1000};
+    ThreadPool def{sim, "default", 16, 1000};
+    Collector collector{0.0, 1e9, params};
+    AppServer server{sim, cpu, db,     mfg,       web,
+                     def, params, collector, Rng(5)};
+};
+
+} // namespace
+
+TEST(ClosedDriverTest, PopulationBoundsConcurrency)
+{
+    Harness h;
+    ClosedLoopDriver driver(h.sim, h.server, 20, 0.1, h.params,
+                            Rng(1), 1e9);
+    driver.start();
+    h.sim.run(20.0);
+    // Never more outstanding requests than users.
+    EXPECT_LE(driver.usersWaiting(), 20u);
+    EXPECT_GT(driver.issued(), 100u);
+}
+
+TEST(ClosedDriverTest, ThroughputFollowsLittlesLaw)
+{
+    // N users, think Z, response R: throughput ~= N / (Z + R).
+    Harness h;
+    const std::size_t n = 50;
+    const double think = 0.5;
+    ClosedLoopDriver driver(h.sim, h.server, n, think, h.params,
+                            Rng(2), 1e9);
+    driver.start();
+    h.sim.run(100.0);
+    const double issued_rate =
+        static_cast<double>(driver.issued()) / 100.0;
+    // Lightly loaded: R ~= service (tens of ms) + network floor is
+    // excluded here (collector-level), so R ~ 0.05-0.2 s.
+    const double bound_hi = static_cast<double>(n) / think;
+    const double bound_lo = static_cast<double>(n) / (think + 0.4);
+    EXPECT_LT(issued_rate, bound_hi);
+    EXPECT_GT(issued_rate, bound_lo);
+}
+
+TEST(ClosedDriverTest, EveryUserKeepsCycling)
+{
+    Harness h;
+    ClosedLoopDriver driver(h.sim, h.server, 5, 0.2, h.params, Rng(3),
+                            1e9);
+    driver.start();
+    h.sim.run(50.0);
+    // 5 users, ~0.2s think + small response: >= 100 requests each.
+    EXPECT_GT(driver.issued(), 5u * 100u);
+    // All users are either thinking or waiting — none leaked.
+    EXPECT_LE(driver.usersWaiting(), 5u);
+}
+
+TEST(ClosedDriverTest, UsersSurviveRejections)
+{
+    // Tiny queues force rejections; rejected users must re-enter the
+    // think cycle rather than vanish.
+    Simulator sim;
+    WorkloadParams params = WorkloadParams::defaults();
+    PsCpu cpu(sim, 16, 0.0, 0.0);
+    Database db(sim, 48, 0.0);
+    ThreadPool mfg(sim, "mfg", 1, 1);
+    ThreadPool web(sim, "web", 1, 1);
+    ThreadPool def(sim, "default", 1, 1);
+    Collector collector(0.0, 1e9, params);
+    AppServer server(sim, cpu, db, mfg, web, def, params, collector,
+                     Rng(6));
+    ClosedLoopDriver driver(sim, server, 30, 0.05, params, Rng(4),
+                            1e9);
+    driver.start();
+    sim.run(30.0);
+    EXPECT_GT(server.primaryRejects(), 0u);
+    // The population keeps issuing despite rejections.
+    EXPECT_GT(driver.issued(), 1000u);
+}
+
+TEST(ClosedDriverTest, ClosedLoopSelfThrottles)
+{
+    // Same middle tier, open vs closed: under an undersized web pool
+    // the open driver piles up queueing (high RT and drops) while the
+    // closed driver backs off — its dealer response time stays lower.
+    ThreeTierConfig open_cfg;
+    open_cfg.loadModel = LoadModel::Open;
+    open_cfg.injectionRate = 560;
+    open_cfg.webQueue = 14;
+    open_cfg.warmup = 10;
+    open_cfg.measure = 40;
+    open_cfg.seed = 7;
+
+    ThreeTierConfig closed_cfg = open_cfg;
+    closed_cfg.loadModel = LoadModel::Closed;
+    closed_cfg.population = 280; // ~ 560/s at 0.5 s think
+    closed_cfg.thinkTime = 0.5;
+
+    const PerfSample open_sample = simulateThreeTier(open_cfg);
+    const PerfSample closed_sample = simulateThreeTier(closed_cfg);
+    EXPECT_LT(closed_sample.dealerBrowseRt,
+              open_sample.dealerBrowseRt);
+}
+
+TEST(ClosedDriverTest, FacadeClosedModeIsDeterministic)
+{
+    ThreeTierConfig cfg;
+    cfg.loadModel = LoadModel::Closed;
+    cfg.population = 100;
+    cfg.thinkTime = 0.3;
+    cfg.warmup = 5;
+    cfg.measure = 20;
+    cfg.seed = 11;
+    const PerfSample a = simulateThreeTier(cfg);
+    const PerfSample b = simulateThreeTier(cfg);
+    EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+    EXPECT_DOUBLE_EQ(a.dealerPurchaseRt, b.dealerPurchaseRt);
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Unit tests for steady-state measurement reduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/collector.hh"
+
+using wcnn::sim::Collector;
+using wcnn::sim::PerfSample;
+using wcnn::sim::TxnClass;
+using wcnn::sim::WorkloadParams;
+
+namespace {
+
+WorkloadParams
+paramsWithZeroLatency()
+{
+    WorkloadParams p = WorkloadParams::defaults();
+    p.networkLatency = 0.0;
+    return p;
+}
+
+} // namespace
+
+TEST(CollectorTest, WarmupCompletionsDiscarded)
+{
+    const WorkloadParams p = paramsWithZeroLatency();
+    Collector c(10.0, 100.0, p);
+    c.recordCompletion(TxnClass::Manufacturing, 1.0, 5.0); // warm-up
+    c.recordCompletion(TxnClass::Manufacturing, 9.0, 11.0);
+    EXPECT_EQ(c.completions(TxnClass::Manufacturing), 1u);
+}
+
+TEST(CollectorTest, CompletionsAfterWindowDiscarded)
+{
+    const WorkloadParams p = paramsWithZeroLatency();
+    Collector c(10.0, 100.0, p);
+    c.recordCompletion(TxnClass::DealerBrowse, 99.0, 101.0);
+    EXPECT_EQ(c.completions(TxnClass::DealerBrowse), 0u);
+}
+
+TEST(CollectorTest, ResponseTimeIncludesNetworkLatency)
+{
+    WorkloadParams p = paramsWithZeroLatency();
+    p.networkLatency = 0.25;
+    Collector c(0.0, 100.0, p);
+    c.recordCompletion(TxnClass::DealerPurchase, 10.0, 11.0);
+    EXPECT_NEAR(c.responseTime(TxnClass::DealerPurchase).mean(), 1.25,
+                1e-12);
+}
+
+TEST(CollectorTest, MeansPerClass)
+{
+    const WorkloadParams p = paramsWithZeroLatency();
+    Collector c(0.0, 100.0, p);
+    c.recordCompletion(TxnClass::Manufacturing, 0.0, 1.0);
+    c.recordCompletion(TxnClass::Manufacturing, 10.0, 13.0);
+    c.recordCompletion(TxnClass::DealerBrowse, 20.0, 20.5);
+    const PerfSample s = c.summarize();
+    EXPECT_NEAR(s.manufacturingRt, 2.0, 1e-12);
+    EXPECT_NEAR(s.dealerBrowseRt, 0.5, 1e-12);
+}
+
+TEST(CollectorTest, ThroughputCountsOnlyWithinLimit)
+{
+    WorkloadParams p = paramsWithZeroLatency();
+    for (auto &profile : p.profiles)
+        profile.rtLimit = 1.0;
+    Collector c(0.0, 10.0, p); // 10 s window
+    c.recordCompletion(TxnClass::DealerBrowse, 0.0, 0.5);  // within
+    c.recordCompletion(TxnClass::DealerBrowse, 1.0, 3.0);  // violating
+    c.recordCompletion(TxnClass::Manufacturing, 2.0, 2.9); // within
+    const PerfSample s = c.summarize();
+    EXPECT_NEAR(s.throughput, 2.0 / 10.0, 1e-12);
+}
+
+TEST(CollectorTest, EmptyClassReportsSaturationSentinel)
+{
+    const WorkloadParams p = paramsWithZeroLatency();
+    Collector c(0.0, 100.0, p);
+    const PerfSample s = c.summarize();
+    EXPECT_NEAR(s.manufacturingRt,
+                4.0 * p.profile(TxnClass::Manufacturing).rtLimit,
+                1e-12);
+    EXPECT_DOUBLE_EQ(s.throughput, 0.0);
+}
+
+TEST(CollectorTest, DropsTrackedPerClass)
+{
+    const WorkloadParams p = paramsWithZeroLatency();
+    Collector c(10.0, 100.0, p);
+    c.recordDrop(TxnClass::DealerPurchase, 5.0); // warm-up, ignored
+    c.recordDrop(TxnClass::DealerPurchase, 50.0);
+    c.recordDrop(TxnClass::DealerPurchase, 60.0);
+    EXPECT_EQ(c.drops(TxnClass::DealerPurchase), 2u);
+    EXPECT_EQ(c.drops(TxnClass::DealerBrowse), 0u);
+}
+
+TEST(PerfSampleTest, VectorOrderMatchesIndicatorNames)
+{
+    PerfSample s;
+    s.manufacturingRt = 1;
+    s.dealerPurchaseRt = 2;
+    s.dealerManageRt = 3;
+    s.dealerBrowseRt = 4;
+    s.throughput = 5;
+    const auto v = s.toVector();
+    const auto names = PerfSample::indicatorNames();
+    ASSERT_EQ(v.size(), 5u);
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_DOUBLE_EQ(v[0], 1);
+    EXPECT_EQ(names[0], "manufacturing_rt");
+    EXPECT_DOUBLE_EQ(v[4], 5);
+    EXPECT_EQ(names[4], "throughput");
+}
+
+TEST(CollectorTest, TailResponseTimeTracksP90)
+{
+    const WorkloadParams p = paramsWithZeroLatency();
+    Collector c(0.0, 1000.0, p);
+    // 100 completions with response times 0.01..1.00.
+    for (int i = 1; i <= 100; ++i) {
+        c.recordCompletion(TxnClass::DealerBrowse, 0.0,
+                           0.01 * static_cast<double>(i));
+    }
+    EXPECT_NEAR(c.tailResponseTime(TxnClass::DealerBrowse), 0.90,
+                0.05);
+    EXPECT_DOUBLE_EQ(c.tailResponseTime(TxnClass::Manufacturing),
+                     0.0);
+}

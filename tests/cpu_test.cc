@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for the processor-sharing CPU with overheads and GC
+ * pauses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cpu.hh"
+
+using wcnn::sim::PsCpu;
+using wcnn::sim::Simulator;
+
+TEST(PsCpuTest, SingleJobRunsAtFullSpeed)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 4, 0.0, 0.0);
+    double done_at = -1;
+    cpu.execute(2.0, [&] { done_at = sim.now(); });
+    sim.run(10.0);
+    EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST(PsCpuTest, JobsBelowCoreCountDoNotShare)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 4, 0.0, 0.0);
+    double a = -1, b = -1;
+    cpu.execute(1.0, [&] { a = sim.now(); });
+    cpu.execute(2.0, [&] { b = sim.now(); });
+    sim.run(10.0);
+    EXPECT_NEAR(a, 1.0, 1e-9);
+    EXPECT_NEAR(b, 2.0, 1e-9);
+}
+
+TEST(PsCpuTest, OversubscriptionSharesEqually)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 1, 0.0, 0.0);
+    double a = -1, b = -1;
+    cpu.execute(1.0, [&] { a = sim.now(); });
+    cpu.execute(1.0, [&] { b = sim.now(); });
+    sim.run(10.0);
+    // Two equal jobs on one core, equal shares: both finish at t=2.
+    EXPECT_NEAR(a, 2.0, 1e-9);
+    EXPECT_NEAR(b, 2.0, 1e-9);
+}
+
+TEST(PsCpuTest, UnequalJobsShareThenDrain)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 1, 0.0, 0.0);
+    double small = -1, big = -1;
+    cpu.execute(1.0, [&] { small = sim.now(); });
+    cpu.execute(3.0, [&] { big = sim.now(); });
+    sim.run(20.0);
+    // Shared until the small job finishes at t=2 (each got 1.0 of
+    // work); the big one then runs alone for its remaining 2.0.
+    EXPECT_NEAR(small, 2.0, 1e-9);
+    EXPECT_NEAR(big, 4.0, 1e-9);
+}
+
+TEST(PsCpuTest, LateArrivalSlowsInFlightJob)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 1, 0.0, 0.0);
+    double first = -1;
+    cpu.execute(2.0, [&] { first = sim.now(); });
+    sim.schedule(1.0, [&] { cpu.execute(5.0, [] {}); });
+    sim.run(50.0);
+    // One unit done alone by t=1; remaining 1.0 at half speed -> t=3.
+    EXPECT_NEAR(first, 3.0, 1e-9);
+}
+
+TEST(PsCpuTest, ConfiguredThreadTaxSlowsEverything)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 4, 0.01, 0.0);
+    cpu.setConfiguredThreads(50); // 50% tax
+    double done_at = -1;
+    cpu.execute(1.0, [&] { done_at = sim.now(); });
+    sim.run(10.0);
+    EXPECT_NEAR(done_at, 1.5, 1e-9);
+}
+
+TEST(PsCpuTest, ContextSwitchOverheadAboveCores)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 1, 0.0, 0.5);
+    double a = -1;
+    cpu.execute(1.0, [&] { a = sim.now(); });
+    cpu.execute(1.0, [] {});
+    sim.run(50.0);
+    // Two jobs on one core: share 0.5, efficiency 1/(1+0.5*1) = 2/3 ->
+    // rate 1/3 each. Both finish at t = 3.
+    EXPECT_NEAR(a, 3.0, 1e-9);
+}
+
+TEST(PsCpuTest, PauseFreezesProgress)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 1, 0.0, 0.0);
+    double done_at = -1;
+    cpu.execute(2.0, [&] { done_at = sim.now(); });
+    sim.schedule(1.0, [&] { cpu.pause(0.5); });
+    sim.run(10.0);
+    EXPECT_NEAR(done_at, 2.5, 1e-9);
+    EXPECT_NEAR(cpu.pausedTime(), 0.5, 1e-12);
+}
+
+TEST(PsCpuTest, OverlappingPausesExtend)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 1, 0.0, 0.0);
+    double done_at = -1;
+    cpu.execute(1.0, [&] { done_at = sim.now(); });
+    sim.schedule(0.25, [&] { cpu.pause(1.0); });
+    sim.schedule(0.75, [&] { cpu.pause(1.0); }); // extends to 1.75
+    sim.run(10.0);
+    // 0.25 work before the pause, frozen until 1.75, 0.75 more work.
+    EXPECT_NEAR(done_at, 2.5, 1e-9);
+    EXPECT_NEAR(cpu.pausedTime(), 1.5, 1e-12);
+}
+
+TEST(PsCpuTest, ExecuteDuringPauseWaitsForResume)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 2, 0.0, 0.0);
+    double done_at = -1;
+    sim.schedule(1.0, [&] { cpu.pause(2.0); });
+    sim.schedule(2.0, [&] {
+        cpu.execute(0.5, [&] { done_at = sim.now(); });
+    });
+    sim.run(10.0);
+    // Submitted at t=2 during a pause ending at t=3.
+    EXPECT_NEAR(done_at, 3.5, 1e-9);
+}
+
+TEST(PsCpuTest, AccountingCounters)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 2, 0.0, 0.0);
+    EXPECT_EQ(cpu.cores(), 2u);
+    cpu.execute(1.0, [] {});
+    cpu.execute(2.0, [] {});
+    EXPECT_EQ(cpu.activeJobs(), 2u);
+    EXPECT_DOUBLE_EQ(cpu.demandAccepted(), 3.0);
+    sim.run(10.0);
+    EXPECT_EQ(cpu.activeJobs(), 0u);
+}
+
+TEST(PsCpuTest, CompletionCallbackCanResubmit)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 1, 0.0, 0.0);
+    double second_done = -1;
+    cpu.execute(1.0, [&] {
+        cpu.execute(1.0, [&] { second_done = sim.now(); });
+    });
+    sim.run(10.0);
+    EXPECT_NEAR(second_done, 2.0, 1e-9);
+}
+
+TEST(PsCpuTest, CurrentRateReflectsLoad)
+{
+    Simulator sim;
+    PsCpu cpu(sim, 2, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(cpu.currentRate(), 0.0);
+    cpu.execute(10.0, [] {});
+    EXPECT_DOUBLE_EQ(cpu.currentRate(), 1.0);
+    cpu.execute(10.0, [] {});
+    cpu.execute(10.0, [] {});
+    cpu.execute(10.0, [] {});
+    EXPECT_DOUBLE_EQ(cpu.currentRate(), 0.5);
+}

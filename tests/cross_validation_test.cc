@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for k-fold cross validation and the Table 2 renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include <algorithm>
+
+#include "model/cross_validation.hh"
+#include "model/linear_model.hh"
+#include "numeric/rng.hh"
+
+using wcnn::data::Dataset;
+using wcnn::model::CvOptions;
+using wcnn::model::CvResult;
+using wcnn::model::crossValidate;
+using wcnn::model::LinearModel;
+using wcnn::numeric::Rng;
+
+namespace {
+
+Dataset
+noisyLinearDataset(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset ds({"a", "b"}, {"y1", "y2"});
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.uniform(1, 10);
+        const double b = rng.uniform(1, 10);
+        ds.add({a, b}, {2 * a + b + rng.normal(0, 0.05),
+                        10 * a - b + rng.normal(0, 0.05)});
+    }
+    return ds;
+}
+
+wcnn::model::ModelFactory
+linearFactory()
+{
+    return [] { return std::make_unique<LinearModel>(); };
+}
+
+} // namespace
+
+TEST(CrossValidationTest, RunsKTrials)
+{
+    const Dataset ds = noisyLinearDataset(25, 1);
+    CvOptions opts;
+    opts.folds = 5;
+    const CvResult result = crossValidate(linearFactory(), ds, opts);
+    EXPECT_EQ(result.trials.size(), 5u);
+    EXPECT_EQ(result.indicatorNames, ds.outputs());
+    for (std::size_t f = 0; f < 5; ++f)
+        EXPECT_EQ(result.trials[f].fold, f);
+}
+
+TEST(CrossValidationTest, TrialSplitsHaveExpectedSizes)
+{
+    const Dataset ds = noisyLinearDataset(23, 2);
+    CvOptions opts;
+    opts.folds = 5;
+    const CvResult result = crossValidate(linearFactory(), ds, opts);
+    std::size_t total_validation = 0;
+    for (const auto &trial : result.trials) {
+        EXPECT_EQ(trial.trainSet.size() + trial.validationSet.size(),
+                  23u);
+        total_validation += trial.validationSet.size();
+    }
+    EXPECT_EQ(total_validation, 23u);
+}
+
+TEST(CrossValidationTest, AccurateModelScoresLowError)
+{
+    const Dataset ds = noisyLinearDataset(40, 3);
+    const CvResult result = crossValidate(linearFactory(), ds, {});
+    // Linear data + linear model: errors well under 5%.
+    for (double e : result.averageValidationError())
+        EXPECT_LT(e, 0.05);
+    EXPECT_GT(result.overallAccuracy(), 0.95);
+    EXPECT_LT(result.overallValidationError(), 0.05);
+}
+
+TEST(CrossValidationTest, PredictionsRetainedWhenRequested)
+{
+    const Dataset ds = noisyLinearDataset(20, 4);
+    CvOptions opts;
+    opts.keepPredictions = true;
+    const CvResult result = crossValidate(linearFactory(), ds, opts);
+    const auto &trial = result.trials[0];
+    EXPECT_EQ(trial.validationPredicted.rows(),
+              trial.validationSet.size());
+    EXPECT_EQ(trial.trainPredicted.rows(), trial.trainSet.size());
+    EXPECT_EQ(trial.validationPredicted.cols(), 2u);
+}
+
+TEST(CrossValidationTest, PredictionsDroppedWhenNotRequested)
+{
+    const Dataset ds = noisyLinearDataset(20, 5);
+    CvOptions opts;
+    opts.keepPredictions = false;
+    const CvResult result = crossValidate(linearFactory(), ds, opts);
+    EXPECT_TRUE(result.trials[0].validationSet.empty());
+    EXPECT_TRUE(result.trials[0].validationPredicted.empty());
+    // Error reports are still present.
+    EXPECT_EQ(result.trials[0].validation.harmonicError.size(), 2u);
+}
+
+TEST(CrossValidationTest, DeterministicGivenSeed)
+{
+    const Dataset ds = noisyLinearDataset(20, 6);
+    CvOptions opts;
+    opts.seed = 77;
+    const CvResult a = crossValidate(linearFactory(), ds, opts);
+    const CvResult b = crossValidate(linearFactory(), ds, opts);
+    for (std::size_t f = 0; f < a.trials.size(); ++f) {
+        EXPECT_EQ(a.trials[f].validation.harmonicError,
+                  b.trials[f].validation.harmonicError);
+    }
+}
+
+TEST(CrossValidationTest, AverageIsMeanOfTrials)
+{
+    const Dataset ds = noisyLinearDataset(25, 7);
+    const CvResult result = crossValidate(linearFactory(), ds, {});
+    const auto avg = result.averageValidationError();
+    ASSERT_EQ(avg.size(), 2u);
+    double manual = 0.0;
+    for (const auto &trial : result.trials)
+        manual += trial.validation.harmonicError[0];
+    manual /= static_cast<double>(result.trials.size());
+    EXPECT_NEAR(avg[0], manual, 1e-15);
+}
+
+TEST(FormatTableTest, ContainsTrialsAndAverage)
+{
+    const Dataset ds = noisyLinearDataset(25, 8);
+    const CvResult result = crossValidate(linearFactory(), ds, {});
+    const std::string table = wcnn::model::formatTable(result);
+    EXPECT_NE(table.find("Trial"), std::string::npos);
+    EXPECT_NE(table.find("Average"), std::string::npos);
+    EXPECT_NE(table.find("y1"), std::string::npos);
+    EXPECT_NE(table.find("%"), std::string::npos);
+    // One line per trial + header + average.
+    const auto lines =
+        std::count(table.begin(), table.end(), '\n');
+    EXPECT_EQ(lines, 1 + 5 + 1);
+}
+
+TEST(FormatTableTest, NonPercentMode)
+{
+    const Dataset ds = noisyLinearDataset(25, 9);
+    const CvResult result = crossValidate(linearFactory(), ds, {});
+    const std::string table =
+        wcnn::model::formatTable(result, false);
+    EXPECT_EQ(table.find("%"), std::string::npos);
+}

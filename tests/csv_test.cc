@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Unit tests for CSV dataset persistence.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "data/csv.hh"
+
+using wcnn::data::CsvError;
+using wcnn::data::Dataset;
+
+namespace {
+
+Dataset
+sampleDataset()
+{
+    Dataset ds({"rate", "threads"}, {"rt", "tput"});
+    ds.add({560.0, 16.0}, {1.25, 480.5});
+    ds.add({500.0, 12.0}, {0.875, 450.25});
+    // Values exercising full double round-trip precision.
+    ds.add({1.0 / 3.0, 2.0 / 7.0}, {1e-17, 123456789.123456789});
+    return ds;
+}
+
+} // namespace
+
+TEST(CsvTest, HeaderEncodesColumnRoles)
+{
+    std::ostringstream os;
+    wcnn::data::writeCsv(sampleDataset(), os);
+    const std::string text = os.str();
+    EXPECT_EQ(text.substr(0, text.find('\n')),
+              "x:rate,x:threads,y:rt,y:tput");
+}
+
+TEST(CsvTest, RoundTripIsExact)
+{
+    const Dataset original = sampleDataset();
+    std::stringstream ss;
+    wcnn::data::writeCsv(original, ss);
+    const Dataset loaded = wcnn::data::readCsv(ss);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.inputs(), original.inputs());
+    EXPECT_EQ(loaded.outputs(), original.outputs());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ(loaded[i].x, original[i].x);
+        EXPECT_EQ(loaded[i].y, original[i].y);
+    }
+}
+
+TEST(CsvTest, EmptyDatasetRoundTrips)
+{
+    Dataset ds({"a"}, {"b"});
+    std::stringstream ss;
+    wcnn::data::writeCsv(ds, ss);
+    const Dataset loaded = wcnn::data::readCsv(ss);
+    EXPECT_TRUE(loaded.empty());
+    EXPECT_EQ(loaded.inputs(), ds.inputs());
+}
+
+TEST(CsvTest, MissingHeaderThrows)
+{
+    std::stringstream ss("");
+    EXPECT_THROW(wcnn::data::readCsv(ss), CsvError);
+}
+
+TEST(CsvTest, UnprefixedHeaderThrows)
+{
+    std::stringstream ss("rate,y:rt\n1,2\n");
+    EXPECT_THROW(wcnn::data::readCsv(ss), CsvError);
+}
+
+TEST(CsvTest, InputAfterOutputThrows)
+{
+    std::stringstream ss("y:rt,x:rate\n1,2\n");
+    EXPECT_THROW(wcnn::data::readCsv(ss), CsvError);
+}
+
+TEST(CsvTest, WrongFieldCountThrows)
+{
+    std::stringstream ss("x:a,y:b\n1,2\n1\n");
+    EXPECT_THROW(wcnn::data::readCsv(ss), CsvError);
+}
+
+TEST(CsvTest, BadNumberThrows)
+{
+    std::stringstream ss("x:a,y:b\n1,potato\n");
+    EXPECT_THROW(wcnn::data::readCsv(ss), CsvError);
+}
+
+TEST(CsvTest, TrailingJunkInNumberThrows)
+{
+    std::stringstream ss("x:a,y:b\n1,2zzz\n");
+    EXPECT_THROW(wcnn::data::readCsv(ss), CsvError);
+}
+
+TEST(CsvTest, BlankLinesAreSkipped)
+{
+    std::stringstream ss("x:a,y:b\n1,2\n\n3,4\n");
+    const Dataset ds = wcnn::data::readCsv(ss);
+    EXPECT_EQ(ds.size(), 2u);
+}
+
+TEST(CsvTest, FileSaveAndLoad)
+{
+    const std::string path =
+        ::testing::TempDir() + "/wcnn_csv_test.csv";
+    const Dataset original = sampleDataset();
+    wcnn::data::saveCsv(original, path);
+    const Dataset loaded = wcnn::data::loadCsv(path);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i)
+        EXPECT_EQ(loaded[i].x, original[i].x);
+    std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileThrows)
+{
+    EXPECT_THROW(wcnn::data::loadCsv("/nonexistent/path/file.csv"),
+                 CsvError);
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests for the backend database model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/database.hh"
+
+using wcnn::sim::Database;
+using wcnn::sim::DbDomain;
+using wcnn::sim::Simulator;
+
+TEST(DatabaseTest, SingleQueryTakesItsDemand)
+{
+    Simulator sim;
+    Database db(sim, 4, 0.1);
+    double done_at = -1;
+    db.query(DbDomain::Dealer, 0.5, [&] { done_at = sim.now(); });
+    sim.run(10.0);
+    EXPECT_NEAR(done_at, 0.5, 1e-12);
+    EXPECT_EQ(db.completed(), 1u);
+}
+
+TEST(DatabaseTest, SameDomainLockContentionInflatesService)
+{
+    Simulator sim;
+    Database db(sim, 8, 0.5);
+    double second_done = -1;
+    db.query(DbDomain::Dealer, 1.0, [] {});
+    // Entering with 1 dealer query in flight: service * (1 + 0.5).
+    db.query(DbDomain::Dealer, 1.0, [&] { second_done = sim.now(); });
+    sim.run(10.0);
+    EXPECT_NEAR(second_done, 1.5, 1e-12);
+}
+
+TEST(DatabaseTest, CrossDomainQueriesDoNotContend)
+{
+    Simulator sim;
+    Database db(sim, 8, 0.5);
+    double second_done = -1;
+    db.query(DbDomain::Manufacturing, 1.0, [] {});
+    db.query(DbDomain::Dealer, 1.0, [&] { second_done = sim.now(); });
+    sim.run(10.0);
+    EXPECT_NEAR(second_done, 1.0, 1e-12);
+}
+
+TEST(DatabaseTest, ConnectionPoolQueues)
+{
+    Simulator sim;
+    Database db(sim, 2, 0.0);
+    std::vector<double> done;
+    for (int i = 0; i < 3; ++i) {
+        db.query(DbDomain::Dealer, 1.0,
+                 [&] { done.push_back(sim.now()); });
+    }
+    EXPECT_EQ(db.inService(), 2u);
+    EXPECT_EQ(db.waiting(), 1u);
+    sim.run(10.0);
+    ASSERT_EQ(done.size(), 3u);
+    EXPECT_NEAR(done[0], 1.0, 1e-12);
+    EXPECT_NEAR(done[1], 1.0, 1e-12);
+    // Third query starts when a connection frees at t=1.
+    EXPECT_NEAR(done[2], 2.0, 1e-12);
+}
+
+TEST(DatabaseTest, BacklogIsFifo)
+{
+    Simulator sim;
+    Database db(sim, 1, 0.0);
+    std::vector<int> order;
+    for (int i = 0; i < 4; ++i) {
+        db.query(DbDomain::Dealer, 1.0,
+                 [&order, i] { order.push_back(i); });
+    }
+    sim.run(10.0);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(DatabaseTest, PerDomainInServiceCounters)
+{
+    Simulator sim;
+    Database db(sim, 8, 0.0);
+    db.query(DbDomain::Manufacturing, 1.0, [] {});
+    db.query(DbDomain::Dealer, 1.0, [] {});
+    db.query(DbDomain::Dealer, 1.0, [] {});
+    EXPECT_EQ(db.inService(), 3u);
+    EXPECT_EQ(db.inService(DbDomain::Manufacturing), 1u);
+    EXPECT_EQ(db.inService(DbDomain::Dealer), 2u);
+    sim.run(10.0);
+    EXPECT_EQ(db.inService(), 0u);
+    EXPECT_EQ(db.completed(), 3u);
+}
+
+TEST(DatabaseTest, ContentionCountsOnlyCurrentInService)
+{
+    // A query arriving after others have completed sees no inflation.
+    Simulator sim;
+    Database db(sim, 4, 1.0);
+    db.query(DbDomain::Dealer, 0.5, [] {});
+    double done_at = -1;
+    sim.schedule(1.0, [&] {
+        db.query(DbDomain::Dealer, 1.0,
+                 [&] { done_at = sim.now(); });
+    });
+    sim.run(10.0);
+    EXPECT_NEAR(done_at, 2.0, 1e-12);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for data::Dataset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/dataset.hh"
+#include "numeric/rng.hh"
+
+using wcnn::data::Dataset;
+using wcnn::numeric::Vector;
+
+namespace {
+
+Dataset
+makeDataset(std::size_t n)
+{
+    Dataset ds({"a", "b"}, {"y"});
+    for (std::size_t i = 0; i < n; ++i) {
+        const double v = static_cast<double>(i);
+        ds.add({v, 2 * v}, {10 * v});
+    }
+    return ds;
+}
+
+} // namespace
+
+TEST(DatasetTest, EmptyDataset)
+{
+    Dataset ds;
+    EXPECT_TRUE(ds.empty());
+    EXPECT_EQ(ds.size(), 0u);
+    EXPECT_EQ(ds.inputDim(), 0u);
+    EXPECT_EQ(ds.outputDim(), 0u);
+}
+
+TEST(DatasetTest, SchemaAndSamples)
+{
+    const Dataset ds = makeDataset(3);
+    EXPECT_EQ(ds.inputDim(), 2u);
+    EXPECT_EQ(ds.outputDim(), 1u);
+    EXPECT_EQ(ds.inputs()[1], "b");
+    EXPECT_EQ(ds.outputs()[0], "y");
+    EXPECT_EQ(ds.size(), 3u);
+    EXPECT_EQ(ds[2].x, (Vector{2, 4}));
+    EXPECT_EQ(ds[2].y, (Vector{20}));
+}
+
+TEST(DatasetTest, Iteration)
+{
+    const Dataset ds = makeDataset(4);
+    std::size_t count = 0;
+    for (const auto &s : ds) {
+        EXPECT_EQ(s.x.size(), 2u);
+        ++count;
+    }
+    EXPECT_EQ(count, 4u);
+}
+
+TEST(DatasetTest, MatrixViews)
+{
+    const Dataset ds = makeDataset(3);
+    const auto x = ds.xMatrix();
+    const auto y = ds.yMatrix();
+    EXPECT_EQ(x.rows(), 3u);
+    EXPECT_EQ(x.cols(), 2u);
+    EXPECT_EQ(y.cols(), 1u);
+    EXPECT_DOUBLE_EQ(x(2, 1), 4.0);
+    EXPECT_DOUBLE_EQ(y(1, 0), 10.0);
+}
+
+TEST(DatasetTest, ColumnViews)
+{
+    const Dataset ds = makeDataset(3);
+    EXPECT_EQ(ds.xColumn(0), (Vector{0, 1, 2}));
+    EXPECT_EQ(ds.xColumn(1), (Vector{0, 2, 4}));
+    EXPECT_EQ(ds.yColumn(0), (Vector{0, 10, 20}));
+}
+
+TEST(DatasetTest, SelectPreservesOrderAndAllowsDuplicates)
+{
+    const Dataset ds = makeDataset(5);
+    const Dataset sub = ds.select({4, 0, 4});
+    ASSERT_EQ(sub.size(), 3u);
+    EXPECT_EQ(sub[0].x[0], 4);
+    EXPECT_EQ(sub[1].x[0], 0);
+    EXPECT_EQ(sub[2].x[0], 4);
+    EXPECT_EQ(sub.inputs(), ds.inputs());
+}
+
+TEST(DatasetTest, ShuffledIsPermutation)
+{
+    const Dataset ds = makeDataset(20);
+    wcnn::numeric::Rng rng(5);
+    const Dataset sh = ds.shuffled(rng);
+    ASSERT_EQ(sh.size(), ds.size());
+    // The multiset of first coordinates must be preserved.
+    std::vector<double> orig, perm;
+    for (const auto &s : ds)
+        orig.push_back(s.x[0]);
+    for (const auto &s : sh)
+        perm.push_back(s.x[0]);
+    std::sort(orig.begin(), orig.end());
+    std::sort(perm.begin(), perm.end());
+    EXPECT_EQ(orig, perm);
+}
+
+TEST(DatasetTest, AppendConcatenates)
+{
+    Dataset a = makeDataset(2);
+    const Dataset b = makeDataset(3);
+    a.append(b);
+    EXPECT_EQ(a.size(), 5u);
+    EXPECT_EQ(a[4].x[0], 2);
+}
+
+TEST(DatasetTest, JointXyConsistency)
+{
+    const Dataset ds = makeDataset(10);
+    for (std::size_t i = 0; i < ds.size(); ++i)
+        EXPECT_DOUBLE_EQ(ds[i].y[0], 10.0 * ds[i].x[0]);
+}

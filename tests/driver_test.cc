@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the open-loop Poisson load driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "sim/app_server.hh"
+#include "sim/driver.hh"
+
+using namespace wcnn::sim;
+using wcnn::numeric::Rng;
+
+namespace {
+
+/** Harness capturing what the driver injects. */
+struct Harness
+{
+    Simulator sim;
+    WorkloadParams params = WorkloadParams::defaults();
+    PsCpu cpu{sim, 16, 0.0, 0.0};
+    Database db{sim, 48, 0.0};
+    ThreadPool mfg{sim, "mfg", 64, 10000};
+    ThreadPool web{sim, "web", 64, 10000};
+    ThreadPool def{sim, "default", 64, 10000};
+    Collector collector{0.0, 1e9, params};
+    AppServer server{sim, cpu, db,     mfg,       web,
+                     def, params, collector, Rng(3)};
+};
+
+} // namespace
+
+TEST(DriverTest, InjectionRateIsRespected)
+{
+    Harness h;
+    Driver driver(h.sim, h.server, 560.0, h.params, Rng(1), 1e9);
+    driver.start();
+    h.sim.run(50.0);
+    // 560/s over 50 s = 28000 expected; Poisson sd ~ sqrt(28000)=167.
+    EXPECT_NEAR(static_cast<double>(driver.injected()), 28000.0,
+                5.0 * 167.0);
+}
+
+TEST(DriverTest, HorizonStopsInjection)
+{
+    Harness h;
+    Driver driver(h.sim, h.server, 500.0, h.params, Rng(2), 10.0);
+    driver.start();
+    h.sim.run(100.0);
+    EXPECT_NEAR(static_cast<double>(driver.injected()), 5000.0,
+                5.0 * std::sqrt(5000.0));
+}
+
+TEST(DriverTest, ClassMixMatchesWeights)
+{
+    Harness h;
+    // Skew the mix: manufacturing 10%, browse 60%.
+    h.params.profiles[0].mix = 0.1;
+    h.params.profiles[1].mix = 0.15;
+    h.params.profiles[2].mix = 0.15;
+    h.params.profiles[3].mix = 0.6;
+    Driver driver(h.sim, h.server, 1000.0, h.params, Rng(3), 1e9);
+    driver.start();
+    h.sim.run(30.0);
+
+    std::array<double, numTxnClasses> seen{};
+    double total = 0.0;
+    for (TxnClass cls : allTxnClasses) {
+        seen[static_cast<std::size_t>(cls)] =
+            static_cast<double>(h.collector.completions(cls));
+        total += seen[static_cast<std::size_t>(cls)];
+    }
+    ASSERT_GT(total, 1000.0);
+    EXPECT_NEAR(seen[0] / total, 0.10, 0.02);
+    EXPECT_NEAR(seen[3] / total, 0.60, 0.03);
+}
+
+TEST(DriverTest, InterArrivalsAreExponential)
+{
+    // CoV of exponential inter-arrivals is 1; a deterministic source
+    // would give 0. Capture arrival times through the collector.
+    Harness h;
+    Driver driver(h.sim, h.server, 200.0, h.params, Rng(4), 1e9);
+    driver.start();
+    h.sim.run(60.0);
+    // Indirect check: injected count variance behaves Poisson-like
+    // across disjoint windows. Run a second independent driver window
+    // and compare; cheap smoke rather than a full GOF test.
+    EXPECT_GT(driver.injected(), 10000u);
+}
+
+TEST(DriverTest, DeterministicGivenSeed)
+{
+    const auto run = [](std::uint64_t seed) {
+        Harness h;
+        Driver driver(h.sim, h.server, 300.0, h.params, Rng(seed),
+                      1e9);
+        driver.start();
+        h.sim.run(20.0);
+        return driver.injected();
+    };
+    EXPECT_EQ(run(9), run(9));
+    EXPECT_NE(run(9), run(10));
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the polynomial and logarithmic baselines (paper sec. 7
+ * future work).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/feature_models.hh"
+#include "model/linear_model.hh"
+#include "data/metrics.hh"
+#include "numeric/rng.hh"
+
+using wcnn::data::Dataset;
+using wcnn::model::LogarithmicModel;
+using wcnn::model::PolynomialModel;
+using wcnn::numeric::Rng;
+
+TEST(PolynomialModelTest, NameIncludesDegree)
+{
+    EXPECT_EQ(PolynomialModel(3).name(), "polynomial(degree=3)");
+}
+
+TEST(PolynomialModelTest, RecoversQuadraticExactly)
+{
+    Rng rng(1);
+    Dataset ds({"a", "b"}, {"y"});
+    for (int i = 0; i < 40; ++i) {
+        const double a = rng.uniform(-2, 2);
+        const double b = rng.uniform(-2, 2);
+        ds.add({a, b}, {1 + 2 * a - b + 0.5 * a * a - a * b + 3 * b * b});
+    }
+    PolynomialModel mdl(2);
+    mdl.fit(ds);
+    for (int i = 0; i < 10; ++i) {
+        const double a = rng.uniform(-2, 2);
+        const double b = rng.uniform(-2, 2);
+        const double expected =
+            1 + 2 * a - b + 0.5 * a * a - a * b + 3 * b * b;
+        EXPECT_NEAR(mdl.predict({a, b})[0], expected, 1e-5);
+    }
+}
+
+TEST(PolynomialModelTest, FeatureCountMatchesCombinatorics)
+{
+    // Monomials of total degree <= d in n variables: C(n + d, d).
+    Rng rng(2);
+    Dataset ds({"a", "b", "c"}, {"y"});
+    for (int i = 0; i < 60; ++i) {
+        ds.add({rng.uniform(-1, 1), rng.uniform(-1, 1),
+                rng.uniform(-1, 1)},
+               {rng.uniform(-1, 1)});
+    }
+    PolynomialModel quad(2);
+    quad.fit(ds);
+    EXPECT_EQ(quad.featureCount(), 10u); // C(5,2)
+    PolynomialModel cubic(3);
+    cubic.fit(ds);
+    EXPECT_EQ(cubic.featureCount(), 20u); // C(6,3)
+}
+
+TEST(PolynomialModelTest, DegreeOneMatchesLinearModel)
+{
+    Rng rng(3);
+    Dataset ds({"a"}, {"y"});
+    for (int i = 0; i < 20; ++i) {
+        const double a = rng.uniform(-3, 3);
+        ds.add({a}, {4 * a - 7});
+    }
+    PolynomialModel mdl(1);
+    mdl.fit(ds);
+    EXPECT_NEAR(mdl.predict({1.5})[0], -1.0, 1e-6);
+}
+
+TEST(LogarithmicModelTest, FitsSaturatingCurveBetterThanLinear)
+{
+    // y = log(1 + 5x) on [0, 10]: saturating growth that a line
+    // cannot track.
+    Dataset ds({"x"}, {"y"});
+    for (double x = 0.0; x <= 10.0; x += 0.25)
+        ds.add({x}, {std::log1p(5.0 * x)});
+
+    LogarithmicModel log_mdl;
+    log_mdl.fit(ds);
+    wcnn::model::LinearModel lin_mdl;
+    lin_mdl.fit(ds);
+
+    const auto log_err = wcnn::data::rmse(
+        ds.yColumn(0), log_mdl.predictAll(ds).col(0));
+    const auto lin_err = wcnn::data::rmse(
+        ds.yColumn(0), lin_mdl.predictAll(ds).col(0));
+    EXPECT_LT(log_err, 0.5 * lin_err);
+}
+
+TEST(LogarithmicModelTest, MultiOutput)
+{
+    Rng rng(4);
+    Dataset ds({"a", "b"}, {"y1", "y2"});
+    for (int i = 0; i < 30; ++i) {
+        const double a = rng.uniform(0.1, 5);
+        const double b = rng.uniform(0.1, 5);
+        ds.add({a, b}, {std::log(a + 1), a + b});
+    }
+    LogarithmicModel mdl;
+    mdl.fit(ds);
+    const auto pred = mdl.predict({2.0, 3.0});
+    ASSERT_EQ(pred.size(), 2u);
+    EXPECT_NEAR(pred[1], 5.0, 0.2);
+}
+
+TEST(FeatureModelsTest, FittedFlagLifecycle)
+{
+    PolynomialModel mdl(2);
+    EXPECT_FALSE(mdl.fitted());
+    Dataset ds({"x"}, {"y"});
+    ds.add({1}, {1});
+    ds.add({2}, {4});
+    ds.add({3}, {9});
+    ds.add({4}, {16});
+    mdl.fit(ds);
+    EXPECT_TRUE(mdl.fitted());
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Tests for the node-count / stop-threshold tuning protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "model/grid_search.hh"
+#include "numeric/rng.hh"
+
+using wcnn::data::Dataset;
+using wcnn::model::GridSearchOptions;
+using wcnn::model::gridSearch;
+using wcnn::model::NnModelOptions;
+using wcnn::numeric::Rng;
+
+namespace {
+
+Dataset
+sineDataset(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset ds({"x"}, {"y"});
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = rng.uniform(-2, 2);
+        ds.add({x}, {5.0 + std::sin(2.0 * x)});
+    }
+    return ds;
+}
+
+NnModelOptions
+quickNn()
+{
+    NnModelOptions opts;
+    opts.train.maxEpochs = 600;
+    opts.seed = 3;
+    return opts;
+}
+
+} // namespace
+
+TEST(GridSearchTest, EvaluatesEveryCandidate)
+{
+    GridSearchOptions opts;
+    opts.hiddenUnits = {4, 8};
+    opts.targetLosses = {0.05, 0.01};
+    const auto result =
+        gridSearch(quickNn(), sineDataset(40, 1), opts);
+    EXPECT_EQ(result.entries.size(), 4u);
+}
+
+TEST(GridSearchTest, BestIndexIsMinimum)
+{
+    GridSearchOptions opts;
+    opts.hiddenUnits = {2, 6, 12};
+    opts.targetLosses = {0.05, 0.01};
+    const auto result =
+        gridSearch(quickNn(), sineDataset(50, 2), opts);
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto &e : result.entries)
+        best = std::min(best, e.validationError);
+    EXPECT_DOUBLE_EQ(result.best().validationError, best);
+}
+
+TEST(GridSearchTest, EntriesRecordCandidateSettings)
+{
+    GridSearchOptions opts;
+    opts.hiddenUnits = {4};
+    opts.targetLosses = {0.02};
+    const auto result =
+        gridSearch(quickNn(), sineDataset(30, 3), opts);
+    ASSERT_EQ(result.entries.size(), 1u);
+    EXPECT_EQ(result.entries[0].hiddenUnits, 4u);
+    EXPECT_DOUBLE_EQ(result.entries[0].targetLoss, 0.02);
+    EXPECT_GE(result.entries[0].validationError, 0.0);
+}
+
+TEST(GridSearchTest, TunedOptionsApplyWinner)
+{
+    GridSearchOptions opts;
+    opts.hiddenUnits = {4, 10};
+    opts.targetLosses = {0.05, 0.005};
+    const NnModelOptions tuned =
+        wcnn::model::tunedOptions(quickNn(), sineDataset(50, 4), opts);
+    ASSERT_EQ(tuned.hiddenUnits.size(), 1u);
+    const bool units_ok = tuned.hiddenUnits[0] == 4u ||
+                          tuned.hiddenUnits[0] == 10u;
+    EXPECT_TRUE(units_ok);
+    const bool loss_ok = tuned.train.targetLoss == 0.05 ||
+                         tuned.train.targetLoss == 0.005;
+    EXPECT_TRUE(loss_ok);
+}
+
+TEST(GridSearchTest, DeterministicGivenSeed)
+{
+    GridSearchOptions opts;
+    opts.hiddenUnits = {4, 8};
+    opts.targetLosses = {0.02};
+    opts.seed = 5;
+    const Dataset ds = sineDataset(40, 5);
+    const auto a = gridSearch(quickNn(), ds, opts);
+    const auto b = gridSearch(quickNn(), ds, opts);
+    ASSERT_EQ(a.entries.size(), b.entries.size());
+    for (std::size_t i = 0; i < a.entries.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.entries[i].validationError,
+                         b.entries[i].validationError);
+    }
+    EXPECT_EQ(a.bestIndex, b.bestIndex);
+}
+
+TEST(GridSearchTest, AdequateCapacityBeatsUnderCapacity)
+{
+    // A 1-unit net cannot represent two humps of sin(2x); a larger
+    // net should win the search.
+    GridSearchOptions opts;
+    opts.hiddenUnits = {1, 12};
+    opts.targetLosses = {0.005};
+    NnModelOptions nn = quickNn();
+    nn.train.maxEpochs = 1500;
+    const auto result = gridSearch(nn, sineDataset(60, 6), opts);
+    EXPECT_EQ(result.best().hiddenUnits, 12u);
+}

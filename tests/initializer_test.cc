@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for weight initialization rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/initializer.hh"
+#include "numeric/rng.hh"
+
+using wcnn::nn::InitRule;
+using wcnn::numeric::Matrix;
+using wcnn::numeric::Rng;
+
+TEST(InitializerTest, SmallUniformBounds)
+{
+    Rng rng(1);
+    const Matrix w =
+        wcnn::nn::initWeights(InitRule::SmallUniform, 20, 30, rng);
+    EXPECT_EQ(w.rows(), 20u);
+    EXPECT_EQ(w.cols(), 30u);
+    for (double v : w.data()) {
+        EXPECT_GE(v, -0.5);
+        EXPECT_LT(v, 0.5);
+    }
+}
+
+TEST(InitializerTest, XavierBounds)
+{
+    Rng rng(2);
+    const std::size_t fan_in = 16, fan_out = 8;
+    const double bound = std::sqrt(6.0 / (fan_in + fan_out));
+    const Matrix w =
+        wcnn::nn::initWeights(InitRule::Xavier, fan_out, fan_in, rng);
+    for (double v : w.data()) {
+        EXPECT_GE(v, -bound);
+        EXPECT_LT(v, bound);
+    }
+}
+
+TEST(InitializerTest, HeBounds)
+{
+    Rng rng(3);
+    const double bound = std::sqrt(6.0 / 25.0);
+    const Matrix w = wcnn::nn::initWeights(InitRule::He, 4, 25, rng);
+    for (double v : w.data()) {
+        EXPECT_GE(v, -bound);
+        EXPECT_LT(v, bound);
+    }
+}
+
+TEST(InitializerTest, ZeroRule)
+{
+    Rng rng(4);
+    const Matrix w = wcnn::nn::initWeights(InitRule::Zero, 3, 3, rng);
+    for (double v : w.data())
+        EXPECT_DOUBLE_EQ(v, 0.0);
+    const auto b = wcnn::nn::initBiases(InitRule::Zero, 3, rng);
+    for (double v : b)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(InitializerTest, BiasesSmall)
+{
+    Rng rng(5);
+    const auto b =
+        wcnn::nn::initBiases(InitRule::SmallUniform, 100, rng);
+    for (double v : b) {
+        EXPECT_GE(v, -0.1);
+        EXPECT_LT(v, 0.1);
+    }
+}
+
+TEST(InitializerTest, DeterministicGivenSeed)
+{
+    Rng a(6), b(6);
+    const Matrix wa =
+        wcnn::nn::initWeights(InitRule::Xavier, 5, 5, a);
+    const Matrix wb =
+        wcnn::nn::initWeights(InitRule::Xavier, 5, 5, b);
+    EXPECT_TRUE(wa == wb);
+}
+
+TEST(InitializerTest, SymmetryIsBroken)
+{
+    // Random init must not produce identical rows (symmetric units
+    // would never diverge under gradient descent).
+    Rng rng(7);
+    const Matrix w =
+        wcnn::nn::initWeights(InitRule::SmallUniform, 4, 6, rng);
+    EXPECT_NE(w.row(0), w.row(1));
+    EXPECT_NE(w.row(2), w.row(3));
+}

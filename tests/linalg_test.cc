@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit and property tests for the dense linear-algebra solvers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/linalg.hh"
+#include "numeric/rng.hh"
+
+using wcnn::numeric::Matrix;
+using wcnn::numeric::Rng;
+using wcnn::numeric::Vector;
+
+namespace {
+
+/** Random symmetric positive-definite matrix A = B^T B + eps I. */
+Matrix
+randomSpd(std::size_t n, Rng &rng)
+{
+    const Matrix b = Matrix::random(n, n, rng, -1, 1);
+    Matrix a = b.transposed() * b;
+    for (std::size_t i = 0; i < n; ++i)
+        a(i, i) += 0.5;
+    return a;
+}
+
+} // namespace
+
+TEST(CholeskyTest, ReconstructsSpdMatrix)
+{
+    Rng rng(3);
+    const Matrix a = randomSpd(5, rng);
+    const auto l = wcnn::numeric::cholesky(a);
+    ASSERT_TRUE(l.has_value());
+    const Matrix recon = *l * l->transposed();
+    for (std::size_t i = 0; i < 5; ++i)
+        for (std::size_t j = 0; j < 5; ++j)
+            EXPECT_NEAR(recon(i, j), a(i, j), 1e-10);
+}
+
+TEST(CholeskyTest, FactorIsLowerTriangular)
+{
+    Rng rng(4);
+    const Matrix a = randomSpd(4, rng);
+    const auto l = wcnn::numeric::cholesky(a);
+    ASSERT_TRUE(l.has_value());
+    for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = i + 1; j < 4; ++j)
+            EXPECT_DOUBLE_EQ((*l)(i, j), 0.0);
+}
+
+TEST(CholeskyTest, RejectsIndefiniteMatrix)
+{
+    Matrix a{{1, 2}, {2, 1}}; // eigenvalues 3, -1
+    EXPECT_FALSE(wcnn::numeric::cholesky(a).has_value());
+}
+
+TEST(CholeskyTest, SolveMatchesDirectSolve)
+{
+    Rng rng(5);
+    const Matrix a = randomSpd(6, rng);
+    Vector b(6);
+    for (auto &v : b)
+        v = rng.uniform(-1, 1);
+    const auto l = wcnn::numeric::cholesky(a);
+    ASSERT_TRUE(l.has_value());
+    const Vector x = wcnn::numeric::choleskySolve(*l, b);
+    const Vector ax = a * x;
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST(SolveTest, KnownSystem)
+{
+    Matrix a{{2, 1}, {1, 3}};
+    const auto x = wcnn::numeric::solve(a, {3, 5});
+    ASSERT_TRUE(x.has_value());
+    EXPECT_NEAR((*x)[0], 0.8, 1e-12);
+    EXPECT_NEAR((*x)[1], 1.4, 1e-12);
+}
+
+TEST(SolveTest, RequiresPivoting)
+{
+    // Zero leading pivot forces a row swap.
+    Matrix a{{0, 1}, {1, 0}};
+    const auto x = wcnn::numeric::solve(a, {2, 3});
+    ASSERT_TRUE(x.has_value());
+    EXPECT_NEAR((*x)[0], 3.0, 1e-12);
+    EXPECT_NEAR((*x)[1], 2.0, 1e-12);
+}
+
+TEST(SolveTest, DetectsSingularMatrix)
+{
+    Matrix a{{1, 2}, {2, 4}};
+    EXPECT_FALSE(wcnn::numeric::solve(a, {1, 2}).has_value());
+}
+
+TEST(LeastSquaresTest, ExactFitOnDeterminedSystem)
+{
+    // y = 2x + 1 sampled at 3 points, design [x, 1].
+    Matrix design{{0, 1}, {1, 1}, {2, 1}};
+    const auto coef = wcnn::numeric::leastSquares(design, {1, 3, 5});
+    ASSERT_TRUE(coef.has_value());
+    EXPECT_NEAR((*coef)[0], 2.0, 1e-10);
+    EXPECT_NEAR((*coef)[1], 1.0, 1e-10);
+}
+
+TEST(LeastSquaresTest, MinimizesResidualOnOverdetermined)
+{
+    // Noisy y = 3x; OLS slope should be close to 3.
+    Rng rng(6);
+    const std::size_t n = 200;
+    Matrix design(n, 1);
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double x = rng.uniform(-1, 1);
+        design(i, 0) = x;
+        y[i] = 3.0 * x + rng.normal(0.0, 0.01);
+    }
+    const auto coef = wcnn::numeric::leastSquares(design, y);
+    ASSERT_TRUE(coef.has_value());
+    EXPECT_NEAR((*coef)[0], 3.0, 0.01);
+}
+
+TEST(LeastSquaresTest, RidgeHandlesRankDeficiency)
+{
+    // Duplicate columns are rank deficient; ridge keeps it solvable.
+    Matrix design{{1, 1}, {2, 2}, {3, 3}};
+    EXPECT_FALSE(
+        wcnn::numeric::leastSquares(design, {1, 2, 3}, 0.0).has_value());
+    const auto coef =
+        wcnn::numeric::leastSquares(design, {1, 2, 3}, 1e-8);
+    ASSERT_TRUE(coef.has_value());
+    // Prediction still matches even if the split is arbitrary.
+    EXPECT_NEAR((*coef)[0] + (*coef)[1], 1.0, 1e-3);
+}
+
+TEST(InverseTest, IdentityInverse)
+{
+    const auto inv = wcnn::numeric::inverse(Matrix::identity(3));
+    ASSERT_TRUE(inv.has_value());
+    EXPECT_TRUE(*inv == Matrix::identity(3));
+}
+
+TEST(InverseTest, SingularReturnsNullopt)
+{
+    Matrix a{{1, 2}, {2, 4}};
+    EXPECT_FALSE(wcnn::numeric::inverse(a).has_value());
+}
+
+/** Property: A * A^-1 == I over random well-conditioned matrices. */
+class InversePropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(InversePropertyTest, ProductWithInverseIsIdentity)
+{
+    const int n = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n));
+    Matrix a = Matrix::random(n, n, rng, -1, 1);
+    // Diagonal dominance keeps the matrix comfortably invertible.
+    for (int i = 0; i < n; ++i)
+        a(i, i) += static_cast<double>(n);
+    const auto inv = wcnn::numeric::inverse(a);
+    ASSERT_TRUE(inv.has_value());
+    const Matrix prod = a * *inv;
+    for (int i = 0; i < n; ++i)
+        for (int j = 0; j < n; ++j)
+            EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST_P(InversePropertyTest, SolveMatchesInverseApply)
+{
+    const int n = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n) + 100);
+    Matrix a = Matrix::random(n, n, rng, -1, 1);
+    for (int i = 0; i < n; ++i)
+        a(i, i) += static_cast<double>(n);
+    Vector b(n);
+    for (auto &v : b)
+        v = rng.uniform(-1, 1);
+    const auto x = wcnn::numeric::solve(a, b);
+    const auto inv = wcnn::numeric::inverse(a);
+    ASSERT_TRUE(x.has_value());
+    ASSERT_TRUE(inv.has_value());
+    const Vector via_inverse = *inv * b;
+    for (int i = 0; i < n; ++i)
+        EXPECT_NEAR((*x)[i], via_inverse[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InversePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));

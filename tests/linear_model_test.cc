@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Tests for the OLS baseline (paper refs [2, 20, 21]).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/linear_model.hh"
+#include "numeric/rng.hh"
+
+using wcnn::data::Dataset;
+using wcnn::model::LinearModel;
+using wcnn::numeric::Rng;
+using wcnn::numeric::Vector;
+
+namespace {
+
+Dataset
+linearDataset(std::size_t n, Rng &rng)
+{
+    // y1 = 2a - 3b + 1, y2 = -a + 0.5b - 2.
+    Dataset ds({"a", "b"}, {"y1", "y2"});
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.uniform(-5, 5);
+        const double b = rng.uniform(-5, 5);
+        ds.add({a, b}, {2 * a - 3 * b + 1, -a + 0.5 * b - 2});
+    }
+    return ds;
+}
+
+} // namespace
+
+TEST(LinearModelTest, UnfittedFlag)
+{
+    LinearModel mdl;
+    EXPECT_FALSE(mdl.fitted());
+    EXPECT_EQ(mdl.name(), "linear");
+}
+
+TEST(LinearModelTest, RecoversExactLinearRelation)
+{
+    Rng rng(1);
+    const Dataset ds = linearDataset(30, rng);
+    LinearModel mdl;
+    mdl.fit(ds);
+    ASSERT_TRUE(mdl.fitted());
+
+    const Vector pred = mdl.predict({1.0, 2.0});
+    EXPECT_NEAR(pred[0], 2 - 6 + 1, 1e-6);
+    EXPECT_NEAR(pred[1], -1 + 1 - 2, 1e-6);
+}
+
+TEST(LinearModelTest, CoefficientsMatchGenerator)
+{
+    Rng rng(2);
+    const Dataset ds = linearDataset(50, rng);
+    LinearModel mdl;
+    mdl.fit(ds);
+    const auto &coef = mdl.coefficients();
+    ASSERT_EQ(coef.rows(), 3u); // 2 inputs + intercept
+    ASSERT_EQ(coef.cols(), 2u);
+    EXPECT_NEAR(coef(0, 0), 2.0, 1e-6);
+    EXPECT_NEAR(coef(1, 0), -3.0, 1e-6);
+    EXPECT_NEAR(coef(2, 0), 1.0, 1e-6);
+    EXPECT_NEAR(coef(2, 1), -2.0, 1e-6);
+}
+
+TEST(LinearModelTest, PredictAllShapes)
+{
+    Rng rng(3);
+    const Dataset ds = linearDataset(10, rng);
+    LinearModel mdl;
+    mdl.fit(ds);
+    const auto pred = mdl.predictAll(ds);
+    EXPECT_EQ(pred.rows(), 10u);
+    EXPECT_EQ(pred.cols(), 2u);
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_NEAR(pred(i, 0), ds[i].y[0], 1e-6);
+}
+
+TEST(LinearModelTest, CannotCaptureQuadratic)
+{
+    // The motivating limitation: y = x^2 on [-1, 1] has zero linear
+    // trend, so OLS predicts (roughly) the mean everywhere.
+    Dataset ds({"x"}, {"y"});
+    for (double x = -1.0; x <= 1.0; x += 0.1)
+        ds.add({x}, {x * x});
+    LinearModel mdl;
+    mdl.fit(ds);
+    EXPECT_NEAR(mdl.predict({0.0})[0], mdl.predict({0.9})[0], 0.1);
+    // Large error at the extremes.
+    EXPECT_GT(std::fabs(mdl.predict({0.0})[0] - 0.0), 0.2);
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Unit tests for the loss functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/loss.hh"
+
+using wcnn::numeric::Vector;
+
+TEST(LossTest, MseKnownValues)
+{
+    EXPECT_DOUBLE_EQ(wcnn::nn::mseLoss({1, 2}, {1, 2}), 0.0);
+    EXPECT_DOUBLE_EQ(wcnn::nn::mseLoss({3, 0}, {0, 4}), 12.5);
+}
+
+TEST(LossTest, SseKnownValues)
+{
+    EXPECT_DOUBLE_EQ(wcnn::nn::sseLoss({3, 0}, {0, 4}), 25.0);
+}
+
+TEST(LossTest, MseGradientDirection)
+{
+    const Vector g = wcnn::nn::mseGradient({2, 0}, {0, 0});
+    // Positive residual -> positive gradient (step decreases output).
+    EXPECT_GT(g[0], 0.0);
+    EXPECT_DOUBLE_EQ(g[1], 0.0);
+}
+
+TEST(LossTest, MseGradientMatchesFiniteDifference)
+{
+    Vector pred{0.4, -1.2, 2.0};
+    const Vector target{0.0, 1.0, 2.5};
+    const Vector grad = wcnn::nn::mseGradient(pred, target);
+    const double h = 1e-7;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+        const double saved = pred[i];
+        pred[i] = saved + h;
+        const double up = wcnn::nn::mseLoss(pred, target);
+        pred[i] = saved - h;
+        const double down = wcnn::nn::mseLoss(pred, target);
+        pred[i] = saved;
+        EXPECT_NEAR(grad[i], (up - down) / (2 * h), 1e-6);
+    }
+}
+
+TEST(LossTest, MseIsMeanOverOutputs)
+{
+    // Same residual spread over more outputs -> smaller MSE.
+    EXPECT_DOUBLE_EQ(wcnn::nn::mseLoss({1}, {0}), 1.0);
+    EXPECT_DOUBLE_EQ(wcnn::nn::mseLoss({1, 0}, {0, 0}), 0.5);
+}

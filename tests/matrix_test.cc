@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit and property tests for numeric::Matrix and vector helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "numeric/matrix.hh"
+#include "numeric/rng.hh"
+
+using wcnn::numeric::Matrix;
+using wcnn::numeric::Rng;
+using wcnn::numeric::Vector;
+
+TEST(MatrixTest, DefaultIsEmpty)
+{
+    Matrix m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(MatrixTest, FillConstructor)
+{
+    Matrix m(2, 3, 1.5);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_DOUBLE_EQ(m(i, j), 1.5);
+}
+
+TEST(MatrixTest, InitializerList)
+{
+    Matrix m{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(0, 0), 1);
+    EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, RowAndColExtraction)
+{
+    Matrix m{{1, 2}, {3, 4}, {5, 6}};
+    EXPECT_EQ(m.row(1), (Vector{3, 4}));
+    EXPECT_EQ(m.col(0), (Vector{1, 3, 5}));
+}
+
+TEST(MatrixTest, SetRow)
+{
+    Matrix m(2, 2);
+    m.setRow(1, {7, 8});
+    EXPECT_DOUBLE_EQ(m(1, 0), 7);
+    EXPECT_DOUBLE_EQ(m(1, 1), 8);
+    EXPECT_DOUBLE_EQ(m(0, 0), 0);
+}
+
+TEST(MatrixTest, IdentityTimesVectorIsIdentityMap)
+{
+    const Matrix id = Matrix::identity(4);
+    const Vector v{1, -2, 3, -4};
+    EXPECT_EQ(id * v, v);
+}
+
+TEST(MatrixTest, MatMulKnownValues)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{5, 6}, {7, 8}};
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 19);
+    EXPECT_DOUBLE_EQ(c(0, 1), 22);
+    EXPECT_DOUBLE_EQ(c(1, 0), 43);
+    EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(MatrixTest, MatMulNonSquare)
+{
+    Matrix a{{1, 0, 2}, {0, 1, 1}}; // 2x3
+    Matrix b{{1, 2}, {3, 4}, {5, 6}}; // 3x2
+    Matrix c = a * b;
+    ASSERT_EQ(c.rows(), 2u);
+    ASSERT_EQ(c.cols(), 2u);
+    EXPECT_DOUBLE_EQ(c(0, 0), 11);
+    EXPECT_DOUBLE_EQ(c(1, 1), 10);
+}
+
+TEST(MatrixTest, TransposeIsInvolution)
+{
+    Rng rng(1);
+    const Matrix m = Matrix::random(3, 5, rng, -1, 1);
+    EXPECT_TRUE(m.transposed().transposed() == m);
+}
+
+TEST(MatrixTest, ArithmeticOperators)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{4, 3}, {2, 1}};
+    Matrix sum = a + b;
+    Matrix diff = a - b;
+    Matrix scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(sum(0, 0), 5);
+    EXPECT_DOUBLE_EQ(sum(1, 1), 5);
+    EXPECT_DOUBLE_EQ(diff(0, 1), -1);
+    EXPECT_DOUBLE_EQ(scaled(1, 0), 6);
+}
+
+TEST(MatrixTest, CompoundOperators)
+{
+    Matrix a{{1, 1}, {1, 1}};
+    a += Matrix{{1, 2}, {3, 4}};
+    EXPECT_DOUBLE_EQ(a(1, 1), 5);
+    a -= Matrix{{1, 1}, {1, 1}};
+    EXPECT_DOUBLE_EQ(a(0, 0), 1);
+    a *= 3.0;
+    EXPECT_DOUBLE_EQ(a(1, 0), 9);
+}
+
+TEST(MatrixTest, Hadamard)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{2, 2}, {2, 2}};
+    Matrix h = a.hadamard(b);
+    EXPECT_DOUBLE_EQ(h(0, 1), 4);
+    EXPECT_DOUBLE_EQ(h(1, 1), 8);
+}
+
+TEST(MatrixTest, Apply)
+{
+    Matrix a{{1, 4}, {9, 16}};
+    Matrix s = a.apply([](double x) { return std::sqrt(x); });
+    EXPECT_DOUBLE_EQ(s(0, 1), 2);
+    EXPECT_DOUBLE_EQ(s(1, 1), 4);
+}
+
+TEST(MatrixTest, FrobeniusNorm)
+{
+    Matrix a{{3, 0}, {0, 4}};
+    EXPECT_DOUBLE_EQ(a.frobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, RandomRespectsBounds)
+{
+    Rng rng(2);
+    const Matrix m = Matrix::random(10, 10, rng, -0.25, 0.25);
+    for (double v : m.data()) {
+        EXPECT_GE(v, -0.25);
+        EXPECT_LT(v, 0.25);
+    }
+}
+
+TEST(MatrixTest, ToStringFormat)
+{
+    Matrix m{{1, 2}, {3, 4}};
+    EXPECT_EQ(m.toString(), "1 2\n3 4\n");
+}
+
+TEST(VectorOpsTest, DotAndNorm)
+{
+    EXPECT_DOUBLE_EQ(wcnn::numeric::dot({1, 2, 3}, {4, 5, 6}), 32.0);
+    EXPECT_DOUBLE_EQ(wcnn::numeric::norm({3, 4}), 5.0);
+}
+
+TEST(VectorOpsTest, AddSubScale)
+{
+    EXPECT_EQ(wcnn::numeric::add({1, 2}, {3, 4}), (Vector{4, 6}));
+    EXPECT_EQ(wcnn::numeric::sub({3, 4}, {1, 2}), (Vector{2, 2}));
+    EXPECT_EQ(wcnn::numeric::scale({1, 2}, 3.0), (Vector{3, 6}));
+}
+
+TEST(VectorOpsTest, OuterProduct)
+{
+    const Matrix m = wcnn::numeric::outer({1, 2}, {3, 4, 5});
+    ASSERT_EQ(m.rows(), 2u);
+    ASSERT_EQ(m.cols(), 3u);
+    EXPECT_DOUBLE_EQ(m(0, 0), 3);
+    EXPECT_DOUBLE_EQ(m(1, 2), 10);
+}
+
+/** Property sweep over random shapes: algebraic identities. */
+class MatrixPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(MatrixPropertyTest, TransposeOfProduct)
+{
+    const auto [r, k, c] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(r * 100 + k * 10 + c));
+    const Matrix a = Matrix::random(r, k, rng, -2, 2);
+    const Matrix b = Matrix::random(k, c, rng, -2, 2);
+    const Matrix lhs = (a * b).transposed();
+    const Matrix rhs = b.transposed() * a.transposed();
+    ASSERT_EQ(lhs.rows(), rhs.rows());
+    ASSERT_EQ(lhs.cols(), rhs.cols());
+    for (std::size_t i = 0; i < lhs.rows(); ++i)
+        for (std::size_t j = 0; j < lhs.cols(); ++j)
+            EXPECT_NEAR(lhs(i, j), rhs(i, j), 1e-12);
+}
+
+TEST_P(MatrixPropertyTest, DistributiveLaw)
+{
+    const auto [r, k, c] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(r + k + c));
+    const Matrix a = Matrix::random(r, k, rng, -1, 1);
+    const Matrix b = Matrix::random(k, c, rng, -1, 1);
+    const Matrix d = Matrix::random(k, c, rng, -1, 1);
+    const Matrix lhs = a * (b + d);
+    const Matrix rhs = a * b + a * d;
+    for (std::size_t i = 0; i < lhs.rows(); ++i)
+        for (std::size_t j = 0; j < lhs.cols(); ++j)
+            EXPECT_NEAR(lhs(i, j), rhs(i, j), 1e-12);
+}
+
+TEST_P(MatrixPropertyTest, MatVecMatchesMatMat)
+{
+    const auto [r, k, c] = GetParam();
+    (void)c;
+    Rng rng(static_cast<std::uint64_t>(r * 7 + k));
+    const Matrix a = Matrix::random(r, k, rng, -1, 1);
+    const Matrix v = Matrix::random(k, 1, rng, -1, 1);
+    const Vector prod = a * v.col(0);
+    const Matrix ref = a * v;
+    for (std::size_t i = 0; i < prod.size(); ++i)
+        EXPECT_NEAR(prod[i], ref(i, 0), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatrixPropertyTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(5, 5, 5), std::make_tuple(1, 7, 2),
+                      std::make_tuple(8, 2, 8)));

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the paper's error metric and its companions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/metrics.hh"
+
+namespace dm = wcnn::data;
+using wcnn::numeric::Matrix;
+using wcnn::numeric::Vector;
+
+TEST(MetricsTest, RelativeErrorsKnown)
+{
+    const auto errs = dm::relativeErrors({10, 20}, {11, 18});
+    ASSERT_EQ(errs.size(), 2u);
+    EXPECT_NEAR(errs[0], 0.1, 1e-12);
+    EXPECT_NEAR(errs[1], 0.1, 1e-12);
+}
+
+TEST(MetricsTest, RelativeErrorsSkipNearZeroActuals)
+{
+    const auto errs = dm::relativeErrors({0.0, 10.0}, {5.0, 11.0});
+    ASSERT_EQ(errs.size(), 1u);
+    EXPECT_NEAR(errs[0], 0.1, 1e-12);
+}
+
+TEST(MetricsTest, HarmonicRelativeErrorKnown)
+{
+    // errors 0.1 and 0.3 -> harmonic mean = 2/(10 + 10/3) = 0.15.
+    const double e =
+        dm::harmonicRelativeError({10, 10}, {11, 13});
+    EXPECT_NEAR(e, 0.15, 1e-12);
+}
+
+TEST(MetricsTest, PerfectPredictionGivesTinyError)
+{
+    const double e = dm::harmonicRelativeError({1, 2, 3}, {1, 2, 3});
+    EXPECT_LT(e, 1e-9);
+}
+
+TEST(MetricsTest, MapeIsArithmeticMean)
+{
+    EXPECT_NEAR(dm::mape({10, 10}, {11, 13}), 0.2, 1e-12);
+}
+
+TEST(MetricsTest, RmseKnown)
+{
+    EXPECT_NEAR(dm::rmse({0, 0}, {3, 4}), std::sqrt(12.5), 1e-12);
+    EXPECT_DOUBLE_EQ(dm::rmse({}, {}), 0.0);
+}
+
+TEST(MetricsTest, MaeKnown)
+{
+    EXPECT_NEAR(dm::meanAbsoluteError({1, 2}, {2, 0}), 1.5, 1e-12);
+}
+
+TEST(MetricsTest, HarmonicLeqMape)
+{
+    // Harmonic mean never exceeds the arithmetic mean.
+    const Vector actual{5, 10, 20, 40};
+    const Vector pred{6, 10.5, 26, 41};
+    EXPECT_LE(dm::harmonicRelativeError(actual, pred),
+              dm::mape(actual, pred) + 1e-12);
+}
+
+TEST(MetricsTest, EvaluateBuildsPerColumnReport)
+{
+    Matrix actual{{10, 100}, {20, 200}};
+    Matrix pred{{11, 100}, {22, 200}};
+    const dm::ErrorReport report =
+        dm::evaluate({"rt", "tput"}, actual, pred);
+    ASSERT_EQ(report.names.size(), 2u);
+    EXPECT_NEAR(report.harmonicError[0], 0.1, 1e-12);
+    EXPECT_LT(report.harmonicError[1], 1e-9);
+    EXPECT_NEAR(report.mape[0], 0.1, 1e-12);
+    EXPECT_NEAR(report.rmse[1], 0.0, 1e-12);
+    EXPECT_NEAR(report.r2[1], 1.0, 1e-12);
+}
+
+TEST(MetricsTest, ReportAverages)
+{
+    Matrix actual{{10, 10}, {10, 10}};
+    Matrix pred{{11, 10}, {11, 10}};
+    const dm::ErrorReport report =
+        dm::evaluate({"a", "b"}, actual, pred);
+    EXPECT_NEAR(report.averageHarmonicError(), 0.05, 1e-9);
+    EXPECT_NEAR(report.averageAccuracy(), 0.95, 1e-9);
+}

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Unit and property tests for the MLP: forward semantics (the paper's
+ * perceptron formula) and exact backpropagated gradients checked
+ * against finite differences.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/loss.hh"
+#include "nn/mlp.hh"
+#include "numeric/rng.hh"
+
+using wcnn::nn::Activation;
+using wcnn::nn::Gradients;
+using wcnn::nn::InitRule;
+using wcnn::nn::LayerSpec;
+using wcnn::nn::Mlp;
+using wcnn::numeric::Rng;
+using wcnn::numeric::Vector;
+
+TEST(MlpTest, SinglePerceptronMatchesPaperFormula)
+{
+    // y = f(sum_i w_i x_i + b) with a logistic f (paper section 2.1;
+    // our bias convention is +b where the paper writes -w0).
+    Rng rng(1);
+    Mlp net(2, {LayerSpec{1, Activation::logistic(1.0)}},
+            InitRule::Zero, rng);
+    net.weights(0)(0, 0) = 0.5;
+    net.weights(0)(0, 1) = -1.0;
+    net.biases(0)[0] = 0.25;
+
+    const Vector x{2.0, 1.0};
+    const double pre = 0.5 * 2.0 + (-1.0) * 1.0 + 0.25;
+    const double expected = 1.0 / (1.0 + std::exp(-pre));
+    EXPECT_NEAR(net.forward(x)[0], expected, 1e-12);
+}
+
+TEST(MlpTest, ShapesAndCounts)
+{
+    Rng rng(2);
+    Mlp net(4,
+            {LayerSpec{16, Activation::logistic(1.0)},
+             LayerSpec{5, Activation::identity()}},
+            InitRule::SmallUniform, rng);
+    EXPECT_EQ(net.inputDim(), 4u);
+    EXPECT_EQ(net.outputDim(), 5u);
+    EXPECT_EQ(net.depth(), 2u);
+    // (4*16 + 16) + (16*5 + 5)
+    EXPECT_EQ(net.parameterCount(), 80u + 85u);
+    EXPECT_EQ(net.forward({1, 2, 3, 4}).size(), 5u);
+}
+
+TEST(MlpTest, DescribeListsTopology)
+{
+    Rng rng(3);
+    Mlp net(4,
+            {LayerSpec{16, Activation::logistic(1.0)},
+             LayerSpec{5, Activation::identity()}},
+            InitRule::SmallUniform, rng);
+    EXPECT_EQ(net.describe(), "4 -> 16 logistic(a=1) -> 5 identity");
+}
+
+TEST(MlpTest, CachedForwardMatchesPlainForward)
+{
+    Rng rng(4);
+    Mlp net(3,
+            {LayerSpec{7, Activation::tanh()},
+             LayerSpec{2, Activation::identity()}},
+            InitRule::Xavier, rng);
+    const Vector x{0.3, -0.7, 1.2};
+    Mlp::Cache cache;
+    const Vector with_cache = net.forward(x, cache);
+    const Vector plain = net.forward(x);
+    ASSERT_EQ(with_cache.size(), plain.size());
+    for (std::size_t i = 0; i < plain.size(); ++i)
+        EXPECT_DOUBLE_EQ(with_cache[i], plain[i]);
+    EXPECT_EQ(cache.activations.size(), 2u);
+    EXPECT_EQ(cache.activations.back(), plain);
+}
+
+TEST(MlpTest, IdentityNetworkComputesAffineMap)
+{
+    Rng rng(5);
+    Mlp net(2, {LayerSpec{2, Activation::identity()}}, InitRule::Zero,
+            rng);
+    net.weights(0) = wcnn::numeric::Matrix{{1, 2}, {3, 4}};
+    net.biases(0) = {10, 20};
+    const Vector y = net.forward({1, 1});
+    EXPECT_DOUBLE_EQ(y[0], 13);
+    EXPECT_DOUBLE_EQ(y[1], 27);
+}
+
+TEST(MlpTest, ApplyUpdateSubtractsStep)
+{
+    Rng rng(6);
+    Mlp net(1, {LayerSpec{1, Activation::identity()}}, InitRule::Zero,
+            rng);
+    Gradients step = net.zeroGradients();
+    step.weightGrads[0](0, 0) = 0.25;
+    step.biasGrads[0][0] = -0.5;
+    net.applyUpdate(step);
+    EXPECT_DOUBLE_EQ(net.weights(0)(0, 0), -0.25);
+    EXPECT_DOUBLE_EQ(net.biases(0)[0], 0.5);
+}
+
+TEST(GradientsTest, AddScaleAndNorm)
+{
+    Rng rng(7);
+    Mlp net(2, {LayerSpec{2, Activation::identity()}}, InitRule::Zero,
+            rng);
+    Gradients a = net.zeroGradients();
+    a.weightGrads[0](0, 0) = 3.0;
+    a.biasGrads[0][1] = 4.0;
+    Gradients b = net.zeroGradients();
+    b.weightGrads[0](0, 0) = 1.0;
+    a.add(b);
+    EXPECT_DOUBLE_EQ(a.weightGrads[0](0, 0), 4.0);
+    a.scale(0.5);
+    EXPECT_DOUBLE_EQ(a.weightGrads[0](0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(a.biasGrads[0][1], 2.0);
+    EXPECT_DOUBLE_EQ(a.squaredNorm(), 8.0);
+}
+
+namespace {
+
+/** Central-difference gradient of the MSE loss w.r.t. one parameter. */
+double
+numericGradient(Mlp &net, const Vector &x, const Vector &target,
+                double &param)
+{
+    const double h = 1e-6;
+    const double saved = param;
+    param = saved + h;
+    const double up = wcnn::nn::mseLoss(net.forward(x), target);
+    param = saved - h;
+    const double down = wcnn::nn::mseLoss(net.forward(x), target);
+    param = saved;
+    return (up - down) / (2 * h);
+}
+
+struct Topology
+{
+    std::vector<LayerSpec> layers;
+    const char *label;
+};
+
+} // namespace
+
+/** Exhaustive gradient check across topologies and activations. */
+class MlpGradientTest : public ::testing::TestWithParam<int>
+{
+  protected:
+    static std::vector<Topology> topologies()
+    {
+        return {
+            {{LayerSpec{1, Activation::identity()}}, "linear"},
+            {{LayerSpec{4, Activation::logistic(1.0)},
+              LayerSpec{2, Activation::identity()}},
+             "logistic-hidden"},
+            {{LayerSpec{5, Activation::tanh()},
+              LayerSpec{3, Activation::tanh()},
+              LayerSpec{2, Activation::identity()}},
+             "deep-tanh"},
+            {{LayerSpec{4, Activation::logarithmic(1.0)},
+              LayerSpec{1, Activation::identity()}},
+             "logarithmic"},
+            {{LayerSpec{6, Activation::logistic(2.5)},
+              LayerSpec{2, Activation::logistic(1.0)}},
+             "sigmoid-output"},
+        };
+    }
+};
+
+TEST_P(MlpGradientTest, BackwardMatchesFiniteDifferences)
+{
+    const Topology topo = topologies()[GetParam()];
+    Rng rng(100 + GetParam());
+    const std::size_t input_dim = 3;
+    Mlp net(input_dim, topo.layers, InitRule::Xavier, rng);
+
+    Vector x(input_dim), target(net.outputDim());
+    for (auto &v : x)
+        v = rng.uniform(-1, 1);
+    for (auto &v : target)
+        v = rng.uniform(-1, 1);
+
+    Mlp::Cache cache;
+    const Vector out = net.forward(x, cache);
+    const Gradients grads =
+        net.backward(cache, wcnn::nn::mseGradient(out, target));
+
+    for (std::size_t l = 0; l < net.depth(); ++l) {
+        auto &w = net.weights(l);
+        for (std::size_t i = 0; i < w.rows(); ++i) {
+            for (std::size_t j = 0; j < w.cols(); ++j) {
+                const double expected =
+                    numericGradient(net, x, target, w(i, j));
+                EXPECT_NEAR(grads.weightGrads[l](i, j), expected, 1e-5)
+                    << topo.label << " W[" << l << "](" << i << ","
+                    << j << ")";
+            }
+        }
+        auto &b = net.biases(l);
+        for (std::size_t i = 0; i < b.size(); ++i) {
+            const double expected =
+                numericGradient(net, x, target, b[i]);
+            EXPECT_NEAR(grads.biasGrads[l][i], expected, 1e-5)
+                << topo.label << " b[" << l << "][" << i << "]";
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, MlpGradientTest,
+                         ::testing::Range(0, 5));

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Tests for PCA and the Jacobi symmetric eigen-solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/pca.hh"
+#include "numeric/rng.hh"
+
+using wcnn::numeric::Matrix;
+using wcnn::numeric::Pca;
+using wcnn::numeric::Rng;
+using wcnn::numeric::Vector;
+
+TEST(JacobiTest, DiagonalMatrixEigenvalues)
+{
+    Matrix a{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}};
+    Vector values;
+    Matrix vectors;
+    wcnn::numeric::jacobiEigenSymmetric(a, values, vectors);
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_NEAR(values[0], 3.0, 1e-12);
+    EXPECT_NEAR(values[1], 2.0, 1e-12);
+    EXPECT_NEAR(values[2], 1.0, 1e-12);
+}
+
+TEST(JacobiTest, Known2x2)
+{
+    // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+    Matrix a{{2, 1}, {1, 2}};
+    Vector values;
+    Matrix vectors;
+    wcnn::numeric::jacobiEigenSymmetric(a, values, vectors);
+    EXPECT_NEAR(values[0], 3.0, 1e-10);
+    EXPECT_NEAR(values[1], 1.0, 1e-10);
+    // First eigenvector is (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::fabs(vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(JacobiTest, ReconstructsMatrix)
+{
+    Rng rng(1);
+    const Matrix b = Matrix::random(5, 5, rng, -1, 1);
+    const Matrix a = b + b.transposed(); // symmetric
+    Vector values;
+    Matrix vectors;
+    wcnn::numeric::jacobiEigenSymmetric(a, values, vectors);
+    // A = V diag(values) V^T.
+    Matrix diag(5, 5);
+    for (std::size_t i = 0; i < 5; ++i)
+        diag(i, i) = values[i];
+    const Matrix recon = vectors * diag * vectors.transposed();
+    for (std::size_t i = 0; i < 5; ++i)
+        for (std::size_t j = 0; j < 5; ++j)
+            EXPECT_NEAR(recon(i, j), a(i, j), 1e-9);
+}
+
+TEST(JacobiTest, EigenvectorsOrthonormal)
+{
+    Rng rng(2);
+    const Matrix b = Matrix::random(6, 6, rng, -1, 1);
+    const Matrix a = b + b.transposed();
+    Vector values;
+    Matrix vectors;
+    wcnn::numeric::jacobiEigenSymmetric(a, values, vectors);
+    const Matrix gram = vectors.transposed() * vectors;
+    for (std::size_t i = 0; i < 6; ++i)
+        for (std::size_t j = 0; j < 6; ++j)
+            EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+namespace {
+
+/** Samples stretched along a known direction. */
+Matrix
+anisotropicCloud(std::size_t n, Rng &rng)
+{
+    // Dominant direction (1, 1)/sqrt(2) with sd 3, minor sd 0.3.
+    Matrix samples(n, 2);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double major = rng.normal(0, 3.0);
+        const double minor = rng.normal(0, 0.3);
+        samples(i, 0) = (major + minor) / std::sqrt(2.0) + 10.0;
+        samples(i, 1) = (major - minor) / std::sqrt(2.0) - 5.0;
+    }
+    return samples;
+}
+
+} // namespace
+
+TEST(PcaTest, FindsDominantDirection)
+{
+    Rng rng(3);
+    const Matrix samples = anisotropicCloud(400, rng);
+    Pca pca;
+    Pca::Options opts;
+    opts.standardize = false;
+    pca.fit(samples, opts);
+    const Vector first = pca.component(0);
+    // (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::fabs(first[0]), 1.0 / std::sqrt(2.0), 0.03);
+    EXPECT_NEAR(std::fabs(first[1]), 1.0 / std::sqrt(2.0), 0.03);
+    EXPECT_GT(first[0] * first[1], 0.0); // same sign
+}
+
+TEST(PcaTest, ExplainedVarianceConcentrates)
+{
+    Rng rng(4);
+    const Matrix samples = anisotropicCloud(400, rng);
+    Pca pca;
+    Pca::Options opts;
+    opts.standardize = false;
+    pca.fit(samples, opts);
+    const Vector ratio = pca.explainedVarianceRatio();
+    EXPECT_GT(ratio[0], 0.98);
+    EXPECT_NEAR(ratio[0] + ratio[1], 1.0, 1e-9);
+    EXPECT_EQ(pca.componentsFor(0.95), 1u);
+    EXPECT_EQ(pca.componentsFor(1.0), 2u);
+}
+
+TEST(PcaTest, TransformInverseRoundTripFullRank)
+{
+    Rng rng(5);
+    Matrix samples(50, 3);
+    for (std::size_t i = 0; i < 50; ++i)
+        for (std::size_t j = 0; j < 3; ++j)
+            samples(i, j) = rng.uniform(-2, 2) * (j + 1.0);
+    Pca pca;
+    pca.fit(samples);
+    for (std::size_t i = 0; i < 5; ++i) {
+        const Vector x = samples.row(i);
+        const Vector back = pca.inverse(pca.transform(x, 3));
+        for (std::size_t j = 0; j < 3; ++j)
+            EXPECT_NEAR(back[j], x[j], 1e-8);
+    }
+}
+
+TEST(PcaTest, TruncatedReconstructionLosesLittleOnLowRankData)
+{
+    Rng rng(6);
+    const Matrix samples = anisotropicCloud(200, rng);
+    Pca pca;
+    Pca::Options opts;
+    opts.standardize = false;
+    pca.fit(samples, opts);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < 20; ++i) {
+        const Vector x = samples.row(i);
+        const Vector back = pca.inverse(pca.transform(x, 1));
+        worst = std::max(worst, std::fabs(back[0] - x[0]));
+        worst = std::max(worst, std::fabs(back[1] - x[1]));
+    }
+    // Minor-axis sd is 0.3; 1-component reconstruction errs on that
+    // order, far below the 3.0 major spread.
+    EXPECT_LT(worst, 1.2);
+}
+
+TEST(PcaTest, StandardizationEqualizesUnits)
+{
+    // One feature in "milliseconds" (x1000 scale): without
+    // standardization it dominates; with it, both matter equally.
+    Rng rng(7);
+    Matrix samples(300, 2);
+    for (std::size_t i = 0; i < 300; ++i) {
+        samples(i, 0) = rng.normal(0, 1);
+        samples(i, 1) = rng.normal(0, 1) * 1000.0;
+    }
+    Pca raw, std_;
+    Pca::Options no_std;
+    no_std.standardize = false;
+    raw.fit(samples, no_std);
+    std_.fit(samples);
+    EXPECT_GT(raw.explainedVarianceRatio()[0], 0.99);
+    EXPECT_LT(std_.explainedVarianceRatio()[0], 0.65);
+}
+
+TEST(PcaTest, FittedFlag)
+{
+    Pca pca;
+    EXPECT_FALSE(pca.fitted());
+    Matrix samples{{1, 2}, {3, 4}, {5, 6}};
+    pca.fit(samples);
+    EXPECT_TRUE(pca.fitted());
+    EXPECT_EQ(pca.dim(), 2u);
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the RBF network (paper section 2.1's other approximator).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/rbf.hh"
+#include "numeric/rng.hh"
+
+using wcnn::nn::RbfNetwork;
+using wcnn::numeric::Matrix;
+using wcnn::numeric::Rng;
+using wcnn::numeric::Vector;
+
+TEST(RbfTest, UnfittedReportsNotFitted)
+{
+    RbfNetwork net;
+    EXPECT_FALSE(net.fitted());
+}
+
+TEST(RbfTest, FitsConstantFunction)
+{
+    Rng rng(1);
+    Matrix x(20, 1), y(20, 1);
+    for (std::size_t i = 0; i < 20; ++i) {
+        x(i, 0) = rng.uniform(-1, 1);
+        y(i, 0) = 7.5;
+    }
+    RbfNetwork net;
+    RbfNetwork::Options opts;
+    opts.centers = 5;
+    net.fit(x, y, opts, rng);
+    ASSERT_TRUE(net.fitted());
+    EXPECT_NEAR(net.predict({0.0})[0], 7.5, 1e-6);
+    EXPECT_NEAR(net.predict({0.9})[0], 7.5, 1e-6);
+}
+
+TEST(RbfTest, ApproximatesSmoothFunction)
+{
+    Rng rng(2);
+    const std::size_t n = 60;
+    Matrix x(n, 1), y(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double xi = -2.0 + 4.0 * static_cast<double>(i) / (n - 1);
+        x(i, 0) = xi;
+        y(i, 0) = std::sin(xi) + 0.5 * xi;
+    }
+    RbfNetwork net;
+    RbfNetwork::Options opts;
+    opts.centers = 15;
+    net.fit(x, y, opts, rng);
+    double max_err = 0.0;
+    for (double probe = -1.8; probe <= 1.8; probe += 0.2) {
+        const double expected = std::sin(probe) + 0.5 * probe;
+        max_err = std::max(
+            max_err, std::fabs(net.predict({probe})[0] - expected));
+    }
+    EXPECT_LT(max_err, 0.1);
+}
+
+TEST(RbfTest, MultiOutputShapes)
+{
+    Rng rng(3);
+    Matrix x(30, 2), y(30, 3);
+    for (std::size_t i = 0; i < 30; ++i) {
+        x(i, 0) = rng.uniform(-1, 1);
+        x(i, 1) = rng.uniform(-1, 1);
+        y(i, 0) = x(i, 0);
+        y(i, 1) = x(i, 1);
+        y(i, 2) = x(i, 0) * x(i, 1);
+    }
+    RbfNetwork net;
+    RbfNetwork::Options opts;
+    opts.centers = 12;
+    net.fit(x, y, opts, rng);
+    EXPECT_EQ(net.predict({0.5, 0.5}).size(), 3u);
+    EXPECT_LE(net.centerCount(), 12u);
+    EXPECT_GE(net.centerCount(), 1u);
+}
+
+TEST(RbfTest, CentersClampedToSampleCount)
+{
+    Rng rng(4);
+    Matrix x(3, 1), y(3, 1);
+    for (std::size_t i = 0; i < 3; ++i) {
+        x(i, 0) = static_cast<double>(i);
+        y(i, 0) = static_cast<double>(i * i);
+    }
+    RbfNetwork net;
+    RbfNetwork::Options opts;
+    opts.centers = 50;
+    net.fit(x, y, opts, rng);
+    EXPECT_LE(net.centerCount(), 3u);
+}
+
+TEST(RbfTest, DeterministicGivenSeed)
+{
+    Matrix x(10, 1), y(10, 1);
+    for (std::size_t i = 0; i < 10; ++i) {
+        x(i, 0) = static_cast<double>(i) / 10;
+        y(i, 0) = std::cos(x(i, 0));
+    }
+    const auto fit_once = [&](std::uint64_t seed) {
+        Rng rng(seed);
+        RbfNetwork net;
+        RbfNetwork::Options opts;
+        opts.centers = 4;
+        net.fit(x, y, opts, rng);
+        return net.predict({0.33})[0];
+    };
+    EXPECT_DOUBLE_EQ(fit_once(9), fit_once(9));
+}

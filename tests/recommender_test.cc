@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the configuration recommender (paper section 5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/recommender.hh"
+#include "model/feature_models.hh"
+#include "numeric/rng.hh"
+
+using wcnn::data::Dataset;
+using wcnn::model::IndicatorGoal;
+using wcnn::model::Recommendation;
+using wcnn::model::Recommender;
+using wcnn::model::ScoringFunction;
+using wcnn::model::SearchAxis;
+using wcnn::numeric::Rng;
+using wcnn::numeric::Vector;
+
+namespace {
+
+/** rt is a bowl with minimum at (3, 4); tput is a dome peaking there. */
+Dataset
+bowlDataset()
+{
+    Rng rng(1);
+    Dataset ds({"a", "b"}, {"rt", "tput"});
+    for (int i = 0; i < 80; ++i) {
+        const double a = rng.uniform(0, 10);
+        const double b = rng.uniform(0, 10);
+        const double bowl =
+            (a - 3) * (a - 3) + (b - 4) * (b - 4);
+        ds.add({a, b}, {1.0 + bowl, 100.0 - bowl});
+    }
+    return ds;
+}
+
+} // namespace
+
+TEST(ScoringFunctionTest, LowerIsBetterByDefault)
+{
+    ScoringFunction fn;
+    fn.goals.push_back(IndicatorGoal{});
+    EXPECT_GT(fn.score({1.0}), fn.score({2.0}));
+}
+
+TEST(ScoringFunctionTest, HigherIsBetterForThroughput)
+{
+    ScoringFunction fn;
+    IndicatorGoal goal;
+    goal.higherIsBetter = true;
+    fn.goals.push_back(goal);
+    EXPECT_GT(fn.score({200.0}), fn.score({100.0}));
+}
+
+TEST(ScoringFunctionTest, ViolationPenaltyApplies)
+{
+    ScoringFunction fn;
+    IndicatorGoal goal;
+    goal.limit = 2.0;
+    fn.goals.push_back(goal);
+    fn.violationPenalty = 100.0;
+    // Within the limit: plain weighted score.
+    EXPECT_NEAR(fn.score({1.0}) - fn.score({1.5}), 0.5, 1e-12);
+    // Beyond the limit: the penalty dwarfs the linear term.
+    EXPECT_LT(fn.score({2.1}), fn.score({1.5}) - 50.0);
+}
+
+TEST(ScoringFunctionTest, HigherIsBetterLimitIsAFloor)
+{
+    ScoringFunction fn;
+    IndicatorGoal goal;
+    goal.higherIsBetter = true;
+    goal.limit = 100.0;
+    fn.goals.push_back(goal);
+    EXPECT_GT(fn.score({150.0}), fn.score({50.0}) + fn.violationPenalty / 2);
+}
+
+TEST(ScoringFunctionTest, ScaleNormalizesMagnitudes)
+{
+    ScoringFunction fn;
+    IndicatorGoal rt;
+    rt.scale = 1.0;
+    IndicatorGoal tput;
+    tput.higherIsBetter = true;
+    tput.scale = 100.0;
+    fn.goals = {rt, tput};
+    // One unit of rt (scale 1) outweighs one unit of tput (scale 100).
+    const double a = fn.score({1.0, 100.0});
+    const double b = fn.score({2.0, 101.0});
+    EXPECT_GT(a, b);
+}
+
+TEST(ScoringFunctionTest, ForWorkloadTreatsLastColumnAsThroughput)
+{
+    const Dataset ds = bowlDataset();
+    const ScoringFunction fn = ScoringFunction::forWorkload(ds);
+    ASSERT_EQ(fn.goals.size(), 2u);
+    EXPECT_FALSE(fn.goals[0].higherIsBetter);
+    EXPECT_TRUE(fn.goals[1].higherIsBetter);
+    EXPECT_GT(fn.goals[1].scale, fn.goals[0].scale);
+}
+
+TEST(RecommenderTest, FindsTheBowlOptimum)
+{
+    const Dataset ds = bowlDataset();
+    wcnn::model::PolynomialModel mdl(2);
+    mdl.fit(ds);
+
+    Recommender rec(mdl, {SearchAxis{0, 10, 21}, SearchAxis{0, 10, 21}});
+    const auto best =
+        rec.recommend(ScoringFunction::forWorkload(ds), 1);
+    ASSERT_EQ(best.size(), 1u);
+    EXPECT_NEAR(best[0].config[0], 3.0, 0.51);
+    EXPECT_NEAR(best[0].config[1], 4.0, 0.51);
+}
+
+TEST(RecommenderTest, TopKIsSortedByScore)
+{
+    const Dataset ds = bowlDataset();
+    wcnn::model::PolynomialModel mdl(2);
+    mdl.fit(ds);
+    Recommender rec(mdl, {SearchAxis{0, 10, 11}, SearchAxis{0, 10, 11}});
+    const auto top =
+        rec.recommend(ScoringFunction::forWorkload(ds), 5);
+    ASSERT_EQ(top.size(), 5u);
+    for (std::size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].score, top[i].score);
+}
+
+TEST(RecommenderTest, SinglePointAxisPinsValue)
+{
+    const Dataset ds = bowlDataset();
+    wcnn::model::PolynomialModel mdl(2);
+    mdl.fit(ds);
+    Recommender rec(mdl,
+                    {SearchAxis{7.0, 7.0, 1}, SearchAxis{0, 10, 11}});
+    const auto best =
+        rec.recommend(ScoringFunction::forWorkload(ds), 3);
+    for (const auto &r : best)
+        EXPECT_DOUBLE_EQ(r.config[0], 7.0);
+}
+
+TEST(RecommenderTest, PredictionsAccompanyConfigs)
+{
+    const Dataset ds = bowlDataset();
+    wcnn::model::PolynomialModel mdl(2);
+    mdl.fit(ds);
+    Recommender rec(mdl, {SearchAxis{0, 10, 5}, SearchAxis{0, 10, 5}});
+    const auto best =
+        rec.recommend(ScoringFunction::forWorkload(ds), 2);
+    for (const auto &r : best) {
+        ASSERT_EQ(r.predicted.size(), 2u);
+        const Vector direct = mdl.predict(r.config);
+        EXPECT_DOUBLE_EQ(r.predicted[0], direct[0]);
+    }
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for adaptive model-guided tuning.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "model/feature_models.hh"
+#include "model/refine.hh"
+
+using namespace wcnn;
+using model::AdaptiveResult;
+using model::AdaptiveTunerOptions;
+using model::ScoringFunction;
+
+namespace {
+
+/**
+ * Cheap synthetic objective: throughput is a dome peaking at
+ * (default=12, web=18); response times are flat so the score is
+ * driven by the dome.
+ */
+sim::PerfSample
+domeObjective(const sim::ThreeTierConfig &cfg)
+{
+    sim::PerfSample s;
+    const double dd = (cfg.defaultQueue - 12.0) / 8.0;
+    const double dw = (cfg.webQueue - 18.0) / 3.0;
+    s.manufacturingRt = 1.0;
+    s.dealerPurchaseRt = 1.0;
+    s.dealerManageRt = 1.0;
+    s.dealerBrowseRt = 1.0;
+    s.throughput = 500.0 - 120.0 * (dd * dd + dw * dw);
+    return s;
+}
+
+ScoringFunction
+throughputScore()
+{
+    ScoringFunction fn;
+    for (int j = 0; j < 5; ++j) {
+        model::IndicatorGoal goal;
+        goal.higherIsBetter = j == 4;
+        goal.weight = j == 4 ? 1.0 : 0.0;
+        goal.scale = j == 4 ? 500.0 : 1.0;
+        fn.goals.push_back(goal);
+    }
+    return fn;
+}
+
+AdaptiveTunerOptions
+quickOptions()
+{
+    AdaptiveTunerOptions opts;
+    opts.initialSamples = 10;
+    opts.rounds = 3;
+    opts.batchPerRound = 4;
+    opts.gridPointsPerAxis = 5;
+    // The dome is exactly quadratic: a polynomial surrogate converges
+    // with very few samples (the NN default suits the real workload).
+    opts.surrogateFactory = [] {
+        return std::make_unique<model::PolynomialModel>(2);
+    };
+    opts.seed = 5;
+    return opts;
+}
+
+} // namespace
+
+TEST(AdaptiveTuneTest, HistoryTracksRoundsAndMeasurements)
+{
+    const AdaptiveResult result =
+        model::adaptiveTune(sim::SampleSpace::paperLike(),
+                            domeObjective, throughputScore(),
+                            quickOptions());
+    ASSERT_EQ(result.history.size(), 4u); // round 0 + 3 rounds
+    EXPECT_EQ(result.history[0].totalMeasurements, 10u);
+    EXPECT_EQ(result.history.back().totalMeasurements,
+              result.measurements.size());
+    EXPECT_LE(result.measurements.size(), 10u + 3u * 4u);
+    EXPECT_GE(result.measurements.size(), 10u + 3u * 2u);
+}
+
+TEST(AdaptiveTuneTest, BestScoreNeverDecreases)
+{
+    const AdaptiveResult result =
+        model::adaptiveTune(sim::SampleSpace::paperLike(),
+                            domeObjective, throughputScore(),
+                            quickOptions());
+    for (std::size_t r = 1; r < result.history.size(); ++r) {
+        EXPECT_GE(result.history[r].bestScore,
+                  result.history[r - 1].bestScore);
+    }
+    EXPECT_DOUBLE_EQ(result.history.back().bestScore,
+                     result.bestScore);
+}
+
+TEST(AdaptiveTuneTest, ConvergesTowardTheDome)
+{
+    const AdaptiveResult result =
+        model::adaptiveTune(sim::SampleSpace::paperLike(),
+                            domeObjective, throughputScore(),
+                            quickOptions());
+    // The dome peaks at 500; random 10-point designs rarely land
+    // within 2% of it, the guided loop should.
+    const double best_tput =
+        domeObjective(sim::ThreeTierConfig{
+                          result.bestConfig[0], result.bestConfig[1],
+                          result.bestConfig[2], result.bestConfig[3]})
+            .throughput;
+    EXPECT_GT(best_tput, 480.0);
+}
+
+TEST(AdaptiveTuneTest, GuidedBeatsInitialDesign)
+{
+    // A finer recommender grid lets the guided rounds outdo the
+    // 10-point initial design on this smooth objective.
+    AdaptiveTunerOptions opts = quickOptions();
+    opts.gridPointsPerAxis = 9;
+    const AdaptiveResult result =
+        model::adaptiveTune(sim::SampleSpace::paperLike(),
+                            domeObjective, throughputScore(), opts);
+    EXPECT_GT(result.history.back().bestScore,
+              result.history[0].bestScore);
+}
+
+TEST(AdaptiveTuneTest, NoDuplicateMeasurements)
+{
+    const AdaptiveResult result =
+        model::adaptiveTune(sim::SampleSpace::paperLike(),
+                            domeObjective, throughputScore(),
+                            quickOptions());
+    std::set<std::vector<long long>> keys;
+    for (const auto &sample : result.measurements) {
+        std::vector<long long> key;
+        for (double v : sample.x)
+            key.push_back(std::llround(v));
+        EXPECT_TRUE(keys.insert(key).second)
+            << "duplicate measured configuration";
+    }
+}
+
+TEST(AdaptiveTuneTest, DeterministicGivenSeed)
+{
+    const AdaptiveResult a =
+        model::adaptiveTune(sim::SampleSpace::paperLike(),
+                            domeObjective, throughputScore(),
+                            quickOptions());
+    const AdaptiveResult b =
+        model::adaptiveTune(sim::SampleSpace::paperLike(),
+                            domeObjective, throughputScore(),
+                            quickOptions());
+    EXPECT_EQ(a.measurements.size(), b.measurements.size());
+    EXPECT_DOUBLE_EQ(a.bestScore, b.bestScore);
+    EXPECT_EQ(a.bestConfig, b.bestConfig);
+}

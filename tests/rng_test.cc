@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit and property tests for numeric::Rng.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "numeric/rng.hh"
+#include "numeric/stats.hh"
+
+using wcnn::numeric::Rng;
+
+TEST(RngTest, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDifferentStreams)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, CopyContinuesIndependently)
+{
+    Rng a(7);
+    a.next();
+    Rng b = a;
+    EXPECT_EQ(a.next(), b.next());
+    a.next();
+    Rng c = a;
+    EXPECT_EQ(a.next(), c.next());
+}
+
+TEST(RngTest, SplitIsIndependentOfParentContinuation)
+{
+    Rng parent(99);
+    Rng child = parent.split();
+    // Child and parent streams should not collide.
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += parent.next() == child.next();
+    EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, SplitDeterministic)
+{
+    Rng a(5), b(5);
+    Rng ca = a.split();
+    Rng cb = b.split();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(ca.next(), cb.next());
+}
+
+TEST(RngTest, UniformInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(RngTest, UniformMeanNearHalf)
+{
+    Rng rng(12);
+    std::vector<double> xs(20000);
+    for (auto &x : xs)
+        x = rng.uniform();
+    EXPECT_NEAR(wcnn::numeric::mean(xs), 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 7.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 7.0);
+    }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive)
+{
+    Rng rng(14);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(3, 8);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 8);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, UniformIntDegenerateRange)
+{
+    Rng rng(15);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(42, 42), 42);
+}
+
+TEST(RngTest, UniformIntApproximatelyUniform)
+{
+    Rng rng(16);
+    std::vector<int> counts(10, 0);
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<std::size_t>(rng.uniformInt(0, 9))];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 10 - n / 50);
+        EXPECT_LT(c, n / 10 + n / 50);
+    }
+}
+
+TEST(RngTest, NormalMoments)
+{
+    Rng rng(17);
+    std::vector<double> xs(40000);
+    for (auto &x : xs)
+        x = rng.normal();
+    EXPECT_NEAR(wcnn::numeric::mean(xs), 0.0, 0.02);
+    EXPECT_NEAR(wcnn::numeric::stddev(xs), 1.0, 0.02);
+}
+
+TEST(RngTest, NormalShifted)
+{
+    Rng rng(18);
+    std::vector<double> xs(40000);
+    for (auto &x : xs)
+        x = rng.normal(10.0, 2.0);
+    EXPECT_NEAR(wcnn::numeric::mean(xs), 10.0, 0.05);
+    EXPECT_NEAR(wcnn::numeric::stddev(xs), 2.0, 0.05);
+}
+
+TEST(RngTest, ExponentialMeanAndPositivity)
+{
+    Rng rng(19);
+    std::vector<double> xs(40000);
+    for (auto &x : xs) {
+        x = rng.exponential(0.25);
+        ASSERT_GT(x, 0.0);
+    }
+    EXPECT_NEAR(wcnn::numeric::mean(xs), 0.25, 0.01);
+}
+
+TEST(RngTest, LognormalMeanAndCov)
+{
+    Rng rng(20);
+    std::vector<double> xs(80000);
+    for (auto &x : xs) {
+        x = rng.lognormal(2.0, 0.5);
+        ASSERT_GT(x, 0.0);
+    }
+    const double mu = wcnn::numeric::mean(xs);
+    const double cov = wcnn::numeric::stddev(xs) / mu;
+    EXPECT_NEAR(mu, 2.0, 0.05);
+    EXPECT_NEAR(cov, 0.5, 0.03);
+}
+
+TEST(RngTest, LognormalZeroCovIsDeterministic)
+{
+    Rng rng(21);
+    EXPECT_DOUBLE_EQ(rng.lognormal(3.5, 0.0), 3.5);
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(22);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, DiscreteRespectsWeights)
+{
+    Rng rng(23);
+    std::vector<double> weights = {1.0, 0.0, 3.0};
+    std::vector<int> counts(3, 0);
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.discrete(weights)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.01);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, PermutationIsValid)
+{
+    Rng rng(24);
+    const auto perm = rng.permutation(100);
+    ASSERT_EQ(perm.size(), 100u);
+    std::set<std::size_t> seen(perm.begin(), perm.end());
+    EXPECT_EQ(seen.size(), 100u);
+    EXPECT_EQ(*seen.begin(), 0u);
+    EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(RngTest, PermutationOfZeroAndOne)
+{
+    Rng rng(25);
+    EXPECT_TRUE(rng.permutation(0).empty());
+    const auto one = rng.permutation(1);
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 0u);
+}
+
+TEST(RngTest, PermutationFirstElementUniform)
+{
+    Rng rng(26);
+    std::vector<int> counts(5, 0);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.permutation(5)[0]];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+}
+
+/** Seed-parameterized determinism sweep. */
+class RngSeedTest : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedTest, DistributionHelpersAreReproducible)
+{
+    Rng a(GetParam()), b(GetParam());
+    for (int i = 0; i < 200; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+        EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+        EXPECT_DOUBLE_EQ(a.exponential(1.0), b.exponential(1.0));
+        EXPECT_DOUBLE_EQ(a.lognormal(1.0, 0.5), b.lognormal(1.0, 0.5));
+    }
+}
+
+TEST_P(RngSeedTest, UniformBoundsHold)
+{
+    Rng rng(GetParam());
+    for (int i = 0; i < 2000; ++i) {
+        const double u = rng.uniform(2.0, 2.5);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 2.5);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedTest,
+                         ::testing::Values(0ull, 1ull, 42ull,
+                                           0xdeadbeefull,
+                                           ~0ull));

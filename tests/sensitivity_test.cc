@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the model sensitivity analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/linear_model.hh"
+#include "model/sensitivity.hh"
+#include "numeric/rng.hh"
+
+using wcnn::data::Dataset;
+using wcnn::model::analyzeSensitivity;
+using wcnn::model::SensitivityReport;
+using wcnn::numeric::Rng;
+
+namespace {
+
+/** y1 driven by a, y2 driven by b (with opposite sign). */
+Dataset
+separableDataset(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Dataset ds({"a", "b"}, {"y1", "y2"});
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.uniform(0, 10);
+        const double b = rng.uniform(0, 10);
+        ds.add({a, b}, {5.0 * a + 0.01 * b, 100.0 - 3.0 * b});
+    }
+    return ds;
+}
+
+} // namespace
+
+TEST(SensitivityTest, IdentifiesDominantInputs)
+{
+    const Dataset ds = separableDataset(60, 1);
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    const SensitivityReport report = analyzeSensitivity(mdl, ds);
+    EXPECT_EQ(report.dominantInput(0), 0u); // y1 <- a
+    EXPECT_EQ(report.dominantInput(1), 1u); // y2 <- b
+}
+
+TEST(SensitivityTest, DirectionsCarrySigns)
+{
+    const Dataset ds = separableDataset(60, 2);
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    const SensitivityReport report = analyzeSensitivity(mdl, ds);
+    EXPECT_GT(report.direction(0, 0), 0.0); // y1 grows with a
+    EXPECT_LT(report.direction(1, 1), 0.0); // y2 falls with b
+}
+
+TEST(SensitivityTest, ElasticityIsRangeNormalized)
+{
+    // y = 5a over a in [0,10]: a full input swing moves y across its
+    // whole range, so the elasticity should be ~1.
+    const Dataset ds = separableDataset(60, 3);
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    const SensitivityReport report = analyzeSensitivity(mdl, ds);
+    EXPECT_NEAR(report.elasticity(0, 0), 1.0, 0.05);
+    // And the near-irrelevant cross term stays near zero.
+    EXPECT_LT(report.elasticity(1, 0), 0.05);
+}
+
+TEST(SensitivityTest, TableFormatting)
+{
+    const Dataset ds = separableDataset(30, 4);
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    const SensitivityReport report = analyzeSensitivity(mdl, ds);
+    const std::string text = report.toText();
+    EXPECT_NE(text.find("y1"), std::string::npos);
+    EXPECT_NE(text.find("a"), std::string::npos);
+    EXPECT_NE(text.find("(+)"), std::string::npos);
+    EXPECT_NE(text.find("(-)"), std::string::npos);
+}
+
+TEST(SensitivityTest, ConstantInputContributesNothing)
+{
+    Rng rng(5);
+    Dataset ds({"a", "frozen"}, {"y"});
+    for (int i = 0; i < 30; ++i) {
+        const double a = rng.uniform(0, 1);
+        ds.add({a, 7.0}, {2.0 * a});
+    }
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    const SensitivityReport report = analyzeSensitivity(mdl, ds);
+    EXPECT_DOUBLE_EQ(report.elasticity(1, 0), 0.0);
+}
+
+TEST(SensitivityTest, ProbeBudgetRespected)
+{
+    const Dataset ds = separableDataset(100, 6);
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    wcnn::model::SensitivityOptions opts;
+    opts.maxProbes = 4; // coarse but still unbiased for a linear model
+    const SensitivityReport report =
+        analyzeSensitivity(mdl, ds, opts);
+    EXPECT_NEAR(report.elasticity(0, 0), 1.0, 0.1);
+}

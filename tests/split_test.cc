@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit and property tests for train/validation splitting and k-fold
+ * partitioning (paper section 3.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/split.hh"
+#include "numeric/rng.hh"
+
+using wcnn::data::Dataset;
+using wcnn::data::KFold;
+
+namespace {
+
+Dataset
+makeDataset(std::size_t n)
+{
+    Dataset ds({"x"}, {"y"});
+    for (std::size_t i = 0; i < n; ++i)
+        ds.add({static_cast<double>(i)}, {static_cast<double>(i)});
+    return ds;
+}
+
+} // namespace
+
+TEST(TrainValidationSplitTest, FractionsRespected)
+{
+    const Dataset ds = makeDataset(100);
+    wcnn::numeric::Rng rng(1);
+    const auto split = wcnn::data::trainValidationSplit(ds, 0.75, rng);
+    EXPECT_EQ(split.train.size(), 75u);
+    EXPECT_EQ(split.validation.size(), 25u);
+}
+
+TEST(TrainValidationSplitTest, PartitionIsDisjointAndComplete)
+{
+    const Dataset ds = makeDataset(40);
+    wcnn::numeric::Rng rng(2);
+    const auto split = wcnn::data::trainValidationSplit(ds, 0.5, rng);
+    std::set<double> seen;
+    for (const auto &s : split.train)
+        seen.insert(s.x[0]);
+    for (const auto &s : split.validation) {
+        EXPECT_EQ(seen.count(s.x[0]), 0u);
+        seen.insert(s.x[0]);
+    }
+    EXPECT_EQ(seen.size(), 40u);
+}
+
+TEST(TrainValidationSplitTest, ExtremeFractions)
+{
+    const Dataset ds = makeDataset(10);
+    wcnn::numeric::Rng rng(3);
+    const auto all_train = wcnn::data::trainValidationSplit(ds, 1.0, rng);
+    EXPECT_EQ(all_train.train.size(), 10u);
+    EXPECT_TRUE(all_train.validation.empty());
+    const auto all_val = wcnn::data::trainValidationSplit(ds, 0.0, rng);
+    EXPECT_TRUE(all_val.train.empty());
+    EXPECT_EQ(all_val.validation.size(), 10u);
+}
+
+/** Parameterized over (n, k). */
+class KFoldTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>>
+{
+};
+
+TEST_P(KFoldTest, FoldsPartitionTheIndexSet)
+{
+    const auto [n, k] = GetParam();
+    wcnn::numeric::Rng rng(7);
+    KFold kfold(n, k, rng);
+    ASSERT_EQ(kfold.folds(), k);
+
+    std::set<std::size_t> all;
+    for (std::size_t f = 0; f < k; ++f) {
+        for (std::size_t idx : kfold.validationIndices(f)) {
+            EXPECT_LT(idx, n);
+            EXPECT_EQ(all.count(idx), 0u) << "index in two folds";
+            all.insert(idx);
+        }
+    }
+    EXPECT_EQ(all.size(), n);
+}
+
+TEST_P(KFoldTest, FoldSizesDifferByAtMostOne)
+{
+    const auto [n, k] = GetParam();
+    wcnn::numeric::Rng rng(8);
+    KFold kfold(n, k, rng);
+    std::size_t lo = n, hi = 0;
+    for (std::size_t f = 0; f < k; ++f) {
+        lo = std::min(lo, kfold.validationIndices(f).size());
+        hi = std::max(hi, kfold.validationIndices(f).size());
+    }
+    EXPECT_LE(hi - lo, 1u);
+}
+
+TEST_P(KFoldTest, TrainAndValidationAreComplementary)
+{
+    const auto [n, k] = GetParam();
+    wcnn::numeric::Rng rng(9);
+    KFold kfold(n, k, rng);
+    for (std::size_t f = 0; f < k; ++f) {
+        const auto train = kfold.trainIndices(f);
+        const auto &val = kfold.validationIndices(f);
+        EXPECT_EQ(train.size() + val.size(), n);
+        std::set<std::size_t> train_set(train.begin(), train.end());
+        for (std::size_t idx : val)
+            EXPECT_EQ(train_set.count(idx), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, KFoldTest,
+    ::testing::Values(std::make_pair(10u, 5u), std::make_pair(53u, 5u),
+                      std::make_pair(7u, 7u), std::make_pair(100u, 3u),
+                      std::make_pair(2u, 2u)));
+
+TEST(KFoldDatasetTest, SplitMaterializesDatasets)
+{
+    const Dataset ds = makeDataset(10);
+    wcnn::numeric::Rng rng(10);
+    KFold kfold(10, 5, rng);
+    const auto split = kfold.split(ds, 2);
+    EXPECT_EQ(split.train.size(), 8u);
+    EXPECT_EQ(split.validation.size(), 2u);
+}
+
+TEST(KFoldDatasetTest, SameSeedSamePartition)
+{
+    wcnn::numeric::Rng rng1(11), rng2(11);
+    KFold a(20, 4, rng1), b(20, 4, rng2);
+    for (std::size_t f = 0; f < 4; ++f)
+        EXPECT_EQ(a.validationIndices(f), b.validationIndices(f));
+}
+
+TEST(KFoldDatasetTest, DifferentSeedsUsuallyDiffer)
+{
+    wcnn::numeric::Rng rng1(1), rng2(2);
+    KFold a(20, 4, rng1), b(20, 4, rng2);
+    bool any_diff = false;
+    for (std::size_t f = 0; f < 4; ++f)
+        any_diff |= a.validationIndices(f) != b.validationIndices(f);
+    EXPECT_TRUE(any_diff);
+}

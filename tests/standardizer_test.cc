@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Unit and property tests for z-score standardization (paper sec. 3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/standardizer.hh"
+#include "numeric/rng.hh"
+#include "numeric/stats.hh"
+
+using wcnn::data::Standardizer;
+using wcnn::numeric::Matrix;
+using wcnn::numeric::Vector;
+
+TEST(StandardizerTest, TransformedColumnsHaveZeroMeanUnitStd)
+{
+    wcnn::numeric::Rng rng(41);
+    Matrix samples(50, 3);
+    for (std::size_t i = 0; i < 50; ++i) {
+        samples(i, 0) = rng.uniform(0, 20);     // thread counts
+        samples(i, 1) = rng.uniform(480, 640);  // injection rate
+        samples(i, 2) = rng.normal(1000, 300);  // big-magnitude feature
+    }
+    Standardizer std_;
+    std_.fit(samples);
+    const Matrix z = std_.transform(samples);
+    for (std::size_t j = 0; j < 3; ++j) {
+        const Vector col = z.col(j);
+        EXPECT_NEAR(wcnn::numeric::mean(col), 0.0, 1e-10);
+        EXPECT_NEAR(wcnn::numeric::stddev(col), 1.0, 1e-10);
+    }
+}
+
+TEST(StandardizerTest, InverseRoundTrips)
+{
+    wcnn::numeric::Rng rng(42);
+    Matrix samples(30, 2);
+    for (std::size_t i = 0; i < 30; ++i) {
+        samples(i, 0) = rng.uniform(-5, 5);
+        samples(i, 1) = rng.uniform(100, 200);
+    }
+    Standardizer std_;
+    std_.fit(samples);
+    for (std::size_t i = 0; i < 30; ++i) {
+        const Vector x = samples.row(i);
+        const Vector back = std_.inverse(std_.transform(x));
+        for (std::size_t j = 0; j < 2; ++j)
+            EXPECT_NEAR(back[j], x[j], 1e-10);
+    }
+}
+
+TEST(StandardizerTest, MatrixAndVectorTransformsAgree)
+{
+    Matrix samples{{1, 10}, {2, 20}, {3, 30}};
+    Standardizer std_;
+    std_.fit(samples);
+    const Matrix z = std_.transform(samples);
+    for (std::size_t i = 0; i < 3; ++i) {
+        const Vector zi = std_.transform(samples.row(i));
+        for (std::size_t j = 0; j < 2; ++j)
+            EXPECT_DOUBLE_EQ(z(i, j), zi[j]);
+    }
+}
+
+TEST(StandardizerTest, ConstantFeatureCentersWithoutScaling)
+{
+    Matrix samples{{5, 1}, {5, 2}, {5, 3}};
+    Standardizer std_;
+    std_.fit(samples);
+    EXPECT_DOUBLE_EQ(std_.stddevs()[0], 1.0);
+    const Vector z = std_.transform(Vector{5, 2});
+    EXPECT_DOUBLE_EQ(z[0], 0.0);
+    const Vector back = std_.inverse(z);
+    EXPECT_DOUBLE_EQ(back[0], 5.0);
+}
+
+TEST(StandardizerTest, FittedFlag)
+{
+    Standardizer std_;
+    EXPECT_FALSE(std_.fitted());
+    Matrix samples{{1}, {2}};
+    std_.fit(samples);
+    EXPECT_TRUE(std_.fitted());
+    EXPECT_EQ(std_.dim(), 1u);
+}
+
+TEST(StandardizerTest, IdentityFactory)
+{
+    const Standardizer id = Standardizer::identity(3);
+    EXPECT_TRUE(id.fitted());
+    const Vector x{1.5, -2.5, 7.0};
+    EXPECT_EQ(id.transform(x), x);
+    EXPECT_EQ(id.inverse(x), x);
+}
+
+TEST(StandardizerTest, MeansAndStddevsExposed)
+{
+    Matrix samples{{0}, {10}};
+    Standardizer std_;
+    std_.fit(samples);
+    EXPECT_DOUBLE_EQ(std_.means()[0], 5.0);
+    EXPECT_NEAR(std_.stddevs()[0], std::sqrt(50.0), 1e-12);
+}

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Unit and property tests for descriptive statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "numeric/rng.hh"
+#include "numeric/stats.hh"
+
+namespace ns = wcnn::numeric;
+
+TEST(StatsTest, MeanKnownValues)
+{
+    EXPECT_DOUBLE_EQ(ns::mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(ns::mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(ns::mean({-5}), -5.0);
+}
+
+TEST(StatsTest, StddevKnownValues)
+{
+    EXPECT_DOUBLE_EQ(ns::stddev({2, 4, 4, 4, 5, 5, 7, 9}),
+                     std::sqrt(32.0 / 7.0));
+    EXPECT_DOUBLE_EQ(ns::stddev({1}), 0.0);
+    EXPECT_DOUBLE_EQ(ns::stddev({}), 0.0);
+}
+
+TEST(StatsTest, PopulationVariance)
+{
+    EXPECT_DOUBLE_EQ(ns::populationVariance({1, 3}), 1.0);
+    EXPECT_DOUBLE_EQ(ns::populationVariance({}), 0.0);
+}
+
+TEST(StatsTest, HarmonicMeanKnownValues)
+{
+    EXPECT_DOUBLE_EQ(ns::harmonicMean({1, 1, 1}), 1.0);
+    EXPECT_NEAR(ns::harmonicMean({1, 2, 4}), 3.0 / 1.75, 1e-12);
+    EXPECT_DOUBLE_EQ(ns::harmonicMean({}), 0.0);
+}
+
+TEST(StatsTest, HarmonicMeanNeverExceedsArithmetic)
+{
+    ns::Rng rng(31);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> xs(20);
+        for (auto &x : xs)
+            x = rng.uniform(0.01, 10.0);
+        EXPECT_LE(ns::harmonicMean(xs), ns::mean(xs) + 1e-12);
+    }
+}
+
+TEST(StatsTest, HarmonicMeanToleratesZeros)
+{
+    // A zero entry must not collapse the whole mean to zero.
+    const double hm = ns::harmonicMean({0.0, 0.1, 0.1});
+    EXPECT_GT(hm, 0.0);
+    EXPECT_LT(hm, 0.1);
+}
+
+TEST(StatsTest, PercentileInterpolation)
+{
+    std::vector<double> xs = {10, 20, 30, 40};
+    EXPECT_DOUBLE_EQ(ns::percentile(xs, 0), 10.0);
+    EXPECT_DOUBLE_EQ(ns::percentile(xs, 100), 40.0);
+    EXPECT_DOUBLE_EQ(ns::percentile(xs, 50), 25.0);
+    EXPECT_DOUBLE_EQ(ns::percentile({7}, 50), 7.0);
+    EXPECT_DOUBLE_EQ(ns::percentile({}, 50), 0.0);
+}
+
+TEST(StatsTest, CorrelationPerfectLinear)
+{
+    EXPECT_NEAR(ns::correlation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+    EXPECT_NEAR(ns::correlation({1, 2, 3}, {6, 4, 2}), -1.0, 1e-12);
+}
+
+TEST(StatsTest, CorrelationOfConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(ns::correlation({1, 1, 1}, {2, 4, 6}), 0.0);
+}
+
+TEST(StatsTest, RSquaredPerfectAndZero)
+{
+    EXPECT_DOUBLE_EQ(ns::rSquared({1, 2, 3}, {1, 2, 3}), 1.0);
+    // Predicting the mean everywhere gives R^2 = 0.
+    EXPECT_NEAR(ns::rSquared({1, 2, 3}, {2, 2, 2}), 0.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MatchesBatchStatistics)
+{
+    ns::Rng rng(32);
+    std::vector<double> xs(1000);
+    ns::RunningStats acc;
+    for (auto &x : xs) {
+        x = rng.normal(5.0, 2.0);
+        acc.add(x);
+    }
+    EXPECT_EQ(acc.count(), xs.size());
+    EXPECT_NEAR(acc.mean(), ns::mean(xs), 1e-9);
+    EXPECT_NEAR(acc.stddev(), ns::stddev(xs), 1e-9);
+    EXPECT_NEAR(acc.sum(), ns::mean(xs) * 1000, 1e-6);
+}
+
+TEST(RunningStatsTest, MinMaxTracking)
+{
+    ns::RunningStats acc;
+    acc.add(3);
+    acc.add(-1);
+    acc.add(7);
+    EXPECT_DOUBLE_EQ(acc.min(), -1);
+    EXPECT_DOUBLE_EQ(acc.max(), 7);
+}
+
+TEST(RunningStatsTest, EmptyIsZero)
+{
+    ns::RunningStats acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsCombinedStream)
+{
+    ns::Rng rng(33);
+    ns::RunningStats a, b, whole;
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform(0, 1);
+        a.add(x);
+        whole.add(x);
+    }
+    for (int i = 0; i < 300; ++i) {
+        const double x = rng.normal(10, 1);
+        b.add(x);
+        whole.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-6);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides)
+{
+    ns::RunningStats a, empty;
+    a.add(1);
+    a.add(2);
+    ns::RunningStats copy = a;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_NEAR(a.mean(), copy.mean(), 1e-12);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_NEAR(empty.mean(), 1.5, 1e-12);
+}
+
+TEST(RunningStatsTest, Reset)
+{
+    ns::RunningStats acc;
+    acc.add(5);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+/** Property sweep: Welford variance is non-negative and scale-covariant. */
+class RunningStatsPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RunningStatsPropertyTest, VarianceNonNegativeAndScales)
+{
+    ns::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    ns::RunningStats base, scaled;
+    const double factor = 3.5;
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.normal(0, 1);
+        base.add(x);
+        scaled.add(factor * x);
+    }
+    EXPECT_GE(base.variance(), 0.0);
+    EXPECT_NEAR(scaled.variance(), factor * factor * base.variance(),
+                1e-6 * scaled.variance() + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, RunningStatsPropertyTest,
+                         ::testing::Range(1, 8));
+
+TEST(P2QuantileTest, ExactForSmallSamples)
+{
+    ns::P2Quantile p50(0.5);
+    p50.add(3);
+    EXPECT_DOUBLE_EQ(p50.value(), 3.0);
+    p50.add(1);
+    p50.add(2);
+    EXPECT_DOUBLE_EQ(p50.value(), 2.0);
+}
+
+TEST(P2QuantileTest, TracksUniformQuantiles)
+{
+    ns::Rng rng(51);
+    ns::P2Quantile p90(0.9);
+    for (int i = 0; i < 50000; ++i)
+        p90.add(rng.uniform(0.0, 10.0));
+    EXPECT_NEAR(p90.value(), 9.0, 0.1);
+}
+
+TEST(P2QuantileTest, TracksNormalMedian)
+{
+    ns::Rng rng(52);
+    ns::P2Quantile p50(0.5);
+    for (int i = 0; i < 50000; ++i)
+        p50.add(rng.normal(7.0, 2.0));
+    EXPECT_NEAR(p50.value(), 7.0, 0.1);
+}
+
+TEST(P2QuantileTest, MatchesExactPercentileOnHeavyTail)
+{
+    // Lognormal: exact p95 against the estimator.
+    ns::Rng rng(53);
+    std::vector<double> xs;
+    ns::P2Quantile p95(0.95);
+    for (int i = 0; i < 40000; ++i) {
+        const double x = rng.lognormal(1.0, 1.0);
+        xs.push_back(x);
+        p95.add(x);
+    }
+    const double exact = ns::percentile(xs, 95.0);
+    EXPECT_NEAR(p95.value(), exact, 0.1 * exact);
+}
+
+TEST(P2QuantileTest, EmptyIsZero)
+{
+    ns::P2Quantile p90(0.9);
+    EXPECT_EQ(p90.count(), 0u);
+    EXPECT_DOUBLE_EQ(p90.value(), 0.0);
+}

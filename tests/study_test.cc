@@ -1,0 +1,114 @@
+/**
+ * @file
+ * End-to-end pipeline tests. The analytic source keeps most of them
+ * fast; one compact simulator-backed study exercises the full path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/study.hh"
+
+using wcnn::model::runStudy;
+using wcnn::model::StudyOptions;
+using wcnn::model::StudyResult;
+
+namespace {
+
+StudyOptions
+analyticOptions()
+{
+    StudyOptions opts;
+    opts.source = StudyOptions::Source::Analytic;
+    opts.designSamples = 40;
+    opts.sliceAnchorsPerAxis = 3;
+    opts.tune = false;
+    opts.nn.hiddenUnits = {10};
+    opts.nn.train.maxEpochs = 1500;
+    opts.seed = 123;
+    return opts;
+}
+
+} // namespace
+
+TEST(StudyTest, ProducesAllArtifacts)
+{
+    const StudyResult result = runStudy(analyticOptions());
+    EXPECT_EQ(result.dataset.size(), 40u + 9u);
+    EXPECT_EQ(result.dataset.inputDim(), 4u);
+    EXPECT_EQ(result.dataset.outputDim(), 5u);
+    EXPECT_EQ(result.cv.trials.size(), 5u);
+    EXPECT_TRUE(result.finalModel.fitted());
+}
+
+TEST(StudyTest, AnchorsSitOnTheAnalysisSlice)
+{
+    const StudyResult result = runStudy(analyticOptions());
+    std::size_t on_slice = 0;
+    for (const auto &sample : result.dataset) {
+        if (sample.x[0] == 560.0 && sample.x[2] == 16.0)
+            ++on_slice;
+    }
+    EXPECT_GE(on_slice, 9u);
+}
+
+TEST(StudyTest, AnalyticStudyIsAccurate)
+{
+    // The analytic surface is deterministic and smooth; the NN should
+    // validate well (the substrate noise is zero).
+    const StudyResult result = runStudy(analyticOptions());
+    EXPECT_GT(result.cv.overallAccuracy(), 0.85);
+}
+
+TEST(StudyTest, TuningPopulatesEvidence)
+{
+    StudyOptions opts = analyticOptions();
+    opts.tune = true;
+    opts.tuning.hiddenUnits = {6, 12};
+    opts.tuning.targetLosses = {0.05, 0.02};
+    const StudyResult result = runStudy(opts);
+    EXPECT_EQ(result.tuning.entries.size(), 4u);
+    EXPECT_EQ(result.tunedNn.hiddenUnits.size(), 1u);
+    const bool matches =
+        result.tunedNn.hiddenUnits[0] ==
+        result.tuning.best().hiddenUnits;
+    EXPECT_TRUE(matches);
+}
+
+TEST(StudyTest, DeterministicGivenSeed)
+{
+    const StudyResult a = runStudy(analyticOptions());
+    const StudyResult b = runStudy(analyticOptions());
+    ASSERT_EQ(a.dataset.size(), b.dataset.size());
+    EXPECT_EQ(a.dataset[5].y, b.dataset[5].y);
+    EXPECT_DOUBLE_EQ(a.cv.overallValidationError(),
+                     b.cv.overallValidationError());
+    const auto pa = a.finalModel.predict({560, 10, 16, 18});
+    const auto pb = b.finalModel.predict({560, 10, 16, 18});
+    EXPECT_DOUBLE_EQ(pa[0], pb[0]);
+}
+
+TEST(StudyTest, SimulatorBackedStudyRuns)
+{
+    // Compact end-to-end run through the DES source: small design,
+    // one replicate, short windows (wired through params? windows are
+    // per-config defaults). This is the full paper pipeline in
+    // miniature.
+    StudyOptions opts;
+    opts.source = StudyOptions::Source::Simulator;
+    opts.designSamples = 12;
+    opts.replicates = 1;
+    opts.sliceAnchorsPerAxis = 0;
+    opts.tune = false;
+    opts.nn.hiddenUnits = {8};
+    opts.nn.train.maxEpochs = 800;
+    opts.cv.folds = 3;
+    opts.seed = 99;
+    const StudyResult result = runStudy(opts);
+    EXPECT_EQ(result.dataset.size(), 12u);
+    EXPECT_EQ(result.cv.trials.size(), 3u);
+    EXPECT_TRUE(result.finalModel.fitted());
+    // Sanity: indicators are positive.
+    for (const auto &sample : result.dataset)
+        for (double v : sample.y)
+            EXPECT_GT(v, 0.0);
+}

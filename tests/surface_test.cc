@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for model-predicted response surfaces (Figs. 4/7/8 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/surface.hh"
+#include "model/linear_model.hh"
+#include "model/feature_models.hh"
+#include "numeric/rng.hh"
+
+using wcnn::data::Dataset;
+using wcnn::model::SurfaceGrid;
+using wcnn::model::SurfaceRequest;
+using wcnn::model::sweepSurface;
+using wcnn::numeric::Rng;
+
+namespace {
+
+/** y = a + 10*b + 100*c over a 3-input space. */
+Dataset
+planeDataset()
+{
+    Rng rng(1);
+    Dataset ds({"a", "b", "c"}, {"y"});
+    for (int i = 0; i < 40; ++i) {
+        const double a = rng.uniform(0, 1);
+        const double b = rng.uniform(0, 1);
+        const double c = rng.uniform(0, 1);
+        ds.add({a, b, c}, {a + 10 * b + 100 * c});
+    }
+    return ds;
+}
+
+SurfaceRequest
+basicRequest()
+{
+    SurfaceRequest req;
+    req.axisA = 0;
+    req.axisB = 1;
+    req.indicator = 0;
+    req.fixed = {0.0, 0.0, 0.5};
+    req.loA = 0.0;
+    req.hiA = 1.0;
+    req.loB = 0.0;
+    req.hiB = 1.0;
+    req.pointsA = 5;
+    req.pointsB = 3;
+    return req;
+}
+
+} // namespace
+
+TEST(SurfaceTest, GridShapeAndCoordinates)
+{
+    const Dataset ds = planeDataset();
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    const SurfaceGrid grid = sweepSurface(mdl, basicRequest(), ds);
+
+    ASSERT_EQ(grid.aValues.size(), 5u);
+    ASSERT_EQ(grid.bValues.size(), 3u);
+    EXPECT_EQ(grid.z.rows(), 5u);
+    EXPECT_EQ(grid.z.cols(), 3u);
+    EXPECT_DOUBLE_EQ(grid.aValues.front(), 0.0);
+    EXPECT_DOUBLE_EQ(grid.aValues.back(), 1.0);
+    EXPECT_DOUBLE_EQ(grid.bValues[1], 0.5);
+    EXPECT_EQ(grid.axisAName, "a");
+    EXPECT_EQ(grid.axisBName, "b");
+    EXPECT_EQ(grid.indicatorName, "y");
+}
+
+TEST(SurfaceTest, SliceLabelMatchesPaperNotation)
+{
+    const Dataset ds = planeDataset();
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    const SurfaceGrid grid = sweepSurface(mdl, basicRequest(), ds);
+    EXPECT_EQ(grid.sliceLabel, "(x, y, 0.5)");
+}
+
+TEST(SurfaceTest, ValuesFollowTheModel)
+{
+    const Dataset ds = planeDataset();
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    const SurfaceGrid grid = sweepSurface(mdl, basicRequest(), ds);
+    // z(i, j) = a_i + 10 b_j + 100 * 0.5.
+    for (std::size_t i = 0; i < grid.aValues.size(); ++i) {
+        for (std::size_t j = 0; j < grid.bValues.size(); ++j) {
+            const double expected =
+                grid.aValues[i] + 10 * grid.bValues[j] + 50.0;
+            EXPECT_NEAR(grid.z(i, j), expected, 1e-5);
+        }
+    }
+}
+
+TEST(SurfaceTest, MinMaxLocations)
+{
+    const Dataset ds = planeDataset();
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    const SurfaceGrid grid = sweepSurface(mdl, basicRequest(), ds);
+    std::size_t ai, bj;
+    const double lo = grid.zMin(&ai, &bj);
+    EXPECT_EQ(ai, 0u);
+    EXPECT_EQ(bj, 0u);
+    EXPECT_NEAR(lo, 50.0, 1e-5);
+    const double hi = grid.zMax(&ai, &bj);
+    EXPECT_EQ(ai, 4u);
+    EXPECT_EQ(bj, 2u);
+    EXPECT_NEAR(hi, 61.0, 1e-5);
+}
+
+TEST(SurfaceTest, TextDumpHasHeaderAndRows)
+{
+    const Dataset ds = planeDataset();
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    const SurfaceGrid grid = sweepSurface(mdl, basicRequest(), ds);
+    const std::string text = grid.toText();
+    EXPECT_NE(text.find("a\\b"), std::string::npos);
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 6);
+}
+
+TEST(SurfaceTest, SliceSamplesFilterByTolerance)
+{
+    Dataset ds({"a", "b", "c"}, {"y"});
+    ds.add({0.1, 0.2, 0.50}, {1});  // on slice
+    ds.add({0.3, 0.4, 0.52}, {2});  // near slice
+    ds.add({0.5, 0.6, 0.90}, {3});  // far away
+    const SurfaceRequest req = basicRequest();
+
+    const auto exact = wcnn::model::sliceSamples(ds, req, 0.001);
+    ASSERT_EQ(exact.size(), 1u);
+    EXPECT_DOUBLE_EQ(exact[0][0], 0.1);
+    EXPECT_DOUBLE_EQ(exact[0][2], 1.0);
+
+    const auto loose = wcnn::model::sliceSamples(ds, req, 0.05);
+    EXPECT_EQ(loose.size(), 2u);
+}
+
+TEST(SurfaceTest, NonLinearModelProducesCurvedSurface)
+{
+    // Quadratic model on quadratic data: z varies non-linearly.
+    Rng rng(2);
+    Dataset ds({"a", "b"}, {"y"});
+    for (int i = 0; i < 50; ++i) {
+        const double a = rng.uniform(-1, 1);
+        const double b = rng.uniform(-1, 1);
+        ds.add({a, b}, {a * a + b * b});
+    }
+    wcnn::model::PolynomialModel mdl(2);
+    mdl.fit(ds);
+    SurfaceRequest req;
+    req.axisA = 0;
+    req.axisB = 1;
+    req.indicator = 0;
+    req.fixed = {0, 0};
+    req.loA = req.loB = -1.0;
+    req.hiA = req.hiB = 1.0;
+    req.pointsA = req.pointsB = 5;
+    const SurfaceGrid grid = sweepSurface(mdl, req, ds);
+    // Bowl: center below corners.
+    EXPECT_LT(grid.z(2, 2), grid.z(0, 0));
+    EXPECT_LT(grid.z(2, 2), grid.z(4, 4));
+    EXPECT_NEAR(grid.z(2, 2), 0.0, 0.05);
+}
+
+TEST(SurfaceTest, HeatmapRampAndLabels)
+{
+    const Dataset ds = planeDataset();
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    const SurfaceGrid grid = sweepSurface(mdl, basicRequest(), ds);
+    const std::string art = grid.toHeatmap();
+    // Brightest cell appears (max corner) and the legend names both
+    // extremes.
+    EXPECT_NE(art.find('@'), std::string::npos);
+    EXPECT_NE(art.find('.'), std::string::npos);
+    EXPECT_NE(art.find("y"), std::string::npos);
+    EXPECT_NE(art.find("(rows, bottom-up)"), std::string::npos);
+}
+
+TEST(SurfaceTest, HeatmapFlatSurfaceDoesNotDivideByZero)
+{
+    Dataset ds({"a", "b"}, {"y"});
+    for (int i = 0; i < 8; ++i)
+        ds.add({i * 0.1, i * 0.05}, {3.0});
+    wcnn::model::LinearModel mdl;
+    mdl.fit(ds);
+    SurfaceRequest req = basicRequest();
+    req.fixed = {0.0, 0.0};
+    req.pointsA = 3;
+    req.pointsB = 3;
+    // 2-input dataset: rebuild the request for 2 inputs.
+    req.axisA = 0;
+    req.axisB = 1;
+    const SurfaceGrid grid = sweepSurface(mdl, req, ds);
+    EXPECT_FALSE(grid.toHeatmap().empty());
+}

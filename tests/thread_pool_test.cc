@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the app-server execute queue (thread pool).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/thread_pool.hh"
+
+using wcnn::sim::Simulator;
+using wcnn::sim::ThreadPool;
+
+TEST(ThreadPoolTest, ZeroConfiguredFloorsToOneWorker)
+{
+    Simulator sim;
+    ThreadPool pool(sim, "default", 0, 10);
+    EXPECT_EQ(pool.threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ImmediateDispatchWhenIdle)
+{
+    Simulator sim;
+    ThreadPool pool(sim, "web", 2, 10);
+    bool started = false;
+    pool.submit([&](std::function<void()> done) {
+        started = true;
+        done();
+    });
+    EXPECT_TRUE(started);
+    EXPECT_EQ(pool.completed(), 1u);
+    EXPECT_EQ(pool.busy(), 0u);
+}
+
+TEST(ThreadPoolTest, ThreadHeldUntilCompletionThunk)
+{
+    Simulator sim;
+    ThreadPool pool(sim, "web", 1, 10);
+    std::function<void()> finish;
+    pool.submit([&](std::function<void()> done) {
+        finish = std::move(done);
+    });
+    EXPECT_EQ(pool.busy(), 1u);
+    bool second_started = false;
+    pool.submit([&](std::function<void()> done) {
+        second_started = true;
+        done();
+    });
+    EXPECT_FALSE(second_started);
+    EXPECT_EQ(pool.queued(), 1u);
+    finish(); // releases the worker; queued item dispatches
+    EXPECT_TRUE(second_started);
+    EXPECT_EQ(pool.completed(), 2u);
+}
+
+TEST(ThreadPoolTest, BacklogCapRejects)
+{
+    Simulator sim;
+    ThreadPool pool(sim, "web", 1, 2);
+    std::vector<std::function<void()>> finishers;
+    // Occupy the worker and fill the backlog.
+    for (int i = 0; i < 3; ++i) {
+        const bool ok = pool.submit([&](std::function<void()> done) {
+            finishers.push_back(std::move(done));
+        });
+        EXPECT_TRUE(ok);
+    }
+    EXPECT_EQ(pool.queued(), 2u);
+    EXPECT_FALSE(pool.submit([](std::function<void()>) {}));
+    EXPECT_EQ(pool.dropped(), 1u);
+}
+
+TEST(ThreadPoolTest, QueueDelayMeasured)
+{
+    Simulator sim;
+    ThreadPool pool(sim, "web", 1, 10);
+    // First item holds the thread for 2 seconds of simulated time.
+    pool.submit([&](std::function<void()> done) {
+        sim.schedule(2.0, done);
+    });
+    bool ran = false;
+    pool.submit([&](std::function<void()> done) {
+        ran = true;
+        done();
+    });
+    sim.run(10.0);
+    EXPECT_TRUE(ran);
+    // One dispatch waited 0s, the other 2s.
+    EXPECT_EQ(pool.queueDelay().count(), 2u);
+    EXPECT_NEAR(pool.queueDelay().max(), 2.0, 1e-12);
+}
+
+TEST(ThreadPoolTest, ParallelWorkersRunConcurrently)
+{
+    Simulator sim;
+    ThreadPool pool(sim, "web", 3, 10);
+    int active_peak = 0, active = 0;
+    for (int i = 0; i < 3; ++i) {
+        pool.submit([&](std::function<void()> done) {
+            ++active;
+            active_peak = std::max(active_peak, active);
+            sim.schedule(1.0, [&active, done = std::move(done)] {
+                --active;
+                done();
+            });
+        });
+    }
+    EXPECT_EQ(pool.busy(), 3u);
+    sim.run(10.0);
+    EXPECT_EQ(active_peak, 3);
+    EXPECT_EQ(pool.completed(), 3u);
+}
+
+TEST(ThreadPoolTest, NameAccessor)
+{
+    Simulator sim;
+    ThreadPool pool(sim, "mfg", 4, 10);
+    EXPECT_EQ(pool.name(), "mfg");
+    EXPECT_EQ(pool.threads(), 4u);
+}

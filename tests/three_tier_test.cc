@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Integration tests for the full 3-tier simulation facade: determinism,
+ * conservation, and the qualitative trends the paper's analysis rests
+ * on. Short windows keep the suite fast; trend tests average seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/three_tier.hh"
+
+using namespace wcnn::sim;
+
+namespace {
+
+ThreeTierConfig
+quickConfig()
+{
+    ThreeTierConfig cfg;
+    cfg.warmup = 10.0;
+    cfg.measure = 40.0;
+    return cfg;
+}
+
+PerfSample
+averaged(ThreeTierConfig cfg, int seeds,
+         const WorkloadParams &params = WorkloadParams::defaults())
+{
+    PerfSample acc;
+    for (int s = 1; s <= seeds; ++s) {
+        cfg.seed = static_cast<std::uint64_t>(s);
+        const PerfSample r = simulateThreeTier(cfg, params);
+        acc.manufacturingRt += r.manufacturingRt;
+        acc.dealerPurchaseRt += r.dealerPurchaseRt;
+        acc.dealerManageRt += r.dealerManageRt;
+        acc.dealerBrowseRt += r.dealerBrowseRt;
+        acc.throughput += r.throughput;
+    }
+    const double n = seeds;
+    acc.manufacturingRt /= n;
+    acc.dealerPurchaseRt /= n;
+    acc.dealerManageRt /= n;
+    acc.dealerBrowseRt /= n;
+    acc.throughput /= n;
+    return acc;
+}
+
+} // namespace
+
+TEST(ThreeTierTest, ConfigVectorAndNames)
+{
+    ThreeTierConfig cfg;
+    cfg.injectionRate = 500;
+    cfg.defaultQueue = 1;
+    cfg.mfgQueue = 2;
+    cfg.webQueue = 3;
+    EXPECT_EQ(cfg.toVector(),
+              (std::vector<double>{500, 1, 2, 3}));
+    const auto names = ThreeTierConfig::parameterNames();
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names[0], "injection_rate");
+    EXPECT_EQ(names[3], "web_queue");
+}
+
+TEST(ThreeTierTest, SameSeedIsBitIdentical)
+{
+    ThreeTierConfig cfg = quickConfig();
+    cfg.seed = 99;
+    const PerfSample a = simulateThreeTier(cfg);
+    const PerfSample b = simulateThreeTier(cfg);
+    EXPECT_DOUBLE_EQ(a.manufacturingRt, b.manufacturingRt);
+    EXPECT_DOUBLE_EQ(a.dealerPurchaseRt, b.dealerPurchaseRt);
+    EXPECT_DOUBLE_EQ(a.dealerManageRt, b.dealerManageRt);
+    EXPECT_DOUBLE_EQ(a.dealerBrowseRt, b.dealerBrowseRt);
+    EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+}
+
+TEST(ThreeTierTest, DifferentSeedsDiffer)
+{
+    ThreeTierConfig cfg = quickConfig();
+    cfg.seed = 1;
+    const PerfSample a = simulateThreeTier(cfg);
+    cfg.seed = 2;
+    const PerfSample b = simulateThreeTier(cfg);
+    EXPECT_NE(a.throughput, b.throughput);
+}
+
+TEST(ThreeTierTest, DiagnosticsAreConsistent)
+{
+    ThreeTierConfig cfg = quickConfig();
+    RunDiagnostics diag;
+    const PerfSample s = simulateThreeTier(
+        cfg, WorkloadParams::defaults(), &diag);
+    (void)s;
+    // Injection rate 560 over 50 s: roughly 28k requests.
+    EXPECT_GT(diag.injected, 25000u);
+    EXPECT_LT(diag.injected, 31000u);
+    EXPECT_GT(diag.eventsProcessed, diag.injected);
+    ASSERT_EQ(diag.completions.size(), numTxnClasses);
+    std::size_t completed = 0;
+    for (std::size_t c : diag.completions)
+        completed += c;
+    // Completions within the measurement window cannot exceed
+    // injections, and a healthy default config completes most of them.
+    EXPECT_LT(completed, diag.injected);
+    EXPECT_GT(completed, diag.injected / 2);
+    EXPECT_GT(diag.cpuDemand, 0.0);
+}
+
+TEST(ThreeTierTest, ResponseTimesIncludeNetworkFloor)
+{
+    const PerfSample s = averaged(quickConfig(), 2);
+    const double floor = WorkloadParams::defaults().networkLatency;
+    EXPECT_GE(s.manufacturingRt, floor);
+    EXPECT_GE(s.dealerPurchaseRt, floor);
+    EXPECT_GE(s.dealerBrowseRt, floor);
+}
+
+TEST(ThreeTierTest, StarvedDefaultQueueHurtsPurchaseNotBrowse)
+{
+    ThreeTierConfig starved = quickConfig();
+    starved.defaultQueue = 0;
+    ThreeTierConfig healthy = quickConfig();
+    healthy.defaultQueue = 10;
+
+    const PerfSample s = averaged(starved, 3);
+    const PerfSample h = averaged(healthy, 3);
+    // Purchase/manage ride the default queue; browse does not.
+    EXPECT_GT(s.dealerPurchaseRt, 3.0 * h.dealerPurchaseRt);
+    EXPECT_GT(s.dealerManageRt, 3.0 * h.dealerManageRt);
+    EXPECT_LT(s.dealerBrowseRt, 2.0 * h.dealerBrowseRt);
+    // And effective throughput collapses accordingly.
+    EXPECT_LT(s.throughput, 0.8 * h.throughput);
+}
+
+TEST(ThreeTierTest, ManufacturingFlatAlongDefaultQueue)
+{
+    // Paper Fig. 4 (parallel slopes): the default queue barely moves
+    // the manufacturing response time.
+    ThreeTierConfig lo = quickConfig();
+    lo.defaultQueue = 4;
+    ThreeTierConfig hi = quickConfig();
+    hi.defaultQueue = 20;
+    const PerfSample a = averaged(lo, 4);
+    const PerfSample b = averaged(hi, 4);
+    EXPECT_NEAR(a.manufacturingRt, b.manufacturingRt,
+                0.25 * a.manufacturingRt);
+}
+
+TEST(ThreeTierTest, ManufacturingRisesAlongWebQueue)
+{
+    // Paper Fig. 4: the web queue *does* move the manufacturing
+    // response time (GC/CPU coupling). The manufacturing pool sits at
+    // a saturation knee, so this trend needs longer windows, several
+    // seeds and a small noise allowance.
+    ThreeTierConfig lo = quickConfig();
+    lo.webQueue = 14;
+    lo.measure = 100.0;
+    ThreeTierConfig hi = quickConfig();
+    hi.webQueue = 20;
+    hi.measure = 100.0;
+    const PerfSample a = averaged(lo, 6);
+    const PerfSample b = averaged(hi, 6);
+    EXPECT_GT(b.manufacturingRt, a.manufacturingRt - 0.05);
+}
+
+TEST(ThreeTierTest, WiderWebPoolImprovesDealerResponse)
+{
+    ThreeTierConfig lo = quickConfig();
+    lo.webQueue = 14;
+    ThreeTierConfig hi = quickConfig();
+    hi.webQueue = 20;
+    const PerfSample a = averaged(lo, 3);
+    const PerfSample b = averaged(hi, 3);
+    EXPECT_LT(b.dealerBrowseRt, a.dealerBrowseRt);
+    EXPECT_GE(b.throughput, a.throughput);
+}
+
+TEST(ThreeTierTest, HigherInjectionRaisesLoad)
+{
+    ThreeTierConfig lo = quickConfig();
+    lo.injectionRate = 500;
+    ThreeTierConfig hi = quickConfig();
+    hi.injectionRate = 620;
+    const PerfSample a = averaged(lo, 3);
+    const PerfSample b = averaged(hi, 3);
+    // More offered load cannot reduce response times.
+    EXPECT_GE(b.manufacturingRt, 0.9 * a.manufacturingRt);
+    EXPECT_GT(b.dealerBrowseRt + b.dealerPurchaseRt,
+              0.9 * (a.dealerBrowseRt + a.dealerPurchaseRt));
+}
+
+TEST(ThreeTierTest, FractionalThreadCountsRound)
+{
+    ThreeTierConfig a = quickConfig();
+    a.webQueue = 17.6;
+    a.seed = 5;
+    ThreeTierConfig b = quickConfig();
+    b.webQueue = 18.0;
+    b.seed = 5;
+    const PerfSample ra = simulateThreeTier(a);
+    const PerfSample rb = simulateThreeTier(b);
+    EXPECT_DOUBLE_EQ(ra.throughput, rb.throughput);
+}
+
+TEST(ThreeTierTest, GcDisabledRunsFaster)
+{
+    WorkloadParams no_gc = WorkloadParams::defaults();
+    no_gc.gcTxnInterval = 0;
+    const PerfSample with_gc = averaged(quickConfig(), 3);
+    const PerfSample without =
+        averaged(quickConfig(), 3, no_gc);
+    EXPECT_LT(without.manufacturingRt, with_gc.manufacturingRt);
+}

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Tests for gradient-descent back-propagation training: convergence on
+ * classic tasks, the paper's loose-threshold stop rule, and
+ * validation-based early stopping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/trainer.hh"
+#include "numeric/rng.hh"
+
+using wcnn::nn::Activation;
+using wcnn::nn::InitRule;
+using wcnn::nn::LayerSpec;
+using wcnn::nn::Mlp;
+using wcnn::nn::TrainOptions;
+using wcnn::nn::Trainer;
+using wcnn::numeric::Matrix;
+using wcnn::numeric::Rng;
+
+TEST(TrainerTest, LearnsXor)
+{
+    // The canonical non-linearly-separable task: a linear model cannot
+    // do better than MSE 0.25.
+    Rng rng(1);
+    Mlp net(2,
+            {LayerSpec{6, Activation::tanh()},
+             LayerSpec{1, Activation::identity()}},
+            InitRule::Xavier, rng);
+    Matrix x{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    Matrix y{{0}, {1}, {1}, {0}};
+
+    TrainOptions opts;
+    opts.learningRate = 0.1;
+    opts.momentum = 0.9;
+    opts.maxEpochs = 5000;
+    opts.targetLoss = 1e-3;
+    Trainer trainer(opts);
+    Rng shuffle(2);
+    const auto result = trainer.train(net, x, y, shuffle);
+    EXPECT_LE(result.finalTrainLoss, 1e-3);
+    EXPECT_TRUE(result.hitTargetLoss);
+    EXPECT_NEAR(net.forward({0, 1})[0], 1.0, 0.15);
+    EXPECT_NEAR(net.forward({1, 1})[0], 0.0, 0.15);
+}
+
+TEST(TrainerTest, FitsLinearFunctionClosely)
+{
+    Rng rng(3);
+    Mlp net(2, {LayerSpec{1, Activation::identity()}},
+            InitRule::SmallUniform, rng);
+    // y = 2a - b + 0.5 over a small grid.
+    Matrix x(9, 2), y(9, 1);
+    std::size_t row = 0;
+    for (double a = -1; a <= 1; a += 1) {
+        for (double b = -1; b <= 1; b += 1) {
+            x(row, 0) = a;
+            x(row, 1) = b;
+            y(row, 0) = 2 * a - b + 0.5;
+            ++row;
+        }
+    }
+    TrainOptions opts;
+    opts.learningRate = 0.1;
+    opts.maxEpochs = 4000;
+    opts.targetLoss = 1e-8;
+    Trainer trainer(opts);
+    Rng shuffle(4);
+    trainer.train(net, x, y, shuffle);
+    EXPECT_NEAR(net.weights(0)(0, 0), 2.0, 0.01);
+    EXPECT_NEAR(net.weights(0)(0, 1), -1.0, 0.01);
+    EXPECT_NEAR(net.biases(0)[0], 0.5, 0.01);
+}
+
+TEST(TrainerTest, ApproximatesSmoothNonLinearFunction)
+{
+    // Universal-approximation smoke test (paper ref [7]): fit
+    // sin(pi x) on [-1, 1].
+    Rng rng(5);
+    Mlp net(1,
+            {LayerSpec{12, Activation::tanh()},
+             LayerSpec{1, Activation::identity()}},
+            InitRule::Xavier, rng);
+    const std::size_t n = 40;
+    Matrix x(n, 1), y(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double xi =
+            -1.0 + 2.0 * static_cast<double>(i) / (n - 1);
+        x(i, 0) = xi;
+        y(i, 0) = std::sin(M_PI * xi);
+    }
+    TrainOptions opts;
+    opts.learningRate = 0.05;
+    opts.momentum = 0.9;
+    opts.maxEpochs = 6000;
+    opts.targetLoss = 5e-4;
+    Trainer trainer(opts);
+    Rng shuffle(6);
+    const auto result = trainer.train(net, x, y, shuffle);
+    EXPECT_LT(result.finalTrainLoss, 5e-3);
+    EXPECT_NEAR(net.forward({0.5})[0], 1.0, 0.2);
+    EXPECT_NEAR(net.forward({-0.5})[0], -1.0, 0.2);
+}
+
+TEST(TrainerTest, TargetLossStopsEarly)
+{
+    Rng rng(7);
+    Mlp net(1, {LayerSpec{1, Activation::identity()}},
+            InitRule::SmallUniform, rng);
+    Matrix x{{0}, {1}}, y{{0}, {1}};
+    TrainOptions opts;
+    opts.learningRate = 0.5;
+    opts.maxEpochs = 10000;
+    opts.targetLoss = 0.05; // loose on purpose (paper section 3.3)
+    Trainer trainer(opts);
+    Rng shuffle(8);
+    const auto result = trainer.train(net, x, y, shuffle);
+    EXPECT_TRUE(result.hitTargetLoss);
+    EXPECT_LT(result.epochs, 10000u);
+    EXPECT_LE(result.finalTrainLoss, 0.05);
+}
+
+TEST(TrainerTest, MaxEpochsBound)
+{
+    Rng rng(9);
+    Mlp net(1, {LayerSpec{2, Activation::tanh()},
+                LayerSpec{1, Activation::identity()}},
+            InitRule::SmallUniform, rng);
+    Matrix x{{0}, {1}}, y{{0}, {1}};
+    TrainOptions opts;
+    opts.maxEpochs = 17;
+    opts.targetLoss = 0.0; // disabled
+    Trainer trainer(opts);
+    Rng shuffle(10);
+    const auto result = trainer.train(net, x, y, shuffle);
+    EXPECT_EQ(result.epochs, 17u);
+    EXPECT_FALSE(result.hitTargetLoss);
+}
+
+TEST(TrainerTest, HistoryRecordedAndDecreasingOverall)
+{
+    Rng rng(11);
+    Mlp net(1, {LayerSpec{4, Activation::tanh()},
+                LayerSpec{1, Activation::identity()}},
+            InitRule::Xavier, rng);
+    Matrix x{{-1}, {0}, {1}}, y{{1}, {0}, {1}};
+    TrainOptions opts;
+    opts.maxEpochs = 500;
+    opts.targetLoss = 0.0;
+    opts.recordHistory = true;
+    Trainer trainer(opts);
+    Rng shuffle(12);
+    const auto result = trainer.train(net, x, y, shuffle);
+    ASSERT_EQ(result.trainLossHistory.size(), 500u);
+    EXPECT_LT(result.trainLossHistory.back(),
+              result.trainLossHistory.front());
+}
+
+TEST(TrainerTest, ValidationEarlyStoppingRestoresBestWeights)
+{
+    // Tiny training set + large capacity forces overfitting; early
+    // stopping must cut training short and keep the best-validation
+    // network.
+    Rng rng(13);
+    Mlp net(1,
+            {LayerSpec{20, Activation::tanh()},
+             LayerSpec{1, Activation::identity()}},
+            InitRule::Xavier, rng);
+    Rng noise(14);
+    const std::size_t n = 8;
+    Matrix x(n, 1), y(n, 1), vx(50, 1), vy(50, 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        x(i, 0) = noise.uniform(-1, 1);
+        y(i, 0) = x(i, 0) + noise.normal(0, 0.4); // noisy line
+    }
+    for (std::size_t i = 0; i < 50; ++i) {
+        vx(i, 0) = noise.uniform(-1, 1);
+        vy(i, 0) = vx(i, 0);
+    }
+    TrainOptions opts;
+    opts.learningRate = 0.05;
+    opts.momentum = 0.9;
+    opts.maxEpochs = 4000;
+    opts.targetLoss = 0.0;
+    opts.patience = 50;
+    Trainer trainer(opts);
+    Rng shuffle(15);
+    const auto result = trainer.train(net, x, y, shuffle, &vx, &vy);
+    EXPECT_TRUE(result.earlyStopped);
+    EXPECT_LT(result.epochs, 4000u);
+    // Restored network's validation loss equals the recorded best.
+    const double val_loss = Trainer::evaluateLoss(net, vx, vy);
+    EXPECT_NEAR(val_loss, result.bestValidationLoss, 1e-9);
+}
+
+TEST(TrainerTest, MiniBatchTrainingConverges)
+{
+    Rng rng(16);
+    Mlp net(1, {LayerSpec{1, Activation::identity()}},
+            InitRule::SmallUniform, rng);
+    const std::size_t n = 64;
+    Matrix x(n, 1), y(n, 1);
+    Rng data(17);
+    for (std::size_t i = 0; i < n; ++i) {
+        x(i, 0) = data.uniform(-1, 1);
+        y(i, 0) = 3 * x(i, 0) - 1;
+    }
+    TrainOptions opts;
+    opts.learningRate = 0.05;
+    opts.momentum = 0.5;
+    opts.batchSize = 8;
+    opts.maxEpochs = 500;
+    opts.targetLoss = 1e-8;
+    Trainer trainer(opts);
+    Rng shuffle(18);
+    trainer.train(net, x, y, shuffle);
+    EXPECT_NEAR(net.weights(0)(0, 0), 3.0, 0.02);
+    EXPECT_NEAR(net.biases(0)[0], -1.0, 0.02);
+}
+
+TEST(TrainerTest, DeterministicGivenSeeds)
+{
+    const auto run = [](std::uint64_t seed) {
+        Rng rng(seed);
+        Mlp net(2,
+                {LayerSpec{5, Activation::logistic(1.0)},
+                 LayerSpec{1, Activation::identity()}},
+                InitRule::SmallUniform, rng);
+        Matrix x{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+        Matrix y{{0}, {1}, {1}, {0}};
+        TrainOptions opts;
+        opts.maxEpochs = 200;
+        opts.targetLoss = 0.0;
+        Trainer trainer(opts);
+        Rng shuffle(seed + 1);
+        trainer.train(net, x, y, shuffle);
+        return net.forward({0.3, 0.8})[0];
+    };
+    EXPECT_DOUBLE_EQ(run(5), run(5));
+    EXPECT_NE(run(5), run(6));
+}
+
+TEST(TrainerTest, RmsPropConvergesOnXor)
+{
+    Rng rng(21);
+    Mlp net(2,
+            {LayerSpec{6, Activation::tanh()},
+             LayerSpec{1, Activation::identity()}},
+            InitRule::Xavier, rng);
+    Matrix x{{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+    Matrix y{{0}, {1}, {1}, {0}};
+    TrainOptions opts;
+    opts.rmsprop = true;
+    opts.learningRate = 0.01;
+    opts.maxEpochs = 4000;
+    opts.targetLoss = 1e-3;
+    Trainer trainer(opts);
+    Rng shuffle(22);
+    const auto result = trainer.train(net, x, y, shuffle);
+    EXPECT_LE(result.finalTrainLoss, 1e-3);
+    EXPECT_NEAR(net.forward({1, 0})[0], 1.0, 0.15);
+}
+
+TEST(TrainerTest, RmsPropAndSgdDiffer)
+{
+    const auto run = [](bool rmsprop) {
+        Rng rng(23);
+        Mlp net(1, {LayerSpec{3, Activation::tanh()},
+                    LayerSpec{1, Activation::identity()}},
+                InitRule::Xavier, rng);
+        Matrix x{{-1}, {0}, {1}}, y{{1}, {0}, {1}};
+        TrainOptions opts;
+        opts.rmsprop = rmsprop;
+        opts.maxEpochs = 50;
+        opts.targetLoss = 0.0;
+        Trainer trainer(opts);
+        Rng shuffle(24);
+        trainer.train(net, x, y, shuffle);
+        return net.forward({0.5})[0];
+    };
+    EXPECT_NE(run(true), run(false));
+}
+
+TEST(TrainerTest, EmptyTrainingSetIsNoOp)
+{
+    Rng rng(19);
+    Mlp net(1, {LayerSpec{1, Activation::identity()}},
+            InitRule::SmallUniform, rng);
+    Matrix x(0, 1), y(0, 1);
+    Trainer trainer(TrainOptions{});
+    Rng shuffle(20);
+    const auto result = trainer.train(net, x, y, shuffle);
+    EXPECT_EQ(result.epochs, 0u);
+}

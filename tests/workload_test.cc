@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Sanity tests for the calibrated workload demand model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/workload.hh"
+
+using namespace wcnn::sim;
+
+TEST(WorkloadTest, DefaultsAreWellFormed)
+{
+    const WorkloadParams p = WorkloadParams::defaults();
+    EXPECT_EQ(p.cores, 16u); // Table 1: 4 x 2 cores x HT
+    EXPECT_GT(p.dbConnections, 0u);
+    EXPECT_GT(p.backlogCap, 0u);
+    EXPECT_GT(p.defaultBacklogCap, 0u);
+    EXPECT_GE(p.serviceCov, 0.0);
+    EXPECT_GE(p.networkLatency, 0.0);
+}
+
+TEST(WorkloadTest, MixSumsToOne)
+{
+    const WorkloadParams p = WorkloadParams::defaults();
+    double total = 0.0;
+    for (TxnClass cls : allTxnClasses)
+        total += p.profile(cls).mix;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(WorkloadTest, DemandsArePositiveWhereUsed)
+{
+    const WorkloadParams p = WorkloadParams::defaults();
+    for (TxnClass cls : allTxnClasses) {
+        const TxnProfile &prof = p.profile(cls);
+        EXPECT_GT(prof.cpuPre, 0.0) << txnClassName(cls);
+        EXPECT_GT(prof.cpuPost, 0.0) << txnClassName(cls);
+        EXPECT_GT(prof.dbDemand, 0.0) << txnClassName(cls);
+        EXPECT_GT(prof.rtLimit, 0.0) << txnClassName(cls);
+        if (prof.hasAuxHop) {
+            EXPECT_GT(prof.auxCpu, 0.0) << txnClassName(cls);
+            EXPECT_GT(prof.auxDb, 0.0) << txnClassName(cls);
+        }
+    }
+}
+
+TEST(WorkloadTest, OnlyDealerWriteClassesDispatchWorkItems)
+{
+    const WorkloadParams p = WorkloadParams::defaults();
+    EXPECT_FALSE(p.profile(TxnClass::Manufacturing).hasAuxHop);
+    EXPECT_TRUE(p.profile(TxnClass::DealerPurchase).hasAuxHop);
+    EXPECT_TRUE(p.profile(TxnClass::DealerManage).hasAuxHop);
+    EXPECT_FALSE(p.profile(TxnClass::DealerBrowse).hasAuxHop);
+}
+
+TEST(WorkloadTest, OfferedCpuLoadIsFeasibleAtPaperOperatingPoint)
+{
+    // At injection 560/s the raw CPU demand must fit comfortably
+    // under 16 cores, or the whole slice would be CPU-saturated and
+    // the thread-pool knees invisible.
+    const WorkloadParams p = WorkloadParams::defaults();
+    double rate_per_class = 560.0 / 4.0;
+    double cpu = 0.0;
+    for (TxnClass cls : allTxnClasses) {
+        const TxnProfile &prof = p.profile(cls);
+        cpu += rate_per_class * (prof.cpuPre + prof.cpuPost);
+        if (prof.hasAuxHop)
+            cpu += rate_per_class * prof.auxCpu;
+    }
+    EXPECT_LT(cpu, 0.8 * static_cast<double>(p.cores));
+    EXPECT_GT(cpu, 0.1 * static_cast<double>(p.cores));
+}
+
+TEST(WorkloadTest, TxnClassNamesAreDistinct)
+{
+    std::set<std::string> names;
+    for (TxnClass cls : allTxnClasses)
+        names.insert(txnClassName(cls));
+    EXPECT_EQ(names.size(), numTxnClasses);
+}

@@ -1,0 +1,21 @@
+# End-to-end CLI smoke: collect (analytic) -> fit -> predict ->
+# surface -> recommend, in a scratch directory.
+set(work ${CMAKE_CURRENT_BINARY_DIR}/cli_pipeline_work)
+file(REMOVE_RECURSE ${work})
+file(MAKE_DIRECTORY ${work})
+
+function(run)
+    execute_process(COMMAND ${ARGV} WORKING_DIRECTORY ${work}
+                    RESULT_VARIABLE rc OUTPUT_VARIABLE out
+                    ERROR_VARIABLE err)
+    if(NOT rc EQUAL 0)
+        message(FATAL_ERROR "command failed (${rc}): ${ARGV}\n${out}\n${err}")
+    endif()
+endfunction()
+
+run(${WCNN} collect --out s.csv --samples 40 --analytic --seed 3)
+run(${WCNN} fit --data s.csv --out m.nn --units 10 --cv)
+run(${WCNN} predict --model m.nn --config 560,10,16,18)
+run(${WCNN} surface --model m.nn --indicator 1)
+run(${WCNN} recommend --model m.nn --data s.csv --top 3)
+message(STATUS "cli pipeline OK")

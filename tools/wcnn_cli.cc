@@ -1,0 +1,405 @@
+/**
+ * @file
+ * wcnn — command-line front end to the workload-characterization
+ * library. Subcommands cover the full paper pipeline on files, so the
+ * method can be scripted without writing C++:
+ *
+ *   wcnn simulate  --web 18 --default 10           one simulator run
+ *   wcnn collect   --samples 64 --out s.csv        build a sample set
+ *   wcnn fit       --data s.csv --out m.nn --cv    train + Table 2
+ *   wcnn predict   --model m.nn --config 560,10,16,18
+ *   wcnn surface   --model m.nn --indicator 1      slice + taxonomy
+ *   wcnn recommend --model m.nn --data s.csv       top configurations
+ *
+ * Every subcommand prints --help with its flags.
+ */
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/csv.hh"
+#include "model/classify.hh"
+#include "model/cross_validation.hh"
+#include "model/nn_model.hh"
+#include "model/recommender.hh"
+#include "model/surface.hh"
+#include "numeric/rng.hh"
+#include "sim/sample_space.hh"
+
+namespace {
+
+using namespace wcnn;
+
+/** Minimal --key value / --flag parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i < argc; ++i) {
+            std::string key = argv[i];
+            if (key.rfind("--", 0) != 0) {
+                std::fprintf(stderr, "unexpected argument: %s\n",
+                             key.c_str());
+                std::exit(2);
+            }
+            key = key.substr(2);
+            if (i + 1 < argc &&
+                std::string(argv[i + 1]).rfind("--", 0) != 0) {
+                values[key] = argv[++i];
+            } else {
+                values[key] = "";
+            }
+        }
+    }
+
+    bool has(const std::string &key) const
+    {
+        return values.count(key) > 0;
+    }
+
+    std::string
+    str(const std::string &key, const std::string &fallback) const
+    {
+        const auto it = values.find(key);
+        return it == values.end() ? fallback : it->second;
+    }
+
+    double
+    num(const std::string &key, double fallback) const
+    {
+        const auto it = values.find(key);
+        return it == values.end() ? fallback
+                                  : std::stod(it->second);
+    }
+
+  private:
+    std::map<std::string, std::string> values;
+};
+
+/** Parse "a,b,c,d" into a vector. */
+numeric::Vector
+parseCsvNumbers(const std::string &text)
+{
+    numeric::Vector out;
+    std::istringstream is(text);
+    std::string field;
+    while (std::getline(is, field, ','))
+        out.push_back(std::stod(field));
+    return out;
+}
+
+sim::ThreeTierConfig
+configFromArgs(const Args &args)
+{
+    sim::ThreeTierConfig cfg;
+    cfg.injectionRate = args.num("inj", cfg.injectionRate);
+    cfg.defaultQueue = args.num("default", cfg.defaultQueue);
+    cfg.mfgQueue = args.num("mfg", cfg.mfgQueue);
+    cfg.webQueue = args.num("web", cfg.webQueue);
+    cfg.seed = static_cast<std::uint64_t>(args.num("seed", 1));
+    cfg.warmup = args.num("warmup", cfg.warmup);
+    cfg.measure = args.num("measure", cfg.measure);
+    if (args.has("closed")) {
+        cfg.loadModel = sim::LoadModel::Closed;
+        cfg.population = static_cast<std::size_t>(
+            args.num("population", cfg.population));
+        cfg.thinkTime = args.num("think", cfg.thinkTime);
+    }
+    return cfg;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    if (args.has("help")) {
+        std::puts("wcnn simulate [--inj R] [--default N] [--mfg N] "
+                  "[--web N] [--seed S]\n"
+                  "              [--warmup S] [--measure S] [--closed "
+                  "--population N --think S]");
+        return 0;
+    }
+    const sim::ThreeTierConfig cfg = configFromArgs(args);
+    sim::RunDiagnostics diag;
+    const sim::PerfSample sample = sim::simulateThreeTier(
+        cfg, sim::WorkloadParams::defaults(), &diag);
+    const auto names = sim::PerfSample::indicatorNames();
+    const auto values = sample.toVector();
+    for (std::size_t j = 0; j < names.size(); ++j)
+        std::printf("%-22s %.4f\n", names[j].c_str(), values[j]);
+    std::printf("%-22s %llu\n", "requests",
+                static_cast<unsigned long long>(diag.injected));
+    std::printf("%-22s %zu\n", "events",
+                diag.eventsProcessed);
+    return 0;
+}
+
+int
+cmdCollect(const Args &args)
+{
+    if (args.has("help")) {
+        std::puts("wcnn collect --out FILE.csv [--samples N] "
+                  "[--design lhs|random|grid|factorial]\n"
+                  "             [--replicates N] [--seed S] "
+                  "[--analytic]");
+        return 0;
+    }
+    const std::string out = args.str("out", "");
+    if (out.empty()) {
+        std::fputs("collect: --out FILE.csv is required\n", stderr);
+        return 2;
+    }
+    const std::size_t n =
+        static_cast<std::size_t>(args.num("samples", 64));
+    const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
+    const std::string design = args.str("design", "lhs");
+
+    const sim::SampleSpace space = sim::SampleSpace::paperLike();
+    numeric::Rng rng(seed);
+    std::vector<sim::ThreeTierConfig> configs;
+    if (design == "lhs") {
+        configs = sim::latinHypercubeDesign(space, n, rng);
+    } else if (design == "random") {
+        configs = sim::randomDesign(space, n, rng);
+    } else if (design == "grid") {
+        const auto per_axis = static_cast<std::size_t>(std::max(
+            2.0, std::floor(std::pow(static_cast<double>(n), 0.25))));
+        configs = sim::gridDesign(
+            space, std::array<std::size_t, 4>{per_axis, per_axis,
+                                              per_axis, per_axis});
+    } else if (design == "factorial") {
+        configs = sim::factorialDesign(space, n > 16 ? n - 16 : 1);
+    } else {
+        std::fprintf(stderr, "collect: unknown design '%s'\n",
+                     design.c_str());
+        return 2;
+    }
+
+    data::Dataset ds;
+    if (args.has("analytic")) {
+        ds = sim::collectAnalytic(configs,
+                                  sim::WorkloadParams::defaults());
+    } else {
+        const auto replicates =
+            static_cast<std::size_t>(args.num("replicates", 3));
+        std::printf("simulating %zu configurations x %zu "
+                    "replicates...\n",
+                    configs.size(), replicates);
+        ds = sim::collectSimulated(configs,
+                                   sim::WorkloadParams::defaults(),
+                                   seed, replicates);
+    }
+    data::saveCsv(ds, out);
+    std::printf("wrote %zu samples to %s\n", ds.size(), out.c_str());
+    return 0;
+}
+
+int
+cmdFit(const Args &args)
+{
+    if (args.has("help")) {
+        std::puts("wcnn fit --data FILE.csv --out MODEL.nn "
+                  "[--units N] [--threshold T] [--cv] [--seed S]");
+        return 0;
+    }
+    const std::string data_path = args.str("data", "");
+    const std::string out = args.str("out", "");
+    if (data_path.empty() || out.empty()) {
+        std::fputs("fit: --data and --out are required\n", stderr);
+        return 2;
+    }
+    const data::Dataset ds = data::loadCsv(data_path);
+    model::NnModelOptions opts;
+    opts.hiddenUnits = {
+        static_cast<std::size_t>(args.num("units", 16))};
+    opts.train.targetLoss = args.num("threshold", 0.02);
+    opts.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+
+    if (args.has("cv")) {
+        model::CvOptions cv;
+        cv.keepPredictions = false;
+        const auto result = model::crossValidate(
+            [&opts] { return std::make_unique<model::NnModel>(opts); },
+            ds, cv);
+        std::fputs(model::formatTable(result).c_str(), stdout);
+        std::printf("overall accuracy: %.1f %%\n",
+                    100.0 * result.overallAccuracy());
+    }
+
+    model::NnModel mdl(opts);
+    mdl.fit(ds);
+    mdl.save(out);
+    std::printf("trained %s on %zu samples -> %s\n",
+                mdl.network().describe().c_str(), ds.size(),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdPredict(const Args &args)
+{
+    if (args.has("help")) {
+        std::puts("wcnn predict --model MODEL.nn --config "
+                  "inj,default,mfg,web");
+        return 0;
+    }
+    const std::string model_path = args.str("model", "");
+    const std::string config = args.str("config", "");
+    if (model_path.empty() || config.empty()) {
+        std::fputs("predict: --model and --config are required\n",
+                   stderr);
+        return 2;
+    }
+    const model::NnModel mdl = model::NnModel::load(model_path);
+    const numeric::Vector x = parseCsvNumbers(config);
+    if (x.size() != mdl.network().inputDim()) {
+        std::fprintf(stderr,
+                     "predict: --config needs %zu numbers\n",
+                     mdl.network().inputDim());
+        return 2;
+    }
+    const numeric::Vector y = mdl.predict(x);
+    const auto names = sim::PerfSample::indicatorNames();
+    for (std::size_t j = 0; j < y.size(); ++j) {
+        std::printf("%-22s %.4f\n",
+                    j < names.size() ? names[j].c_str() : "y",
+                    y[j]);
+    }
+    return 0;
+}
+
+int
+cmdSurface(const Args &args)
+{
+    if (args.has("help")) {
+        std::puts("wcnn surface --model MODEL.nn [--indicator K] "
+                  "[--inj R] [--mfg N]");
+        return 0;
+    }
+    const std::string model_path = args.str("model", "");
+    if (model_path.empty()) {
+        std::fputs("surface: --model is required\n", stderr);
+        return 2;
+    }
+    const model::NnModel mdl = model::NnModel::load(model_path);
+
+    model::SurfaceRequest req;
+    req.axisA = 1;
+    req.axisB = 3;
+    req.indicator =
+        static_cast<std::size_t>(args.num("indicator", 1));
+    req.fixed = {args.num("inj", 560.0), 0.0, args.num("mfg", 16.0),
+                 0.0};
+    req.loA = 0.0;
+    req.hiA = 20.0;
+    req.loB = 14.0;
+    req.hiB = 20.0;
+    req.pointsA = 11;
+    req.pointsB = 7;
+
+    data::Dataset schema(sim::ThreeTierConfig::parameterNames(),
+                         sim::PerfSample::indicatorNames());
+    const auto grid = model::sweepSurface(mdl, req, schema);
+    std::printf("%s  [%s]\n", grid.sliceLabel.c_str(),
+                grid.indicatorName.c_str());
+    std::fputs(grid.toText().c_str(), stdout);
+    std::fputs(grid.toHeatmap().c_str(), stdout);
+    std::printf("classification: %s\n",
+                model::classifySurface(grid).describe().c_str());
+    return 0;
+}
+
+int
+cmdRecommend(const Args &args)
+{
+    if (args.has("help")) {
+        std::puts("wcnn recommend --model MODEL.nn --data FILE.csv "
+                  "[--top K] [--inj R]");
+        return 0;
+    }
+    const std::string model_path = args.str("model", "");
+    const std::string data_path = args.str("data", "");
+    if (model_path.empty() || data_path.empty()) {
+        std::fputs("recommend: --model and --data are required\n",
+                   stderr);
+        return 2;
+    }
+    const model::NnModel mdl = model::NnModel::load(model_path);
+    const data::Dataset ds = data::loadCsv(data_path);
+    const double inj = args.num("inj", 560.0);
+    const auto k = static_cast<std::size_t>(args.num("top", 5));
+
+    model::Recommender rec(mdl, {model::SearchAxis{inj, inj, 1},
+                                 model::SearchAxis{0, 20, 21},
+                                 model::SearchAxis{12, 24, 13},
+                                 model::SearchAxis{14, 20, 7}});
+    const auto top =
+        rec.recommend(model::ScoringFunction::forWorkload(ds), k);
+    std::printf("%4s %28s %12s %12s\n", "#",
+                "(inj, default, mfg, web)", "tput", "score");
+    for (std::size_t i = 0; i < top.size(); ++i) {
+        const auto &r = top[i];
+        std::printf("%4zu      (%.0f, %2.0f, %2.0f, %2.0f)%17.1f "
+                    "%12.3f\n",
+                    i + 1, r.config[0], r.config[1], r.config[2],
+                    r.config[3], r.predicted[4], r.score);
+    }
+    return 0;
+}
+
+int
+usage()
+{
+    std::puts(
+        "wcnn — workload characterization with neural networks\n"
+        "\n"
+        "usage: wcnn <command> [--help] [flags]\n"
+        "\n"
+        "commands:\n"
+        "  simulate   run the 3-tier workload simulator once\n"
+        "  collect    build a (configuration -> indicators) sample "
+        "set\n"
+        "  fit        train the non-linear model on a sample CSV\n"
+        "  predict    evaluate a trained model at a configuration\n"
+        "  surface    sweep and classify a (default, web) slice\n"
+        "  recommend  rank configurations by a scoring function");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    try {
+        if (cmd == "simulate")
+            return cmdSimulate(args);
+        if (cmd == "collect")
+            return cmdCollect(args);
+        if (cmd == "fit")
+            return cmdFit(args);
+        if (cmd == "predict")
+            return cmdPredict(args);
+        if (cmd == "surface")
+            return cmdSurface(args);
+        if (cmd == "recommend")
+            return cmdRecommend(args);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "wcnn %s: %s\n", cmd.c_str(), e.what());
+        return 1;
+    }
+    std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());
+    return usage();
+}
