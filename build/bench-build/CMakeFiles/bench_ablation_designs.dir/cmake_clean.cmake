@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_designs"
+  "../bench/bench_ablation_designs.pdb"
+  "CMakeFiles/bench_ablation_designs.dir/bench_ablation_designs.cc.o"
+  "CMakeFiles/bench_ablation_designs.dir/bench_ablation_designs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

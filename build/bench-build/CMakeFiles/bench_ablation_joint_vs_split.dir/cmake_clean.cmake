@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_joint_vs_split"
+  "../bench/bench_ablation_joint_vs_split.pdb"
+  "CMakeFiles/bench_ablation_joint_vs_split.dir/bench_ablation_joint_vs_split.cc.o"
+  "CMakeFiles/bench_ablation_joint_vs_split.dir/bench_ablation_joint_vs_split.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_joint_vs_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

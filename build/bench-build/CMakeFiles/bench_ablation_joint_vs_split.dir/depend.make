@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ablation_joint_vs_split.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_loadmodel"
+  "../bench/bench_ablation_loadmodel.pdb"
+  "CMakeFiles/bench_ablation_loadmodel.dir/bench_ablation_loadmodel.cc.o"
+  "CMakeFiles/bench_ablation_loadmodel.dir/bench_ablation_loadmodel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_loadmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_nodes"
+  "../bench/bench_ablation_nodes.pdb"
+  "CMakeFiles/bench_ablation_nodes.dir/bench_ablation_nodes.cc.o"
+  "CMakeFiles/bench_ablation_nodes.dir/bench_ablation_nodes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_overfit"
+  "../bench/bench_ablation_overfit.pdb"
+  "CMakeFiles/bench_ablation_overfit.dir/bench_ablation_overfit.cc.o"
+  "CMakeFiles/bench_ablation_overfit.dir/bench_ablation_overfit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_overfit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_pca"
+  "../bench/bench_ablation_pca.pdb"
+  "CMakeFiles/bench_ablation_pca.dir/bench_ablation_pca.cc.o"
+  "CMakeFiles/bench_ablation_pca.dir/bench_ablation_pca.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_samples"
+  "../bench/bench_ablation_samples.pdb"
+  "CMakeFiles/bench_ablation_samples.dir/bench_ablation_samples.cc.o"
+  "CMakeFiles/bench_ablation_samples.dir/bench_ablation_samples.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

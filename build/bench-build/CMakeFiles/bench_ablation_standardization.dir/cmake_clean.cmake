@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_standardization"
+  "../bench/bench_ablation_standardization.pdb"
+  "CMakeFiles/bench_ablation_standardization.dir/bench_ablation_standardization.cc.o"
+  "CMakeFiles/bench_ablation_standardization.dir/bench_ablation_standardization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_standardization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

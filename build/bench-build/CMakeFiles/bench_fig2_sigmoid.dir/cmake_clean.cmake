@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_sigmoid"
+  "../bench/bench_fig2_sigmoid.pdb"
+  "CMakeFiles/bench_fig2_sigmoid.dir/bench_fig2_sigmoid.cc.o"
+  "CMakeFiles/bench_fig2_sigmoid.dir/bench_fig2_sigmoid.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_sigmoid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_parallel_slopes"
+  "../bench/bench_fig4_parallel_slopes.pdb"
+  "CMakeFiles/bench_fig4_parallel_slopes.dir/bench_fig4_parallel_slopes.cc.o"
+  "CMakeFiles/bench_fig4_parallel_slopes.dir/bench_fig4_parallel_slopes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_parallel_slopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

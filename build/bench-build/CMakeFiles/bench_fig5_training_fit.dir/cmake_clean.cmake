@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_training_fit"
+  "../bench/bench_fig5_training_fit.pdb"
+  "CMakeFiles/bench_fig5_training_fit.dir/bench_fig5_training_fit.cc.o"
+  "CMakeFiles/bench_fig5_training_fit.dir/bench_fig5_training_fit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_training_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

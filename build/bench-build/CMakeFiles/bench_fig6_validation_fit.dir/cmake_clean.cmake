@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_validation_fit"
+  "../bench/bench_fig6_validation_fit.pdb"
+  "CMakeFiles/bench_fig6_validation_fit.dir/bench_fig6_validation_fit.cc.o"
+  "CMakeFiles/bench_fig6_validation_fit.dir/bench_fig6_validation_fit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_validation_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_valleys"
+  "../bench/bench_fig7_valleys.pdb"
+  "CMakeFiles/bench_fig7_valleys.dir/bench_fig7_valleys.cc.o"
+  "CMakeFiles/bench_fig7_valleys.dir/bench_fig7_valleys.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_valleys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_hills"
+  "../bench/bench_fig8_hills.pdb"
+  "CMakeFiles/bench_fig8_hills.dir/bench_fig8_hills.cc.o"
+  "CMakeFiles/bench_fig8_hills.dir/bench_fig8_hills.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hills.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

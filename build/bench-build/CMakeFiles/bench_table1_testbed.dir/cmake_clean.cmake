@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_testbed"
+  "../bench/bench_table1_testbed.pdb"
+  "CMakeFiles/bench_table1_testbed.dir/bench_table1_testbed.cc.o"
+  "CMakeFiles/bench_table1_testbed.dir/bench_table1_testbed.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcnn_bench_common.dir/common.cc.o"
+  "CMakeFiles/wcnn_bench_common.dir/common.cc.o.d"
+  "libwcnn_bench_common.a"
+  "libwcnn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcnn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwcnn_bench_common.a"
+)

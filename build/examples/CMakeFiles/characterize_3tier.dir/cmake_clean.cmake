@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterize_3tier.dir/characterize_3tier.cpp.o"
+  "CMakeFiles/characterize_3tier.dir/characterize_3tier.cpp.o.d"
+  "characterize_3tier"
+  "characterize_3tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterize_3tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for characterize_3tier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extrapolation_study.dir/extrapolation_study.cpp.o"
+  "CMakeFiles/extrapolation_study.dir/extrapolation_study.cpp.o.d"
+  "extrapolation_study"
+  "extrapolation_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extrapolation_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

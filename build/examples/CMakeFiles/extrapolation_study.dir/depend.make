@@ -1,0 +1,2 @@
+# Empty dependencies file for extrapolation_study.
+# This may be replaced when dependencies are built.

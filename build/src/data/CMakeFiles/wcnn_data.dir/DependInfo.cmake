@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cc" "src/data/CMakeFiles/wcnn_data.dir/csv.cc.o" "gcc" "src/data/CMakeFiles/wcnn_data.dir/csv.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/wcnn_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/wcnn_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/metrics.cc" "src/data/CMakeFiles/wcnn_data.dir/metrics.cc.o" "gcc" "src/data/CMakeFiles/wcnn_data.dir/metrics.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/wcnn_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/wcnn_data.dir/split.cc.o.d"
+  "/root/repo/src/data/standardizer.cc" "src/data/CMakeFiles/wcnn_data.dir/standardizer.cc.o" "gcc" "src/data/CMakeFiles/wcnn_data.dir/standardizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/wcnn_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

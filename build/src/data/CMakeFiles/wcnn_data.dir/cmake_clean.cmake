@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcnn_data.dir/csv.cc.o"
+  "CMakeFiles/wcnn_data.dir/csv.cc.o.d"
+  "CMakeFiles/wcnn_data.dir/dataset.cc.o"
+  "CMakeFiles/wcnn_data.dir/dataset.cc.o.d"
+  "CMakeFiles/wcnn_data.dir/metrics.cc.o"
+  "CMakeFiles/wcnn_data.dir/metrics.cc.o.d"
+  "CMakeFiles/wcnn_data.dir/split.cc.o"
+  "CMakeFiles/wcnn_data.dir/split.cc.o.d"
+  "CMakeFiles/wcnn_data.dir/standardizer.cc.o"
+  "CMakeFiles/wcnn_data.dir/standardizer.cc.o.d"
+  "libwcnn_data.a"
+  "libwcnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/classify.cc" "src/model/CMakeFiles/wcnn_model.dir/classify.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/classify.cc.o.d"
+  "/root/repo/src/model/cross_validation.cc" "src/model/CMakeFiles/wcnn_model.dir/cross_validation.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/cross_validation.cc.o.d"
+  "/root/repo/src/model/feature_models.cc" "src/model/CMakeFiles/wcnn_model.dir/feature_models.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/feature_models.cc.o.d"
+  "/root/repo/src/model/grid_search.cc" "src/model/CMakeFiles/wcnn_model.dir/grid_search.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/grid_search.cc.o.d"
+  "/root/repo/src/model/linear_model.cc" "src/model/CMakeFiles/wcnn_model.dir/linear_model.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/linear_model.cc.o.d"
+  "/root/repo/src/model/model.cc" "src/model/CMakeFiles/wcnn_model.dir/model.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/model.cc.o.d"
+  "/root/repo/src/model/nn_model.cc" "src/model/CMakeFiles/wcnn_model.dir/nn_model.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/nn_model.cc.o.d"
+  "/root/repo/src/model/rbf_model.cc" "src/model/CMakeFiles/wcnn_model.dir/rbf_model.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/rbf_model.cc.o.d"
+  "/root/repo/src/model/recommender.cc" "src/model/CMakeFiles/wcnn_model.dir/recommender.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/recommender.cc.o.d"
+  "/root/repo/src/model/refine.cc" "src/model/CMakeFiles/wcnn_model.dir/refine.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/refine.cc.o.d"
+  "/root/repo/src/model/sensitivity.cc" "src/model/CMakeFiles/wcnn_model.dir/sensitivity.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/sensitivity.cc.o.d"
+  "/root/repo/src/model/study.cc" "src/model/CMakeFiles/wcnn_model.dir/study.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/study.cc.o.d"
+  "/root/repo/src/model/surface.cc" "src/model/CMakeFiles/wcnn_model.dir/surface.cc.o" "gcc" "src/model/CMakeFiles/wcnn_model.dir/surface.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/wcnn_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wcnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/wcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wcnn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcnn_model.dir/classify.cc.o"
+  "CMakeFiles/wcnn_model.dir/classify.cc.o.d"
+  "CMakeFiles/wcnn_model.dir/cross_validation.cc.o"
+  "CMakeFiles/wcnn_model.dir/cross_validation.cc.o.d"
+  "CMakeFiles/wcnn_model.dir/feature_models.cc.o"
+  "CMakeFiles/wcnn_model.dir/feature_models.cc.o.d"
+  "CMakeFiles/wcnn_model.dir/grid_search.cc.o"
+  "CMakeFiles/wcnn_model.dir/grid_search.cc.o.d"
+  "CMakeFiles/wcnn_model.dir/linear_model.cc.o"
+  "CMakeFiles/wcnn_model.dir/linear_model.cc.o.d"
+  "CMakeFiles/wcnn_model.dir/model.cc.o"
+  "CMakeFiles/wcnn_model.dir/model.cc.o.d"
+  "CMakeFiles/wcnn_model.dir/nn_model.cc.o"
+  "CMakeFiles/wcnn_model.dir/nn_model.cc.o.d"
+  "CMakeFiles/wcnn_model.dir/rbf_model.cc.o"
+  "CMakeFiles/wcnn_model.dir/rbf_model.cc.o.d"
+  "CMakeFiles/wcnn_model.dir/recommender.cc.o"
+  "CMakeFiles/wcnn_model.dir/recommender.cc.o.d"
+  "CMakeFiles/wcnn_model.dir/refine.cc.o"
+  "CMakeFiles/wcnn_model.dir/refine.cc.o.d"
+  "CMakeFiles/wcnn_model.dir/sensitivity.cc.o"
+  "CMakeFiles/wcnn_model.dir/sensitivity.cc.o.d"
+  "CMakeFiles/wcnn_model.dir/study.cc.o"
+  "CMakeFiles/wcnn_model.dir/study.cc.o.d"
+  "CMakeFiles/wcnn_model.dir/surface.cc.o"
+  "CMakeFiles/wcnn_model.dir/surface.cc.o.d"
+  "libwcnn_model.a"
+  "libwcnn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcnn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/nn/CMakeFiles/wcnn_nn.dir/activation.cc.o" "gcc" "src/nn/CMakeFiles/wcnn_nn.dir/activation.cc.o.d"
+  "/root/repo/src/nn/initializer.cc" "src/nn/CMakeFiles/wcnn_nn.dir/initializer.cc.o" "gcc" "src/nn/CMakeFiles/wcnn_nn.dir/initializer.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/wcnn_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/wcnn_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/wcnn_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/wcnn_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/rbf.cc" "src/nn/CMakeFiles/wcnn_nn.dir/rbf.cc.o" "gcc" "src/nn/CMakeFiles/wcnn_nn.dir/rbf.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/wcnn_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/wcnn_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/wcnn_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/wcnn_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/wcnn_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

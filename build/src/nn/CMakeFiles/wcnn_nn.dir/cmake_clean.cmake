@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcnn_nn.dir/activation.cc.o"
+  "CMakeFiles/wcnn_nn.dir/activation.cc.o.d"
+  "CMakeFiles/wcnn_nn.dir/initializer.cc.o"
+  "CMakeFiles/wcnn_nn.dir/initializer.cc.o.d"
+  "CMakeFiles/wcnn_nn.dir/loss.cc.o"
+  "CMakeFiles/wcnn_nn.dir/loss.cc.o.d"
+  "CMakeFiles/wcnn_nn.dir/mlp.cc.o"
+  "CMakeFiles/wcnn_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/wcnn_nn.dir/rbf.cc.o"
+  "CMakeFiles/wcnn_nn.dir/rbf.cc.o.d"
+  "CMakeFiles/wcnn_nn.dir/serialize.cc.o"
+  "CMakeFiles/wcnn_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/wcnn_nn.dir/trainer.cc.o"
+  "CMakeFiles/wcnn_nn.dir/trainer.cc.o.d"
+  "libwcnn_nn.a"
+  "libwcnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/linalg.cc" "src/numeric/CMakeFiles/wcnn_numeric.dir/linalg.cc.o" "gcc" "src/numeric/CMakeFiles/wcnn_numeric.dir/linalg.cc.o.d"
+  "/root/repo/src/numeric/matrix.cc" "src/numeric/CMakeFiles/wcnn_numeric.dir/matrix.cc.o" "gcc" "src/numeric/CMakeFiles/wcnn_numeric.dir/matrix.cc.o.d"
+  "/root/repo/src/numeric/pca.cc" "src/numeric/CMakeFiles/wcnn_numeric.dir/pca.cc.o" "gcc" "src/numeric/CMakeFiles/wcnn_numeric.dir/pca.cc.o.d"
+  "/root/repo/src/numeric/rng.cc" "src/numeric/CMakeFiles/wcnn_numeric.dir/rng.cc.o" "gcc" "src/numeric/CMakeFiles/wcnn_numeric.dir/rng.cc.o.d"
+  "/root/repo/src/numeric/stats.cc" "src/numeric/CMakeFiles/wcnn_numeric.dir/stats.cc.o" "gcc" "src/numeric/CMakeFiles/wcnn_numeric.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

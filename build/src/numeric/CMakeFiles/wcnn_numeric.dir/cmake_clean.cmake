@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcnn_numeric.dir/linalg.cc.o"
+  "CMakeFiles/wcnn_numeric.dir/linalg.cc.o.d"
+  "CMakeFiles/wcnn_numeric.dir/matrix.cc.o"
+  "CMakeFiles/wcnn_numeric.dir/matrix.cc.o.d"
+  "CMakeFiles/wcnn_numeric.dir/pca.cc.o"
+  "CMakeFiles/wcnn_numeric.dir/pca.cc.o.d"
+  "CMakeFiles/wcnn_numeric.dir/rng.cc.o"
+  "CMakeFiles/wcnn_numeric.dir/rng.cc.o.d"
+  "CMakeFiles/wcnn_numeric.dir/stats.cc.o"
+  "CMakeFiles/wcnn_numeric.dir/stats.cc.o.d"
+  "libwcnn_numeric.a"
+  "libwcnn_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcnn_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/analytic_surface.cc" "src/sim/CMakeFiles/wcnn_sim.dir/analytic_surface.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/analytic_surface.cc.o.d"
+  "/root/repo/src/sim/app_server.cc" "src/sim/CMakeFiles/wcnn_sim.dir/app_server.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/app_server.cc.o.d"
+  "/root/repo/src/sim/closed_driver.cc" "src/sim/CMakeFiles/wcnn_sim.dir/closed_driver.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/closed_driver.cc.o.d"
+  "/root/repo/src/sim/collector.cc" "src/sim/CMakeFiles/wcnn_sim.dir/collector.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/collector.cc.o.d"
+  "/root/repo/src/sim/cpu.cc" "src/sim/CMakeFiles/wcnn_sim.dir/cpu.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/cpu.cc.o.d"
+  "/root/repo/src/sim/database.cc" "src/sim/CMakeFiles/wcnn_sim.dir/database.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/database.cc.o.d"
+  "/root/repo/src/sim/driver.cc" "src/sim/CMakeFiles/wcnn_sim.dir/driver.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/driver.cc.o.d"
+  "/root/repo/src/sim/sample_space.cc" "src/sim/CMakeFiles/wcnn_sim.dir/sample_space.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/sample_space.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/wcnn_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/thread_pool.cc" "src/sim/CMakeFiles/wcnn_sim.dir/thread_pool.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/thread_pool.cc.o.d"
+  "/root/repo/src/sim/three_tier.cc" "src/sim/CMakeFiles/wcnn_sim.dir/three_tier.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/three_tier.cc.o.d"
+  "/root/repo/src/sim/txn.cc" "src/sim/CMakeFiles/wcnn_sim.dir/txn.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/txn.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/sim/CMakeFiles/wcnn_sim.dir/workload.cc.o" "gcc" "src/sim/CMakeFiles/wcnn_sim.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/wcnn_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/wcnn_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcnn_sim.dir/analytic_surface.cc.o"
+  "CMakeFiles/wcnn_sim.dir/analytic_surface.cc.o.d"
+  "CMakeFiles/wcnn_sim.dir/app_server.cc.o"
+  "CMakeFiles/wcnn_sim.dir/app_server.cc.o.d"
+  "CMakeFiles/wcnn_sim.dir/closed_driver.cc.o"
+  "CMakeFiles/wcnn_sim.dir/closed_driver.cc.o.d"
+  "CMakeFiles/wcnn_sim.dir/collector.cc.o"
+  "CMakeFiles/wcnn_sim.dir/collector.cc.o.d"
+  "CMakeFiles/wcnn_sim.dir/cpu.cc.o"
+  "CMakeFiles/wcnn_sim.dir/cpu.cc.o.d"
+  "CMakeFiles/wcnn_sim.dir/database.cc.o"
+  "CMakeFiles/wcnn_sim.dir/database.cc.o.d"
+  "CMakeFiles/wcnn_sim.dir/driver.cc.o"
+  "CMakeFiles/wcnn_sim.dir/driver.cc.o.d"
+  "CMakeFiles/wcnn_sim.dir/sample_space.cc.o"
+  "CMakeFiles/wcnn_sim.dir/sample_space.cc.o.d"
+  "CMakeFiles/wcnn_sim.dir/simulator.cc.o"
+  "CMakeFiles/wcnn_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/wcnn_sim.dir/thread_pool.cc.o"
+  "CMakeFiles/wcnn_sim.dir/thread_pool.cc.o.d"
+  "CMakeFiles/wcnn_sim.dir/three_tier.cc.o"
+  "CMakeFiles/wcnn_sim.dir/three_tier.cc.o.d"
+  "CMakeFiles/wcnn_sim.dir/txn.cc.o"
+  "CMakeFiles/wcnn_sim.dir/txn.cc.o.d"
+  "CMakeFiles/wcnn_sim.dir/workload.cc.o"
+  "CMakeFiles/wcnn_sim.dir/workload.cc.o.d"
+  "libwcnn_sim.a"
+  "libwcnn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcnn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytic_surface_test.dir/analytic_surface_test.cc.o"
+  "CMakeFiles/analytic_surface_test.dir/analytic_surface_test.cc.o.d"
+  "analytic_surface_test"
+  "analytic_surface_test.pdb"
+  "analytic_surface_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytic_surface_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

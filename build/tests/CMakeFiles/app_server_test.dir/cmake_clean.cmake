@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_server_test.dir/app_server_test.cc.o"
+  "CMakeFiles/app_server_test.dir/app_server_test.cc.o.d"
+  "app_server_test"
+  "app_server_test.pdb"
+  "app_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/closed_driver_test.dir/closed_driver_test.cc.o"
+  "CMakeFiles/closed_driver_test.dir/closed_driver_test.cc.o.d"
+  "closed_driver_test"
+  "closed_driver_test.pdb"
+  "closed_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/closed_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

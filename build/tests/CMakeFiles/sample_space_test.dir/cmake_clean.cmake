@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_space_test.dir/sample_space_test.cc.o"
+  "CMakeFiles/sample_space_test.dir/sample_space_test.cc.o.d"
+  "sample_space_test"
+  "sample_space_test.pdb"
+  "sample_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/standardizer_test.dir/standardizer_test.cc.o"
+  "CMakeFiles/standardizer_test.dir/standardizer_test.cc.o.d"
+  "standardizer_test"
+  "standardizer_test.pdb"
+  "standardizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/standardizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_tier_test.dir/three_tier_test.cc.o"
+  "CMakeFiles/three_tier_test.dir/three_tier_test.cc.o.d"
+  "three_tier_test"
+  "three_tier_test.pdb"
+  "three_tier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

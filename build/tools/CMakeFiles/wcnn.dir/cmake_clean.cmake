@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcnn.dir/wcnn_cli.cc.o"
+  "CMakeFiles/wcnn.dir/wcnn_cli.cc.o.d"
+  "wcnn"
+  "wcnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
