@@ -1,0 +1,53 @@
+#include "contracts.hh"
+
+namespace wcnn {
+
+namespace {
+
+std::string
+buildWhat(const char *kind, const char *expr, const char *file, int line,
+          const std::string &message)
+{
+    std::ostringstream os;
+    os << kind << " failed at " << file << ":" << line << ": " << expr;
+    if (!message.empty()) os << " — " << message;
+    return os.str();
+}
+
+} // namespace
+
+ContractViolation::ContractViolation(const char *kind, const char *expr,
+                                     const char *file, int line,
+                                     const std::string &message)
+    : std::logic_error(buildWhat(kind, expr, file, line, message)),
+      kindName(kind), exprText(expr), fileName(file), lineNo(line)
+{
+}
+
+namespace detail {
+
+void
+contractFail(const char *kind, const char *expr, const char *file, int line,
+             const std::string &message)
+{
+    throw ContractViolation(kind, expr, file, line, message);
+}
+
+std::string
+describeNonFinite(double v)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "value is " << v;
+    return os.str();
+}
+
+std::string
+joinMessage(const std::string &a, const std::string &b)
+{
+    if (b.empty()) return a;
+    return a + "; " + b;
+}
+
+} // namespace detail
+} // namespace wcnn

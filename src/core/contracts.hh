@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Contract/invariant layer for the whole library.
+ *
+ * Every precondition, postcondition, and internal invariant in src/ is
+ * expressed through the WCNN_* macros below instead of bare assert().
+ * The macros carry a formatted message, the failing expression, and the
+ * file:line of the violation, and they throw wcnn::ContractViolation in
+ * checked builds, so a broken invariant surfaces as a catchable,
+ * debuggable error instead of a silent NaN three stages downstream.
+ *
+ * Build modes:
+ *  - Checked (default): every macro evaluates its condition and throws
+ *    wcnn::ContractViolation on failure. Active in all build types; the
+ *    checks are cheap relative to the simulator and training loops.
+ *  - WCNN_NO_CONTRACTS: condition-carrying macros compile to an
+ *    unevaluated no-op (the expression is only type-checked inside
+ *    sizeof, never executed), and WCNN_UNREACHABLE collapses to
+ *    __builtin_unreachable() so the optimizer can exploit it.
+ *
+ * Macro policy (see DESIGN.md "Correctness tooling"):
+ *  - WCNN_REQUIRE(cond, msg...)      — precondition on caller-supplied data.
+ *  - WCNN_ENSURE(cond, msg...)       — postcondition / internal invariant.
+ *  - WCNN_CHECK_INDEX(i, n)          — bounds check, reports both values.
+ *  - WCNN_CHECK_FINITE(value, msg...)— scalar or container must hold only
+ *                                      finite doubles; reports the first
+ *                                      offending element and its index.
+ *  - WCNN_UNREACHABLE(msg...)        — control flow that must never run.
+ */
+
+#ifndef WCNN_CORE_CONTRACTS_HH
+#define WCNN_CORE_CONTRACTS_HH
+
+#include <cmath>
+#include <cstddef>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace wcnn {
+
+/**
+ * Thrown by the contract macros in checked builds.
+ *
+ * what() contains the full formatted diagnostic:
+ *   "WCNN_REQUIRE failed at src/nn/mlp.cc:79: x.size() == nInputs — ..."
+ */
+class ContractViolation : public std::logic_error
+{
+  public:
+    /**
+     * @param kind    Macro name, e.g. "WCNN_REQUIRE".
+     * @param expr    Stringified failing expression.
+     * @param file    Source file of the violation.
+     * @param line    Source line of the violation.
+     * @param message Caller-formatted detail; may be empty.
+     */
+    ContractViolation(const char *kind, const char *expr, const char *file,
+                      int line, const std::string &message);
+
+    /** Macro name that fired ("WCNN_REQUIRE", ...). */
+    const std::string &kind() const { return kindName; }
+    /** Stringified expression that evaluated false. */
+    const std::string &expression() const { return exprText; }
+    /** Source file of the violation. */
+    const std::string &file() const { return fileName; }
+    /** Source line of the violation. */
+    int line() const { return lineNo; }
+
+  private:
+    std::string kindName;
+    std::string exprText;
+    std::string fileName;
+    int lineNo;
+};
+
+namespace detail {
+
+/** Build the what() text and throw ContractViolation. Never returns. */
+[[noreturn]] void contractFail(const char *kind, const char *expr,
+                               const char *file, int line,
+                               const std::string &message);
+
+/**
+ * Concatenate any streamable arguments into the contract message.
+ * Zero arguments yield an empty message; doubles print with enough
+ * precision to round-trip.
+ */
+template <class... Args>
+std::string
+contractMessage(const Args &...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string();
+    } else {
+        std::ostringstream os;
+        os.precision(17);
+        (os << ... << args);
+        return os.str();
+    }
+}
+
+/** Finite test for a scalar. */
+inline bool
+allFinite(double v)
+{
+    return std::isfinite(v);
+}
+
+/** Finite test for any container of doubles (Vector, Matrix::data()). */
+template <class C,
+          class = std::enable_if_t<!std::is_arithmetic_v<std::decay_t<C>>>>
+bool
+allFinite(const C &c)
+{
+    for (double v : c) {
+        if (!std::isfinite(v)) return false;
+    }
+    return true;
+}
+
+/** Describe the offending scalar for the CHECK_FINITE diagnostic. */
+std::string describeNonFinite(double v);
+
+/** "a" / "a; b" — joins the value dump with an optional caller message. */
+std::string joinMessage(const std::string &a, const std::string &b);
+
+/** Describe the first non-finite element of a container, with its index. */
+template <class C,
+          class = std::enable_if_t<!std::is_arithmetic_v<std::decay_t<C>>>>
+std::string
+describeNonFinite(const C &c)
+{
+    std::size_t i = 0;
+    for (double v : c) {
+        if (!std::isfinite(v)) return describeNonFinite(v) + " at index " +
+                                      std::to_string(i);
+        ++i;
+    }
+    return "all elements finite";
+}
+
+} // namespace detail
+} // namespace wcnn
+
+#if defined(WCNN_NO_CONTRACTS)
+
+/* Unchecked build: the condition is type-checked but never evaluated. */
+#define WCNN_CONTRACT_CHECK_(kind, cond, ...)                                  \
+    (static_cast<void>(sizeof((cond) ? 1 : 0)))
+
+#define WCNN_REQUIRE(cond, ...) WCNN_CONTRACT_CHECK_("", cond)
+#define WCNN_ENSURE(cond, ...) WCNN_CONTRACT_CHECK_("", cond)
+#define WCNN_CHECK_INDEX(i, n)                                                 \
+    (static_cast<void>(sizeof((i) < (n) ? 1 : 0)))
+#define WCNN_CHECK_FINITE(value, ...)                                          \
+    (static_cast<void>(sizeof(::wcnn::detail::allFinite(value))))
+#define WCNN_UNREACHABLE(...) __builtin_unreachable()
+
+#else
+
+#define WCNN_CONTRACT_CHECK_(kind, cond, ...)                                  \
+    (static_cast<bool>(cond)                                                   \
+         ? static_cast<void>(0)                                                \
+         : ::wcnn::detail::contractFail(                                       \
+               kind, #cond, __FILE__, __LINE__,                                \
+               ::wcnn::detail::contractMessage(__VA_ARGS__)))
+
+/** Precondition on caller-supplied data. */
+#define WCNN_REQUIRE(cond, ...)                                                \
+    WCNN_CONTRACT_CHECK_("WCNN_REQUIRE", cond, __VA_ARGS__)
+
+/** Postcondition or internal invariant. */
+#define WCNN_ENSURE(cond, ...)                                                 \
+    WCNN_CONTRACT_CHECK_("WCNN_ENSURE", cond, __VA_ARGS__)
+
+/** Bounds check; the diagnostic reports both the index and the bound. */
+#define WCNN_CHECK_INDEX(i, n)                                                 \
+    (static_cast<bool>((i) < (n))                                              \
+         ? static_cast<void>(0)                                                \
+         : ::wcnn::detail::contractFail(                                       \
+               "WCNN_CHECK_INDEX", #i " < " #n, __FILE__, __LINE__,            \
+               ::wcnn::detail::contractMessage("index ", (i),                  \
+                                               " out of range [0, ", (n),      \
+                                               ")")))
+
+/** Scalar or container of doubles must be entirely finite. */
+#define WCNN_CHECK_FINITE(value, ...)                                          \
+    (::wcnn::detail::allFinite(value)                                          \
+         ? static_cast<void>(0)                                                \
+         : ::wcnn::detail::contractFail(                                       \
+               "WCNN_CHECK_FINITE", #value, __FILE__, __LINE__,                \
+               ::wcnn::detail::joinMessage(                                    \
+                   ::wcnn::detail::describeNonFinite(value),                   \
+                   ::wcnn::detail::contractMessage(__VA_ARGS__))))
+
+/** Marks control flow that must never execute. */
+#define WCNN_UNREACHABLE(...)                                                  \
+    ::wcnn::detail::contractFail("WCNN_UNREACHABLE", "unreachable code",       \
+                                 __FILE__, __LINE__,                           \
+                                 ::wcnn::detail::contractMessage(__VA_ARGS__))
+
+#endif // WCNN_NO_CONTRACTS
+
+#endif // WCNN_CORE_CONTRACTS_HH

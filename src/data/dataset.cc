@@ -1,7 +1,7 @@
 #include "dataset.hh"
 
-#include <cassert>
 
+#include "core/contracts.hh"
 #include "numeric/rng.hh"
 
 namespace wcnn {
@@ -17,8 +17,10 @@ Dataset::Dataset(std::vector<std::string> input_names,
 void
 Dataset::add(numeric::Vector x, numeric::Vector y)
 {
-    assert(x.size() == inputDim());
-    assert(y.size() == outputDim());
+    WCNN_REQUIRE(x.size() == inputDim(), "sample x has ", x.size(),
+                 " fields, dataset declares ", inputDim());
+    WCNN_REQUIRE(y.size() == outputDim(), "sample y has ", y.size(),
+                 " fields, dataset declares ", outputDim());
     samples.push_back(Sample{std::move(x), std::move(y)});
 }
 
@@ -43,7 +45,7 @@ Dataset::yMatrix() const
 numeric::Vector
 Dataset::yColumn(std::size_t j) const
 {
-    assert(j < outputDim());
+    WCNN_CHECK_INDEX(j, outputDim());
     numeric::Vector v(size());
     for (std::size_t i = 0; i < size(); ++i)
         v[i] = samples[i].y[j];
@@ -53,7 +55,7 @@ Dataset::yColumn(std::size_t j) const
 numeric::Vector
 Dataset::xColumn(std::size_t j) const
 {
-    assert(j < inputDim());
+    WCNN_CHECK_INDEX(j, inputDim());
     numeric::Vector v(size());
     for (std::size_t i = 0; i < size(); ++i)
         v[i] = samples[i].x[j];
@@ -65,7 +67,7 @@ Dataset::select(const std::vector<std::size_t> &indices) const
 {
     Dataset out(inputNames, outputNames);
     for (std::size_t idx : indices) {
-        assert(idx < size());
+        WCNN_CHECK_INDEX(idx, size());
         out.samples.push_back(samples[idx]);
     }
     return out;
@@ -80,8 +82,12 @@ Dataset::shuffled(numeric::Rng &rng) const
 void
 Dataset::append(const Dataset &other)
 {
-    assert(other.inputDim() == inputDim());
-    assert(other.outputDim() == outputDim());
+    WCNN_REQUIRE(other.inputDim() == inputDim(),
+                 "append input arity mismatch: ", other.inputDim(), " vs ",
+                 inputDim());
+    WCNN_REQUIRE(other.outputDim() == outputDim(),
+                 "append output arity mismatch: ", other.outputDim(), " vs ",
+                 outputDim());
     samples.insert(samples.end(), other.samples.begin(),
                    other.samples.end());
 }

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "core/contracts.hh"
 #include "numeric/matrix.hh"
 
 namespace wcnn {
@@ -79,7 +80,7 @@ class Dataset
     const Sample &
     operator[](std::size_t i) const
     {
-        assert(i < samples.size());
+        WCNN_CHECK_INDEX(i, samples.size());
         return samples[i];
     }
 

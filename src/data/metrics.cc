@@ -1,8 +1,8 @@
 #include "metrics.hh"
 
-#include <cassert>
 #include <cmath>
 
+#include "core/contracts.hh"
 #include "numeric/stats.hh"
 
 namespace wcnn {
@@ -19,7 +19,9 @@ std::vector<double>
 relativeErrors(const numeric::Vector &actual,
                const numeric::Vector &predicted)
 {
-    assert(actual.size() == predicted.size());
+    WCNN_REQUIRE(actual.size() == predicted.size(),
+                 "relativeErrors size mismatch: ", actual.size(), " vs ",
+                 predicted.size());
     std::vector<double> errs;
     errs.reserve(actual.size());
     for (std::size_t i = 0; i < actual.size(); ++i) {
@@ -47,7 +49,8 @@ mape(const numeric::Vector &actual, const numeric::Vector &predicted)
 double
 rmse(const numeric::Vector &actual, const numeric::Vector &predicted)
 {
-    assert(actual.size() == predicted.size());
+    WCNN_REQUIRE(actual.size() == predicted.size(), "rmse size mismatch: ",
+                 actual.size(), " vs ", predicted.size());
     if (actual.empty())
         return 0.0;
     double acc = 0.0;
@@ -60,7 +63,9 @@ double
 meanAbsoluteError(const numeric::Vector &actual,
                   const numeric::Vector &predicted)
 {
-    assert(actual.size() == predicted.size());
+    WCNN_REQUIRE(actual.size() == predicted.size(),
+                 "meanAbsoluteError size mismatch: ", actual.size(), " vs ",
+                 predicted.size());
     if (actual.empty())
         return 0.0;
     double acc = 0.0;
@@ -85,9 +90,13 @@ ErrorReport
 evaluate(const std::vector<std::string> &names,
          const numeric::Matrix &actual, const numeric::Matrix &predicted)
 {
-    assert(actual.rows() == predicted.rows());
-    assert(actual.cols() == predicted.cols());
-    assert(names.size() == actual.cols());
+    WCNN_REQUIRE(actual.rows() == predicted.rows() &&
+                     actual.cols() == predicted.cols(),
+                 "evaluate shape mismatch: ", actual.rows(), "x",
+                 actual.cols(), " vs ", predicted.rows(), "x",
+                 predicted.cols());
+    WCNN_REQUIRE(names.size() == actual.cols(), "got ", names.size(),
+                 " indicator names for ", actual.cols(), " columns");
     ErrorReport report;
     report.names = names;
     for (std::size_t j = 0; j < actual.cols(); ++j) {

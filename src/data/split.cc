@@ -1,8 +1,8 @@
 #include "split.hh"
 
 #include <algorithm>
-#include <cassert>
 
+#include "core/contracts.hh"
 #include "numeric/rng.hh"
 
 namespace wcnn {
@@ -12,7 +12,8 @@ Split
 trainValidationSplit(const Dataset &ds, double train_fraction,
                      numeric::Rng &rng)
 {
-    assert(train_fraction >= 0.0 && train_fraction <= 1.0);
+    WCNN_REQUIRE(train_fraction >= 0.0 && train_fraction <= 1.0,
+                 "train fraction must lie in [0, 1], got ", train_fraction);
     const auto perm = rng.permutation(ds.size());
     const std::size_t n_train = static_cast<std::size_t>(
         train_fraction * static_cast<double>(ds.size()) + 0.5);
@@ -27,8 +28,9 @@ trainValidationSplit(const Dataset &ds, double train_fraction,
 
 KFold::KFold(std::size_t n_samples, std::size_t k, numeric::Rng &rng)
 {
-    assert(k >= 2);
-    assert(n_samples >= k);
+    WCNN_REQUIRE(k >= 2, "k-fold needs k >= 2, got ", k);
+    WCNN_REQUIRE(n_samples >= k, "k-fold needs at least ", k,
+                 " samples, got ", n_samples);
     const auto perm = rng.permutation(n_samples);
     foldIndices.resize(k);
     const std::size_t base = n_samples / k;
@@ -47,14 +49,14 @@ KFold::KFold(std::size_t n_samples, std::size_t k, numeric::Rng &rng)
 const std::vector<std::size_t> &
 KFold::validationIndices(std::size_t fold) const
 {
-    assert(fold < foldIndices.size());
+    WCNN_CHECK_INDEX(fold, foldIndices.size());
     return foldIndices[fold];
 }
 
 std::vector<std::size_t>
 KFold::trainIndices(std::size_t fold) const
 {
-    assert(fold < foldIndices.size());
+    WCNN_CHECK_INDEX(fold, foldIndices.size());
     std::vector<std::size_t> out;
     for (std::size_t f = 0; f < foldIndices.size(); ++f) {
         if (f == fold)

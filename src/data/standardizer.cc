@@ -1,8 +1,8 @@
 #include "standardizer.hh"
 
-#include <cassert>
 #include <cmath>
 
+#include "core/contracts.hh"
 #include "numeric/stats.hh"
 
 namespace wcnn {
@@ -20,9 +20,11 @@ Standardizer::identity(std::size_t d)
 Standardizer
 Standardizer::fromMoments(numeric::Vector mu, numeric::Vector sigma)
 {
-    assert(mu.size() == sigma.size());
+    WCNN_REQUIRE(mu.size() == sigma.size(), "moment size mismatch: ",
+                 mu.size(), " means vs ", sigma.size(), " scales");
     for (double s : sigma)
-        assert(s > 0.0);
+        WCNN_REQUIRE(s > 0.0, "standardizer scale must be positive, got ",
+                     s);
     Standardizer out;
     out.mu = std::move(mu);
     out.sigma = std::move(sigma);
@@ -47,7 +49,8 @@ Standardizer::fit(const numeric::Matrix &samples)
 numeric::Vector
 Standardizer::transform(const numeric::Vector &x) const
 {
-    assert(x.size() == dim());
+    WCNN_REQUIRE(x.size() == dim(), "transform input has ", x.size(),
+                 " dims, standardizer was fit on ", dim());
     numeric::Vector z(x.size());
     for (std::size_t j = 0; j < x.size(); ++j)
         z[j] = (x[j] - mu[j]) / sigma[j];
@@ -57,7 +60,8 @@ Standardizer::transform(const numeric::Vector &x) const
 numeric::Matrix
 Standardizer::transform(const numeric::Matrix &xs) const
 {
-    assert(xs.cols() == dim());
+    WCNN_REQUIRE(xs.cols() == dim(), "transform input has ", xs.cols(),
+                 " columns, standardizer was fit on ", dim());
     numeric::Matrix out(xs.rows(), xs.cols());
     for (std::size_t i = 0; i < xs.rows(); ++i)
         out.setRow(i, transform(xs.row(i)));
@@ -67,7 +71,8 @@ Standardizer::transform(const numeric::Matrix &xs) const
 numeric::Vector
 Standardizer::inverse(const numeric::Vector &z) const
 {
-    assert(z.size() == dim());
+    WCNN_REQUIRE(z.size() == dim(), "inverse input has ", z.size(),
+                 " dims, standardizer was fit on ", dim());
     numeric::Vector x(z.size());
     for (std::size_t j = 0; j < z.size(); ++j)
         x[j] = z[j] * sigma[j] + mu[j];
@@ -77,7 +82,8 @@ Standardizer::inverse(const numeric::Vector &z) const
 numeric::Matrix
 Standardizer::inverse(const numeric::Matrix &zs) const
 {
-    assert(zs.cols() == dim());
+    WCNN_REQUIRE(zs.cols() == dim(), "inverse input has ", zs.cols(),
+                 " columns, standardizer was fit on ", dim());
     numeric::Matrix out(zs.rows(), zs.cols());
     for (std::size_t i = 0; i < zs.rows(); ++i)
         out.setRow(i, inverse(zs.row(i)));

@@ -1,9 +1,10 @@
 #include "classify.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <sstream>
+
+#include "core/contracts.hh"
 
 namespace wcnn {
 namespace model {
@@ -40,7 +41,9 @@ SurfaceAnalysis
 classifySurface(const SurfaceGrid &grid, const ClassifyOptions &options)
 {
     const numeric::Matrix &z = grid.z;
-    assert(z.rows() >= 3 && z.cols() >= 3);
+    WCNN_REQUIRE(z.rows() >= 3 && z.cols() >= 3,
+                 "hill/valley detection needs a grid of at least 3x3, got ",
+                 z.rows(), "x", z.cols());
 
     SurfaceAnalysis out;
     const double zmin = grid.zMin(&out.minA, &out.minB);

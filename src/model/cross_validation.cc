@@ -1,8 +1,9 @@
 #include "cross_validation.hh"
 
-#include <cassert>
 #include <iomanip>
 #include <sstream>
+
+#include "core/contracts.hh"
 
 #include "numeric/rng.hh"
 #include "numeric/stats.hh"
@@ -45,8 +46,10 @@ CvResult
 crossValidate(const ModelFactory &factory, const data::Dataset &ds,
               const CvOptions &options)
 {
-    assert(options.folds >= 2);
-    assert(ds.size() >= options.folds);
+    WCNN_REQUIRE(options.folds >= 2, "cross-validation needs >= 2 folds, got ",
+                 options.folds);
+    WCNN_REQUIRE(ds.size() >= options.folds, "dataset of ", ds.size(),
+                 " samples cannot be split into ", options.folds, " folds");
 
     numeric::Rng rng(options.seed);
     data::KFold kfold(ds.size(), options.folds, rng);

@@ -1,8 +1,9 @@
 #include "feature_models.hh"
 
-#include <cassert>
 #include <cmath>
 #include <sstream>
+
+#include "core/contracts.hh"
 
 #include "numeric/linalg.hh"
 
@@ -12,7 +13,7 @@ namespace model {
 void
 FeatureExpansionModel::fit(const data::Dataset &ds)
 {
-    assert(!ds.empty());
+    WCNN_REQUIRE(!ds.empty(), "fit on an empty dataset");
     xStd.fit(ds.xMatrix());
 
     const std::size_t n = ds.size();
@@ -28,7 +29,8 @@ FeatureExpansionModel::fit(const data::Dataset &ds)
     for (std::size_t j = 0; j < ds.outputDim(); ++j) {
         const auto solution =
             numeric::leastSquares(design, ds.yColumn(j), ridge);
-        assert(solution.has_value());
+        WCNN_ENSURE(solution.has_value(),
+                    "feature-model solve failed for output column ", j);
         for (std::size_t r = 0; r < k; ++r)
             coef(r, j) = (*solution)[r];
     }
@@ -37,9 +39,10 @@ FeatureExpansionModel::fit(const data::Dataset &ds)
 numeric::Vector
 FeatureExpansionModel::predict(const numeric::Vector &x) const
 {
-    assert(fitted());
+    WCNN_REQUIRE(fitted(), "predict() before fit()");
     const numeric::Vector phi = expand(xStd.transform(x));
-    assert(phi.size() == coef.rows());
+    WCNN_ENSURE(phi.size() == coef.rows(), "feature expansion yields ",
+                phi.size(), " terms, coefficients expect ", coef.rows());
     numeric::Vector y(coef.cols(), 0.0);
     for (std::size_t j = 0; j < coef.cols(); ++j) {
         double acc = 0.0;
@@ -53,7 +56,8 @@ FeatureExpansionModel::predict(const numeric::Vector &x) const
 PolynomialModel::PolynomialModel(std::size_t degree, double ridge)
     : FeatureExpansionModel(ridge), degree(degree)
 {
-    assert(degree >= 1);
+    WCNN_REQUIRE(degree >= 1, "polynomial degree must be at least 1, got ",
+                 degree);
 }
 
 std::string

@@ -1,7 +1,8 @@
 #include "grid_search.hh"
 
-#include <cassert>
 #include <limits>
+
+#include "core/contracts.hh"
 
 #include "data/metrics.hh"
 #include "data/split.hh"
@@ -15,9 +16,12 @@ GridSearchResult
 gridSearch(const NnModelOptions &base, const data::Dataset &ds,
            const GridSearchOptions &options)
 {
-    assert(!options.hiddenUnits.empty());
-    assert(!options.targetLosses.empty());
-    assert(ds.size() >= 4);
+    WCNN_REQUIRE(!options.hiddenUnits.empty(),
+                 "grid search needs at least one hidden-unit count");
+    WCNN_REQUIRE(!options.targetLosses.empty(),
+                 "grid search needs at least one target loss");
+    WCNN_REQUIRE(ds.size() >= 4, "grid search needs at least 4 samples, got ",
+                 ds.size());
 
     numeric::Rng rng(options.seed);
     const data::Split split =

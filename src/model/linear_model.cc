@@ -1,6 +1,7 @@
 #include "linear_model.hh"
 
-#include <cassert>
+#include "core/contracts.hh"
+
 
 #include "numeric/linalg.hh"
 
@@ -10,7 +11,7 @@ namespace model {
 void
 LinearModel::fit(const data::Dataset &ds)
 {
-    assert(!ds.empty());
+    WCNN_REQUIRE(!ds.empty(), "fit on an empty dataset");
     const std::size_t n = ds.size();
     const std::size_t d = ds.inputDim();
     const std::size_t m = ds.outputDim();
@@ -27,7 +28,8 @@ LinearModel::fit(const data::Dataset &ds)
     for (std::size_t j = 0; j < m; ++j) {
         const auto solution =
             numeric::leastSquares(design, ds.yColumn(j), ridge);
-        assert(solution.has_value());
+        WCNN_ENSURE(solution.has_value(),
+                    "linear solve failed for output column ", j);
         for (std::size_t r = 0; r <= d; ++r)
             coef(r, j) = (*solution)[r];
     }
@@ -36,8 +38,9 @@ LinearModel::fit(const data::Dataset &ds)
 numeric::Vector
 LinearModel::predict(const numeric::Vector &x) const
 {
-    assert(fitted());
-    assert(x.size() + 1 == coef.rows());
+    WCNN_REQUIRE(fitted(), "predict() before fit()");
+    WCNN_REQUIRE(x.size() + 1 == coef.rows(), "input has ", x.size(),
+                 " dims, model was fit on ", coef.rows() - 1);
     numeric::Vector y(coef.cols(), 0.0);
     for (std::size_t j = 0; j < coef.cols(); ++j) {
         double acc = coef(x.size(), j); // intercept

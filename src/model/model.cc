@@ -1,6 +1,7 @@
 #include "model.hh"
 
-#include <cassert>
+#include "core/contracts.hh"
+
 
 namespace wcnn {
 namespace model {
@@ -8,7 +9,7 @@ namespace model {
 numeric::Matrix
 PerformanceModel::predictAll(const numeric::Matrix &xs) const
 {
-    assert(fitted());
+    WCNN_REQUIRE(fitted(), "predictMatrix() before fit()");
     numeric::Matrix out;
     for (std::size_t i = 0; i < xs.rows(); ++i) {
         const numeric::Vector y = predict(xs.row(i));

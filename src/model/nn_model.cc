@@ -1,9 +1,10 @@
 #include "nn_model.hh"
 
-#include <cassert>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+
+#include "core/contracts.hh"
 
 #include "nn/serialize.hh"
 #include "numeric/rng.hh"
@@ -16,7 +17,7 @@ NnModel::NnModel(NnModelOptions options) : opts(std::move(options)) {}
 void
 NnModel::fit(const data::Dataset &ds)
 {
-    assert(!ds.empty());
+    WCNN_REQUIRE(!ds.empty(), "fit on an empty dataset");
 
     numeric::Matrix x = ds.xMatrix();
     numeric::Matrix y = ds.yMatrix();
@@ -51,7 +52,7 @@ NnModel::fit(const data::Dataset &ds)
 numeric::Vector
 NnModel::predict(const numeric::Vector &x) const
 {
-    assert(isFitted);
+    WCNN_REQUIRE(isFitted, "predict() before fit()");
     return yStd.inverse(net.forward(xStd.transform(x)));
 }
 
@@ -101,7 +102,7 @@ readMoments(std::istream &is, const char *tag)
 void
 NnModel::save(std::ostream &os) const
 {
-    assert(isFitted);
+    WCNN_REQUIRE(isFitted, "save() before fit()");
     os << "wcnn-nn-model 1\n";
     writeMoments(os, "x_moments", xStd);
     writeMoments(os, "y_moments", yStd);

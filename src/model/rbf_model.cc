@@ -1,6 +1,7 @@
 #include "rbf_model.hh"
 
-#include <cassert>
+#include "core/contracts.hh"
+
 
 #include "numeric/rng.hh"
 
@@ -10,7 +11,7 @@ namespace model {
 void
 RbfModel::fit(const data::Dataset &ds)
 {
-    assert(!ds.empty());
+    WCNN_REQUIRE(!ds.empty(), "fit on an empty dataset");
     xStd.fit(ds.xMatrix());
     yStd.fit(ds.yMatrix());
     numeric::Rng rng(seed);
@@ -21,7 +22,7 @@ RbfModel::fit(const data::Dataset &ds)
 numeric::Vector
 RbfModel::predict(const numeric::Vector &x) const
 {
-    assert(fitted());
+    WCNN_REQUIRE(fitted(), "predict() before fit()");
     return yStd.inverse(net.predict(xStd.transform(x)));
 }
 

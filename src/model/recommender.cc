@@ -1,8 +1,9 @@
 #include "recommender.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "core/contracts.hh"
 
 #include "numeric/stats.hh"
 
@@ -12,7 +13,8 @@ namespace model {
 double
 ScoringFunction::score(const numeric::Vector &y) const
 {
-    assert(y.size() == goals.size());
+    WCNN_REQUIRE(y.size() == goals.size(), "prediction has ", y.size(),
+                 " indicators, scoring expects ", goals.size());
     double total = 0.0;
     for (std::size_t j = 0; j < goals.size(); ++j) {
         const IndicatorGoal &goal = goals[j];
@@ -34,7 +36,8 @@ ScoringFunction::score(const numeric::Vector &y) const
 ScoringFunction
 ScoringFunction::forWorkload(const data::Dataset &ds)
 {
-    assert(ds.outputDim() >= 1);
+    WCNN_REQUIRE(ds.outputDim() >= 1,
+                 "recommender needs at least one output indicator");
     ScoringFunction fn;
     for (std::size_t j = 0; j < ds.outputDim(); ++j) {
         IndicatorGoal goal;
@@ -51,17 +54,19 @@ Recommender::Recommender(const PerformanceModel &mdl,
                          std::vector<SearchAxis> axes)
     : mdl(mdl), axes(std::move(axes))
 {
-    assert(mdl.fitted());
+    WCNN_REQUIRE(mdl.fitted(), "recommend() with an unfitted model");
     for (const auto &axis : this->axes) {
-        assert(axis.points >= 1);
-        assert(axis.hi >= axis.lo);
+        WCNN_REQUIRE(axis.points >= 1,
+                     "each search axis needs at least one point");
+        WCNN_REQUIRE(axis.hi >= axis.lo, "axis bounds inverted: [", axis.lo,
+                     ", ", axis.hi, "]");
     }
 }
 
 std::vector<Recommendation>
 Recommender::recommend(const ScoringFunction &fn, std::size_t k) const
 {
-    assert(k >= 1);
+    WCNN_REQUIRE(k >= 1, "must request at least one recommendation");
     std::vector<Recommendation> best;
 
     // Odometer enumeration of the full grid.

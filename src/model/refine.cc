@@ -1,9 +1,10 @@
 #include "refine.hh"
 
 #include <array>
-#include <cassert>
 #include <cmath>
 #include <set>
+
+#include "core/contracts.hh"
 
 #include "numeric/rng.hh"
 
@@ -16,7 +17,8 @@ namespace {
 std::array<long long, 4>
 configKey(const numeric::Vector &x)
 {
-    assert(x.size() == 4);
+    WCNN_REQUIRE(x.size() == 4, "configuration vector must have 4 axes, got ",
+                 x.size());
     return {static_cast<long long>(std::llround(x[0])),
             static_cast<long long>(std::llround(x[1])),
             static_cast<long long>(std::llround(x[2])),
@@ -41,7 +43,9 @@ adaptiveTune(const sim::SampleSpace &space, const sim::SampleFn &fn,
              const ScoringFunction &score,
              const AdaptiveTunerOptions &options)
 {
-    assert(options.initialSamples >= 4);
+    WCNN_REQUIRE(options.initialSamples >= 4,
+                 "refinement needs at least 4 initial samples, got ",
+                 options.initialSamples);
     numeric::Rng rng(options.seed);
 
     AdaptiveResult result;

@@ -1,10 +1,11 @@
 #include "sensitivity.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
+
+#include "core/contracts.hh"
 
 namespace wcnn {
 namespace model {
@@ -12,7 +13,7 @@ namespace model {
 std::size_t
 SensitivityReport::dominantInput(std::size_t indicator) const
 {
-    assert(indicator < indicatorNames.size());
+    WCNN_CHECK_INDEX(indicator, indicatorNames.size());
     std::size_t best = 0;
     for (std::size_t i = 1; i < inputNames.size(); ++i)
         if (elasticity(i, indicator) > elasticity(best, indicator))
@@ -47,8 +48,8 @@ SensitivityReport
 analyzeSensitivity(const PerformanceModel &mdl, const data::Dataset &ds,
                    const SensitivityOptions &options)
 {
-    assert(mdl.fitted());
-    assert(!ds.empty());
+    WCNN_REQUIRE(mdl.fitted(), "sensitivity analysis with an unfitted model");
+    WCNN_REQUIRE(!ds.empty(), "sensitivity analysis on an empty dataset");
     const std::size_t d = ds.inputDim();
     const std::size_t m = ds.outputDim();
 

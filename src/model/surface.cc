@@ -1,10 +1,11 @@
 #include "surface.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <iomanip>
 #include <sstream>
+
+#include "core/contracts.hh"
 
 namespace wcnn {
 namespace model {
@@ -14,7 +15,7 @@ namespace {
 std::vector<double>
 linspace(double lo, double hi, std::size_t n)
 {
-    assert(n >= 2);
+    WCNN_REQUIRE(n >= 2, "surface axis needs at least 2 points, got ", n);
     std::vector<double> v(n);
     for (std::size_t i = 0; i < n; ++i) {
         v[i] = lo + (hi - lo) * static_cast<double>(i) /
@@ -131,12 +132,15 @@ SurfaceGrid
 sweepSurface(const PerformanceModel &mdl, const SurfaceRequest &request,
              const data::Dataset &ds)
 {
-    assert(mdl.fitted());
-    assert(request.axisA != request.axisB);
-    assert(request.axisA < ds.inputDim());
-    assert(request.axisB < ds.inputDim());
-    assert(request.indicator < ds.outputDim());
-    assert(request.fixed.size() == ds.inputDim());
+    WCNN_REQUIRE(mdl.fitted(), "surface sweep with an unfitted model");
+    WCNN_REQUIRE(request.axisA != request.axisB,
+                 "surface axes must differ, both are ", request.axisA);
+    WCNN_CHECK_INDEX(request.axisA, ds.inputDim());
+    WCNN_CHECK_INDEX(request.axisB, ds.inputDim());
+    WCNN_CHECK_INDEX(request.indicator, ds.outputDim());
+    WCNN_REQUIRE(request.fixed.size() == ds.inputDim(),
+                 "fixed vector has ", request.fixed.size(),
+                 " dims, dataset has ", ds.inputDim());
 
     SurfaceGrid grid;
     grid.axisAName = ds.inputs()[request.axisA];

@@ -1,9 +1,10 @@
 #include "activation.hh"
 
-#include <cassert>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/contracts.hh"
 
 namespace wcnn {
 namespace nn {
@@ -11,7 +12,8 @@ namespace nn {
 Activation
 Activation::logistic(double slope)
 {
-    assert(slope > 0.0);
+    WCNN_REQUIRE(slope > 0.0, "logistic slope must be positive, got ",
+                 slope);
     return Activation(Kind::Logistic, slope);
 }
 
@@ -36,7 +38,8 @@ Activation::identity()
 Activation
 Activation::logarithmic(double slope)
 {
-    assert(slope > 0.0);
+    WCNN_REQUIRE(slope > 0.0, "logarithmic slope must be positive, got ",
+                 slope);
     return Activation(Kind::Logarithmic, slope);
 }
 

@@ -1,6 +1,6 @@
 #include "loss.hh"
 
-#include <cassert>
+#include "core/contracts.hh"
 
 namespace wcnn {
 namespace nn {
@@ -8,8 +8,10 @@ namespace nn {
 double
 mseLoss(const numeric::Vector &predicted, const numeric::Vector &target)
 {
-    assert(predicted.size() == target.size());
-    assert(!predicted.empty());
+    WCNN_REQUIRE(predicted.size() == target.size(),
+                 "mseLoss size mismatch: ", predicted.size(), " vs ",
+                 target.size());
+    WCNN_REQUIRE(!predicted.empty(), "mseLoss on empty vectors");
     double acc = 0.0;
     for (std::size_t i = 0; i < predicted.size(); ++i) {
         const double d = predicted[i] - target[i];
@@ -22,7 +24,9 @@ numeric::Vector
 mseGradient(const numeric::Vector &predicted,
             const numeric::Vector &target)
 {
-    assert(predicted.size() == target.size());
+    WCNN_REQUIRE(predicted.size() == target.size(),
+                 "mseGradient size mismatch: ", predicted.size(), " vs ",
+                 target.size());
     numeric::Vector g(predicted.size());
     const double scale = 2.0 / static_cast<double>(predicted.size());
     for (std::size_t i = 0; i < predicted.size(); ++i)
@@ -33,7 +37,9 @@ mseGradient(const numeric::Vector &predicted,
 double
 sseLoss(const numeric::Vector &predicted, const numeric::Vector &target)
 {
-    assert(predicted.size() == target.size());
+    WCNN_REQUIRE(predicted.size() == target.size(),
+                 "sseLoss size mismatch: ", predicted.size(), " vs ",
+                 target.size());
     double acc = 0.0;
     for (std::size_t i = 0; i < predicted.size(); ++i) {
         const double d = predicted[i] - target[i];

@@ -1,8 +1,8 @@
 #include "mlp.hh"
 
-#include <cassert>
 #include <sstream>
 
+#include "core/contracts.hh"
 #include "numeric/rng.hh"
 
 namespace wcnn {
@@ -11,7 +11,9 @@ namespace nn {
 void
 Gradients::add(const Gradients &other)
 {
-    assert(weightGrads.size() == other.weightGrads.size());
+    WCNN_REQUIRE(weightGrads.size() == other.weightGrads.size(),
+                 "gradient layer count mismatch: ", weightGrads.size(),
+                 " vs ", other.weightGrads.size());
     for (std::size_t l = 0; l < weightGrads.size(); ++l) {
         weightGrads[l] += other.weightGrads[l];
         for (std::size_t i = 0; i < biasGrads[l].size(); ++i)
@@ -46,11 +48,11 @@ Mlp::Mlp(std::size_t input_dim, std::vector<LayerSpec> layers,
          InitRule rule, numeric::Rng &rng)
     : nInputs(input_dim), specs(std::move(layers))
 {
-    assert(nInputs > 0);
-    assert(!specs.empty());
+    WCNN_REQUIRE(nInputs > 0, "MLP needs at least one input");
+    WCNN_REQUIRE(!specs.empty(), "MLP needs at least one layer");
     std::size_t fan_in = nInputs;
     for (const auto &spec : specs) {
-        assert(spec.units > 0);
+        WCNN_REQUIRE(spec.units > 0, "layer must have at least one unit");
         weightsPerLayer.push_back(
             initWeights(rule, spec.units, fan_in, rng));
         biasesPerLayer.push_back(initBiases(rule, spec.units, rng));
@@ -76,7 +78,8 @@ Mlp::parameterCount() const
 numeric::Vector
 Mlp::forward(const numeric::Vector &x) const
 {
-    assert(x.size() == nInputs);
+    WCNN_REQUIRE(x.size() == nInputs, "forward input has ", x.size(),
+                 " dims, network expects ", nInputs);
     numeric::Vector act = x;
     for (std::size_t l = 0; l < specs.size(); ++l) {
         numeric::Vector pre = weightsPerLayer[l] * act;
@@ -91,7 +94,8 @@ Mlp::forward(const numeric::Vector &x) const
 numeric::Vector
 Mlp::forward(const numeric::Vector &x, Cache &cache) const
 {
-    assert(x.size() == nInputs);
+    WCNN_REQUIRE(x.size() == nInputs, "forward input has ", x.size(),
+                 " dims, network expects ", nInputs);
     cache.input = x;
     cache.preActivations.assign(specs.size(), {});
     cache.activations.assign(specs.size(), {});
@@ -114,8 +118,12 @@ Mlp::forward(const numeric::Vector &x, Cache &cache) const
 Gradients
 Mlp::backward(const Cache &cache, const numeric::Vector &output_grad) const
 {
-    assert(output_grad.size() == outputDim());
-    assert(cache.activations.size() == specs.size());
+    WCNN_REQUIRE(output_grad.size() == outputDim(),
+                 "output gradient has ", output_grad.size(),
+                 " dims, network emits ", outputDim());
+    WCNN_REQUIRE(cache.activations.size() == specs.size(),
+                 "stale forward cache: ", cache.activations.size(),
+                 " layers cached, network has ", specs.size());
 
     Gradients grads = zeroGradients();
 
@@ -170,7 +178,9 @@ Mlp::zeroGradients() const
 void
 Mlp::applyUpdate(const Gradients &step)
 {
-    assert(step.weightGrads.size() == specs.size());
+    WCNN_REQUIRE(step.weightGrads.size() == specs.size(),
+                 "update has ", step.weightGrads.size(),
+                 " layers, network has ", specs.size());
     for (std::size_t l = 0; l < specs.size(); ++l) {
         weightsPerLayer[l] -= step.weightGrads[l];
         for (std::size_t i = 0; i < biasesPerLayer[l].size(); ++i)

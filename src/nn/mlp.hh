@@ -24,6 +24,7 @@
 
 #include "nn/activation.hh"
 #include "nn/initializer.hh"
+#include "core/contracts.hh"
 #include "numeric/matrix.hh"
 
 namespace wcnn {
@@ -157,7 +158,7 @@ class Mlp
     const numeric::Matrix &
     weights(std::size_t layer) const
     {
-        assert(layer < weightsPerLayer.size());
+        WCNN_CHECK_INDEX(layer, weightsPerLayer.size());
         return weightsPerLayer[layer];
     }
 
@@ -165,7 +166,7 @@ class Mlp
     numeric::Matrix &
     weights(std::size_t layer)
     {
-        assert(layer < weightsPerLayer.size());
+        WCNN_CHECK_INDEX(layer, weightsPerLayer.size());
         return weightsPerLayer[layer];
     }
 
@@ -173,7 +174,7 @@ class Mlp
     const numeric::Vector &
     biases(std::size_t layer) const
     {
-        assert(layer < biasesPerLayer.size());
+        WCNN_CHECK_INDEX(layer, biasesPerLayer.size());
         return biasesPerLayer[layer];
     }
 
@@ -181,7 +182,7 @@ class Mlp
     numeric::Vector &
     biases(std::size_t layer)
     {
-        assert(layer < biasesPerLayer.size());
+        WCNN_CHECK_INDEX(layer, biasesPerLayer.size());
         return biasesPerLayer[layer];
     }
 

@@ -1,9 +1,9 @@
 #include "rbf.hh"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "core/contracts.hh"
 #include "numeric/linalg.hh"
 #include "numeric/rng.hh"
 
@@ -15,7 +15,8 @@ namespace {
 double
 squaredDistance(const numeric::Vector &a, const numeric::Vector &b)
 {
-    assert(a.size() == b.size());
+    WCNN_REQUIRE(a.size() == b.size(), "squaredDistance size mismatch: ",
+                 a.size(), " vs ", b.size());
     double acc = 0.0;
     for (std::size_t i = 0; i < a.size(); ++i)
         acc += (a[i] - b[i]) * (a[i] - b[i]);
@@ -85,9 +86,10 @@ void
 RbfNetwork::fit(const numeric::Matrix &x, const numeric::Matrix &y,
                 const Options &opts, numeric::Rng &rng)
 {
-    assert(x.rows() == y.rows());
-    assert(x.rows() > 0);
-    assert(opts.centers > 0);
+    WCNN_REQUIRE(x.rows() == y.rows(), "RBF fit row mismatch: ", x.rows(),
+                 " inputs vs ", y.rows(), " targets");
+    WCNN_REQUIRE(x.rows() > 0, "RBF fit on an empty dataset");
+    WCNN_REQUIRE(opts.centers > 0, "RBF needs at least one center");
 
     centerRows = kmeans(x, opts.centers, opts.kmeansIterations, rng);
 
@@ -120,7 +122,8 @@ RbfNetwork::fit(const numeric::Matrix &x, const numeric::Matrix &y,
     for (std::size_t j = 0; j < y.cols(); ++j) {
         const auto coef =
             numeric::leastSquares(design, y.col(j), opts.ridge);
-        assert(coef.has_value());
+        WCNN_ENSURE(coef.has_value(),
+                    "RBF readout solve failed for output column ", j);
         for (std::size_t r = 0; r < k + 1; ++r)
             readout(r, j) = (*coef)[r];
     }
@@ -141,7 +144,7 @@ RbfNetwork::features(const numeric::Vector &x) const
 numeric::Vector
 RbfNetwork::predict(const numeric::Vector &x) const
 {
-    assert(fitted());
+    WCNN_REQUIRE(fitted(), "predict() before fit()");
     const numeric::Vector phi = features(x);
     numeric::Vector out(readout.cols(), 0.0);
     for (std::size_t j = 0; j < readout.cols(); ++j) {

@@ -1,9 +1,9 @@
 #include "trainer.hh"
 
-#include <cassert>
 #include <cmath>
 #include <limits>
 
+#include "core/contracts.hh"
 #include "nn/loss.hh"
 #include "numeric/rng.hh"
 
@@ -86,7 +86,8 @@ double
 Trainer::evaluateLoss(const Mlp &net, const numeric::Matrix &x,
                       const numeric::Matrix &y)
 {
-    assert(x.rows() == y.rows());
+    WCNN_REQUIRE(x.rows() == y.rows(), "evaluateLoss row mismatch: ",
+                 x.rows(), " vs ", y.rows());
     if (x.rows() == 0)
         return 0.0;
     double acc = 0.0;
@@ -101,10 +102,14 @@ Trainer::train(Mlp &net, const numeric::Matrix &x,
                const numeric::Matrix *val_x,
                const numeric::Matrix *val_y) const
 {
-    assert(x.rows() == y.rows());
-    assert(x.cols() == net.inputDim());
-    assert(y.cols() == net.outputDim());
-    assert((val_x == nullptr) == (val_y == nullptr));
+    WCNN_REQUIRE(x.rows() == y.rows(), "train row mismatch: ", x.rows(),
+                 " inputs vs ", y.rows(), " targets");
+    WCNN_REQUIRE(x.cols() == net.inputDim(), "train input has ", x.cols(),
+                 " dims, network expects ", net.inputDim());
+    WCNN_REQUIRE(y.cols() == net.outputDim(), "train target has ", y.cols(),
+                 " dims, network emits ", net.outputDim());
+    WCNN_REQUIRE((val_x == nullptr) == (val_y == nullptr),
+                 "validation inputs and targets must be passed together");
 
     const std::size_t n = x.rows();
     TrainResult result;
@@ -159,6 +164,9 @@ Trainer::train(Mlp &net, const numeric::Matrix &x,
         }
 
         epoch_loss /= static_cast<double>(n);
+        WCNN_CHECK_FINITE(epoch_loss, "training diverged at epoch ", epoch,
+                          " (lr ", lr, "): raise WCNN_NO_CONTRACTS only if "
+                          "divergence is expected");
         result.epochs = epoch + 1;
         result.finalTrainLoss = epoch_loss;
         if (opts.recordHistory)

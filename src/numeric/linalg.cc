@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "core/contracts.hh"
+
 namespace wcnn {
 namespace numeric {
 
@@ -14,7 +16,8 @@ constexpr double pivotTolerance = 1e-12;
 std::optional<Matrix>
 cholesky(const Matrix &a)
 {
-    assert(a.rows() == a.cols());
+    WCNN_REQUIRE(a.rows() == a.cols(), "cholesky needs a square matrix, got ",
+                 a.rows(), "x", a.cols());
     const std::size_t n = a.rows();
     Matrix l(n, n);
     for (std::size_t j = 0; j < n; ++j) {
@@ -37,7 +40,9 @@ cholesky(const Matrix &a)
 Vector
 choleskySolve(const Matrix &l, const Vector &b)
 {
-    assert(l.rows() == l.cols() && b.size() == l.rows());
+    WCNN_REQUIRE(l.rows() == l.cols() && b.size() == l.rows(),
+                 "choleskySolve shape mismatch: L is ", l.rows(), "x",
+                 l.cols(), ", b has ", b.size());
     const std::size_t n = l.rows();
     // Forward: L y = b.
     Vector y(n);
@@ -62,7 +67,9 @@ choleskySolve(const Matrix &l, const Vector &b)
 std::optional<Vector>
 solve(const Matrix &a, const Vector &b)
 {
-    assert(a.rows() == a.cols() && b.size() == a.rows());
+    WCNN_REQUIRE(a.rows() == a.cols() && b.size() == a.rows(),
+                 "solve shape mismatch: A is ", a.rows(), "x", a.cols(),
+                 ", b has ", b.size());
     const std::size_t n = a.rows();
     Matrix m(a);
     Vector rhs(b);
@@ -102,8 +109,9 @@ solve(const Matrix &a, const Vector &b)
 std::optional<Vector>
 leastSquares(const Matrix &a, const Vector &b, double ridge)
 {
-    assert(b.size() == a.rows());
-    assert(ridge >= 0.0);
+    WCNN_REQUIRE(b.size() == a.rows(), "leastSquares shape mismatch: A is ",
+                 a.rows(), "x", a.cols(), ", b has ", b.size());
+    WCNN_REQUIRE(ridge >= 0.0, "ridge must be non-negative, got ", ridge);
     const Matrix at = a.transposed();
     Matrix normal = at * a;
     for (std::size_t i = 0; i < normal.rows(); ++i)
@@ -118,7 +126,8 @@ leastSquares(const Matrix &a, const Vector &b, double ridge)
 std::optional<Matrix>
 inverse(const Matrix &a)
 {
-    assert(a.rows() == a.cols());
+    WCNN_REQUIRE(a.rows() == a.cols(), "inverse needs a square matrix, got ",
+                 a.rows(), "x", a.cols());
     const std::size_t n = a.rows();
     Matrix m(a);
     Matrix inv = Matrix::identity(n);

@@ -19,7 +19,9 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows_init)
     nCols = nRows ? rows_init.begin()->size() : 0;
     elems.reserve(nRows * nCols);
     for (const auto &r : rows_init) {
-        assert(r.size() == nCols);
+        WCNN_REQUIRE(r.size() == nCols,
+                     "initializer row has ", r.size(), " elements, expected ",
+                     nCols);
         elems.insert(elems.end(), r.begin(), r.end());
     }
 }
@@ -27,7 +29,7 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows_init)
 Vector
 Matrix::row(std::size_t i) const
 {
-    assert(i < nRows);
+    WCNN_CHECK_INDEX(i, nRows);
     return Vector(elems.begin() + static_cast<std::ptrdiff_t>(i * nCols),
                   elems.begin() + static_cast<std::ptrdiff_t>((i + 1) * nCols));
 }
@@ -35,7 +37,7 @@ Matrix::row(std::size_t i) const
 Vector
 Matrix::col(std::size_t j) const
 {
-    assert(j < nCols);
+    WCNN_CHECK_INDEX(j, nCols);
     Vector v(nRows);
     for (std::size_t i = 0; i < nRows; ++i)
         v[i] = (*this)(i, j);
@@ -45,7 +47,9 @@ Matrix::col(std::size_t j) const
 void
 Matrix::setRow(std::size_t i, const Vector &v)
 {
-    assert(i < nRows && v.size() == nCols);
+    WCNN_CHECK_INDEX(i, nRows);
+    WCNN_REQUIRE(v.size() == nCols, "row vector has ", v.size(),
+                 " elements, expected ", nCols);
     for (std::size_t j = 0; j < nCols; ++j)
         (*this)(i, j) = v[j];
 }
@@ -81,7 +85,8 @@ Matrix::transposed() const
 Matrix
 Matrix::operator*(const Matrix &other) const
 {
-    assert(nCols == other.nRows);
+    WCNN_REQUIRE(nCols == other.nRows, "product shape mismatch: ", nRows, "x",
+                 nCols, " * ", other.nRows, "x", other.nCols);
     Matrix out(nRows, other.nCols);
     for (std::size_t i = 0; i < nRows; ++i) {
         for (std::size_t k = 0; k < nCols; ++k) {
@@ -98,7 +103,8 @@ Matrix::operator*(const Matrix &other) const
 Vector
 Matrix::operator*(const Vector &v) const
 {
-    assert(v.size() == nCols);
+    WCNN_REQUIRE(v.size() == nCols, "matrix-vector shape mismatch: ", nRows,
+                 "x", nCols, " * vector of ", v.size());
     Vector out(nRows, 0.0);
     for (std::size_t i = 0; i < nRows; ++i) {
         double acc = 0.0;
@@ -137,7 +143,9 @@ Matrix::operator*(double s) const
 Matrix &
 Matrix::operator+=(const Matrix &other)
 {
-    assert(nRows == other.nRows && nCols == other.nCols);
+    WCNN_REQUIRE(nRows == other.nRows && nCols == other.nCols,
+                 "elementwise add shape mismatch: ", nRows, "x", nCols,
+                 " vs ", other.nRows, "x", other.nCols);
     for (std::size_t i = 0; i < elems.size(); ++i)
         elems[i] += other.elems[i];
     return *this;
@@ -146,7 +154,9 @@ Matrix::operator+=(const Matrix &other)
 Matrix &
 Matrix::operator-=(const Matrix &other)
 {
-    assert(nRows == other.nRows && nCols == other.nCols);
+    WCNN_REQUIRE(nRows == other.nRows && nCols == other.nCols,
+                 "elementwise subtract shape mismatch: ", nRows, "x", nCols,
+                 " vs ", other.nRows, "x", other.nCols);
     for (std::size_t i = 0; i < elems.size(); ++i)
         elems[i] -= other.elems[i];
     return *this;
@@ -163,7 +173,9 @@ Matrix::operator*=(double s)
 Matrix
 Matrix::hadamard(const Matrix &other) const
 {
-    assert(nRows == other.nRows && nCols == other.nCols);
+    WCNN_REQUIRE(nRows == other.nRows && nCols == other.nCols,
+                 "hadamard shape mismatch: ", nRows, "x", nCols, " vs ",
+                 other.nRows, "x", other.nCols);
     Matrix out(*this);
     for (std::size_t i = 0; i < elems.size(); ++i)
         out.elems[i] *= other.elems[i];
@@ -223,7 +235,8 @@ outer(const Vector &u, const Vector &v)
 double
 dot(const Vector &u, const Vector &v)
 {
-    assert(u.size() == v.size());
+    WCNN_REQUIRE(u.size() == v.size(), "dot size mismatch: ", u.size(),
+                 " vs ", v.size());
     double acc = 0.0;
     for (std::size_t i = 0; i < u.size(); ++i)
         acc += u[i] * v[i];
@@ -233,7 +246,8 @@ dot(const Vector &u, const Vector &v)
 Vector
 add(const Vector &u, const Vector &v)
 {
-    assert(u.size() == v.size());
+    WCNN_REQUIRE(u.size() == v.size(), "add size mismatch: ", u.size(),
+                 " vs ", v.size());
     Vector out(u);
     for (std::size_t i = 0; i < v.size(); ++i)
         out[i] += v[i];
@@ -243,7 +257,8 @@ add(const Vector &u, const Vector &v)
 Vector
 sub(const Vector &u, const Vector &v)
 {
-    assert(u.size() == v.size());
+    WCNN_REQUIRE(u.size() == v.size(), "sub size mismatch: ", u.size(),
+                 " vs ", v.size());
     Vector out(u);
     for (std::size_t i = 0; i < v.size(); ++i)
         out[i] -= v[i];

@@ -2,18 +2,19 @@
  * @file
  * Dense row-major matrix type used throughout the NN and the regression
  * baselines. Deliberately small: only the operations the library needs,
- * with range assertions in debug builds.
+ * with contract-checked range guards (see core/contracts.hh).
  */
 
 #ifndef WCNN_NUMERIC_MATRIX_HH
 #define WCNN_NUMERIC_MATRIX_HH
 
-#include <cassert>
 #include <cstddef>
 #include <functional>
 #include <initializer_list>
 #include <string>
 #include <vector>
+
+#include "core/contracts.hh"
 
 namespace wcnn {
 namespace numeric {
@@ -27,7 +28,8 @@ using Vector = std::vector<double>;
  * Dense row-major matrix of doubles.
  *
  * Storage is a single contiguous buffer; (i, j) indexing is bounds-checked
- * via assert in debug builds. All arithmetic helpers allocate their result
+ * via WCNN_CHECK_INDEX in checked builds. All arithmetic helpers allocate
+ * their result
  * (the matrices in this library are small — tens to low hundreds of rows).
  */
 class Matrix
@@ -64,7 +66,8 @@ class Matrix
     double &
     operator()(std::size_t i, std::size_t j)
     {
-        assert(i < nRows && j < nCols);
+        WCNN_CHECK_INDEX(i, nRows);
+        WCNN_CHECK_INDEX(j, nCols);
         return elems[i * nCols + j];
     }
 
@@ -72,7 +75,8 @@ class Matrix
     double
     operator()(std::size_t i, std::size_t j) const
     {
-        assert(i < nRows && j < nCols);
+        WCNN_CHECK_INDEX(i, nRows);
+        WCNN_CHECK_INDEX(j, nCols);
         return elems[i * nCols + j];
     }
 

@@ -1,10 +1,10 @@
 #include "pca.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
+#include "core/contracts.hh"
 #include "numeric/stats.hh"
 
 namespace wcnn {
@@ -14,7 +14,9 @@ void
 jacobiEigenSymmetric(const Matrix &symmetric, Vector &eigenvalues,
                      Matrix &eigenvectors, std::size_t max_sweeps)
 {
-    assert(symmetric.rows() == symmetric.cols());
+    WCNN_REQUIRE(symmetric.rows() == symmetric.cols(),
+                 "jacobi eigensolver needs a square matrix, got ",
+                 symmetric.rows(), "x", symmetric.cols());
     const std::size_t n = symmetric.rows();
     Matrix a(symmetric);
     Matrix v = Matrix::identity(n);
@@ -84,7 +86,8 @@ jacobiEigenSymmetric(const Matrix &symmetric, Vector &eigenvalues,
 void
 Pca::fit(const Matrix &samples, const Options &options)
 {
-    assert(samples.rows() >= 2);
+    WCNN_REQUIRE(samples.rows() >= 2, "PCA needs at least 2 samples, got ",
+                 samples.rows());
     const std::size_t n = samples.rows();
     const std::size_t d = samples.cols();
 
@@ -126,7 +129,7 @@ Pca::fit(const Matrix &samples, const Options &options)
 Vector
 Pca::explainedVarianceRatio() const
 {
-    assert(fitted());
+    WCNN_REQUIRE(fitted(), "explainedVarianceRatio() before fit()");
     double total = 0.0;
     for (double ev : eigenvalues)
         total += ev;
@@ -141,7 +144,8 @@ Pca::explainedVarianceRatio() const
 std::size_t
 Pca::componentsFor(double fraction) const
 {
-    assert(fraction > 0.0 && fraction <= 1.0);
+    WCNN_REQUIRE(fraction > 0.0 && fraction <= 1.0,
+                 "variance fraction must lie in (0, 1], got ", fraction);
     const Vector ratio = explainedVarianceRatio();
     double acc = 0.0;
     for (std::size_t k = 0; k < ratio.size(); ++k) {
@@ -155,17 +159,19 @@ Pca::componentsFor(double fraction) const
 Vector
 Pca::component(std::size_t k) const
 {
-    assert(fitted());
-    assert(k < dim());
+    WCNN_REQUIRE(fitted(), "component() before fit()");
+    WCNN_CHECK_INDEX(k, dim());
     return eigenvectors.col(k);
 }
 
 Vector
 Pca::transform(const Vector &x, std::size_t n_components) const
 {
-    assert(fitted());
-    assert(x.size() == dim());
-    assert(n_components <= dim());
+    WCNN_REQUIRE(fitted(), "transform() before fit()");
+    WCNN_REQUIRE(x.size() == dim(), "transform input has ", x.size(),
+                 " dims, PCA was fit on ", dim());
+    WCNN_REQUIRE(n_components <= dim(), "requested ", n_components,
+                 " components, only ", dim(), " available");
     Vector z(dim());
     for (std::size_t j = 0; j < dim(); ++j)
         z[j] = (x[j] - mu[j]) / sigma[j];
@@ -182,8 +188,9 @@ Pca::transform(const Vector &x, std::size_t n_components) const
 Vector
 Pca::inverse(const Vector &scores) const
 {
-    assert(fitted());
-    assert(scores.size() <= dim());
+    WCNN_REQUIRE(fitted(), "inverse() before fit()");
+    WCNN_REQUIRE(scores.size() <= dim(), "inverse got ", scores.size(),
+                 " scores, PCA has only ", dim(), " components");
     Vector z(dim(), 0.0);
     for (std::size_t k = 0; k < scores.size(); ++k) {
         for (std::size_t j = 0; j < dim(); ++j)

@@ -1,7 +1,8 @@
 #include "rng.hh"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/contracts.hh"
 
 namespace wcnn {
 namespace numeric {
@@ -63,20 +64,21 @@ double
 Rng::uniform()
 {
     // 53 high bits -> double in [0, 1).
-    return (next() >> 11) * 0x1.0p-53;
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
 double
 Rng::uniform(double lo, double hi)
 {
-    assert(hi >= lo);
+    WCNN_REQUIRE(hi >= lo, "uniform bounds inverted: [", lo, ", ", hi, ")");
     return lo + (hi - lo) * uniform();
 }
 
 std::int64_t
 Rng::uniformInt(std::int64_t lo, std::int64_t hi)
 {
-    assert(hi >= lo);
+    WCNN_REQUIRE(hi >= lo, "uniformInt bounds inverted: [", lo, ", ", hi,
+                 "]");
     const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
     if (span == 0) // full 64-bit range requested
         return static_cast<std::int64_t>(next());
@@ -111,14 +113,15 @@ Rng::normal()
 double
 Rng::normal(double mean, double stddev)
 {
-    assert(stddev >= 0.0);
+    WCNN_REQUIRE(stddev >= 0.0, "normal stddev must be non-negative, got ",
+                 stddev);
     return mean + stddev * normal();
 }
 
 double
 Rng::exponential(double mean)
 {
-    assert(mean > 0.0);
+    WCNN_REQUIRE(mean > 0.0, "exponential mean must be positive, got ", mean);
     // 1 - uniform() is in (0, 1], so the log is finite.
     return -mean * std::log(1.0 - uniform());
 }
@@ -126,8 +129,8 @@ Rng::exponential(double mean)
 double
 Rng::lognormal(double mean, double cov)
 {
-    assert(mean > 0.0);
-    assert(cov >= 0.0);
+    WCNN_REQUIRE(mean > 0.0, "lognormal mean must be positive, got ", mean);
+    WCNN_REQUIRE(cov >= 0.0, "lognormal cov must be non-negative, got ", cov);
     if (cov == 0.0)
         return mean;
     const double sigma2 = std::log(1.0 + cov * cov);
@@ -146,10 +149,10 @@ Rng::discrete(const std::vector<double> &weights)
 {
     double total = 0.0;
     for (double w : weights) {
-        assert(w >= 0.0);
+        WCNN_REQUIRE(w >= 0.0, "discrete weight must be non-negative, got ", w);
         total += w;
     }
-    assert(total > 0.0);
+    WCNN_REQUIRE(total > 0.0, "discrete weights must not all be zero");
     double x = uniform() * total;
     for (std::size_t i = 0; i < weights.size(); ++i) {
         x -= weights[i];

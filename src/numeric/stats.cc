@@ -1,8 +1,9 @@
 #include "stats.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "core/contracts.hh"
 
 namespace wcnn {
 namespace numeric {
@@ -50,7 +51,8 @@ harmonicMean(const std::vector<double> &xs)
     constexpr double floor_eps = 1e-12;
     double acc = 0.0;
     for (double x : xs) {
-        assert(x >= 0.0);
+        WCNN_REQUIRE(x >= 0.0, "harmonicMean input must be non-negative, got ",
+                     x);
         acc += 1.0 / std::max(x, floor_eps);
     }
     return static_cast<double>(xs.size()) / acc;
@@ -59,7 +61,8 @@ harmonicMean(const std::vector<double> &xs)
 double
 percentile(std::vector<double> xs, double p)
 {
-    assert(p >= 0.0 && p <= 100.0);
+    WCNN_REQUIRE(p >= 0.0 && p <= 100.0,
+                 "percentile must lie in [0, 100], got ", p);
     if (xs.empty())
         return 0.0;
     std::sort(xs.begin(), xs.end());
@@ -75,7 +78,8 @@ percentile(std::vector<double> xs, double p)
 double
 correlation(const std::vector<double> &xs, const std::vector<double> &ys)
 {
-    assert(xs.size() == ys.size());
+    WCNN_REQUIRE(xs.size() == ys.size(), "correlation size mismatch: ",
+                 xs.size(), " vs ", ys.size());
     if (xs.size() < 2)
         return 0.0;
     const double mx = mean(xs);
@@ -97,7 +101,9 @@ double
 rSquared(const std::vector<double> &actual,
          const std::vector<double> &predicted)
 {
-    assert(actual.size() == predicted.size());
+    WCNN_REQUIRE(actual.size() == predicted.size(),
+                 "rSquared size mismatch: ", actual.size(), " vs ",
+                 predicted.size());
     if (actual.empty())
         return 0.0;
     const double mu = mean(actual);
@@ -163,7 +169,8 @@ RunningStats::merge(const RunningStats &other)
 
 P2Quantile::P2Quantile(double q) : q(q)
 {
-    assert(q > 0.0 && q < 1.0);
+    WCNN_REQUIRE(q > 0.0 && q < 1.0,
+                 "P2 quantile must lie in (0, 1), got ", q);
     desired[0] = 1.0;
     desired[1] = 1.0 + 2.0 * q;
     desired[2] = 1.0 + 4.0 * q;

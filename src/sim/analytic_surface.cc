@@ -4,8 +4,9 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <cmath>
+
+#include "core/contracts.hh"
 
 namespace wcnn {
 namespace sim {
@@ -59,8 +60,9 @@ poolWait(std::size_t servers, double lambda, double s,
 double
 erlangC(std::size_t servers, double offered_load)
 {
-    assert(servers > 0);
-    assert(offered_load >= 0.0);
+    WCNN_REQUIRE(servers > 0, "Erlang C needs at least one server");
+    WCNN_REQUIRE(offered_load >= 0.0,
+                 "offered load must be non-negative, got ", offered_load);
     const double a = offered_load;
     const double c = static_cast<double>(servers);
     if (a <= 0.0)

@@ -1,6 +1,7 @@
 #include "app_server.hh"
 
-#include <cassert>
+#include "core/contracts.hh"
+
 
 namespace wcnn {
 namespace sim {
@@ -94,7 +95,8 @@ AppServer::dispatchAux(const FlowPtr &flow)
         // complete. The web branch still runs to release its thread.
         ++nAuxRejects;
         flow->failed = true;
-        assert(flow->pendingBranches > 0);
+        WCNN_ENSURE(flow->pendingBranches > 0,
+                    "aux reject on a flow with no pending branches");
         --flow->pendingBranches;
         collector.recordDrop(flow->req.cls, sim.now());
         if (flow->pendingBranches == 0 && onTerminal)
@@ -114,7 +116,8 @@ AppServer::finishPrimary(const FlowPtr &flow)
 void
 AppServer::branchDone(const FlowPtr &flow)
 {
-    assert(flow->pendingBranches > 0);
+    WCNN_ENSURE(flow->pendingBranches > 0,
+                "branchDone on a flow with no pending branches");
     if (--flow->pendingBranches != 0)
         return;
     if (!flow->failed) {

@@ -1,6 +1,7 @@
 #include "closed_driver.hh"
 
-#include <cassert>
+#include "core/contracts.hh"
+
 
 namespace wcnn {
 namespace sim {
@@ -13,8 +14,9 @@ ClosedLoopDriver::ClosedLoopDriver(Simulator &sim, AppServer &server,
     : sim(sim), server(server), population(population),
       thinkTime(think_time), horizon(horizon), rng(rng)
 {
-    assert(population > 0);
-    assert(think_time > 0.0);
+    WCNN_REQUIRE(population > 0, "closed driver needs a positive population");
+    WCNN_REQUIRE(think_time > 0.0, "think time must be positive, got ",
+                 think_time);
     for (TxnClass cls : allTxnClasses)
         mixWeights.push_back(params.profile(cls).mix);
     server.setTerminalListener(

@@ -1,6 +1,7 @@
 #include "collector.hh"
 
-#include <cassert>
+#include "core/contracts.hh"
+
 
 namespace wcnn {
 namespace sim {
@@ -23,14 +24,16 @@ Collector::Collector(double warmup_end, double run_end,
                      const WorkloadParams &params)
     : warmupEnd(warmup_end), runEnd(run_end), params(params)
 {
-    assert(run_end > warmup_end);
+    WCNN_REQUIRE(run_end > warmup_end, "measurement window is empty: run end ",
+                 run_end, " <= warmup end ", warmup_end);
 }
 
 void
 Collector::recordCompletion(TxnClass cls, double arrival,
                             double completion)
 {
-    assert(completion >= arrival);
+    WCNN_REQUIRE(completion >= arrival, "transaction completed at ",
+                 completion, " before its arrival at ", arrival);
     if (completion < warmupEnd || completion > runEnd)
         return;
     const auto idx = static_cast<std::size_t>(cls);

@@ -1,8 +1,9 @@
 #include "cpu.hh"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "core/contracts.hh"
 
 namespace wcnn {
 namespace sim {
@@ -19,9 +20,13 @@ PsCpu::PsCpu(Simulator &sim, std::size_t cores, double thread_overhead,
     : sim(sim), nCores(cores), threadOverhead(thread_overhead),
       csOverhead(cs_overhead)
 {
-    assert(cores > 0);
-    assert(thread_overhead >= 0.0);
-    assert(cs_overhead >= 0.0);
+    WCNN_REQUIRE(cores > 0, "CPU needs at least one core");
+    WCNN_REQUIRE(thread_overhead >= 0.0,
+                 "thread overhead must be non-negative, got ",
+                 thread_overhead);
+    WCNN_REQUIRE(cs_overhead >= 0.0,
+                 "context-switch overhead must be non-negative, got ",
+                 cs_overhead);
 }
 
 double
@@ -73,7 +78,8 @@ PsCpu::reschedule()
         min_remaining = std::min(min_remaining, job.remaining);
     min_remaining = std::max(min_remaining, 0.0);
     const double rate = ratePerJob(jobs.size());
-    assert(rate > 0.0);
+    WCNN_ENSURE(rate > 0.0, "processor-sharing rate collapsed to ", rate,
+                " with ", jobs.size(), " jobs");
     const double resume =
         std::max(0.0, pausedUntil - sim.now());
     pending = sim.schedule(resume + min_remaining / rate, [this] {
@@ -85,7 +91,8 @@ PsCpu::reschedule()
 void
 PsCpu::pause(double duration)
 {
-    assert(duration >= 0.0);
+    WCNN_REQUIRE(duration >= 0.0, "pause duration must be non-negative, got ",
+                 duration);
     advance();
     const double new_end = sim.now() + duration;
     if (new_end > pausedUntil) {
@@ -119,7 +126,7 @@ PsCpu::onCompletion()
 void
 PsCpu::execute(double demand, std::function<void()> done)
 {
-    assert(demand > 0.0);
+    WCNN_REQUIRE(demand > 0.0, "CPU demand must be positive, got ", demand);
     advance();
     totalDemand += demand;
     jobs.push_back(Job{demand, std::move(done)});

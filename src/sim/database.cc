@@ -1,6 +1,7 @@
 #include "database.hh"
 
-#include <cassert>
+#include "core/contracts.hh"
+
 
 namespace wcnn {
 namespace sim {
@@ -9,15 +10,17 @@ Database::Database(Simulator &sim, std::size_t connections,
                    double lock_factor)
     : sim(sim), connections(connections), lockFactor(lock_factor)
 {
-    assert(connections > 0);
-    assert(lock_factor >= 0.0);
+    WCNN_REQUIRE(connections > 0, "database needs at least one connection");
+    WCNN_REQUIRE(lock_factor >= 0.0,
+                 "lock factor must be non-negative, got ", lock_factor);
 }
 
 void
 Database::query(DbDomain domain, double demand,
                 std::function<void()> done)
 {
-    assert(demand > 0.0);
+    WCNN_REQUIRE(demand > 0.0, "database demand must be positive, got ",
+                 demand);
     if (busy < connections) {
         beginService(domain, demand, std::move(done));
     } else {
@@ -45,8 +48,9 @@ Database::beginService(DbDomain domain, double demand,
 void
 Database::onComplete(DbDomain domain, std::function<void()> done)
 {
-    assert(busy > 0);
-    assert(busyPerDomain[static_cast<std::size_t>(domain)] > 0);
+    WCNN_ENSURE(busy > 0, "completion with no busy connections");
+    WCNN_ENSURE(busyPerDomain[static_cast<std::size_t>(domain)] > 0,
+                "completion for an idle domain");
     --busy;
     --busyPerDomain[static_cast<std::size_t>(domain)];
     ++nCompleted;

@@ -1,6 +1,7 @@
 #include "driver.hh"
 
-#include <cassert>
+#include "core/contracts.hh"
+
 
 namespace wcnn {
 namespace sim {
@@ -10,7 +11,7 @@ Driver::Driver(Simulator &sim, AppServer &server, double rate,
                double horizon)
     : sim(sim), server(server), rate(rate), horizon(horizon), rng(rng)
 {
-    assert(rate > 0.0);
+    WCNN_REQUIRE(rate > 0.0, "injection rate must be positive, got ", rate);
     for (TxnClass cls : allTxnClasses)
         mixWeights.push_back(params.profile(cls).mix);
 }

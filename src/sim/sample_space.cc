@@ -1,8 +1,9 @@
 #include "sample_space.hh"
 
 #include <array>
-#include <cassert>
 #include <cmath>
+
+#include "core/contracts.hh"
 
 #include "numeric/rng.hh"
 
@@ -50,7 +51,7 @@ gridDesign(const SampleSpace &space,
            const std::array<std::size_t, 4> &points)
 {
     for (std::size_t p : points)
-        assert(p >= 1);
+        WCNN_REQUIRE(p >= 1, "each grid axis needs at least one point");
     std::vector<ThreeTierConfig> out;
     out.reserve(points[0] * points[1] * points[2] * points[3]);
     const auto frac = [](std::size_t i, std::size_t n) {
@@ -84,7 +85,7 @@ std::vector<ThreeTierConfig>
 latinHypercubeDesign(const SampleSpace &space, std::size_t n,
                      numeric::Rng &rng)
 {
-    assert(n > 0);
+    WCNN_REQUIRE(n > 0, "latin hypercube needs at least one sample");
     std::array<std::vector<std::size_t>, 4> strata;
     for (auto &s : strata)
         s = rng.permutation(n);
@@ -137,7 +138,7 @@ collectSimulated(std::vector<ThreeTierConfig> configs,
                  const WorkloadParams &params, std::uint64_t seed_base,
                  std::size_t replicates)
 {
-    assert(replicates >= 1);
+    WCNN_REQUIRE(replicates >= 1, "need at least one replicate per config");
     std::size_t run = 0;
     return collectDataset(configs, [&](const ThreeTierConfig &cfg) {
         PerfSample mean;

@@ -1,6 +1,7 @@
 #include "simulator.hh"
 
-#include <cassert>
+#include "core/contracts.hh"
+
 
 namespace wcnn {
 namespace sim {
@@ -8,14 +9,16 @@ namespace sim {
 EventId
 Simulator::schedule(double delay, std::function<void()> fn)
 {
-    assert(delay >= 0.0);
+    WCNN_REQUIRE(delay >= 0.0, "cannot schedule ", delay,
+                 " into the past");
     return scheduleAt(clock + delay, std::move(fn));
 }
 
 EventId
 Simulator::scheduleAt(double when, std::function<void()> fn)
 {
-    assert(when >= clock);
+    WCNN_REQUIRE(when >= clock, "cannot schedule at ", when,
+                 ", clock is already at ", clock);
     const EventId id = nextId++;
     calendar.push(Entry{when, id, std::move(fn)});
     return id;

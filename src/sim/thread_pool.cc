@@ -1,6 +1,7 @@
 #include "thread_pool.hh"
 
-#include <cassert>
+#include "core/contracts.hh"
+
 
 namespace wcnn {
 namespace sim {
@@ -10,7 +11,7 @@ ThreadPool::ThreadPool(Simulator &sim, std::string name,
     : sim(sim), poolName(std::move(name)),
       nThreads(threads == 0 ? 1 : threads), backlogCap(backlog_cap)
 {
-    assert(backlog_cap > 0);
+    WCNN_REQUIRE(backlog_cap > 0, "backlog cap must be positive");
 }
 
 bool
@@ -31,7 +32,8 @@ ThreadPool::submit(Work work)
 void
 ThreadPool::dispatch(Work work, double enqueue_time)
 {
-    assert(nBusy < nThreads);
+    WCNN_ENSURE(nBusy < nThreads, "dispatch with all ", nThreads,
+                " threads busy in pool ", poolName);
     ++nBusy;
     waitStats.add(sim.now() - enqueue_time);
     // The item signals completion through this thunk; it may do so
@@ -42,7 +44,8 @@ ThreadPool::dispatch(Work work, double enqueue_time)
 void
 ThreadPool::onItemDone()
 {
-    assert(nBusy > 0);
+    WCNN_ENSURE(nBusy > 0, "completion with no busy threads in pool ",
+                poolName);
     --nBusy;
     ++nCompleted;
     if (!backlog.empty() && nBusy < nThreads) {

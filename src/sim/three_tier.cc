@@ -1,7 +1,8 @@
 #include "three_tier.hh"
 
-#include <cassert>
 #include <cmath>
+
+#include "core/contracts.hh"
 
 #include "numeric/rng.hh"
 #include "sim/app_server.hh"
@@ -21,7 +22,7 @@ namespace {
 std::size_t
 roundThreads(double v)
 {
-    assert(v >= 0.0);
+    WCNN_REQUIRE(v >= 0.0, "thread count must be non-negative, got ", v);
     return static_cast<std::size_t>(std::llround(v));
 }
 
@@ -43,8 +44,11 @@ PerfSample
 simulateThreeTier(const ThreeTierConfig &cfg,
                   const WorkloadParams &params, RunDiagnostics *diag)
 {
-    assert(cfg.injectionRate > 0.0);
-    assert(cfg.warmup >= 0.0 && cfg.measure > 0.0);
+    WCNN_REQUIRE(cfg.injectionRate > 0.0,
+                 "injection rate must be positive, got ", cfg.injectionRate);
+    WCNN_REQUIRE(cfg.warmup >= 0.0 && cfg.measure > 0.0,
+                 "invalid run window: warmup ", cfg.warmup, ", measure ",
+                 cfg.measure);
 
     Simulator sim;
     numeric::Rng master(cfg.seed);

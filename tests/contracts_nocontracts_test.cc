@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Compiled with -DWCNN_NO_CONTRACTS (see tests/CMakeLists.txt): every
+ * contract macro must become an unevaluated no-op — the condition and
+ * message expressions are type-checked but never executed, so disabled
+ * contracts can never fire, slow down, or side-effect a release build.
+ *
+ * Only this translation unit is built without contracts; the linked
+ * libraries keep theirs, so only macros expanded here are exercised.
+ */
+
+#ifndef WCNN_NO_CONTRACTS
+#error "this test must be compiled with -DWCNN_NO_CONTRACTS"
+#endif
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.hh"
+
+namespace {
+
+TEST(NoContracts, FailingConditionsAreIgnored)
+{
+    WCNN_REQUIRE(false, "never evaluated, never thrown");
+    WCNN_ENSURE(false);
+    WCNN_CHECK_INDEX(std::size_t{7}, std::size_t{3});
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    WCNN_CHECK_FINITE(nan);
+    WCNN_CHECK_FINITE(std::numeric_limits<double>::infinity());
+    const std::vector<double> bad{1.0, nan};
+    WCNN_CHECK_FINITE(bad);
+    SUCCEED();
+}
+
+TEST(NoContracts, ConditionsAreNotEvaluated)
+{
+    int evaluations = 0;
+    auto probe = [&evaluations]() {
+        ++evaluations;
+        return false;
+    };
+    WCNN_REQUIRE(probe());
+    WCNN_ENSURE(probe(), "message ", evaluations);
+    EXPECT_EQ(evaluations, 0);
+}
+
+} // namespace

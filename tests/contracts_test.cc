@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Behavior of the WCNN_* contract macros in checked builds: violations
+ * throw wcnn::ContractViolation carrying the macro name, the failing
+ * expression, file:line, and the formatted message. The companion
+ * contracts_nocontracts_test.cc compiles the same macros under
+ * WCNN_NO_CONTRACTS and checks they become unevaluated no-ops.
+ */
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/contracts.hh"
+
+// This suite asserts that violations THROW, so it is meaningless when
+// the whole tree is built with contracts compiled out (the no-contracts
+// preset). contracts_nocontracts_test.cc covers that configuration.
+#ifndef WCNN_NO_CONTRACTS
+#include "nn/mlp.hh"
+#include "nn/trainer.hh"
+#include "numeric/matrix.hh"
+#include "numeric/rng.hh"
+
+namespace {
+
+using wcnn::ContractViolation;
+
+TEST(Contracts, RequirePassesSilently)
+{
+    EXPECT_NO_THROW(WCNN_REQUIRE(1 + 1 == 2));
+    EXPECT_NO_THROW(WCNN_REQUIRE(true, "message is not evaluated"));
+}
+
+TEST(Contracts, RequireThrowsWithExpressionFileLineAndMessage)
+{
+    const int answer = 41;
+    try {
+        WCNN_REQUIRE(answer == 42, "answer was ", answer);
+        FAIL() << "WCNN_REQUIRE did not throw";
+    } catch (const ContractViolation &e) {
+        EXPECT_EQ(e.kind(), "WCNN_REQUIRE");
+        EXPECT_EQ(e.expression(), "answer == 42");
+        EXPECT_NE(e.file().find("contracts_test.cc"), std::string::npos);
+        EXPECT_GT(e.line(), 0);
+
+        const std::string what = e.what();
+        EXPECT_NE(what.find("WCNN_REQUIRE failed"), std::string::npos);
+        EXPECT_NE(what.find("answer == 42"), std::string::npos);
+        EXPECT_NE(what.find("contracts_test.cc"), std::string::npos);
+        EXPECT_NE(what.find(":" + std::to_string(e.line())),
+                  std::string::npos);
+        EXPECT_NE(what.find("answer was 41"), std::string::npos);
+    }
+}
+
+TEST(Contracts, EnsureThrowsWithKind)
+{
+    try {
+        WCNN_ENSURE(false, "invariant broke");
+        FAIL() << "WCNN_ENSURE did not throw";
+    } catch (const ContractViolation &e) {
+        EXPECT_EQ(e.kind(), "WCNN_ENSURE");
+        EXPECT_NE(std::string(e.what()).find("invariant broke"),
+                  std::string::npos);
+    }
+}
+
+TEST(Contracts, CheckIndexReportsIndexAndBound)
+{
+    const std::size_t i = 7;
+    const std::size_t n = 3;
+    EXPECT_NO_THROW(WCNN_CHECK_INDEX(std::size_t{2}, n));
+    try {
+        WCNN_CHECK_INDEX(i, n);
+        FAIL() << "WCNN_CHECK_INDEX did not throw";
+    } catch (const ContractViolation &e) {
+        EXPECT_EQ(e.kind(), "WCNN_CHECK_INDEX");
+        const std::string what = e.what();
+        EXPECT_NE(what.find("index 7"), std::string::npos);
+        EXPECT_NE(what.find("[0, 3)"), std::string::npos);
+    }
+}
+
+TEST(Contracts, CheckFiniteScalar)
+{
+    EXPECT_NO_THROW(WCNN_CHECK_FINITE(0.0));
+    EXPECT_NO_THROW(WCNN_CHECK_FINITE(-1e308));
+    EXPECT_THROW(
+        WCNN_CHECK_FINITE(std::numeric_limits<double>::quiet_NaN()),
+        ContractViolation);
+    EXPECT_THROW(WCNN_CHECK_FINITE(std::numeric_limits<double>::infinity()),
+                 ContractViolation);
+}
+
+TEST(Contracts, CheckFiniteContainerReportsOffendingIndex)
+{
+    std::vector<double> v{1.0, 2.0,
+                          std::numeric_limits<double>::quiet_NaN(), 4.0};
+    try {
+        WCNN_CHECK_FINITE(v, "vector check");
+        FAIL() << "WCNN_CHECK_FINITE did not throw";
+    } catch (const ContractViolation &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("at index 2"), std::string::npos);
+        EXPECT_NE(what.find("vector check"), std::string::npos);
+    }
+    v[2] = 3.0;
+    EXPECT_NO_THROW(WCNN_CHECK_FINITE(v));
+}
+
+TEST(Contracts, UnreachableThrows)
+{
+    EXPECT_THROW(WCNN_UNREACHABLE("should never run"), ContractViolation);
+}
+
+TEST(Contracts, MatrixIndexingIsContractChecked)
+{
+    wcnn::numeric::Matrix m(2, 3);
+    EXPECT_NO_THROW(m(1, 2));
+    EXPECT_THROW(m(2, 0), ContractViolation);
+    EXPECT_THROW(m(0, 3), ContractViolation);
+}
+
+TEST(Contracts, MatrixShapeMismatchIsContractChecked)
+{
+    wcnn::numeric::Matrix a(2, 3);
+    wcnn::numeric::Matrix b(2, 3);
+    EXPECT_THROW(a * b, ContractViolation); // 3 != 2: inner dim mismatch
+    EXPECT_NO_THROW(a + b);
+}
+
+/**
+ * The checked-build safety net the whole PR exists for: a wildly
+ * diverging learning rate drives the epoch loss to NaN/Inf, and the
+ * WCNN_CHECK_FINITE guard inside Trainer::train reports it instead of
+ * silently poisoning every downstream figure.
+ */
+TEST(Contracts, TrainerDivergenceIsCaughtByCheckFinite)
+{
+    wcnn::numeric::Rng rng(1234);
+    wcnn::nn::Mlp net(
+        2,
+        {{8, wcnn::nn::Activation::logistic(1.0)},
+         {1, wcnn::nn::Activation::identity()}},
+        wcnn::nn::InitRule::Xavier, rng);
+
+    // A tiny regression problem; contents hardly matter at lr = 1e9.
+    wcnn::numeric::Matrix x(8, 2);
+    wcnn::numeric::Matrix y(8, 1);
+    for (std::size_t i = 0; i < 8; ++i) {
+        x(i, 0) = rng.uniform(-1.0, 1.0);
+        x(i, 1) = rng.uniform(-1.0, 1.0);
+        y(i, 0) = 100.0 * x(i, 0);
+    }
+
+    wcnn::nn::TrainOptions opts;
+    opts.learningRate = 1e9; // deliberately divergent
+    opts.momentum = 0.0;
+    opts.maxEpochs = 50;
+    opts.targetLoss = 0.0;
+    wcnn::nn::Trainer trainer(opts);
+
+    try {
+        trainer.train(net, x, y, rng);
+        FAIL() << "divergent training did not trip WCNN_CHECK_FINITE";
+    } catch (const ContractViolation &e) {
+        EXPECT_EQ(e.kind(), "WCNN_CHECK_FINITE");
+        EXPECT_NE(std::string(e.what()).find("diverged"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+
+#endif // WCNN_NO_CONTRACTS

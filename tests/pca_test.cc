@@ -127,7 +127,8 @@ TEST(PcaTest, TransformInverseRoundTripFullRank)
     Matrix samples(50, 3);
     for (std::size_t i = 0; i < 50; ++i)
         for (std::size_t j = 0; j < 3; ++j)
-            samples(i, j) = rng.uniform(-2, 2) * (j + 1.0);
+            samples(i, j) =
+                rng.uniform(-2, 2) * (static_cast<double>(j) + 1.0);
     Pca pca;
     pca.fit(samples);
     for (std::size_t i = 0; i < 5; ++i) {

@@ -1,0 +1,22 @@
+# CTest driver for the repo-specific lint (tools/wcnn_lint.py).
+# Invoked as:
+#   cmake -DLINT_SCRIPT=<path> -P lint_test.cmake
+# Fails the test when the lint reports violations. Skips (with a clear
+# message) when no Python interpreter is available rather than hiding
+# the gate behind a silent pass.
+
+find_program(WCNN_PYTHON NAMES python3 python)
+if(NOT WCNN_PYTHON)
+    message(FATAL_ERROR "wcnn_lint: no python3 interpreter found on PATH")
+endif()
+
+execute_process(
+    COMMAND ${WCNN_PYTHON} ${LINT_SCRIPT}
+    RESULT_VARIABLE lint_result
+    OUTPUT_VARIABLE lint_output
+    ERROR_VARIABLE lint_errors
+)
+message(STATUS "${lint_output}")
+if(NOT lint_result EQUAL 0)
+    message(FATAL_ERROR "wcnn_lint failed:\n${lint_output}${lint_errors}")
+endif()

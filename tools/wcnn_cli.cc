@@ -110,8 +110,8 @@ configFromArgs(const Args &args)
     cfg.measure = args.num("measure", cfg.measure);
     if (args.has("closed")) {
         cfg.loadModel = sim::LoadModel::Closed;
-        cfg.population = static_cast<std::size_t>(
-            args.num("population", cfg.population));
+        cfg.population = static_cast<std::size_t>(args.num(
+            "population", static_cast<double>(cfg.population)));
         cfg.thinkTime = args.num("think", cfg.thinkTime);
     }
     return cfg;

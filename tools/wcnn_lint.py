@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules no generic tool knows about.
+
+Run from anywhere: paths are resolved relative to the repository root
+(the parent of this script's directory). Exits non-zero with one line
+per violation, so it can run as a ctest (see tools/lint_test.cmake).
+
+Rules:
+  R1  No rand()/srand()/std::random_device outside src/numeric/rng.*.
+      The reproduction is deterministic by construction; every draw must
+      flow through the seeded wcnn::numeric::Rng.
+  R2  No naked assert( in src/ — contracts go through the WCNN_* macros
+      in src/core/contracts.hh so failures carry context and are
+      testable. static_assert is fine.
+  R3  No float type or f-suffixed literals in the standardizer/metrics
+      paths (src/data/standardizer.*, src/data/metrics.*,
+      src/numeric/stats.*). The paper's error statistics are defined on
+      doubles; a stray float silently halves the precision of Table 2.
+  R4  Every .cc/.cpp under src/, tests/, bench/, tools/, and examples/
+      must be listed in its directory's CMakeLists.txt — an unlisted file compiles in
+      nobody's build and rots.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Lines matching these are exempt from the content rules.
+COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
+
+RAND_RE = re.compile(r"\b(?:std::)?(?:rand|srand)\s*\(|std::random_device")
+ASSERT_RE = re.compile(r"(?<![_a-zA-Z])assert\s*\(")
+FLOAT_RE = re.compile(r"(?<![_a-zA-Z])float(?![_a-zA-Z])"
+                      r"|\b\d+\.\d*f\b|\b\d+\.?\d*[eE][-+]?\d+f\b")
+
+FLOAT_SENSITIVE = [
+    "src/data/standardizer.hh",
+    "src/data/standardizer.cc",
+    "src/data/metrics.hh",
+    "src/data/metrics.cc",
+    "src/numeric/stats.hh",
+    "src/numeric/stats.cc",
+]
+
+
+def iter_sources(subdirs: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for sub in subdirs:
+        root = REPO / sub
+        if root.is_dir():
+            for pat in ("*.cc", "*.cpp", "*.hh"):
+                out.extend(sorted(root.rglob(pat)))
+    return out
+
+
+def code_lines(path: Path):
+    """Yield (lineno, line) skipping obvious comment lines."""
+    for lineno, line in enumerate(path.read_text().splitlines(), 1):
+        if COMMENT_RE.match(line):
+            continue
+        yield lineno, line
+
+
+def check_rng_containment(errors: list[str]) -> None:
+    for path in iter_sources(["src", "tests", "bench", "tools", "examples"]):
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith("src/numeric/rng."):
+            continue
+        for lineno, line in code_lines(path):
+            if RAND_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: R1 nondeterministic randomness "
+                    f"({line.strip()[:60]}); use numeric::Rng")
+
+
+def check_no_naked_assert(errors: list[str]) -> None:
+    for path in iter_sources(["src"]):
+        rel = path.relative_to(REPO).as_posix()
+        for lineno, line in code_lines(path):
+            stripped = line.replace("static_assert", "")
+            if ASSERT_RE.search(stripped):
+                errors.append(
+                    f"{rel}:{lineno}: R2 naked assert(); use the WCNN_* "
+                    f"contract macros from core/contracts.hh")
+
+
+def check_no_float_in_metrics(errors: list[str]) -> None:
+    for rel in FLOAT_SENSITIVE:
+        path = REPO / rel
+        if not path.exists():
+            continue
+        for lineno, line in code_lines(path):
+            if FLOAT_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: R3 float in a double-precision "
+                    f"metrics path ({line.strip()[:60]})")
+
+
+def check_cc_listed_in_cmake(errors: list[str]) -> None:
+    for sub in ["src", "tests", "bench", "tools", "examples"]:
+        root = REPO / sub
+        if not root.is_dir():
+            continue
+        for cc in sorted(list(root.rglob("*.cc")) + list(root.rglob("*.cpp"))):
+            cml = cc.parent / "CMakeLists.txt"
+            if not cml.exists():
+                errors.append(
+                    f"{cc.relative_to(REPO).as_posix()}: R4 no "
+                    f"CMakeLists.txt in its directory")
+                continue
+            text = cml.read_text()
+            # Accept either the file name or its stem as a whole word
+            # (helpers like wcnn_bench(name) append the .cc themselves).
+            listed = cc.name in text or re.search(
+                rf"(?<![\w]){re.escape(cc.stem)}(?![\w])", text)
+            if not listed:
+                errors.append(
+                    f"{cc.relative_to(REPO).as_posix()}: R4 not listed "
+                    f"in {cml.relative_to(REPO).as_posix()}")
+
+
+def main() -> int:
+    errors: list[str] = []
+    check_rng_containment(errors)
+    check_no_naked_assert(errors)
+    check_no_float_in_metrics(errors)
+    check_cc_listed_in_cmake(errors)
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"wcnn_lint: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("wcnn_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
