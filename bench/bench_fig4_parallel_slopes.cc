@@ -16,6 +16,7 @@
 #include <cmath>
 
 #include "common.hh"
+#include "parallel_report.hh"
 
 namespace {
 
@@ -82,17 +83,22 @@ webTrendEndpoints(const wcnn::model::SurfaceGrid &grid)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace wcnn;
+    const std::size_t threads = bench::parseThreads(argc, argv, 1);
     bench::printHeader(
         "Figure 4: parallel slopes — manufacturing response time over "
         "(default queue, web queue) at (560, x, 16, y)");
 
     // Model-predicted surface (what the paper plots).
     const model::StudyResult study = bench::canonicalStudy();
-    const auto grid = model::sweepSurface(
-        study.finalModel, bench::paperSlice(0), study.dataset);
+    const auto grid = [&] {
+        model::SurfaceRequest req = bench::paperSlice(0);
+        req.threads = threads;
+        return model::sweepSurface(study.finalModel, req,
+                                   study.dataset);
+    }();
     std::printf("\nmodel-predicted surface:\n");
     bench::printSurface(grid);
 

@@ -9,18 +9,24 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "parallel_report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace wcnn;
+    const std::size_t threads = bench::parseThreads(argc, argv, 1);
     bench::printHeader(
         "Figure 7: valleys — dealer purchase response time over "
         "(default queue, web queue) at (560, x, 16, y)");
 
     const model::StudyResult study = bench::canonicalStudy();
-    const auto grid = model::sweepSurface(
-        study.finalModel, bench::paperSlice(1), study.dataset);
+    const auto grid = [&] {
+        model::SurfaceRequest req = bench::paperSlice(1);
+        req.threads = threads;
+        return model::sweepSurface(study.finalModel, req,
+                                   study.dataset);
+    }();
     std::printf("\nmodel-predicted surface:\n");
     bench::printSurface(grid);
 

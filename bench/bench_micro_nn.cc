@@ -1,16 +1,23 @@
 /**
  * @file
  * google-benchmark microbenchmarks of the NN substrate: forward and
- * backward passes, full training epochs, and the matrix kernels they
- * sit on.
+ * backward passes (per-sample and batched), full training epochs, and
+ * the matrix kernels they sit on. Accepts `--threads N` (stripped
+ * before benchmark::Initialize) and appends a serial-vs-parallel
+ * batched-forward measurement to BENCH_parallel.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstddef>
+
+#include "core/parallel.hh"
 #include "nn/loss.hh"
 #include "nn/mlp.hh"
 #include "nn/trainer.hh"
 #include "numeric/rng.hh"
+#include "parallel_report.hh"
 
 using namespace wcnn;
 
@@ -55,6 +62,23 @@ BM_MlpForward(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MlpForward)->Arg(8)->Arg(16)->Arg(64);
+
+static void
+BM_MlpForwardBatched(benchmark::State &state)
+{
+    // The matrix overload the surface sweeps use: same math as the
+    // per-row forward, minus the per-row vector allocations.
+    numeric::Rng rng(2);
+    const nn::Mlp net = makeNet(16, rng);
+    const std::size_t rows = static_cast<std::size_t>(state.range(0));
+    const auto xs = numeric::Matrix::random(rows, 4, rng, -1, 1);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(net.forward(xs));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations() * rows));
+}
+BENCHMARK(BM_MlpForwardBatched)->Arg(64)->Arg(1024)->Arg(16384);
 
 static void
 BM_MlpBackward(benchmark::State &state)
@@ -105,4 +129,65 @@ BM_TrainEpochs(benchmark::State &state)
 }
 BENCHMARK(BM_TrainEpochs);
 
-BENCHMARK_MAIN();
+namespace {
+
+/**
+ * Serial vs parallel batched forward over a large sample block,
+ * recorded to BENCH_parallel.json with a bit-identity check.
+ */
+void
+reportParallelForward(std::size_t threads)
+{
+    numeric::Rng rng(2);
+    const nn::Mlp net = makeNet(16, rng);
+    const std::size_t rows = 200000;
+    const auto xs = numeric::Matrix::random(rows, 4, rng, -1, 1);
+
+    const auto sweep = [&](std::size_t n_threads,
+                           numeric::Matrix &out) {
+        // One task per row block, each a batched forward into its own
+        // row range — the surface-sweep access pattern.
+        const std::size_t block = 1000;
+        const std::size_t n_blocks = (rows + block - 1) / block;
+        core::parallelFor(n_blocks, n_threads, [&](std::size_t b) {
+            const std::size_t lo = b * block;
+            const std::size_t hi = std::min(rows, lo + block);
+            numeric::Matrix slab(hi - lo, 4);
+            for (std::size_t r = lo; r < hi; ++r)
+                slab.setRow(r - lo, xs.row(r));
+            const numeric::Matrix y = net.forward(slab);
+            for (std::size_t r = lo; r < hi; ++r)
+                out.setRow(r, y.row(r - lo));
+        });
+    };
+
+    numeric::Matrix serial_out(rows, 5), parallel_out(rows, 5);
+    const double serial_s =
+        bench::timeSeconds([&] { sweep(1, serial_out); });
+    const double parallel_s =
+        bench::timeSeconds([&] { sweep(threads, parallel_out); });
+    bool identical = true;
+    for (std::size_t i = 0; identical && i < rows; ++i)
+        for (std::size_t j = 0; j < 5; ++j)
+            identical &= serial_out(i, j) == parallel_out(i, j);
+    bench::appendParallelRecord("bench_micro_nn", "batched-forward",
+                                threads, serial_s, parallel_s,
+                                identical);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t threads = bench::parseThreads(argc, argv, 0);
+    if (threads == 0)
+        threads = core::hardwareThreads();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    reportParallelForward(threads);
+    return 0;
+}

@@ -5,18 +5,27 @@
  * indicator, using the paper's harmonic-mean-of-relative-error metric.
  * This bench also re-runs the paper's tuning protocol (node count and
  * termination threshold chosen on held-out data, then reused for all
- * trials).
+ * trials), and times the cross validation serially vs over
+ * `--threads N` workers (default: hardware count), appending the
+ * measurement to BENCH_parallel.json with a bit-identity check.
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "common.hh"
+#include "core/parallel.hh"
 #include "model/cross_validation.hh"
+#include "parallel_report.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace wcnn;
+    std::size_t threads = bench::parseThreads(argc, argv, 0);
+    if (threads == 0)
+        threads = core::hardwareThreads();
+
     bench::printHeader("Table 2: average prediction error for the "
                        "validation set");
 
@@ -53,5 +62,34 @@ main()
         avg[4] < rt_mean);
     bench::printVerdict("overall accuracy >= 90 % (paper: 95 %)",
                         study.cv.overallAccuracy() >= 0.90);
+
+    // Serial vs parallel wall time for the Table 2 cross validation.
+    bench::printHeader("cross validation: serial vs " +
+                       std::to_string(threads) + " threads");
+    model::CvOptions cv = bench::canonicalOptions().cv;
+    cv.seed = bench::canonicalOptions().seed + 2;
+    const model::NnModelOptions tuned = study.tunedNn;
+    const auto factory = [&tuned]() {
+        return std::make_unique<model::NnModel>(tuned);
+    };
+    model::CvResult serial_cv, parallel_cv;
+    cv.threads = 1;
+    const double serial_s = bench::timeSeconds([&] {
+        serial_cv = model::crossValidate(factory, study.dataset, cv);
+    });
+    cv.threads = threads;
+    const double parallel_s = bench::timeSeconds([&] {
+        parallel_cv = model::crossValidate(factory, study.dataset, cv);
+    });
+    const bool identical =
+        serial_cv.averageValidationError() ==
+            parallel_cv.averageValidationError() &&
+        serial_cv.averageValidationError() ==
+            study.cv.averageValidationError();
+    bench::appendParallelRecord("bench_table2", "cross-validation",
+                                threads, serial_s, parallel_s,
+                                identical);
+    bench::printVerdict("parallel Table 2 bit-identical to serial",
+                        identical);
     return 0;
 }

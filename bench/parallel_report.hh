@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Shared helpers for the serial-vs-parallel bench reports.
+ *
+ * Header-only so both the figure benches (wcnn_bench_common) and the
+ * google-benchmark binaries can use it without extra link edges:
+ * `--threads N` argv parsing, wall-clock timing, and the
+ * BENCH_parallel.json record sink that CI uploads as an artifact.
+ */
+
+#ifndef WCNN_BENCH_PARALLEL_REPORT_HH
+#define WCNN_BENCH_PARALLEL_REPORT_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace wcnn {
+namespace bench {
+
+/**
+ * Parse and strip a `--threads N` (or `--threads=N`) argument.
+ *
+ * Stripping matters for the google-benchmark binaries, whose own
+ * Initialize() rejects flags it does not know.
+ *
+ * @param argc     Argument count; decremented when the flag is found.
+ * @param argv     Argument vector; compacted in place.
+ * @param fallback Value when the flag is absent.
+ */
+inline std::size_t
+parseThreads(int &argc, char **argv, std::size_t fallback = 1)
+{
+    std::size_t threads = fallback;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < argc) {
+            threads = static_cast<std::size_t>(
+                std::strtoul(argv[++i], nullptr, 10));
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = static_cast<std::size_t>(
+                std::strtoul(arg.c_str() + 10, nullptr, 10));
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return threads;
+}
+
+/** Wall-clock seconds spent in fn(). */
+inline double
+timeSeconds(const std::function<void()> &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto stop = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(stop - start).count();
+}
+
+/**
+ * Append one serial-vs-parallel measurement to BENCH_parallel.json
+ * (a JSON array next to the binary; created on first use, merged
+ * across benches) and echo it to stdout.
+ *
+ * @param bench      Emitting binary, e.g. "bench_parallel".
+ * @param stage      Measured pipeline stage, e.g. "cross-validation".
+ * @param threads    Worker threads of the parallel run.
+ * @param serial_s   Serial wall time in seconds.
+ * @param parallel_s Parallel wall time in seconds.
+ * @param identical  Whether the two results were bit-identical.
+ */
+inline void
+appendParallelRecord(const std::string &bench, const std::string &stage,
+                     std::size_t threads, double serial_s,
+                     double parallel_s, bool identical)
+{
+    static const char *path = "BENCH_parallel.json";
+    const double speedup = parallel_s > 0.0 ? serial_s / parallel_s : 0.0;
+
+    std::ostringstream record;
+    record << "  {\"bench\": \"" << bench << "\", \"stage\": \""
+           << stage << "\", \"threads\": " << threads
+           << ", \"serial_seconds\": " << serial_s
+           << ", \"parallel_seconds\": " << parallel_s
+           << ", \"speedup\": " << speedup << ", \"bit_identical\": "
+           << (identical ? "true" : "false") << "}";
+
+    std::string body;
+    {
+        std::ifstream in(path);
+        if (in.good()) {
+            std::ostringstream all;
+            all << in.rdbuf();
+            body = all.str();
+        }
+    }
+    // Keep the file a valid JSON array across appends: drop the
+    // closing bracket, add the record, close again.
+    const auto end = body.find_last_of(']');
+    std::ofstream out(path, std::ios::trunc);
+    if (end == std::string::npos) {
+        out << "[\n" << record.str() << "\n]\n";
+    } else {
+        body.erase(end);
+        while (!body.empty() &&
+               (body.back() == '\n' || body.back() == ' '))
+            body.pop_back();
+        out << body << ",\n" << record.str() << "\n]\n";
+    }
+
+    std::printf("[parallel] %s/%s: serial %.3fs, %zu threads %.3fs, "
+                "speedup %.2fx, bit-identical %s\n",
+                bench.c_str(), stage.c_str(), serial_s, threads,
+                parallel_s, speedup, identical ? "yes" : "NO");
+}
+
+} // namespace bench
+} // namespace wcnn
+
+#endif // WCNN_BENCH_PARALLEL_REPORT_HH

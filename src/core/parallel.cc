@@ -1,0 +1,153 @@
+#include "parallel.hh"
+
+#include <algorithm>
+
+#include "core/contracts.hh"
+
+namespace wcnn {
+namespace core {
+
+namespace {
+
+/**
+ * Inline execution with the pool's failure contract: every task runs,
+ * and the lowest-index failure (the first one, in serial order) is
+ * rethrown after the batch drains.
+ */
+void
+runSerial(std::size_t n, const ThreadPool::Body &body)
+{
+    std::exception_ptr failure;
+    for (std::size_t i = 0; i < n; ++i) {
+        try {
+            body(i);
+        } catch (...) {
+            if (!failure)
+                failure = std::current_exception();
+        }
+    }
+    if (failure)
+        std::rethrow_exception(failure);
+}
+
+} // namespace
+
+std::size_t
+hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<std::size_t>(n);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : nThreads(threads == 0 ? hardwareThreads() : threads)
+{
+    // The calling thread is runner #0; spawn the rest.
+    workers.reserve(nThreads - 1);
+    for (std::size_t t = 1; t < nThreads; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        shuttingDown = true;
+    }
+    workReady.notify_all();
+    for (auto &worker : workers)
+        worker.join();
+}
+
+void
+ThreadPool::forEach(std::size_t n, const Body &body)
+{
+    if (n == 0)
+        return;
+    if (nThreads <= 1 || n == 1) {
+        runSerial(n, body);
+        return;
+    }
+
+    Batch batch;
+    batch.n = n;
+    batch.body = &body;
+    batch.pendingTasks = n;
+
+    std::unique_lock<std::mutex> lock(mutex);
+    WCNN_ENSURE(currentBatch == nullptr,
+                "ThreadPool::forEach is not reentrant");
+    currentBatch = &batch;
+    ++batchGeneration;
+    workReady.notify_all();
+
+    // The calling thread is a runner too.
+    drainBatch(batch);
+    batchDone.wait(lock, [&] { return batch.pendingTasks == 0; });
+    currentBatch = nullptr;
+    lock.unlock();
+
+    if (batch.failure)
+        std::rethrow_exception(batch.failure);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::uint64_t seen_generation = 0;
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+        workReady.wait(lock, [&] {
+            return shuttingDown || batchGeneration != seen_generation;
+        });
+        if (shuttingDown)
+            return;
+        seen_generation = batchGeneration;
+        // The batch may already be fully claimed (or even cleared) by
+        // the time this worker wakes; drainBatch handles an empty one.
+        if (currentBatch != nullptr)
+            drainBatch(*currentBatch);
+    }
+}
+
+void
+ThreadPool::drainBatch(Batch &batch)
+{
+    // Caller holds `mutex`; it is released around each task body.
+    while (batch.nextIndex < batch.n) {
+        const std::size_t index = batch.nextIndex++;
+        mutex.unlock();
+        std::exception_ptr error;
+        try {
+            (*batch.body)(index);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        mutex.lock();
+        if (error && (!batch.failure || index < batch.failIndex)) {
+            batch.failure = error;
+            batch.failIndex = index;
+        }
+        if (--batch.pendingTasks == 0)
+            batchDone.notify_all();
+    }
+}
+
+void
+parallelFor(std::size_t n, std::size_t threads,
+            const ThreadPool::Body &body)
+{
+    if (n == 0)
+        return;
+    if (threads == 0)
+        threads = hardwareThreads();
+    if (threads <= 1 || n == 1) {
+        runSerial(n, body);
+        return;
+    }
+    ThreadPool pool(std::min(threads, n));
+    pool.forEach(n, body);
+}
+
+} // namespace core
+} // namespace wcnn

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/contracts.hh"
+#include "core/parallel.hh"
 
 #include "numeric/rng.hh"
 #include "numeric/stats.hh"
@@ -51,13 +52,19 @@ crossValidate(const ModelFactory &factory, const data::Dataset &ds,
     WCNN_REQUIRE(ds.size() >= options.folds, "dataset of ", ds.size(),
                  " samples cannot be split into ", options.folds, " folds");
 
+    // The fold permutation is drawn once, before the parallel region,
+    // so it is independent of thread count.
     numeric::Rng rng(options.seed);
-    data::KFold kfold(ds.size(), options.folds, rng);
+    const data::KFold kfold(ds.size(), options.folds, rng);
 
     CvResult result;
     result.indicatorNames = ds.outputs();
+    result.trials.resize(options.folds);
 
-    for (std::size_t f = 0; f < options.folds; ++f) {
+    // Each trial writes only its own index-addressed slot; exceptions
+    // (a diverging trainer, a contract violation) propagate
+    // first-failure out of the pool.
+    core::parallelFor(options.folds, options.threads, [&](std::size_t f) {
         const data::Split split = kfold.split(ds, f);
         auto model = factory();
         model->fit(split.train);
@@ -81,8 +88,8 @@ crossValidate(const ModelFactory &factory, const data::Dataset &ds,
             trial.trainPredicted = train_pred;
             trial.validationPredicted = val_pred;
         }
-        result.trials.push_back(std::move(trial));
-    }
+        result.trials[f] = std::move(trial);
+    });
     return result;
 }
 

@@ -45,6 +45,17 @@ struct CvOptions
      * style plots; costs memory proportional to the dataset).
      */
     bool keepPredictions = true;
+
+    /**
+     * Worker threads for the k trials (core::parallelFor); 0 selects
+     * the hardware count, 1 runs serially. Results are bit-identical
+     * at every thread count: the fold permutation is drawn once up
+     * front from `seed`, and each trial is a pure function of its fold
+     * — the factory seeds any model-internal Rng from its own options,
+     * never from a generator shared across trials. The factory must be
+     * safe to invoke concurrently.
+     */
+    std::size_t threads = 1;
 };
 
 /** Outcome of one trial (one held-out fold). */

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "core/contracts.hh"
+#include "core/parallel.hh"
 
 #include "data/metrics.hh"
 #include "data/split.hh"
@@ -23,14 +24,22 @@ gridSearch(const NnModelOptions &base, const data::Dataset &ds,
     WCNN_REQUIRE(ds.size() >= 4, "grid search needs at least 4 samples, got ",
                  ds.size());
 
+    // The holdout split is drawn once, before the parallel region, so
+    // every candidate scores against the same data at any thread count.
     numeric::Rng rng(options.seed);
     const data::Split split =
         data::trainValidationSplit(ds, options.trainFraction, rng);
 
     GridSearchResult result;
-    double best = std::numeric_limits<double>::infinity();
-    for (std::size_t units : options.hiddenUnits) {
-        for (double target : options.targetLosses) {
+    const std::size_t n_losses = options.targetLosses.size();
+    result.entries.resize(options.hiddenUnits.size() * n_losses);
+
+    // Flattened (units-major) candidate index preserves the serial
+    // evaluation order in `entries`.
+    core::parallelFor(
+        result.entries.size(), options.threads, [&](std::size_t c) {
+            const std::size_t units = options.hiddenUnits[c / n_losses];
+            const double target = options.targetLosses[c % n_losses];
             NnModelOptions opts = base;
             opts.hiddenUnits = {units};
             opts.train.targetLoss = target;
@@ -40,15 +49,17 @@ gridSearch(const NnModelOptions &base, const data::Dataset &ds,
             const data::ErrorReport report = data::evaluate(
                 ds.outputs(), split.validation.yMatrix(),
                 candidate.predictAll(split.validation));
-            const double err =
-                numeric::mean(report.harmonicError);
+            result.entries[c] = GridSearchEntry{
+                units, target, numeric::mean(report.harmonicError)};
+        });
 
-            if (err < best) {
-                best = err;
-                result.bestIndex = result.entries.size();
-            }
-            result.entries.push_back(
-                GridSearchEntry{units, target, err});
+    // Pick the winner after the fan-in; strict < keeps the serial
+    // earliest-entry tie-break.
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < result.entries.size(); ++c) {
+        if (result.entries[c].validationError < best) {
+            best = result.entries[c].validationError;
+            result.bestIndex = c;
         }
     }
     return result;

@@ -59,6 +59,15 @@ struct GridSearchOptions
 
     /** Seed for the holdout split. */
     std::uint64_t seed = 11;
+
+    /**
+     * Worker threads for the candidate evaluations
+     * (core::parallelFor); 0 selects the hardware count, 1 runs
+     * serially. The holdout split is drawn once up front and every
+     * candidate is a pure function of it, so scores, entry order, and
+     * the best() tie-break are bit-identical at every thread count.
+     */
+    std::size_t threads = 1;
 };
 
 /**

@@ -54,10 +54,16 @@ class PerformanceModel
     /**
      * Predict for every row of a configuration matrix.
      *
+     * The base implementation loops predict() per row; model families
+     * with a cheaper batched path (NnModel's matrix forward) override
+     * it. Overrides must stay bit-identical to the row loop so the
+     * cross-validation and surface numbers do not depend on which path
+     * ran.
+     *
      * @param xs One configuration per row.
      * @return One indicator row per configuration.
      */
-    numeric::Matrix predictAll(const numeric::Matrix &xs) const;
+    virtual numeric::Matrix predictAll(const numeric::Matrix &xs) const;
 
     /**
      * Predict for every sample of a dataset.

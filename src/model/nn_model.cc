@@ -56,6 +56,13 @@ NnModel::predict(const numeric::Vector &x) const
     return yStd.inverse(net.forward(xStd.transform(x)));
 }
 
+numeric::Matrix
+NnModel::predictAll(const numeric::Matrix &xs) const
+{
+    WCNN_REQUIRE(isFitted, "predictAll() before fit()");
+    return yStd.inverse(net.forward(xStd.transform(xs)));
+}
+
 } // namespace model
 } // namespace wcnn
 

@@ -85,6 +85,16 @@ class NnModel : public PerformanceModel
 
     numeric::Vector predict(const numeric::Vector &x) const override;
 
+    using PerformanceModel::predictAll;
+
+    /**
+     * Batched prediction through Mlp's matrix forward: standardize the
+     * whole matrix, one forward sweep, inverse-standardize. The same
+     * scalar operations as predict() per row, so the result is
+     * bit-identical to the base-class row loop.
+     */
+    numeric::Matrix predictAll(const numeric::Matrix &xs) const override;
+
     bool fitted() const override { return isFitted; }
 
     std::string name() const override { return "neural-network"; }

@@ -49,9 +49,11 @@ runStudy(const StudyOptions &options)
     }
     if (options.source == StudyOptions::Source::Simulator) {
         result.dataset = sim::collectSimulated(
-            configs, options.params, options.seed, options.replicates);
+            configs, options.params, options.seed, options.replicates,
+            options.threads);
     } else {
-        result.dataset = sim::collectAnalytic(configs, options.params);
+        result.dataset = sim::collectAnalytic(configs, options.params,
+                                              options.threads);
     }
 
     // 2. Hyperparameter tuning (automated version of the paper's
@@ -60,6 +62,7 @@ runStudy(const StudyOptions &options)
     if (options.tune) {
         GridSearchOptions tuning = options.tuning;
         tuning.seed = options.seed + 1;
+        tuning.threads = options.threads;
         result.tuning = gridSearch(options.nn, result.dataset, tuning);
         result.tunedNn.hiddenUnits = {result.tuning.best().hiddenUnits};
         result.tunedNn.train.targetLoss =
@@ -69,6 +72,7 @@ runStudy(const StudyOptions &options)
     // 3. k-fold cross validation with the tuned settings.
     CvOptions cv = options.cv;
     cv.seed = options.seed + 2;
+    cv.threads = options.threads;
     const NnModelOptions tuned = result.tunedNn;
     result.cv = crossValidate(
         [&tuned]() { return std::make_unique<NnModel>(tuned); },

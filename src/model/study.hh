@@ -71,6 +71,15 @@ struct StudyOptions
 
     /** Master seed for design, simulation and folds. */
     std::uint64_t seed = 2006;
+
+    /**
+     * Worker threads for the parallel stages (sample collection,
+     * tuning, cross validation); 0 selects the hardware count, 1 runs
+     * serially. Every stage is bit-identical at every thread count
+     * (see core/parallel.hh), so this only changes wall time.
+     * Overrides the threads fields of `tuning` and `cv`.
+     */
+    std::size_t threads = 1;
 };
 
 /** Everything the pipeline produces. */

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/contracts.hh"
+#include "core/parallel.hh"
 
 namespace wcnn {
 namespace model {
@@ -166,14 +167,23 @@ sweepSurface(const PerformanceModel &mdl, const SurfaceRequest &request,
     grid.bValues = linspace(request.loB, request.hiB, request.pointsB);
     grid.z = numeric::Matrix(request.pointsA, request.pointsB);
 
-    numeric::Vector probe = request.fixed;
-    for (std::size_t i = 0; i < grid.aValues.size(); ++i) {
-        probe[request.axisA] = grid.aValues[i];
-        for (std::size_t j = 0; j < grid.bValues.size(); ++j) {
-            probe[request.axisB] = grid.bValues[j];
-            grid.z(i, j) = mdl.predict(probe)[request.indicator];
-        }
-    }
+    // One task per axisA row: build the row's probe matrix, evaluate
+    // it in one batched predictAll (Mlp's matrix forward for the NN
+    // model), and write only that row of z.
+    core::parallelFor(
+        grid.aValues.size(), request.threads, [&](std::size_t i) {
+            numeric::Matrix probes(grid.bValues.size(),
+                                   request.fixed.size());
+            numeric::Vector probe = request.fixed;
+            probe[request.axisA] = grid.aValues[i];
+            for (std::size_t j = 0; j < grid.bValues.size(); ++j) {
+                probe[request.axisB] = grid.bValues[j];
+                probes.setRow(j, probe);
+            }
+            const numeric::Matrix predicted = mdl.predictAll(probes);
+            for (std::size_t j = 0; j < grid.bValues.size(); ++j)
+                grid.z(i, j) = predicted(j, request.indicator);
+        });
     return grid;
 }
 

@@ -48,6 +48,15 @@ struct SurfaceRequest
 
     /** Grid resolution (>= 2 each). */
     std::size_t pointsA = 11, pointsB = 11;
+
+    /**
+     * Worker threads for the sweep (core::parallelFor over the axisA
+     * rows); 0 selects the hardware count, 1 runs serially. Each row
+     * is evaluated as one batched predictAll over its pointsB probes
+     * and written to its own rows of z, so the grid is bit-identical
+     * at every thread count.
+     */
+    std::size_t threads = 1;
 };
 
 /** Sampled surface. */

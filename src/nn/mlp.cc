@@ -91,6 +91,27 @@ Mlp::forward(const numeric::Vector &x) const
     return act;
 }
 
+numeric::Matrix
+Mlp::forward(const numeric::Matrix &xs) const
+{
+    WCNN_REQUIRE(xs.cols() == nInputs, "forward input rows have ",
+                 xs.cols(), " dims, network expects ", nInputs);
+    numeric::Matrix out(xs.rows(), outputDim());
+    numeric::Vector act;
+    for (std::size_t r = 0; r < xs.rows(); ++r) {
+        act = xs.row(r);
+        for (std::size_t l = 0; l < specs.size(); ++l) {
+            numeric::Vector pre = weightsPerLayer[l] * act;
+            const Activation &fn = specs[l].activation;
+            for (std::size_t i = 0; i < pre.size(); ++i)
+                pre[i] = fn.value(pre[i] + biasesPerLayer[l][i]);
+            act = std::move(pre);
+        }
+        out.setRow(r, act);
+    }
+    return out;
+}
+
 numeric::Vector
 Mlp::forward(const numeric::Vector &x, Cache &cache) const
 {

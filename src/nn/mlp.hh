@@ -124,6 +124,20 @@ class Mlp
     numeric::Vector forward(const numeric::Vector &x) const;
 
     /**
+     * Evaluate the network for every row of a sample matrix.
+     *
+     * Bit-identical to calling forward(xs.row(i)) per row — the same
+     * scalar operations run in the same order per sample — but without
+     * the per-row vector allocations, which is what the surface-sweep
+     * and prediction hot paths want. Safe to call concurrently: the
+     * network is not mutated.
+     *
+     * @param xs One input per row; cols() must equal inputDim().
+     * @return One output row per input row (rows() x outputDim()).
+     */
+    numeric::Matrix forward(const numeric::Matrix &xs) const;
+
+    /**
      * Evaluate the network, retaining the per-layer cache for backward().
      *
      * @param x     Input of size inputDim().

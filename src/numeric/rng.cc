@@ -55,6 +55,17 @@ Rng::next()
 }
 
 Rng
+Rng::stream(std::uint64_t seed, std::uint64_t stream)
+{
+    // Two SplitMix64 steps over a state offset by the stream index:
+    // the first decorrelates nearby (seed, stream) pairs, the second
+    // feeds the usual Rng seed expansion.
+    std::uint64_t s = seed + (stream + 1) * 0x9e3779b97f4a7c15ull;
+    const std::uint64_t mixed = splitMix64(s);
+    return Rng(mixed);
+}
+
+Rng
 Rng::split()
 {
     return Rng(next());

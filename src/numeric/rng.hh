@@ -59,6 +59,23 @@ class Rng
      */
     Rng split();
 
+    /**
+     * Derive the stream-th substream of a base seed without an
+     * intermediate generator: SplitMix64 mixing of (seed, stream).
+     *
+     * This is the seeding rule for parallel task-local generators (see
+     * core/parallel.hh): a task claims the stream equal to its task
+     * index, so the draws it makes are a pure function of the config
+     * seed and the index — independent of thread count and scheduling.
+     *
+     * @param seed   Base (config) seed.
+     * @param stream Stream index; distinct indices give uncorrelated
+     *               streams, and stream derivation commutes with
+     *               nothing — Rng(seed) and stream(seed, i) never
+     *               collide for practical use.
+     */
+    static Rng stream(std::uint64_t seed, std::uint64_t stream);
+
     /** Uniform double in [0, 1). */
     double uniform();
 

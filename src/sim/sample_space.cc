@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/contracts.hh"
+#include "core/parallel.hh"
 
 #include "numeric/rng.hh"
 
@@ -122,29 +123,37 @@ factorialDesign(const SampleSpace &space, std::size_t center_points)
 
 data::Dataset
 collectDataset(const std::vector<ThreeTierConfig> &configs,
-               const SampleFn &fn)
+               const SampleFn &fn, std::size_t threads)
 {
+    // Evaluate into index-addressed slots, then assemble in configs
+    // order, so the dataset rows are thread-count independent.
+    std::vector<PerfSample> samples(configs.size());
+    core::parallelFor(configs.size(), threads, [&](std::size_t i) {
+        samples[i] = fn(configs[i]);
+    });
+
     data::Dataset ds(ThreeTierConfig::parameterNames(),
                      PerfSample::indicatorNames());
-    for (const auto &cfg : configs) {
-        const PerfSample sample = fn(cfg);
-        ds.add(cfg.toVector(), sample.toVector());
-    }
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        ds.add(configs[i].toVector(), samples[i].toVector());
     return ds;
 }
 
 data::Dataset
 collectSimulated(std::vector<ThreeTierConfig> configs,
                  const WorkloadParams &params, std::uint64_t seed_base,
-                 std::size_t replicates)
+                 std::size_t replicates, std::size_t threads)
 {
     WCNN_REQUIRE(replicates >= 1, "need at least one replicate per config");
-    std::size_t run = 0;
-    return collectDataset(configs, [&](const ThreeTierConfig &cfg) {
+    // Seeds are a function of the configuration *index*, not of
+    // collection order, reproducing the historical serial counter
+    // (config i, replicate r -> seed_base + i*replicates + r).
+    std::vector<PerfSample> means(configs.size());
+    core::parallelFor(configs.size(), threads, [&](std::size_t i) {
         PerfSample mean;
         for (std::size_t r = 0; r < replicates; ++r) {
-            ThreeTierConfig replica = cfg;
-            replica.seed = seed_base + run++;
+            ThreeTierConfig replica = configs[i];
+            replica.seed = seed_base + i * replicates + r;
             const PerfSample s = simulateThreeTier(replica, params);
             mean.manufacturingRt += s.manufacturingRt;
             mean.dealerPurchaseRt += s.dealerPurchaseRt;
@@ -158,17 +167,26 @@ collectSimulated(std::vector<ThreeTierConfig> configs,
         mean.dealerManageRt /= n;
         mean.dealerBrowseRt /= n;
         mean.throughput /= n;
-        return mean;
+        means[i] = mean;
     });
+
+    data::Dataset ds(ThreeTierConfig::parameterNames(),
+                     PerfSample::indicatorNames());
+    for (std::size_t i = 0; i < configs.size(); ++i)
+        ds.add(configs[i].toVector(), means[i].toVector());
+    return ds;
 }
 
 data::Dataset
 collectAnalytic(const std::vector<ThreeTierConfig> &configs,
-                const WorkloadParams &params)
+                const WorkloadParams &params, std::size_t threads)
 {
-    return collectDataset(configs, [&](const ThreeTierConfig &cfg) {
-        return analyticThreeTier(cfg, params);
-    });
+    return collectDataset(
+        configs,
+        [&](const ThreeTierConfig &cfg) {
+            return analyticThreeTier(cfg, params);
+        },
+        threads);
 }
 
 } // namespace sim

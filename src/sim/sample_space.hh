@@ -114,9 +114,16 @@ using SampleFn = std::function<PerfSample(const ThreeTierConfig &)>;
  *
  * @param configs Configurations to evaluate.
  * @param fn      Sampler (simulateThreeTier, analyticThreeTier, ...).
+ *                With threads > 1 it is invoked concurrently and must
+ *                be thread-safe and a pure function of its
+ *                configuration (no shared counters).
+ * @param threads Worker threads (core::parallelFor); 0 selects the
+ *                hardware count, 1 runs serially. Rows keep the
+ *                configs order at every thread count.
  */
 data::Dataset collectDataset(const std::vector<ThreeTierConfig> &configs,
-                             const SampleFn &fn);
+                             const SampleFn &fn,
+                             std::size_t threads = 1);
 
 /**
  * Convenience: collect with the discrete-event simulator. Each
@@ -125,15 +132,22 @@ data::Dataset collectDataset(const std::vector<ThreeTierConfig> &configs,
  * to "the averages of collected counter values ... to reduce the effect
  * of sampling error" (section 4).
  *
+ * Replicate seeds derive from (seed_base, config index, replicate):
+ * configuration i, replicate r runs under seed_base + i*replicates + r
+ * — the same assignment the historical serial counter produced — so
+ * the dataset is bit-identical at every thread count.
+ *
  * @param configs    Configurations to evaluate (seed field overwritten).
  * @param params     Demand model.
  * @param seed_base  First seed.
  * @param replicates Runs per configuration (>= 1).
+ * @param threads    Worker threads; 0 selects the hardware count.
  */
 data::Dataset collectSimulated(std::vector<ThreeTierConfig> configs,
                                const WorkloadParams &params,
                                std::uint64_t seed_base,
-                               std::size_t replicates = 3);
+                               std::size_t replicates = 3,
+                               std::size_t threads = 1);
 
 /**
  * Convenience: collect with the closed-form analytic model (fast,
@@ -141,9 +155,11 @@ data::Dataset collectSimulated(std::vector<ThreeTierConfig> configs,
  *
  * @param configs Configurations to evaluate.
  * @param params  Demand model.
+ * @param threads Worker threads; 0 selects the hardware count.
  */
 data::Dataset collectAnalytic(const std::vector<ThreeTierConfig> &configs,
-                              const WorkloadParams &params);
+                              const WorkloadParams &params,
+                              std::size_t threads = 1);
 
 } // namespace sim
 } // namespace wcnn

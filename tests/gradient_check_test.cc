@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Finite-difference validation of Mlp::backward().
+ *
+ * Backprop returns the *exact* analytic gradient, so a central
+ * difference of the loss with step h must match it to O(h^2). The
+ * check runs over every activation family and a set of random
+ * topologies seeded through numeric::Rng::stream — the same
+ * seed-stream discipline the parallel layer mandates for task-local
+ * randomness — so the property suite itself is reproducible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "nn/loss.hh"
+#include "nn/mlp.hh"
+#include "numeric/rng.hh"
+
+using wcnn::nn::Activation;
+using wcnn::nn::Gradients;
+using wcnn::nn::InitRule;
+using wcnn::nn::LayerSpec;
+using wcnn::nn::Mlp;
+using wcnn::numeric::Rng;
+using wcnn::numeric::Vector;
+
+namespace {
+
+/** Central-difference step. */
+constexpr double kStep = 1e-5;
+
+/** |analytic - numeric| <= kTolerance * max(1, |a|, |n|). */
+constexpr double kTolerance = 1e-6;
+
+/**
+ * Keep every pre-activation at least this far from 0 so the central
+ * difference never straddles the ReLU (or logarithmic) kink.
+ */
+constexpr double kKinkMargin = 1e-3;
+
+double
+lossAt(const Mlp &net, const Vector &x, const Vector &target)
+{
+    return wcnn::nn::mseLoss(net.forward(x), target);
+}
+
+/** Smallest |pre-activation| across all layers for input x. */
+double
+kinkDistance(const Mlp &net, const Vector &x)
+{
+    Mlp::Cache cache;
+    net.forward(x, cache);
+    double dist = std::numeric_limits<double>::infinity();
+    for (const auto &pre : cache.preActivations)
+        for (double p : pre)
+            dist = std::min(dist, std::fabs(p));
+    return dist;
+}
+
+/**
+ * Draw an input whose pre-activations all clear the kink margin
+ * (rejection sampling; smooth activations pass almost surely).
+ */
+Vector
+drawInput(const Mlp &net, Rng &rng)
+{
+    for (int attempt = 0; attempt < 200; ++attempt) {
+        Vector x(net.inputDim());
+        for (double &v : x)
+            v = rng.uniform(-1.5, 1.5);
+        if (kinkDistance(net, x) > kKinkMargin)
+            return x;
+    }
+    ADD_FAILURE() << "no input cleared the kink margin for "
+                  << net.describe();
+    return Vector(net.inputDim(), 0.5);
+}
+
+/**
+ * Compare backward() against central differences for every weight and
+ * bias of the network at (x, target).
+ */
+void
+checkGradients(Mlp &net, const Vector &x, const Vector &target)
+{
+    Mlp::Cache cache;
+    const Vector out = net.forward(x, cache);
+    const Gradients analytic =
+        net.backward(cache, wcnn::nn::mseGradient(out, target));
+
+    const auto compare = [&](double got, double *param,
+                             const char *what, std::size_t layer) {
+        const double saved = *param;
+        *param = saved + kStep;
+        const double plus = lossAt(net, x, target);
+        *param = saved - kStep;
+        const double minus = lossAt(net, x, target);
+        *param = saved;
+        const double numeric = (plus - minus) / (2.0 * kStep);
+        const double scale =
+            std::max({1.0, std::fabs(got), std::fabs(numeric)});
+        EXPECT_NEAR(got, numeric, kTolerance * scale)
+            << what << " gradient, layer " << layer << ", net "
+            << net.describe();
+    };
+
+    for (std::size_t l = 0; l < net.depth(); ++l) {
+        auto &w = net.weights(l);
+        for (std::size_t i = 0; i < w.rows(); ++i)
+            for (std::size_t j = 0; j < w.cols(); ++j)
+                compare(analytic.weightGrads[l](i, j), &w(i, j),
+                        "weight", l);
+        auto &b = net.biases(l);
+        for (std::size_t i = 0; i < b.size(); ++i)
+            compare(analytic.biasGrads[l][i], &b[i], "bias", l);
+    }
+}
+
+/** Activation families under test (hidden layers). */
+std::vector<Activation>
+activationPool()
+{
+    return {Activation::logistic(1.0), Activation::logistic(2.5),
+            Activation::tanh(), Activation::relu(),
+            Activation::logarithmic(1.0)};
+}
+
+} // namespace
+
+TEST(GradientCheckTest, EveryActivationOnSmallFixedNet)
+{
+    // One 3-4-2 network per activation family, including each family
+    // as the *output* layer (gradients there skip the chain through
+    // deeper layers, a distinct code path).
+    for (const Activation &act : activationPool()) {
+        Rng rng = Rng::stream(2006, 1000 + static_cast<std::size_t>(
+                                              act.kind()));
+        Mlp net(3, {LayerSpec{4, act}, LayerSpec{2, act}},
+                InitRule::Xavier, rng);
+        const Vector x = drawInput(net, rng);
+        Vector target(2);
+        for (double &t : target)
+            t = rng.normal(0.0, 0.5);
+        checkGradients(net, x, target);
+    }
+}
+
+TEST(GradientCheckTest, TenRandomTopologies)
+{
+    const auto pool = activationPool();
+    for (std::size_t t = 0; t < 10; ++t) {
+        // Independent, reproducible stream per topology.
+        Rng rng = Rng::stream(2006, t);
+
+        const auto input_dim =
+            static_cast<std::size_t>(rng.uniformInt(1, 5));
+        const auto n_hidden =
+            static_cast<std::size_t>(rng.uniformInt(1, 3));
+        std::vector<LayerSpec> layers;
+        for (std::size_t l = 0; l < n_hidden; ++l) {
+            const auto units =
+                static_cast<std::size_t>(rng.uniformInt(1, 6));
+            // Cycling the first hidden activation by topology index
+            // guarantees every family appears in the random sweep.
+            const Activation act =
+                l == 0 ? pool[t % pool.size()]
+                       : pool[static_cast<std::size_t>(rng.uniformInt(
+                             0, static_cast<std::int64_t>(
+                                    pool.size() - 1)))];
+            layers.push_back(LayerSpec{units, act});
+        }
+        const auto output_dim =
+            static_cast<std::size_t>(rng.uniformInt(1, 4));
+        layers.push_back(LayerSpec{output_dim, Activation::identity()});
+
+        const InitRule rule =
+            t % 2 == 0 ? InitRule::Xavier : InitRule::SmallUniform;
+        Mlp net(input_dim, layers, rule, rng);
+
+        const Vector x = drawInput(net, rng);
+        Vector target(output_dim);
+        for (double &v : target)
+            v = rng.normal(0.0, 0.5);
+        checkGradients(net, x, target);
+    }
+}
+
+TEST(GradientCheckTest, SeedStreamsAreReproducibleAndDistinct)
+{
+    // The property suite leans on Rng::stream for its topology draws;
+    // pin the discipline itself: same (seed, stream) -> same sequence,
+    // different stream -> different sequence.
+    Rng a = Rng::stream(2006, 3);
+    Rng b = Rng::stream(2006, 3);
+    Rng c = Rng::stream(2006, 4);
+    bool any_differs = false;
+    for (int i = 0; i < 16; ++i) {
+        const double va = a.uniform();
+        EXPECT_EQ(va, b.uniform());
+        any_differs |= va != c.uniform();
+    }
+    EXPECT_TRUE(any_differs);
+}

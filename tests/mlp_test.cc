@@ -89,7 +89,7 @@ TEST(MlpTest, IdentityNetworkComputesAffineMap)
             rng);
     net.weights(0) = wcnn::numeric::Matrix{{1, 2}, {3, 4}};
     net.biases(0) = {10, 20};
-    const Vector y = net.forward({1, 1});
+    const Vector y = net.forward(Vector{1, 1});
     EXPECT_DOUBLE_EQ(y[0], 13);
     EXPECT_DOUBLE_EQ(y[1], 27);
 }

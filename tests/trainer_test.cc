@@ -20,6 +20,7 @@ using wcnn::nn::TrainOptions;
 using wcnn::nn::Trainer;
 using wcnn::numeric::Matrix;
 using wcnn::numeric::Rng;
+using wcnn::numeric::Vector;
 
 TEST(TrainerTest, LearnsXor)
 {
@@ -43,8 +44,8 @@ TEST(TrainerTest, LearnsXor)
     const auto result = trainer.train(net, x, y, shuffle);
     EXPECT_LE(result.finalTrainLoss, 1e-3);
     EXPECT_TRUE(result.hitTargetLoss);
-    EXPECT_NEAR(net.forward({0, 1})[0], 1.0, 0.15);
-    EXPECT_NEAR(net.forward({1, 1})[0], 0.0, 0.15);
+    EXPECT_NEAR(net.forward(Vector{0, 1})[0], 1.0, 0.15);
+    EXPECT_NEAR(net.forward(Vector{1, 1})[0], 0.0, 0.15);
 }
 
 TEST(TrainerTest, FitsLinearFunctionClosely)
@@ -237,7 +238,7 @@ TEST(TrainerTest, DeterministicGivenSeeds)
         Trainer trainer(opts);
         Rng shuffle(seed + 1);
         trainer.train(net, x, y, shuffle);
-        return net.forward({0.3, 0.8})[0];
+        return net.forward(Vector{0.3, 0.8})[0];
     };
     EXPECT_DOUBLE_EQ(run(5), run(5));
     EXPECT_NE(run(5), run(6));
@@ -261,7 +262,7 @@ TEST(TrainerTest, RmsPropConvergesOnXor)
     Rng shuffle(22);
     const auto result = trainer.train(net, x, y, shuffle);
     EXPECT_LE(result.finalTrainLoss, 1e-3);
-    EXPECT_NEAR(net.forward({1, 0})[0], 1.0, 0.15);
+    EXPECT_NEAR(net.forward(Vector{1, 0})[0], 1.0, 0.15);
 }
 
 TEST(TrainerTest, RmsPropAndSgdDiffer)

@@ -8,7 +8,13 @@ per violation, so it can run as a ctest (see tools/lint_test.cmake).
 Rules:
   R1  No rand()/srand()/std::random_device outside src/numeric/rng.*.
       The reproduction is deterministic by construction; every draw must
-      flow through the seeded wcnn::numeric::Rng.
+      flow through the seeded wcnn::numeric::Rng. This extends to
+      parallel code (src/core/parallel.hh): a task running on a worker
+      thread must obtain any task-local generator via
+      Rng::stream(config_seed, task_index) — a pure function of the
+      config seed and the task index — never from wall clock, thread
+      id, or a generator shared across tasks, so results stay
+      bit-identical at every thread count.
   R2  No naked assert( in src/ — contracts go through the WCNN_* macros
       in src/core/contracts.hh so failures carry context and are
       testable. static_assert is fine.
