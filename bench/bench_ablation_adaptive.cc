@@ -10,13 +10,16 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "model/feature_models.hh"
 #include "model/refine.hh"
 #include "numeric/rng.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader("Ablation: adaptive model-guided tuning vs "
                        "blind random sampling (equal budget)");

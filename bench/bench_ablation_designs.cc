@@ -12,14 +12,17 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "data/metrics.hh"
 #include "model/nn_model.hh"
 #include "numeric/rng.hh"
 #include "sim/sample_space.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader("Ablation: experiment designs at ~32 samples "
                        "(factorial/grid/random/LHS)");

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "data/metrics.hh"
 #include "model/feature_models.hh"
 #include "model/nn_model.hh"
@@ -18,8 +19,10 @@
 #include "sim/sample_space.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader("Ablation: extrapolation beyond the training "
                        "range (paper section 5 limitation)");

@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "model/cross_validation.hh"
 
 namespace {
@@ -60,8 +61,10 @@ class SplitNnModel : public model::PerformanceModel
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     bench::printHeader("Ablation: one 4-to-5 network vs five 4-to-1 "
                        "networks (paper section 3.2)");
 

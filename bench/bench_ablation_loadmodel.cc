@@ -10,11 +10,14 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "sim/three_tier.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader("Ablation: open-loop vs closed-loop load "
                        "generation (web-queue sweep at default=10, "

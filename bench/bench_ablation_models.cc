@@ -11,14 +11,17 @@
 #include <memory>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "model/cross_validation.hh"
 #include "model/feature_models.hh"
 #include "model/linear_model.hh"
 #include "model/rbf_model.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader("Ablation: model families on the same workload "
                        "samples (5-fold CV, paper's error metric)");

@@ -11,11 +11,14 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "numeric/pca.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader(
         "Ablation: principal components of the 5 indicators");

@@ -10,11 +10,14 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "model/sensitivity.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader("Ablation: sensitivity analysis of the fitted "
                        "surrogate (elasticities, sign = direction)");

@@ -11,11 +11,14 @@
 #include <memory>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "model/cross_validation.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader("Ablation: standardization on/off "
                        "(paper section 3.1)");

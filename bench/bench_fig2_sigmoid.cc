@@ -7,11 +7,14 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "nn/activation.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using wcnn::nn::Activation;
     wcnn::bench::printHeader(
         "Figure 2: sigmoid activation vs slope parameter a");

@@ -8,12 +8,15 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "nn/mlp.hh"
 #include "numeric/rng.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using namespace wcnn::nn;
     wcnn::bench::printHeader("Figure 3: multilayer perceptron topology");
 

@@ -16,6 +16,7 @@
 #include <cmath>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "parallel_report.hh"
 
 namespace {
@@ -85,6 +86,8 @@ webTrendEndpoints(const wcnn::model::SurfaceGrid &grid)
 int
 main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using namespace wcnn;
     const std::size_t threads = bench::parseThreads(argc, argv, 1);
     bench::printHeader(

@@ -9,11 +9,14 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "data/metrics.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader("Figure 5: actual vs predicted, training set "
                        "(trial 1 of the 5-fold cross validation)");

@@ -9,11 +9,14 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "parallel_report.hh"
 
 int
 main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     using namespace wcnn;
     const std::size_t threads = bench::parseThreads(argc, argv, 1);
     bench::printHeader(

@@ -11,8 +11,10 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdio>
 
 #include "core/parallel.hh"
+#include "core/telemetry.hh"
 #include "nn/loss.hh"
 #include "nn/mlp.hh"
 #include "nn/trainer.hh"
@@ -162,10 +164,11 @@ reportParallelForward(std::size_t threads)
     };
 
     numeric::Matrix serial_out(rows, 5), parallel_out(rows, 5);
-    const double serial_s =
-        bench::timeSeconds([&] { sweep(1, serial_out); });
-    const double parallel_s =
-        bench::timeSeconds([&] { sweep(threads, parallel_out); });
+    const double serial_s = core::telemetry::timedSeconds(
+        "bench.forward.serial", [&] { sweep(1, serial_out); });
+    const double parallel_s = core::telemetry::timedSeconds(
+        "bench.forward.parallel",
+        [&] { sweep(threads, parallel_out); });
     bool identical = true;
     for (std::size_t i = 0; identical && i < rows; ++i)
         for (std::size_t j = 0; j < 5; ++j)
@@ -175,11 +178,85 @@ reportParallelForward(std::size_t threads)
                                 identical);
 }
 
+/**
+ * Per-epoch cost of telemetry recording: train the paper-shaped net
+ * for a fixed epoch budget with recording off, then on, best-of-3
+ * each, and report the relative overhead. The two runs must produce
+ * bit-identical weights — telemetry is a pure observer (the same
+ * invariant tests/telemetry_overhead_test.cc pins). The acceptance
+ * budget for the observability layer is < 5 % per epoch.
+ */
+void
+reportTelemetryOverhead()
+{
+    namespace telemetry = core::telemetry;
+
+    numeric::Rng data_rng(4);
+    const std::size_t n = 64;
+    numeric::Matrix x(n, 4), y(n, 5);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < 4; ++j)
+            x(i, j) = data_rng.uniform(-1, 1);
+        for (std::size_t j = 0; j < 5; ++j)
+            y(i, j) = data_rng.uniform(-1, 1);
+    }
+    nn::TrainOptions opts;
+    opts.maxEpochs = 200;
+    opts.targetLoss = 0.0;
+    opts.recordHistory = false;
+    const nn::Trainer trainer(opts);
+
+    const auto best_of_3 = [&](nn::Mlp *final_net) {
+        double best = 0.0;
+        for (int rep = 0; rep < 3; ++rep) {
+            numeric::Rng rng(5);
+            nn::Mlp net = makeNet(16, rng);
+            numeric::Rng shuffle(6);
+            const double secs =
+                telemetry::timedSeconds("bench.train.epochs", [&] {
+                    trainer.train(net, x, y, shuffle);
+                });
+            if (rep == 0 || secs < best)
+                best = secs;
+            *final_net = std::move(net);
+        }
+        return best;
+    };
+
+    const bool was_enabled = telemetry::enabled();
+    telemetry::setEnabled(false);
+    nn::Mlp off_net;
+    const double off_s = best_of_3(&off_net);
+    telemetry::setEnabled(true);
+    nn::Mlp on_net;
+    const double on_s = best_of_3(&on_net);
+    telemetry::setEnabled(was_enabled);
+
+    bool identical = off_net.depth() == on_net.depth();
+    for (std::size_t l = 0; identical && l < off_net.depth(); ++l) {
+        const auto &ow = off_net.weights(l);
+        const auto &nw = on_net.weights(l);
+        for (std::size_t i = 0; identical && i < ow.rows(); ++i)
+            for (std::size_t j = 0; j < ow.cols(); ++j)
+                identical &= ow(i, j) == nw(i, j);
+        identical = identical && off_net.biases(l) == on_net.biases(l);
+    }
+
+    const double overhead_pct =
+        off_s > 0.0 ? (on_s - off_s) / off_s * 100.0 : 0.0;
+    std::printf("[telemetry] per-epoch overhead: %.2f %% "
+                "(off %.4fs, on %.4fs, %zu epochs, weights identical "
+                "%s; budget < 5 %%)\n",
+                overhead_pct, off_s, on_s, opts.maxEpochs,
+                identical ? "yes" : "NO");
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    auto recorder = core::telemetry::Recorder::fromArgs(argc, argv);
     std::size_t threads = bench::parseThreads(argc, argv, 0);
     if (threads == 0)
         threads = core::hardwareThreads();
@@ -189,5 +266,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     reportParallelForward(threads);
+    reportTelemetryOverhead();
     return 0;
 }

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/telemetry.hh"
 #include "sim/analytic_surface.hh"
 #include "sim/simulator.hh"
 #include "sim/three_tier.hh"
@@ -68,4 +69,17 @@ BM_AnalyticEvaluation(benchmark::State &state)
 }
 BENCHMARK(BM_AnalyticEvaluation);
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the telemetry recorder can strip its
+// flags before benchmark::Initialize rejects them.
+int
+main(int argc, char **argv)
+{
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

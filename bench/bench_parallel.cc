@@ -16,6 +16,7 @@
 
 #include "common.hh"
 #include "core/parallel.hh"
+#include "core/telemetry.hh"
 #include "model/cross_validation.hh"
 #include "model/grid_search.hh"
 #include "numeric/rng.hh"
@@ -60,6 +61,8 @@ int
 main(int argc, char **argv)
 {
     using namespace wcnn;
+    namespace telemetry = core::telemetry;
+    auto recorder = telemetry::Recorder::fromArgs(argc, argv);
     std::size_t threads = bench::parseThreads(argc, argv, 0);
     if (threads == 0)
         threads = core::hardwareThreads();
@@ -98,14 +101,16 @@ main(int argc, char **argv)
             cfg.measure = 60.0;
         }
         data::Dataset serial_ds, parallel_ds;
-        const double serial_s = bench::timeSeconds([&] {
-            serial_ds =
-                sim::collectSimulated(sim_configs, params, 500, 2, 1);
-        });
-        const double parallel_s = bench::timeSeconds([&] {
-            parallel_ds = sim::collectSimulated(sim_configs, params,
-                                                500, 2, threads);
-        });
+        const double serial_s =
+            telemetry::timedSeconds("bench.collect.serial", [&] {
+                serial_ds = sim::collectSimulated(sim_configs,
+                                                  params, 500, 2, 1);
+            });
+        const double parallel_s =
+            telemetry::timedSeconds("bench.collect.parallel", [&] {
+                parallel_ds = sim::collectSimulated(
+                    sim_configs, params, 500, 2, threads);
+            });
         report("collect-simulated", serial_s, parallel_s,
                sameMatrix(serial_ds.yMatrix(), parallel_ds.yMatrix()));
     }
@@ -119,12 +124,15 @@ main(int argc, char **argv)
             return std::make_unique<model::NnModel>(nn);
         };
         cv.threads = 1;
-        const double serial_s = bench::timeSeconds(
-            [&] { serial_cv = model::crossValidate(factory, ds, cv); });
+        const double serial_s =
+            telemetry::timedSeconds("bench.cv.serial", [&] {
+                serial_cv = model::crossValidate(factory, ds, cv);
+            });
         cv.threads = threads;
-        const double parallel_s = bench::timeSeconds([&] {
-            parallel_cv = model::crossValidate(factory, ds, cv);
-        });
+        const double parallel_s =
+            telemetry::timedSeconds("bench.cv.parallel", [&] {
+                parallel_cv = model::crossValidate(factory, ds, cv);
+            });
         report("cross-validation", serial_s, parallel_s,
                sameCv(serial_cv, parallel_cv));
     }
@@ -135,11 +143,15 @@ main(int argc, char **argv)
         grid.seed = 2007;
         model::GridSearchResult serial_gs, parallel_gs;
         grid.threads = 1;
-        const double serial_s = bench::timeSeconds(
-            [&] { serial_gs = model::gridSearch(nn, ds, grid); });
+        const double serial_s =
+            telemetry::timedSeconds("bench.grid.serial", [&] {
+                serial_gs = model::gridSearch(nn, ds, grid);
+            });
         grid.threads = threads;
-        const double parallel_s = bench::timeSeconds(
-            [&] { parallel_gs = model::gridSearch(nn, ds, grid); });
+        const double parallel_s =
+            telemetry::timedSeconds("bench.grid.parallel", [&] {
+                parallel_gs = model::gridSearch(nn, ds, grid);
+            });
         bool identical = serial_gs.bestIndex == parallel_gs.bestIndex &&
                          serial_gs.entries.size() ==
                              parallel_gs.entries.size();
@@ -160,11 +172,15 @@ main(int argc, char **argv)
         req.pointsB = 161;
         model::SurfaceGrid serial_grid, parallel_grid;
         req.threads = 1;
-        const double serial_s = bench::timeSeconds(
-            [&] { serial_grid = model::sweepSurface(mdl, req, ds); });
+        const double serial_s =
+            telemetry::timedSeconds("bench.sweep.serial", [&] {
+                serial_grid = model::sweepSurface(mdl, req, ds);
+            });
         req.threads = threads;
-        const double parallel_s = bench::timeSeconds(
-            [&] { parallel_grid = model::sweepSurface(mdl, req, ds); });
+        const double parallel_s =
+            telemetry::timedSeconds("bench.sweep.parallel", [&] {
+                parallel_grid = model::sweepSurface(mdl, req, ds);
+            });
         report("surface-sweep", serial_s, parallel_s,
                sameMatrix(serial_grid.z, parallel_grid.z));
     }

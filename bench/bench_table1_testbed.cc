@@ -9,11 +9,14 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/telemetry.hh"
 #include "sim/workload.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     wcnn::bench::printHeader("Table 1: experiment settings");
 
     const auto params = wcnn::sim::WorkloadParams::defaults();

@@ -15,6 +15,7 @@
 
 #include "common.hh"
 #include "core/parallel.hh"
+#include "core/telemetry.hh"
 #include "model/cross_validation.hh"
 #include "parallel_report.hh"
 
@@ -22,6 +23,8 @@ int
 main(int argc, char **argv)
 {
     using namespace wcnn;
+    namespace telemetry = core::telemetry;
+    auto recorder = telemetry::Recorder::fromArgs(argc, argv);
     std::size_t threads = bench::parseThreads(argc, argv, 0);
     if (threads == 0)
         threads = core::hardwareThreads();
@@ -74,13 +77,17 @@ main(int argc, char **argv)
     };
     model::CvResult serial_cv, parallel_cv;
     cv.threads = 1;
-    const double serial_s = bench::timeSeconds([&] {
-        serial_cv = model::crossValidate(factory, study.dataset, cv);
-    });
+    const double serial_s =
+        telemetry::timedSeconds("bench.cv.serial", [&] {
+            serial_cv =
+                model::crossValidate(factory, study.dataset, cv);
+        });
     cv.threads = threads;
-    const double parallel_s = bench::timeSeconds([&] {
-        parallel_cv = model::crossValidate(factory, study.dataset, cv);
-    });
+    const double parallel_s =
+        telemetry::timedSeconds("bench.cv.parallel", [&] {
+            parallel_cv =
+                model::crossValidate(factory, study.dataset, cv);
+        });
     const bool identical =
         serial_cv.averageValidationError() ==
             parallel_cv.averageValidationError() &&

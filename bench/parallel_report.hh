@@ -4,19 +4,19 @@
  *
  * Header-only so both the figure benches (wcnn_bench_common) and the
  * google-benchmark binaries can use it without extra link edges:
- * `--threads N` argv parsing, wall-clock timing, and the
- * BENCH_parallel.json record sink that CI uploads as an artifact.
+ * `--threads N` argv parsing and the BENCH_parallel.json record sink
+ * that CI uploads as an artifact. Wall-clock timing lives in
+ * core/telemetry.hh (timedSeconds) — the one sanctioned clock (lint
+ * rule R5).
  */
 
 #ifndef WCNN_BENCH_PARALLEL_REPORT_HH
 #define WCNN_BENCH_PARALLEL_REPORT_HH
 
-#include <chrono>
 #include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <functional>
 #include <sstream>
 #include <string>
 
@@ -52,16 +52,6 @@ parseThreads(int &argc, char **argv, std::size_t fallback = 1)
     }
     argc = out;
     return threads;
-}
-
-/** Wall-clock seconds spent in fn(). */
-inline double
-timeSeconds(const std::function<void()> &fn)
-{
-    const auto start = std::chrono::steady_clock::now();
-    fn();
-    const auto stop = std::chrono::steady_clock::now();
-    return std::chrono::duration<double>(stop - start).count();
 }
 
 /**

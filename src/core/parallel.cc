@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/contracts.hh"
+#include "core/telemetry.hh"
 
 namespace wcnn {
 namespace core {
@@ -64,6 +65,7 @@ ThreadPool::forEach(std::size_t n, const Body &body)
 {
     if (n == 0)
         return;
+    WCNN_SPAN("pool.batch", n, nThreads);
     if (nThreads <= 1 || n == 1) {
         runSerial(n, body);
         return;
@@ -73,6 +75,8 @@ ThreadPool::forEach(std::size_t n, const Body &body)
     batch.n = n;
     batch.body = &body;
     batch.pendingTasks = n;
+    if (WCNN_TELEMETRY_ENABLED())
+        batch.submitNs = telemetry::nowNs();
 
     std::unique_lock<std::mutex> lock(mutex);
     WCNN_ENSURE(currentBatch == nullptr,
@@ -97,9 +101,18 @@ ThreadPool::workerLoop()
     std::uint64_t seen_generation = 0;
     std::unique_lock<std::mutex> lock(mutex);
     for (;;) {
+        std::int64_t idle_start = 0;
+        if (WCNN_TELEMETRY_ENABLED())
+            idle_start = telemetry::nowNs();
         workReady.wait(lock, [&] {
             return shuttingDown || batchGeneration != seen_generation;
         });
+        if (WCNN_TELEMETRY_ENABLED() && idle_start != 0) {
+            WCNN_HISTOGRAM_RECORD(
+                "pool.idle_ns",
+                static_cast<std::uint64_t>(std::max<std::int64_t>(
+                    0, telemetry::nowNs() - idle_start)));
+        }
         if (shuttingDown)
             return;
         seen_generation = batchGeneration;
@@ -114,9 +127,18 @@ void
 ThreadPool::drainBatch(Batch &batch)
 {
     // Caller holds `mutex`; it is released around each task body.
+    std::size_t executed = 0;
     while (batch.nextIndex < batch.n) {
         const std::size_t index = batch.nextIndex++;
         mutex.unlock();
+        if (WCNN_TELEMETRY_ENABLED() && batch.submitNs != 0) {
+            WCNN_HISTOGRAM_RECORD(
+                "pool.queue_wait_ns",
+                static_cast<std::uint64_t>(std::max<std::int64_t>(
+                    0, telemetry::nowNs() - batch.submitNs)));
+        }
+        WCNN_COUNTER_ADD("pool.tasks", 1);
+        ++executed;
         std::exception_ptr error;
         try {
             (*batch.body)(index);
@@ -131,6 +153,9 @@ ThreadPool::drainBatch(Batch &batch)
         if (--batch.pendingTasks == 0)
             batchDone.notify_all();
     }
+    // Per-runner task share of this batch (load-imbalance signal).
+    if (executed > 0)
+        WCNN_EVENT("pool.drain", executed);
 }
 
 void

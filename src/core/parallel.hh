@@ -28,6 +28,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -92,6 +93,12 @@ class ThreadPool
         /** Lowest failing index and its exception. */
         std::size_t failIndex = 0;
         std::exception_ptr failure;
+        /**
+         * Submission timestamp feeding the pool.queue_wait_ns
+         * histogram; 0 when telemetry is off. Written once before the
+         * workers are woken, read-only afterwards.
+         */
+        std::int64_t submitNs = 0;
     };
 
     /** Worker main loop: wait for a batch, drain it, repeat. */

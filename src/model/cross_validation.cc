@@ -5,6 +5,7 @@
 
 #include "core/contracts.hh"
 #include "core/parallel.hh"
+#include "core/telemetry.hh"
 
 #include "numeric/rng.hh"
 #include "numeric/stats.hh"
@@ -61,10 +62,13 @@ crossValidate(const ModelFactory &factory, const data::Dataset &ds,
     result.indicatorNames = ds.outputs();
     result.trials.resize(options.folds);
 
+    WCNN_SPAN("cv", options.folds, ds.size());
+
     // Each trial writes only its own index-addressed slot; exceptions
     // (a diverging trainer, a contract violation) propagate
     // first-failure out of the pool.
     core::parallelFor(options.folds, options.threads, [&](std::size_t f) {
+        WCNN_SPAN("cv.fold", f);
         const data::Split split = kfold.split(ds, f);
         auto model = factory();
         model->fit(split.train);
@@ -82,6 +86,11 @@ crossValidate(const ModelFactory &factory, const data::Dataset &ds,
         trial.validation = data::evaluate(ds.outputs(),
                                           split.validation.yMatrix(),
                                           val_pred);
+        // Arg 1 must be bit-identical to the score derived from the
+        // returned trials (pinned by telemetry_pipeline_test).
+        WCNN_EVENT("cv.fold.error", f,
+                   numeric::mean(trial.validation.harmonicError),
+                   numeric::mean(trial.training.harmonicError));
         if (options.keepPredictions) {
             trial.trainSet = split.train;
             trial.validationSet = split.validation;

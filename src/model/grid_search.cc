@@ -4,6 +4,7 @@
 
 #include "core/contracts.hh"
 #include "core/parallel.hh"
+#include "core/telemetry.hh"
 
 #include "data/metrics.hh"
 #include "data/split.hh"
@@ -34,12 +35,15 @@ gridSearch(const NnModelOptions &base, const data::Dataset &ds,
     const std::size_t n_losses = options.targetLosses.size();
     result.entries.resize(options.hiddenUnits.size() * n_losses);
 
+    WCNN_SPAN("grid", result.entries.size());
+
     // Flattened (units-major) candidate index preserves the serial
     // evaluation order in `entries`.
     core::parallelFor(
         result.entries.size(), options.threads, [&](std::size_t c) {
             const std::size_t units = options.hiddenUnits[c / n_losses];
             const double target = options.targetLosses[c % n_losses];
+            WCNN_SPAN("grid.candidate", c, units, target);
             NnModelOptions opts = base;
             opts.hiddenUnits = {units};
             opts.train.targetLoss = target;
@@ -51,6 +55,8 @@ gridSearch(const NnModelOptions &base, const data::Dataset &ds,
                 candidate.predictAll(split.validation));
             result.entries[c] = GridSearchEntry{
                 units, target, numeric::mean(report.harmonicError)};
+            WCNN_EVENT("grid.candidate.error", c,
+                       result.entries[c].validationError);
         });
 
     // Pick the winner after the fan-in; strict < keeps the serial

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/telemetry.hh"
 #include "numeric/rng.hh"
 
 namespace wcnn {
@@ -11,6 +12,8 @@ StudyResult
 runStudy(const StudyOptions &options)
 {
     StudyResult result;
+
+    WCNN_SPAN("study", options.designSamples);
 
     // 1. Experiment design + sample collection: a Latin hypercube over
     // the full space plus a grid anchored at the analysis slice.
@@ -60,6 +63,7 @@ runStudy(const StudyOptions &options)
     // hand-tuned first trial).
     result.tunedNn = options.nn;
     if (options.tune) {
+        WCNN_SPAN("study.tune");
         GridSearchOptions tuning = options.tuning;
         tuning.seed = options.seed + 1;
         tuning.threads = options.threads;
@@ -70,17 +74,23 @@ runStudy(const StudyOptions &options)
     }
 
     // 3. k-fold cross validation with the tuned settings.
-    CvOptions cv = options.cv;
-    cv.seed = options.seed + 2;
-    cv.threads = options.threads;
-    const NnModelOptions tuned = result.tunedNn;
-    result.cv = crossValidate(
-        [&tuned]() { return std::make_unique<NnModel>(tuned); },
-        result.dataset, cv);
+    {
+        WCNN_SPAN("study.cv");
+        CvOptions cv = options.cv;
+        cv.seed = options.seed + 2;
+        cv.threads = options.threads;
+        const NnModelOptions tuned = result.tunedNn;
+        result.cv = crossValidate(
+            [&tuned]() { return std::make_unique<NnModel>(tuned); },
+            result.dataset, cv);
+    }
 
     // 4. Final surrogate on all samples.
-    result.finalModel = NnModel(result.tunedNn);
-    result.finalModel.fit(result.dataset);
+    {
+        WCNN_SPAN("study.final_fit");
+        result.finalModel = NnModel(result.tunedNn);
+        result.finalModel.fit(result.dataset);
+    }
     return result;
 }
 

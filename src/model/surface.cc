@@ -7,6 +7,7 @@
 
 #include "core/contracts.hh"
 #include "core/parallel.hh"
+#include "core/telemetry.hh"
 
 namespace wcnn {
 namespace model {
@@ -167,11 +168,14 @@ sweepSurface(const PerformanceModel &mdl, const SurfaceRequest &request,
     grid.bValues = linspace(request.loB, request.hiB, request.pointsB);
     grid.z = numeric::Matrix(request.pointsA, request.pointsB);
 
+    WCNN_SPAN("sweep", request.pointsA, request.pointsB);
+
     // One task per axisA row: build the row's probe matrix, evaluate
     // it in one batched predictAll (Mlp's matrix forward for the NN
     // model), and write only that row of z.
     core::parallelFor(
         grid.aValues.size(), request.threads, [&](std::size_t i) {
+            WCNN_SPAN("sweep.row", i);
             numeric::Matrix probes(grid.bValues.size(),
                                    request.fixed.size());
             numeric::Vector probe = request.fixed;
@@ -183,6 +187,8 @@ sweepSurface(const PerformanceModel &mdl, const SurfaceRequest &request,
             const numeric::Matrix predicted = mdl.predictAll(probes);
             for (std::size_t j = 0; j < grid.bValues.size(); ++j)
                 grid.z(i, j) = predicted(j, request.indicator);
+            WCNN_COUNTER_ADD("sweep.rows", 1);
+            WCNN_COUNTER_ADD("sweep.cells", grid.bValues.size());
         });
     return grid;
 }

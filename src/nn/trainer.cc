@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/contracts.hh"
+#include "core/telemetry.hh"
 #include "nn/loss.hh"
 #include "numeric/rng.hh"
 
@@ -120,6 +121,8 @@ Trainer::train(Mlp &net, const numeric::Matrix &x,
     const std::size_t batch =
         opts.batchSize == 0 ? n : std::min(opts.batchSize, n);
 
+    WCNN_SPAN("train", n, opts.maxEpochs);
+
     Velocity velocity(net);
     RmsProp rmsprop(net);
     Mlp::Cache cache;
@@ -136,6 +139,9 @@ Trainer::train(Mlp &net, const numeric::Matrix &x,
 
         const auto order = rng.permutation(n);
         double epoch_loss = 0.0;
+        // Sum of per-batch gradient norms squared; telemetry-only, so
+        // the extra reduction is skipped when nobody is listening.
+        double grad_norm_sq = 0.0;
 
         std::size_t cursor = 0;
         while (cursor < n) {
@@ -153,6 +159,8 @@ Trainer::train(Mlp &net, const numeric::Matrix &x,
             }
             batch_grad.scale(1.0 /
                              static_cast<double>(batch_end - cursor));
+            if (WCNN_TELEMETRY_ENABLED())
+                grad_norm_sq += batch_grad.squaredNorm();
             if (opts.rmsprop) {
                 net.applyUpdate(rmsprop.update(batch_grad, lr,
                                                opts.rmspropDecay));
@@ -164,6 +172,10 @@ Trainer::train(Mlp &net, const numeric::Matrix &x,
         }
 
         epoch_loss /= static_cast<double>(n);
+        WCNN_EVENT("train.epoch", epoch, epoch_loss,
+                   std::sqrt(grad_norm_sq), lr);
+        if (!std::isfinite(epoch_loss))
+            WCNN_EVENT("train.diverged", epoch, epoch_loss);
         WCNN_CHECK_FINITE(epoch_loss, "training diverged at epoch ", epoch,
                           " (lr ", lr, "): raise WCNN_NO_CONTRACTS only if "
                           "divergence is expected");
@@ -174,6 +186,7 @@ Trainer::train(Mlp &net, const numeric::Matrix &x,
 
         if (has_validation) {
             const double val_loss = evaluateLoss(net, *val_x, *val_y);
+            WCNN_EVENT("train.val", epoch, val_loss);
             if (opts.recordHistory)
                 result.validationLossHistory.push_back(val_loss);
             if (val_loss < best_val) {
@@ -187,6 +200,7 @@ Trainer::train(Mlp &net, const numeric::Matrix &x,
             if (opts.patience > 0 &&
                 epochs_since_best >= opts.patience) {
                 result.earlyStopped = true;
+                WCNN_EVENT("train.stop.early", epoch, best_val);
                 net = best_net;
                 break;
             }
@@ -194,6 +208,7 @@ Trainer::train(Mlp &net, const numeric::Matrix &x,
 
         if (opts.targetLoss > 0.0 && epoch_loss <= opts.targetLoss) {
             result.hitTargetLoss = true;
+            WCNN_EVENT("train.stop.target", epoch, epoch_loss);
             break;
         }
     }

@@ -5,6 +5,7 @@
 
 #include "core/contracts.hh"
 #include "core/parallel.hh"
+#include "core/telemetry.hh"
 
 #include "numeric/rng.hh"
 
@@ -125,10 +126,13 @@ data::Dataset
 collectDataset(const std::vector<ThreeTierConfig> &configs,
                const SampleFn &fn, std::size_t threads)
 {
+    WCNN_SPAN("collect.dataset", configs.size());
+
     // Evaluate into index-addressed slots, then assemble in configs
     // order, so the dataset rows are thread-count independent.
     std::vector<PerfSample> samples(configs.size());
     core::parallelFor(configs.size(), threads, [&](std::size_t i) {
+        WCNN_SPAN("collect.config", i);
         samples[i] = fn(configs[i]);
     });
 
@@ -148,8 +152,10 @@ collectSimulated(std::vector<ThreeTierConfig> configs,
     // Seeds are a function of the configuration *index*, not of
     // collection order, reproducing the historical serial counter
     // (config i, replicate r -> seed_base + i*replicates + r).
+    WCNN_SPAN("collect.simulated", configs.size(), replicates);
     std::vector<PerfSample> means(configs.size());
     core::parallelFor(configs.size(), threads, [&](std::size_t i) {
+        WCNN_SPAN("collect.config", i);
         PerfSample mean;
         for (std::size_t r = 0; r < replicates; ++r) {
             ThreeTierConfig replica = configs[i];
@@ -161,6 +167,7 @@ collectSimulated(std::vector<ThreeTierConfig> configs,
             mean.dealerBrowseRt += s.dealerBrowseRt;
             mean.throughput += s.throughput;
         }
+        WCNN_COUNTER_ADD("sim.replicates", replicates);
         const double n = static_cast<double>(replicates);
         mean.manufacturingRt /= n;
         mean.dealerPurchaseRt /= n;

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Compiled with -DWCNN_NO_TELEMETRY (see tests/CMakeLists.txt): every
+ * telemetry macro must become an unevaluated no-op — the argument
+ * expressions are type-checked inside sizeof but never executed, so a
+ * no-telemetry build can never pay for, or be perturbed by,
+ * instrumentation. Mirrors contracts_nocontracts_test.cc.
+ *
+ * Only this translation unit is built without telemetry; the linked
+ * libraries keep theirs, so the function API (registry, collectEvents)
+ * still works and proves the macros here recorded nothing.
+ */
+
+#ifndef WCNN_NO_TELEMETRY
+#error "this test must be compiled with -DWCNN_NO_TELEMETRY"
+#endif
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "core/telemetry.hh"
+
+namespace {
+
+namespace telemetry = wcnn::core::telemetry;
+
+class NoTelemetryTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        telemetry::setEnabled(false);
+        telemetry::reset();
+    }
+
+    void
+    TearDown() override
+    {
+        telemetry::setEnabled(false);
+        telemetry::reset();
+    }
+};
+
+TEST_F(NoTelemetryTest, EnabledGateIsCompileTimeFalse)
+{
+    // Even with recording switched on at runtime, the compile-time
+    // gate stays false so auxiliary work is never done.
+    telemetry::setEnabled(true);
+    static_assert(!WCNN_TELEMETRY_ENABLED(),
+                  "WCNN_TELEMETRY_ENABLED() must be constant false "
+                  "under WCNN_NO_TELEMETRY");
+    EXPECT_FALSE(WCNN_TELEMETRY_ENABLED());
+    // The function API is unaffected by the macro switch (ODR safety).
+    EXPECT_TRUE(telemetry::enabled());
+}
+
+TEST_F(NoTelemetryTest, MacroArgumentsAreNotEvaluated)
+{
+    telemetry::setEnabled(true);
+    int evaluations = 0;
+    auto probe = [&evaluations]() {
+        ++evaluations;
+        return std::uint64_t{1};
+    };
+    WCNN_SPAN("no.span", probe());
+    WCNN_EVENT("no.event", probe(), probe());
+    WCNN_COUNTER_ADD("no.ctr", probe());
+    WCNN_GAUGE_SET("no.gauge", probe());
+    WCNN_HISTOGRAM_RECORD("no.hist", probe());
+    EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(NoTelemetryTest, MacrosRecordNothingEvenWhenEnabled)
+{
+    telemetry::setEnabled(true);
+    {
+        WCNN_SPAN("no.span");
+        WCNN_EVENT("no.event", 1.0);
+        WCNN_COUNTER_ADD("no.ctr", 1);
+        WCNN_GAUGE_SET("no.gauge", 2.0);
+        WCNN_HISTOGRAM_RECORD("no.hist", 3);
+    }
+    EXPECT_TRUE(telemetry::collectEvents().empty());
+    const telemetry::MetricsSnapshot snap = telemetry::snapshotMetrics();
+    EXPECT_TRUE(snap.counters.empty());
+    EXPECT_TRUE(snap.gauges.empty());
+    EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST_F(NoTelemetryTest, SpanMacroDeclaresNoScopeObject)
+{
+    // WCNN_SPAN must not introduce a block-scoped RAII object in this
+    // mode: it expands to a discarded expression, so two in one block
+    // cannot collide and no destructor runs at scope exit.
+    WCNN_SPAN("twice");
+    WCNN_SPAN("twice");
+    EXPECT_TRUE(telemetry::collectEvents().empty());
+}
+
+TEST_F(NoTelemetryTest, DirectApiStillWorks)
+{
+    // The compile-out switch removes instrumentation, not the library:
+    // exporters and explicit handles must keep functioning so tools
+    // built either way stay link- and behavior-compatible.
+    telemetry::setEnabled(true);
+    telemetry::counter("direct.ctr").add(4);
+    const telemetry::MetricsSnapshot snap = telemetry::snapshotMetrics();
+    ASSERT_EQ(snap.counters.size(), 1u);
+    EXPECT_EQ(snap.counters[0].value, 4u);
+}
+
+} // namespace

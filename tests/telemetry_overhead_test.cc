@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Telemetry non-interference regression: recording must be a pure
+ * observer. Training a fixed seeded topology with telemetry enabled
+ * must yield bit-identical weights, biases, and loss history to the
+ * same run with telemetry disabled (and, via the no-contracts preset
+ * which also defines WCNN_NO_TELEMETRY, to the fully compiled-out
+ * build — golden_table2_test pins that side). Cross-validation scores
+ * and sweep surfaces get the same treatment.
+ *
+ * The wall-clock overhead bound itself is measured by bench_micro_nn
+ * (--telemetry-overhead), not asserted here: a unit test timing a 5%
+ * margin on a loaded 1-CPU CI box would be pure flake.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/telemetry.hh"
+#include "model/cross_validation.hh"
+#include "model/nn_model.hh"
+#include "model/surface.hh"
+#include "nn/activation.hh"
+#include "nn/mlp.hh"
+#include "nn/trainer.hh"
+#include "numeric/matrix.hh"
+#include "numeric/rng.hh"
+#include "sim/sample_space.hh"
+
+using wcnn::data::Dataset;
+using wcnn::model::CvOptions;
+using wcnn::model::CvResult;
+using wcnn::model::NnModel;
+using wcnn::model::NnModelOptions;
+using wcnn::model::SurfaceRequest;
+using wcnn::nn::Activation;
+using wcnn::nn::InitRule;
+using wcnn::nn::LayerSpec;
+using wcnn::nn::Mlp;
+using wcnn::nn::Trainer;
+using wcnn::nn::TrainOptions;
+using wcnn::nn::TrainResult;
+using wcnn::numeric::Matrix;
+using wcnn::numeric::Rng;
+
+namespace telemetry = wcnn::core::telemetry;
+
+namespace {
+
+void
+expectSameMatrix(const Matrix &a, const Matrix &b)
+{
+    ASSERT_EQ(a.rows(), b.rows());
+    ASSERT_EQ(a.cols(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            EXPECT_EQ(a(i, j), b(i, j)) << "(" << i << ", " << j << ")";
+}
+
+/** Deterministic synthetic regression problem (standardized-ish). */
+void
+makeTrainingData(Matrix *x, Matrix *y)
+{
+    const std::size_t n = 32;
+    *x = Matrix(n, 3);
+    *y = Matrix(n, 2);
+    Rng rng(404);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.uniform() * 2.0 - 1.0;
+        const double b = rng.uniform() * 2.0 - 1.0;
+        const double c = rng.uniform() * 2.0 - 1.0;
+        (*x)(i, 0) = a;
+        (*x)(i, 1) = b;
+        (*x)(i, 2) = c;
+        (*y)(i, 0) = 0.5 * a - 0.25 * b * c;
+        (*y)(i, 1) = a * a - 0.5 * c;
+    }
+}
+
+/** One full seeded training run; telemetry state set by the caller. */
+TrainResult
+trainOnce(Mlp *out_net)
+{
+    Matrix x, y;
+    makeTrainingData(&x, &y);
+
+    Rng init_rng(99);
+    std::vector<LayerSpec> layers = {
+        LayerSpec{8, Activation::logistic()},
+        LayerSpec{y.cols(), Activation::identity()},
+    };
+    Mlp net(x.cols(), layers, InitRule::Xavier, init_rng);
+
+    TrainOptions opts;
+    opts.maxEpochs = 120;
+    opts.targetLoss = 0.0; // run the full epoch budget
+    Rng train_rng(100);
+    const TrainResult result =
+        Trainer(opts).train(net, x, y, train_rng);
+    *out_net = std::move(net);
+    return result;
+}
+
+class TelemetryOverheadTest : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        telemetry::setEnabled(false);
+        telemetry::reset();
+    }
+};
+
+TEST_F(TelemetryOverheadTest, TrainingIsBitIdenticalOnVsOff)
+{
+    telemetry::setEnabled(false);
+    telemetry::reset();
+    Mlp off_net;
+    const TrainResult off = trainOnce(&off_net);
+
+    telemetry::setEnabled(true);
+    Mlp on_net;
+    const TrainResult on = trainOnce(&on_net);
+    telemetry::setEnabled(false);
+
+    EXPECT_EQ(off.epochs, on.epochs);
+    EXPECT_EQ(off.finalTrainLoss, on.finalTrainLoss);
+    ASSERT_EQ(off.trainLossHistory.size(), on.trainLossHistory.size());
+    for (std::size_t e = 0; e < off.trainLossHistory.size(); ++e)
+        EXPECT_EQ(off.trainLossHistory[e], on.trainLossHistory[e])
+            << "epoch " << e;
+
+    ASSERT_EQ(off_net.depth(), on_net.depth());
+    for (std::size_t l = 0; l < off_net.depth(); ++l) {
+        expectSameMatrix(off_net.weights(l), on_net.weights(l));
+        const auto &ob = off_net.biases(l);
+        const auto &nb = on_net.biases(l);
+        ASSERT_EQ(ob.size(), nb.size());
+        for (std::size_t j = 0; j < ob.size(); ++j)
+            EXPECT_EQ(ob[j], nb[j]) << "layer " << l << " bias " << j;
+    }
+
+#ifndef WCNN_NO_TELEMETRY
+    // The enabled run must actually have observed the training loop —
+    // otherwise this test proves nothing.
+    telemetry::setEnabled(true); // collectEvents is state-independent,
+    telemetry::setEnabled(false); // but make the intent explicit
+    std::size_t epoch_events = 0;
+    for (const auto &event : telemetry::collectEvents()) {
+        if (std::string(event.name) == "train.epoch")
+            ++epoch_events;
+    }
+    EXPECT_EQ(epoch_events, on.epochs);
+#endif
+}
+
+TEST_F(TelemetryOverheadTest, CrossValidationScoresIdenticalOnVsOff)
+{
+    Rng rng(2026);
+    const auto configs = wcnn::sim::latinHypercubeDesign(
+        wcnn::sim::SampleSpace::paperLike(), 24, rng);
+    const Dataset ds = wcnn::sim::collectAnalytic(
+        configs, wcnn::sim::WorkloadParams::defaults());
+
+    NnModelOptions nn;
+    nn.hiddenUnits = {6};
+    nn.train.maxEpochs = 250;
+    nn.train.targetLoss = 0.05;
+    CvOptions cv;
+    cv.folds = 5;
+    cv.seed = 7;
+    cv.threads = 2;
+    const auto run = [&]() {
+        return wcnn::model::crossValidate(
+            [&nn]() { return std::make_unique<NnModel>(nn); }, ds, cv);
+    };
+
+    telemetry::setEnabled(false);
+    telemetry::reset();
+    const CvResult off = run();
+    telemetry::setEnabled(true);
+    const CvResult on = run();
+    telemetry::setEnabled(false);
+
+    ASSERT_EQ(off.trials.size(), on.trials.size());
+    for (std::size_t f = 0; f < off.trials.size(); ++f) {
+        const auto &oe = off.trials[f].validation.harmonicError;
+        const auto &ne = on.trials[f].validation.harmonicError;
+        ASSERT_EQ(oe.size(), ne.size());
+        for (std::size_t j = 0; j < oe.size(); ++j)
+            EXPECT_EQ(oe[j], ne[j]) << "fold " << f << " col " << j;
+    }
+    EXPECT_EQ(off.overallValidationError(), on.overallValidationError());
+}
+
+TEST_F(TelemetryOverheadTest, SweepSurfaceIdenticalOnVsOff)
+{
+    Rng rng(2026);
+    const auto configs = wcnn::sim::latinHypercubeDesign(
+        wcnn::sim::SampleSpace::paperLike(), 24, rng);
+    const Dataset ds = wcnn::sim::collectAnalytic(
+        configs, wcnn::sim::WorkloadParams::defaults());
+
+    NnModelOptions nn;
+    nn.hiddenUnits = {6};
+    nn.train.maxEpochs = 250;
+    nn.train.targetLoss = 0.05;
+    NnModel mdl(nn);
+    mdl.fit(ds);
+
+    SurfaceRequest req;
+    req.axisA = 1;
+    req.axisB = 3;
+    req.indicator = 0;
+    req.fixed = {560.0, 0.0, 16.0, 0.0};
+    req.loA = 0.0;
+    req.hiA = 20.0;
+    req.loB = 14.0;
+    req.hiB = 20.0;
+    req.pointsA = 7;
+    req.pointsB = 5;
+    req.threads = 2;
+
+    telemetry::setEnabled(false);
+    telemetry::reset();
+    const auto off = wcnn::model::sweepSurface(mdl, req, ds);
+    telemetry::setEnabled(true);
+    const auto on = wcnn::model::sweepSurface(mdl, req, ds);
+    telemetry::setEnabled(false);
+
+    expectSameMatrix(off.z, on.z);
+    EXPECT_EQ(off.aValues, on.aValues);
+    EXPECT_EQ(off.bValues, on.bValues);
+}
+
+} // namespace

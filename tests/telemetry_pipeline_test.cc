@@ -1,0 +1,397 @@
+/**
+ * @file
+ * End-to-end telemetry schema test: run a tiny collect/CV/grid/sweep
+ * pipeline with recording on, then parse the emitted JSONL and pin the
+ * event schema — required fields, monotonic timestamps, balanced span
+ * open/close per thread — and that the per-fold error events agree
+ * bit-for-bit with crossValidate's returned scores (%.17g doubles must
+ * round-trip exactly).
+ *
+ * Meaningless when the library is built with WCNN_NO_TELEMETRY (the
+ * instrumentation macros are compiled out), so the suite reduces to a
+ * skip marker there.
+ */
+
+#include <gtest/gtest.h>
+
+#ifndef WCNN_NO_TELEMETRY
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/telemetry.hh"
+#include "model/cross_validation.hh"
+#include "model/grid_search.hh"
+#include "model/nn_model.hh"
+#include "model/surface.hh"
+#include "numeric/rng.hh"
+#include "numeric/stats.hh"
+#include "sim/sample_space.hh"
+
+using wcnn::data::Dataset;
+using wcnn::model::CvOptions;
+using wcnn::model::CvResult;
+using wcnn::model::GridSearchOptions;
+using wcnn::model::NnModel;
+using wcnn::model::NnModelOptions;
+using wcnn::model::SurfaceRequest;
+using wcnn::numeric::Rng;
+
+namespace telemetry = wcnn::core::telemetry;
+
+namespace {
+
+/** One parsed JSONL line. */
+struct JsonlLine
+{
+    std::string type;
+    std::string name;
+    double tsNs = 0.0;
+    double seq = 0.0;
+    double tid = 0.0;
+    double depth = 0.0;
+    double value = 0.0;
+    std::vector<double> args;
+    std::string raw;
+
+    bool
+    isEvent() const
+    {
+        return type == "span_begin" || type == "span_end" ||
+               type == "instant";
+    }
+};
+
+/** Extract `"key":"..."` as a string; empty when absent. */
+std::string
+findString(const std::string &line, const std::string &key)
+{
+    const std::string needle = "\"" + key + "\":\"";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return {};
+    const std::size_t start = pos + needle.size();
+    return line.substr(start, line.find('"', start) - start);
+}
+
+/** Extract `"key":<number>`; false when absent. */
+bool
+findNumber(const std::string &line, const std::string &key, double *out)
+{
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const char *text = line.c_str() + pos + needle.size();
+    char *end = nullptr;
+    *out = std::strtod(text, &end);
+    return end != text;
+}
+
+/** Parse the `"args":[...]` array; null entries become NaN. */
+std::vector<double>
+parseArgs(const std::string &line)
+{
+    std::vector<double> out;
+    const std::size_t pos = line.find("\"args\":[");
+    if (pos == std::string::npos)
+        return out;
+    const char *cursor = line.c_str() + pos + 8;
+    while (*cursor != '\0' && *cursor != ']') {
+        if (*cursor == ',') {
+            ++cursor;
+            continue;
+        }
+        if (std::strncmp(cursor, "null", 4) == 0) {
+            out.push_back(std::nan(""));
+            cursor += 4;
+            continue;
+        }
+        char *end = nullptr;
+        out.push_back(std::strtod(cursor, &end));
+        if (end == cursor)
+            break;
+        cursor = end;
+    }
+    return out;
+}
+
+std::vector<JsonlLine>
+parseJsonl(const std::string &text)
+{
+    std::vector<JsonlLine> out;
+    std::istringstream is(text);
+    std::string raw;
+    while (std::getline(is, raw)) {
+        JsonlLine line;
+        line.raw = raw;
+        line.type = findString(raw, "type");
+        line.name = findString(raw, "name");
+        findNumber(raw, "ts_ns", &line.tsNs);
+        findNumber(raw, "seq", &line.seq);
+        findNumber(raw, "tid", &line.tid);
+        findNumber(raw, "depth", &line.depth);
+        findNumber(raw, "value", &line.value);
+        line.args = parseArgs(raw);
+        out.push_back(std::move(line));
+    }
+    return out;
+}
+
+Dataset
+makeDataset(std::size_t n = 24)
+{
+    Rng rng(2026);
+    const auto configs = wcnn::sim::latinHypercubeDesign(
+        wcnn::sim::SampleSpace::paperLike(), n, rng);
+    return wcnn::sim::collectAnalytic(
+        configs, wcnn::sim::WorkloadParams::defaults());
+}
+
+NnModelOptions
+fastNn()
+{
+    NnModelOptions opts;
+    opts.hiddenUnits = {6};
+    opts.train.maxEpochs = 250;
+    opts.train.targetLoss = 0.05;
+    return opts;
+}
+
+CvResult
+runCv(const Dataset &ds, std::size_t threads)
+{
+    CvOptions cv;
+    cv.folds = 5;
+    cv.seed = 7;
+    cv.threads = threads;
+    const NnModelOptions nn = fastNn();
+    return wcnn::model::crossValidate(
+        [&nn]() { return std::make_unique<NnModel>(nn); }, ds, cv);
+}
+
+class TelemetryPipelineTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        telemetry::setEnabled(false);
+        telemetry::reset();
+        telemetry::setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        telemetry::setEnabled(false);
+        telemetry::reset();
+    }
+
+    std::vector<JsonlLine>
+    dumpSession()
+    {
+        std::ostringstream os;
+        telemetry::writeJsonl(os);
+        return parseJsonl(os.str());
+    }
+};
+
+TEST_F(TelemetryPipelineTest, JsonlSchemaHoldsForFullPipeline)
+{
+    const Dataset ds = makeDataset();
+    const CvResult cv = runCv(ds, 2);
+
+    GridSearchOptions grid_opts;
+    grid_opts.hiddenUnits = {4, 6};
+    grid_opts.targetLosses = {0.08};
+    grid_opts.seed = 11;
+    grid_opts.threads = 2;
+    wcnn::model::gridSearch(fastNn(), ds, grid_opts);
+
+    NnModel mdl(fastNn());
+    mdl.fit(ds);
+    SurfaceRequest req;
+    req.axisA = 1;
+    req.axisB = 3;
+    req.indicator = 0;
+    req.fixed = {560.0, 0.0, 16.0, 0.0};
+    req.loA = 0.0;
+    req.hiA = 20.0;
+    req.loB = 14.0;
+    req.hiB = 20.0;
+    req.pointsA = 5;
+    req.pointsB = 4;
+    req.threads = 2;
+    wcnn::model::sweepSurface(mdl, req, ds);
+
+    const std::vector<JsonlLine> lines = dumpSession();
+    ASSERT_FALSE(lines.empty());
+
+    // Line 0 is the meta record.
+    EXPECT_EQ(lines[0].type, "meta");
+    double version = 0.0;
+    EXPECT_TRUE(findNumber(lines[0].raw, "version", &version));
+    EXPECT_EQ(version, 1.0);
+    double dropped = -1.0;
+    EXPECT_TRUE(findNumber(lines[0].raw, "dropped", &dropped));
+    EXPECT_EQ(dropped, 0.0);
+
+    // Every event line carries the full schema; timestamps are
+    // monotone in file order and sequence numbers are unique.
+    double last_ts = -1.0;
+    std::set<double> seqs;
+    std::size_t events = 0;
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        const JsonlLine &line = lines[i];
+        ASSERT_FALSE(line.type.empty()) << line.raw;
+        if (!line.isEvent())
+            continue;
+        ++events;
+        EXPECT_FALSE(line.name.empty()) << line.raw;
+        EXPECT_NE(line.raw.find("\"ts_ns\":"), std::string::npos);
+        EXPECT_NE(line.raw.find("\"seq\":"), std::string::npos);
+        EXPECT_NE(line.raw.find("\"tid\":"), std::string::npos);
+        EXPECT_NE(line.raw.find("\"depth\":"), std::string::npos);
+        EXPECT_NE(line.raw.find("\"args\":["), std::string::npos);
+        EXPECT_GE(line.tsNs, last_ts);
+        last_ts = line.tsNs;
+        EXPECT_TRUE(seqs.insert(line.seq).second)
+            << "duplicate seq in " << line.raw;
+    }
+    double meta_events = 0.0;
+    EXPECT_TRUE(findNumber(lines[0].raw, "events", &meta_events));
+    EXPECT_EQ(meta_events, static_cast<double>(events));
+
+    // Span open/close balance per thread. Pool thread states are
+    // reused sequentially, so one tid can carry several workers'
+    // non-overlapping streams; a stack per tid handles both.
+    std::map<double, std::vector<const JsonlLine *>> stacks;
+    for (const JsonlLine &line : lines) {
+        if (line.type == "span_begin") {
+            stacks[line.tid].push_back(&line);
+        } else if (line.type == "span_end") {
+            ASSERT_FALSE(stacks[line.tid].empty()) << line.raw;
+            const JsonlLine *begin = stacks[line.tid].back();
+            EXPECT_EQ(begin->name, line.name);
+            EXPECT_EQ(begin->depth, line.depth);
+            stacks[line.tid].pop_back();
+        }
+    }
+    for (const auto &[tid, stack] : stacks)
+        EXPECT_TRUE(stack.empty()) << "unclosed span on tid " << tid;
+
+    // Every pipeline stage shows up under its documented span name.
+    std::set<std::string> span_names;
+    for (const JsonlLine &line : lines) {
+        if (line.type == "span_begin")
+            span_names.insert(line.name);
+    }
+    for (const char *required :
+         {"collect.dataset", "collect.config", "cv", "cv.fold", "train",
+          "grid", "grid.candidate", "sweep", "sweep.row", "pool.batch"})
+        EXPECT_TRUE(span_names.count(required)) << required;
+
+    // The sweep counters count the full grid exactly.
+    for (const JsonlLine &line : lines) {
+        if (line.type != "counter")
+            continue;
+        if (line.name == "sweep.rows") {
+            EXPECT_EQ(line.value, static_cast<double>(req.pointsA));
+        } else if (line.name == "sweep.cells") {
+            EXPECT_EQ(line.value,
+                      static_cast<double>(req.pointsA * req.pointsB));
+        }
+    }
+
+    // CV ran 5 folds; sanity-check against the returned result.
+    std::size_t fold_spans = 0;
+    for (const JsonlLine &line : lines) {
+        if (line.type == "span_begin" && line.name == "cv.fold")
+            ++fold_spans;
+    }
+    EXPECT_EQ(fold_spans, cv.trials.size());
+}
+
+TEST_F(TelemetryPipelineTest, FoldErrorEventsMatchReturnedScoresBitForBit)
+{
+    const Dataset ds = makeDataset();
+    const CvResult cv = runCv(ds, 2);
+    const std::vector<JsonlLine> lines = dumpSession();
+
+    std::map<int, const JsonlLine *> fold_events;
+    for (const JsonlLine &line : lines) {
+        if (line.type == "instant" && line.name == "cv.fold.error") {
+            ASSERT_GE(line.args.size(), 3u) << line.raw;
+            fold_events[static_cast<int>(line.args[0])] = &line;
+        }
+    }
+    ASSERT_EQ(fold_events.size(), cv.trials.size());
+    for (std::size_t f = 0; f < cv.trials.size(); ++f) {
+        const auto it = fold_events.find(static_cast<int>(f));
+        ASSERT_NE(it, fold_events.end()) << "no event for fold " << f;
+        // %.17g doubles round-trip exactly: the parsed value must be
+        // bit-identical to the score recomputed from the result.
+        EXPECT_EQ(it->second->args[1],
+                  wcnn::numeric::mean(
+                      cv.trials[f].validation.harmonicError))
+            << "fold " << f << " validation error drifted";
+        EXPECT_EQ(it->second->args[2],
+                  wcnn::numeric::mean(
+                      cv.trials[f].training.harmonicError))
+            << "fold " << f << " training error drifted";
+    }
+}
+
+TEST_F(TelemetryPipelineTest, TrainEventsTrackTrainerDecisions)
+{
+    const Dataset ds = makeDataset();
+    // A very loose threshold in standardized-MSE units: reachable
+    // within a few epochs, so the stop event must fire.
+    NnModelOptions opts = fastNn();
+    opts.train.maxEpochs = 2000;
+    opts.train.targetLoss = 0.5;
+    NnModel mdl(opts);
+    mdl.fit(ds);
+    const std::vector<JsonlLine> lines = dumpSession();
+
+    std::size_t epochs = 0;
+    std::size_t stops = 0;
+    double last_epoch = -1.0;
+    for (const JsonlLine &line : lines) {
+        if (line.type != "instant")
+            continue;
+        if (line.name == "train.epoch") {
+            ASSERT_EQ(line.args.size(), 4u) << line.raw;
+            EXPECT_EQ(line.args[0], last_epoch + 1.0);
+            last_epoch = line.args[0];
+            EXPECT_TRUE(std::isfinite(line.args[1])); // loss
+            EXPECT_GE(line.args[2], 0.0);             // gradient norm
+            EXPECT_GT(line.args[3], 0.0);             // learning rate
+            ++epochs;
+        } else if (line.name == "train.stop.target") {
+            ++stops;
+        }
+    }
+    EXPECT_GT(epochs, 0u);
+    EXPECT_LT(epochs, 2000u) << "loose target never reached";
+    EXPECT_EQ(stops, 1u);
+}
+
+} // namespace
+
+#else // WCNN_NO_TELEMETRY
+
+TEST(TelemetryPipelineTest, SkippedWithoutTelemetry)
+{
+    GTEST_SKIP() << "library built with WCNN_NO_TELEMETRY";
+}
+
+#endif // WCNN_NO_TELEMETRY

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Concurrency contracts for src/core/telemetry, exercised through the
+ * direct object API so the suite is preset-independent (the macros'
+ * compile-out proof lives in telemetry_notelemetry_test.cc). Run under
+ * the TSan preset these tests double as a data-race check on the
+ * sharded hot path, the event buffers, and snapshot-while-recording.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/telemetry.hh"
+
+namespace {
+
+namespace telemetry = wcnn::core::telemetry;
+using telemetry::Event;
+using telemetry::EventPhase;
+
+constexpr int kThreads = 8;
+constexpr int kIterations = 10000;
+
+/**
+ * Metric registrations last for the process lifetime, so lookups go by
+ * name instead of indexing the snapshot vectors.
+ */
+template <class Value>
+const Value *
+findByName(const std::vector<Value> &values, const std::string &name)
+{
+    for (const Value &v : values) {
+        if (v.name == name)
+            return &v;
+    }
+    return nullptr;
+}
+
+class TelemetryThreadedTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        telemetry::setEnabled(false);
+        telemetry::reset();
+        telemetry::setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        telemetry::setEnabled(false);
+        telemetry::reset();
+    }
+};
+
+void
+runThreads(int n, const std::function<void(int)> &body)
+{
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t)
+        threads.emplace_back(body, t);
+    for (std::thread &thread : threads)
+        thread.join();
+}
+
+TEST_F(TelemetryThreadedTest, CounterIsExactUnderConcurrentAdds)
+{
+    telemetry::Counter ctr = telemetry::counter("threaded.ctr");
+    runThreads(kThreads, [&ctr](int) {
+        for (int i = 0; i < kIterations; ++i)
+            ctr.add();
+    });
+    const telemetry::MetricsSnapshot snap = telemetry::snapshotMetrics();
+    const telemetry::CounterValue *v =
+        findByName(snap.counters, "threaded.ctr");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->value, static_cast<std::uint64_t>(kThreads) * kIterations);
+}
+
+TEST_F(TelemetryThreadedTest, HistogramIsExactUnderConcurrentRecords)
+{
+    telemetry::Histogram hist = telemetry::histogram("threaded.hist");
+    // Each thread records 0..999 once: every aggregate is predictable.
+    runThreads(kThreads, [&hist](int) {
+        for (std::uint64_t v = 0; v < 1000; ++v)
+            hist.record(v);
+    });
+    const telemetry::MetricsSnapshot snap = telemetry::snapshotMetrics();
+    const telemetry::HistogramValue *found =
+        findByName(snap.histograms, "threaded.hist");
+    ASSERT_NE(found, nullptr);
+    const telemetry::HistogramValue &v = *found;
+    EXPECT_EQ(v.count, static_cast<std::uint64_t>(kThreads) * 1000);
+    EXPECT_EQ(v.sum, static_cast<std::uint64_t>(kThreads) * 499500);
+    // Bucket b >= 1 holds [2^(b-1), 2^b); values < 1000 fill buckets
+    // 0..10 (bucket 10 holds 512..999 = 488 values).
+    EXPECT_EQ(v.buckets[0], static_cast<std::uint64_t>(kThreads));
+    EXPECT_EQ(v.buckets[1], static_cast<std::uint64_t>(kThreads));
+    EXPECT_EQ(v.buckets[10],
+              static_cast<std::uint64_t>(kThreads) * (1000 - 512));
+    std::uint64_t total = 0;
+    for (std::uint64_t b : v.buckets)
+        total += b;
+    EXPECT_EQ(total, v.count);
+}
+
+TEST_F(TelemetryThreadedTest, SnapshotWhileRecordingIsSafeAndBounded)
+{
+    telemetry::Counter ctr = telemetry::counter("threaded.live");
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&ctr, &stop]() {
+            while (!stop.load(std::memory_order_relaxed))
+                ctr.add();
+        });
+    }
+    // Interleaved snapshots must be monotone (counters only grow) and
+    // race-free (TSan is the judge of the latter). No early returns
+    // here: the writers must always be joined.
+    std::uint64_t last = 0;
+    bool missing = false;
+    bool shrank = false;
+    for (int i = 0; i < 50 && !missing; ++i) {
+        const telemetry::MetricsSnapshot snap =
+            telemetry::snapshotMetrics();
+        const telemetry::CounterValue *v =
+            findByName(snap.counters, "threaded.live");
+        if (v == nullptr) {
+            missing = true;
+            break;
+        }
+        shrank = shrank || v->value < last;
+        last = v->value;
+    }
+    stop.store(true);
+    for (std::thread &w : writers)
+        w.join();
+    EXPECT_FALSE(missing);
+    EXPECT_FALSE(shrank);
+}
+
+TEST_F(TelemetryThreadedTest, EventsFromAllThreadsAreCollectedAndOrdered)
+{
+    runThreads(kThreads, [](int t) {
+        telemetry::SpanScope span("threaded.span",
+                                  static_cast<double>(t));
+        for (int i = 0; i < 100; ++i)
+            telemetry::emitInstant("threaded.tick",
+                                   static_cast<double>(i));
+    });
+    const std::vector<Event> events = telemetry::collectEvents();
+    ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * 102);
+
+    // Global order: non-decreasing timestamps, unique sequence numbers.
+    std::set<std::uint64_t> seqs;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i > 0) {
+            EXPECT_LE(events[i - 1].tsNs, events[i].tsNs);
+        }
+        EXPECT_TRUE(seqs.insert(events[i].seq).second)
+            << "duplicate seq " << events[i].seq;
+    }
+
+    // Per-tid order: emission order survives the merge. Thread states
+    // are pooled, so one tid may carry several workers' (sequential,
+    // never interleaved) span groups — each group must be the exact
+    // begin / 100 ticks / end pattern its worker emitted.
+    std::map<int, std::vector<const Event *>> byTid;
+    for (const Event &e : events)
+        byTid[e.tid].push_back(&e);
+    int groups = 0;
+    for (const auto &[tid, stream] : byTid) {
+        ASSERT_EQ(stream.size() % 102, 0u) << "tid " << tid;
+        for (std::size_t i = 1; i < stream.size(); ++i)
+            EXPECT_LT(stream[i - 1]->seq, stream[i]->seq);
+        for (std::size_t base = 0; base < stream.size(); base += 102) {
+            ++groups;
+            ASSERT_EQ(stream[base]->phase, EventPhase::SpanBegin);
+            ASSERT_EQ(stream[base + 101]->phase, EventPhase::SpanEnd);
+            for (std::size_t k = 0; k < 100; ++k) {
+                const Event *tick = stream[base + 1 + k];
+                ASSERT_EQ(tick->phase, EventPhase::Instant);
+                EXPECT_EQ(tick->depth, 1);
+                EXPECT_EQ(tick->args[0], static_cast<double>(k));
+            }
+        }
+    }
+    EXPECT_EQ(groups, kThreads);
+}
+
+TEST_F(TelemetryThreadedTest, ExitedThreadEventsSurviveCollection)
+{
+    {
+        std::thread worker([]() {
+            telemetry::SpanScope span("retired.span");
+            telemetry::emitInstant("retired.event", 11.0);
+        });
+        worker.join();
+    }
+    // The worker is gone; its events must have been retired, not lost.
+    const std::vector<Event> events = telemetry::collectEvents();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_STREQ(events[0].name, "retired.span");
+    EXPECT_STREQ(events[1].name, "retired.event");
+    EXPECT_EQ(events[1].args[0], 11.0);
+}
+
+TEST_F(TelemetryThreadedTest, CounterSurvivesThreadChurn)
+{
+    telemetry::Counter ctr = telemetry::counter("churn.ctr");
+    // Sequential short-lived threads: shards are parked and reused,
+    // never dropped, so the total stays exact.
+    for (int round = 0; round < 20; ++round) {
+        std::thread worker([&ctr]() { ctr.add(5); });
+        worker.join();
+    }
+    const telemetry::MetricsSnapshot snap = telemetry::snapshotMetrics();
+    const telemetry::CounterValue *v =
+        findByName(snap.counters, "churn.ctr");
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(v->value, 100u);
+}
+
+TEST_F(TelemetryThreadedTest, ConcurrentRegistrationYieldsOneMetric)
+{
+    runThreads(kThreads, [](int) {
+        telemetry::counter("registration.race").add(1);
+    });
+    const telemetry::MetricsSnapshot snap = telemetry::snapshotMetrics();
+    int matches = 0;
+    for (const telemetry::CounterValue &c : snap.counters) {
+        if (c.name == "registration.race") {
+            ++matches;
+            EXPECT_EQ(c.value, static_cast<std::uint64_t>(kThreads));
+        }
+    }
+    EXPECT_EQ(matches, 1);
+}
+
+TEST_F(TelemetryThreadedTest, TidsAreSmallAndStablePerThread)
+{
+    runThreads(kThreads, [](int) {
+        telemetry::emitInstant("tid.probe");
+        telemetry::emitInstant("tid.probe");
+    });
+    const std::vector<Event> events = telemetry::collectEvents();
+    ASSERT_EQ(events.size(), static_cast<std::size_t>(kThreads) * 2);
+    std::map<int, int> perTid;
+    for (const Event &e : events) {
+        // Pooled ids stay in [0, live thread high-water mark].
+        EXPECT_GE(e.tid, 0);
+        EXPECT_LE(e.tid, kThreads);
+        ++perTid[e.tid];
+    }
+    for (const auto &[tid, count] : perTid)
+        EXPECT_EQ(count % 2, 0) << "tid " << tid;
+}
+
+} // namespace

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/telemetry.hh"
 #include "data/csv.hh"
 #include "model/classify.hh"
 #include "model/cross_validation.hh"
@@ -379,6 +380,9 @@ usage()
 int
 main(int argc, char **argv)
 {
+    // `wcnn <cmd> ... --telemetry run` traces any subcommand.
+    auto recorder =
+        wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];

@@ -25,6 +25,12 @@ Rules:
   R4  Every .cc/.cpp under src/, tests/, bench/, tools/, and examples/
       must be listed in its directory's CMakeLists.txt — an unlisted file compiles in
       nobody's build and rots.
+  R5  No raw std::chrono::steady_clock/system_clock/
+      high_resolution_clock ::now() outside src/core/telemetry. The
+      telemetry layer is the one sanctioned clock: time a stage with
+      WCNN_SPAN, or with telemetry::nowNs()/timedSeconds() when a
+      number is needed in-process. Ad-hoc stopwatches fragment the
+      trace and invite nondeterminism in places rule R1 protects.
 """
 
 from __future__ import annotations
@@ -42,6 +48,10 @@ RAND_RE = re.compile(r"\b(?:std::)?(?:rand|srand)\s*\(|std::random_device")
 ASSERT_RE = re.compile(r"(?<![_a-zA-Z])assert\s*\(")
 FLOAT_RE = re.compile(r"(?<![_a-zA-Z])float(?![_a-zA-Z])"
                       r"|\b\d+\.\d*f\b|\b\d+\.?\d*[eE][-+]?\d+f\b")
+
+CLOCK_RE = re.compile(
+    r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
+    r"\s*::\s*now\s*\(")
 
 FLOAT_SENSITIVE = [
     "src/data/standardizer.hh",
@@ -129,12 +139,26 @@ def check_cc_listed_in_cmake(errors: list[str]) -> None:
                     f"in {cml.relative_to(REPO).as_posix()}")
 
 
+def check_clock_containment(errors: list[str]) -> None:
+    for path in iter_sources(["src", "tests", "bench", "tools", "examples"]):
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith("src/core/telemetry."):
+            continue
+        for lineno, line in code_lines(path):
+            if CLOCK_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: R5 raw chrono clock "
+                    f"({line.strip()[:60]}); use WCNN_SPAN or "
+                    f"core::telemetry::nowNs()/timedSeconds()")
+
+
 def main() -> int:
     errors: list[str] = []
     check_rng_containment(errors)
     check_no_naked_assert(errors)
     check_no_float_in_metrics(errors)
     check_cc_listed_in_cmake(errors)
+    check_clock_containment(errors)
     for e in errors:
         print(e)
     if errors:
