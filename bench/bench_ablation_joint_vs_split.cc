@@ -10,6 +10,7 @@
 #include <memory>
 
 #include "common.hh"
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "model/cross_validation.hh"
 
@@ -65,6 +66,8 @@ main(int argc, char **argv)
 {
     auto recorder =
         wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
+    // Chaos drills: `--failpoints "site=nth:2"` or WCNN_FAILPOINTS.
+    wcnn::core::failpoint::installFromArgs(argc, argv);
     bench::printHeader("Ablation: one 4-to-5 network vs five 4-to-1 "
                        "networks (paper section 3.2)");
 

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "common.hh"
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "model/cross_validation.hh"
 
@@ -17,6 +18,8 @@ main(int argc, char **argv)
 {
     auto recorder =
         wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
+    // Chaos drills: `--failpoints "site=nth:2"` or WCNN_FAILPOINTS.
+    wcnn::core::failpoint::installFromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader(
         "Ablation: hidden node count (paper section 3.2)");

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "data/metrics.hh"
 #include "model/nn_model.hh"
@@ -21,6 +22,8 @@ main(int argc, char **argv)
 {
     auto recorder =
         wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
+    // Chaos drills: `--failpoints "site=nth:2"` or WCNN_FAILPOINTS.
+    wcnn::core::failpoint::installFromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader("Ablation: learning curve + optimizer "
                        "(analytic workload)");

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "nn/activation.hh"
 
@@ -15,6 +16,8 @@ main(int argc, char **argv)
 {
     auto recorder =
         wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
+    // Chaos drills: `--failpoints "site=nth:2"` or WCNN_FAILPOINTS.
+    wcnn::core::failpoint::installFromArgs(argc, argv);
     using wcnn::nn::Activation;
     wcnn::bench::printHeader(
         "Figure 2: sigmoid activation vs slope parameter a");

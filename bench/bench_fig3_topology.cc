@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "nn/mlp.hh"
 #include "numeric/rng.hh"
@@ -17,6 +18,8 @@ main(int argc, char **argv)
 {
     auto recorder =
         wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
+    // Chaos drills: `--failpoints "site=nth:2"` or WCNN_FAILPOINTS.
+    wcnn::core::failpoint::installFromArgs(argc, argv);
     using namespace wcnn::nn;
     wcnn::bench::printHeader("Figure 3: multilayer perceptron topology");
 

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "data/metrics.hh"
 
@@ -17,6 +18,8 @@ main(int argc, char **argv)
 {
     auto recorder =
         wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
+    // Chaos drills: `--failpoints "site=nth:2"` or WCNN_FAILPOINTS.
+    wcnn::core::failpoint::installFromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader("Figure 5: actual vs predicted, training set "
                        "(trial 1 of the 5-fold cross validation)");

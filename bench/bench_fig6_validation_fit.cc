@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "data/metrics.hh"
 
@@ -16,6 +17,8 @@ main(int argc, char **argv)
 {
     auto recorder =
         wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
+    // Chaos drills: `--failpoints "site=nth:2"` or WCNN_FAILPOINTS.
+    wcnn::core::failpoint::installFromArgs(argc, argv);
     using namespace wcnn;
     bench::printHeader("Figure 6: actual vs predicted, validation set "
                        "(same trial as Figure 5)");

@@ -14,6 +14,8 @@
 #include <cstdio>
 
 #include "core/parallel.hh"
+#include "core/failpoint.hh"
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "nn/loss.hh"
 #include "nn/mlp.hh"
@@ -257,6 +259,8 @@ int
 main(int argc, char **argv)
 {
     auto recorder = core::telemetry::Recorder::fromArgs(argc, argv);
+    // Chaos drills: `--failpoints "site=nth:2"` or WCNN_FAILPOINTS.
+    core::failpoint::installFromArgs(argc, argv);
     std::size_t threads = bench::parseThreads(argc, argv, 0);
     if (threads == 0)
         threads = core::hardwareThreads();

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "sim/analytic_surface.hh"
 #include "sim/simulator.hh"
@@ -76,6 +77,8 @@ main(int argc, char **argv)
 {
     auto recorder =
         wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
+    // Chaos drills: `--failpoints "site=nth:2"` or WCNN_FAILPOINTS.
+    wcnn::core::failpoint::installFromArgs(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -16,6 +16,8 @@
 
 #include "common.hh"
 #include "core/parallel.hh"
+#include "core/failpoint.hh"
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "model/cross_validation.hh"
 #include "model/grid_search.hh"
@@ -63,6 +65,8 @@ main(int argc, char **argv)
     using namespace wcnn;
     namespace telemetry = core::telemetry;
     auto recorder = telemetry::Recorder::fromArgs(argc, argv);
+    // Chaos drills: `--failpoints "site=nth:2"` or WCNN_FAILPOINTS.
+    wcnn::core::failpoint::installFromArgs(argc, argv);
     std::size_t threads = bench::parseThreads(argc, argv, 0);
     if (threads == 0)
         threads = core::hardwareThreads();

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common.hh"
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "sim/workload.hh"
 
@@ -17,6 +18,8 @@ main(int argc, char **argv)
 {
     auto recorder =
         wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
+    // Chaos drills: `--failpoints "site=nth:2"` or WCNN_FAILPOINTS.
+    wcnn::core::failpoint::installFromArgs(argc, argv);
     wcnn::bench::printHeader("Table 1: experiment settings");
 
     const auto params = wcnn::sim::WorkloadParams::defaults();

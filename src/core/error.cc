@@ -1,0 +1,22 @@
+#include "error.hh"
+
+namespace wcnn {
+
+Error::Error(std::string kind, const std::string &message)
+    : std::runtime_error(kind + ": " + message), kindName(std::move(kind))
+{
+}
+
+IoError::IoError(const std::string &message) : Error("io", message) {}
+
+IoError::IoError(std::string kind, const std::string &message)
+    : Error(std::move(kind), message)
+{
+}
+
+SimFault::SimFault(const std::string &message, bool transient)
+    : Error("sim", message), isTransient(transient)
+{
+}
+
+} // namespace wcnn

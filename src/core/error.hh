@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Typed error taxonomy for recoverable failures.
+ *
+ * The contract layer (core/contracts.hh) covers *bugs*: broken
+ * invariants that should never happen and are not meant to be handled.
+ * This header covers *faults*: failures a production pipeline must
+ * expect and survive — unreadable files, transient simulator hiccups,
+ * diverging training runs, failing cross-validation folds. Every such
+ * failure is expressed as a subclass of wcnn::Error so callers can
+ * catch one base type, inspect a stable machine-readable kind(), and
+ * decide between retry, quarantine, and abort (see DESIGN.md §5.4).
+ *
+ * Taxonomy:
+ *  - wcnn::Error           — base of every recoverable fault.
+ *  - wcnn::IoError         — file/stream I/O and malformed input
+ *                            (data::CsvError and nn::SerializeError
+ *                            derive from it).
+ *  - wcnn::SimFault        — a simulation run failed; transient()
+ *                            faults are retried by the collectors.
+ *  - wcnn::TrainDivergence — training loss left the finite range;
+ *                            defined in nn/trainer.hh, carries the
+ *                            last-good weights for resumption.
+ *  - wcnn::FoldFailure     — a cross-validation fold failed; defined
+ *                            in model/cross_validation.hh.
+ *
+ * Policy (lint rule R6): a catch-all handler must either rethrow or
+ * convert the exception into a wcnn::Error / recorded status — code
+ * that swallows failures silently does not pass review or CI.
+ */
+
+#ifndef WCNN_CORE_ERROR_HH
+#define WCNN_CORE_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace wcnn {
+
+/**
+ * Base class of every recoverable fault in the library.
+ *
+ * what() is "<kind>: <message>"; kind() is a short stable identifier
+ * ("io", "sim", "train", "fold", ...) usable in logs and telemetry.
+ */
+class Error : public std::runtime_error
+{
+  public:
+    /**
+     * @param kind    Short stable category identifier, e.g. "io".
+     * @param message Human-readable description of the fault.
+     */
+    Error(std::string kind, const std::string &message);
+
+    /** Stable category identifier of the fault. */
+    const std::string &kind() const { return kindName; }
+
+  private:
+    std::string kindName;
+};
+
+/** File/stream I/O failure or malformed external input. Kind "io". */
+class IoError : public Error
+{
+  public:
+    /** @param message Description of the I/O fault. */
+    explicit IoError(const std::string &message);
+
+  protected:
+    /** For subclasses refining the kind (e.g. "io.csv"). */
+    IoError(std::string kind, const std::string &message);
+};
+
+/**
+ * A simulation run failed. Kind "sim".
+ *
+ * Transient faults model recoverable conditions (an I/O hiccup on a
+ * real testbed, an injected chaos fault): the collectors retry them
+ * with bounded deterministic backoff. Non-transient faults propagate
+ * or quarantine immediately.
+ */
+class SimFault : public Error
+{
+  public:
+    /**
+     * @param message   Description of the fault.
+     * @param transient Whether a retry of the same run may succeed.
+     */
+    explicit SimFault(const std::string &message, bool transient = true);
+
+    /** Whether the collectors should retry this fault. */
+    bool transient() const { return isTransient; }
+
+  private:
+    bool isTransient;
+};
+
+} // namespace wcnn
+
+#endif // WCNN_CORE_ERROR_HH

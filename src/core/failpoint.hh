@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Deterministic, seed-driven fault-injection registry.
+ *
+ * A *failpoint* is a named site in production code where the chaos
+ * harness can inject a fault. Sites are declared with
+ *
+ *     WCNN_FAILPOINT("sim.replicate",
+ *                    throw wcnn::SimFault("injected: sim.replicate"));
+ *
+ * and stay completely inert (one relaxed atomic load) until a trigger
+ * is armed on their name. When the armed trigger decides that an
+ * evaluation ("hit") fires, the site's action statement runs —
+ * typically throwing a typed wcnn::Error, but any statement works
+ * (the trainer's site poisons the epoch loss instead).
+ *
+ * Triggers (spec grammar, also accepted from the WCNN_FAILPOINTS
+ * environment variable and the --failpoints CLI flag; multiple specs
+ * separated by ';' or ','):
+ *  - "site=always"        — every hit fires.
+ *  - "site=nth:N"         — exactly hit number N fires (1-based).
+ *  - "site=nth:N:C"       — hits N .. N+C-1 fire (a burst of C, e.g.
+ *                           to exhaust a bounded retry loop).
+ *  - "site=prob:P"        — each hit fires with probability P.
+ *  - "site=prob:P:SEED"   — ditto, deterministic stream seeded by SEED.
+ *  - "site=off"           — disarm the site.
+ *
+ * Determinism contract: the fire decision for hit number k of a site
+ * is a pure function of (site name, trigger, k) — probability mode
+ * hashes (seed, site, k) instead of consuming a shared stream — so a
+ * serial run replays an identical fault schedule for equal seeds. In
+ * parallel regions the *assignment* of hit numbers to tasks follows
+ * arrival order, so schedule-exactness assertions belong in
+ * single-threaded chaos tests while crash/recovery assertions hold at
+ * any thread count.
+ *
+ * Hit/fire counters are kept per site while armed, so a chaos test can
+ * assert that quarantine bookkeeping exactly matches the injected
+ * schedule (fires == drops + retries, see tests/chaos_pipeline_test).
+ *
+ * Under -DWCNN_NO_FAILPOINTS the macro compiles to a statically dead
+ * branch: the site name and action are type-checked and then discarded
+ * by the optimizer, so release builds carry zero cost and zero
+ * behavior change (mirrors WCNN_NO_CONTRACTS / WCNN_NO_TELEMETRY; the
+ * function API below stays ODR-identical across mixed TUs).
+ */
+
+#ifndef WCNN_CORE_FAILPOINT_HH
+#define WCNN_CORE_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wcnn {
+namespace core {
+namespace failpoint {
+
+/** How an armed site decides whether a hit fires. */
+struct Trigger
+{
+    enum class Mode
+    {
+        Off,         ///< never fires
+        Always,      ///< every hit fires
+        Nth,         ///< hits [nth, nth + count) fire (1-based)
+        Probability, ///< each hit fires with probability `probability`
+    };
+
+    Mode mode = Mode::Off;
+
+    /** First firing hit, 1-based (Nth mode). */
+    std::uint64_t nth = 1;
+
+    /** Number of consecutive firing hits (Nth mode). */
+    std::uint64_t count = 1;
+
+    /** Per-hit fire probability in [0, 1] (Probability mode). */
+    double probability = 0.0;
+
+    /** Stream seed for Probability mode; equal seeds replay. */
+    std::uint64_t seed = 0;
+};
+
+/** Counters and configuration of one armed site. */
+struct SiteReport
+{
+    /** Site name. */
+    std::string site;
+
+    /** Armed trigger. */
+    Trigger trigger;
+
+    /** Evaluations since arming (or the last reset). */
+    std::uint64_t hits = 0;
+
+    /** Evaluations that fired. */
+    std::uint64_t fires = 0;
+};
+
+namespace detail {
+
+/** Macro gate; read through active(). */
+extern std::atomic<bool> gArmed;
+
+} // namespace detail
+
+/** Whether any site is armed. One relaxed atomic load. */
+inline bool
+active()
+{
+    return detail::gArmed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Whether WCNN_FAILPOINT sites were compiled into the library (i.e.
+ * the library was built without WCNN_NO_FAILPOINTS). Chaos tests skip
+ * injection scenarios when this is false.
+ */
+bool compiledIn();
+
+/**
+ * Arm a trigger on a site. Mode Off disarms. Counters of the site are
+ * reset. Thread-safe; call between pipeline stages, not inside one.
+ */
+void arm(const std::string &site, const Trigger &trigger);
+
+/** Disarm one site (its counters are dropped). */
+void disarm(const std::string &site);
+
+/** Disarm every site and drop all counters. */
+void reset();
+
+/**
+ * Parse and arm a spec list like
+ * "sim.replicate=nth:2;csv.read=prob:0.1:7".
+ *
+ * @throws wcnn::Error (kind "failpoint") on a malformed spec.
+ */
+void armFromSpec(const std::string &specs);
+
+/**
+ * Arm from the WCNN_FAILPOINTS environment variable.
+ *
+ * @return True when the variable was present and non-empty.
+ * @throws wcnn::Error (kind "failpoint") on a malformed spec.
+ */
+bool armFromEnv();
+
+/**
+ * Parse and strip `--failpoints <spec>` / `--failpoints=<spec>` from
+ * argv (so downstream flag parsers never see it), arm the spec, and
+ * also honour WCNN_FAILPOINTS. Mirrors telemetry::Recorder::fromArgs.
+ *
+ * @return True when any trigger was armed.
+ */
+bool installFromArgs(int &argc, char **argv);
+
+/** Hits of one site since arming; 0 for unknown sites. */
+std::uint64_t hits(const std::string &site);
+
+/** Fires of one site since arming; 0 for unknown sites. */
+std::uint64_t fires(const std::string &site);
+
+/** Name-sorted report over every armed site. */
+std::vector<SiteReport> report();
+
+/**
+ * Macro backend: count a hit on `site` and decide whether it fires.
+ * Sites that are not armed return false (but are not counted — the
+ * registry only tracks armed names).
+ */
+bool shouldFire(const char *site);
+
+/**
+ * Bounded deterministic backoff delay for retry attempt `attempt`
+ * (0-based): base * 2^min(attempt, 6), capped at 100 ms per wait. A
+ * pure function of its arguments — never randomized — so retry
+ * schedules replay bit-identically. base <= 0 returns 0 and the
+ * caller skips sleeping (the default everywhere in-process; real
+ * deployments against remote testbeds opt in).
+ *
+ * @param attempt     0-based retry attempt number.
+ * @param baseSeconds Backoff base; <= 0 disables.
+ * @return Delay in seconds.
+ */
+double backoffSeconds(std::size_t attempt, double baseSeconds);
+
+/**
+ * Sleep for backoffSeconds(attempt, baseSeconds), skipping the sleep
+ * entirely when the delay is zero.
+ */
+void backoffWait(std::size_t attempt, double baseSeconds);
+
+} // namespace failpoint
+} // namespace core
+} // namespace wcnn
+
+#if defined(WCNN_NO_FAILPOINTS)
+
+/*
+ * Compiled out: the branch is statically false, so the optimizer drops
+ * the site entirely; name and action remain type-checked.
+ */
+#define WCNN_FAILPOINT(site, ...)                                              \
+    do {                                                                       \
+        if (false) {                                                           \
+            static_cast<void>(site);                                           \
+            __VA_ARGS__;                                                       \
+        }                                                                      \
+    } while (false)
+
+#else
+
+/**
+ * Declare a fault-injection site. When the armed trigger fires, the
+ * action statement(s) run:
+ *
+ *   WCNN_FAILPOINT("csv.read", throw wcnn::IoError("injected: csv.read"));
+ */
+#define WCNN_FAILPOINT(site, ...)                                              \
+    do {                                                                       \
+        if (::wcnn::core::failpoint::active() &&                               \
+            ::wcnn::core::failpoint::shouldFire(site)) {                       \
+            __VA_ARGS__;                                                       \
+        }                                                                      \
+    } while (false)
+
+#endif // WCNN_NO_FAILPOINTS
+
+#endif // WCNN_CORE_FAILPOINT_HH

@@ -1,15 +1,35 @@
 #include "csv.hh"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <vector>
 
+#include "core/failpoint.hh"
+
 namespace wcnn {
 namespace data {
 
 namespace {
+
+/** Strip a trailing '\r' so CRLF files parse like LF files. */
+void
+stripCr(std::string &line)
+{
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+}
+
+/** Strip a leading UTF-8 byte-order mark from the header line. */
+void
+stripBom(std::string &line)
+{
+    if (line.size() >= 3 && line[0] == '\xef' && line[1] == '\xbb' &&
+        line[2] == '\xbf')
+        line.erase(0, 3);
+}
 
 std::vector<std::string>
 splitLine(const std::string &line)
@@ -30,6 +50,8 @@ splitLine(const std::string &line)
 void
 writeCsv(const Dataset &ds, std::ostream &os)
 {
+    WCNN_FAILPOINT("csv.write", throw CsvError("injected: csv.write"));
+
     bool first = true;
     for (const auto &name : ds.inputs()) {
         os << (first ? "" : ",") << "x:" << name;
@@ -69,9 +91,13 @@ saveCsv(const Dataset &ds, const std::string &path)
 Dataset
 readCsv(std::istream &is)
 {
+    WCNN_FAILPOINT("csv.read", throw CsvError("injected: csv.read"));
+
     std::string line;
     if (!std::getline(is, line))
         throw CsvError("missing CSV header");
+    stripBom(line);
+    stripCr(line);
 
     std::vector<std::string> input_names;
     std::vector<std::string> output_names;
@@ -85,13 +111,20 @@ readCsv(std::istream &is)
         } else {
             throw CsvError("header field lacks x:/y: prefix: " + field);
         }
+        if (field.size() == 2)
+            throw CsvError("header field has an empty column name");
     }
+    // A dataset without both sides is useless to every consumer; refuse
+    // at the boundary rather than trip arity contracts downstream.
+    if (input_names.empty() || output_names.empty())
+        throw CsvError("header needs at least one x: and one y: column");
 
     Dataset ds(input_names, output_names);
     const std::size_t n_cols = input_names.size() + output_names.size();
     std::size_t line_no = 1;
     while (std::getline(is, line)) {
         ++line_no;
+        stripCr(line);
         if (line.empty())
             continue;
         const auto fields = splitLine(line);
@@ -111,6 +144,13 @@ readCsv(std::istream &is)
             } catch (const std::exception &) {
                 throw CsvError("row " + std::to_string(line_no) +
                                ": bad number '" + fields[i] + "'");
+            }
+            // Reject at the boundary: a NaN/Inf that slips through
+            // here would trip WCNN_CHECK_FINITE contracts deep in the
+            // standardizer/trainer, turning bad input into a "bug".
+            if (!std::isfinite(v)) {
+                throw CsvError("row " + std::to_string(line_no) +
+                               ": non-finite value '" + fields[i] + "'");
             }
             if (i < input_names.size())
                 x.push_back(v);

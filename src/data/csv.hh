@@ -12,19 +12,30 @@
 #define WCNN_DATA_CSV_HH
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
+#include "core/error.hh"
 #include "data/dataset.hh"
 
 namespace wcnn {
 namespace data {
 
-/** Error thrown on malformed CSV input or I/O failure. */
-class CsvError : public std::runtime_error
+/**
+ * Error thrown on malformed CSV input or I/O failure. Kind "io.csv".
+ *
+ * Malformed external input is a fault, not a bug: every parse failure
+ * (ragged row, non-numeric cell, non-finite value, bad header) raises
+ * this typed error — never a contract violation, which the contract
+ * layer reserves for in-process invariant breaks.
+ */
+class CsvError : public IoError
 {
   public:
-    using std::runtime_error::runtime_error;
+    /** @param message Description of the parse or I/O fault. */
+    explicit CsvError(const std::string &message)
+        : IoError("io.csv", message)
+    {
+    }
 };
 
 /**

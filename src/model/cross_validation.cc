@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/contracts.hh"
+#include "core/failpoint.hh"
 #include "core/parallel.hh"
 #include "core/telemetry.hh"
 
@@ -13,19 +14,37 @@
 namespace wcnn {
 namespace model {
 
+FoldFailure::FoldFailure(std::size_t fold, const std::string &message)
+    : Error("fold", "fold " + std::to_string(fold) + ": " + message),
+      foldIndex(fold)
+{
+}
+
+std::size_t
+CvResult::failedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &trial : trials)
+        n += trial.failed ? 1 : 0;
+    return n;
+}
+
 std::vector<double>
 CvResult::averageValidationError() const
 {
-    if (trials.empty())
-        return {};
-    std::vector<double> avg(trials.front().validation.harmonicError.size(),
-                            0.0);
+    std::vector<double> avg;
+    std::size_t ok = 0;
     for (const auto &trial : trials) {
+        if (trial.failed)
+            continue;
+        if (avg.empty())
+            avg.assign(trial.validation.harmonicError.size(), 0.0);
         for (std::size_t j = 0; j < avg.size(); ++j)
             avg[j] += trial.validation.harmonicError[j];
+        ++ok;
     }
     for (auto &v : avg)
-        v /= static_cast<double>(trials.size());
+        v /= static_cast<double>(ok);
     return avg;
 }
 
@@ -64,41 +83,63 @@ crossValidate(const ModelFactory &factory, const data::Dataset &ds,
 
     WCNN_SPAN("cv", options.folds, ds.size());
 
-    // Each trial writes only its own index-addressed slot; exceptions
-    // (a diverging trainer, a contract violation) propagate
-    // first-failure out of the pool.
+    // Each trial writes only its own index-addressed slot. In Strict
+    // mode exceptions (a diverging trainer, a contract violation)
+    // propagate first-failure out of the pool; in Quarantine mode a
+    // recoverable wcnn::Error is recorded on the trial and the other
+    // folds keep running (bugs still propagate either way).
     core::parallelFor(options.folds, options.threads, [&](std::size_t f) {
         WCNN_SPAN("cv.fold", f);
-        const data::Split split = kfold.split(ds, f);
-        auto model = factory();
-        model->fit(split.train);
+        try {
+            WCNN_FAILPOINT("cv.fold",
+                           throw FoldFailure(f, "injected: cv.fold"));
+            const data::Split split = kfold.split(ds, f);
+            auto model = factory();
+            model->fit(split.train);
 
-        const numeric::Matrix train_pred =
-            model->predictAll(split.train);
-        const numeric::Matrix val_pred =
-            model->predictAll(split.validation);
+            const numeric::Matrix train_pred =
+                model->predictAll(split.train);
+            const numeric::Matrix val_pred =
+                model->predictAll(split.validation);
 
-        CvTrial trial;
-        trial.fold = f;
-        trial.training = data::evaluate(ds.outputs(),
-                                        split.train.yMatrix(),
-                                        train_pred);
-        trial.validation = data::evaluate(ds.outputs(),
-                                          split.validation.yMatrix(),
-                                          val_pred);
-        // Arg 1 must be bit-identical to the score derived from the
-        // returned trials (pinned by telemetry_pipeline_test).
-        WCNN_EVENT("cv.fold.error", f,
-                   numeric::mean(trial.validation.harmonicError),
-                   numeric::mean(trial.training.harmonicError));
-        if (options.keepPredictions) {
-            trial.trainSet = split.train;
-            trial.validationSet = split.validation;
-            trial.trainPredicted = train_pred;
-            trial.validationPredicted = val_pred;
+            CvTrial trial;
+            trial.fold = f;
+            trial.training = data::evaluate(ds.outputs(),
+                                            split.train.yMatrix(),
+                                            train_pred);
+            trial.validation = data::evaluate(ds.outputs(),
+                                              split.validation.yMatrix(),
+                                              val_pred);
+            // Arg 1 must be bit-identical to the score derived from the
+            // returned trials (pinned by telemetry_pipeline_test).
+            WCNN_EVENT("cv.fold.error", f,
+                       numeric::mean(trial.validation.harmonicError),
+                       numeric::mean(trial.training.harmonicError));
+            if (options.keepPredictions) {
+                trial.trainSet = split.train;
+                trial.validationSet = split.validation;
+                trial.trainPredicted = train_pred;
+                trial.validationPredicted = val_pred;
+            }
+            result.trials[f] = std::move(trial);
+        } catch (const Error &e) {
+            if (options.onFailure == OnFailure::Strict)
+                throw;
+            WCNN_EVENT("cv.fold.quarantined", f);
+            CvTrial trial;
+            trial.fold = f;
+            trial.failed = true;
+            trial.error = e.what();
+            result.trials[f] = std::move(trial);
         }
-        result.trials[f] = std::move(trial);
     });
+
+    if (result.failedCount() == result.trials.size()) {
+        std::string first = result.trials.front().error;
+        throw FoldFailure(result.trials.front().fold,
+                          "all " + std::to_string(options.folds) +
+                              " folds failed; first: " + first);
+    }
     return result;
 }
 
@@ -117,6 +158,12 @@ formatTable(const CvResult &result, bool percent)
     os << std::fixed << std::setprecision(percent ? 1 : 4);
     for (const auto &trial : result.trials) {
         os << std::left << std::setw(8) << (trial.fold + 1);
+        if (trial.failed) {
+            for (std::size_t j = 0; j < result.indicatorNames.size(); ++j)
+                os << std::right << std::setw(22) << "failed";
+            os << '\n';
+            continue;
+        }
         for (double e : trial.validation.harmonicError) {
             std::ostringstream cell;
             cell << std::fixed

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/error.hh"
 #include "data/dataset.hh"
 #include "data/metrics.hh"
 #include "data/split.hh"
@@ -30,6 +31,52 @@ namespace model {
 
 /** Creates a fresh, unfitted model for each trial. */
 using ModelFactory = std::function<std::unique_ptr<PerformanceModel>()>;
+
+/**
+ * A cross-validation fold (or a whole run) failed. Kind "fold".
+ *
+ * Raised by crossValidate in quarantine mode when *every* fold fails
+ * (partial results would be meaningless), and available for injection
+ * at the "cv.fold" failpoint site. fold() identifies the first failing
+ * fold.
+ */
+class FoldFailure : public Error
+{
+  public:
+    /**
+     * @param fold    0-based index of the (first) failing fold.
+     * @param message Description of the failure.
+     */
+    FoldFailure(std::size_t fold, const std::string &message);
+
+    /** 0-based index of the (first) failing fold. */
+    std::size_t fold() const { return foldIndex; }
+
+  private:
+    std::size_t foldIndex;
+};
+
+/**
+ * What to do when one work item (a CV fold, a grid-search candidate)
+ * fails with a recoverable wcnn::Error.
+ */
+enum class OnFailure
+{
+    /**
+     * Propagate the first failure and abort the whole run (today's
+     * behavior, and the default: silent partial results never surprise
+     * a caller that didn't opt in).
+     */
+    Strict,
+
+    /**
+     * Quarantine the failing item: record its per-item status + error
+     * text, skip it in every aggregate, and keep going. Bugs
+     * (wcnn::ContractViolation and other non-wcnn::Error exceptions)
+     * still propagate — quarantine is for faults, not bugs.
+     */
+    Quarantine,
+};
 
 /** Options for crossValidate(). */
 struct CvOptions
@@ -56,6 +103,13 @@ struct CvOptions
      * safe to invoke concurrently.
      */
     std::size_t threads = 1;
+
+    /**
+     * Failure policy for individual folds. Quarantine yields partial
+     * results with per-trial status; Strict (default) preserves the
+     * historical first-failure abort.
+     */
+    OnFailure onFailure = OnFailure::Strict;
 };
 
 /** Outcome of one trial (one held-out fold). */
@@ -63,6 +117,12 @@ struct CvTrial
 {
     /** Held-out fold number. */
     std::size_t fold = 0;
+
+    /** True when the trial was quarantined (see CvOptions::onFailure). */
+    bool failed = false;
+
+    /** what() of the quarantined failure; empty when the trial ran. */
+    std::string error;
 
     /** Paper's error metric per indicator on the validation fold. */
     data::ErrorReport validation;
@@ -89,9 +149,13 @@ struct CvResult
     /** Indicator names (column order). */
     std::vector<std::string> indicatorNames;
 
+    /** Number of trials that were quarantined. */
+    std::size_t failedCount() const;
+
     /**
      * Per-indicator validation error averaged over trials — the bottom
-     * row of the paper's Table 2.
+     * row of the paper's Table 2. Quarantined trials are skipped (the
+     * average is over the trials that ran).
      */
     std::vector<double> averageValidationError() const;
 
@@ -110,7 +174,8 @@ struct CvResult
  *
  * @param factory Produces an unfitted model per trial.
  * @param ds      Full sample collection.
- * @param options Fold count, seed, retention.
+ * @param options Fold count, seed, retention, failure policy.
+ * @throws FoldFailure in quarantine mode when every fold failed.
  */
 CvResult crossValidate(const ModelFactory &factory,
                        const data::Dataset &ds,

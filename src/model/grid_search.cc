@@ -1,8 +1,11 @@
 #include "grid_search.hh"
 
 #include <limits>
+#include <string>
 
 #include "core/contracts.hh"
+#include "core/error.hh"
+#include "core/failpoint.hh"
 #include "core/parallel.hh"
 #include "core/telemetry.hh"
 
@@ -13,6 +16,15 @@
 
 namespace wcnn {
 namespace model {
+
+std::size_t
+GridSearchResult::failedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &entry : entries)
+        n += entry.failed ? 1 : 0;
+    return n;
+}
 
 GridSearchResult
 gridSearch(const NnModelOptions &base, const data::Dataset &ds,
@@ -44,29 +56,58 @@ gridSearch(const NnModelOptions &base, const data::Dataset &ds,
             const std::size_t units = options.hiddenUnits[c / n_losses];
             const double target = options.targetLosses[c % n_losses];
             WCNN_SPAN("grid.candidate", c, units, target);
-            NnModelOptions opts = base;
-            opts.hiddenUnits = {units};
-            opts.train.targetLoss = target;
-            NnModel candidate(opts);
-            candidate.fit(split.train);
+            try {
+                WCNN_FAILPOINT("grid.candidate",
+                               throw Error("grid",
+                                           "injected: grid.candidate"));
+                NnModelOptions opts = base;
+                opts.hiddenUnits = {units};
+                opts.train.targetLoss = target;
+                NnModel candidate(opts);
+                candidate.fit(split.train);
 
-            const data::ErrorReport report = data::evaluate(
-                ds.outputs(), split.validation.yMatrix(),
-                candidate.predictAll(split.validation));
-            result.entries[c] = GridSearchEntry{
-                units, target, numeric::mean(report.harmonicError)};
-            WCNN_EVENT("grid.candidate.error", c,
-                       result.entries[c].validationError);
+                const data::ErrorReport report = data::evaluate(
+                    ds.outputs(), split.validation.yMatrix(),
+                    candidate.predictAll(split.validation));
+                GridSearchEntry entry;
+                entry.hiddenUnits = units;
+                entry.targetLoss = target;
+                entry.validationError =
+                    numeric::mean(report.harmonicError);
+                result.entries[c] = entry;
+                WCNN_EVENT("grid.candidate.error", c,
+                           result.entries[c].validationError);
+            } catch (const Error &e) {
+                if (options.onFailure == OnFailure::Strict)
+                    throw;
+                WCNN_EVENT("grid.candidate.quarantined", c);
+                GridSearchEntry entry;
+                entry.hiddenUnits = units;
+                entry.targetLoss = target;
+                entry.failed = true;
+                entry.error = e.what();
+                result.entries[c] = entry;
+            }
         });
 
     // Pick the winner after the fan-in; strict < keeps the serial
-    // earliest-entry tie-break.
+    // earliest-entry tie-break. Quarantined candidates never win.
     double best = std::numeric_limits<double>::infinity();
+    bool have_winner = false;
     for (std::size_t c = 0; c < result.entries.size(); ++c) {
-        if (result.entries[c].validationError < best) {
+        if (result.entries[c].failed)
+            continue;
+        if (!have_winner || result.entries[c].validationError < best) {
             best = result.entries[c].validationError;
             result.bestIndex = c;
+            have_winner = true;
         }
+    }
+    if (!have_winner) {
+        throw Error("grid",
+                    "all " + std::to_string(result.entries.size()) +
+                        " candidates failed; first: " +
+                        result.entries.front().error);
     }
     return result;
 }

@@ -14,9 +14,11 @@
 #define WCNN_MODEL_GRID_SEARCH_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/dataset.hh"
+#include "model/cross_validation.hh"
 #include "model/nn_model.hh"
 
 namespace wcnn {
@@ -31,6 +33,12 @@ struct GridSearchEntry
     double targetLoss = 0.0;
     /** Paper's error metric on the held-out slice. */
     double validationError = 0.0;
+
+    /** True when the candidate was quarantined (never the winner). */
+    bool failed = false;
+
+    /** what() of the quarantined failure; empty when the run scored. */
+    std::string error;
 };
 
 /** Search outcome. */
@@ -43,6 +51,9 @@ struct GridSearchResult
 
     /** The winning candidate. */
     const GridSearchEntry &best() const { return entries[bestIndex]; }
+
+    /** Number of candidates that were quarantined. */
+    std::size_t failedCount() const;
 };
 
 /** Search space and protocol options. */
@@ -68,6 +79,14 @@ struct GridSearchOptions
      * the best() tie-break are bit-identical at every thread count.
      */
     std::size_t threads = 1;
+
+    /**
+     * Failure policy for individual candidates. Quarantine scores the
+     * survivors and excludes failed candidates from the winner
+     * selection; Strict (default) keeps the historical first-failure
+     * abort.
+     */
+    OnFailure onFailure = OnFailure::Strict;
 };
 
 /**
@@ -77,7 +96,9 @@ struct GridSearchOptions
  * @param base    NN options shared by all candidates (layers/threshold
  *                fields are overwritten per candidate).
  * @param ds      Sample collection.
- * @param options Search space.
+ * @param options Search space and failure policy.
+ * @throws wcnn::Error (kind "grid") in quarantine mode when every
+ *         candidate failed — there is no winner to return.
  */
 GridSearchResult gridSearch(const NnModelOptions &base,
                             const data::Dataset &ds,

@@ -1,5 +1,6 @@
 #include "nn_model.hh"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -90,14 +91,14 @@ readMoments(std::istream &is, const char *tag)
     if (!(is >> token) || token != tag)
         throw nn::SerializeError(std::string("expected ") + tag);
     std::size_t d = 0;
-    if (!(is >> d))
+    if (!(is >> d) || d > (1u << 20))
         throw nn::SerializeError("bad moment count");
     numeric::Vector mu(d), sigma(d);
     for (auto &v : mu)
-        if (!(is >> v))
+        if (!(is >> v) || !std::isfinite(v))
             throw nn::SerializeError("bad mean");
     for (auto &v : sigma) {
-        if (!(is >> v) || v <= 0.0)
+        if (!(is >> v) || !std::isfinite(v) || v <= 0.0)
             throw nn::SerializeError("bad scale");
     }
     return data::Standardizer::fromMoments(std::move(mu),

@@ -50,13 +50,19 @@ runStudy(const StudyOptions &options)
             }
         }
     }
+    sim::CollectOptions collect;
+    collect.threads = options.threads;
+    collect.quarantine = !options.strict;
+    collect.maxAttempts = options.strict ? 1 : options.collectMaxAttempts;
     if (options.source == StudyOptions::Source::Simulator) {
         result.dataset = sim::collectSimulated(
             configs, options.params, options.seed, options.replicates,
-            options.threads);
+            collect, &result.collection);
     } else {
         result.dataset = sim::collectAnalytic(configs, options.params,
                                               options.threads);
+        result.collection.configs.assign(configs.size(),
+                                         sim::ConfigStatus{});
     }
 
     // 2. Hyperparameter tuning (automated version of the paper's
@@ -67,6 +73,8 @@ runStudy(const StudyOptions &options)
         GridSearchOptions tuning = options.tuning;
         tuning.seed = options.seed + 1;
         tuning.threads = options.threads;
+        tuning.onFailure = options.strict ? OnFailure::Strict
+                                          : OnFailure::Quarantine;
         result.tuning = gridSearch(options.nn, result.dataset, tuning);
         result.tunedNn.hiddenUnits = {result.tuning.best().hiddenUnits};
         result.tunedNn.train.targetLoss =
@@ -79,6 +87,8 @@ runStudy(const StudyOptions &options)
         CvOptions cv = options.cv;
         cv.seed = options.seed + 2;
         cv.threads = options.threads;
+        cv.onFailure = options.strict ? OnFailure::Strict
+                                      : OnFailure::Quarantine;
         const NnModelOptions tuned = result.tunedNn;
         result.cv = crossValidate(
             [&tuned]() { return std::make_unique<NnModel>(tuned); },

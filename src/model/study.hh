@@ -80,6 +80,21 @@ struct StudyOptions
      * Overrides the threads fields of `tuning` and `cv`.
      */
     std::size_t threads = 1;
+
+    /**
+     * Failure policy for the whole pipeline. True (default) preserves
+     * the historical behavior: the first fault aborts the study. False
+     * degrades gracefully — transient simulator faults are retried and
+     * persistent ones drop their configuration (see
+     * StudyResult::collection), failing tuning candidates and CV folds
+     * are quarantined with per-item status, and only a stage with *no*
+     * surviving work still throws. Overrides the onFailure fields of
+     * `tuning` and `cv`.
+     */
+    bool strict = true;
+
+    /** Retry budget per simulator run when strict is false. */
+    std::size_t collectMaxAttempts = 3;
 };
 
 /** Everything the pipeline produces. */
@@ -87,6 +102,12 @@ struct StudyResult
 {
     /** Collected sample collection. */
     data::Dataset dataset;
+
+    /**
+     * Collection bookkeeping: per-configuration retry and drop counts
+     * (all Ok when the study ran strict or fault-free).
+     */
+    sim::CollectReport collection;
 
     /** NN options actually used (after tuning). */
     NnModelOptions tunedNn;

@@ -1,6 +1,7 @@
 #include "activation.hh"
 
 #include <cmath>
+#include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
@@ -86,7 +87,11 @@ Activation::name() const
     std::ostringstream os;
     switch (fnKind) {
       case Kind::Logistic:
-        os << "logistic(a=" << slopeParam << ")";
+        // Full round-trip precision: this string is the serialized
+        // form of the slope (Serializer::write emits name()), and a
+        // 6-digit default would silently perturb reloaded models.
+        os << "logistic(a=" << std::setprecision(17) << slopeParam
+           << ")";
         break;
       case Kind::Tanh:
         os << "tanh";

@@ -1,8 +1,11 @@
 #include "serialize.hh"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+
+#include "core/failpoint.hh"
 
 namespace wcnn {
 namespace nn {
@@ -11,6 +14,14 @@ namespace {
 
 constexpr const char *magic = "wcnn-mlp";
 constexpr int version = 1;
+
+/*
+ * Sanity cap on every parsed count (depth, units, matrix dims). A
+ * garbled file claiming 10^15 units must raise SerializeError, not
+ * drive a multi-terabyte allocation; no legitimate model in this
+ * repo is within orders of magnitude of the cap.
+ */
+constexpr std::size_t maxCount = 1u << 20;
 
 std::string
 expectToken(std::istream &is, const std::string &what)
@@ -28,6 +39,8 @@ expectDouble(std::istream &is, const std::string &what)
     double v;
     if (!(is >> v))
         throw SerializeError("bad number in model file at " + what);
+    if (!std::isfinite(v))
+        throw SerializeError("non-finite number in model file at " + what);
     return v;
 }
 
@@ -37,6 +50,8 @@ expectSize(std::istream &is, const std::string &what)
     long long v;
     if (!(is >> v) || v < 0)
         throw SerializeError("bad count in model file at " + what);
+    if (static_cast<unsigned long long>(v) > maxCount)
+        throw SerializeError("implausible count in model file at " + what);
     return static_cast<std::size_t>(v);
 }
 
@@ -45,6 +60,9 @@ expectSize(std::istream &is, const std::string &what)
 void
 Serializer::write(const Mlp &net, std::ostream &os)
 {
+    WCNN_FAILPOINT("model.write",
+                   throw SerializeError("injected: model.write"));
+
     os << magic << ' ' << version << '\n';
     os << "input_dim " << net.inputDim() << '\n';
     os << "depth " << net.depth() << '\n';
@@ -71,6 +89,9 @@ Serializer::write(const Mlp &net, std::ostream &os)
 Mlp
 Serializer::read(std::istream &is)
 {
+    WCNN_FAILPOINT("model.read",
+                   throw SerializeError("injected: model.read"));
+
     if (expectToken(is, "magic") != magic)
         throw SerializeError("not a wcnn-mlp model file");
     if (expectSize(is, "version") != version)
@@ -106,6 +127,8 @@ Serializer::read(std::istream &is)
         const std::size_t cols = expectSize(is, "weight cols");
         if (rows != units)
             throw SerializeError("weight rows do not match layer units");
+        if (cols != 0 && rows > maxCount / cols)
+            throw SerializeError("implausible weight matrix size");
         numeric::Matrix w(rows, cols);
         for (std::size_t i = 0; i < rows; ++i)
             for (std::size_t j = 0; j < cols; ++j)

@@ -12,19 +12,29 @@
 #define WCNN_NN_SERIALIZE_HH
 
 #include <iosfwd>
-#include <stdexcept>
 #include <string>
 
+#include "core/error.hh"
 #include "nn/mlp.hh"
 
 namespace wcnn {
 namespace nn {
 
-/** Error thrown on malformed model files. */
-class SerializeError : public std::runtime_error
+/**
+ * Error thrown on malformed model files or I/O failure. Kind
+ * "io.model". Every deserialization failure — truncation, garbled
+ * tokens, impossible counts, non-finite weights — raises this typed
+ * error, never a contract abort (malformed files are faults, not
+ * bugs).
+ */
+class SerializeError : public IoError
 {
   public:
-    using std::runtime_error::runtime_error;
+    /** @param message Description of the parse or I/O fault. */
+    explicit SerializeError(const std::string &message)
+        : IoError("io.model", message)
+    {
+    }
 };
 
 /**

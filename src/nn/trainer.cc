@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <limits>
+#include <string>
+#include <utility>
 
 #include "core/contracts.hh"
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "nn/loss.hh"
 #include "numeric/rng.hh"
@@ -83,6 +86,17 @@ struct RmsProp
 
 } // namespace
 
+TrainDivergence::TrainDivergence(std::size_t epoch, double loss,
+                                 Mlp lastGood, TrainResult partial)
+    : Error("train", "diverged at epoch " + std::to_string(epoch) +
+                         " (loss " + std::to_string(loss) +
+                         "); resume from lastGood() with a smaller "
+                         "learning rate"),
+      atEpoch(epoch), badLoss(loss), goodNet(std::move(lastGood)),
+      partialRes(std::move(partial))
+{
+}
+
 double
 Trainer::evaluateLoss(const Mlp &net, const numeric::Matrix &x,
                       const numeric::Matrix &y)
@@ -131,8 +145,17 @@ Trainer::train(Mlp &net, const numeric::Matrix &x,
     std::size_t epochs_since_best = 0;
     // Snapshot of the best-validation weights for restore-on-stop.
     Mlp best_net;
+    // Divergence can be gradual: the loss stays finite for epochs
+    // while the weights overflow toward 1e150+, so "weights before the
+    // NaN epoch" would already be poisoned. TrainDivergence instead
+    // hands back the weights from the start of the lowest-loss epoch —
+    // the last state demonstrably worth resuming from.
+    double best_train = std::numeric_limits<double>::infinity();
+    Mlp last_good = net;
+    Mlp epoch_start;
 
     for (std::size_t epoch = 0; epoch < opts.maxEpochs; ++epoch) {
+        epoch_start = net;
         const double lr =
             opts.learningRate /
             (1.0 + opts.lrDecay * static_cast<double>(epoch));
@@ -172,13 +195,23 @@ Trainer::train(Mlp &net, const numeric::Matrix &x,
         }
 
         epoch_loss /= static_cast<double>(n);
+        WCNN_FAILPOINT("train.diverge",
+                       epoch_loss =
+                           std::numeric_limits<double>::quiet_NaN());
         WCNN_EVENT("train.epoch", epoch, epoch_loss,
                    std::sqrt(grad_norm_sq), lr);
-        if (!std::isfinite(epoch_loss))
+        // Divergence is a recoverable fault, not a contract: the typed
+        // throw stays active under WCNN_NO_CONTRACTS and hands the
+        // caller the pre-epoch weights plus partial statistics.
+        if (!std::isfinite(epoch_loss)) {
             WCNN_EVENT("train.diverged", epoch, epoch_loss);
-        WCNN_CHECK_FINITE(epoch_loss, "training diverged at epoch ", epoch,
-                          " (lr ", lr, "): raise WCNN_NO_CONTRACTS only if "
-                          "divergence is expected");
+            throw TrainDivergence(epoch, epoch_loss, std::move(last_good),
+                                  std::move(result));
+        }
+        if (epoch_loss < best_train) {
+            best_train = epoch_loss;
+            last_good = epoch_start;
+        }
         result.epochs = epoch + 1;
         result.finalTrainLoss = epoch_loss;
         if (opts.recordHistory)

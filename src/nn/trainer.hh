@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/error.hh"
 #include "nn/mlp.hh"
 #include "numeric/matrix.hh"
 
@@ -106,6 +107,50 @@ struct TrainResult
 };
 
 /**
+ * Thrown when the epoch-average training loss leaves the finite range
+ * (exploding gradients, too-large learning rate). Kind "train".
+ *
+ * Divergence is a recoverable fault, not a bug: the exception carries
+ * the network as of the start of the best-loss epoch observed so far
+ * (blow-ups are often gradual — the loss can stay finite for epochs
+ * while the weights overflow, so the epoch right before the NaN may
+ * already be poisoned) plus the partial TrainResult, so the caller can
+ * resume — e.g. retrain from lastGood() with a smaller learning rate —
+ * instead of losing the run. The guard is part of train()'s semantics
+ * and stays active under WCNN_NO_CONTRACTS.
+ */
+class TrainDivergence : public Error
+{
+  public:
+    /**
+     * @param epoch   0-based epoch whose loss went non-finite.
+     * @param loss    The non-finite epoch-average loss.
+     * @param lastGood Weights as of the start of the best-loss epoch.
+     * @param partial Training statistics up to the previous epoch.
+     */
+    TrainDivergence(std::size_t epoch, double loss, Mlp lastGood,
+                    TrainResult partial);
+
+    /** 0-based epoch whose loss went non-finite. */
+    std::size_t epoch() const { return atEpoch; }
+
+    /** The non-finite epoch-average loss. */
+    double loss() const { return badLoss; }
+
+    /** Weights of the best-loss epoch; resume training from these. */
+    const Mlp &lastGood() const { return goodNet; }
+
+    /** Statistics of the completed epochs before the divergence. */
+    const TrainResult &partialResult() const { return partialRes; }
+
+  private:
+    std::size_t atEpoch;
+    double badLoss;
+    Mlp goodNet;
+    TrainResult partialRes;
+};
+
+/**
  * Back-propagation trainer. Stateless apart from its options; pass the
  * network and data to train().
  */
@@ -134,6 +179,8 @@ class Trainer
      * @param val_x Optional validation inputs (enables early stopping).
      * @param val_y Optional validation targets.
      * @return Statistics of the run.
+     * @throws TrainDivergence when the epoch loss goes non-finite;
+     *         carries the last-good weights and partial statistics.
      */
     TrainResult train(Mlp &net, const numeric::Matrix &x,
                       const numeric::Matrix &y, numeric::Rng &rng,

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/contracts.hh"
+#include "core/error.hh"
+#include "core/failpoint.hh"
 #include "core/parallel.hh"
 #include "core/telemetry.hh"
 
@@ -13,6 +15,38 @@ namespace wcnn {
 namespace sim {
 
 namespace {
+
+/**
+ * Run one sampler attempt cycle: call `attempt` (which may throw
+ * wcnn::SimFault) up to options.maxAttempts times with deterministic
+ * backoff between tries, counting retries on `status`. On persistent
+ * failure either quarantine (mark Dropped, return false) or rethrow.
+ */
+template <typename AttemptFn>
+bool
+runWithRetries(const AttemptFn &attempt, const CollectOptions &options,
+               std::size_t config_index, ConfigStatus &status)
+{
+    for (std::size_t try_no = 0;; ++try_no) {
+        try {
+            attempt();
+            return true;
+        } catch (const SimFault &e) {
+            if (e.transient() && try_no + 1 < options.maxAttempts) {
+                status.retries += 1;
+                WCNN_EVENT("collect.retry", config_index, try_no);
+                core::failpoint::backoffWait(try_no, options.backoffBase);
+                continue;
+            }
+            if (!options.quarantine)
+                throw;
+            status.state = ConfigStatus::State::Dropped;
+            status.error = e.what();
+            WCNN_EVENT("collect.dropped", config_index, try_no);
+            return false;
+        }
+    }
+}
 
 double
 snap(const ParameterRange &range, double v)
@@ -122,24 +156,64 @@ factorialDesign(const SampleSpace &space, std::size_t center_points)
     return out;
 }
 
+std::size_t
+CollectReport::retries() const
+{
+    std::size_t n = 0;
+    for (const auto &status : configs)
+        n += status.retries;
+    return n;
+}
+
+std::size_t
+CollectReport::dropped() const
+{
+    std::size_t n = 0;
+    for (const auto &status : configs)
+        n += status.state == ConfigStatus::State::Dropped ? 1 : 0;
+    return n;
+}
+
 data::Dataset
 collectDataset(const std::vector<ThreeTierConfig> &configs,
                const SampleFn &fn, std::size_t threads)
 {
+    CollectOptions options;
+    options.threads = threads;
+    return collectDataset(configs, fn, options);
+}
+
+data::Dataset
+collectDataset(const std::vector<ThreeTierConfig> &configs,
+               const SampleFn &fn, const CollectOptions &options,
+               CollectReport *report)
+{
     WCNN_SPAN("collect.dataset", configs.size());
+
+    CollectReport local;
+    CollectReport &rep = report != nullptr ? *report : local;
+    rep.configs.assign(configs.size(), ConfigStatus{});
 
     // Evaluate into index-addressed slots, then assemble in configs
     // order, so the dataset rows are thread-count independent.
     std::vector<PerfSample> samples(configs.size());
-    core::parallelFor(configs.size(), threads, [&](std::size_t i) {
+    core::parallelFor(configs.size(), options.threads, [&](std::size_t i) {
         WCNN_SPAN("collect.config", i);
-        samples[i] = fn(configs[i]);
+        runWithRetries(
+            [&] {
+                WCNN_FAILPOINT("collect.sample",
+                               throw SimFault("injected: collect.sample"));
+                samples[i] = fn(configs[i]);
+            },
+            options, i, rep.configs[i]);
     });
 
     data::Dataset ds(ThreeTierConfig::parameterNames(),
                      PerfSample::indicatorNames());
-    for (std::size_t i = 0; i < configs.size(); ++i)
-        ds.add(configs[i].toVector(), samples[i].toVector());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (rep.configs[i].state == ConfigStatus::State::Ok)
+            ds.add(configs[i].toVector(), samples[i].toVector());
+    }
     return ds;
 }
 
@@ -148,24 +222,56 @@ collectSimulated(std::vector<ThreeTierConfig> configs,
                  const WorkloadParams &params, std::uint64_t seed_base,
                  std::size_t replicates, std::size_t threads)
 {
+    CollectOptions options;
+    options.threads = threads;
+    return collectSimulated(std::move(configs), params, seed_base,
+                            replicates, options);
+}
+
+data::Dataset
+collectSimulated(std::vector<ThreeTierConfig> configs,
+                 const WorkloadParams &params, std::uint64_t seed_base,
+                 std::size_t replicates, const CollectOptions &options,
+                 CollectReport *report)
+{
     WCNN_REQUIRE(replicates >= 1, "need at least one replicate per config");
     // Seeds are a function of the configuration *index*, not of
     // collection order, reproducing the historical serial counter
-    // (config i, replicate r -> seed_base + i*replicates + r).
+    // (config i, replicate r -> seed_base + i*replicates + r). A
+    // retried replicate reuses its original seed, so a run whose
+    // transient faults are all successfully retried produces the same
+    // bits as a run with no faults at all.
     WCNN_SPAN("collect.simulated", configs.size(), replicates);
+
+    CollectReport local;
+    CollectReport &rep = report != nullptr ? *report : local;
+    rep.configs.assign(configs.size(), ConfigStatus{});
+
     std::vector<PerfSample> means(configs.size());
-    core::parallelFor(configs.size(), threads, [&](std::size_t i) {
+    core::parallelFor(configs.size(), options.threads, [&](std::size_t i) {
         WCNN_SPAN("collect.config", i);
         PerfSample mean;
         for (std::size_t r = 0; r < replicates; ++r) {
             ThreeTierConfig replica = configs[i];
             replica.seed = seed_base + i * replicates + r;
-            const PerfSample s = simulateThreeTier(replica, params);
-            mean.manufacturingRt += s.manufacturingRt;
-            mean.dealerPurchaseRt += s.dealerPurchaseRt;
-            mean.dealerManageRt += s.dealerManageRt;
-            mean.dealerBrowseRt += s.dealerBrowseRt;
-            mean.throughput += s.throughput;
+            const bool ok = runWithRetries(
+                [&] {
+                    WCNN_FAILPOINT("sim.replicate",
+                                   throw SimFault(
+                                       "injected: sim.replicate"));
+                    const PerfSample s = simulateThreeTier(replica, params);
+                    mean.manufacturingRt += s.manufacturingRt;
+                    mean.dealerPurchaseRt += s.dealerPurchaseRt;
+                    mean.dealerManageRt += s.dealerManageRt;
+                    mean.dealerBrowseRt += s.dealerBrowseRt;
+                    mean.throughput += s.throughput;
+                },
+                options, i, rep.configs[i]);
+            // One exhausted replicate drops the whole configuration:
+            // a partial replicate average would silently change the
+            // row's statistics.
+            if (!ok)
+                return;
         }
         WCNN_COUNTER_ADD("sim.replicates", replicates);
         const double n = static_cast<double>(replicates);
@@ -179,8 +285,10 @@ collectSimulated(std::vector<ThreeTierConfig> configs,
 
     data::Dataset ds(ThreeTierConfig::parameterNames(),
                      PerfSample::indicatorNames());
-    for (std::size_t i = 0; i < configs.size(); ++i)
-        ds.add(configs[i].toVector(), means[i].toVector());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        if (rep.configs[i].state == ConfigStatus::State::Ok)
+            ds.add(configs[i].toVector(), means[i].toVector());
+    }
     return ds;
 }
 

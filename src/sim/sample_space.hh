@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "data/dataset.hh"
@@ -108,6 +109,70 @@ std::vector<ThreeTierConfig> factorialDesign(const SampleSpace &space,
 /** Maps a configuration to its 5 indicators. */
 using SampleFn = std::function<PerfSample(const ThreeTierConfig &)>;
 
+/** Collection policy: worker threads, retries, and drop handling. */
+struct CollectOptions
+{
+    /** Worker threads (core::parallelFor); 0 = hardware count. */
+    std::size_t threads = 1;
+
+    /**
+     * Total attempts per sampler run. A transient wcnn::SimFault is
+     * retried with the *same* seed — a successful retry is
+     * indistinguishable from a run that never faulted, which is what
+     * makes chaos runs with fully-retried faults bit-identical to
+     * clean runs. Non-transient faults are never retried.
+     */
+    std::size_t maxAttempts = 3;
+
+    /**
+     * After retries are exhausted (or on a non-transient fault): true
+     * drops the configuration (recorded in the CollectReport, its row
+     * omitted from the dataset); false (default) propagates the fault.
+     */
+    bool quarantine = false;
+
+    /**
+     * Backoff base in seconds between attempts; attempt a waits
+     * base * 2^a (capped; see core::failpoint::backoffSeconds). The
+     * schedule is a pure function of the attempt number — never
+     * randomized — so retried runs replay deterministically. <= 0
+     * (default) skips waiting entirely, which is right for in-process
+     * simulators; collection against a real testbed would set ~0.01.
+     */
+    double backoffBase = 0.0;
+};
+
+/** Per-configuration collection outcome. */
+struct ConfigStatus
+{
+    enum class State
+    {
+        Ok,      ///< sampled (possibly after retries)
+        Dropped, ///< quarantined; row omitted from the dataset
+    };
+
+    State state = State::Ok;
+
+    /** Faulted attempts that were retried. */
+    std::size_t retries = 0;
+
+    /** what() of the final failure; empty unless Dropped. */
+    std::string error;
+};
+
+/** Bookkeeping of one collection run. */
+struct CollectReport
+{
+    /** One entry per input configuration, in configs order. */
+    std::vector<ConfigStatus> configs;
+
+    /** Total retried attempts across configurations. */
+    std::size_t retries() const;
+
+    /** Number of dropped configurations. */
+    std::size_t dropped() const;
+};
+
 /**
  * Run every configuration through a sampler and assemble the dataset
  * with the paper's input/output column names.
@@ -124,6 +189,25 @@ using SampleFn = std::function<PerfSample(const ThreeTierConfig &)>;
 data::Dataset collectDataset(const std::vector<ThreeTierConfig> &configs,
                              const SampleFn &fn,
                              std::size_t threads = 1);
+
+/**
+ * As above with an explicit collection policy: transient
+ * wcnn::SimFaults from the sampler are retried (same configuration,
+ * bounded deterministic backoff) and optionally quarantined.
+ *
+ * @param configs Configurations to evaluate.
+ * @param fn      Sampler; may throw wcnn::SimFault.
+ * @param options Threads, retry budget, drop policy.
+ * @param report  Optional per-configuration bookkeeping (retry and
+ *                drop counts; dropped rows are omitted from the
+ *                dataset but present in the report).
+ * @throws wcnn::SimFault when retries are exhausted and
+ *         options.quarantine is false.
+ */
+data::Dataset collectDataset(const std::vector<ThreeTierConfig> &configs,
+                             const SampleFn &fn,
+                             const CollectOptions &options,
+                             CollectReport *report = nullptr);
 
 /**
  * Convenience: collect with the discrete-event simulator. Each
@@ -148,6 +232,29 @@ data::Dataset collectSimulated(std::vector<ThreeTierConfig> configs,
                                std::uint64_t seed_base,
                                std::size_t replicates = 3,
                                std::size_t threads = 1);
+
+/**
+ * As above with an explicit collection policy. Each faulting
+ * *replicate* is retried under its original seed (so a successful
+ * retry reproduces the clean run bit-for-bit); a replicate whose
+ * retries are exhausted drops — or propagates — the whole
+ * configuration per options.quarantine.
+ *
+ * @param configs    Configurations to evaluate (seed field overwritten).
+ * @param params     Demand model.
+ * @param seed_base  First seed.
+ * @param replicates Runs per configuration (>= 1).
+ * @param options    Threads, retry budget, drop policy.
+ * @param report     Optional per-configuration bookkeeping.
+ * @throws wcnn::SimFault when retries are exhausted and
+ *         options.quarantine is false.
+ */
+data::Dataset collectSimulated(std::vector<ThreeTierConfig> configs,
+                               const WorkloadParams &params,
+                               std::uint64_t seed_base,
+                               std::size_t replicates,
+                               const CollectOptions &options,
+                               CollectReport *report = nullptr);
 
 /**
  * Convenience: collect with the closed-form analytic model (fast,

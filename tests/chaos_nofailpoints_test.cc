@@ -1,0 +1,72 @@
+/**
+ * @file
+ * WCNN_FAILPOINT under -DWCNN_NO_FAILPOINTS (this TU alone is compiled
+ * with the flag; see tests/CMakeLists.txt). The macro must become a
+ * statically dead branch: the action is type-checked but never
+ * evaluated and the registry never consulted, so release builds carry
+ * zero cost and zero behavior change even with triggers armed. The
+ * function API stays available (ODR-identical across mixed TUs).
+ */
+
+#ifndef WCNN_NO_FAILPOINTS
+#error "this TU must be compiled with WCNN_NO_FAILPOINTS"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/error.hh"
+#include "core/failpoint.hh"
+
+namespace fp = wcnn::core::failpoint;
+
+namespace {
+
+class NoFailpointsTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fp::reset(); }
+    void TearDown() override { fp::reset(); }
+};
+
+} // namespace
+
+TEST_F(NoFailpointsTest, ActionIsNeverEvaluatedEvenWhenArmed)
+{
+    fp::armFromSpec("nofp.site=always");
+    ASSERT_TRUE(fp::active());
+    int evaluated = 0;
+    for (int i = 0; i < 10; ++i)
+        WCNN_FAILPOINT("nofp.site", ++evaluated);
+    EXPECT_EQ(evaluated, 0);
+}
+
+TEST_F(NoFailpointsTest, SiteIsNeverCountedAsAHit)
+{
+    fp::armFromSpec("nofp.site=always");
+    WCNN_FAILPOINT("nofp.site", throw wcnn::SimFault("unreachable"));
+    // The compiled-out macro must not consult the registry at all.
+    EXPECT_EQ(fp::hits("nofp.site"), 0u);
+    EXPECT_EQ(fp::fires("nofp.site"), 0u);
+}
+
+TEST_F(NoFailpointsTest, ThrowingActionsTypeCheckButNeverThrow)
+{
+    fp::armFromSpec("nofp.throw=always");
+    EXPECT_NO_THROW(WCNN_FAILPOINT(
+        "nofp.throw", throw wcnn::SimFault("injected: nofp.throw")));
+}
+
+TEST_F(NoFailpointsTest, RegistryApiRemainsUsable)
+{
+    // Tools arm flags unconditionally; the functions must keep working
+    // in no-failpoint builds even though no site will ever consult
+    // them from a WCNN_NO_FAILPOINTS TU.
+    EXPECT_NO_THROW(fp::armFromSpec("nofp.a=nth:2:3;nofp.b=prob:0.5:9"));
+    EXPECT_TRUE(fp::active());
+    EXPECT_EQ(fp::report().size(), 2u);
+    EXPECT_THROW(fp::armFromSpec("nofp.c=bogus"), wcnn::Error);
+    fp::reset();
+    EXPECT_FALSE(fp::active());
+}

@@ -139,7 +139,10 @@ TEST(Contracts, MatrixShapeMismatchIsContractChecked)
  * WCNN_CHECK_FINITE guard inside Trainer::train reports it instead of
  * silently poisoning every downstream figure.
  */
-TEST(Contracts, TrainerDivergenceIsCaughtByCheckFinite)
+// Divergence is no longer a contract trip: train() throws the typed,
+// resumable wcnn::TrainDivergence instead (active even when contracts
+// are compiled out; see chaos_recovery_test for the recovery paths).
+TEST(Contracts, TrainerDivergenceThrowsTypedResumableError)
 {
     wcnn::numeric::Rng rng(1234);
     wcnn::nn::Mlp net(
@@ -166,11 +169,18 @@ TEST(Contracts, TrainerDivergenceIsCaughtByCheckFinite)
 
     try {
         trainer.train(net, x, y, rng);
-        FAIL() << "divergent training did not trip WCNN_CHECK_FINITE";
-    } catch (const ContractViolation &e) {
-        EXPECT_EQ(e.kind(), "WCNN_CHECK_FINITE");
+        FAIL() << "divergent training did not throw TrainDivergence";
+    } catch (const wcnn::nn::TrainDivergence &e) {
+        EXPECT_EQ(e.kind(), "train");
         EXPECT_NE(std::string(e.what()).find("diverged"),
                   std::string::npos);
+        EXPECT_FALSE(std::isfinite(e.loss()));
+        // The carried weights predate the divergence, so they are
+        // finite and usable for resumption.
+        const wcnn::numeric::Vector probe{0.1, -0.2};
+        for (double v : e.lastGood().forward(probe))
+            EXPECT_TRUE(std::isfinite(v));
+        EXPECT_EQ(e.partialResult().epochs, e.epoch());
     }
 }
 

@@ -9,9 +9,12 @@
 #include <set>
 
 #include <algorithm>
+#include <cmath>
 
+#include "core/contracts.hh"
 #include "model/cross_validation.hh"
 #include "model/linear_model.hh"
+#include "model/nn_model.hh"
 #include "numeric/rng.hh"
 
 using wcnn::data::Dataset;
@@ -156,4 +159,37 @@ TEST(FormatTableTest, NonPercentMode)
     const std::string table =
         wcnn::model::formatTable(result, false);
     EXPECT_EQ(table.find("%"), std::string::npos);
+}
+
+TEST(CrossValidationTest, FoldSmallerThanBatchSizeStillTrains)
+{
+    // 12 samples over 5 folds leaves trials with 9-10 training rows; a
+    // configured batch of 64 must clamp to the fold size, not trip a
+    // contract or silently skip the epoch.
+    const Dataset ds = noisyLinearDataset(12, 10);
+    wcnn::model::NnModelOptions nn;
+    nn.hiddenUnits = {3};
+    nn.train.maxEpochs = 40;
+    nn.train.batchSize = 64; // far larger than any fold
+    nn.seed = 9;
+    CvOptions opts;
+    opts.folds = 5;
+    opts.keepPredictions = false;
+    const CvResult result = crossValidate(
+        [&nn] { return std::make_unique<wcnn::model::NnModel>(nn); },
+        ds, opts);
+    EXPECT_EQ(result.trials.size(), 5u);
+    for (double e : result.averageValidationError())
+        EXPECT_TRUE(std::isfinite(e));
+}
+
+TEST(CrossValidationTest, DatasetSmallerThanFoldCountIsAContractError)
+{
+#ifndef WCNN_NO_CONTRACTS
+    const Dataset ds = noisyLinearDataset(3, 11);
+    CvOptions opts;
+    opts.folds = 5;
+    EXPECT_THROW(crossValidate(linearFactory(), ds, opts),
+                 wcnn::ContractViolation);
+#endif
 }

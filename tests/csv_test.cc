@@ -124,3 +124,86 @@ TEST(CsvTest, MissingFileThrows)
     EXPECT_THROW(wcnn::data::loadCsv("/nonexistent/path/file.csv"),
                  CsvError);
 }
+
+TEST(CsvTest, CrlfLineEndingsParseLikeLf)
+{
+    // Files written on Windows (or piped through tools that emit
+    // CRLF) must parse identically, trailing '\r' stripped from the
+    // header and every data row.
+    std::stringstream ss("x:a,y:b\r\n1,2\r\n3,4\r\n");
+    const Dataset ds = wcnn::data::readCsv(ss);
+    ASSERT_EQ(ds.size(), 2u);
+    EXPECT_EQ(ds.outputs(), (std::vector<std::string>{"b"}));
+    EXPECT_EQ(ds[1].x, (wcnn::numeric::Vector{3.0}));
+    EXPECT_EQ(ds[1].y, (wcnn::numeric::Vector{4.0}));
+}
+
+TEST(CsvTest, Utf8BomOnHeaderIsStripped)
+{
+    std::stringstream ss("\xef\xbb\xbfx:a,y:b\n1,2\n");
+    const Dataset ds = wcnn::data::readCsv(ss);
+    ASSERT_EQ(ds.size(), 1u);
+    EXPECT_EQ(ds.inputs(), (std::vector<std::string>{"a"}));
+}
+
+TEST(CsvTest, BomAndCrlfTogether)
+{
+    std::stringstream ss("\xef\xbb\xbfx:a,y:b\r\n1,2\r\n");
+    const Dataset ds = wcnn::data::readCsv(ss);
+    ASSERT_EQ(ds.size(), 1u);
+    EXPECT_EQ(ds[0].y, (wcnn::numeric::Vector{2.0}));
+}
+
+TEST(CsvTest, RaggedRowErrorNamesTheRowAndCounts)
+{
+    std::stringstream ss("x:a,x:b,y:c\n1,2,3\n4,5\n");
+    try {
+        (void)wcnn::data::readCsv(ss);
+        FAIL() << "ragged row accepted";
+    } catch (const CsvError &e) {
+        EXPECT_EQ(e.kind(), "io.csv");
+        const std::string what = e.what();
+        EXPECT_NE(what.find("row 3"), std::string::npos);
+        EXPECT_NE(what.find("2 fields"), std::string::npos);
+        EXPECT_NE(what.find("expected 3"), std::string::npos);
+    }
+}
+
+TEST(CsvTest, NonNumericCellErrorNamesTheCell)
+{
+    std::stringstream ss("x:a,y:b\n1,2\n1,twelve\n");
+    try {
+        (void)wcnn::data::readCsv(ss);
+        FAIL() << "non-numeric cell accepted";
+    } catch (const CsvError &e) {
+        EXPECT_NE(std::string(e.what()).find("'twelve'"),
+                  std::string::npos);
+    }
+}
+
+TEST(CsvTest, HeaderWithoutBothSidesThrows)
+{
+    std::stringstream only_x("x:a\n1\n");
+    EXPECT_THROW(wcnn::data::readCsv(only_x), CsvError);
+    std::stringstream only_y("y:a\n1\n");
+    EXPECT_THROW(wcnn::data::readCsv(only_y), CsvError);
+}
+
+TEST(CsvTest, EmptyColumnNameThrows)
+{
+    std::stringstream ss("x:,y:b\n1,2\n");
+    EXPECT_THROW(wcnn::data::readCsv(ss), CsvError);
+}
+
+TEST(CsvTest, CsvErrorIsAnIoError)
+{
+    // The taxonomy: CsvError -> IoError -> wcnn::Error, so callers can
+    // handle persistence failures at any granularity.
+    std::stringstream ss("");
+    try {
+        (void)wcnn::data::readCsv(ss);
+        FAIL() << "empty stream accepted";
+    } catch (const wcnn::IoError &e) {
+        EXPECT_EQ(e.kind(), "io.csv");
+    }
+}

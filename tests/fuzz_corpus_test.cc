@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Fuzz-style corpus test: every checked-in malformed input under
+ * tests/corpus/ must raise the typed wcnn::IoError family from its
+ * parser — never a contract abort (that would misreport bad input as
+ * an internal bug), never success, and under the sanitizer presets
+ * never UB. The corpus is the regression home for any future parser
+ * crash: add the offending file, it is covered forever.
+ *
+ * The corpus directory is baked in via WCNN_CORPUS_DIR (see
+ * tests/CMakeLists.txt); file names are enumerated here so a deleted
+ * corpus file fails loudly instead of silently shrinking coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/contracts.hh"
+#include "core/error.hh"
+#include "data/csv.hh"
+#include "nn/serialize.hh"
+
+#ifndef WCNN_CORPUS_DIR
+#error "build must define WCNN_CORPUS_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace {
+
+/** Read a corpus file whole; missing files fail the test. */
+std::string
+slurp(const std::string &name)
+{
+    const std::string path = std::string(WCNN_CORPUS_DIR) + "/" + name;
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        ADD_FAILURE() << "corpus file missing: " << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+const char *const kCsvCorpus[] = {
+    "csv_empty_file.csv",          "csv_header_missing_roles.csv",
+    "csv_output_before_input.csv", "csv_ragged_row.csv",
+    "csv_extra_cell.csv",          "csv_non_numeric_cell.csv",
+    "csv_trailing_junk.csv",       "csv_nan_cell.csv",
+    "csv_inf_cell.csv",            "csv_empty_cell.csv",
+    "csv_no_output_column.csv",    "csv_unnamed_column.csv",
+};
+
+const char *const kModelCorpus[] = {
+    "model_empty_file.txt",        "model_bad_magic.txt",
+    "model_bad_version.txt",       "model_unknown_activation.txt",
+    "model_truncated_after_header.txt",
+    "model_implausible_depth.txt", "model_implausible_width.txt",
+    "model_negative_dim.txt",
+};
+
+} // namespace
+
+TEST(FuzzCorpus, EveryMalformedCsvRaisesATypedIoError)
+{
+    for (const char *name : kCsvCorpus) {
+        std::stringstream ss(slurp(name));
+        try {
+            (void)wcnn::data::readCsv(ss);
+            ADD_FAILURE() << name << ": parser accepted malformed input";
+        } catch (const wcnn::IoError &e) {
+            EXPECT_EQ(e.kind(), "io.csv") << name;
+            EXPECT_FALSE(std::string(e.what()).empty()) << name;
+        } catch (const wcnn::ContractViolation &e) {
+            ADD_FAILURE() << name << ": contract abort instead of "
+                          << "IoError: " << e.what();
+        }
+    }
+}
+
+TEST(FuzzCorpus, EveryMalformedModelRaisesATypedIoError)
+{
+    for (const char *name : kModelCorpus) {
+        std::stringstream ss(slurp(name));
+        try {
+            (void)wcnn::nn::Serializer::read(ss);
+            ADD_FAILURE() << name << ": parser accepted malformed input";
+        } catch (const wcnn::IoError &e) {
+            EXPECT_EQ(e.kind(), "io.model") << name;
+            EXPECT_FALSE(std::string(e.what()).empty()) << name;
+        } catch (const wcnn::ContractViolation &e) {
+            ADD_FAILURE() << name << ": contract abort instead of "
+                          << "IoError: " << e.what();
+        }
+    }
+}
+
+TEST(FuzzCorpus, CorpusFailuresAreCatchableAsTheBaseError)
+{
+    // One taxonomy: anything the parsers throw narrows from
+    // wcnn::Error, so a driver's single catch block handles both.
+    std::stringstream csv(slurp("csv_ragged_row.csv"));
+    EXPECT_THROW((void)wcnn::data::readCsv(csv), wcnn::Error);
+    std::stringstream model(slurp("model_bad_magic.txt"));
+    EXPECT_THROW((void)wcnn::nn::Serializer::read(model), wcnn::Error);
+}

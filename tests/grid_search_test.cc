@@ -8,6 +8,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/contracts.hh"
 #include "model/grid_search.hh"
 #include "numeric/rng.hh"
 
@@ -122,4 +123,22 @@ TEST(GridSearchTest, AdequateCapacityBeatsUnderCapacity)
     nn.train.maxEpochs = 1500;
     const auto result = gridSearch(nn, sineDataset(60, 6), opts);
     EXPECT_EQ(result.best().hiddenUnits, 12u);
+}
+
+TEST(GridSearchTest, EmptyCandidateGridIsAContractError)
+{
+#ifndef WCNN_NO_CONTRACTS
+    // An empty axis is caller misuse (there is nothing to search), not
+    // an environmental failure: it trips the precondition contract
+    // rather than returning the typed runtime error family.
+    GridSearchOptions no_units;
+    no_units.hiddenUnits = {};
+    EXPECT_THROW(gridSearch(quickNn(), sineDataset(30, 7), no_units),
+                 wcnn::ContractViolation);
+
+    GridSearchOptions no_losses;
+    no_losses.targetLosses = {};
+    EXPECT_THROW(gridSearch(quickNn(), sineDataset(30, 8), no_losses),
+                 wcnn::ContractViolation);
+#endif
 }

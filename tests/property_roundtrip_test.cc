@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Property-based round-trip tests over seeded random inputs. The two
+ * persistence formats must satisfy:
+ *
+ *  - csv:   write(ds) parses back to an equal dataset, and
+ *           write(read(write(ds))) is a byte-for-byte fixpoint;
+ *  - model: write(net) loads to a network with bit-identical forward
+ *           behavior and parameters, and the text form is a fixpoint.
+ *
+ * Generators draw shapes, names, magnitudes, and activations from a
+ * seeded Rng so each run covers many structures reproducibly. The
+ * suites also pin the rejection properties: non-finite values, empty
+ * fields, and truncated payloads must raise the typed wcnn::IoError
+ * family, never a contract abort or silent acceptance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hh"
+#include "data/csv.hh"
+#include "nn/serialize.hh"
+#include "numeric/rng.hh"
+
+using wcnn::data::CsvError;
+using wcnn::data::Dataset;
+using wcnn::nn::Activation;
+using wcnn::nn::InitRule;
+using wcnn::nn::LayerSpec;
+using wcnn::nn::Mlp;
+using wcnn::nn::SerializeError;
+using wcnn::nn::Serializer;
+using wcnn::numeric::Rng;
+
+namespace {
+
+/** A value whose magnitude spans ~60 decades, sign included. */
+double
+wildDouble(Rng &rng)
+{
+    const double mantissa = rng.uniform(-1.0, 1.0);
+    const double scale = rng.uniform(-30.0, 30.0);
+    return mantissa * std::pow(10.0, scale);
+}
+
+/** Random dataset: 1-5 inputs, 1-3 outputs, 0-40 rows. */
+Dataset
+randomDataset(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto n_in = static_cast<std::size_t>(rng.uniform(1.0, 5.999));
+    const auto n_out = static_cast<std::size_t>(rng.uniform(1.0, 3.999));
+    const auto rows = static_cast<std::size_t>(rng.uniform(0.0, 40.999));
+    std::vector<std::string> in_names, out_names;
+    for (std::size_t i = 0; i < n_in; ++i)
+        in_names.push_back("in" + std::to_string(i));
+    for (std::size_t i = 0; i < n_out; ++i)
+        out_names.push_back("out" + std::to_string(i));
+    Dataset ds(in_names, out_names);
+    for (std::size_t r = 0; r < rows; ++r) {
+        wcnn::numeric::Vector x(n_in), y(n_out);
+        for (auto &v : x)
+            v = wildDouble(rng);
+        for (auto &v : y)
+            v = wildDouble(rng);
+        ds.add(std::move(x), std::move(y));
+    }
+    return ds;
+}
+
+/** Random network: 1-3 hidden layers, mixed activations. */
+Mlp
+randomNet(std::uint64_t seed)
+{
+    Rng rng(seed);
+    const auto input_dim =
+        static_cast<std::size_t>(rng.uniform(1.0, 6.999));
+    const auto hidden = static_cast<std::size_t>(rng.uniform(1.0, 3.999));
+    std::vector<LayerSpec> layers;
+    for (std::size_t l = 0; l < hidden; ++l) {
+        const auto units =
+            static_cast<std::size_t>(rng.uniform(1.0, 9.999));
+        const int pick = static_cast<int>(rng.uniform(0.0, 3.999));
+        Activation act = Activation::identity();
+        if (pick == 0)
+            act = Activation::logistic(rng.uniform(0.5, 4.0));
+        else if (pick == 1)
+            act = Activation::tanh();
+        else if (pick == 2)
+            act = Activation::relu();
+        layers.push_back(LayerSpec{units, act});
+    }
+    layers.push_back(LayerSpec{1, Activation::identity()});
+    return Mlp(input_dim, std::move(layers), InitRule::Xavier, rng);
+}
+
+} // namespace
+
+TEST(PropertyRoundTrip, CsvWriteReadPreservesEveryBit)
+{
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        const Dataset original = randomDataset(seed);
+        std::stringstream ss;
+        wcnn::data::writeCsv(original, ss);
+        const Dataset loaded = wcnn::data::readCsv(ss);
+
+        ASSERT_EQ(loaded.size(), original.size()) << "seed " << seed;
+        EXPECT_EQ(loaded.inputs(), original.inputs());
+        EXPECT_EQ(loaded.outputs(), original.outputs());
+        for (std::size_t i = 0; i < original.size(); ++i) {
+            EXPECT_EQ(loaded[i].x, original[i].x)
+                << "seed " << seed << " row " << i;
+            EXPECT_EQ(loaded[i].y, original[i].y)
+                << "seed " << seed << " row " << i;
+        }
+    }
+}
+
+TEST(PropertyRoundTrip, CsvWriteIsAFixpointOfReadWrite)
+{
+    // write(read(text)) == text: one round trip canonicalizes, further
+    // trips change nothing.
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        std::stringstream first;
+        wcnn::data::writeCsv(randomDataset(seed), first);
+        const std::string text = first.str();
+
+        std::stringstream reread(text);
+        std::stringstream second;
+        wcnn::data::writeCsv(wcnn::data::readCsv(reread), second);
+        EXPECT_EQ(second.str(), text) << "seed " << seed;
+    }
+}
+
+TEST(PropertyRoundTrip, CsvRejectsNonFiniteValues)
+{
+    // A dataset that reaches disk with NaN/Inf cells would poison every
+    // consumer downstream; the reader refuses them with a typed error.
+    const char *cells[] = {"nan",  "NaN",  "inf",
+                           "-inf", "INF",  "infinity"};
+    for (const char *cell : cells) {
+        std::stringstream ss("x:a,y:b\n1," + std::string(cell) + "\n");
+        try {
+            (void)wcnn::data::readCsv(ss);
+            FAIL() << "accepted non-finite cell " << cell;
+        } catch (const CsvError &e) {
+            EXPECT_EQ(e.kind(), "io.csv") << cell;
+        }
+    }
+}
+
+TEST(PropertyRoundTrip, CsvRejectsEmptyFields)
+{
+    const char *rows[] = {"1,\n", ",1\n", "1,,2\n"};
+    for (const char *row : rows) {
+        std::stringstream ss("x:a,y:b\n" + std::string(row));
+        EXPECT_THROW((void)wcnn::data::readCsv(ss), CsvError) << row;
+    }
+}
+
+TEST(PropertyRoundTrip, CsvErrorsAreIoErrors)
+{
+    // The whole csv error family is catchable as wcnn::IoError (and as
+    // wcnn::Error) so callers can treat persistence failures uniformly.
+    std::stringstream ss("x:a,y:b\n1\n");
+    try {
+        (void)wcnn::data::readCsv(ss);
+        FAIL() << "ragged row accepted";
+    } catch (const wcnn::IoError &e) {
+        EXPECT_EQ(e.kind(), "io.csv");
+    }
+}
+
+TEST(PropertyRoundTrip, ModelLoadHasBitIdenticalForwardBehavior)
+{
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        const Mlp net = randomNet(seed);
+        std::stringstream ss;
+        Serializer::write(net, ss);
+        const Mlp loaded = Serializer::read(ss);
+
+        ASSERT_EQ(loaded.inputDim(), net.inputDim()) << "seed " << seed;
+        EXPECT_EQ(loaded.describe(), net.describe());
+        for (std::size_t l = 0; l < net.depth(); ++l) {
+            EXPECT_TRUE(loaded.weights(l) == net.weights(l))
+                << "seed " << seed << " layer " << l;
+            EXPECT_EQ(loaded.biases(l), net.biases(l));
+        }
+
+        Rng probe(seed * 1000 + 7);
+        for (int trial = 0; trial < 5; ++trial) {
+            wcnn::numeric::Vector x(net.inputDim());
+            for (auto &v : x)
+                v = probe.uniform(-3, 3);
+            EXPECT_EQ(net.forward(x), loaded.forward(x))
+                << "seed " << seed;
+        }
+    }
+}
+
+TEST(PropertyRoundTrip, ModelWriteIsAFixpointOfReadWrite)
+{
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        std::stringstream first;
+        Serializer::write(randomNet(seed), first);
+        const std::string text = first.str();
+
+        std::stringstream reread(text);
+        std::stringstream second;
+        Serializer::write(Serializer::read(reread), second);
+        EXPECT_EQ(second.str(), text) << "seed " << seed;
+    }
+}
+
+TEST(PropertyRoundTrip, ModelRejectsNonFiniteWeights)
+{
+    // Corrupt one weight of a valid payload to nan/inf; the reader
+    // must refuse rather than load a poisoned network.
+    std::stringstream ss;
+    Serializer::write(randomNet(1), ss);
+    const std::string text = ss.str();
+    for (const char *bad : {"nan", "inf", "-inf"}) {
+        // Replace the final numeric token (a bias value).
+        const std::string trimmed =
+            text.substr(0, text.find_last_not_of(" \n") + 1);
+        const auto cut = trimmed.find_last_of(" \n");
+        std::stringstream corrupted(trimmed.substr(0, cut + 1) + bad
+                                    + "\n");
+        try {
+            (void)Serializer::read(corrupted);
+            FAIL() << "accepted non-finite weight " << bad;
+        } catch (const SerializeError &e) {
+            EXPECT_EQ(e.kind(), "io.model") << bad;
+        }
+    }
+}
+
+TEST(PropertyRoundTrip, EveryTruncationOfAModelFileIsRejected)
+{
+    // Chop a valid payload at every prefix length up to the start of
+    // the final token (a shorter prefix of the last number would still
+    // parse); each prefix must raise SerializeError — never crash or
+    // mis-load.
+    std::stringstream ss;
+    Serializer::write(randomNet(2), ss);
+    const std::string text = ss.str();
+    const std::string trimmed =
+        text.substr(0, text.find_last_not_of(" \n") + 1);
+    const std::size_t last_token = trimmed.find_last_of(" \n") + 1;
+    for (std::size_t len = 0; len <= last_token; len += 7) {
+        std::stringstream cut(text.substr(0, len));
+        EXPECT_THROW((void)Serializer::read(cut), SerializeError)
+            << "prefix length " << len;
+    }
+}

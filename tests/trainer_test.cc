@@ -296,3 +296,49 @@ TEST(TrainerTest, EmptyTrainingSetIsNoOp)
     const auto result = trainer.train(net, x, y, shuffle);
     EXPECT_EQ(result.epochs, 0u);
 }
+
+TEST(TrainerTest, DivergenceThrowsWithResumableState)
+{
+    // A hostile learning rate drives the epoch loss non-finite within
+    // an epoch or two; train() must report it as the typed, resumable
+    // TrainDivergence rather than return poisoned weights.
+    Rng rng(25);
+    Mlp net(1,
+            {LayerSpec{4, Activation::tanh()},
+             LayerSpec{1, Activation::identity()}},
+            InitRule::Xavier, rng);
+    Matrix x(6, 1), y(6, 1);
+    for (std::size_t i = 0; i < 6; ++i) {
+        x(i, 0) = static_cast<double>(i);
+        y(i, 0) = 50.0 * static_cast<double>(i);
+    }
+    TrainOptions opts;
+    opts.learningRate = 1e12;
+    opts.momentum = 0.0;
+    opts.maxEpochs = 20;
+    opts.targetLoss = 0.0;
+    Trainer trainer(opts);
+    Rng shuffle(26);
+    try {
+        trainer.train(net, x, y, shuffle);
+        FAIL() << "hostile learning rate did not diverge";
+    } catch (const wcnn::nn::TrainDivergence &e) {
+        EXPECT_EQ(e.kind(), "train");
+        EXPECT_FALSE(std::isfinite(e.loss()));
+        EXPECT_LT(e.epoch(), 20u);
+        EXPECT_EQ(e.partialResult().epochs, e.epoch());
+        // The carried snapshot predates the blow-up: training can
+        // resume from it with a saner rate.
+        Mlp resumed = e.lastGood();
+        for (double v : resumed.forward({0.5}))
+            EXPECT_TRUE(std::isfinite(v));
+        TrainOptions retry = opts;
+        retry.learningRate = 1e-3;
+        retry.maxEpochs = 5;
+        Rng shuffle2(27);
+        const auto result =
+            Trainer(retry).train(resumed, x, y, shuffle2);
+        EXPECT_EQ(result.epochs, 5u);
+        EXPECT_TRUE(std::isfinite(result.finalTrainLoss));
+    }
+}

@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "core/error.hh"
+#include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "data/csv.hh"
 #include "model/classify.hh"
@@ -150,7 +152,13 @@ cmdCollect(const Args &args)
         std::puts("wcnn collect --out FILE.csv [--samples N] "
                   "[--design lhs|random|grid|factorial]\n"
                   "             [--replicates N] [--seed S] "
-                  "[--analytic]");
+                  "[--analytic]\n"
+                  "             [--retries N] [--quarantine]\n"
+                  "\n"
+                  "  --retries N     attempts per replicate for "
+                  "transient sim faults (default 1)\n"
+                  "  --quarantine    drop configurations whose "
+                  "retries are exhausted instead of aborting");
         return 0;
     }
     const std::string out = args.str("out", "");
@@ -194,9 +202,19 @@ cmdCollect(const Args &args)
         std::printf("simulating %zu configurations x %zu "
                     "replicates...\n",
                     configs.size(), replicates);
+        sim::CollectOptions collect;
+        collect.maxAttempts =
+            static_cast<std::size_t>(args.num("retries", 1));
+        collect.quarantine = args.has("quarantine");
+        sim::CollectReport report;
         ds = sim::collectSimulated(configs,
                                    sim::WorkloadParams::defaults(),
-                                   seed, replicates);
+                                   seed, replicates, collect, &report);
+        if (report.retries() > 0 || report.dropped() > 0) {
+            std::printf("collection: %zu retried attempts, %zu "
+                        "configurations dropped\n",
+                        report.retries(), report.dropped());
+        }
     }
     data::saveCsv(ds, out);
     std::printf("wrote %zu samples to %s\n", ds.size(), out.c_str());
@@ -383,6 +401,14 @@ main(int argc, char **argv)
     // `wcnn <cmd> ... --telemetry run` traces any subcommand.
     auto recorder =
         wcnn::core::telemetry::Recorder::fromArgs(argc, argv);
+    // `wcnn <cmd> ... --failpoints "site=nth:2"` injects faults into
+    // any subcommand (chaos drills; also via WCNN_FAILPOINTS).
+    try {
+        wcnn::core::failpoint::installFromArgs(argc, argv);
+    } catch (const wcnn::Error &e) {
+        std::fprintf(stderr, "wcnn: %s\n", e.what());
+        return 2;
+    }
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];

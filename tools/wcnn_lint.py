@@ -31,6 +31,12 @@ Rules:
       WCNN_SPAN, or with telemetry::nowNs()/timedSeconds() when a
       number is needed in-process. Ad-hoc stopwatches fragment the
       trace and invite nondeterminism in places rule R1 protects.
+  R6  No catch (...) that swallows the exception. A catch-all body must
+      either rethrow (throw; / std::rethrow_exception) or capture via
+      std::current_exception() for deferred propagation — or convert
+      the failure into a wcnn::Error / recorded status. Silently eaten
+      failures defeat the typed error taxonomy (src/core/error.hh) and
+      hide chaos-injected faults from the quarantine bookkeeping.
 """
 
 from __future__ import annotations
@@ -52,6 +58,11 @@ FLOAT_RE = re.compile(r"(?<![_a-zA-Z])float(?![_a-zA-Z])"
 CLOCK_RE = re.compile(
     r"std::chrono::(?:steady_clock|system_clock|high_resolution_clock)"
     r"\s*::\s*now\s*\(")
+
+CATCH_ALL_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+RETHROW_RE = re.compile(
+    r"\bthrow\b|std::current_exception|std::rethrow_exception"
+    r"|\bwcnn::Error\b")
 
 FLOAT_SENSITIVE = [
     "src/data/standardizer.hh",
@@ -152,6 +163,39 @@ def check_clock_containment(errors: list[str]) -> None:
                     f"core::telemetry::nowNs()/timedSeconds()")
 
 
+def check_no_swallowing_catch_all(errors: list[str]) -> None:
+    for path in iter_sources(["src", "tests", "bench", "tools", "examples"]):
+        rel = path.relative_to(REPO).as_posix()
+        text = path.read_text()
+        lines = text.splitlines()
+        for match in CATCH_ALL_RE.finditer(text):
+            lineno = text.count("\n", 0, match.start()) + 1
+            if COMMENT_RE.match(lines[lineno - 1]):
+                continue
+            # Walk the catch block: from its opening brace to the
+            # matching close. Good-enough brace matching — braces in
+            # string literals are rare enough in this tree to ignore.
+            open_brace = text.find("{", match.end())
+            if open_brace == -1:
+                continue
+            depth = 0
+            end = open_brace
+            for i in range(open_brace, len(text)):
+                if text[i] == "{":
+                    depth += 1
+                elif text[i] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        end = i
+                        break
+            body = text[open_brace:end + 1]
+            if not RETHROW_RE.search(body):
+                errors.append(
+                    f"{rel}:{lineno}: R6 catch (...) swallows the "
+                    f"exception; rethrow, capture via "
+                    f"std::current_exception, or convert to wcnn::Error")
+
+
 def main() -> int:
     errors: list[str] = []
     check_rng_containment(errors)
@@ -159,6 +203,7 @@ def main() -> int:
     check_no_float_in_metrics(errors)
     check_cc_listed_in_cmake(errors)
     check_clock_containment(errors)
+    check_no_swallowing_catch_all(errors)
     for e in errors:
         print(e)
     if errors:
