@@ -1,9 +1,6 @@
 #include "nn_model.hh"
 
-#include <cmath>
 #include <fstream>
-#include <iomanip>
-#include <sstream>
 
 #include "core/contracts.hh"
 
@@ -71,36 +68,11 @@ namespace wcnn {
 namespace model {
 namespace {
 
-void
-writeMoments(std::ostream &os, const char *tag,
-             const data::Standardizer &std_)
-{
-    os << tag << ' ' << std_.dim();
-    os << std::setprecision(17);
-    for (double v : std_.means())
-        os << ' ' << v;
-    for (double v : std_.stddevs())
-        os << ' ' << v;
-    os << '\n';
-}
-
 data::Standardizer
 readMoments(std::istream &is, const char *tag)
 {
-    std::string token;
-    if (!(is >> token) || token != tag)
-        throw nn::SerializeError(std::string("expected ") + tag);
-    std::size_t d = 0;
-    if (!(is >> d) || d > (1u << 20))
-        throw nn::SerializeError("bad moment count");
-    numeric::Vector mu(d), sigma(d);
-    for (auto &v : mu)
-        if (!(is >> v) || !std::isfinite(v))
-            throw nn::SerializeError("bad mean");
-    for (auto &v : sigma) {
-        if (!(is >> v) || !std::isfinite(v) || v <= 0.0)
-            throw nn::SerializeError("bad scale");
-    }
+    numeric::Vector mu, sigma;
+    nn::Serializer::readMoments(is, tag, mu, sigma);
     return data::Standardizer::fromMoments(std::move(mu),
                                            std::move(sigma));
 }
@@ -112,8 +84,10 @@ NnModel::save(std::ostream &os) const
 {
     WCNN_REQUIRE(isFitted, "save() before fit()");
     os << "wcnn-nn-model 1\n";
-    writeMoments(os, "x_moments", xStd);
-    writeMoments(os, "y_moments", yStd);
+    nn::Serializer::writeMoments(os, "x_moments", xStd.means(),
+                                 xStd.stddevs());
+    nn::Serializer::writeMoments(os, "y_moments", yStd.means(),
+                                 yStd.stddevs());
     nn::Serializer::write(net, os);
 }
 

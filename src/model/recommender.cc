@@ -69,41 +69,63 @@ Recommender::recommend(const ScoringFunction &fn, std::size_t k) const
     WCNN_REQUIRE(k >= 1, "must request at least one recommendation");
     std::vector<Recommendation> best;
 
-    // Odometer enumeration of the full grid.
+    // Odometer enumeration of the full grid, evaluated in batched
+    // chunks through predictAll so matrix-forward models (NnModel,
+    // serve::ModelBundle) amortize the per-call overhead. Chunked
+    // batching is bit-identical to the per-config predict loop (the
+    // matrix forward runs the same scalar operations per row; see
+    // nn/mlp.hh), so the ranking cannot change.
+    constexpr std::size_t kChunkRows = 512;
     std::vector<std::size_t> ticks(axes.size(), 0);
     numeric::Vector config(axes.size());
+    std::vector<numeric::Vector> chunk;
+    chunk.reserve(kChunkRows);
     bool done = false;
     while (!done) {
-        for (std::size_t d = 0; d < axes.size(); ++d) {
-            const SearchAxis &axis = axes[d];
-            config[d] =
-                axis.points == 1
-                    ? axis.lo
-                    : axis.lo + (axis.hi - axis.lo) *
-                                    static_cast<double>(ticks[d]) /
-                                    static_cast<double>(axis.points - 1);
-        }
-        Recommendation rec;
-        rec.config = config;
-        rec.predicted = mdl.predict(config);
-        rec.score = fn.score(rec.predicted);
-
-        // Insertion into the (small) top-k list.
-        const auto pos = std::find_if(
-            best.begin(), best.end(),
-            [&](const Recommendation &r) { return rec.score > r.score; });
-        best.insert(pos, std::move(rec));
-        if (best.size() > k)
-            best.pop_back();
-
-        // Advance the odometer.
-        done = true;
-        for (std::size_t d = 0; d < axes.size(); ++d) {
-            if (++ticks[d] < axes[d].points) {
-                done = false;
-                break;
+        chunk.clear();
+        while (!done && chunk.size() < kChunkRows) {
+            for (std::size_t d = 0; d < axes.size(); ++d) {
+                const SearchAxis &axis = axes[d];
+                config[d] =
+                    axis.points == 1
+                        ? axis.lo
+                        : axis.lo +
+                              (axis.hi - axis.lo) *
+                                  static_cast<double>(ticks[d]) /
+                                  static_cast<double>(axis.points - 1);
             }
-            ticks[d] = 0;
+            chunk.push_back(config);
+
+            // Advance the odometer.
+            done = true;
+            for (std::size_t d = 0; d < axes.size(); ++d) {
+                if (++ticks[d] < axes[d].points) {
+                    done = false;
+                    break;
+                }
+                ticks[d] = 0;
+            }
+        }
+
+        numeric::Matrix xs(chunk.size(), axes.size());
+        for (std::size_t i = 0; i < chunk.size(); ++i)
+            xs.setRow(i, chunk[i]);
+        const numeric::Matrix ys = mdl.predictAll(xs);
+
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+            Recommendation rec;
+            rec.config = chunk[i];
+            rec.predicted = ys.row(i);
+            rec.score = fn.score(rec.predicted);
+
+            // Insertion into the (small) top-k list.
+            const auto pos = std::find_if(best.begin(), best.end(),
+                                          [&](const Recommendation &r) {
+                                              return rec.score > r.score;
+                                          });
+            best.insert(pos, std::move(rec));
+            if (best.size() > k)
+                best.pop_back();
         }
     }
     return best;

@@ -176,5 +176,37 @@ Serializer::load(const std::string &path)
     return read(is);
 }
 
+void
+Serializer::writeMoments(std::ostream &os, const char *tag,
+                         const numeric::Vector &mu,
+                         const numeric::Vector &sigma)
+{
+    os << tag << ' ' << mu.size();
+    os << std::setprecision(17);
+    for (double v : mu)
+        os << ' ' << v;
+    for (double v : sigma)
+        os << ' ' << v;
+    os << '\n';
+}
+
+void
+Serializer::readMoments(std::istream &is, const char *tag,
+                        numeric::Vector &mu, numeric::Vector &sigma)
+{
+    if (expectToken(is, tag) != tag)
+        throw SerializeError(std::string("expected ") + tag);
+    const std::size_t d = expectSize(is, tag);
+    mu.assign(d, 0.0);
+    sigma.assign(d, 0.0);
+    for (auto &v : mu)
+        v = expectDouble(is, "mean");
+    for (auto &v : sigma) {
+        v = expectDouble(is, "scale");
+        if (v <= 0.0)
+            throw SerializeError("non-positive scale in moments");
+    }
+}
+
 } // namespace nn
 } // namespace wcnn

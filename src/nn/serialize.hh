@@ -76,6 +76,34 @@ class Serializer
      * @throws SerializeError if the file cannot be opened or parsed.
      */
     static Mlp load(const std::string &path);
+
+    /**
+     * Write standardizer moments as one line,
+     * "<tag> <d> mu_1..mu_d sigma_1..sigma_d", at full (%.17g)
+     * precision. Shared by the NnModel and ModelBundle artifact
+     * formats so the two can never drift apart.
+     *
+     * @param os    Destination stream.
+     * @param tag   Line tag, e.g. "x_moments".
+     * @param mu    Per-feature means.
+     * @param sigma Per-feature scales; must equal mu in size.
+     */
+    static void writeMoments(std::ostream &os, const char *tag,
+                             const numeric::Vector &mu,
+                             const numeric::Vector &sigma);
+
+    /**
+     * Read a moments line written by writeMoments.
+     *
+     * @param is    Source stream.
+     * @param tag   Expected line tag.
+     * @param mu    Filled with the means.
+     * @param sigma Filled with the scales.
+     * @throws SerializeError on a missing tag, implausible count,
+     *         non-finite mean, or non-positive/non-finite scale.
+     */
+    static void readMoments(std::istream &is, const char *tag,
+                            numeric::Vector &mu, numeric::Vector &sigma);
 };
 
 } // namespace nn

@@ -1,0 +1,171 @@
+#include "cache.hh"
+
+#include <cstring>
+
+#include "core/contracts.hh"
+#include "core/telemetry.hh"
+
+namespace wcnn {
+namespace serve {
+
+namespace {
+
+/** SplitMix64 finalizer: cheap, well-mixed 64-bit hash step. */
+inline std::uint64_t
+mix64(std::uint64_t v)
+{
+    v += 0x9e3779b97f4a7c15ull;
+    v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ull;
+    v = (v ^ (v >> 27)) * 0x94d049bb133111ebull;
+    return v ^ (v >> 31);
+}
+
+} // namespace
+
+std::size_t
+hashVector(const numeric::Vector &x)
+{
+    std::uint64_t h = mix64(static_cast<std::uint64_t>(x.size()));
+    for (double v : x) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v),
+                      "double must be 64-bit");
+        std::memcpy(&bits, &v, sizeof(bits));
+        h = mix64(h ^ bits);
+    }
+    return static_cast<std::size_t>(h);
+}
+
+std::size_t
+PredictionCache::BitHash::operator()(const numeric::Vector &x) const
+{
+    return hashVector(x);
+}
+
+bool
+PredictionCache::BitEqual::operator()(const numeric::Vector &a,
+                                      const numeric::Vector &b) const
+{
+    if (a.size() != b.size())
+        return false;
+    return a.empty() ||
+           std::memcmp(a.data(), b.data(),
+                       a.size() * sizeof(double)) == 0;
+}
+
+double
+PredictionCache::Stats::hitRatio() const
+{
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) /
+                     static_cast<double>(lookups);
+}
+
+PredictionCache::PredictionCache(CacheOptions options)
+    : totalCapacity(options.capacity)
+{
+    if (totalCapacity == 0)
+        return;
+    std::size_t n = options.shards == 0 ? 1 : options.shards;
+    if (n > totalCapacity)
+        n = totalCapacity;
+    perShardCapacity = (totalCapacity + n - 1) / n;
+    shards.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        shards.push_back(std::make_unique<Shard>());
+}
+
+PredictionCache::Shard &
+PredictionCache::shardFor(std::size_t hash) const
+{
+    WCNN_REQUIRE(!shards.empty(), "shardFor() on a disabled cache");
+    return *shards[hash % shards.size()];
+}
+
+bool
+PredictionCache::lookup(const numeric::Vector &x, numeric::Vector &y)
+{
+    if (!enabled())
+        return false;
+    Shard &shard = shardFor(hashVector(x));
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(x);
+    if (it == shard.index.end()) {
+        ++shard.misses;
+        WCNN_COUNTER_ADD("serve.cache.miss", 1);
+        return false;
+    }
+    // Move to MRU position; iterators stay valid across splice.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    y = it->second->y;
+    ++shard.hits;
+    WCNN_COUNTER_ADD("serve.cache.hit", 1);
+    return true;
+}
+
+void
+PredictionCache::insert(const numeric::Vector &x,
+                        const numeric::Vector &y)
+{
+    if (!enabled())
+        return;
+    Shard &shard = shardFor(hashVector(x));
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(x);
+    if (it != shard.index.end()) {
+        // Refresh: the deterministic contract means y can only ever
+        // be the same bits for the same bundle, but an insert racing
+        // a swap may legitimately carry a newer prediction.
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        it->second->y = y;
+        return;
+    }
+    if (shard.lru.size() >= perShardCapacity) {
+        const Entry &victim = shard.lru.back();
+        shard.index.erase(victim.x);
+        shard.lru.pop_back();
+        ++shard.evictions;
+        WCNN_COUNTER_ADD("serve.cache.evict", 1);
+    }
+    shard.lru.push_front(Entry{x, y});
+    shard.index.emplace(x, shard.lru.begin());
+    ++shard.insertions;
+    WCNN_COUNTER_ADD("serve.cache.insert", 1);
+}
+
+void
+PredictionCache::clear()
+{
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->lru.clear();
+        shard->index.clear();
+        ++shard->invalidations;
+    }
+    WCNN_COUNTER_ADD("serve.cache.invalidate", 1);
+}
+
+PredictionCache::Stats
+PredictionCache::stats() const
+{
+    Stats total;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total.hits += shard->hits;
+        total.misses += shard->misses;
+        total.insertions += shard->insertions;
+        total.evictions += shard->evictions;
+        total.invalidations += shard->invalidations;
+        total.entries += shard->lru.size();
+    }
+    // Per-shard invalidation counts move in lockstep (clear() walks
+    // every shard); report the per-cache count, not the sum.
+    if (!shards.empty())
+        total.invalidations /= shards.size();
+    return total;
+}
+
+} // namespace serve
+} // namespace wcnn

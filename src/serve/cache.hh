@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Sharded LRU prediction cache.
+ *
+ * The surrogate is deterministic — equal inputs give bit-equal
+ * outputs — so serving the same configuration twice should cost one
+ * hash lookup, not a forward pass. The cache maps the *raw* input
+ * vector (exact bit pattern of every double; no epsilon) to the
+ * prediction vector, because the determinism contract is exact
+ * equality and anything fuzzier would let a cached answer differ from
+ * a computed one.
+ *
+ * Concurrency: the key space is split across independently locked
+ * shards (shard = hash(x) % shards), so concurrent connections rarely
+ * contend. Memory is bounded by a global entry capacity divided
+ * evenly across shards; each shard evicts its own least-recently-used
+ * entry on overflow. Hit/miss/eviction counts are tracked exactly
+ * (per shard, summed on stats()) and mirrored into telemetry
+ * counters; on model swap the server clears the cache, so a stale
+ * prediction can never outlive the bundle that computed it.
+ */
+
+#ifndef WCNN_SERVE_CACHE_HH
+#define WCNN_SERVE_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "numeric/matrix.hh"
+
+namespace wcnn {
+namespace serve {
+
+/** Cache sizing knobs. */
+struct CacheOptions
+{
+    /** Total entry capacity across all shards; 0 disables caching. */
+    std::size_t capacity = 4096;
+
+    /** Lock shards; clamped to [1, capacity] when capacity > 0. */
+    std::size_t shards = 8;
+};
+
+/**
+ * Bounded, sharded, exact-key LRU cache of predictions.
+ */
+class PredictionCache
+{
+  public:
+    /** Exact counters; hits + misses == lookups. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        /** Count of swap/clear invalidations. */
+        std::uint64_t invalidations = 0;
+        /** Entries currently resident. */
+        std::size_t entries = 0;
+
+        /** Hit ratio in [0, 1]; 0 when no lookups happened. */
+        double hitRatio() const;
+    };
+
+    explicit PredictionCache(CacheOptions options = {});
+
+    PredictionCache(const PredictionCache &) = delete;
+    PredictionCache &operator=(const PredictionCache &) = delete;
+
+    /** Whether the cache can hold anything (capacity > 0). */
+    bool enabled() const { return totalCapacity > 0; }
+
+    /** Configured total entry capacity. */
+    std::size_t capacity() const { return totalCapacity; }
+
+    /** Number of shards actually in use. */
+    std::size_t shardCount() const { return shards.size(); }
+
+    /**
+     * Look up a prediction and mark the entry most-recently-used.
+     *
+     * @param x Raw input vector (exact-equality key).
+     * @param y Filled with the cached prediction on a hit.
+     * @return True on a hit.
+     */
+    bool lookup(const numeric::Vector &x, numeric::Vector &y);
+
+    /**
+     * Insert (or refresh) a prediction, evicting the shard's LRU
+     * entry when the shard is full. No-op when disabled.
+     */
+    void insert(const numeric::Vector &x, const numeric::Vector &y);
+
+    /**
+     * Drop every entry (model swap invalidation). Counters other than
+     * `entries` are preserved so tests can account across a swap.
+     */
+    void clear();
+
+    /** Exact aggregate counters over all shards. */
+    Stats stats() const;
+
+  private:
+    struct Entry
+    {
+        numeric::Vector x;
+        numeric::Vector y;
+    };
+
+    /** Hash of the exact bit pattern (see hashVector). */
+    struct BitHash
+    {
+        std::size_t operator()(const numeric::Vector &x) const;
+    };
+
+    /**
+     * Bit-pattern equality: consistent with BitHash where double
+     * operator== is not (-0.0 vs 0.0 stay distinct keys, NaN inputs
+     * equal themselves instead of poisoning the map).
+     */
+    struct BitEqual
+    {
+        bool operator()(const numeric::Vector &a,
+                        const numeric::Vector &b) const;
+    };
+
+    struct Shard
+    {
+        std::mutex mutex;
+        /** MRU first, LRU last. */
+        std::list<Entry> lru;
+        std::unordered_map<numeric::Vector, std::list<Entry>::iterator,
+                           BitHash, BitEqual>
+            index;
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t insertions = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t invalidations = 0;
+    };
+
+    Shard &shardFor(std::size_t hash) const;
+
+    std::size_t totalCapacity = 0;
+    std::size_t perShardCapacity = 0;
+    mutable std::vector<std::unique_ptr<Shard>> shards;
+};
+
+/**
+ * Hash of the exact bit pattern of a double vector (the cache key).
+ * Exposed for tests.
+ */
+std::size_t hashVector(const numeric::Vector &x);
+
+} // namespace serve
+} // namespace wcnn
+
+#endif // WCNN_SERVE_CACHE_HH

@@ -1,0 +1,139 @@
+#include "loadgen.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/contracts.hh"
+#include "core/telemetry.hh"
+#include "numeric/rng.hh"
+#include "serve/error.hh"
+#include "serve/net/client.hh"
+
+namespace wcnn {
+namespace serve {
+
+namespace {
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
+LoadgenReport
+runTcpLoad(const std::string &host, std::uint16_t port,
+           std::size_t input_dim, const LoadgenOptions &options)
+{
+    WCNN_REQUIRE(options.clients >= 1, "need at least one client");
+    WCNN_REQUIRE(options.pipeline >= 1, "pipeline must be >= 1");
+    WCNN_REQUIRE(input_dim >= 1, "input_dim must be >= 1");
+
+    std::vector<std::vector<double>> latencies(options.clients);
+    std::vector<std::uint64_t> errors(options.clients, 0);
+    std::atomic<bool> connect_failed{false};
+
+    const std::int64_t start_ns = core::telemetry::nowNs();
+    std::vector<std::thread> workers;
+    workers.reserve(options.clients);
+    for (std::size_t c = 0; c < options.clients; ++c) {
+        workers.emplace_back([&, c] {
+            numeric::Rng rng = numeric::Rng::stream(options.seed, c);
+
+            // Pre-draw the key pool (cache-warm mode).
+            std::vector<numeric::Vector> pool;
+            for (std::size_t k = 0; k < options.keyPoolSize; ++k) {
+                numeric::Vector x(input_dim);
+                for (double &v : x)
+                    v = rng.uniform(0.0, 1.0);
+                pool.push_back(std::move(x));
+            }
+            const auto next_input = [&]() {
+                if (!pool.empty())
+                    return pool[static_cast<std::size_t>(rng.uniformInt(
+                        0,
+                        static_cast<std::int64_t>(pool.size()) - 1))];
+                numeric::Vector x(input_dim);
+                for (double &v : x)
+                    v = rng.uniform(0.0, 1.0);
+                return x;
+            };
+
+            try {
+                net::ServeClient client =
+                    net::ServeClient::connect(host, port);
+                std::size_t remaining = options.requestsPerClient;
+                while (remaining > 0) {
+                    const std::size_t window =
+                        std::min(options.pipeline, remaining);
+                    const std::int64_t t0 = core::telemetry::nowNs();
+                    for (std::size_t w = 0; w < window; ++w)
+                        client.sendPredict(next_input());
+                    for (std::size_t w = 0; w < window; ++w) {
+                        try {
+                            client.readPrediction();
+                        } catch (const Overloaded &) {
+                            ++errors[c];
+                        } catch (const BadRequest &) {
+                            ++errors[c];
+                        } catch (const NoModelError &) {
+                            ++errors[c];
+                        }
+                    }
+                    const double window_us =
+                        static_cast<double>(core::telemetry::nowNs() -
+                                            t0) /
+                        1000.0;
+                    latencies[c].insert(latencies[c].end(), window,
+                                        window_us);
+                    remaining -= window;
+                }
+            } catch (const wcnn::Error &) {
+                // Transport failure mid-run: the unanswered rest of
+                // this client's quota counts as errors.
+                if (latencies[c].empty() && errors[c] == 0)
+                    connect_failed.store(true);
+                errors[c] += options.requestsPerClient -
+                             std::min(options.requestsPerClient,
+                                      latencies[c].size());
+            }
+        });
+    }
+    for (std::thread &worker : workers)
+        worker.join();
+    const double seconds =
+        static_cast<double>(core::telemetry::nowNs() - start_ns) / 1e9;
+
+    if (connect_failed.load())
+        throw ServeError("load generator could not reach " + host + ":" +
+                         std::to_string(port));
+
+    LoadgenReport report;
+    report.requests = options.clients * options.requestsPerClient;
+    for (const std::uint64_t e : errors)
+        report.errors += e;
+    report.seconds = seconds;
+    report.throughputRps =
+        seconds > 0.0 ? static_cast<double>(report.requests) / seconds
+                      : 0.0;
+
+    std::vector<double> all;
+    for (const auto &per_client : latencies)
+        all.insert(all.end(), per_client.begin(), per_client.end());
+    std::sort(all.begin(), all.end());
+    report.p50Us = percentile(all, 0.50);
+    report.p99Us = percentile(all, 0.99);
+    return report;
+}
+
+} // namespace serve
+} // namespace wcnn

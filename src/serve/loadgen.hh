@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic-input TCP load generator for the inference server.
+ *
+ * Shared by bench/bench_serve.cc and `wcnn bench-serve` so the two
+ * report comparable numbers. Each client thread draws its request
+ * vectors from numeric::Rng::stream(seed, client_index) — the *load*
+ * is reproducible even though the measured latencies are not — and
+ * pipelines `pipeline` requests per window over one ServeClient
+ * connection, which is what lets the server's connection handler
+ * coalesce them into micro-batches.
+ *
+ * keyPoolSize > 0 draws inputs from a fixed per-client pool instead
+ * of fresh vectors, turning the run into a cache-hit-ratio benchmark.
+ */
+
+#ifndef WCNN_SERVE_LOADGEN_HH
+#define WCNN_SERVE_LOADGEN_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wcnn {
+namespace serve {
+
+/** Load shape. */
+struct LoadgenOptions
+{
+    /** Concurrent client connections. */
+    std::size_t clients = 8;
+
+    /** Requests each client sends. */
+    std::size_t requestsPerClient = 200;
+
+    /** Requests in flight per client before reading responses. */
+    std::size_t pipeline = 16;
+
+    /** Base seed; client c draws from Rng::stream(seed, c). */
+    std::uint64_t seed = 42;
+
+    /**
+     * 0: every request is a fresh vector (cache-cold). > 0: requests
+     * are drawn uniformly from a pool of this many distinct vectors
+     * per client (cache-warm after the first pass).
+     */
+    std::size_t keyPoolSize = 0;
+};
+
+/** Aggregate result of one load run. */
+struct LoadgenReport
+{
+    /** Requests sent. */
+    std::size_t requests = 0;
+
+    /** Requests answered with a typed error (or lost to a dead
+     *  connection). */
+    std::size_t errors = 0;
+
+    /** Wall-clock duration of the whole run. */
+    double seconds = 0.0;
+
+    /** requests / seconds. */
+    double throughputRps = 0.0;
+
+    /**
+     * Per-request latency percentiles in microseconds, measured as
+     * the round-trip of the request's pipeline window (the honest
+     * client-visible number under pipelining).
+     */
+    double p50Us = 0.0;
+
+    /** 99th percentile; see p50Us. */
+    double p99Us = 0.0;
+};
+
+/**
+ * Run a load against a listening server and block until done.
+ *
+ * @param host      Server address.
+ * @param port      Server port.
+ * @param input_dim Input arity of the deployed bundle.
+ * @param options   Load shape.
+ * @throws ServeError when a client cannot connect at all.
+ */
+LoadgenReport runTcpLoad(const std::string &host, std::uint16_t port,
+                         std::size_t input_dim,
+                         const LoadgenOptions &options);
+
+} // namespace serve
+} // namespace wcnn
+
+#endif // WCNN_SERVE_LOADGEN_HH

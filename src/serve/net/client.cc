@@ -1,0 +1,113 @@
+#include "client.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "serve/error.hh"
+
+namespace wcnn {
+namespace serve {
+namespace net {
+
+void
+throwServeError(const std::string &kind, const std::string &message)
+{
+    if (kind == "serve.overloaded")
+        throw Overloaded(message);
+    if (kind == "serve.protocol")
+        throw ProtocolError(message);
+    if (kind == "serve.no_model")
+        throw NoModelError();
+    if (kind == "serve.bad_request")
+        throw BadRequest(message);
+    throw ServeError(kind.empty() ? message : kind + ": " + message);
+}
+
+ServeClient
+ServeClient::connect(const std::string &host, std::uint16_t port,
+                     int timeout_ms)
+{
+    return ServeClient(TcpStream::connect(host, port), timeout_ms);
+}
+
+numeric::Vector
+ServeClient::predict(const numeric::Vector &x)
+{
+    sendPredict(x);
+    return readPrediction();
+}
+
+void
+ServeClient::sendPredict(const numeric::Vector &x)
+{
+    const Bytes frame = encodeRequest(x);
+    stream.writeAll(frame.data(), frame.size());
+}
+
+numeric::Vector
+ServeClient::readPrediction()
+{
+    Frame frame = readFrame();
+    switch (frame.type) {
+    case FrameType::Response:
+        return std::move(frame.values);
+    case FrameType::Error:
+        throwServeError(frame.errorKind, frame.errorMessage);
+    default:
+        throw ProtocolError("expected a response frame, got type " +
+                            std::to_string(static_cast<unsigned>(
+                                frame.type)));
+    }
+}
+
+bool
+ServeClient::ping()
+{
+    const Bytes frame = encodePing();
+    stream.writeAll(frame.data(), frame.size());
+    return readFrame().type == FrameType::Pong;
+}
+
+void
+ServeClient::rawSend(const void *data, std::size_t size)
+{
+    stream.writeAll(data, size);
+}
+
+Frame
+ServeClient::readFrame()
+{
+    std::uint8_t chunk[4096];
+    while (true) {
+        const DecodeResult r = tryDecode(buffer.data(), buffer.size());
+        if (r.status == DecodeStatus::Frame) {
+            buffer.erase(buffer.begin(),
+                         buffer.begin() +
+                             static_cast<std::ptrdiff_t>(r.consumed));
+            return r.frame;
+        }
+        if (r.status == DecodeStatus::Malformed)
+            throw ProtocolError("undecodable bytes from server: " +
+                                r.error);
+
+        std::size_t n = 0;
+        const ReadStatus status =
+            stream.readSome(chunk, sizeof(chunk), n, timeoutMs);
+        if (status == ReadStatus::Eof)
+            throw ServeError("server closed the connection");
+        if (status == ReadStatus::Timeout)
+            throw ServeError("timed out waiting for the server");
+        buffer.insert(buffer.end(), chunk, chunk + n);
+    }
+}
+
+void
+ServeClient::close()
+{
+    stream.close();
+    buffer.clear();
+}
+
+} // namespace net
+} // namespace serve
+} // namespace wcnn

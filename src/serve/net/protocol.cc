@@ -1,0 +1,478 @@
+#include "protocol.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/contracts.hh"
+#include "serve/error.hh"
+
+namespace wcnn {
+namespace serve {
+namespace net {
+
+namespace {
+
+void
+putU16(Bytes &out, std::uint16_t v)
+{
+    out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+}
+
+void
+putU32(Bytes &out, std::uint32_t v)
+{
+    for (int shift = 0; shift < 32; shift += 8)
+        out.push_back(static_cast<std::uint8_t>((v >> shift) & 0xFF));
+}
+
+void
+putF64(Bytes &out, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    for (int shift = 0; shift < 64; shift += 8)
+        out.push_back(static_cast<std::uint8_t>((bits >> shift) & 0xFF));
+}
+
+std::uint16_t
+getU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] |
+                                      (static_cast<std::uint16_t>(p[1])
+                                       << 8));
+}
+
+std::uint32_t
+getU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+        v = (v << 8) | p[i];
+    return v;
+}
+
+double
+getF64(const std::uint8_t *p)
+{
+    std::uint64_t bits = 0;
+    for (int i = 7; i >= 0; --i)
+        bits = (bits << 8) | p[i];
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+Bytes
+encodeVectorFrame(FrameType type, const numeric::Vector &values)
+{
+    WCNN_REQUIRE(values.size() <= kMaxVectorLen,
+                 "vector too long for one frame");
+    Bytes out;
+    out.reserve(8 + values.size() * 8);
+    out.push_back(kMagic);
+    out.push_back(static_cast<std::uint8_t>(type));
+    putU32(out, static_cast<std::uint32_t>(2 + values.size() * 8));
+    putU16(out, static_cast<std::uint16_t>(values.size()));
+    for (double v : values)
+        putF64(out, v);
+    return out;
+}
+
+DecodeResult
+malformed(std::string why)
+{
+    DecodeResult r;
+    r.status = DecodeStatus::Malformed;
+    r.error = std::move(why);
+    return r;
+}
+
+/** Round-trip double formatting for the JSON side. */
+std::string
+formatDouble(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+appendJsonEscaped(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+/**
+ * Minimal recursive-descent scanner for the request grammar: one flat
+ * object of string keys mapping to strings, numbers, number arrays,
+ * booleans or null. Not a general JSON parser on purpose — anything
+ * outside the request shape is a protocol fault.
+ */
+class JsonScanner
+{
+  public:
+    explicit JsonScanner(const std::string &text) : s(text) {}
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= s.size())
+            fail("unexpected end of line");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos < s.size() && peek() == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= s.size())
+                fail("unterminated string");
+            const char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos >= s.size())
+                    fail("unterminated escape");
+                const char e = s[pos++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                default: fail("unsupported string escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    double
+    parseNumber()
+    {
+        skipWs();
+        const char *start = s.c_str() + pos;
+        char *end = nullptr;
+        const double v = std::strtod(start, &end);
+        if (end == start)
+            fail("expected a number");
+        pos += static_cast<std::size_t>(end - start);
+        return v;
+    }
+
+    numeric::Vector
+    parseNumberArray()
+    {
+        expect('[');
+        numeric::Vector out;
+        if (consume(']'))
+            return out;
+        while (true) {
+            out.push_back(parseNumber());
+            if (consume(']'))
+                return out;
+            expect(',');
+        }
+    }
+
+    void
+    parseLiteral(const char *word)
+    {
+        skipWs();
+        const std::size_t n = std::strlen(word);
+        if (s.compare(pos, n, word) != 0)
+            fail("unsupported value");
+        pos += n;
+    }
+
+    void
+    expectEnd()
+    {
+        skipWs();
+        if (pos != s.size())
+            fail("trailing bytes after the request object");
+    }
+
+    [[noreturn]] void
+    fail(const std::string &why)
+    {
+        throw ProtocolError("bad JSON request: " + why + " at byte " +
+                            std::to_string(pos));
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos])) != 0)
+            ++pos;
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+Bytes
+encodeRequest(const numeric::Vector &values)
+{
+    return encodeVectorFrame(FrameType::Request, values);
+}
+
+Bytes
+encodeResponse(const numeric::Vector &values)
+{
+    return encodeVectorFrame(FrameType::Response, values);
+}
+
+Bytes
+encodeError(const std::string &kind, const std::string &message)
+{
+    const std::size_t kind_len = std::min<std::size_t>(kind.size(), 0xFFFF);
+    const std::size_t msg_len =
+        std::min<std::size_t>(message.size(), 0xFFFF);
+    Bytes out;
+    out.reserve(10 + kind_len + msg_len);
+    out.push_back(kMagic);
+    out.push_back(static_cast<std::uint8_t>(FrameType::Error));
+    putU32(out, static_cast<std::uint32_t>(4 + kind_len + msg_len));
+    putU16(out, static_cast<std::uint16_t>(kind_len));
+    out.insert(out.end(), kind.begin(), kind.begin() + kind_len);
+    putU16(out, static_cast<std::uint16_t>(msg_len));
+    out.insert(out.end(), message.begin(), message.begin() + msg_len);
+    return out;
+}
+
+Bytes
+encodePing()
+{
+    return {kMagic, static_cast<std::uint8_t>(FrameType::Ping), 0, 0, 0, 0};
+}
+
+Bytes
+encodePong()
+{
+    return {kMagic, static_cast<std::uint8_t>(FrameType::Pong), 0, 0, 0, 0};
+}
+
+DecodeResult
+tryDecode(const std::uint8_t *data, std::size_t size)
+{
+    DecodeResult r;
+    if (size < 1)
+        return r; // NeedMore
+    if (data[0] != kMagic)
+        return malformed("bad magic byte 0x" +
+                         std::to_string(static_cast<unsigned>(data[0])));
+    if (size < 6)
+        return r;
+
+    const std::uint8_t raw_type = data[1];
+    if (raw_type < static_cast<std::uint8_t>(FrameType::Request) ||
+        raw_type > static_cast<std::uint8_t>(FrameType::Pong))
+        return malformed("unknown frame type " +
+                         std::to_string(static_cast<unsigned>(raw_type)));
+    const FrameType type = static_cast<FrameType>(raw_type);
+
+    const std::uint32_t body_len = getU32(data + 2);
+    if (body_len > kMaxFrameBody)
+        return malformed("frame body of " + std::to_string(body_len) +
+                         " bytes exceeds the " +
+                         std::to_string(kMaxFrameBody) + " bound");
+    if (size < 6 + static_cast<std::size_t>(body_len))
+        return r;
+
+    const std::uint8_t *body = data + 6;
+    r.consumed = 6 + body_len;
+    r.frame.type = type;
+
+    switch (type) {
+    case FrameType::Ping:
+    case FrameType::Pong:
+        if (body_len != 0)
+            return malformed("ping/pong frame with a non-empty body");
+        break;
+
+    case FrameType::Request:
+    case FrameType::Response: {
+        if (body_len < 2)
+            return malformed("vector frame body shorter than its count");
+        const std::uint16_t n = getU16(body);
+        if (body_len != 2 + static_cast<std::size_t>(n) * 8)
+            return malformed(
+                "vector frame count " + std::to_string(n) +
+                " disagrees with body length " + std::to_string(body_len));
+        if (n == 0)
+            return malformed("empty vector frame");
+        r.frame.values.resize(n);
+        for (std::size_t i = 0; i < n; ++i)
+            r.frame.values[i] = getF64(body + 2 + i * 8);
+        break;
+    }
+
+    case FrameType::Error: {
+        if (body_len < 4)
+            return malformed("error frame body shorter than its headers");
+        const std::uint16_t kind_len = getU16(body);
+        if (body_len < 4 + static_cast<std::size_t>(kind_len))
+            return malformed("error frame kind overruns the body");
+        const std::uint8_t *kind = body + 2;
+        const std::uint16_t msg_len = getU16(kind + kind_len);
+        if (body_len !=
+            4 + static_cast<std::size_t>(kind_len) + msg_len)
+            return malformed("error frame message overruns the body");
+        r.frame.errorKind.assign(kind, kind + kind_len);
+        r.frame.errorMessage.assign(kind + kind_len + 2,
+                                    kind + kind_len + 2 + msg_len);
+        break;
+    }
+    }
+
+    r.status = DecodeStatus::Frame;
+    return r;
+}
+
+Frame
+parseJsonLine(const std::string &line)
+{
+    JsonScanner scan(line);
+    std::string op;
+    bool have_op = false;
+    numeric::Vector x;
+    bool have_x = false;
+
+    scan.expect('{');
+    if (!scan.consume('}')) {
+        while (true) {
+            const std::string key = scan.parseString();
+            scan.expect(':');
+            if (key == "op") {
+                op = scan.parseString();
+                have_op = true;
+            } else if (key == "x") {
+                x = scan.parseNumberArray();
+                have_x = true;
+            } else {
+                // Tolerate unknown scalar members so clients may add
+                // metadata; nested objects are out of grammar.
+                const char c = scan.peek();
+                if (c == '"')
+                    scan.parseString();
+                else if (c == '[')
+                    scan.parseNumberArray();
+                else if (c == 't')
+                    scan.parseLiteral("true");
+                else if (c == 'f')
+                    scan.parseLiteral("false");
+                else if (c == 'n')
+                    scan.parseLiteral("null");
+                else
+                    scan.parseNumber();
+            }
+            if (scan.consume('}'))
+                break;
+            scan.expect(',');
+        }
+    }
+    scan.expectEnd();
+
+    if (!have_op)
+        throw ProtocolError("bad JSON request: missing \"op\"");
+    Frame frame;
+    if (op == "ping") {
+        frame.type = FrameType::Ping;
+        return frame;
+    }
+    if (op != "predict")
+        throw ProtocolError("bad JSON request: unknown op \"" + op + "\"");
+    if (!have_x || x.empty())
+        throw ProtocolError(
+            "bad JSON request: predict needs a non-empty \"x\" array");
+    if (x.size() > kMaxVectorLen)
+        throw ProtocolError("bad JSON request: \"x\" is too long");
+    frame.type = FrameType::Request;
+    frame.values = std::move(x);
+    return frame;
+}
+
+std::string
+formatJsonResponse(const numeric::Vector &y)
+{
+    std::string out = "{\"ok\":true,\"y\":[";
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += formatDouble(y[i]);
+    }
+    out += "]}\n";
+    return out;
+}
+
+std::string
+formatJsonError(const std::string &kind, const std::string &message)
+{
+    std::string out = "{\"ok\":false,\"kind\":\"";
+    appendJsonEscaped(out, kind);
+    out += "\",\"error\":\"";
+    appendJsonEscaped(out, message);
+    out += "\"}\n";
+    return out;
+}
+
+std::string
+formatJsonPong()
+{
+    return "{\"ok\":true,\"pong\":true}\n";
+}
+
+} // namespace net
+} // namespace serve
+} // namespace wcnn

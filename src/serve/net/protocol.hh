@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Wire protocol of the inference server: framing and JSON lines.
+ *
+ * Two request encodings share one TCP port, distinguished by the first
+ * byte a connection sends:
+ *
+ *  - **Binary frames** (first byte 0xB1): length-prefixed, doubles as
+ *    raw little-endian IEEE-754 bit patterns, so a prediction crosses
+ *    the wire bit-exactly — the serving determinism contract survives
+ *    the transport. Layout:
+ *
+ *        u8  magic   (0xB1)
+ *        u8  type    (FrameType)
+ *        u32 bodyLen (little-endian; <= kMaxFrameBody)
+ *        ... body
+ *
+ *    Request/Response bodies: u16le count, then count f64le values.
+ *    Error bodies: u16le kindLen, kind bytes, u16le msgLen, msg bytes.
+ *    Ping/Pong bodies are empty.
+ *
+ *  - **JSON lines** (first byte '{'): one request object per '\n'-
+ *    terminated line — {"op":"predict","x":[...]} or {"op":"ping"} —
+ *    answered with one JSON line: {"ok":true,"y":[...]},
+ *    {"ok":true,"pong":true}, or {"ok":false,"kind":"...",
+ *    "error":"..."}. Doubles are printed with round-trip (%.17g)
+ *    precision. Meant for humans with netcat, not for throughput.
+ *
+ * This header is pure encode/decode over byte buffers: no sockets, no
+ * I/O, fully unit-testable (tests/serve_protocol_test.cc and the
+ * malformed-frame corpus under tests/corpus/).
+ *
+ * Decoding is incremental: tryDecode() looks at the front of a receive
+ * buffer and reports a complete frame, a need for more bytes, or a
+ * malformed prefix — never throwing on wire garbage (garbage is a
+ * fault, and it is the *connection handler's* job to answer it with a
+ * typed error frame and close).
+ */
+
+#ifndef WCNN_SERVE_NET_PROTOCOL_HH
+#define WCNN_SERVE_NET_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "numeric/matrix.hh"
+
+namespace wcnn {
+namespace serve {
+namespace net {
+
+/** First byte of every binary frame. */
+constexpr std::uint8_t kMagic = 0xB1;
+
+/** Frame body length bound; larger lengths are malformed. */
+constexpr std::size_t kMaxFrameBody = 1u << 20;
+
+/** Vector length bound per frame (u16 count field). */
+constexpr std::size_t kMaxVectorLen = 0xFFFF;
+
+/** Binary frame types. */
+enum class FrameType : std::uint8_t
+{
+    Request = 0x01,  ///< client -> server: one configuration vector
+    Response = 0x02, ///< server -> client: one prediction vector
+    Error = 0x03,    ///< server -> client: typed failure (kind, message)
+    Ping = 0x04,     ///< client -> server: liveness probe
+    Pong = 0x05,     ///< server -> client: liveness answer
+};
+
+/** One decoded frame (or parsed JSON request). */
+struct Frame
+{
+    FrameType type = FrameType::Ping;
+
+    /** Payload of Request/Response frames. */
+    numeric::Vector values;
+
+    /** Error kind of Error frames (wcnn::Error::kind()). */
+    std::string errorKind;
+
+    /** Error message of Error frames. */
+    std::string errorMessage;
+};
+
+/** Raw wire bytes. */
+using Bytes = std::vector<std::uint8_t>;
+
+/** Encode a Request frame. values.size() <= kMaxVectorLen. */
+Bytes encodeRequest(const numeric::Vector &values);
+
+/** Encode a Response frame. values.size() <= kMaxVectorLen. */
+Bytes encodeResponse(const numeric::Vector &values);
+
+/** Encode an Error frame; kind and message are truncated to u16. */
+Bytes encodeError(const std::string &kind, const std::string &message);
+
+/** Encode a Ping frame. */
+Bytes encodePing();
+
+/** Encode a Pong frame. */
+Bytes encodePong();
+
+/** Outcome of one tryDecode() call. */
+enum class DecodeStatus
+{
+    Frame,     ///< a complete frame was decoded; consume `consumed`
+    NeedMore,  ///< the prefix is valid but incomplete; read more bytes
+    Malformed, ///< the prefix cannot be a frame; close the connection
+};
+
+/** Result of tryDecode(). */
+struct DecodeResult
+{
+    DecodeStatus status = DecodeStatus::NeedMore;
+
+    /** Bytes to drop from the front of the buffer (Frame only). */
+    std::size_t consumed = 0;
+
+    /** The decoded frame when status == Frame. */
+    Frame frame;
+
+    /** Human description of the fault when status == Malformed. */
+    std::string error;
+};
+
+/**
+ * Try to decode one binary frame from the front of a receive buffer.
+ * Never throws on wire content; garbage yields Malformed.
+ *
+ * @param data Buffer front.
+ * @param size Bytes available.
+ */
+DecodeResult tryDecode(const std::uint8_t *data, std::size_t size);
+
+/** Whether a connection's first byte selects JSON-lines mode. */
+inline bool
+looksLikeJson(std::uint8_t first_byte)
+{
+    return first_byte == static_cast<std::uint8_t>('{');
+}
+
+/**
+ * Parse one JSON request line (newline already stripped) into a
+ * Request or Ping frame.
+ *
+ * @throws ProtocolError on anything that is not a well-formed request
+ *         object. (JSON text is user input off the wire, but by the
+ *         time a *line* is isolated the handler wants a typed fault.)
+ */
+Frame parseJsonLine(const std::string &line);
+
+/** Format a prediction as a {"ok":true,"y":[...]} line (with '\n'). */
+std::string formatJsonResponse(const numeric::Vector &y);
+
+/** Format a failure as a {"ok":false,...} line (with '\n'). */
+std::string formatJsonError(const std::string &kind,
+                            const std::string &message);
+
+/** Format the ping answer line (with '\n'). */
+std::string formatJsonPong();
+
+} // namespace net
+} // namespace serve
+} // namespace wcnn
+
+#endif // WCNN_SERVE_NET_PROTOCOL_HH

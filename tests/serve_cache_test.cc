@@ -1,0 +1,193 @@
+/**
+ * @file
+ * PredictionCache: exact-key semantics (bit-pattern equality, so
+ * -0.0 and 0.0 are distinct keys and NaN inputs hit themselves), LRU
+ * eviction order per shard, exact hit/miss/eviction/invalidation
+ * accounting, the disabled (capacity 0) mode, and thread-safety of
+ * concurrent mixed lookups/inserts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "serve/cache.hh"
+
+using wcnn::numeric::Vector;
+using wcnn::serve::CacheOptions;
+using wcnn::serve::hashVector;
+using wcnn::serve::PredictionCache;
+
+TEST(ServeCacheTest, MissThenInsertThenHitExactBits)
+{
+    PredictionCache cache;
+    const Vector x{1.0, -2.5, 3.25};
+    const Vector y{0.125, 42.0};
+    Vector out;
+    EXPECT_FALSE(cache.lookup(x, out));
+    cache.insert(x, y);
+    ASSERT_TRUE(cache.lookup(x, out));
+    ASSERT_EQ(out.size(), y.size());
+    for (std::size_t j = 0; j < y.size(); ++j)
+        EXPECT_EQ(out[j], y[j]);
+
+    const PredictionCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.insertions, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_DOUBLE_EQ(s.hitRatio(), 0.5);
+}
+
+TEST(ServeCacheTest, LruEvictionDropsLeastRecentlyUsed)
+{
+    CacheOptions opts;
+    opts.capacity = 2;
+    opts.shards = 1; // one shard so the LRU order is global
+    PredictionCache cache(opts);
+
+    const Vector a{1.0}, b{2.0}, c{3.0};
+    Vector out;
+    cache.insert(a, {10.0});
+    cache.insert(b, {20.0});
+    ASSERT_TRUE(cache.lookup(a, out)); // a becomes MRU, b is LRU
+    cache.insert(c, {30.0});           // evicts b
+
+    EXPECT_FALSE(cache.lookup(b, out));
+    EXPECT_TRUE(cache.lookup(a, out));
+    EXPECT_TRUE(cache.lookup(c, out));
+    const PredictionCache::Stats s = cache.stats();
+    EXPECT_EQ(s.evictions, 1u);
+    EXPECT_EQ(s.entries, 2u);
+}
+
+TEST(ServeCacheTest, InsertRefreshesExistingKey)
+{
+    CacheOptions opts;
+    opts.capacity = 4;
+    opts.shards = 1;
+    PredictionCache cache(opts);
+    const Vector x{7.0};
+    cache.insert(x, {1.0});
+    cache.insert(x, {2.0}); // refresh, not a second entry
+    Vector out;
+    ASSERT_TRUE(cache.lookup(x, out));
+    EXPECT_EQ(out[0], 2.0);
+    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ServeCacheTest, SignedZeroAndNanAreExactKeys)
+{
+    PredictionCache cache;
+    const Vector pos{0.0};
+    const Vector neg{-0.0};
+    const Vector nan{std::numeric_limits<double>::quiet_NaN()};
+    Vector out;
+
+    cache.insert(pos, {1.0});
+    ASSERT_TRUE(cache.lookup(pos, out));
+    // -0.0 == 0.0 as doubles, but the key is the bit pattern:
+    EXPECT_FALSE(cache.lookup(neg, out));
+
+    cache.insert(nan, {3.0});
+    // NaN != NaN as doubles, but the bit pattern hits itself:
+    ASSERT_TRUE(cache.lookup(nan, out));
+    EXPECT_EQ(out[0], 3.0);
+
+    EXPECT_NE(hashVector(pos), hashVector(neg));
+    EXPECT_EQ(hashVector(nan), hashVector(nan));
+}
+
+TEST(ServeCacheTest, ClearInvalidatesButKeepsHistory)
+{
+    PredictionCache cache;
+    const Vector x{5.0};
+    Vector out;
+    cache.insert(x, {1.0});
+    ASSERT_TRUE(cache.lookup(x, out));
+    cache.clear();
+    EXPECT_FALSE(cache.lookup(x, out));
+
+    const PredictionCache::Stats s = cache.stats();
+    EXPECT_EQ(s.entries, 0u);
+    EXPECT_GE(s.invalidations, 1u);
+    EXPECT_EQ(s.hits, 1u); // history survives the clear
+    EXPECT_EQ(s.insertions, 1u);
+}
+
+TEST(ServeCacheTest, DisabledCacheIsInert)
+{
+    CacheOptions opts;
+    opts.capacity = 0;
+    PredictionCache cache(opts);
+    EXPECT_FALSE(cache.enabled());
+    const Vector x{1.0};
+    Vector out;
+    cache.insert(x, {2.0});
+    EXPECT_FALSE(cache.lookup(x, out));
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(ServeCacheTest, ShardCountClampsToCapacity)
+{
+    CacheOptions opts;
+    opts.capacity = 3;
+    opts.shards = 64;
+    PredictionCache cache(opts);
+    EXPECT_GE(cache.shardCount(), 1u);
+    EXPECT_LE(cache.shardCount(), 3u);
+    EXPECT_EQ(cache.capacity(), 3u);
+}
+
+TEST(ServeCacheTest, CapacityBoundHoldsUnderChurn)
+{
+    CacheOptions opts;
+    opts.capacity = 16;
+    opts.shards = 4;
+    PredictionCache cache(opts);
+    for (int i = 0; i < 500; ++i)
+        cache.insert({static_cast<double>(i)},
+                     {static_cast<double>(2 * i)});
+    const PredictionCache::Stats s = cache.stats();
+    EXPECT_LE(s.entries, 16u);
+    EXPECT_EQ(s.insertions, 500u);
+    EXPECT_EQ(s.insertions - s.evictions, s.entries);
+}
+
+TEST(ServeCacheTest, ConcurrentMixedAccessStaysConsistent)
+{
+    CacheOptions opts;
+    opts.capacity = 64;
+    opts.shards = 8;
+    PredictionCache cache(opts);
+
+    const std::size_t kThreads = 4;
+    const int kOps = 400;
+    std::vector<std::thread> threads;
+    std::vector<int> wrong(kThreads, 0);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            for (int i = 0; i < kOps; ++i) {
+                const double k = static_cast<double>(i % 50);
+                const Vector x{k};
+                Vector out;
+                if (cache.lookup(x, out) && out[0] != 3 * k)
+                    ++wrong[t]; // a hit must return what was inserted
+                cache.insert(x, {3 * k});
+            }
+        });
+    }
+    for (std::thread &th : threads)
+        th.join();
+    for (std::size_t t = 0; t < kThreads; ++t)
+        EXPECT_EQ(wrong[t], 0) << "thread " << t;
+
+    const PredictionCache::Stats s = cache.stats();
+    EXPECT_EQ(s.hits + s.misses, kThreads * kOps);
+    EXPECT_LE(s.entries, 64u);
+}

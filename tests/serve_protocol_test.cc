@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Wire protocol codec: binary frame round trips are bit-exact (NaN
+ * and -0.0 payloads survive the wire), decoding is incremental
+ * (NeedMore on every strict prefix), multi-frame buffers decode in
+ * order, and every malformed frame in tests/corpus/wire_*.bin is
+ * rejected as Malformed — never decoded, never crashing. Plus the
+ * JSON-lines encoding: parseJsonLine, round-trip response precision,
+ * and typed rejection of garbage lines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/error.hh"
+#include "serve/net/protocol.hh"
+
+namespace net = wcnn::serve::net;
+
+using net::Bytes;
+using net::DecodeStatus;
+using net::Frame;
+using net::FrameType;
+using net::tryDecode;
+using wcnn::numeric::Vector;
+using wcnn::serve::ProtocolError;
+
+namespace {
+
+std::uint64_t
+bits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+/** The checked-in malformed-frame corpus; missing files fail loudly. */
+const char *const kWireCorpus[] = {
+    "wire_bad_magic.bin",
+    "wire_unknown_type.bin",
+    "wire_type_zero.bin",
+    "wire_oversize_body.bin",
+    "wire_ping_nonempty.bin",
+    "wire_request_short_body.bin",
+    "wire_request_count_mismatch.bin",
+    "wire_request_empty_vector.bin",
+    "wire_error_kind_overrun.bin",
+    "wire_error_msg_overrun.bin",
+};
+
+Bytes
+slurp(const std::string &name)
+{
+    const std::string path = std::string(WCNN_CORPUS_DIR) + "/" + name;
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        ADD_FAILURE() << "corpus file missing: " << path;
+        return {};
+    }
+    return Bytes(std::istreambuf_iterator<char>(is),
+                 std::istreambuf_iterator<char>());
+}
+
+} // namespace
+
+TEST(ServeProtocolTest, RequestRoundTripsBitExact)
+{
+    const Vector x{1.5, -0.0, std::nan("0x7ff"), 6.02214076e23};
+    const Bytes wire = net::encodeRequest(x);
+    const net::DecodeResult r = tryDecode(wire.data(), wire.size());
+    ASSERT_EQ(r.status, DecodeStatus::Frame);
+    EXPECT_EQ(r.consumed, wire.size());
+    ASSERT_EQ(r.frame.type, FrameType::Request);
+    ASSERT_EQ(r.frame.values.size(), x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_EQ(bits(r.frame.values[i]), bits(x[i])) << "value " << i;
+}
+
+TEST(ServeProtocolTest, ResponseRoundTripsBitExact)
+{
+    const Vector y{-123.456, 1e-308};
+    const Bytes wire = net::encodeResponse(y);
+    const net::DecodeResult r = tryDecode(wire.data(), wire.size());
+    ASSERT_EQ(r.status, DecodeStatus::Frame);
+    ASSERT_EQ(r.frame.type, FrameType::Response);
+    ASSERT_EQ(r.frame.values.size(), y.size());
+    for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_EQ(bits(r.frame.values[i]), bits(y[i]));
+}
+
+TEST(ServeProtocolTest, ErrorFrameCarriesKindAndMessage)
+{
+    const Bytes wire =
+        net::encodeError("serve.overloaded", "queue is full");
+    const net::DecodeResult r = tryDecode(wire.data(), wire.size());
+    ASSERT_EQ(r.status, DecodeStatus::Frame);
+    ASSERT_EQ(r.frame.type, FrameType::Error);
+    EXPECT_EQ(r.frame.errorKind, "serve.overloaded");
+    EXPECT_EQ(r.frame.errorMessage, "queue is full");
+}
+
+TEST(ServeProtocolTest, PingPongRoundTrip)
+{
+    const Bytes ping = net::encodePing();
+    const Bytes pong = net::encodePong();
+    EXPECT_EQ(tryDecode(ping.data(), ping.size()).frame.type,
+              FrameType::Ping);
+    EXPECT_EQ(tryDecode(pong.data(), pong.size()).frame.type,
+              FrameType::Pong);
+}
+
+TEST(ServeProtocolTest, EveryStrictPrefixNeedsMore)
+{
+    const Bytes wire = net::encodeRequest({1.0, 2.0, 3.0});
+    for (std::size_t n = 0; n < wire.size(); ++n)
+        EXPECT_EQ(tryDecode(wire.data(), n).status,
+                  DecodeStatus::NeedMore)
+            << "prefix of " << n << " bytes";
+    EXPECT_EQ(tryDecode(wire.data(), wire.size()).status,
+              DecodeStatus::Frame);
+}
+
+TEST(ServeProtocolTest, MultipleFramesDecodeInOrder)
+{
+    Bytes wire = net::encodeRequest({1.0});
+    const Bytes second = net::encodePing();
+    wire.insert(wire.end(), second.begin(), second.end());
+
+    const net::DecodeResult first = tryDecode(wire.data(), wire.size());
+    ASSERT_EQ(first.status, DecodeStatus::Frame);
+    EXPECT_EQ(first.frame.type, FrameType::Request);
+    const net::DecodeResult next =
+        tryDecode(wire.data() + first.consumed,
+                  wire.size() - first.consumed);
+    ASSERT_EQ(next.status, DecodeStatus::Frame);
+    EXPECT_EQ(next.frame.type, FrameType::Ping);
+}
+
+TEST(ServeProtocolTest, CorpusFramesAreAllMalformed)
+{
+    for (const char *name : kWireCorpus) {
+        const Bytes wire = slurp(name);
+        if (wire.empty())
+            continue; // slurp already failed the test
+        const net::DecodeResult r = tryDecode(wire.data(), wire.size());
+        EXPECT_EQ(r.status, DecodeStatus::Malformed) << name;
+        EXPECT_FALSE(r.error.empty()) << name;
+    }
+}
+
+TEST(ServeProtocolTest, CorpusFramesStayMalformedWithTrailingBytes)
+{
+    // Garbage followed by more bytes must not become decodable.
+    for (const char *name : kWireCorpus) {
+        Bytes wire = slurp(name);
+        if (wire.empty())
+            continue;
+        wire.resize(wire.size() + 64, 0x00);
+        EXPECT_EQ(tryDecode(wire.data(), wire.size()).status,
+                  DecodeStatus::Malformed)
+            << name;
+    }
+}
+
+TEST(ServeProtocolTest, JsonPredictLineParses)
+{
+    const Frame f =
+        net::parseJsonLine(R"({"op":"predict","x":[1.5,-2.0,3]})");
+    ASSERT_EQ(f.type, FrameType::Request);
+    ASSERT_EQ(f.values.size(), 3u);
+    EXPECT_EQ(f.values[0], 1.5);
+    EXPECT_EQ(f.values[1], -2.0);
+    EXPECT_EQ(f.values[2], 3.0);
+}
+
+TEST(ServeProtocolTest, JsonPingLineParses)
+{
+    EXPECT_EQ(net::parseJsonLine(R"({"op":"ping"})").type,
+              FrameType::Ping);
+}
+
+TEST(ServeProtocolTest, JsonGarbageThrowsTyped)
+{
+    EXPECT_THROW((void)net::parseJsonLine("not json"), ProtocolError);
+    EXPECT_THROW((void)net::parseJsonLine("{"), ProtocolError);
+    EXPECT_THROW((void)net::parseJsonLine(R"({"op":"launch"})"),
+                 ProtocolError);
+    EXPECT_THROW((void)net::parseJsonLine(R"({"op":"predict"})"),
+                 ProtocolError);
+    EXPECT_THROW(
+        (void)net::parseJsonLine(R"({"op":"predict","x":["a"]})"),
+        ProtocolError);
+    EXPECT_THROW((void)net::parseJsonLine(""), ProtocolError);
+}
+
+TEST(ServeProtocolTest, JsonResponseRoundTripsAtFullPrecision)
+{
+    const Vector y{0.1, -1.0 / 3.0, 6.02214076e23};
+    const std::string line = net::formatJsonResponse(y);
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+
+    // %.17g round-trips doubles exactly: pull the numbers back out.
+    const std::size_t open = line.find('[');
+    const std::size_t close = line.find(']');
+    ASSERT_NE(open, std::string::npos);
+    ASSERT_NE(close, std::string::npos);
+    std::string nums = line.substr(open + 1, close - open - 1);
+    for (char &ch : nums)
+        if (ch == ',')
+            ch = ' ';
+    const char *p = nums.c_str();
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        char *end = nullptr;
+        const double v = std::strtod(p, &end);
+        ASSERT_NE(p, end);
+        EXPECT_EQ(bits(v), bits(y[i])) << "value " << i;
+        p = end;
+    }
+}
+
+TEST(ServeProtocolTest, JsonErrorLineEscapesMessage)
+{
+    const std::string line =
+        net::formatJsonError("serve.bad_request", "a \"quoted\" fault");
+    EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(line.find("serve.bad_request"), std::string::npos);
+    EXPECT_NE(line.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(ServeProtocolTest, LooksLikeJsonOnOpeningBrace)
+{
+    EXPECT_TRUE(net::looksLikeJson(static_cast<std::uint8_t>('{')));
+    EXPECT_FALSE(net::looksLikeJson(net::kMagic));
+    EXPECT_FALSE(net::looksLikeJson(static_cast<std::uint8_t>(' ')));
+}

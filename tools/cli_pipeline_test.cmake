@@ -14,8 +14,30 @@ function(run)
 endfunction()
 
 run(${WCNN} collect --out s.csv --samples 40 --analytic --seed 3)
-run(${WCNN} fit --data s.csv --out m.nn --units 10 --cv)
+run(${WCNN} fit --data s.csv --out m.nn --units 10 --cv --tag smoke)
 run(${WCNN} predict --model m.nn --config 560,10,16,18)
 run(${WCNN} surface --model m.nn --indicator 1)
 run(${WCNN} recommend --model m.nn --data s.csv --top 3)
+
+# Streaming predict: two config lines in, two CSV prediction lines out.
+file(WRITE ${work}/configs.txt "560,10,16,18\n560,4,16,14\n")
+execute_process(COMMAND ${WCNN} predict --model m.nn --stdin
+                INPUT_FILE ${work}/configs.txt
+                WORKING_DIRECTORY ${work}
+                RESULT_VARIABLE rc OUTPUT_VARIABLE stream_out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "predict --stdin failed (${rc}): ${err}")
+endif()
+string(REGEX MATCHALL "\n" stream_newlines "${stream_out}")
+list(LENGTH stream_newlines stream_lines)
+if(NOT stream_lines EQUAL 2)
+    message(FATAL_ERROR
+            "predict --stdin: expected 2 lines, got ${stream_lines}:\n"
+            "${stream_out}")
+endif()
+
+# Serving smoke: a bundle-loading server answers and drains cleanly.
+run(${WCNN} bench-serve --model m.nn --clients 2 --requests 20
+    --pipeline 4 --max-batch 16)
 message(STATUS "cli pipeline OK")

@@ -6,23 +6,35 @@
  *
  *   wcnn simulate  --web 18 --default 10           one simulator run
  *   wcnn collect   --samples 64 --out s.csv        build a sample set
- *   wcnn fit       --data s.csv --out m.nn --cv    train + Table 2
- *   wcnn predict   --model m.nn --config 560,10,16,18
- *   wcnn surface   --model m.nn --indicator 1      slice + taxonomy
- *   wcnn recommend --model m.nn --data s.csv       top configurations
+ *   wcnn fit       --data s.csv --out m.bundle --cv   train + Table 2
+ *   wcnn predict   --model m.bundle --config 560,10,16,18
+ *   wcnn predict   --model m.bundle --stdin        stream CSV configs
+ *   wcnn surface   --model m.bundle --indicator 1  slice + taxonomy
+ *   wcnn recommend --model m.bundle --data s.csv   top configurations
+ *   wcnn serve     --model m.bundle --port 7071    inference server
+ *   wcnn bench-serve --model m.bundle              serving benchmark
+ *
+ * fit writes a ModelBundle artifact (network + standardizers +
+ * schema); predict/surface/recommend/serve all load through the same
+ * bundle path, so legacy `wcnn-nn-model` / bare `wcnn-mlp` files keep
+ * working with a deprecation warning on stderr.
  *
  * Every subcommand prints --help with its flags.
  */
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/error.hh"
@@ -35,6 +47,9 @@
 #include "model/recommender.hh"
 #include "model/surface.hh"
 #include "numeric/rng.hh"
+#include "serve/bundle.hh"
+#include "serve/loadgen.hh"
+#include "serve/server.hh"
 #include "sim/sample_space.hh"
 
 namespace {
@@ -225,8 +240,9 @@ int
 cmdFit(const Args &args)
 {
     if (args.has("help")) {
-        std::puts("wcnn fit --data FILE.csv --out MODEL.nn "
-                  "[--units N] [--threshold T] [--cv] [--seed S]");
+        std::puts("wcnn fit --data FILE.csv --out MODEL.bundle "
+                  "[--units N] [--threshold T] [--cv] [--seed S] "
+                  "[--tag LABEL]");
         return 0;
     }
     const std::string data_path = args.str("data", "");
@@ -255,38 +271,85 @@ cmdFit(const Args &args)
 
     model::NnModel mdl(opts);
     mdl.fit(ds);
-    mdl.save(out);
+    // The artifact is a ModelBundle: weights + standardizer moments +
+    // column schema, so every consumer standardizes identically.
+    const serve::ModelBundle bundle = serve::ModelBundle::fromModel(
+        mdl, ds.inputs(), ds.outputs(), args.str("tag", "untagged"));
+    bundle.save(out);
     std::printf("trained %s on %zu samples -> %s\n",
                 mdl.network().describe().c_str(), ds.size(),
                 out.c_str());
     return 0;
 }
 
+/** Load any model artifact, surfacing the deprecation note. */
+serve::ModelBundle
+loadBundle(const char *cmd, const std::string &path)
+{
+    serve::ModelBundle bundle = serve::ModelBundle::load(path);
+    if (!bundle.loadNote().empty())
+        std::fprintf(stderr, "%s: %s\n", cmd,
+                     bundle.loadNote().c_str());
+    return bundle;
+}
+
 int
 cmdPredict(const Args &args)
 {
     if (args.has("help")) {
-        std::puts("wcnn predict --model MODEL.nn --config "
-                  "inj,default,mfg,web");
+        std::puts("wcnn predict --model MODEL.bundle "
+                  "(--config inj,default,mfg,web | --stdin)\n"
+                  "\n"
+                  "  --stdin    read one CSV configuration per line "
+                  "and write one CSV\n"
+                  "             prediction line per input line");
         return 0;
     }
     const std::string model_path = args.str("model", "");
     const std::string config = args.str("config", "");
-    if (model_path.empty() || config.empty()) {
-        std::fputs("predict: --model and --config are required\n",
-                   stderr);
+    if (model_path.empty() || (config.empty() && !args.has("stdin"))) {
+        std::fputs(
+            "predict: --model and (--config | --stdin) are required\n",
+            stderr);
         return 2;
     }
-    const model::NnModel mdl = model::NnModel::load(model_path);
+    const serve::ModelBundle mdl = loadBundle("predict", model_path);
+
+    if (args.has("stdin")) {
+        // Streaming mode: the same load path the server uses, without
+        // holding a process per prediction. Output precision is
+        // round-trip so piping into a file loses nothing.
+        std::string line;
+        std::size_t line_no = 0;
+        while (std::getline(std::cin, line)) {
+            ++line_no;
+            if (line.empty())
+                continue;
+            const numeric::Vector x = parseCsvNumbers(line);
+            if (x.size() != mdl.inputDim()) {
+                std::fprintf(stderr,
+                             "predict: line %zu has %zu fields, "
+                             "model expects %zu\n",
+                             line_no, x.size(), mdl.inputDim());
+                return 1;
+            }
+            const numeric::Vector y = mdl.predict(x);
+            for (std::size_t j = 0; j < y.size(); ++j)
+                std::printf(j + 1 < y.size() ? "%.17g," : "%.17g\n",
+                            y[j]);
+        }
+        return 0;
+    }
+
     const numeric::Vector x = parseCsvNumbers(config);
-    if (x.size() != mdl.network().inputDim()) {
+    if (x.size() != mdl.inputDim()) {
         std::fprintf(stderr,
                      "predict: --config needs %zu numbers\n",
-                     mdl.network().inputDim());
+                     mdl.inputDim());
         return 2;
     }
     const numeric::Vector y = mdl.predict(x);
-    const auto names = sim::PerfSample::indicatorNames();
+    const auto &names = mdl.outputNames();
     for (std::size_t j = 0; j < y.size(); ++j) {
         std::printf("%-22s %.4f\n",
                     j < names.size() ? names[j].c_str() : "y",
@@ -299,7 +362,7 @@ int
 cmdSurface(const Args &args)
 {
     if (args.has("help")) {
-        std::puts("wcnn surface --model MODEL.nn [--indicator K] "
+        std::puts("wcnn surface --model MODEL.bundle [--indicator K] "
                   "[--inj R] [--mfg N]");
         return 0;
     }
@@ -308,7 +371,7 @@ cmdSurface(const Args &args)
         std::fputs("surface: --model is required\n", stderr);
         return 2;
     }
-    const model::NnModel mdl = model::NnModel::load(model_path);
+    const serve::ModelBundle mdl = loadBundle("surface", model_path);
 
     model::SurfaceRequest req;
     req.axisA = 1;
@@ -324,8 +387,7 @@ cmdSurface(const Args &args)
     req.pointsA = 11;
     req.pointsB = 7;
 
-    data::Dataset schema(sim::ThreeTierConfig::parameterNames(),
-                         sim::PerfSample::indicatorNames());
+    data::Dataset schema(mdl.inputNames(), mdl.outputNames());
     const auto grid = model::sweepSurface(mdl, req, schema);
     std::printf("%s  [%s]\n", grid.sliceLabel.c_str(),
                 grid.indicatorName.c_str());
@@ -340,7 +402,7 @@ int
 cmdRecommend(const Args &args)
 {
     if (args.has("help")) {
-        std::puts("wcnn recommend --model MODEL.nn --data FILE.csv "
+        std::puts("wcnn recommend --model MODEL.bundle --data FILE.csv "
                   "[--top K] [--inj R]");
         return 0;
     }
@@ -351,7 +413,7 @@ cmdRecommend(const Args &args)
                    stderr);
         return 2;
     }
-    const model::NnModel mdl = model::NnModel::load(model_path);
+    const serve::ModelBundle mdl = loadBundle("recommend", model_path);
     const data::Dataset ds = data::loadCsv(data_path);
     const double inj = args.num("inj", 560.0);
     const auto k = static_cast<std::size_t>(args.num("top", 5));
@@ -374,6 +436,167 @@ cmdRecommend(const Args &args)
     return 0;
 }
 
+serve::ServeOptions
+serveOptionsFromArgs(const Args &args)
+{
+    serve::ServeOptions opts;
+    opts.host = args.str("host", opts.host);
+    opts.port = static_cast<std::uint16_t>(args.num("port", 0));
+    opts.maxConnections = static_cast<std::size_t>(
+        args.num("max-conn", static_cast<double>(opts.maxConnections)));
+    opts.idleTimeoutMs = static_cast<int>(
+        args.num("idle-ms", opts.idleTimeoutMs));
+    opts.batch.maxBatch = static_cast<std::size_t>(args.num(
+        "max-batch", static_cast<double>(opts.batch.maxBatch)));
+    opts.batch.maxDelayUs = static_cast<std::int64_t>(args.num(
+        "max-delay-us", static_cast<double>(opts.batch.maxDelayUs)));
+    opts.batch.threads = static_cast<std::size_t>(args.num(
+        "threads", static_cast<double>(opts.batch.threads)));
+    opts.cache.capacity = static_cast<std::size_t>(args.num(
+        "cache", static_cast<double>(opts.cache.capacity)));
+    return opts;
+}
+
+int
+cmdServe(const Args &args)
+{
+    if (args.has("help")) {
+        std::puts(
+            "wcnn serve --model MODEL.bundle [--port P] [--host H]\n"
+            "           [--max-batch N] [--max-delay-us U] "
+            "[--threads N]\n"
+            "           [--cache N] [--max-conn N] [--idle-ms MS]\n"
+            "           [--duration SECONDS]\n"
+            "\n"
+            "Serves predictions over TCP (binary frames or JSON "
+            "lines on one port).\n"
+            "Runs until stdin closes, or for --duration seconds.");
+        return 0;
+    }
+    const std::string model_path = args.str("model", "");
+    if (model_path.empty()) {
+        std::fputs("serve: --model is required\n", stderr);
+        return 2;
+    }
+    auto bundle = std::make_shared<serve::ModelBundle>(
+        loadBundle("serve", model_path));
+
+    serve::InferenceServer server(serveOptionsFromArgs(args));
+    server.deploy(bundle);
+    server.start();
+    std::printf("serving %s on %s:%u (max-batch %zu, cache %zu)\n",
+                bundle->describe().c_str(),
+                server.options().host.c_str(), server.port(),
+                server.options().batch.maxBatch,
+                server.options().cache.capacity);
+    std::fflush(stdout);
+
+    const double duration = args.num("duration", 0.0);
+    if (duration > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(duration));
+    } else {
+        // Foreground mode: drain stdin; EOF (or a closed pipe) is the
+        // shutdown signal, so `echo | wcnn serve ...` exits cleanly.
+        std::string line;
+        while (std::getline(std::cin, line)) {
+        }
+    }
+    server.stop();
+
+    const auto stats = server.stats();
+    const auto batch = server.batcherStats();
+    const auto cache = server.cacheStats();
+    std::printf("served %llu requests (%llu errors) over %llu "
+                "connections; %llu batches, max batch %zu rows; "
+                "cache hit ratio %.3f\n",
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.errors),
+                static_cast<unsigned long long>(stats.accepted),
+                static_cast<unsigned long long>(batch.batches),
+                batch.maxBatchRows, cache.hitRatio());
+    return 0;
+}
+
+int
+cmdBenchServe(const Args &args)
+{
+    if (args.has("help")) {
+        std::puts(
+            "wcnn bench-serve --model MODEL.bundle [--clients N] "
+            "[--requests N]\n"
+            "                 [--pipeline N] [--max-batch N] "
+            "[--cache N] [--key-pool N]\n"
+            "\n"
+            "Measures TCP serving throughput: per-request baseline "
+            "vs micro-batched,\n"
+            "and (with --cache) a cache-warm pass.");
+        return 0;
+    }
+    const std::string model_path = args.str("model", "");
+    if (model_path.empty()) {
+        std::fputs("bench-serve: --model is required\n", stderr);
+        return 2;
+    }
+    auto bundle = std::make_shared<serve::ModelBundle>(
+        loadBundle("bench-serve", model_path));
+
+    serve::LoadgenOptions load;
+    load.clients = static_cast<std::size_t>(args.num("clients", 8));
+    load.requestsPerClient =
+        static_cast<std::size_t>(args.num("requests", 200));
+    load.pipeline = static_cast<std::size_t>(args.num("pipeline", 16));
+    load.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+
+    const auto max_batch =
+        static_cast<std::size_t>(args.num("max-batch", 64));
+    const auto cache_capacity =
+        static_cast<std::size_t>(args.num("cache", 0));
+
+    const auto run = [&](const char *label, std::size_t batch_rows,
+                         bool coalesce, std::size_t cache_cap,
+                         std::size_t key_pool) {
+        serve::ServeOptions opts;
+        opts.maxConnections = load.clients + 4;
+        opts.batch.maxBatch = batch_rows;
+        opts.coalesceFrames = coalesce;
+        opts.cache.capacity = cache_cap;
+        serve::InferenceServer server(opts);
+        server.deploy(bundle);
+        server.start();
+        serve::LoadgenOptions shaped = load;
+        shaped.keyPoolSize = key_pool;
+        const serve::LoadgenReport report = serve::runTcpLoad(
+            "127.0.0.1", server.port(), bundle->inputDim(), shaped);
+        server.stop();
+        std::printf("%-14s %9.0f req/s   p50 %8.1f us   p99 %8.1f us"
+                    "   errors %zu\n",
+                    label, report.throughputRps, report.p50Us,
+                    report.p99Us, report.errors);
+        std::fflush(stdout);
+        return report;
+    };
+
+    std::printf("bench-serve: %zu clients x %zu requests, pipeline "
+                "%zu\n",
+                load.clients, load.requestsPerClient, load.pipeline);
+    const auto baseline = run("per-request", 1, false, 0, 0);
+    const auto batched = run("micro-batched", max_batch, true, 0, 0);
+    if (baseline.throughputRps > 0.0)
+        std::printf("micro-batching speedup: %.2fx\n",
+                    batched.throughputRps / baseline.throughputRps);
+    if (cache_capacity > 0) {
+        const auto key_pool = static_cast<std::size_t>(
+            args.num("key-pool", 64));
+        const auto cached = run("cached", max_batch, true,
+                                cache_capacity, key_pool);
+        if (batched.throughputRps > 0.0)
+            std::printf("cache speedup over micro-batched: %.2fx\n",
+                        cached.throughputRps / batched.throughputRps);
+    }
+    return 0;
+}
+
 int
 usage()
 {
@@ -383,13 +606,15 @@ usage()
         "usage: wcnn <command> [--help] [flags]\n"
         "\n"
         "commands:\n"
-        "  simulate   run the 3-tier workload simulator once\n"
-        "  collect    build a (configuration -> indicators) sample "
+        "  simulate    run the 3-tier workload simulator once\n"
+        "  collect     build a (configuration -> indicators) sample "
         "set\n"
-        "  fit        train the non-linear model on a sample CSV\n"
-        "  predict    evaluate a trained model at a configuration\n"
-        "  surface    sweep and classify a (default, web) slice\n"
-        "  recommend  rank configurations by a scoring function");
+        "  fit         train the non-linear model on a sample CSV\n"
+        "  predict     evaluate a trained model at a configuration\n"
+        "  surface     sweep and classify a (default, web) slice\n"
+        "  recommend   rank configurations by a scoring function\n"
+        "  serve       run the TCP inference server on a bundle\n"
+        "  bench-serve measure serving throughput and latency");
     return 2;
 }
 
@@ -426,6 +651,10 @@ main(int argc, char **argv)
             return cmdSurface(args);
         if (cmd == "recommend")
             return cmdRecommend(args);
+        if (cmd == "serve")
+            return cmdServe(args);
+        if (cmd == "bench-serve")
+            return cmdBenchServe(args);
     } catch (const std::exception &e) {
         std::fprintf(stderr, "wcnn %s: %s\n", cmd.c_str(), e.what());
         return 1;

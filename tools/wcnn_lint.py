@@ -37,6 +37,12 @@ Rules:
       the failure into a wcnn::Error / recorded status. Silently eaten
       failures defeat the typed error taxonomy (src/core/error.hh) and
       hide chaos-injected faults from the quarantine bookkeeping.
+  R7  No POSIX socket headers or socket syscalls outside
+      src/serve/net/. All transport goes through TcpStream/TcpListener
+      (and ServeClient above them): one place owns fd lifetimes,
+      EINTR/EOF handling, and timeouts, and the serve failpoint sites
+      actually cover every byte on the wire. A stray recv() elsewhere
+      is invisible to the chaos harness.
 """
 
 from __future__ import annotations
@@ -63,6 +69,16 @@ CATCH_ALL_RE = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
 RETHROW_RE = re.compile(
     r"\bthrow\b|std::current_exception|std::rethrow_exception"
     r"|\bwcnn::Error\b")
+
+SOCKET_HEADER_RE = re.compile(
+    r"#\s*include\s*<(?:sys/socket\.h|netinet/[\w./]+|arpa/inet\.h"
+    r"|netdb\.h|sys/un\.h)>")
+# Bare POSIX socket calls. The lookbehind drops member calls
+# (x.accept(, p->listen() and qualified names; bind/connect are
+# deliberately not listed (std::bind, TcpStream::connect).
+SOCKET_CALL_RE = re.compile(
+    r"(?<![\w:.>])(?:socket|accept4?|listen|recv|recvfrom|send|sendto"
+    r"|setsockopt|getsockname|inet_pton|inet_ntop)\s*\(")
 
 FLOAT_SENSITIVE = [
     "src/data/standardizer.hh",
@@ -133,11 +149,21 @@ def check_cc_listed_in_cmake(errors: list[str]) -> None:
         if not root.is_dir():
             continue
         for cc in sorted(list(root.rglob("*.cc")) + list(root.rglob("*.cpp"))):
-            cml = cc.parent / "CMakeLists.txt"
-            if not cml.exists():
+            # Nearest enclosing CMakeLists.txt owns the file (e.g.
+            # src/serve/net/socket.cc is listed as net/socket.cc in
+            # src/serve/CMakeLists.txt).
+            cml = None
+            for parent in cc.parents:
+                cand = parent / "CMakeLists.txt"
+                if cand.exists():
+                    cml = cand
+                    break
+                if parent == REPO:
+                    break
+            if cml is None:
                 errors.append(
                     f"{cc.relative_to(REPO).as_posix()}: R4 no "
-                    f"CMakeLists.txt in its directory")
+                    f"enclosing CMakeLists.txt")
                 continue
             text = cml.read_text()
             # Accept either the file name or its stem as a whole word
@@ -196,6 +222,19 @@ def check_no_swallowing_catch_all(errors: list[str]) -> None:
                     f"std::current_exception, or convert to wcnn::Error")
 
 
+def check_socket_containment(errors: list[str]) -> None:
+    for path in iter_sources(["src", "tests", "bench", "tools", "examples"]):
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith("src/serve/net/"):
+            continue
+        for lineno, line in code_lines(path):
+            if SOCKET_HEADER_RE.search(line) or SOCKET_CALL_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: R7 raw socket code outside "
+                    f"src/serve/net/ ({line.strip()[:60]}); go through "
+                    f"serve::net::TcpStream/TcpListener/ServeClient")
+
+
 def main() -> int:
     errors: list[str] = []
     check_rng_containment(errors)
@@ -204,6 +243,7 @@ def main() -> int:
     check_cc_listed_in_cmake(errors)
     check_clock_containment(errors)
     check_no_swallowing_catch_all(errors)
+    check_socket_containment(errors)
     for e in errors:
         print(e)
     if errors:
