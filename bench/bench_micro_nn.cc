@@ -2,9 +2,14 @@
  * @file
  * google-benchmark microbenchmarks of the NN substrate: forward and
  * backward passes (per-sample and batched), full training epochs, and
- * the matrix kernels they sit on. Accepts `--threads N` (stripped
- * before benchmark::Initialize) and appends a serial-vs-parallel
- * batched-forward measurement to BENCH_parallel.json.
+ * the matrix kernels they sit on, each reporting GFLOP/s and bytes
+ * moved alongside wall time. Accepts `--threads N` (stripped before
+ * benchmark::Initialize), `--kernels reference|fast` to pick the
+ * kernel policy for the google benchmarks, and a bare `--kernels` to
+ * run the reference-vs-fast kernel suite (appended to
+ * BENCH_kernels.json — the CI kernel-bench step). Also appends a
+ * serial-vs-parallel batched-forward measurement to
+ * BENCH_parallel.json.
  */
 
 #include <benchmark/benchmark.h>
@@ -12,14 +17,16 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdio>
+#include <cstring>
 
 #include "core/parallel.hh"
 #include "core/failpoint.hh"
-#include "core/failpoint.hh"
 #include "core/telemetry.hh"
+#include "kernel_report.hh"
 #include "nn/loss.hh"
 #include "nn/mlp.hh"
 #include "nn/trainer.hh"
+#include "numeric/kernels/policy.hh"
 #include "numeric/rng.hh"
 #include "parallel_report.hh"
 
@@ -36,6 +43,35 @@ makeNet(std::size_t hidden, numeric::Rng &rng)
                    nn::InitRule::Xavier, rng);
 }
 
+/** Nominal multiply-add flops of one forward pass of makeNet(). */
+double
+forwardFlops(std::size_t hidden)
+{
+    return 2.0 * (4 * hidden + hidden * 5) +
+           static_cast<double>(hidden + 5);
+}
+
+/** Nominal parameter + activation bytes of one forward pass. */
+double
+forwardBytes(std::size_t hidden)
+{
+    return static_cast<double>((4 * hidden + hidden + hidden * 5 + 5 +
+                                4 + hidden + 5) *
+                               sizeof(double));
+}
+
+/** Attach rate counters so every bench reports GFLOP/s and bytes/s. */
+void
+setRates(benchmark::State &state, double flops_per_iter,
+         double bytes_per_iter)
+{
+    state.counters["FLOP/s"] = benchmark::Counter(
+        flops_per_iter * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+    state.SetBytesProcessed(static_cast<std::int64_t>(
+        bytes_per_iter * static_cast<double>(state.iterations())));
+}
+
 } // namespace
 
 static void
@@ -50,6 +86,8 @@ BM_MatrixMultiply(benchmark::State &state)
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(
         state.iterations() * n * n * n));
+    setRates(state, 2.0 * n * n * n,
+             3.0 * n * n * sizeof(double));
 }
 BENCHMARK(BM_MatrixMultiply)->Arg(16)->Arg(64)->Arg(128);
 
@@ -64,6 +102,8 @@ BM_MlpForward(benchmark::State &state)
         benchmark::DoNotOptimize(net.forward(x));
     }
     state.SetItemsProcessed(state.iterations());
+    const auto hidden = static_cast<std::size_t>(state.range(0));
+    setRates(state, forwardFlops(hidden), forwardBytes(hidden));
 }
 BENCHMARK(BM_MlpForward)->Arg(8)->Arg(16)->Arg(64);
 
@@ -81,6 +121,8 @@ BM_MlpForwardBatched(benchmark::State &state)
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(
         state.iterations() * rows));
+    setRates(state, forwardFlops(16) * static_cast<double>(rows),
+             forwardBytes(16) * static_cast<double>(rows));
 }
 BENCHMARK(BM_MlpForwardBatched)->Arg(64)->Arg(1024)->Arg(16384);
 
@@ -99,6 +141,11 @@ BM_MlpBackward(benchmark::State &state)
             net.backward(cache, nn::mseGradient(out, target)));
     }
     state.SetItemsProcessed(state.iterations());
+    // Backward is roughly 2x the forward work (gradient + pullback)
+    // on top of the cached forward pass.
+    const auto hidden = static_cast<std::size_t>(state.range(0));
+    setRates(state, 3.0 * forwardFlops(hidden),
+             3.0 * forwardBytes(hidden));
 }
 BENCHMARK(BM_MlpBackward)->Arg(8)->Arg(16)->Arg(64);
 
@@ -255,15 +302,53 @@ reportTelemetryOverhead()
 
 } // namespace
 
+namespace {
+
+/**
+ * Strip a bare `--kernels` (the kernel-suite mode flag) from argv,
+ * leaving `--kernels <policy>` / `--kernels=<policy>` alone for
+ * kernels::installFromArgs to consume afterwards.
+ */
+bool
+parseKernelSuiteFlag(int &argc, char **argv)
+{
+    bool run_suite = false;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const bool bare =
+            std::strcmp(argv[i], "--kernels") == 0 &&
+            (i + 1 >= argc ||
+             (std::strcmp(argv[i + 1], "reference") != 0 &&
+              std::strcmp(argv[i + 1], "fast") != 0));
+        if (bare)
+            run_suite = true;
+        else
+            argv[out++] = argv[i];
+    }
+    argc = out;
+    return run_suite;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     auto recorder = core::telemetry::Recorder::fromArgs(argc, argv);
     // Chaos drills: `--failpoints "site=nth:2"` or WCNN_FAILPOINTS.
     core::failpoint::installFromArgs(argc, argv);
+    // Kernel policy: a bare `--kernels` runs the reference-vs-fast
+    // suite; `--kernels reference|fast` (or WCNN_KERNELS) pins the
+    // policy for the google benchmarks below.
+    const bool run_kernel_suite = parseKernelSuiteFlag(argc, argv);
+    numeric::kernels::installFromArgs(argc, argv);
     std::size_t threads = bench::parseThreads(argc, argv, 0);
     if (threads == 0)
         threads = core::hardwareThreads();
+    if (run_kernel_suite) {
+        bench::runKernelSuite(threads);
+        return 0;
+    }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

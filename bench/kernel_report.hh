@@ -1,0 +1,435 @@
+/**
+ * @file
+ * The kernel-policy bench suite and its BENCH_kernels.json sink.
+ *
+ * Header-only, like parallel_report.hh, so both bench_micro_nn (the
+ * `--kernels` mode CI runs on every push) and the
+ * kernel_bench_smoke_test can run the same measurements — the bench
+ * appends to the tracked BENCH_kernels.json, the test to a temp path
+ * it then validates. Every record carries wall time per call,
+ * GFLOP/s, and nominal bytes moved for BOTH policies, plus the
+ * correctness verdict (bit identity, or max ULP for GEMM), so a
+ * speedup regression and an equivalence regression are visible in the
+ * same artifact. Timing goes through core/telemetry.hh's
+ * timedSeconds — the one sanctioned clock (lint rule R5).
+ */
+
+#ifndef WCNN_BENCH_KERNEL_REPORT_HH
+#define WCNN_BENCH_KERNEL_REPORT_HH
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/parallel.hh"
+#include "core/telemetry.hh"
+#include "data/standardizer.hh"
+#include "nn/mlp.hh"
+#include "numeric/kernels/blas.hh"
+#include "numeric/kernels/policy.hh"
+#include "numeric/matrix.hh"
+#include "numeric/rng.hh"
+
+namespace wcnn {
+namespace bench {
+
+/** One reference-vs-fast measurement of a single kernel. */
+struct KernelRecord
+{
+    /** Emitting binary, e.g. "bench_micro_nn". */
+    std::string bench;
+    /** Kernel under test: "gemm", "gemv", "axpy", "fused-forward". */
+    std::string kernel;
+    /** Problem shape, e.g. "128x128x128" or "8192rows 4-64-5". */
+    std::string shape;
+    /** Worker threads (1 except the threaded fused figure). */
+    std::size_t threads = 1;
+    /** Reference-policy wall time per call, seconds. */
+    double referenceSeconds = 0.0;
+    /** Fast-policy wall time per call, seconds. */
+    double fastSeconds = 0.0;
+    /** referenceSeconds / fastSeconds. */
+    double speedup = 0.0;
+    /** Nominal flops per call / referenceSeconds / 1e9. */
+    double referenceGflops = 0.0;
+    /** Nominal flops per call / fastSeconds / 1e9. */
+    double fastGflops = 0.0;
+    /** Nominal bytes touched per call (reads + writes, no reuse). */
+    std::size_t bytesMoved = 0;
+    /** Outputs bit-identical across policies. */
+    bool bitIdentical = false;
+    /** Worst observed ULP distance (0 unless the kernel is gemm). */
+    std::uint64_t maxUlp = 0;
+};
+
+/**
+ * Append one record to a BENCH_kernels.json-style array (created on
+ * first use, kept a valid JSON array across appends — the same idiom
+ * as appendParallelRecord) and echo it to stdout.
+ */
+inline void
+appendKernelRecord(const KernelRecord &r,
+                   const char *path = "BENCH_kernels.json")
+{
+    std::ostringstream record;
+    record << "  {\"bench\": \"" << r.bench << "\", \"kernel\": \""
+           << r.kernel << "\", \"shape\": \"" << r.shape
+           << "\", \"threads\": " << r.threads
+           << ", \"reference_seconds\": " << r.referenceSeconds
+           << ", \"fast_seconds\": " << r.fastSeconds
+           << ", \"speedup\": " << r.speedup
+           << ", \"reference_gflops\": " << r.referenceGflops
+           << ", \"fast_gflops\": " << r.fastGflops
+           << ", \"bytes_moved\": " << r.bytesMoved
+           << ", \"bit_identical\": "
+           << (r.bitIdentical ? "true" : "false")
+           << ", \"max_ulp\": " << r.maxUlp << "}";
+
+    std::string body;
+    {
+        std::ifstream in(path);
+        if (in.good()) {
+            std::ostringstream all;
+            all << in.rdbuf();
+            body = all.str();
+        }
+    }
+    const auto end = body.find_last_of(']');
+    std::ofstream out(path, std::ios::trunc);
+    if (end == std::string::npos) {
+        out << "[\n" << record.str() << "\n]\n";
+    } else {
+        body.erase(end);
+        while (!body.empty() &&
+               (body.back() == '\n' || body.back() == ' '))
+            body.pop_back();
+        out << body << ",\n" << record.str() << "\n]\n";
+    }
+
+    std::printf("[kernels] %s %s (%zu thread%s): reference %.3e s "
+                "(%.2f GFLOP/s), fast %.3e s (%.2f GFLOP/s), "
+                "speedup %.2fx, %s\n",
+                r.kernel.c_str(), r.shape.c_str(), r.threads,
+                r.threads == 1 ? "" : "s", r.referenceSeconds,
+                r.referenceGflops, r.fastSeconds, r.fastGflops,
+                r.speedup,
+                r.bitIdentical ? "bit-identical"
+                               : (r.kernel == "gemm" ? "within ULP budget"
+                                                     : "NOT IDENTICAL"));
+}
+
+namespace detail {
+
+/**
+ * Seconds per call of fn, doubling the batch until the measured
+ * window is long enough to trust (>= 50 ms), then best of 5 windows.
+ * Best-of, not mean-of: scheduler preemption and frequency dips on a
+ * shared runner only ever ADD time, so the minimum window is the
+ * closest observable to the true cost — and crucially it biases both
+ * policies the same way, keeping the speedup ratio honest.
+ */
+template <typename Fn>
+double
+secondsPerCall(Fn &&fn)
+{
+    std::size_t iters = 1;
+    double elapsed = 0.0;
+    for (;;) {
+        elapsed = core::telemetry::timedSeconds("bench.kernels", [&] {
+            for (std::size_t i = 0; i < iters; ++i)
+                fn();
+        });
+        if (elapsed >= 0.05 || iters >= (std::size_t{1} << 24))
+            break;
+        iters *= 2;
+    }
+    double best = elapsed;
+    for (int rep = 0; rep < 4; ++rep) {
+        const double secs =
+            core::telemetry::timedSeconds("bench.kernels", [&] {
+                for (std::size_t i = 0; i < iters; ++i)
+                    fn();
+            });
+        if (secs < best)
+            best = secs;
+    }
+    return best / static_cast<double>(iters);
+}
+
+/** ULP distance with +-0.0 equal (mirrors kernel_equivalence_test). */
+inline std::uint64_t
+ulpDistance(double a, double b)
+{
+    if (a == b)
+        return 0;
+    auto key = [](double d) {
+        const std::int64_t i = std::bit_cast<std::int64_t>(d);
+        return i < 0 ? std::numeric_limits<std::int64_t>::min() - i : i;
+    };
+    const std::int64_t ka = key(a);
+    const std::int64_t kb = key(b);
+    return ka > kb ? static_cast<std::uint64_t>(ka) -
+                         static_cast<std::uint64_t>(kb)
+                   : static_cast<std::uint64_t>(kb) -
+                         static_cast<std::uint64_t>(ka);
+}
+
+inline bool
+bitEqual(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::bit_cast<std::uint64_t>(a[i]) !=
+            std::bit_cast<std::uint64_t>(b[i]))
+            return false;
+    return true;
+}
+
+} // namespace detail
+
+/**
+ * Measure every dispatched kernel reference-vs-fast, append one
+ * record each to `path`, and return the records. `threads` sizes the
+ * extra multi-core fused-forward figure (skipped when threads == 1 —
+ * the single-thread fused record already covers that case).
+ */
+inline std::vector<KernelRecord>
+runKernelSuite(std::size_t threads,
+               const char *path = "BENCH_kernels.json",
+               const std::string &bench_name = "bench_micro_nn")
+{
+    namespace kernels = numeric::kernels;
+    using kernels::KernelPolicy;
+    using kernels::PolicyGuard;
+
+    std::vector<KernelRecord> records;
+    numeric::Rng rng(2006);
+
+    // GEMM: 128x128x128 --------------------------------------------
+    {
+        const std::size_t n = 128;
+        const auto a = numeric::Matrix::random(n, n, rng, -1, 1);
+        const auto b = numeric::Matrix::random(n, n, rng, -1, 1);
+        numeric::Matrix c_ref, c_fast;
+        KernelRecord r;
+        r.bench = bench_name;
+        r.kernel = "gemm";
+        r.shape = "128x128x128";
+        {
+            PolicyGuard guard(KernelPolicy::Reference);
+            r.referenceSeconds =
+                detail::secondsPerCall([&] { c_ref = a * b; });
+        }
+        {
+            PolicyGuard guard(KernelPolicy::Fast);
+            r.fastSeconds =
+                detail::secondsPerCall([&] { c_fast = a * b; });
+        }
+        const double flops = 2.0 * n * n * n;
+        r.speedup = r.referenceSeconds / r.fastSeconds;
+        r.referenceGflops = flops / r.referenceSeconds / 1e9;
+        r.fastGflops = flops / r.fastSeconds / 1e9;
+        r.bytesMoved = 3 * n * n * sizeof(double);
+        r.bitIdentical = detail::bitEqual(c_ref.data(), c_fast.data());
+        for (std::size_t i = 0; i < c_ref.size(); ++i)
+            r.maxUlp = std::max(
+                r.maxUlp,
+                detail::ulpDistance(c_ref.data()[i], c_fast.data()[i]));
+        appendKernelRecord(r, path);
+        records.push_back(r);
+    }
+
+    // GEMV: 512x512 ------------------------------------------------
+    {
+        const std::size_t n = 512;
+        const auto a = numeric::Matrix::random(n, n, rng, -1, 1);
+        numeric::Vector x(n);
+        for (double &e : x)
+            e = rng.uniform(-1, 1);
+        numeric::Vector y_ref, y_fast;
+        KernelRecord r;
+        r.bench = bench_name;
+        r.kernel = "gemv";
+        r.shape = "512x512";
+        {
+            PolicyGuard guard(KernelPolicy::Reference);
+            r.referenceSeconds =
+                detail::secondsPerCall([&] { y_ref = a * x; });
+        }
+        {
+            PolicyGuard guard(KernelPolicy::Fast);
+            r.fastSeconds =
+                detail::secondsPerCall([&] { y_fast = a * x; });
+        }
+        const double flops = 2.0 * n * n;
+        r.speedup = r.referenceSeconds / r.fastSeconds;
+        r.referenceGflops = flops / r.referenceSeconds / 1e9;
+        r.fastGflops = flops / r.fastSeconds / 1e9;
+        r.bytesMoved = (n * n + 2 * n) * sizeof(double);
+        r.bitIdentical = detail::bitEqual(y_ref, y_fast);
+        appendKernelRecord(r, path);
+        records.push_back(r);
+    }
+
+    // AXPY: 64k ----------------------------------------------------
+    {
+        const std::size_t n = std::size_t{1} << 16;
+        std::vector<double> x(n), y0(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            x[i] = rng.uniform(-1, 1);
+            y0[i] = rng.uniform(-1, 1);
+        }
+        std::vector<double> y_ref = y0, y_fast = y0;
+        KernelRecord r;
+        r.bench = bench_name;
+        r.kernel = "axpy";
+        r.shape = "65536";
+        r.referenceSeconds = detail::secondsPerCall([&] {
+            numeric::kernels::axpyReference(0.5, x.data(),
+                                            y_ref.data(), n);
+        });
+        r.fastSeconds = detail::secondsPerCall([&] {
+            numeric::kernels::axpyFast(0.5, x.data(), y_fast.data(),
+                                       n);
+        });
+        const double flops = 2.0 * n;
+        r.speedup = r.referenceSeconds / r.fastSeconds;
+        r.referenceGflops = flops / r.referenceSeconds / 1e9;
+        r.fastGflops = flops / r.fastSeconds / 1e9;
+        r.bytesMoved = 3 * n * sizeof(double);
+        // The two sides ran different iteration counts, so compare
+        // one equal-footing application instead.
+        y_ref = y0;
+        y_fast = y0;
+        numeric::kernels::axpyReference(0.5, x.data(), y_ref.data(), n);
+        numeric::kernels::axpyFast(0.5, x.data(), y_fast.data(), n);
+        r.bitIdentical = detail::bitEqual(y_ref, y_fast);
+        appendKernelRecord(r, path);
+        records.push_back(r);
+    }
+
+    // Fused standardize -> forward -> destandardize ----------------
+    // The serving hot path, paper-shaped net scaled up (4 -> 64 -> 5),
+    // 8192 rows. Reference is the composition ModelBundle::predictAll
+    // runs on the reference policy.
+    const std::size_t rows = 8192;
+    const nn::Mlp net(4,
+                      {nn::LayerSpec{64, nn::Activation::logistic(1.0)},
+                       nn::LayerSpec{5, nn::Activation::identity()}},
+                      nn::InitRule::Xavier, rng);
+    const auto xs = numeric::Matrix::random(rows, 4, rng, -2, 2);
+    numeric::Vector x_mu(4), x_sigma(4), y_mu(5), y_sigma(5);
+    for (std::size_t j = 0; j < 4; ++j) {
+        x_mu[j] = rng.uniform(-1, 1);
+        x_sigma[j] = rng.uniform(0.5, 2.0);
+    }
+    for (std::size_t j = 0; j < 5; ++j) {
+        y_mu[j] = rng.uniform(-5, 5);
+        y_sigma[j] = rng.uniform(0.5, 4.0);
+    }
+    const auto x_std = data::Standardizer::fromMoments(x_mu, x_sigma);
+    const auto y_std = data::Standardizer::fromMoments(y_mu, y_sigma);
+    const double fused_flops =
+        static_cast<double>(rows) *
+        (2.0 * 4 + 2.0 * (4 * 64 + 64 * 5) + 64 + 5 + 2.0 * 5);
+    const std::size_t fused_bytes =
+        (rows * 4 + 4 * 64 + 64 + 64 * 5 + 5 + rows * 5) *
+        sizeof(double);
+
+    numeric::Matrix fused_golden;
+    {
+        KernelRecord r;
+        r.bench = bench_name;
+        r.kernel = "fused-forward";
+        r.shape = "8192rows 4-64-5";
+        numeric::Matrix out_ref, out_fast;
+        {
+            PolicyGuard guard(KernelPolicy::Reference);
+            r.referenceSeconds = detail::secondsPerCall([&] {
+                out_ref = y_std.inverse(
+                    net.forward(x_std.transform(xs)));
+            });
+        }
+        {
+            PolicyGuard guard(KernelPolicy::Fast);
+            r.fastSeconds = detail::secondsPerCall([&] {
+                out_fast = net.fusedForward(xs, &x_mu, &x_sigma, &y_mu,
+                                            &y_sigma);
+            });
+        }
+        r.speedup = r.referenceSeconds / r.fastSeconds;
+        r.referenceGflops = fused_flops / r.referenceSeconds / 1e9;
+        r.fastGflops = fused_flops / r.fastSeconds / 1e9;
+        r.bytesMoved = fused_bytes;
+        r.bitIdentical =
+            detail::bitEqual(out_ref.data(), out_fast.data());
+        fused_golden = out_ref;
+        appendKernelRecord(r, path);
+        records.push_back(r);
+    }
+
+    // Multi-core fused figure: the same fused path fanned out over
+    // row blocks with parallelFor, reference being the single-thread
+    // scalar composition — the figure CI tracks for multi-core boxes.
+    if (threads > 1) {
+        KernelRecord r;
+        r.bench = bench_name;
+        r.kernel = "fused-forward-mt";
+        std::ostringstream shape;
+        shape << "8192rows 4-64-5 x" << threads;
+        r.shape = shape.str();
+        r.threads = threads;
+        numeric::Matrix out_ref;
+        {
+            PolicyGuard guard(KernelPolicy::Reference);
+            r.referenceSeconds = detail::secondsPerCall([&] {
+                out_ref = y_std.inverse(
+                    net.forward(x_std.transform(xs)));
+            });
+        }
+        numeric::Matrix out_mt(rows, 5);
+        {
+            PolicyGuard guard(KernelPolicy::Fast);
+            const std::size_t block = 512;
+            const std::size_t n_blocks = (rows + block - 1) / block;
+            r.fastSeconds = detail::secondsPerCall([&] {
+                core::parallelFor(
+                    n_blocks, threads, [&](std::size_t bi) {
+                        const std::size_t lo = bi * block;
+                        const std::size_t hi =
+                            std::min(rows, lo + block);
+                        numeric::Matrix slab(hi - lo, 4);
+                        for (std::size_t rr = lo; rr < hi; ++rr)
+                            slab.setRow(rr - lo, xs.row(rr));
+                        const numeric::Matrix y = net.fusedForward(
+                            slab, &x_mu, &x_sigma, &y_mu, &y_sigma);
+                        for (std::size_t rr = lo; rr < hi; ++rr)
+                            out_mt.setRow(rr, y.row(rr - lo));
+                    });
+            });
+        }
+        r.speedup = r.referenceSeconds / r.fastSeconds;
+        r.referenceGflops = fused_flops / r.referenceSeconds / 1e9;
+        r.fastGflops = fused_flops / r.fastSeconds / 1e9;
+        r.bytesMoved = fused_bytes;
+        r.bitIdentical =
+            detail::bitEqual(fused_golden.data(), out_mt.data());
+        appendKernelRecord(r, path);
+        records.push_back(r);
+    }
+
+    return records;
+}
+
+} // namespace bench
+} // namespace wcnn
+
+#endif // WCNN_BENCH_KERNEL_REPORT_HH

@@ -73,7 +73,9 @@ class Standardizer
     numeric::Vector transform(const numeric::Vector &x) const;
 
     /**
-     * Standardize a whole matrix row-wise.
+     * Standardize a whole matrix row-wise. Under KernelPolicy::Fast
+     * the row loop runs as one kernels::standardizeRows pass
+     * (bit-identical; see numeric/kernels/policy.hh).
      */
     numeric::Matrix transform(const numeric::Matrix &xs) const;
 
@@ -85,7 +87,8 @@ class Standardizer
     numeric::Vector inverse(const numeric::Vector &z) const;
 
     /**
-     * Undo the transform row-wise.
+     * Undo the transform row-wise. Kernel-dispatched like the matrix
+     * transform(); bit-identical on both policies.
      */
     numeric::Matrix inverse(const numeric::Matrix &zs) const;
 

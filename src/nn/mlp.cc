@@ -1,8 +1,13 @@
 #include "mlp.hh"
 
+#include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "core/contracts.hh"
+#include "numeric/kernels/arena.hh"
+#include "numeric/kernels/fused.hh"
+#include "numeric/kernels/policy.hh"
 #include "numeric/rng.hh"
 
 namespace wcnn {
@@ -96,6 +101,8 @@ Mlp::forward(const numeric::Matrix &xs) const
 {
     WCNN_REQUIRE(xs.cols() == nInputs, "forward input rows have ",
                  xs.cols(), " dims, network expects ", nInputs);
+    if (numeric::kernels::policy() == numeric::kernels::KernelPolicy::Fast)
+        return fusedForward(xs, nullptr, nullptr, nullptr, nullptr);
     numeric::Matrix out(xs.rows(), outputDim());
     numeric::Vector act;
     for (std::size_t r = 0; r < xs.rows(); ++r) {
@@ -108,6 +115,166 @@ Mlp::forward(const numeric::Matrix &xs) const
             act = std::move(pre);
         }
         out.setRow(r, act);
+    }
+    return out;
+}
+
+namespace {
+
+/**
+ * f(pre + bias) over a lane-major units x stride panel, with the
+ * activation-kind switch hoisted out of the element loop.
+ * Activation::value is an out-of-line switch, and rows*units calls of
+ * it dominate the fused path's profile; these loops apply the SAME
+ * scalar expressions to the same elements, so the results are
+ * bit-identical to the per-element call. The lane layout means each
+ * unit's bias is loop-invariant over a contiguous run.
+ */
+void
+applyBiasActivationLanes(double *dst, std::size_t units,
+                         std::size_t stride, const Activation &fn,
+                         const double *bias)
+{
+    const double slope = fn.slope();
+    switch (fn.kind()) {
+      case Activation::Kind::Logistic:
+        for (std::size_t u = 0; u < units; ++u) {
+            double *pu = dst + u * stride;
+            const double b = bias[u];
+            for (std::size_t r = 0; r < stride; ++r)
+                pu[r] = 1.0 / (1.0 + std::exp(-slope * (pu[r] + b)));
+        }
+        return;
+      case Activation::Kind::Tanh:
+        for (std::size_t u = 0; u < units; ++u) {
+            double *pu = dst + u * stride;
+            const double b = bias[u];
+            for (std::size_t r = 0; r < stride; ++r)
+                pu[r] = std::tanh(pu[r] + b);
+        }
+        return;
+      case Activation::Kind::Relu:
+        for (std::size_t u = 0; u < units; ++u) {
+            double *pu = dst + u * stride;
+            const double b = bias[u];
+            for (std::size_t r = 0; r < stride; ++r) {
+                const double x = pu[r] + b;
+                pu[r] = x > 0.0 ? x : 0.0;
+            }
+        }
+        return;
+      case Activation::Kind::Identity:
+        for (std::size_t u = 0; u < units; ++u) {
+            double *pu = dst + u * stride;
+            const double b = bias[u];
+            for (std::size_t r = 0; r < stride; ++r)
+                pu[r] = pu[r] + b;
+        }
+        return;
+      case Activation::Kind::Logarithmic:
+        for (std::size_t u = 0; u < units; ++u) {
+            double *pu = dst + u * stride;
+            const double b = bias[u];
+            for (std::size_t r = 0; r < stride; ++r) {
+                const double x = pu[r] + b;
+                pu[r] = x >= 0.0 ? std::log1p(slope * x)
+                                 : -std::log1p(-slope * x);
+            }
+        }
+        return;
+    }
+    // Unknown kind (unreachable): fall back to the reference call.
+    for (std::size_t u = 0; u < units; ++u) {
+        double *pu = dst + u * stride;
+        for (std::size_t r = 0; r < stride; ++r)
+            pu[r] = fn.value(pu[r] + bias[u]);
+    }
+}
+
+} // namespace
+
+numeric::Matrix
+Mlp::fusedForward(const numeric::Matrix &xs,
+                  const numeric::Vector *x_mu,
+                  const numeric::Vector *x_sigma,
+                  const numeric::Vector *y_mu,
+                  const numeric::Vector *y_sigma) const
+{
+    namespace ker = numeric::kernels;
+    WCNN_REQUIRE(xs.cols() == nInputs, "fused forward input rows have ",
+                 xs.cols(), " dims, network expects ", nInputs);
+    WCNN_REQUIRE((x_mu == nullptr) == (x_sigma == nullptr),
+                 "input moments must be given or omitted as a pair");
+    WCNN_REQUIRE((y_mu == nullptr) == (y_sigma == nullptr),
+                 "output moments must be given or omitted as a pair");
+    if (x_mu)
+        WCNN_REQUIRE(x_mu->size() == nInputs && x_sigma->size() == nInputs,
+                     "input moments have ", x_mu->size(), "/",
+                     x_sigma->size(), " dims, network expects ", nInputs);
+    if (y_mu)
+        WCNN_REQUIRE(y_mu->size() == outputDim() &&
+                         y_sigma->size() == outputDim(),
+                     "output moments have ", y_mu->size(), "/",
+                     y_sigma->size(), " dims, network emits ", outputDim());
+
+    const std::size_t rows = xs.rows();
+    const std::size_t out_dim = outputDim();
+    numeric::Matrix out(rows, out_dim);
+    if (rows == 0)
+        return out;
+
+    ker::Arena &arena = ker::threadArena();
+    ker::Arena::Frame frame(arena);
+
+    std::size_t widest = nInputs;
+    for (const LayerSpec &spec : specs)
+        widest = std::max(widest, spec.units);
+
+    // Activations travel lane-major (feature x lane, lane = row)
+    // through per-block ping/pong panels: every kernel then
+    // vectorizes across independent row lanes with unit stride, the
+    // weights are consumed row-major as stored, and each element's
+    // k-reduction stays a sequential chain in reference order.
+    constexpr std::size_t kRowBlock = 64;
+    const std::size_t stride = std::min(kRowBlock, rows);
+    double *ping = arena.alloc(widest * stride);
+    double *pong = arena.alloc(widest * stride);
+
+    const double *input = xs.data().data();
+    double *output = out.data().data();
+    for (std::size_t r0 = 0; r0 < rows; r0 += stride) {
+        const std::size_t nb = std::min(stride, rows - r0);
+        const double *src = input + r0 * nInputs;
+        if (x_mu)
+            ker::standardizeToLanes(src, ping, nb, stride, nInputs,
+                                    x_mu->data(), x_sigma->data());
+        else
+            ker::transposeToLanes(src, ping, nb, stride, nInputs);
+
+        double *cur = ping;
+        double *nxt = pong;
+        std::size_t fanin = nInputs;
+        for (std::size_t l = 0; l < specs.size(); ++l) {
+            const std::size_t units = specs[l].units;
+            ker::denseLayerForwardLanes(
+                cur, weightsPerLayer[l].data().data(), nxt, stride,
+                fanin, units);
+            // Bias + activation exactly as the reference loop —
+            // f(pre + bias) per element — with the kind dispatch
+            // hoisted out of the hot loop.
+            applyBiasActivationLanes(nxt, units, stride,
+                                     specs[l].activation,
+                                     biasesPerLayer[l].data());
+            std::swap(cur, nxt);
+            fanin = units;
+        }
+        // cur now holds the out_dim x stride output panel.
+        double *dst = output + r0 * out_dim;
+        if (y_mu)
+            ker::destandardizeFromLanes(cur, dst, nb, stride, out_dim,
+                                        y_mu->data(), y_sigma->data());
+        else
+            ker::transposeFromLanes(cur, dst, nb, stride, out_dim);
     }
     return out;
 }

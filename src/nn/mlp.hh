@@ -132,10 +132,45 @@ class Mlp
      * and prediction hot paths want. Safe to call concurrently: the
      * network is not mutated.
      *
+     * Under KernelPolicy::Fast this routes to fusedForward() (without
+     * standardization stages), which is bit-identical by construction;
+     * see numeric/kernels/policy.hh.
+     *
      * @param xs One input per row; cols() must equal inputDim().
      * @return One output row per input row (rows() x outputDim()).
      */
     numeric::Matrix forward(const numeric::Matrix &xs) const;
+
+    /**
+     * Fused batched forward over arena scratch, optionally bracketed
+     * by standardize / destandardize passes (the serving hot path).
+     *
+     * Runs the same per-element arithmetic as the reference
+     * composition standardize -> forward(Matrix) -> destandardize, in
+     * the same order per output element, so results are bit-identical
+     * (asserted by kernel_equivalence_test). The difference is purely
+     * mechanical: weights are packed transposed once, activations
+     * ping-pong between two arena buffers in row blocks, and no heap
+     * allocation happens after warm-up.
+     *
+     * Pass nullptr moment vectors to skip a standardization stage;
+     * x_mu/x_sigma and y_mu/y_sigma must be given (or omitted) in
+     * pairs. This keeps the nn layer free of any data-layer
+     * dependency — serve::ModelBundle threads the Standardizer
+     * moments down.
+     *
+     * @param xs      One input per row; cols() must equal inputDim().
+     * @param x_mu    Input means (size inputDim()) or nullptr.
+     * @param x_sigma Input stddevs, paired with x_mu.
+     * @param y_mu    Output means (size outputDim()) or nullptr.
+     * @param y_sigma Output stddevs, paired with y_mu.
+     * @return One output row per input row (rows() x outputDim()).
+     */
+    numeric::Matrix fusedForward(const numeric::Matrix &xs,
+                                 const numeric::Vector *x_mu,
+                                 const numeric::Vector *x_sigma,
+                                 const numeric::Vector *y_mu,
+                                 const numeric::Vector *y_sigma) const;
 
     /**
      * Evaluate the network, retaining the per-layer cache for backward().

@@ -1,0 +1,126 @@
+#include "arena.hh"
+
+#include <cstdlib>
+
+#include "core/contracts.hh"
+
+namespace wcnn {
+namespace numeric {
+namespace kernels {
+
+namespace {
+
+/** Alignment expressed in doubles (64 bytes = 8 doubles). */
+constexpr std::size_t alignDoubles = kArenaAlignment / sizeof(double);
+
+/** Round n up to a multiple of the alignment grain. */
+std::size_t
+roundUp(std::size_t n)
+{
+    return (n + alignDoubles - 1) / alignDoubles * alignDoubles;
+}
+
+} // namespace
+
+Arena::Arena(std::size_t initial_doubles)
+    : firstChunkDoubles(roundUp(initial_doubles ? initial_doubles
+                                                : alignDoubles))
+{
+}
+
+Arena::~Arena()
+{
+    for (Chunk &c : chunks)
+        std::free(c.data);
+}
+
+void
+Arena::ensureChunk(std::size_t index, std::size_t need)
+{
+    WCNN_REQUIRE(index <= chunks.size(),
+                 "arena chunk index skipped a chunk: ", index, " of ",
+                 chunks.size());
+    if (index < chunks.size())
+        return;
+    // Geometric growth keeps the chunk count logarithmic in the peak
+    // footprint; a single oversized request gets a chunk of its own.
+    std::size_t cap = chunks.empty() ? firstChunkDoubles
+                                     : chunks.back().cap * 2;
+    if (cap < need)
+        cap = roundUp(need);
+    const std::size_t bytes = cap * sizeof(double);
+    // aligned_alloc requires the size to be a multiple of the
+    // alignment; cap is already a multiple of 8 doubles = 64 bytes.
+    void *mem = std::aligned_alloc(kArenaAlignment, bytes);
+    WCNN_REQUIRE(mem != nullptr, "arena chunk allocation of ", bytes,
+                 " bytes failed");
+    chunks.push_back(Chunk{static_cast<double *>(mem), cap});
+}
+
+double *
+Arena::alloc(std::size_t n)
+{
+    WCNN_REQUIRE(n <= (std::size_t{1} << 40),
+                 "implausible arena request of ", n, " doubles");
+    // The cursor always sits on an alignment grain (every advance
+    // below is rounded), so the returned pointer is 64-byte aligned.
+    for (;;) {
+        ensureChunk(activeChunk, n);
+        Chunk &c = chunks[activeChunk];
+        if (usedInChunk + n <= c.cap) {
+            double *out = c.data + usedInChunk;
+            usedInChunk += roundUp(n);
+            // A request may legitimately round past cap; the next
+            // alloc detects the overflow and advances chunks.
+            return out;
+        }
+        ++activeChunk;
+        usedInChunk = 0;
+    }
+}
+
+void
+Arena::reset()
+{
+    activeChunk = 0;
+    usedInChunk = 0;
+}
+
+void
+Arena::rewind(Mark m)
+{
+    WCNN_REQUIRE(m.chunk < chunks.size() ||
+                     (m.chunk == activeChunk && m.used == usedInChunk),
+                 "arena rewind to a mark past the cursor");
+    activeChunk = m.chunk;
+    usedInChunk = m.used;
+}
+
+std::size_t
+Arena::inUse() const
+{
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < activeChunk && i < chunks.size(); ++i)
+        total += chunks[i].cap;
+    return total + usedInChunk;
+}
+
+std::size_t
+Arena::capacity() const
+{
+    std::size_t total = 0;
+    for (const Chunk &c : chunks)
+        total += c.cap;
+    return total;
+}
+
+Arena &
+threadArena()
+{
+    thread_local Arena arena;
+    return arena;
+}
+
+} // namespace kernels
+} // namespace numeric
+} // namespace wcnn

@@ -1,0 +1,91 @@
+#include "policy.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/contracts.hh"
+
+namespace wcnn {
+namespace numeric {
+namespace kernels {
+
+namespace {
+
+/**
+ * The one mutable dispatch cell. Initialized from the environment on
+ * first use; relaxed ordering is enough because the policy is
+ * configuration, not synchronization — callers that flip it
+ * mid-flight (tests, benches) do so between pipeline stages.
+ */
+std::atomic<KernelPolicy> &
+cell()
+{
+    static std::atomic<KernelPolicy> value = [] {
+        const char *env = std::getenv("WCNN_KERNELS");
+        if (env == nullptr || *env == '\0')
+            return KernelPolicy::Reference;
+        return parsePolicy(env);
+    }();
+    return value;
+}
+
+} // namespace
+
+KernelPolicy
+policy()
+{
+    return cell().load(std::memory_order_relaxed);
+}
+
+void
+setPolicy(KernelPolicy p)
+{
+    cell().store(p, std::memory_order_relaxed);
+}
+
+const char *
+policyName(KernelPolicy p)
+{
+    return p == KernelPolicy::Fast ? "fast" : "reference";
+}
+
+KernelPolicy
+parsePolicy(const char *text)
+{
+    WCNN_REQUIRE(text != nullptr, "kernel policy name is null");
+    if (std::strcmp(text, "reference") == 0)
+        return KernelPolicy::Reference;
+    if (std::strcmp(text, "fast") == 0)
+        return KernelPolicy::Fast;
+    WCNN_REQUIRE(false, "unknown kernel policy '", text,
+                 "'; expected 'reference' or 'fast'");
+    return KernelPolicy::Reference;
+}
+
+bool
+installFromArgs(int &argc, char **argv)
+{
+    const std::string flag = "--kernels";
+    std::string chosen;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == flag && i + 1 < argc) {
+            chosen = argv[++i];
+        } else if (arg.rfind(flag + "=", 0) == 0) {
+            chosen = arg.substr(flag.size() + 1);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    if (!chosen.empty())
+        setPolicy(parsePolicy(chosen.c_str()));
+    return policy() == KernelPolicy::Fast;
+}
+
+} // namespace kernels
+} // namespace numeric
+} // namespace wcnn

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Kernel-policy dispatch point for the numeric hot path.
+ *
+ * Every dense kernel in the tree — GEMM/GEMV behind the Matrix
+ * operators, the batched Mlp forward, the fused serving path in
+ * ModelBundle::predictAll, and the row-wise standardizer transforms —
+ * routes through exactly one policy decision:
+ *
+ *   - KernelPolicy::Reference — the original scalar loops, moved
+ *     verbatim into src/numeric/kernels/blas.cc. All goldens
+ *     (golden_table2_test, BENCH identity proofs) are pinned to this
+ *     path; it never changes without a deliberate golden regeneration.
+ *   - KernelPolicy::Fast — blocked, autovectorization-friendly
+ *     kernels (contiguous buffers, `#pragma omp simd` on
+ *     non-reduction lanes, 64-byte arena-backed scratch). The fast
+ *     path is admitted only through tests/kernel_equivalence_test.cc:
+ *     GEMV-reducible kernels (gemv, batched/fused forward, axpy,
+ *     standardize) must be bit-identical to Reference because their
+ *     per-element accumulation order is preserved by construction;
+ *     GEMM results must stay within <= 4 ULP (see blas.hh for why the
+ *     reference zero-skip makes GEMM the one kernel where bit
+ *     patterns may legally differ, and only in the sign of zeros).
+ *
+ * Selection: WCNN_KERNELS=reference|fast in the environment, a
+ * `--kernels reference|fast` flag stripped by installFromArgs()
+ * (benches, CLI), or setPolicy()/PolicyGuard in tests. The default is
+ * Reference so every existing result stays bit-for-bit reproducible.
+ */
+
+#ifndef WCNN_NUMERIC_KERNELS_POLICY_HH
+#define WCNN_NUMERIC_KERNELS_POLICY_HH
+
+namespace wcnn {
+namespace numeric {
+namespace kernels {
+
+/** Which kernel family the dispatch point routes to. */
+enum class KernelPolicy
+{
+    /** Pinned bit-exact scalar loops; goldens live here. */
+    Reference,
+    /** Blocked + SIMD-annotated kernels, equivalence-harness gated. */
+    Fast,
+};
+
+/**
+ * Currently active policy. First use reads WCNN_KERNELS from the
+ * environment ("reference"/"fast"; unset or empty means Reference);
+ * afterwards the cached value is returned with one relaxed atomic
+ * load, cheap enough for per-call dispatch in Matrix::operator*.
+ */
+KernelPolicy policy();
+
+/** Override the active policy (tests, benches, CLI flag). */
+void setPolicy(KernelPolicy p);
+
+/** "reference" or "fast". */
+const char *policyName(KernelPolicy p);
+
+/**
+ * Parse a policy name.
+ *
+ * @param text "reference" or "fast" (exact, lowercase).
+ * @throws wcnn::ContractViolation on anything else.
+ */
+KernelPolicy parsePolicy(const char *text);
+
+/**
+ * Parse and strip `--kernels <p>` / `--kernels=<p>` from argv (so
+ * downstream flag parsers never see it) and apply it; also honours
+ * WCNN_KERNELS when the flag is absent. Mirrors
+ * failpoint::installFromArgs.
+ *
+ * @return True when the flag or environment selected Fast.
+ */
+bool installFromArgs(int &argc, char **argv);
+
+/**
+ * RAII policy override for tests: saves the active policy, applies
+ * the requested one, restores on destruction.
+ */
+class PolicyGuard
+{
+  public:
+    explicit PolicyGuard(KernelPolicy p) : saved(policy())
+    {
+        setPolicy(p);
+    }
+    ~PolicyGuard() { setPolicy(saved); }
+    PolicyGuard(const PolicyGuard &) = delete;
+    PolicyGuard &operator=(const PolicyGuard &) = delete;
+
+  private:
+    KernelPolicy saved;
+};
+
+} // namespace kernels
+} // namespace numeric
+} // namespace wcnn
+
+#endif // WCNN_NUMERIC_KERNELS_POLICY_HH

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/contracts.hh"
+#include "kernels/blas.hh"
 
 namespace wcnn {
 namespace numeric {
@@ -20,17 +21,20 @@ cholesky(const Matrix &a)
                  a.rows(), "x", a.cols());
     const std::size_t n = a.rows();
     Matrix l(n, n);
+    // The row-dot recurrences run through kernels::seqDotMinus — the
+    // same subtract-in-index-order chain as the original loops (bit-
+    // identical), kept in the kernel layer per lint rule R8.
+    const double *ld = l.data().data();
     for (std::size_t j = 0; j < n; ++j) {
-        double diag = a(j, j);
-        for (std::size_t k = 0; k < j; ++k)
-            diag -= l(j, k) * l(j, k);
+        const double *lj = ld + j * n;
+        const double diag =
+            kernels::seqDotMinus(a(j, j), lj, lj, j);
         if (diag <= pivotTolerance)
             return std::nullopt;
         l(j, j) = std::sqrt(diag);
         for (std::size_t i = j + 1; i < n; ++i) {
-            double acc = a(i, j);
-            for (std::size_t k = 0; k < j; ++k)
-                acc -= l(i, k) * l(j, k);
+            const double acc =
+                kernels::seqDotMinus(a(i, j), ld + i * n, lj, j);
             l(i, j) = acc / l(j, j);
         }
     }
@@ -44,12 +48,13 @@ choleskySolve(const Matrix &l, const Vector &b)
                  "choleskySolve shape mismatch: L is ", l.rows(), "x",
                  l.cols(), ", b has ", b.size());
     const std::size_t n = l.rows();
-    // Forward: L y = b.
+    // Forward: L y = b. The contiguous row-dot goes through the
+    // kernel layer (same subtraction order as the original loop).
     Vector y(n);
+    const double *ld = l.data().data();
     for (std::size_t i = 0; i < n; ++i) {
-        double acc = b[i];
-        for (std::size_t k = 0; k < i; ++k)
-            acc -= l(i, k) * y[k];
+        const double acc =
+            kernels::seqDotMinus(b[i], ld + i * n, y.data(), i);
         y[i] = acc / l(i, i);
     }
     // Backward: L^T x = y.

@@ -7,6 +7,12 @@
  * For symmetric positive-definite systems we use Cholesky; a partial-pivot
  * Gaussian solver handles general square systems. Sizes are small
  * (features x features), so O(n^3) dense algorithms are appropriate.
+ *
+ * Dense inner products route through the kernel layer
+ * (numeric/kernels/): the Matrix products used by leastSquares pick
+ * up the KernelPolicy dispatch, and the Cholesky recurrences run on
+ * kernels::seqDotMinus, which preserves the original subtraction
+ * order bit-for-bit on every policy.
  */
 
 #ifndef WCNN_NUMERIC_LINALG_HH

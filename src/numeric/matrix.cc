@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "kernels/blas.hh"
 #include "rng.hh"
 
 namespace wcnn {
@@ -87,16 +88,12 @@ Matrix::operator*(const Matrix &other) const
 {
     WCNN_REQUIRE(nCols == other.nRows, "product shape mismatch: ", nRows, "x",
                  nCols, " * ", other.nRows, "x", other.nCols);
+    // The product loops live in the kernel layer behind the
+    // KernelPolicy dispatch point; the Reference path is the original
+    // ikj loop of this operator, moved verbatim.
     Matrix out(nRows, other.nCols);
-    for (std::size_t i = 0; i < nRows; ++i) {
-        for (std::size_t k = 0; k < nCols; ++k) {
-            const double a = (*this)(i, k);
-            if (a == 0.0)
-                continue;
-            for (std::size_t j = 0; j < other.nCols; ++j)
-                out(i, j) += a * other(k, j);
-        }
-    }
+    kernels::gemm(elems.data(), other.elems.data(), out.elems.data(),
+                  nRows, nCols, other.nCols);
     return out;
 }
 
@@ -106,13 +103,7 @@ Matrix::operator*(const Vector &v) const
     WCNN_REQUIRE(v.size() == nCols, "matrix-vector shape mismatch: ", nRows,
                  "x", nCols, " * vector of ", v.size());
     Vector out(nRows, 0.0);
-    for (std::size_t i = 0; i < nRows; ++i) {
-        double acc = 0.0;
-        const double *row_ptr = elems.data() + i * nCols;
-        for (std::size_t j = 0; j < nCols; ++j)
-            acc += row_ptr[j] * v[j];
-        out[i] = acc;
-    }
+    kernels::gemv(elems.data(), v.data(), out.data(), nRows, nCols);
     return out;
 }
 

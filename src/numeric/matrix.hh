@@ -125,10 +125,19 @@ class Matrix
     /** Transposed copy. */
     Matrix transposed() const;
 
-    /** Matrix product; cols() must equal other.rows(). */
+    /**
+     * Matrix product; cols() must equal other.rows(). Routed through
+     * the kernel dispatch point (numeric/kernels/policy.hh): the
+     * default Reference policy runs the pinned scalar loop, the Fast
+     * policy the blocked SIMD kernel (<= 4 ULP, see blas.hh).
+     */
     Matrix operator*(const Matrix &other) const;
 
-    /** Matrix-vector product; v.size() must equal cols(). */
+    /**
+     * Matrix-vector product; v.size() must equal cols(). Kernel-
+     * dispatched like operator*(Matrix); both policies are
+     * bit-identical for GEMV.
+     */
     Vector operator*(const Vector &v) const;
 
     /** Elementwise sum; shapes must match. */

@@ -95,6 +95,9 @@ class ModelBundle : public model::PerformanceModel
     /**
      * Batched prediction through Mlp's matrix forward; bit-identical
      * to the per-row loop (same scalar operations in the same order).
+     * Under KernelPolicy::Fast this is the fused serving hot path —
+     * Mlp::fusedForward with this bundle's standardizer moments —
+     * still bit-identical by construction.
      */
     numeric::Matrix predictAll(const numeric::Matrix &xs) const override;
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "model/study.hh"
+#include "numeric/kernels/policy.hh"
 
 using wcnn::model::StudyOptions;
 using wcnn::model::StudyResult;
@@ -77,22 +78,63 @@ const std::vector<double> kGoldenFig6ValidationActual = {
     0.49922777218001929,
     1.9435564875401461};
 
-/** The deterministic study every golden derives from (run once). */
+/** Options of the deterministic study every golden derives from. */
+StudyOptions
+goldenStudyOptions()
+{
+    StudyOptions opts;
+    opts.source = StudyOptions::Source::Analytic;
+    opts.designSamples = 32;
+    opts.sliceAnchorsPerAxis = 3;
+    opts.tune = false;
+    opts.nn.hiddenUnits = {8};
+    opts.nn.train.targetLoss = 0.02;
+    opts.seed = 2006;
+    return opts;
+}
+
+/** The reference-policy golden study (run once). */
 const StudyResult &
 goldenStudy()
 {
-    static const StudyResult study = [] {
-        StudyOptions opts;
-        opts.source = StudyOptions::Source::Analytic;
-        opts.designSamples = 32;
-        opts.sliceAnchorsPerAxis = 3;
-        opts.tune = false;
-        opts.nn.hiddenUnits = {8};
-        opts.nn.train.targetLoss = 0.02;
-        opts.seed = 2006;
-        return runStudy(opts);
-    }();
+    static const StudyResult study = runStudy(goldenStudyOptions());
     return study;
+}
+
+/** Assert one study reproduces every pinned golden constant. */
+void
+expectGoldenValues(const StudyResult &study)
+{
+    const auto avg = study.cv.averageValidationError();
+    ASSERT_EQ(avg.size(), 5u);
+    for (std::size_t j = 0; j < avg.size(); ++j) {
+        EXPECT_NEAR(avg[j], kGoldenAvgValidationError[j],
+                    kMetricTolerance)
+            << "indicator " << study.cv.indicatorNames[j];
+    }
+    EXPECT_NEAR(study.cv.overallAccuracy(), kGoldenOverallAccuracy,
+                kMetricTolerance);
+
+    const auto &trial = study.cv.trials.front();
+    ASSERT_GE(trial.trainPredicted.rows(), kCurvePoints);
+    ASSERT_GE(trial.validationPredicted.rows(), kCurvePoints);
+    for (std::size_t i = 0; i < kCurvePoints; ++i) {
+        EXPECT_NEAR(trial.trainPredicted(i, 0),
+                    kGoldenFig5TrainPredicted[i],
+                    kCurveTolerance *
+                        std::fabs(kGoldenFig5TrainPredicted[i]))
+            << "Fig. 5 point " << i;
+        EXPECT_NEAR(trial.validationPredicted(i, 0),
+                    kGoldenFig6ValidationPredicted[i],
+                    kCurveTolerance *
+                        std::fabs(kGoldenFig6ValidationPredicted[i]))
+            << "Fig. 6 point " << i;
+        EXPECT_NEAR(trial.validationSet[i].y[0],
+                    kGoldenFig6ValidationActual[i],
+                    kCurveTolerance *
+                        std::fabs(kGoldenFig6ValidationActual[i]))
+            << "Fig. 6 actual " << i;
+    }
 }
 
 void
@@ -109,21 +151,17 @@ printVector(const char *name, const std::vector<double> &v)
 TEST(GoldenTable2Test, PinnedMetricsAndFitCurves)
 {
     const StudyResult &study = goldenStudy();
-    const auto avg = study.cv.averageValidationError();
-    ASSERT_EQ(avg.size(), 5u);
-
-    const auto &trial = study.cv.trials.front();
-    ASSERT_GE(trial.trainPredicted.rows(), kCurvePoints);
-    ASSERT_GE(trial.validationPredicted.rows(), kCurvePoints);
-    std::vector<double> fig5(kCurvePoints), fig6(kCurvePoints),
-        fig6_actual(kCurvePoints);
-    for (std::size_t i = 0; i < kCurvePoints; ++i) {
-        fig5[i] = trial.trainPredicted(i, 0);
-        fig6[i] = trial.validationPredicted(i, 0);
-        fig6_actual[i] = trial.validationSet[i].y[0];
-    }
 
     if (std::getenv("WCNN_GOLDEN_REGEN") != nullptr) {
+        const auto avg = study.cv.averageValidationError();
+        const auto &trial = study.cv.trials.front();
+        std::vector<double> fig5(kCurvePoints), fig6(kCurvePoints),
+            fig6_actual(kCurvePoints);
+        for (std::size_t i = 0; i < kCurvePoints; ++i) {
+            fig5[i] = trial.trainPredicted(i, 0);
+            fig6[i] = trial.validationPredicted(i, 0);
+            fig6_actual[i] = trial.validationSet[i].y[0];
+        }
         printVector("kGoldenAvgValidationError", avg);
         std::printf("constexpr double kGoldenOverallAccuracy = "
                     "%.17g;\n",
@@ -134,28 +172,19 @@ TEST(GoldenTable2Test, PinnedMetricsAndFitCurves)
         GTEST_SKIP() << "regeneration run; goldens printed above";
     }
 
-    for (std::size_t j = 0; j < avg.size(); ++j) {
-        EXPECT_NEAR(avg[j], kGoldenAvgValidationError[j],
-                    kMetricTolerance)
-            << "indicator " << study.cv.indicatorNames[j];
-    }
-    EXPECT_NEAR(study.cv.overallAccuracy(), kGoldenOverallAccuracy,
-                kMetricTolerance);
+    expectGoldenValues(study);
+}
 
-    for (std::size_t i = 0; i < kCurvePoints; ++i) {
-        EXPECT_NEAR(fig5[i], kGoldenFig5TrainPredicted[i],
-                    kCurveTolerance *
-                        std::fabs(kGoldenFig5TrainPredicted[i]))
-            << "Fig. 5 point " << i;
-        EXPECT_NEAR(fig6[i], kGoldenFig6ValidationPredicted[i],
-                    kCurveTolerance *
-                        std::fabs(kGoldenFig6ValidationPredicted[i]))
-            << "Fig. 6 point " << i;
-        EXPECT_NEAR(fig6_actual[i], kGoldenFig6ValidationActual[i],
-                    kCurveTolerance *
-                        std::fabs(kGoldenFig6ValidationActual[i]))
-            << "Fig. 6 actual " << i;
-    }
+TEST(GoldenTable2Test, FastKernelPolicyReproducesTheGoldens)
+{
+    // The fast-kernel admission bar for the full pipeline: the same
+    // study, dispatched through the blocked/SIMD kernels, must land on
+    // the SAME pinned constants at the SAME tolerances. There is no
+    // separate fast golden set — one set of numbers, two policies.
+    wcnn::numeric::kernels::PolicyGuard guard(
+        wcnn::numeric::kernels::KernelPolicy::Fast);
+    const StudyResult study = runStudy(goldenStudyOptions());
+    expectGoldenValues(study);
 }
 
 TEST(GoldenTable2Test, GoldenStudyStaysInPaperRange)

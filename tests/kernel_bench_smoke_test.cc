@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Smoke coverage for the kernel bench suite (bench/kernel_report.hh).
+ *
+ * CI's kernel-bench job trusts `bench_micro_nn --kernels` to (a) emit
+ * a valid BENCH_kernels.json array the tripwire can parse and (b)
+ * report honest equivalence verdicts. This test runs the very same
+ * runKernelSuite() against a temp path and pins both properties, so a
+ * refactor of the suite cannot silently break the artifact contract.
+ *
+ * Timing assertions are deliberately lenient (speedup > 0.3, not the
+ * CI tripwire's 1.2) — this is a functional test that must pass on
+ * loaded single-core runners; the performance floor lives in CI where
+ * the run is dedicated.
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kernel_report.hh"
+
+namespace {
+
+using wcnn::bench::KernelRecord;
+
+/** One suite run shared by every test: measurement is the slow part. */
+class KernelBenchSmokeTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        // ctest runs each TEST_F as its own process, all re-running
+        // this SetUpTestSuite — the pid keeps parallel test processes
+        // off each other's sink.
+        path_ = new std::string(::testing::TempDir() +
+                                "BENCH_kernels_smoke." +
+                                std::to_string(::getpid()) + ".json");
+        std::remove(path_->c_str());
+        records_ = new std::vector<KernelRecord>(
+            wcnn::bench::runKernelSuite(1, path_->c_str(),
+                                        "kernel_bench_smoke_test"));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        std::remove(path_->c_str());
+        delete records_;
+        delete path_;
+        records_ = nullptr;
+        path_ = nullptr;
+    }
+
+    static std::string
+    fileBody()
+    {
+        std::ifstream in(*path_);
+        std::ostringstream all;
+        all << in.rdbuf();
+        return all.str();
+    }
+
+    static const KernelRecord *
+    find(const std::string &kernel)
+    {
+        for (const KernelRecord &r : *records_)
+            if (r.kernel == kernel)
+                return &r;
+        return nullptr;
+    }
+
+    static std::vector<KernelRecord> *records_;
+    static std::string *path_;
+};
+
+std::vector<KernelRecord> *KernelBenchSmokeTest::records_ = nullptr;
+std::string *KernelBenchSmokeTest::path_ = nullptr;
+
+TEST_F(KernelBenchSmokeTest, SingleThreadRunCoversEveryKernel)
+{
+    ASSERT_EQ(records_->size(), 4u);
+    EXPECT_NE(find("gemm"), nullptr);
+    EXPECT_NE(find("gemv"), nullptr);
+    EXPECT_NE(find("axpy"), nullptr);
+    EXPECT_NE(find("fused-forward"), nullptr);
+    // threads == 1 must NOT emit the multi-core figure.
+    EXPECT_EQ(find("fused-forward-mt"), nullptr);
+}
+
+TEST_F(KernelBenchSmokeTest, EquivalenceVerdictsMatchTheAdmissionGate)
+{
+    // Reduction order is preserved everywhere but gemm, so the suite
+    // must report bit identity there...
+    for (const char *kernel : {"gemv", "axpy", "fused-forward"}) {
+        const KernelRecord *r = find(kernel);
+        ASSERT_NE(r, nullptr) << kernel;
+        EXPECT_TRUE(r->bitIdentical) << kernel;
+        EXPECT_EQ(r->maxUlp, 0u) << kernel;
+    }
+    // ...and gemm must stay inside the documented <= 4 ULP budget
+    // (the fast path only drops the reference's zero-skip, so in
+    // practice this is 0 — the budget is the contract, not the hope).
+    const KernelRecord *gemm = find("gemm");
+    ASSERT_NE(gemm, nullptr);
+    EXPECT_LE(gemm->maxUlp, 4u);
+}
+
+TEST_F(KernelBenchSmokeTest, MeasurementsArePhysical)
+{
+    for (const KernelRecord &r : *records_) {
+        EXPECT_GT(r.referenceSeconds, 0.0) << r.kernel;
+        EXPECT_GT(r.fastSeconds, 0.0) << r.kernel;
+        EXPECT_GT(r.speedup, 0.0) << r.kernel;
+        EXPECT_GT(r.referenceGflops, 0.0) << r.kernel;
+        EXPECT_GT(r.fastGflops, 0.0) << r.kernel;
+        EXPECT_GT(r.bytesMoved, 0u) << r.kernel;
+        EXPECT_EQ(r.threads, 1u) << r.kernel;
+        EXPECT_EQ(r.bench, "kernel_bench_smoke_test") << r.kernel;
+    }
+    // Functional floor only — CI owns the 1.2x tripwire.
+    const KernelRecord *fused = find("fused-forward");
+    ASSERT_NE(fused, nullptr);
+    EXPECT_GT(fused->speedup, 0.3);
+}
+
+TEST_F(KernelBenchSmokeTest, SinkIsAValidJsonArrayWithAllKeys)
+{
+    const std::string body = fileBody();
+    ASSERT_FALSE(body.empty());
+    EXPECT_EQ(body.front(), '[');
+    EXPECT_EQ(body.find_first_not_of(" \n]", body.find_last_of(']')),
+              std::string::npos);
+
+    // One object per record, every schema key present.
+    std::size_t objects = 0;
+    for (char c : body)
+        objects += c == '{';
+    EXPECT_EQ(objects, records_->size());
+    for (const char *key :
+         {"\"bench\"", "\"kernel\"", "\"shape\"", "\"threads\"",
+          "\"reference_seconds\"", "\"fast_seconds\"", "\"speedup\"",
+          "\"reference_gflops\"", "\"fast_gflops\"", "\"bytes_moved\"",
+          "\"bit_identical\"", "\"max_ulp\""}) {
+        EXPECT_NE(body.find(key), std::string::npos) << key;
+    }
+}
+
+TEST_F(KernelBenchSmokeTest, AppendingKeepsTheArrayValid)
+{
+    // CI appends run after run to the tracked artifact; a second
+    // append must extend the array, not corrupt it.
+    KernelRecord extra;
+    extra.bench = "kernel_bench_smoke_test";
+    extra.kernel = "gemm";
+    extra.shape = "append-check";
+    extra.referenceSeconds = 1.0;
+    extra.fastSeconds = 0.5;
+    extra.speedup = 2.0;
+    wcnn::bench::appendKernelRecord(extra, path_->c_str());
+
+    const std::string body = fileBody();
+    EXPECT_EQ(body.front(), '[');
+    EXPECT_EQ(body.find_first_not_of(" \n]", body.find_last_of(']')),
+              std::string::npos);
+    std::size_t objects = 0;
+    for (char c : body)
+        objects += c == '{';
+    EXPECT_EQ(objects, records_->size() + 1);
+    EXPECT_NE(body.find("append-check"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,574 @@
+/**
+ * @file
+ * The admission gate for KernelPolicy::Fast (see
+ * numeric/kernels/policy.hh): seeded property tests comparing every
+ * fast kernel against its pinned reference twin over random shapes
+ * (including single-row/column degenerates and non-multiple-of-block
+ * tails), unaligned views, and a hostile value pool (denormals, +-0.0,
+ * large magnitudes).
+ *
+ * Equivalence contract:
+ *   - gemv, axpy, standardize/destandardize, the batched Mlp forward
+ *     and the fused serving path must be BIT-IDENTICAL to the
+ *     reference: their fast variants never reassociate a reduction,
+ *     so there is no legal source of divergence.
+ *   - gemm must stay within 4 ULP per element. The only mechanical
+ *     difference is the dropped `if (a == 0.0) continue` zero-skip
+ *     (see blas.hh), which can at most flip the sign of a zero, so in
+ *     practice the distance is 0 with +-0.0 treated as equal — but the
+ *     documented budget is what the gate enforces.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/contracts.hh"
+#include "data/standardizer.hh"
+#include "nn/mlp.hh"
+#include "numeric/kernels/arena.hh"
+#include "numeric/kernels/blas.hh"
+#include "numeric/kernels/fused.hh"
+#include "numeric/kernels/policy.hh"
+#include "numeric/linalg.hh"
+#include "numeric/matrix.hh"
+#include "numeric/rng.hh"
+#include "serve/bundle.hh"
+
+using wcnn::data::Standardizer;
+using wcnn::nn::Activation;
+using wcnn::nn::InitRule;
+using wcnn::nn::LayerSpec;
+using wcnn::nn::Mlp;
+using wcnn::numeric::Matrix;
+using wcnn::numeric::Rng;
+using wcnn::numeric::Vector;
+using wcnn::serve::ModelBundle;
+namespace kernels = wcnn::numeric::kernels;
+using kernels::KernelPolicy;
+using kernels::PolicyGuard;
+
+namespace {
+
+/**
+ * ULP distance between two doubles. +0.0 and -0.0 are 0 apart (the
+ * zero-skip can only change zero signs); identical NaN payloads are 0
+ * apart; NaN vs non-NaN is infinite.
+ */
+std::uint64_t
+ulpDistance(double a, double b)
+{
+    if (std::isnan(a) || std::isnan(b)) {
+        std::uint64_t ba = std::bit_cast<std::uint64_t>(a);
+        std::uint64_t bb = std::bit_cast<std::uint64_t>(b);
+        return ba == bb ? 0 : std::numeric_limits<std::uint64_t>::max();
+    }
+    if (a == b) // covers +0.0 vs -0.0
+        return 0;
+    // Map the sign-magnitude bit pattern onto a monotone integer line.
+    auto key = [](double d) {
+        const std::int64_t i = std::bit_cast<std::int64_t>(d);
+        return i < 0 ? std::numeric_limits<std::int64_t>::min() - i : i;
+    };
+    const std::int64_t ka = key(a);
+    const std::int64_t kb = key(b);
+    return ka > kb ? static_cast<std::uint64_t>(ka) -
+                         static_cast<std::uint64_t>(kb)
+                   : static_cast<std::uint64_t>(kb) -
+                         static_cast<std::uint64_t>(ka);
+}
+
+/**
+ * Hostile value pool: ordinary magnitudes most of the time, with
+ * exact zeros (to exercise the GEMM zero-skip), signed zeros,
+ * denormals, and large magnitudes mixed in.
+ */
+double
+poolValue(Rng &rng)
+{
+    switch (rng.uniformInt(0, 9)) {
+    case 0:
+        return 0.0;
+    case 1:
+        return -0.0;
+    case 2:
+        return 5e-324; // smallest denormal
+    case 3:
+        return -1e-310; // denormal
+    case 4:
+        return rng.uniform(-1.0, 1.0) * 1e100;
+    default:
+        return rng.uniform(-3.0, 3.0);
+    }
+}
+
+std::vector<double>
+poolBuffer(Rng &rng, std::size_t n)
+{
+    std::vector<double> v(n);
+    for (double &e : v)
+        e = poolValue(rng);
+    return v;
+}
+
+void
+expectBitIdentical(const std::vector<double> &a,
+                   const std::vector<double> &b, const char *what)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const std::uint64_t ba = std::bit_cast<std::uint64_t>(a[i]);
+        const std::uint64_t bb = std::bit_cast<std::uint64_t>(b[i]);
+        ASSERT_EQ(ba, bb) << what << " diverges at element " << i << ": "
+                          << a[i] << " vs " << b[i];
+    }
+}
+
+} // namespace
+
+// Policy plumbing ------------------------------------------------------
+
+TEST(KernelPolicyTest, DefaultIsReference)
+{
+    // The suite must not be run with WCNN_KERNELS=fast: goldens in
+    // sibling tests assume the reference default.
+    EXPECT_EQ(kernels::policy(), KernelPolicy::Reference);
+}
+
+TEST(KernelPolicyTest, GuardSetsAndRestores)
+{
+    ASSERT_EQ(kernels::policy(), KernelPolicy::Reference);
+    {
+        PolicyGuard guard(KernelPolicy::Fast);
+        EXPECT_EQ(kernels::policy(), KernelPolicy::Fast);
+        {
+            PolicyGuard inner(KernelPolicy::Reference);
+            EXPECT_EQ(kernels::policy(), KernelPolicy::Reference);
+        }
+        EXPECT_EQ(kernels::policy(), KernelPolicy::Fast);
+    }
+    EXPECT_EQ(kernels::policy(), KernelPolicy::Reference);
+}
+
+TEST(KernelPolicyTest, NamesRoundTrip)
+{
+    EXPECT_STREQ(kernels::policyName(KernelPolicy::Reference),
+                 "reference");
+    EXPECT_STREQ(kernels::policyName(KernelPolicy::Fast), "fast");
+    EXPECT_EQ(kernels::parsePolicy("reference"),
+              KernelPolicy::Reference);
+    EXPECT_EQ(kernels::parsePolicy("fast"), KernelPolicy::Fast);
+}
+
+#ifndef WCNN_NO_CONTRACTS
+TEST(KernelPolicyTest, ParseRejectsUnknownNames)
+{
+    EXPECT_THROW(static_cast<void>(kernels::parsePolicy("turbo")),
+                 wcnn::ContractViolation);
+    EXPECT_THROW(static_cast<void>(kernels::parsePolicy("Fast")),
+                 wcnn::ContractViolation);
+}
+#endif
+
+TEST(KernelPolicyTest, InstallFromArgsStripsFlag)
+{
+    PolicyGuard guard(KernelPolicy::Reference);
+    char prog[] = "prog";
+    char flag[] = "--kernels";
+    char value[] = "fast";
+    char other[] = "--threads=2";
+    char *argv[] = {prog, flag, value, other, nullptr};
+    int argc = 4;
+    EXPECT_TRUE(kernels::installFromArgs(argc, argv));
+    EXPECT_EQ(kernels::policy(), KernelPolicy::Fast);
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[0], "prog");
+    EXPECT_STREQ(argv[1], "--threads=2");
+}
+
+TEST(KernelPolicyTest, InstallFromArgsEqualsForm)
+{
+    PolicyGuard guard(KernelPolicy::Fast);
+    char prog[] = "prog";
+    char flag[] = "--kernels=reference";
+    char *argv[] = {prog, flag, nullptr};
+    int argc = 2;
+    EXPECT_FALSE(kernels::installFromArgs(argc, argv));
+    EXPECT_EQ(kernels::policy(), KernelPolicy::Reference);
+    EXPECT_EQ(argc, 1);
+}
+
+// GEMV: bit-identical --------------------------------------------------
+
+TEST(KernelEquivalenceTest, GemvBitIdenticalOverRandomShapes)
+{
+    for (std::uint64_t trial = 0; trial < 200; ++trial) {
+        Rng rng = Rng::stream(2006, trial);
+        const auto m = static_cast<std::size_t>(rng.uniformInt(1, 67));
+        const auto n = static_cast<std::size_t>(rng.uniformInt(1, 67));
+        const std::vector<double> a = poolBuffer(rng, m * n);
+        const std::vector<double> x = poolBuffer(rng, n);
+        std::vector<double> y_ref(m, 0.0);
+        std::vector<double> y_fast(m, 0.0);
+        kernels::gemvReference(a.data(), x.data(), y_ref.data(), m, n);
+        kernels::gemvFast(a.data(), x.data(), y_fast.data(), m, n);
+        expectBitIdentical(y_ref, y_fast, "gemv");
+    }
+}
+
+TEST(KernelEquivalenceTest, GemvBitIdenticalOnUnalignedViews)
+{
+    // The Matrix layer always hands the kernels aligned vector
+    // storage, but the raw-pointer contract must hold for any offset:
+    // run the same comparison through pointers displaced by one
+    // element (8 bytes — guaranteed not 64-byte aligned).
+    for (std::uint64_t trial = 0; trial < 50; ++trial) {
+        Rng rng = Rng::stream(2007, trial);
+        const auto m = static_cast<std::size_t>(rng.uniformInt(1, 33));
+        const auto n = static_cast<std::size_t>(rng.uniformInt(1, 33));
+        const std::vector<double> a = poolBuffer(rng, m * n + 1);
+        const std::vector<double> x = poolBuffer(rng, n + 1);
+        std::vector<double> y_ref(m + 1, 0.0);
+        std::vector<double> y_fast(m + 1, 0.0);
+        kernels::gemvReference(a.data() + 1, x.data() + 1,
+                               y_ref.data() + 1, m, n);
+        kernels::gemvFast(a.data() + 1, x.data() + 1,
+                          y_fast.data() + 1, m, n);
+        expectBitIdentical(y_ref, y_fast, "gemv (unaligned)");
+    }
+}
+
+TEST(KernelEquivalenceTest, MatrixVectorProductDispatchIsBitIdentical)
+{
+    Rng rng = Rng::stream(2008, 0);
+    const Matrix a = Matrix::random(17, 23, rng, -5.0, 5.0);
+    Vector x(23);
+    for (double &e : x)
+        e = poolValue(rng);
+    const Vector y_ref = a * x;
+    PolicyGuard guard(KernelPolicy::Fast);
+    const Vector y_fast = a * x;
+    expectBitIdentical(y_ref, y_fast, "Matrix::operator*(Vector)");
+}
+
+// AXPY: bit-identical --------------------------------------------------
+
+TEST(KernelEquivalenceTest, AxpyBitIdentical)
+{
+    for (std::uint64_t trial = 0; trial < 100; ++trial) {
+        Rng rng = Rng::stream(2009, trial);
+        const auto n = static_cast<std::size_t>(rng.uniformInt(1, 131));
+        const double alpha = poolValue(rng);
+        const std::vector<double> x = poolBuffer(rng, n);
+        std::vector<double> y_ref = poolBuffer(rng, n);
+        std::vector<double> y_fast = y_ref;
+        kernels::axpyReference(alpha, x.data(), y_ref.data(), n);
+        kernels::axpyFast(alpha, x.data(), y_fast.data(), n);
+        expectBitIdentical(y_ref, y_fast, "axpy");
+    }
+}
+
+// GEMM: <= 4 ULP -------------------------------------------------------
+
+TEST(KernelEquivalenceTest, GemmWithinUlpBudgetOverRandomShapes)
+{
+    std::uint64_t worst = 0;
+    for (std::uint64_t trial = 0; trial < 120; ++trial) {
+        Rng rng = Rng::stream(2010, trial);
+        const auto m = static_cast<std::size_t>(rng.uniformInt(1, 67));
+        const auto k = static_cast<std::size_t>(rng.uniformInt(1, 67));
+        const auto n = static_cast<std::size_t>(rng.uniformInt(1, 67));
+        const std::vector<double> a = poolBuffer(rng, m * k);
+        const std::vector<double> b = poolBuffer(rng, k * n);
+        std::vector<double> c_ref(m * n, 0.0);
+        std::vector<double> c_fast(m * n, 0.0);
+        kernels::gemmReference(a.data(), b.data(), c_ref.data(), m, k,
+                               n);
+        kernels::gemmFast(a.data(), b.data(), c_fast.data(), m, k, n);
+        for (std::size_t i = 0; i < c_ref.size(); ++i) {
+            const std::uint64_t d = ulpDistance(c_ref[i], c_fast[i]);
+            worst = std::max(worst, d);
+            ASSERT_LE(d, 4u)
+                << "gemm " << m << "x" << k << "x" << n
+                << " exceeds the ULP budget at element " << i << ": "
+                << c_ref[i] << " vs " << c_fast[i];
+        }
+    }
+    // The k-order-preserving fast GEMM should in fact be exact (the
+    // zero-skip only perturbs zero signs, which ulpDistance ignores).
+    EXPECT_EQ(worst, 0u);
+}
+
+TEST(KernelEquivalenceTest, GemmExactOnBlockBoundaryShape)
+{
+    // 64x64x64 hits every cache-block edge exactly; 65/66/67 cover
+    // one-past-tail in each dimension.
+    for (std::size_t dim : {64u, 65u, 66u, 67u}) {
+        Rng rng = Rng::stream(2011, dim);
+        const std::vector<double> a = poolBuffer(rng, dim * dim);
+        const std::vector<double> b = poolBuffer(rng, dim * dim);
+        std::vector<double> c_ref(dim * dim, 0.0);
+        std::vector<double> c_fast(dim * dim, 0.0);
+        kernels::gemmReference(a.data(), b.data(), c_ref.data(), dim,
+                               dim, dim);
+        kernels::gemmFast(a.data(), b.data(), c_fast.data(), dim, dim,
+                          dim);
+        for (std::size_t i = 0; i < c_ref.size(); ++i)
+            ASSERT_LE(ulpDistance(c_ref[i], c_fast[i]), 4u);
+    }
+}
+
+TEST(KernelEquivalenceTest, GemmValueEqualOnZeroRichInputs)
+{
+    // All-zero and half-zero matrices maximize the zero-skip
+    // divergence surface; values (not bit patterns) must still agree.
+    Rng rng = Rng::stream(2012, 0);
+    const std::size_t m = 31, k = 47, n = 29;
+    std::vector<double> a(m * k, 0.0);
+    for (std::size_t i = 0; i < a.size(); i += 2)
+        a[i] = rng.uniform(-2.0, 2.0);
+    const std::vector<double> b = poolBuffer(rng, k * n);
+    std::vector<double> c_ref(m * n, 0.0);
+    std::vector<double> c_fast(m * n, 0.0);
+    kernels::gemmReference(a.data(), b.data(), c_ref.data(), m, k, n);
+    kernels::gemmFast(a.data(), b.data(), c_fast.data(), m, k, n);
+    for (std::size_t i = 0; i < c_ref.size(); ++i)
+        ASSERT_EQ(ulpDistance(c_ref[i], c_fast[i]), 0u);
+}
+
+TEST(KernelEquivalenceTest, MatrixProductDispatchWithinBudget)
+{
+    Rng rng = Rng::stream(2013, 0);
+    const Matrix a = Matrix::random(19, 37, rng, -4.0, 4.0);
+    const Matrix b = Matrix::random(37, 11, rng, -4.0, 4.0);
+    const Matrix c_ref = a * b;
+    PolicyGuard guard(KernelPolicy::Fast);
+    const Matrix c_fast = a * b;
+    ASSERT_EQ(c_ref.rows(), c_fast.rows());
+    ASSERT_EQ(c_ref.cols(), c_fast.cols());
+    for (std::size_t i = 0; i < c_ref.size(); ++i)
+        ASSERT_LE(
+            ulpDistance(c_ref.data()[i], c_fast.data()[i]), 4u);
+}
+
+// seqDotMinus: one implementation, order-pinned ------------------------
+
+TEST(KernelEquivalenceTest, SeqDotMinusMatchesManualChain)
+{
+    Rng rng = Rng::stream(2014, 0);
+    const std::size_t n = 53;
+    const std::vector<double> a = poolBuffer(rng, n);
+    const std::vector<double> b = poolBuffer(rng, n);
+    const double init = rng.uniform(-10.0, 10.0);
+    double manual = init;
+    for (std::size_t i = 0; i < n; ++i)
+        manual -= a[i] * b[i];
+    const double got = kernels::seqDotMinus(init, a.data(), b.data(), n);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(manual),
+              std::bit_cast<std::uint64_t>(got));
+}
+
+// Standardize / destandardize: bit-identical ---------------------------
+
+TEST(KernelEquivalenceTest, StandardizerMatrixPathsBitIdentical)
+{
+    for (std::uint64_t trial = 0; trial < 20; ++trial) {
+        Rng rng = Rng::stream(2015, trial);
+        const auto rows =
+            static_cast<std::size_t>(rng.uniformInt(1, 67));
+        const auto d = static_cast<std::size_t>(rng.uniformInt(1, 19));
+        Matrix xs(rows, d);
+        for (double &e : xs.data())
+            e = poolValue(rng);
+        Vector mu(d), sigma(d);
+        for (std::size_t j = 0; j < d; ++j) {
+            mu[j] = rng.uniform(-2.0, 2.0);
+            sigma[j] = rng.uniform(0.1, 3.0);
+        }
+        const Standardizer std_ =
+            Standardizer::fromMoments(mu, sigma);
+        const Matrix z_ref = std_.transform(xs);
+        const Matrix y_ref = std_.inverse(xs);
+        PolicyGuard guard(KernelPolicy::Fast);
+        const Matrix z_fast = std_.transform(xs);
+        const Matrix y_fast = std_.inverse(xs);
+        expectBitIdentical(z_ref.data(), z_fast.data(),
+                           "Standardizer::transform(Matrix)");
+        expectBitIdentical(y_ref.data(), y_fast.data(),
+                           "Standardizer::inverse(Matrix)");
+    }
+}
+
+TEST(KernelEquivalenceTest, StandardizeRowsSupportsInPlace)
+{
+    Rng rng = Rng::stream(2016, 0);
+    const std::size_t rows = 13, d = 7;
+    std::vector<double> x = poolBuffer(rng, rows * d);
+    std::vector<double> mu(d), sigma(d);
+    for (std::size_t j = 0; j < d; ++j) {
+        mu[j] = rng.uniform(-1.0, 1.0);
+        sigma[j] = rng.uniform(0.5, 2.0);
+    }
+    std::vector<double> out(rows * d);
+    kernels::standardizeRows(x.data(), out.data(), rows, d, mu.data(),
+                             sigma.data());
+    std::vector<double> inplace = x;
+    kernels::standardizeRows(inplace.data(), inplace.data(), rows, d,
+                             mu.data(), sigma.data());
+    expectBitIdentical(out, inplace, "standardizeRows in-place");
+
+    kernels::destandardizeRows(out.data(), out.data(), rows, d,
+                               mu.data(), sigma.data());
+    std::vector<double> back(rows * d);
+    kernels::destandardizeRows(inplace.data(), back.data(), rows, d,
+                               mu.data(), sigma.data());
+    expectBitIdentical(out, back, "destandardizeRows in-place");
+}
+
+// Batched forward + fused serving path: bit-identical ------------------
+
+namespace {
+
+Mlp
+randomNet(std::uint64_t seed, std::size_t inputs,
+          std::vector<std::size_t> hidden, std::size_t outputs)
+{
+    Rng rng = Rng::stream(2017, seed);
+    std::vector<LayerSpec> layers;
+    for (std::size_t h : hidden)
+        layers.push_back(LayerSpec{h, Activation::logistic(1.0)});
+    layers.push_back(LayerSpec{outputs, Activation::identity()});
+    return Mlp(inputs, std::move(layers), InitRule::Xavier, rng);
+}
+
+} // namespace
+
+TEST(KernelEquivalenceTest, BatchedForwardBitIdenticalAcrossTopologies)
+{
+    const struct
+    {
+        std::size_t inputs;
+        std::vector<std::size_t> hidden;
+        std::size_t outputs;
+        std::size_t rows;
+    } cases[] = {
+        {1, {}, 1, 1},       // degenerate single-unit net
+        {4, {8}, 5, 3},      // the Table 2 shape
+        {4, {16}, 5, 64},    // exactly one row block
+        {4, {16}, 5, 65},    // block + 1-row tail
+        {7, {32, 16}, 3, 200}, // two hidden layers, multiple blocks
+        {3, {5}, 2, 130},
+    };
+    std::uint64_t seed = 0;
+    for (const auto &c : cases) {
+        const Mlp net = randomNet(seed++, c.inputs, c.hidden, c.outputs);
+        Rng rng = Rng::stream(2018, seed);
+        Matrix xs(c.rows, c.inputs);
+        for (double &e : xs.data())
+            e = poolValue(rng);
+        const Matrix out_ref = net.forward(xs);
+        PolicyGuard guard(KernelPolicy::Fast);
+        const Matrix out_fast = net.forward(xs);
+        ASSERT_EQ(out_ref.rows(), out_fast.rows());
+        ASSERT_EQ(out_ref.cols(), out_fast.cols());
+        expectBitIdentical(out_ref.data(), out_fast.data(),
+                           "Mlp::forward(Matrix)");
+        // The fused entry point without moments must agree too.
+        const Matrix out_fused =
+            net.fusedForward(xs, nullptr, nullptr, nullptr, nullptr);
+        expectBitIdentical(out_ref.data(), out_fused.data(),
+                           "Mlp::fusedForward (no moments)");
+    }
+}
+
+TEST(KernelEquivalenceTest, FusedServingPathBitIdentical)
+{
+    const Mlp net = randomNet(99, 4, {16}, 5);
+    Rng rng = Rng::stream(2019, 0);
+    Vector x_mu(4), x_sigma(4), y_mu(5), y_sigma(5);
+    for (std::size_t j = 0; j < 4; ++j) {
+        x_mu[j] = rng.uniform(-2.0, 2.0);
+        x_sigma[j] = rng.uniform(0.2, 4.0);
+    }
+    for (std::size_t j = 0; j < 5; ++j) {
+        y_mu[j] = rng.uniform(-10.0, 10.0);
+        y_sigma[j] = rng.uniform(0.2, 8.0);
+    }
+    const ModelBundle bundle = ModelBundle::fromParts(
+        net, Standardizer::fromMoments(x_mu, x_sigma),
+        Standardizer::fromMoments(y_mu, y_sigma), {}, {});
+
+    for (std::size_t rows : {1u, 37u, 64u, 129u}) {
+        Matrix xs(rows, 4);
+        for (double &e : xs.data())
+            e = poolValue(rng);
+        const Matrix out_ref = bundle.predictAll(xs);
+        PolicyGuard guard(KernelPolicy::Fast);
+        const Matrix out_fast = bundle.predictAll(xs);
+        expectBitIdentical(out_ref.data(), out_fast.data(),
+                           "ModelBundle::predictAll");
+        // predict() stays on the reference composition; the batched
+        // fast path must agree with it row by row.
+        for (std::size_t r = 0; r < rows; ++r) {
+            const Vector row = bundle.predict(xs.row(r));
+            for (std::size_t j = 0; j < row.size(); ++j)
+                ASSERT_EQ(std::bit_cast<std::uint64_t>(row[j]),
+                          std::bit_cast<std::uint64_t>(out_fast(r, j)))
+                    << "fused row " << r << " col " << j;
+        }
+    }
+}
+
+#ifndef WCNN_NO_CONTRACTS
+TEST(KernelEquivalenceTest, FusedForwardRejectsHalfPairedMoments)
+{
+    const Mlp net = randomNet(7, 3, {4}, 2);
+    const Matrix xs(2, 3, 0.5);
+    Vector mu(3, 0.0);
+    EXPECT_THROW(static_cast<void>(net.fusedForward(
+                     xs, &mu, nullptr, nullptr, nullptr)),
+                 wcnn::ContractViolation);
+}
+#endif
+
+TEST(KernelEquivalenceTest, FusedForwardHandlesEmptyBatch)
+{
+    const Mlp net = randomNet(8, 3, {4}, 2);
+    const Matrix xs(0, 3);
+    const Matrix out =
+        net.fusedForward(xs, nullptr, nullptr, nullptr, nullptr);
+    EXPECT_EQ(out.rows(), 0u);
+    EXPECT_EQ(out.cols(), 2u);
+}
+
+// Cholesky path stays bit-identical under the fast policy --------------
+
+TEST(KernelEquivalenceTest, CholeskyPipelineUnchangedByPolicy)
+{
+    // seqDotMinus is sequential on both policies; the full normal-
+    // equations path must give bit-identical coefficients.
+    Rng rng = Rng::stream(2020, 0);
+    const Matrix a = Matrix::random(40, 6, rng, -2.0, 2.0);
+    Matrix spd = a.transposed() * a;
+    for (std::size_t i = 0; i < spd.rows(); ++i)
+        spd(i, i) += 1.0;
+    Vector b(6);
+    for (double &e : b)
+        e = rng.uniform(-1.0, 1.0);
+
+    const auto l_ref = wcnn::numeric::cholesky(spd);
+    ASSERT_TRUE(l_ref.has_value());
+    const Vector x_ref = wcnn::numeric::choleskySolve(*l_ref, b);
+
+    PolicyGuard guard(KernelPolicy::Fast);
+    const auto l_fast = wcnn::numeric::cholesky(spd);
+    ASSERT_TRUE(l_fast.has_value());
+    expectBitIdentical(l_ref->data(), l_fast->data(), "cholesky L");
+    const Vector x_fast = wcnn::numeric::choleskySolve(*l_fast, b);
+    expectBitIdentical(x_ref, x_fast, "choleskySolve");
+}

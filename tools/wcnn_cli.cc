@@ -46,6 +46,7 @@
 #include "model/nn_model.hh"
 #include "model/recommender.hh"
 #include "model/surface.hh"
+#include "numeric/kernels/policy.hh"
 #include "numeric/rng.hh"
 #include "serve/bundle.hh"
 #include "serve/loadgen.hh"
@@ -614,7 +615,11 @@ usage()
         "  surface     sweep and classify a (default, web) slice\n"
         "  recommend   rank configurations by a scoring function\n"
         "  serve       run the TCP inference server on a bundle\n"
-        "  bench-serve measure serving throughput and latency");
+        "  bench-serve measure serving throughput and latency\n"
+        "\n"
+        "global flags:\n"
+        "  --kernels reference|fast   numeric kernel policy (also\n"
+        "                             WCNN_KERNELS); default reference");
     return 2;
 }
 
@@ -630,7 +635,10 @@ main(int argc, char **argv)
     // any subcommand (chaos drills; also via WCNN_FAILPOINTS).
     try {
         wcnn::core::failpoint::installFromArgs(argc, argv);
-    } catch (const wcnn::Error &e) {
+        // `wcnn <cmd> ... --kernels fast` (or WCNN_KERNELS) selects
+        // the numeric kernel policy for any subcommand.
+        wcnn::numeric::kernels::installFromArgs(argc, argv);
+    } catch (const std::exception &e) {
         std::fprintf(stderr, "wcnn: %s\n", e.what());
         return 2;
     }

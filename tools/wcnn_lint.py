@@ -43,6 +43,15 @@ Rules:
       EINTR/EOF handling, and timeouts, and the serve failpoint sites
       actually cover every byte on the wire. A stray recv() elsewhere
       is invisible to the chaos harness.
+  R8  Hand-rolled compute kernels live in src/numeric/kernels/ only.
+      Outside that directory, no SIMD intrinsics (<immintrin.h> and
+      friends, _mm*/__m128-style identifiers), no `#pragma omp`, and —
+      within src/ — no raw contraction loops (an `x(i,k) * y(k,j)`
+      element product with a shared middle index). Matrix products go
+      through numeric::Matrix / kernels::gemm so the kernel-policy
+      dispatch, the equivalence harness, and the ULP budget actually
+      govern every hot loop; a stray hand matmul elsewhere is admitted
+      by nothing.
 """
 
 from __future__ import annotations
@@ -79,6 +88,17 @@ SOCKET_HEADER_RE = re.compile(
 SOCKET_CALL_RE = re.compile(
     r"(?<![\w:.>])(?:socket|accept4?|listen|recv|recvfrom|send|sendto"
     r"|setsockopt|getsockname|inet_pton|inet_ntop)\s*\(")
+
+INTRINSIC_RE = re.compile(
+    r"#\s*include\s*<(?:[a-z]+mmintrin|immintrin|avx\w*intrin)\.h>"
+    r"|\b_mm(?:256|512)?_\w+|\b__m(?:64|128|256|512)[di]?\b")
+PRAGMA_OMP_RE = re.compile(r"#\s*pragma\s+omp\b")
+# An element product whose left factor's column index is the right
+# factor's row index — the signature of a hand-rolled contraction,
+# e.g. `a(i, k) * b(k, j)`. Row-dot products like `l(i, k) * l(j, k)`
+# share their SECOND index and deliberately do not match.
+CONTRACTION_RE = re.compile(
+    r"\w+\(\s*\w+\s*,\s*(\w+)\s*\)\s*\*\s*\w+\(\s*\1\s*,")
 
 FLOAT_SENSITIVE = [
     "src/data/standardizer.hh",
@@ -235,6 +255,28 @@ def check_socket_containment(errors: list[str]) -> None:
                     f"serve::net::TcpStream/TcpListener/ServeClient")
 
 
+def check_kernel_containment(errors: list[str]) -> None:
+    for path in iter_sources(["src", "tests", "bench", "tools", "examples"]):
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith("src/numeric/kernels/"):
+            continue
+        in_src = rel.startswith("src/")
+        for lineno, line in code_lines(path):
+            if INTRINSIC_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: R8 SIMD intrinsics outside "
+                    f"src/numeric/kernels/ ({line.strip()[:60]})")
+            elif PRAGMA_OMP_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: R8 #pragma omp outside "
+                    f"src/numeric/kernels/ ({line.strip()[:60]})")
+            elif in_src and CONTRACTION_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: R8 raw contraction loop "
+                    f"({line.strip()[:60]}); route through "
+                    f"numeric::Matrix / kernels::gemm")
+
+
 def main() -> int:
     errors: list[str] = []
     check_rng_containment(errors)
@@ -244,6 +286,7 @@ def main() -> int:
     check_clock_containment(errors)
     check_no_swallowing_catch_all(errors)
     check_socket_containment(errors)
+    check_kernel_containment(errors)
     for e in errors:
         print(e)
     if errors:
