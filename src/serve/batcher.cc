@@ -55,6 +55,25 @@ PredictionFuture::get()
     rethrowOutcome(outcome.kind, outcome.message);
 }
 
+bool
+PredictionFuture::ready() const
+{
+    return inner.valid() &&
+           inner.wait_for(std::chrono::seconds(0)) ==
+               std::future_status::ready;
+}
+
+void
+MicroBatcher::resolve(Group &group, BatchOutcome outcome)
+{
+    group.promise.set_value(std::move(outcome));
+    // The hook fires strictly after the future is readable: a poller
+    // woken by it must observe ready()==true, never a spurious wake
+    // it would then wait on forever.
+    if (group.notify)
+        group.notify();
+}
+
 MicroBatcher::MicroBatcher(BundleRegistry &registry,
                            BatcherOptions options)
     : registry(registry), opts(options),
@@ -73,7 +92,8 @@ MicroBatcher::~MicroBatcher()
 }
 
 PredictionFuture
-MicroBatcher::submitMany(numeric::Matrix xs)
+MicroBatcher::submitMany(numeric::Matrix xs,
+                         std::function<void()> on_ready)
 {
     if (xs.rows() == 0)
         throw BadRequest("empty request group");
@@ -88,6 +108,7 @@ MicroBatcher::submitMany(numeric::Matrix xs)
 
     Group group;
     group.xs = std::move(xs);
+    group.notify = std::move(on_ready);
     group.enqueuedNs = core::telemetry::nowNs();
     auto future = group.promise.get_future();
 
@@ -229,8 +250,7 @@ MicroBatcher::executeBatch(std::vector<Group> &batch,
     auto fail_all = [&batch](const std::string &kind,
                              const std::string &message) {
         for (Group &group : batch)
-            group.promise.set_value(
-                BatchOutcome{{}, false, kind, message});
+            resolve(group, BatchOutcome{{}, false, kind, message});
     };
 
     WCNN_FAILPOINT("serve.predict", {
@@ -252,7 +272,7 @@ MicroBatcher::executeBatch(std::vector<Group> &batch,
     std::size_t valid_rows = 0;
     for (Group &group : batch) {
         if (group.xs.cols() != bundle->inputDim()) {
-            group.promise.set_value(BatchOutcome{
+            resolve(group, BatchOutcome{
                 {},
                 false,
                 "serve.bad_request",
@@ -280,8 +300,7 @@ MicroBatcher::executeBatch(std::vector<Group> &batch,
     const auto fail_valid = [&valid](const std::string &kind,
                                      const std::string &message) {
         for (Group *group : valid)
-            group->promise.set_value(
-                BatchOutcome{{}, false, kind, message});
+            resolve(*group, BatchOutcome{{}, false, kind, message});
     };
 
     numeric::Matrix ys;
@@ -326,8 +345,7 @@ MicroBatcher::executeBatch(std::vector<Group> &batch,
         numeric::Matrix out(group->xs.rows(), bundle->outputDim());
         for (std::size_t i = 0; i < out.rows(); ++i)
             out.setRow(i, ys.row(row++));
-        group->promise.set_value(
-            BatchOutcome{std::move(out), true, {}, {}});
+        resolve(*group, BatchOutcome{std::move(out), true, {}, {}});
     }
 }
 

@@ -38,6 +38,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <string>
@@ -104,6 +105,9 @@ struct BatchOutcome
 class PredictionFuture
 {
   public:
+    /** An empty future (no group); valid() is false. */
+    PredictionFuture() = default;
+
     /**
      * Block for the group's predictions.
      *
@@ -116,6 +120,9 @@ class PredictionFuture
 
     /** Whether the future still owns a pending outcome. */
     bool valid() const { return inner.valid(); }
+
+    /** Whether get() would return without blocking. */
+    bool ready() const;
 
   private:
     friend class MicroBatcher;
@@ -171,12 +178,20 @@ class MicroBatcher
      * @return Future of the prediction matrix; its get() throws a
      *         ServeError if the model is swapped to an incompatible
      *         arity before execution or the forward faults.
+     * @param on_ready Optional completion hook: invoked exactly once
+     *        from the dispatcher thread, strictly *after* the group's
+     *        future became ready (success or failure, including the
+     *        shutdown drain) — a woken poller is guaranteed to see
+     *        ready()==true. Event-loop transports use it to wake
+     *        their reactor instead of blocking on get(); pass an
+     *        empty function to poll or block instead.
      * @throws Overloaded   When the queue row bound is exceeded.
      * @throws NoModelError When no bundle is deployed.
      * @throws BadRequest   On arity mismatch or an empty group.
      * @throws ServeError   When the batcher is stopped.
      */
-    PredictionFuture submitMany(numeric::Matrix xs);
+    PredictionFuture submitMany(numeric::Matrix xs,
+                                std::function<void()> on_ready = {});
 
     /**
      * Convenience single-request path: one-row group, blocking.
@@ -205,9 +220,14 @@ class MicroBatcher
     {
         numeric::Matrix xs;
         std::promise<BatchOutcome> promise;
+        /** Completion hook; see submitMany(). May be empty. */
+        std::function<void()> notify;
         /** Queue-entry timestamp (telemetry queue-wait histogram). */
         std::int64_t enqueuedNs = 0;
     };
+
+    /** Fulfil a group's promise, then fire its completion hook. */
+    static void resolve(Group &group, BatchOutcome outcome);
 
     void dispatchLoop();
 

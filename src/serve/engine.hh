@@ -1,0 +1,331 @@
+/**
+ * @file
+ * The serving engine seam: one shared core, two front ends.
+ *
+ * PR 5's InferenceServer bundled two separable things: the *serving
+ * core* (BundleRegistry hot swap, PredictionCache, MicroBatcher,
+ * wire counters, the cache-then-batch request answering) and a
+ * *transport front end* (thread-per-connection blocking I/O). The
+ * epoll rewrite splits them:
+ *
+ *     ServerEngine (interface + shared ServeCore)
+ *        ├── InferenceServer   thread-per-connection (reference)
+ *        └── EventServer       epoll reactor, per-core shards
+ *
+ * Both engines speak the identical wire protocol through the shared
+ * per-connection Session state machine (session.hh), answer requests
+ * through the same ServeCore, and carry the same failpoint sites —
+ * so the equivalence suite (tests/serve_equivalence_test.cc) can
+ * demand byte-identical response streams, not just "similar
+ * behaviour". The threaded engine stays the always-correct reference
+ * implementation; the epoll engine is admitted through that gate,
+ * exactly like the fast kernels are admitted through
+ * kernel_equivalence_test (DESIGN.md §5.6, §5.7).
+ */
+
+#ifndef WCNN_SERVE_ENGINE_HH
+#define WCNN_SERVE_ENGINE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error.hh"
+#include "serve/batcher.hh"
+#include "serve/cache.hh"
+#include "serve/registry.hh"
+
+namespace wcnn {
+namespace serve {
+
+/** Full server configuration (shared by both engines). */
+struct ServeOptions
+{
+    /** Local address to bind. */
+    std::string host = "127.0.0.1";
+
+    /** Port to bind; 0 picks an ephemeral port (see port()). */
+    std::uint16_t port = 0;
+
+    /** listen(2) backlog. */
+    int backlog = 32;
+
+    /** Concurrent connection bound; the surplus is rejected typed. */
+    std::size_t maxConnections = 32;
+
+    /** Idle connection timeout; <= 0 disables. */
+    int idleTimeoutMs = 30000;
+
+    /**
+     * Whether a connection handler may coalesce the requests it has
+     * buffered into one batcher group and their responses into one
+     * write. False forces one group per request and one write(2) per
+     * response — a server with no batching anywhere in its path,
+     * the honest per-request baseline `wcnn bench-serve` and
+     * bench_serve compare micro-batching against.
+     */
+    bool coalesceFrames = true;
+
+    /**
+     * Epoll engine only: number of shard event loops the acceptor
+     * distributes connections over (round-robin). 0 selects one per
+     * hardware thread, capped at 8. The threaded engine ignores it.
+     */
+    std::size_t shards = 0;
+
+    /** Micro-batching knobs. */
+    BatcherOptions batch;
+
+    /** Prediction cache knobs; capacity 0 disables caching. */
+    CacheOptions cache;
+};
+
+/** Wire-level counters (exact), identical across engines. */
+struct ServeStats
+{
+    /** Connections accepted and handled. */
+    std::uint64_t accepted = 0;
+    /** Connections rejected by the connection bound. */
+    std::uint64_t rejectedConnections = 0;
+    /** Predict requests answered (success or typed error). */
+    std::uint64_t requests = 0;
+    /** Requests answered with an error frame. */
+    std::uint64_t errors = 0;
+    /** Pings answered. */
+    std::uint64_t pings = 0;
+    /** Connections currently being served. */
+    std::size_t activeConnections = 0;
+};
+
+/**
+ * Transport-independent serving core: bundle registry, prediction
+ * cache, micro-batcher, and exact wire counters. Both engines answer
+ * every request through this one object, which is what makes their
+ * responses bit-identical by construction.
+ */
+class ServeCore
+{
+  public:
+    /** @param options The owning engine's configuration. */
+    explicit ServeCore(const ServeOptions &options);
+
+    ServeCore(const ServeCore &) = delete;
+    ServeCore &operator=(const ServeCore &) = delete;
+
+    /** Atomically install a bundle and invalidate the cache. */
+    std::uint64_t deploy(BundlePtr bundle);
+
+    /** Snapshot of the active bundle (null before the first deploy). */
+    BundlePtr active() const { return bundles.active(); }
+
+    /** In-process predict: cache, then micro-batcher on a miss. */
+    numeric::Vector predict(const numeric::Vector &x);
+
+    /** In-process batched predict (row i of the result = row i in). */
+    numeric::Matrix predictMany(const numeric::Matrix &xs);
+
+    /** Result callback: (request index, prediction). */
+    using OnResult =
+        std::function<void(std::size_t, const numeric::Vector &)>;
+    /** Error callback: (request index, typed error). */
+    using OnError =
+        std::function<void(std::size_t, const wcnn::Error &)>;
+
+    /**
+     * One in-flight batcher group of answerRequestsAsync(): the
+     * future plus everything finishGroup() needs to deliver it —
+     * which request slot each row answers, the cache keys, and the
+     * bundle version guarding the cache inserts.
+     */
+    struct PendingGroup
+    {
+        PredictionFuture future;
+        /** Request index answered by each future row, in row order. */
+        std::vector<std::size_t> slots;
+        /** Cache key per row (the request vectors themselves). */
+        std::vector<numeric::Vector> keys;
+        /** Bundle version at submit; inserts skip on a raced swap. */
+        std::uint64_t version = 0;
+        /** answerRequestsAsync() entry time (latency telemetry). */
+        std::int64_t startNs = 0;
+
+        /** Whether finishGroup() would return without blocking. */
+        bool ready() const { return future.ready(); }
+    };
+
+    /**
+     * Answer a coalesced span of request vectors: cache hits inline,
+     * misses as one batcher group (or one group per request when
+     * coalescing is off). Results and typed errors come back through
+     * the callbacks, in request order. Blocks for the batcher.
+     */
+    void answerRequests(const std::vector<numeric::Vector> &requests,
+                        const OnResult &on_result,
+                        const OnError &on_error);
+
+    /**
+     * Non-blocking variant: everything answerable *now* — admission
+     * failures, arity errors, cache hits — is delivered through the
+     * callbacks before returning; cache misses are submitted to the
+     * batcher without waiting. Each returned group must later be
+     * handed to finishGroup() to deliver its rows. `on_ready` is
+     * forwarded to MicroBatcher::submitMany (fires once per group,
+     * from the dispatcher thread, after that group resolved) so an
+     * event loop can sleep instead of polling.
+     *
+     * answerRequests() is exactly this followed by an in-order
+     * blocking finishGroup() per group — which is what keeps the two
+     * engines' response bytes identical by construction.
+     */
+    std::vector<PendingGroup> answerRequestsAsync(
+        const std::vector<numeric::Vector> &requests,
+        const OnResult &on_result, const OnError &on_error,
+        const std::function<void()> &on_ready);
+
+    /**
+     * Deliver a resolved group's rows through the callbacks (blocks
+     * if the group has not resolved yet), inserting cacheable results
+     * under the version guard. Call at most once per group.
+     */
+    void finishGroup(PendingGroup &group, const OnResult &on_result,
+                     const OnError &on_error);
+
+    /** Refuse new batches and drain the queued ones (shutdown). */
+    void stopBatcher() { queue.stop(); }
+
+    /** Micro-batcher counters. */
+    MicroBatcher::Stats batcherStats() const { return queue.stats(); }
+
+    /** Prediction cache counters. */
+    PredictionCache::Stats cacheStats() const { return cache.stats(); }
+
+    // Exact wire counters, bumped by the engines and the Session.
+    void noteAccepted();
+    void noteRejectedConnection();
+    void notePing();
+    void noteProtocolError();
+    void noteFrameError();
+
+    /** Counter snapshot (activeConnections left 0; engines fill it). */
+    ServeStats statsSnapshot() const;
+
+  private:
+    const ServeOptions &opts;
+    BundleRegistry bundles;
+    PredictionCache cache;
+    MicroBatcher queue;
+
+    std::atomic<std::uint64_t> nAccepted{0};
+    std::atomic<std::uint64_t> nRejected{0};
+    std::atomic<std::uint64_t> nRequests{0};
+    std::atomic<std::uint64_t> nErrors{0};
+    std::atomic<std::uint64_t> nPings{0};
+};
+
+/**
+ * Interface every serving front end implements. The shared surface
+ * (deploy, in-process predict, counters) is non-virtual and answered
+ * by the core; only the transport lifecycle is engine-specific.
+ */
+class ServerEngine
+{
+  public:
+    virtual ~ServerEngine() = default;
+
+    ServerEngine(const ServerEngine &) = delete;
+    ServerEngine &operator=(const ServerEngine &) = delete;
+
+    /** Atomically install a bundle (hot swap); see ServeCore. */
+    std::uint64_t deploy(BundlePtr bundle)
+    {
+        return core.deploy(std::move(bundle));
+    }
+
+    /** Snapshot of the active bundle (null before the first deploy). */
+    BundlePtr active() const { return core.active(); }
+
+    /** In-process predict, bit-identical to ModelBundle::predict. */
+    numeric::Vector predict(const numeric::Vector &x)
+    {
+        return core.predict(x);
+    }
+
+    /** In-process batched predict. */
+    numeric::Matrix predictMany(const numeric::Matrix &xs)
+    {
+        return core.predictMany(xs);
+    }
+
+    /** Bind the listener and start serving. @throws ServeError. */
+    virtual void start() = 0;
+
+    /** Graceful drain; idempotent. */
+    virtual void stop() = 0;
+
+    /** Bound port; valid after start(). */
+    virtual std::uint16_t port() const = 0;
+
+    /** Whether start() succeeded and stop() has not run. */
+    virtual bool running() const = 0;
+
+    /** Exact wire counters. */
+    ServeStats stats() const
+    {
+        ServeStats s = core.statsSnapshot();
+        s.activeConnections = activeConnections();
+        return s;
+    }
+
+    /** Micro-batcher counters. */
+    MicroBatcher::Stats batcherStats() const
+    {
+        return core.batcherStats();
+    }
+
+    /** Prediction cache counters. */
+    PredictionCache::Stats cacheStats() const
+    {
+        return core.cacheStats();
+    }
+
+    /** The configuration the engine was built with. */
+    const ServeOptions &options() const { return opts; }
+
+  protected:
+    explicit ServerEngine(ServeOptions options);
+
+    /** Connections currently being served (engine bookkeeping). */
+    virtual std::size_t activeConnections() const = 0;
+
+    const ServeOptions opts;
+    ServeCore core;
+};
+
+/** The two serving front ends. */
+enum class EngineKind
+{
+    Threaded, ///< thread-per-connection InferenceServer (reference)
+    Epoll,    ///< epoll reactor EventServer with per-core shards
+};
+
+/**
+ * Parse an engine name ("threaded" / "epoll").
+ *
+ * @throws ServeError on an unknown name.
+ */
+EngineKind parseEngineKind(const std::string &name);
+
+/** Stable engine name ("threaded" / "epoll"). */
+const char *engineName(EngineKind kind);
+
+/** Construct the requested engine (no socket yet; see start()). */
+std::unique_ptr<ServerEngine> makeServer(EngineKind kind,
+                                         ServeOptions options = {});
+
+} // namespace serve
+} // namespace wcnn
+
+#endif // WCNN_SERVE_ENGINE_HH

@@ -99,6 +99,21 @@ class BadRequest : public ServeError
     }
 };
 
+/**
+ * Bare message of a fault: what() minus its "<kind>: " prefix. Error
+ * frames carry kind and message as separate fields, so the handler
+ * must not double-encode the kind into the message.
+ */
+inline std::string
+bareErrorMessage(const wcnn::Error &error)
+{
+    const std::string what = error.what();
+    const std::string prefix = error.kind() + ": ";
+    return what.compare(0, prefix.size(), prefix) == 0
+               ? what.substr(prefix.size())
+               : what;
+}
+
 } // namespace serve
 } // namespace wcnn
 

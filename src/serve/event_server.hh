@@ -1,0 +1,118 @@
+/**
+ * @file
+ * EventServer: the epoll reactor serving front end.
+ *
+ * Topology (one instance each; shared pieces living in ServeCore):
+ *
+ *     acceptor thread ──round-robin──► N shard event loops ──► core
+ *            │                              │
+ *       TcpListener                   Reactor (epoll + eventfd)
+ *                                     TimerWheel (idle timeouts)
+ *
+ * Where the threaded InferenceServer spends one blocking thread per
+ * connection, the EventServer multiplexes every connection of a
+ * shard onto one event-loop thread: nonblocking reads drain a socket
+ * to EAGAIN, the shared Session state machine turns the bytes into
+ * staged replies, and a buffered writer flushes them — falling back
+ * to EPOLLOUT when the kernel buffer fills, and *pausing reads*
+ * (backpressure) when a slow reader lets its transmit buffer grow
+ * past a bound. Idle timeouts come from a timer wheel at the same
+ * 100 ms granularity as the threaded engine's poll loop.
+ *
+ * Equivalence, not similarity: every behavior a client can observe —
+ * reply bytes and their order, typed rejections, admission control,
+ * hot-swap semantics, graceful drain, failpoint blast radius — is
+ * pinned byte-identical to the threaded reference engine by
+ * tests/serve_equivalence_test.cc, tortured by serve_torture_test.cc
+ * and chaos_serve_test.cc. The one accepted asymmetry is *when* I/O
+ * happens, which is the entire point: concurrency is no longer
+ * capped by thread-spawn cost, so the 64+-client figures in
+ * BENCH_serve.json become reachable (bench_serve --engine epoll).
+ *
+ * Blast radius: a connection whose handling throws (socket error,
+ * injected failpoint) is closed and forgotten; its shard loop and
+ * every other connection on it keep running — chaos_serve_test pins
+ * this "one poisoned connection never kills its shard" containment.
+ *
+ * Failpoint sites match the threaded engine: serve.accept in the
+ * acceptor, serve.read before every read attempt, serve.write before
+ * every flush attempt, serve.decode in the Session, serve.predict in
+ * the MicroBatcher.
+ */
+
+#ifndef WCNN_SERVE_EVENT_SERVER_HH
+#define WCNN_SERVE_EVENT_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hh"
+#include "serve/net/socket.hh"
+
+namespace wcnn {
+namespace serve {
+
+/**
+ * Epoll-based inference server: an acceptor distributing connections
+ * round-robin over per-core shard event loops.
+ */
+class EventServer : public ServerEngine
+{
+  public:
+    /**
+     * Construct the serving stack (no socket yet; see start()). The
+     * batcher dispatcher starts immediately, so the in-process
+     * predict() path works without start().
+     */
+    explicit EventServer(ServeOptions options = {});
+
+    /** stop()s. */
+    ~EventServer() override;
+
+    /**
+     * Bind the listener, spin up the shard loops, start accepting.
+     *
+     * @throws ServeError when the address cannot be bound.
+     */
+    void start() override;
+
+    /** Bound port; valid after start(). */
+    std::uint16_t port() const override { return boundPort; }
+
+    /** Whether start() succeeded and stop() has not run. */
+    bool running() const override { return accepting.load(); }
+
+    /**
+     * Graceful drain: stop accepting, let every shard flush the
+     * replies it has staged, close all connections, join all
+     * threads, drain the batcher. Idempotent.
+     */
+    void stop() override;
+
+  private:
+    class Shard;
+    friend class Shard;
+
+    std::size_t activeConnections() const override
+    {
+        return liveConns.load();
+    }
+
+    void acceptLoop();
+
+    std::vector<std::unique_ptr<Shard>> workers;
+    std::unique_ptr<net::TcpListener> listener;
+    std::uint16_t boundPort = 0;
+    std::thread acceptor;
+    std::atomic<bool> accepting{false};
+    std::atomic<bool> stopping{false};
+    std::atomic<std::size_t> liveConns{0};
+};
+
+} // namespace serve
+} // namespace wcnn
+
+#endif // WCNN_SERVE_EVENT_SERVER_HH

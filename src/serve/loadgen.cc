@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -42,69 +43,137 @@ runTcpLoad(const std::string &host, std::uint16_t port,
     std::vector<std::uint64_t> errors(options.clients, 0);
     std::atomic<bool> connect_failed{false};
 
+    const std::size_t n_threads =
+        options.threads > 0
+            ? std::min(options.threads, options.clients)
+            : std::min<std::size_t>(options.clients, 8);
+
     const std::int64_t start_ns = core::telemetry::nowNs();
     std::vector<std::thread> workers;
-    workers.reserve(options.clients);
-    for (std::size_t c = 0; c < options.clients; ++c) {
-        workers.emplace_back([&, c] {
-            numeric::Rng rng = numeric::Rng::stream(options.seed, c);
+    workers.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) {
+        workers.emplace_back([&, t] {
+            // This worker owns every client with index ≡ t modulo
+            // n_threads. It keeps one window in flight on ALL of
+            // them before collecting any responses, so the server
+            // sees the same concurrency as thread-per-client.
+            struct Client
+            {
+                std::size_t index = 0;
+                numeric::Rng rng{0};
+                std::vector<numeric::Vector> pool;
+                std::unique_ptr<net::ServeClient> conn;
+                std::size_t remaining = 0;
+                std::size_t window = 0;
+                std::int64_t t0 = 0;
+            };
 
-            // Pre-draw the key pool (cache-warm mode).
-            std::vector<numeric::Vector> pool;
-            for (std::size_t k = 0; k < options.keyPoolSize; ++k) {
-                numeric::Vector x(input_dim);
-                for (double &v : x)
-                    v = rng.uniform(0.0, 1.0);
-                pool.push_back(std::move(x));
+            std::vector<Client> mine;
+            for (std::size_t c = t; c < options.clients;
+                 c += n_threads) {
+                Client client;
+                client.index = c;
+                client.rng = numeric::Rng::stream(options.seed, c);
+                for (std::size_t k = 0; k < options.keyPoolSize;
+                     ++k) {
+                    numeric::Vector x(input_dim);
+                    for (double &v : x)
+                        v = client.rng.uniform(0.0, 1.0);
+                    client.pool.push_back(std::move(x));
+                }
+                client.remaining = options.requestsPerClient;
+                mine.push_back(std::move(client));
             }
-            const auto next_input = [&]() {
-                if (!pool.empty())
-                    return pool[static_cast<std::size_t>(rng.uniformInt(
-                        0,
-                        static_cast<std::int64_t>(pool.size()) - 1))];
+
+            const auto next_input = [&](Client &client) {
+                if (!client.pool.empty())
+                    return client.pool[static_cast<std::size_t>(
+                        client.rng.uniformInt(
+                            0, static_cast<std::int64_t>(
+                                   client.pool.size()) -
+                                   1))];
                 numeric::Vector x(input_dim);
                 for (double &v : x)
-                    v = rng.uniform(0.0, 1.0);
+                    v = client.rng.uniform(0.0, 1.0);
                 return x;
             };
 
-            try {
-                net::ServeClient client =
-                    net::ServeClient::connect(host, port);
-                std::size_t remaining = options.requestsPerClient;
-                while (remaining > 0) {
-                    const std::size_t window =
-                        std::min(options.pipeline, remaining);
-                    const std::int64_t t0 = core::telemetry::nowNs();
-                    for (std::size_t w = 0; w < window; ++w)
-                        client.sendPredict(next_input());
-                    for (std::size_t w = 0; w < window; ++w) {
-                        try {
-                            client.readPrediction();
-                        } catch (const Overloaded &) {
-                            ++errors[c];
-                        } catch (const BadRequest &) {
-                            ++errors[c];
-                        } catch (const NoModelError &) {
-                            ++errors[c];
-                        }
-                    }
-                    const double window_us =
-                        static_cast<double>(core::telemetry::nowNs() -
-                                            t0) /
-                        1000.0;
-                    latencies[c].insert(latencies[c].end(), window,
-                                        window_us);
-                    remaining -= window;
-                }
-            } catch (const wcnn::Error &) {
-                // Transport failure mid-run: the unanswered rest of
-                // this client's quota counts as errors.
-                if (latencies[c].empty() && errors[c] == 0)
+            // Transport failure mid-run: the unanswered rest of the
+            // client's quota counts as errors, the worker carries on
+            // with its other connections.
+            const auto abandon = [&](Client &client) {
+                if (latencies[client.index].empty() &&
+                    errors[client.index] == 0)
                     connect_failed.store(true);
-                errors[c] += options.requestsPerClient -
-                             std::min(options.requestsPerClient,
-                                      latencies[c].size());
+                errors[client.index] +=
+                    options.requestsPerClient -
+                    std::min(options.requestsPerClient,
+                             latencies[client.index].size());
+                client.remaining = 0;
+                client.conn.reset();
+            };
+
+            for (Client &client : mine) {
+                try {
+                    client.conn = std::make_unique<net::ServeClient>(
+                        net::ServeClient::connect(host, port));
+                } catch (const wcnn::Error &) {
+                    abandon(client);
+                }
+            }
+
+            bool any = true;
+            while (any) {
+                any = false;
+                // Phase 1: a window of requests on every live
+                // connection — all windows are in flight before any
+                // response is read.
+                for (Client &client : mine) {
+                    if (client.remaining == 0)
+                        continue;
+                    any = true;
+                    client.window = std::min(options.pipeline,
+                                             client.remaining);
+                    client.t0 = core::telemetry::nowNs();
+                    try {
+                        for (std::size_t w = 0; w < client.window;
+                             ++w)
+                            client.conn->sendPredict(
+                                next_input(client));
+                    } catch (const wcnn::Error &) {
+                        abandon(client);
+                    }
+                }
+                // Phase 2: collect every window.
+                for (Client &client : mine) {
+                    if (client.remaining == 0)
+                        continue;
+                    try {
+                        for (std::size_t w = 0; w < client.window;
+                             ++w) {
+                            try {
+                                client.conn->readPrediction();
+                            } catch (const Overloaded &) {
+                                ++errors[client.index];
+                            } catch (const BadRequest &) {
+                                ++errors[client.index];
+                            } catch (const NoModelError &) {
+                                ++errors[client.index];
+                            }
+                        }
+                        const double window_us =
+                            static_cast<double>(
+                                core::telemetry::nowNs() -
+                                client.t0) /
+                            1000.0;
+                        latencies[client.index].insert(
+                            latencies[client.index].end(),
+                            client.window, window_us);
+                        client.remaining -= client.window;
+                    } catch (const wcnn::Error &) {
+                        abandon(client);
+                    }
+                }
             }
         });
     }

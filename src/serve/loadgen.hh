@@ -3,7 +3,7 @@
  * Deterministic-input TCP load generator for the inference server.
  *
  * Shared by bench/bench_serve.cc and `wcnn bench-serve` so the two
- * report comparable numbers. Each client thread draws its request
+ * report comparable numbers. Each client connection draws its request
  * vectors from numeric::Rng::stream(seed, client_index) — the *load*
  * is reproducible even though the measured latencies are not — and
  * pipelines `pipeline` requests per window over one ServeClient
@@ -45,6 +45,18 @@ struct LoadgenOptions
      * per client (cache-warm after the first pass).
      */
     std::size_t keyPoolSize = 0;
+
+    /**
+     * Worker threads driving the connections; 0 picks
+     * min(clients, 8). Each worker owns clients/threads connections
+     * and pipelines windows on all of them before collecting any
+     * responses, so "64 clients" means 64 concurrent *connections*
+     * with 64 windows in flight — not 64 scheduler-thrashing
+     * threads. On few-core hosts a thread-per-client generator
+     * starves the server under test (most visibly a single-threaded
+     * event loop) and measures the client scheduler instead.
+     */
+    std::size_t threads = 0;
 };
 
 /** Aggregate result of one load run. */

@@ -1,8 +1,10 @@
 #include "client.hh"
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
+#include "core/telemetry.hh"
 #include "serve/error.hh"
 
 namespace wcnn {
@@ -77,7 +79,16 @@ ServeClient::rawSend(const void *data, std::size_t size)
 Frame
 ServeClient::readFrame()
 {
+    // Frames arrive in arbitrarily small pieces (short reads), so the
+    // decode loop below accumulates until tryDecode sees a complete
+    // frame. The timeout must bound the WHOLE frame, not each
+    // fragment: with a per-read timeout, a server dripping one byte
+    // per timeout window keeps the client waiting forever — the
+    // torture suite's byte-drip server pins this (see
+    // serve_torture_test.cc, ClientDeadlineCoversDrippedFrames).
     std::uint8_t chunk[4096];
+    const std::int64_t deadline_ns =
+        core::telemetry::nowNs() + std::int64_t{timeoutMs} * 1000000;
     while (true) {
         const DecodeResult r = tryDecode(buffer.data(), buffer.size());
         if (r.status == DecodeStatus::Frame) {
@@ -90,9 +101,16 @@ ServeClient::readFrame()
             throw ProtocolError("undecodable bytes from server: " +
                                 r.error);
 
+        const std::int64_t left_ns =
+            deadline_ns - core::telemetry::nowNs();
+        if (left_ns <= 0)
+            throw ServeError("timed out waiting for the server");
+        const int wait_ms = static_cast<int>(
+            std::min<std::int64_t>(left_ns / 1000000 + 1, timeoutMs));
+
         std::size_t n = 0;
         const ReadStatus status =
-            stream.readSome(chunk, sizeof(chunk), n, timeoutMs);
+            stream.readSome(chunk, sizeof(chunk), n, wait_ms);
         if (status == ReadStatus::Eof)
             throw ServeError("server closed the connection");
         if (status == ReadStatus::Timeout)

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -134,6 +135,86 @@ TcpStream::writeAll(const void *data, std::size_t size)
         p += n;
         size -= static_cast<std::size_t>(n);
     }
+}
+
+void
+TcpStream::setNonBlocking(bool enabled)
+{
+    if (fd < 0)
+        throw ServeError("setNonBlocking on a closed stream");
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0)
+        throwErrno("fcntl(F_GETFL)");
+    const int wanted =
+        enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+    if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) < 0)
+        throwErrno("fcntl(F_SETFL)");
+}
+
+NbStatus
+TcpStream::readNb(std::uint8_t *buffer, std::size_t capacity,
+                  std::size_t &bytes_read)
+{
+    bytes_read = 0;
+    if (fd < 0)
+        return NbStatus::Eof;
+    ssize_t n = 0;
+    do {
+        n = ::recv(fd, buffer, capacity, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return NbStatus::WouldBlock;
+        throwErrno("recv");
+    }
+    if (n == 0)
+        return NbStatus::Eof;
+    bytes_read = static_cast<std::size_t>(n);
+    return NbStatus::Ready;
+}
+
+NbStatus
+TcpStream::writeNb(const void *data, std::size_t size,
+                   std::size_t &bytes_written)
+{
+    bytes_written = 0;
+    if (fd < 0)
+        throw ServeError("write on a closed stream");
+    ssize_t n = 0;
+    do {
+        n = ::send(fd, data, size, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK)
+            return NbStatus::WouldBlock;
+        throwErrno("send");
+    }
+    bytes_written = static_cast<std::size_t>(n);
+    return NbStatus::Ready;
+}
+
+bool
+TcpStream::waitWritable(int timeout_ms)
+{
+    if (fd < 0)
+        throw ServeError("waitWritable on a closed stream");
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int ready = 0;
+    do {
+        ready = ::poll(&pfd, 1, timeout_ms);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0)
+        throwErrno("poll");
+    return ready > 0;
+}
+
+void
+TcpStream::shutdownWrite()
+{
+    if (fd >= 0)
+        ::shutdown(fd, SHUT_WR);
 }
 
 void

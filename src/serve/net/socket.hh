@@ -37,6 +37,18 @@ enum class ReadStatus
 };
 
 /**
+ * Result of a nonblocking read/write attempt (the reactor engine's
+ * vocabulary; kept separate from ReadStatus so the blocking API's
+ * exhaustive switches stay exhaustive).
+ */
+enum class NbStatus
+{
+    Ready,      ///< bytes were transferred
+    WouldBlock, ///< nothing transferable now; wait for readiness
+    Eof,        ///< (reads only) the peer closed the connection
+};
+
+/**
  * One connected TCP socket (client or accepted server side).
  */
 class TcpStream
@@ -85,6 +97,59 @@ class TcpStream
      * @throws ServeError when the peer is gone or the socket errors.
      */
     void writeAll(const void *data, std::size_t size);
+
+    /**
+     * Switch the descriptor between blocking and nonblocking modes
+     * (O_NONBLOCK). The reactor engine runs every accepted stream
+     * nonblocking; the blocking API above must not be used after
+     * enabling this.
+     *
+     * @throws ServeError when the flag cannot be changed.
+     */
+    void setNonBlocking(bool enabled);
+
+    /**
+     * Nonblocking read attempt.
+     *
+     * @param buffer     Destination.
+     * @param capacity   Destination size; must be > 0.
+     * @param bytes_read Set to the byte count when Ready is returned.
+     * @throws ServeError on a socket error.
+     */
+    NbStatus readNb(std::uint8_t *buffer, std::size_t capacity,
+                    std::size_t &bytes_read);
+
+    /**
+     * Nonblocking write attempt (partial writes expected; SIGPIPE
+     * suppressed).
+     *
+     * @param data          Source.
+     * @param size          Bytes offered; must be > 0.
+     * @param bytes_written Set to the byte count when Ready is
+     *                      returned.
+     * @throws ServeError when the peer is gone or the socket errors.
+     */
+    NbStatus writeNb(const void *data, std::size_t size,
+                     std::size_t &bytes_written);
+
+    /**
+     * Wait until the socket accepts more bytes (graceful-drain
+     * flushing of a nonblocking stream).
+     *
+     * @param timeout_ms Poll bound in milliseconds; < 0 waits forever.
+     * @return True when writable, false on timeout.
+     * @throws ServeError on a socket error.
+     */
+    bool waitWritable(int timeout_ms);
+
+    /** Half-close: shut down the write side, keep reading (FIN). */
+    void shutdownWrite();
+
+    /**
+     * The raw descriptor, for registration with a Reactor. Ownership
+     * stays with the stream; -1 when invalid.
+     */
+    int nativeHandle() const { return fd; }
 
     /** Close now (idempotent; the destructor also closes). */
     void close();

@@ -1,7 +1,5 @@
 #include "server.hh"
 
-#include <algorithm>
-#include <future>
 #include <utility>
 
 #include "core/contracts.hh"
@@ -9,6 +7,7 @@
 #include "core/telemetry.hh"
 #include "serve/error.hh"
 #include "serve/net/protocol.hh"
+#include "serve/session.hh"
 
 namespace wcnn {
 namespace serve {
@@ -18,95 +17,16 @@ namespace {
 /** Poll granularity: how often blocked loops re-check the stop flag. */
 constexpr int kPollMs = 100;
 
-/** Bare message of a fault: what() minus its "<kind>: " prefix. */
-std::string
-bareMessage(const wcnn::Error &error)
-{
-    const std::string what = error.what();
-    const std::string prefix = error.kind() + ": ";
-    return what.compare(0, prefix.size(), prefix) == 0
-               ? what.substr(prefix.size())
-               : what;
-}
-
 } // namespace
 
 InferenceServer::InferenceServer(ServeOptions options)
-    : opts(std::move(options)), cache(opts.cache), queue(bundles, opts.batch)
+    : ServerEngine(std::move(options))
 {
-    WCNN_REQUIRE(opts.maxConnections >= 1,
-                 "maxConnections must be >= 1");
 }
 
 InferenceServer::~InferenceServer()
 {
     stop();
-}
-
-std::uint64_t
-InferenceServer::deploy(BundlePtr bundle)
-{
-    const std::uint64_t version = bundles.swap(std::move(bundle));
-    // Order matters: the swap is visible before the clear, so a racing
-    // predict can at worst re-insert a prediction of the *new* bundle.
-    cache.clear();
-    return version;
-}
-
-numeric::Vector
-InferenceServer::predict(const numeric::Vector &x)
-{
-    numeric::Vector y;
-    if (cache.lookup(x, y))
-        return y;
-    const std::uint64_t version = bundles.version();
-    y = queue.predictOne(x);
-    // Best-effort: skip the insert when a hot swap raced the forward,
-    // so a stale prediction cannot outlive deploy()'s invalidation.
-    if (bundles.version() == version)
-        cache.insert(x, y);
-    return y;
-}
-
-numeric::Matrix
-InferenceServer::predictMany(const numeric::Matrix &xs)
-{
-    if (xs.rows() == 0)
-        throw BadRequest("empty request group");
-    const BundlePtr bundle = bundles.active();
-    if (bundle == nullptr)
-        throw NoModelError();
-    if (xs.cols() != bundle->inputDim())
-        throw BadRequest("request has " + std::to_string(xs.cols()) +
-                         " inputs, bundle expects " +
-                         std::to_string(bundle->inputDim()));
-
-    numeric::Matrix ys(xs.rows(), bundle->outputDim());
-    std::vector<std::size_t> miss_rows;
-    numeric::Vector y;
-    for (std::size_t i = 0; i < xs.rows(); ++i) {
-        if (cache.lookup(xs.row(i), y))
-            ys.setRow(i, y);
-        else
-            miss_rows.push_back(i);
-    }
-    if (miss_rows.empty())
-        return ys;
-
-    const std::uint64_t version = bundles.version();
-    numeric::Matrix misses(miss_rows.size(), xs.cols());
-    for (std::size_t k = 0; k < miss_rows.size(); ++k)
-        misses.setRow(k, xs.row(miss_rows[k]));
-    const numeric::Matrix computed =
-        queue.submitMany(std::move(misses)).get();
-    const bool cacheable = bundles.version() == version;
-    for (std::size_t k = 0; k < miss_rows.size(); ++k) {
-        const numeric::Vector row = computed.row(k);
-        ys.setRow(miss_rows[k], row);
-        if (cacheable)
-            cache.insert(xs.row(miss_rows[k]), row);
-    }
-    return ys;
 }
 
 void
@@ -137,23 +57,18 @@ InferenceServer::stop()
                 conn->thread.join();
         connections.clear();
     }
-    queue.stop();
+    core.stopBatcher();
 }
 
-InferenceServer::Stats
-InferenceServer::stats() const
+std::size_t
+InferenceServer::activeConnections() const
 {
-    Stats s;
-    s.accepted = nAccepted.load();
-    s.rejectedConnections = nRejected.load();
-    s.requests = nRequests.load();
-    s.errors = nErrors.load();
-    s.pings = nPings.load();
+    std::size_t active = 0;
     std::lock_guard<std::mutex> lock(connMutex);
     for (const auto &conn : connections)
         if (!conn->done.load())
-            ++s.activeConnections;
-    return s;
+            ++active;
+    return active;
 }
 
 void
@@ -193,17 +108,9 @@ InferenceServer::acceptLoop()
 
         reapConnections();
 
-        std::size_t active = 0;
-        {
-            std::lock_guard<std::mutex> lock(connMutex);
-            for (const auto &conn : connections)
-                if (!conn->done.load())
-                    ++active;
-        }
-        if (active >= opts.maxConnections) {
+        if (activeConnections() >= opts.maxConnections) {
             // Admission control: answer typed, close, move on.
-            nRejected.fetch_add(1);
-            WCNN_COUNTER_ADD("serve.conn.rejected", 1);
+            core.noteRejectedConnection();
             const net::Bytes frame = net::encodeError(
                 "serve.overloaded",
                 "connection limit of " +
@@ -217,8 +124,7 @@ InferenceServer::acceptLoop()
             continue;
         }
 
-        nAccepted.fetch_add(1);
-        WCNN_COUNTER_ADD("serve.conn.accepted", 1);
+        core.noteAccepted();
         auto conn = std::make_unique<Connection>();
         Connection *slot = conn.get();
         {
@@ -239,14 +145,16 @@ InferenceServer::handleConnection(net::TcpStream stream)
 {
     WCNN_SPAN("serve.conn");
     try {
-        // Mode detection: peek the first byte. '{' selects JSON
-        // lines, anything else must open a binary frame.
-        std::uint8_t first[4096];
+        Session session(core, opts.coalesceFrames);
+        std::uint8_t chunk[4096];
         std::int64_t idle_ns = 0;
+        std::vector<net::Bytes> writes;
         while (!stopping.load()) {
             std::size_t n = 0;
+            WCNN_FAILPOINT("serve.read",
+                           throw ServeError("injected: serve.read"));
             const net::ReadStatus status =
-                stream.readSome(first, sizeof(first), n, kPollMs);
+                stream.readSome(chunk, sizeof(chunk), n, kPollMs);
             if (status == net::ReadStatus::Eof)
                 return;
             if (status == net::ReadStatus::Timeout) {
@@ -257,351 +165,27 @@ InferenceServer::handleConnection(net::TcpStream stream)
                     return;
                 continue;
             }
-            if (net::looksLikeJson(first[0])) {
-                std::string buffer(reinterpret_cast<char *>(first), n);
-                handleJson(stream, buffer);
-            } else {
-                std::vector<std::uint8_t> buffer(first, first + n);
-                handleBinary(stream, buffer);
+            idle_ns = 0;
+
+            writes.clear();
+            const Session::Verdict verdict =
+                session.consume(chunk, n);
+            // Blocking collect: every reply of this chunk is written
+            // before the next read, in arrival order — the reference
+            // behaviour the epoll engine is proven equivalent to.
+            session.collect(/*block=*/true, writes);
+            for (const net::Bytes &frame : writes) {
+                WCNN_FAILPOINT(
+                    "serve.write",
+                    throw ServeError("injected: serve.write"));
+                stream.writeAll(frame.data(), frame.size());
             }
-            return;
+            if (verdict == Session::Verdict::CloseAfterFlush)
+                return;
         }
     } catch (const ServeError &) {
         // Transport failure or injected fault: this connection is
         // done, the server keeps serving.
-    }
-}
-
-void
-InferenceServer::answerRequests(
-    const std::vector<numeric::Vector> &requests,
-    const std::function<void(std::size_t, const numeric::Vector &)>
-        &on_result,
-    const std::function<void(std::size_t, const wcnn::Error &)>
-        &on_error)
-{
-    if (!opts.coalesceFrames && requests.size() > 1) {
-        // Per-request baseline: every request is its own group (its
-        // own dispatcher wakeup, its own forward).
-        for (std::size_t i = 0; i < requests.size(); ++i) {
-            answerRequests(
-                {requests[i]},
-                [&](std::size_t, const numeric::Vector &y) {
-                    on_result(i, y);
-                },
-                [&](std::size_t, const wcnn::Error &error) {
-                    on_error(i, error);
-                });
-        }
-        return;
-    }
-
-    nRequests.fetch_add(requests.size());
-    WCNN_COUNTER_ADD("serve.requests", requests.size());
-    const std::int64_t start_ns =
-        WCNN_TELEMETRY_ENABLED() ? core::telemetry::nowNs() : 0;
-
-    const BundlePtr bundle = bundles.active();
-    std::vector<numeric::Vector> results(requests.size());
-    std::vector<std::size_t> miss_index;
-    numeric::Vector y;
-
-    // Pass 1: per-request validation and cache lookups.
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-        if (bundle == nullptr) {
-            nErrors.fetch_add(1);
-            on_error(i, NoModelError());
-        } else if (requests[i].size() != bundle->inputDim()) {
-            nErrors.fetch_add(1);
-            on_error(i, BadRequest(
-                            "request has " +
-                            std::to_string(requests[i].size()) +
-                            " inputs, bundle expects " +
-                            std::to_string(bundle->inputDim())));
-        } else if (cache.lookup(requests[i], y)) {
-            results[i] = y;
-            on_result(i, results[i]);
-        } else {
-            miss_index.push_back(i);
-        }
-    }
-
-    // Pass 2: all misses as ONE batcher group (this is the coalescing
-    // that turns a pipelined client into a batched forward).
-    if (!miss_index.empty()) {
-        const std::uint64_t version = bundles.version();
-        try {
-            numeric::Matrix xs(miss_index.size(), bundle->inputDim());
-            for (std::size_t k = 0; k < miss_index.size(); ++k)
-                xs.setRow(k, requests[miss_index[k]]);
-            const numeric::Matrix ys =
-                queue.submitMany(std::move(xs)).get();
-            const bool cacheable = bundles.version() == version;
-            for (std::size_t k = 0; k < miss_index.size(); ++k) {
-                const std::size_t i = miss_index[k];
-                results[i] = ys.row(k);
-                if (cacheable)
-                    cache.insert(requests[i], results[i]);
-                on_result(i, results[i]);
-            }
-        } catch (const wcnn::Error &error) {
-            nErrors.fetch_add(miss_index.size());
-            for (const std::size_t i : miss_index)
-                on_error(i, error);
-        }
-    }
-
-    if (start_ns != 0 && !requests.empty()) {
-        const std::int64_t total_ns =
-            core::telemetry::nowNs() - start_ns;
-        const std::uint64_t per_request_us = static_cast<std::uint64_t>(
-            total_ns > 0
-                ? (total_ns / 1000) /
-                      static_cast<std::int64_t>(requests.size())
-                : 0);
-        for (std::size_t i = 0; i < requests.size(); ++i)
-            WCNN_HISTOGRAM_RECORD("serve.request_us", per_request_us);
-    }
-}
-
-void
-InferenceServer::handleBinary(net::TcpStream &stream,
-                              std::vector<std::uint8_t> &buffer)
-{
-    std::uint8_t chunk[4096];
-    std::int64_t idle_ns = 0;
-    bool peer_gone = false;
-
-    while (!peer_gone && !stopping.load()) {
-        // Decode every complete frame currently buffered; consecutive
-        // requests coalesce into one micro-batch group.
-        std::vector<numeric::Vector> requests;
-        net::Bytes out;
-        bool close_after_flush = false;
-
-        while (true) {
-            WCNN_FAILPOINT("serve.decode",
-                           throw ServeError("injected: serve.decode"));
-            net::DecodeResult r =
-                net::tryDecode(buffer.data(), buffer.size());
-            if (r.status == net::DecodeStatus::NeedMore)
-                break;
-            if (r.status == net::DecodeStatus::Malformed) {
-                const net::Bytes frame =
-                    net::encodeError("serve.protocol", r.error);
-                out.insert(out.end(), frame.begin(), frame.end());
-                nErrors.fetch_add(1);
-                WCNN_COUNTER_ADD("serve.protocol_errors", 1);
-                close_after_flush = true;
-                break;
-            }
-            buffer.erase(buffer.begin(),
-                         buffer.begin() +
-                             static_cast<std::ptrdiff_t>(r.consumed));
-            switch (r.frame.type) {
-            case net::FrameType::Request:
-                requests.push_back(std::move(r.frame.values));
-                break;
-            case net::FrameType::Ping: {
-                nPings.fetch_add(1);
-                const net::Bytes pong = net::encodePong();
-                out.insert(out.end(), pong.begin(), pong.end());
-                break;
-            }
-            default: {
-                // Clients must not send server-side frame types.
-                const net::Bytes frame = net::encodeError(
-                    "serve.protocol",
-                    "unexpected frame type from client");
-                out.insert(out.end(), frame.begin(), frame.end());
-                nErrors.fetch_add(1);
-                close_after_flush = true;
-                break;
-            }
-            }
-            if (close_after_flush)
-                break;
-        }
-
-        if (!requests.empty()) {
-            // Answers are appended in request order: results and
-            // errors both come back through the callbacks, and the
-            // callbacks run in index order for the cache pass and in
-            // index order for the batch pass. To keep strict request
-            // order on the wire we stage per-request payloads first.
-            std::vector<net::Bytes> answers(requests.size());
-            answerRequests(
-                requests,
-                [&answers](std::size_t i, const numeric::Vector &y) {
-                    answers[i] = net::encodeResponse(y);
-                },
-                [&answers](std::size_t i, const wcnn::Error &error) {
-                    answers[i] = net::encodeError(error.kind(),
-                                                  bareMessage(error));
-                });
-            if (opts.coalesceFrames) {
-                for (const net::Bytes &frame : answers)
-                    out.insert(out.end(), frame.begin(),
-                               frame.end());
-            } else {
-                // Per-request baseline: one write(2) per response,
-                // like a server with no batching anywhere. Pongs and
-                // protocol errors flush first to keep wire order.
-                if (!out.empty()) {
-                    WCNN_FAILPOINT(
-                        "serve.write",
-                        throw ServeError("injected: serve.write"));
-                    stream.writeAll(out.data(), out.size());
-                    out.clear();
-                }
-                for (const net::Bytes &frame : answers) {
-                    WCNN_FAILPOINT(
-                        "serve.write",
-                        throw ServeError("injected: serve.write"));
-                    stream.writeAll(frame.data(), frame.size());
-                }
-            }
-        }
-
-        if (!out.empty()) {
-            WCNN_FAILPOINT("serve.write",
-                           throw ServeError("injected: serve.write"));
-            stream.writeAll(out.data(), out.size());
-        }
-        if (close_after_flush)
-            return;
-
-        // Refill: block for the next bytes.
-        std::size_t n = 0;
-        WCNN_FAILPOINT("serve.read",
-                       throw ServeError("injected: serve.read"));
-        const net::ReadStatus status =
-            stream.readSome(chunk, sizeof(chunk), n, kPollMs);
-        switch (status) {
-        case net::ReadStatus::Eof:
-            peer_gone = true;
-            break;
-        case net::ReadStatus::Timeout:
-            idle_ns += std::int64_t{kPollMs} * 1000000;
-            if (opts.idleTimeoutMs > 0 &&
-                idle_ns >= std::int64_t{opts.idleTimeoutMs} * 1000000)
-                return;
-            break;
-        case net::ReadStatus::Data:
-            idle_ns = 0;
-            buffer.insert(buffer.end(), chunk, chunk + n);
-            break;
-        }
-    }
-}
-
-void
-InferenceServer::handleJson(net::TcpStream &stream, std::string &buffer)
-{
-    std::uint8_t chunk[4096];
-    std::int64_t idle_ns = 0;
-    bool peer_gone = false;
-
-    while (!peer_gone && !stopping.load()) {
-        // Cut every complete line out of the buffer, then answer the
-        // batch of lines together (same coalescing as binary mode).
-        std::vector<numeric::Vector> requests;
-        std::vector<std::string> staged;
-        std::string out;
-        bool close_after_flush = false;
-
-        std::size_t newline = buffer.find('\n');
-        while (newline != std::string::npos && !close_after_flush) {
-            std::string line = buffer.substr(0, newline);
-            buffer.erase(0, newline + 1);
-            if (!line.empty() && line.back() == '\r')
-                line.pop_back();
-            if (line.empty()) {
-                newline = buffer.find('\n');
-                continue;
-            }
-            WCNN_FAILPOINT("serve.decode",
-                           throw ServeError("injected: serve.decode"));
-            try {
-                net::Frame frame = net::parseJsonLine(line);
-                if (frame.type == net::FrameType::Ping) {
-                    nPings.fetch_add(1);
-                    staged.push_back(net::formatJsonPong());
-                } else {
-                    staged.emplace_back(); // placeholder, filled below
-                    requests.push_back(std::move(frame.values));
-                }
-            } catch (const ProtocolError &error) {
-                nErrors.fetch_add(1);
-                WCNN_COUNTER_ADD("serve.protocol_errors", 1);
-                staged.push_back(net::formatJsonError(
-                    error.kind(), bareMessage(error)));
-                close_after_flush = true;
-            }
-            newline = buffer.find('\n');
-        }
-
-        if (!requests.empty()) {
-            std::vector<std::string> answers(requests.size());
-            answerRequests(
-                requests,
-                [&answers](std::size_t i, const numeric::Vector &y) {
-                    answers[i] = net::formatJsonResponse(y);
-                },
-                [&answers](std::size_t i, const wcnn::Error &error) {
-                    answers[i] = net::formatJsonError(error.kind(),
-                                                      bareMessage(error));
-                });
-            // Fill the placeholders in line order.
-            std::size_t next = 0;
-            for (std::string &slot : staged)
-                if (slot.empty())
-                    slot = std::move(answers[next++]);
-        }
-        if (opts.coalesceFrames) {
-            for (const std::string &line : staged)
-                out += line;
-        } else {
-            // Per-request baseline: one write(2) per line (see the
-            // matching branch in handleBinary).
-            for (const std::string &line : staged) {
-                if (line.empty())
-                    continue;
-                WCNN_FAILPOINT("serve.write",
-                               throw ServeError(
-                                   "injected: serve.write"));
-                stream.writeAll(line.data(), line.size());
-            }
-        }
-
-        if (!out.empty()) {
-            WCNN_FAILPOINT("serve.write",
-                           throw ServeError("injected: serve.write"));
-            stream.writeAll(out.data(), out.size());
-        }
-        if (close_after_flush)
-            return;
-
-        std::size_t n = 0;
-        WCNN_FAILPOINT("serve.read",
-                       throw ServeError("injected: serve.read"));
-        const net::ReadStatus status =
-            stream.readSome(chunk, sizeof(chunk), n, kPollMs);
-        switch (status) {
-        case net::ReadStatus::Eof:
-            peer_gone = true;
-            break;
-        case net::ReadStatus::Timeout:
-            idle_ns += std::int64_t{kPollMs} * 1000000;
-            if (opts.idleTimeoutMs > 0 &&
-                idle_ns >= std::int64_t{opts.idleTimeoutMs} * 1000000)
-                return;
-            break;
-        case net::ReadStatus::Data:
-            idle_ns = 0;
-            buffer.append(reinterpret_cast<char *>(chunk), n);
-            break;
-        }
     }
 }
 

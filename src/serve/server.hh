@@ -1,21 +1,28 @@
 /**
  * @file
- * InferenceServer: the serving subsystem assembled.
+ * InferenceServer: the thread-per-connection serving front end.
  *
- * Composition (one instance each):
+ * Composition (one instance each, shared pieces living in ServeCore):
  *
  *     TCP accept loop ──► connection threads ──► MicroBatcher ──► Mlp
  *            │                    │        ▲
  *            │                    ▼        │ (misses only)
  *       BundleRegistry      PredictionCache
  *
- * Request path: a connection thread decodes every complete frame it
- * has buffered, answers cache hits immediately, and submits the
- * misses as ONE group to the micro-batcher — so a client that
+ * Request path: a connection thread reads, feeds the bytes to its
+ * Session state machine (which decodes every complete frame, answers
+ * cache hits immediately, and submits the misses as ONE group to the
+ * micro-batcher), then writes the staged replies — so a client that
  * pipelines K requests gets them coalesced into one batched forward.
  * Responses are written back in request order regardless of how they
  * were computed (cache, batch) — the wire contract is per-request,
  * the batching is invisible except in throughput.
+ *
+ * This engine is the *reference implementation*: one blocking thread
+ * per connection, trivially correct, and the baseline the epoll
+ * EventServer is proven byte-identical against (engine.hh,
+ * tests/serve_equivalence_test.cc). Select it with
+ * `wcnn serve --engine threaded`.
  *
  * Fault tolerance:
  *  - Admission control, not backpressure-by-stalling: a full predict
@@ -42,79 +49,27 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
-#include <string>
 #include <thread>
 #include <vector>
 
-#include "core/error.hh"
-#include "serve/batcher.hh"
-#include "serve/cache.hh"
+#include "serve/engine.hh"
 #include "serve/net/socket.hh"
-#include "serve/registry.hh"
 
 namespace wcnn {
 namespace serve {
 
-/** Full server configuration. */
-struct ServeOptions
-{
-    /** Local address to bind. */
-    std::string host = "127.0.0.1";
-
-    /** Port to bind; 0 picks an ephemeral port (see port()). */
-    std::uint16_t port = 0;
-
-    /** listen(2) backlog. */
-    int backlog = 32;
-
-    /** Concurrent connection bound; the surplus is rejected typed. */
-    std::size_t maxConnections = 32;
-
-    /** Idle connection timeout; <= 0 disables. */
-    int idleTimeoutMs = 30000;
-
-    /**
-     * Whether a connection handler may coalesce the requests it has
-     * buffered into one batcher group and their responses into one
-     * write. False forces one group per request and one write(2) per
-     * response — a server with no batching anywhere in its path,
-     * the honest per-request baseline `wcnn bench-serve` and
-     * bench_serve compare micro-batching against.
-     */
-    bool coalesceFrames = true;
-
-    /** Micro-batching knobs. */
-    BatcherOptions batch;
-
-    /** Prediction cache knobs; capacity 0 disables caching. */
-    CacheOptions cache;
-};
-
 /**
- * Batched, cached, fault-tolerant TCP inference server.
+ * Batched, cached, fault-tolerant TCP inference server
+ * (thread-per-connection reference engine).
  */
-class InferenceServer
+class InferenceServer : public ServerEngine
 {
   public:
-    /** Wire-level counters (exact). */
-    struct Stats
-    {
-        /** Connections accepted and handled. */
-        std::uint64_t accepted = 0;
-        /** Connections rejected by the connection bound. */
-        std::uint64_t rejectedConnections = 0;
-        /** Predict requests answered (success or typed error). */
-        std::uint64_t requests = 0;
-        /** Requests answered with an error frame. */
-        std::uint64_t errors = 0;
-        /** Pings answered. */
-        std::uint64_t pings = 0;
-        /** Connections currently being served. */
-        std::size_t activeConnections = 0;
-    };
+    /** Wire-level counters (exact); kept as a nested alias because
+     *  the struct predates the engine split. */
+    using Stats = ServeStats;
 
     /**
      * Construct the serving stack (no socket yet; see start()). The
@@ -124,71 +79,27 @@ class InferenceServer
     explicit InferenceServer(ServeOptions options = {});
 
     /** stop()s. */
-    ~InferenceServer();
-
-    InferenceServer(const InferenceServer &) = delete;
-    InferenceServer &operator=(const InferenceServer &) = delete;
-
-    /**
-     * Atomically install a bundle and invalidate the prediction
-     * cache. Callable before start() and while serving (hot swap).
-     *
-     * @param bundle Loaded bundle.
-     * @return The new registry version.
-     */
-    std::uint64_t deploy(BundlePtr bundle);
-
-    /** Snapshot of the active bundle (null before the first deploy). */
-    BundlePtr active() const { return bundles.active(); }
-
-    /**
-     * In-process predict: cache lookup, then micro-batcher on a miss.
-     * Bit-identical to ModelBundle::predict on the active bundle.
-     *
-     * @throws NoModelError / BadRequest / Overloaded / ServeError.
-     */
-    numeric::Vector predict(const numeric::Vector &x);
-
-    /**
-     * In-process batched predict: answers cache hits directly and
-     * submits all misses as one group. Row i of the result always
-     * corresponds to row i of xs.
-     *
-     * @throws Like predict().
-     */
-    numeric::Matrix predictMany(const numeric::Matrix &xs);
+    ~InferenceServer() override;
 
     /**
      * Bind the listener and start accepting connections.
      *
      * @throws ServeError when the address cannot be bound.
      */
-    void start();
+    void start() override;
 
     /** Bound port; valid after start(). */
-    std::uint16_t port() const { return boundPort; }
+    std::uint16_t port() const override { return boundPort; }
 
     /** Whether start() succeeded and stop() has not run. */
-    bool running() const { return accepting.load(); }
+    bool running() const override { return accepting.load(); }
 
     /**
      * Graceful drain: stop accepting, let every connection finish its
      * buffered requests, join all threads, drain the batcher.
      * Idempotent.
      */
-    void stop();
-
-    /** Exact wire counters. */
-    Stats stats() const;
-
-    /** Micro-batcher counters. */
-    MicroBatcher::Stats batcherStats() const { return queue.stats(); }
-
-    /** Prediction cache counters. */
-    PredictionCache::Stats cacheStats() const { return cache.stats(); }
-
-    /** The configuration the server was built with. */
-    const ServeOptions &options() const { return opts; }
+    void stop() override;
 
   private:
     /** One live connection: its thread plus a completion flag. */
@@ -198,30 +109,13 @@ class InferenceServer
         std::atomic<bool> done{false};
     };
 
+    std::size_t activeConnections() const override;
+
     void acceptLoop();
     void handleConnection(net::TcpStream stream);
-    void handleBinary(net::TcpStream &stream, std::vector<std::uint8_t> &buffer);
-    void handleJson(net::TcpStream &stream, std::string &buffer);
-
-    /**
-     * Answer a coalesced span of request vectors: cache hits inline,
-     * misses as one batcher group. Returns per-request results or
-     * per-request typed errors via the callbacks, in request order.
-     */
-    void answerRequests(
-        const std::vector<numeric::Vector> &requests,
-        const std::function<void(std::size_t, const numeric::Vector &)>
-            &on_result,
-        const std::function<void(std::size_t, const wcnn::Error &)>
-            &on_error);
 
     /** Join and erase finished connection threads. */
     void reapConnections();
-
-    const ServeOptions opts;
-    BundleRegistry bundles;
-    PredictionCache cache;
-    MicroBatcher queue;
 
     std::unique_ptr<net::TcpListener> listener;
     std::uint16_t boundPort = 0;
@@ -231,12 +125,6 @@ class InferenceServer
 
     mutable std::mutex connMutex;
     std::vector<std::unique_ptr<Connection>> connections;
-
-    std::atomic<std::uint64_t> nAccepted{0};
-    std::atomic<std::uint64_t> nRejected{0};
-    std::atomic<std::uint64_t> nRequests{0};
-    std::atomic<std::uint64_t> nErrors{0};
-    std::atomic<std::uint64_t> nPings{0};
 };
 
 } // namespace serve

@@ -1,0 +1,276 @@
+#include "session.hh"
+
+#include <utility>
+
+#include "core/contracts.hh"
+#include "core/failpoint.hh"
+#include "serve/error.hh"
+
+namespace wcnn {
+namespace serve {
+
+namespace {
+
+net::Bytes
+toBytes(const std::string &s)
+{
+    return net::Bytes(s.begin(), s.end());
+}
+
+} // namespace
+
+Session::Session(ServeCore &serve_core, bool coalesce_frames,
+                 std::function<void()> on_ready)
+    : core(serve_core), coalesce(coalesce_frames),
+      onReady(std::move(on_ready))
+{
+}
+
+Session::Verdict
+Session::consume(const std::uint8_t *data, std::size_t n)
+{
+    if (mode == Mode::Detect) {
+        if (n == 0)
+            return Verdict::Continue;
+        // Mode detection: the first byte a connection sends. '{'
+        // selects JSON lines, anything else must open a binary frame.
+        mode = net::looksLikeJson(data[0]) ? Mode::Json : Mode::Binary;
+    }
+    if (mode == Mode::Json) {
+        rxText.append(reinterpret_cast<const char *>(data), n);
+        return processJson();
+    }
+    rx.insert(rx.end(), data, data + n);
+    return processBinary();
+}
+
+Session::Verdict
+Session::processBinary()
+{
+    // Decode every complete frame currently buffered; consecutive
+    // requests coalesce into one micro-batch group. Replies are
+    // staged per frame, in arrival order — a request's outbox slot
+    // stays pending until its prediction resolves, and nothing
+    // staged after it can be emitted before it (collect()).
+    std::vector<numeric::Vector> requests;
+    std::vector<std::uint64_t> seqs;
+    bool close_after_flush = false;
+
+    while (!close_after_flush) {
+        WCNN_FAILPOINT("serve.decode",
+                       throw ServeError("injected: serve.decode"));
+        net::DecodeResult r = net::tryDecode(rx.data(), rx.size());
+        if (r.status == net::DecodeStatus::NeedMore)
+            break;
+        if (r.status == net::DecodeStatus::Malformed) {
+            stageDone(net::encodeError("serve.protocol", r.error));
+            core.noteProtocolError();
+            close_after_flush = true;
+            break;
+        }
+        rx.erase(rx.begin(),
+                 rx.begin() + static_cast<std::ptrdiff_t>(r.consumed));
+        switch (r.frame.type) {
+        case net::FrameType::Request:
+            seqs.push_back(baseSeq + outbox.size());
+            outbox.emplace_back(); // pending reply slot
+            requests.push_back(std::move(r.frame.values));
+            break;
+        case net::FrameType::Ping:
+            core.notePing();
+            stageDone(net::encodePong());
+            break;
+        default:
+            // Clients must not send server-side frame types.
+            stageDone(net::encodeError(
+                "serve.protocol", "unexpected frame type from client"));
+            core.noteFrameError();
+            close_after_flush = true;
+            break;
+        }
+    }
+
+    if (!requests.empty())
+        submitRequests(requests, std::move(seqs), /*json=*/false);
+
+    return close_after_flush ? Verdict::CloseAfterFlush
+                             : Verdict::Continue;
+}
+
+Session::Verdict
+Session::processJson()
+{
+    // Cut every complete line out of the buffer, then answer the
+    // batch of lines together (same coalescing as binary mode).
+    std::vector<numeric::Vector> requests;
+    std::vector<std::uint64_t> seqs;
+    bool close_after_flush = false;
+
+    std::size_t newline = rxText.find('\n');
+    while (newline != std::string::npos && !close_after_flush) {
+        std::string line = rxText.substr(0, newline);
+        rxText.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty()) {
+            newline = rxText.find('\n');
+            continue;
+        }
+        WCNN_FAILPOINT("serve.decode",
+                       throw ServeError("injected: serve.decode"));
+        try {
+            net::Frame frame = net::parseJsonLine(line);
+            if (frame.type == net::FrameType::Ping) {
+                core.notePing();
+                stageDone(toBytes(net::formatJsonPong()));
+            } else {
+                seqs.push_back(baseSeq + outbox.size());
+                outbox.emplace_back(); // pending reply slot
+                requests.push_back(std::move(frame.values));
+            }
+        } catch (const ProtocolError &error) {
+            core.noteProtocolError();
+            stageDone(toBytes(net::formatJsonError(
+                error.kind(), bareErrorMessage(error))));
+            close_after_flush = true;
+        }
+        newline = rxText.find('\n');
+    }
+
+    if (!requests.empty())
+        submitRequests(requests, std::move(seqs), /*json=*/true);
+
+    return close_after_flush ? Verdict::CloseAfterFlush
+                             : Verdict::Continue;
+}
+
+void
+Session::stageDone(net::Bytes bytes)
+{
+    Entry entry;
+    entry.bytes = std::move(bytes);
+    entry.done = true;
+    outbox.push_back(std::move(entry));
+}
+
+Session::Entry &
+Session::entryAt(std::uint64_t seq)
+{
+    WCNN_REQUIRE(seq >= baseSeq &&
+                     seq - baseSeq < outbox.size(),
+                 "reply slot already emitted or never staged");
+    return outbox[static_cast<std::size_t>(seq - baseSeq)];
+}
+
+void
+Session::fulfil(std::uint64_t seq, net::Bytes bytes)
+{
+    Entry &entry = entryAt(seq);
+    entry.bytes = std::move(bytes);
+    entry.done = true;
+}
+
+void
+Session::submitRequests(const std::vector<numeric::Vector> &requests,
+                        std::vector<std::uint64_t> seqs, bool json)
+{
+    // Inline answers (validation failures, cache hits, admission
+    // rejections) land in their slots before this returns; misses
+    // come back later through finish().
+    const auto on_result = [this, &seqs,
+                            json](std::size_t i,
+                                  const numeric::Vector &y) {
+        fulfil(seqs[i], json ? toBytes(net::formatJsonResponse(y))
+                             : net::encodeResponse(y));
+    };
+    const auto on_error = [this, &seqs,
+                           json](std::size_t i,
+                                 const wcnn::Error &error) {
+        fulfil(seqs[i],
+               json ? toBytes(net::formatJsonError(
+                          error.kind(), bareErrorMessage(error)))
+                    : net::encodeError(error.kind(),
+                                       bareErrorMessage(error)));
+    };
+    std::vector<ServeCore::PendingGroup> groups =
+        core.answerRequestsAsync(requests, on_result, on_error,
+                                 onReady);
+    for (ServeCore::PendingGroup &group : groups) {
+        Pending p;
+        p.group = std::move(group);
+        p.seqs = seqs;
+        p.json = json;
+        pending.push_back(std::move(p));
+    }
+}
+
+void
+Session::finish(Pending &p)
+{
+    // Rebuild the slot-addressed callbacks: rows land in the outbox
+    // entries reserved at decode time, so arrival order is preserved
+    // no matter when (or in what order) groups resolve.
+    const std::vector<std::uint64_t> &seqs = p.seqs;
+    const bool json = p.json;
+    core.finishGroup(
+        p.group,
+        [this, &seqs, json](std::size_t i, const numeric::Vector &y) {
+            fulfil(seqs[i], json ? toBytes(net::formatJsonResponse(y))
+                                 : net::encodeResponse(y));
+        },
+        [this, &seqs, json](std::size_t i, const wcnn::Error &error) {
+            fulfil(seqs[i],
+                   json ? toBytes(net::formatJsonError(
+                              error.kind(), bareErrorMessage(error)))
+                        : net::encodeError(error.kind(),
+                                           bareErrorMessage(error)));
+        });
+}
+
+void
+Session::collect(bool block, std::vector<net::Bytes> &writes)
+{
+    // Resolve what has resolved (everything, when blocking). Groups
+    // resolve in dispatcher FIFO order, but nothing here relies on
+    // that: rows are slot-addressed.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (block || pending[i].group.ready()) {
+            finish(pending[i]);
+        } else {
+            if (kept != i)
+                pending[kept] = std::move(pending[i]);
+            ++kept;
+        }
+    }
+    pending.resize(kept);
+    emit(writes);
+}
+
+void
+Session::emit(std::vector<net::Bytes> &writes)
+{
+    if (coalesce) {
+        net::Bytes out;
+        while (!outbox.empty() && outbox.front().done) {
+            out.insert(out.end(), outbox.front().bytes.begin(),
+                       outbox.front().bytes.end());
+            outbox.pop_front();
+            ++baseSeq;
+        }
+        if (!out.empty())
+            writes.push_back(std::move(out));
+    } else {
+        // Per-request baseline: one write(2) per reply frame, like a
+        // server with no batching anywhere.
+        while (!outbox.empty() && outbox.front().done) {
+            if (!outbox.front().bytes.empty())
+                writes.push_back(std::move(outbox.front().bytes));
+            outbox.pop_front();
+            ++baseSeq;
+        }
+    }
+}
+
+} // namespace serve
+} // namespace wcnn

@@ -1,16 +1,25 @@
 /**
  * @file
- * Fault injection against the inference server. The serving contract
- * under chaos — pinned here — is blast-radius containment: a fault at
- * any WCNN_FAILPOINT site (serve.accept / serve.read / serve.decode /
- * serve.predict / serve.write) costs at most the affected request or
- * connection; the server keeps accepting, later connections are
- * served exactly, and stop() still drains gracefully. A randomized
- * multi-site sweep hammers the server through all sites at once and
- * then proves full recovery after the faults are disarmed.
+ * Fault injection against the inference server — BOTH engines. The
+ * serving contract under chaos — pinned here — is blast-radius
+ * containment: a fault at any WCNN_FAILPOINT site (serve.accept /
+ * serve.read / serve.decode / serve.predict / serve.write) costs at
+ * most the affected request or connection; the server keeps
+ * accepting, later connections are served exactly, and stop() still
+ * drains gracefully. A randomized multi-site sweep hammers the server
+ * through all sites at once and then proves full recovery after the
+ * faults are disarmed.
  *
- * Scenarios need library-side injection sites, so everything skips
- * when the serve library was built with WCNN_NO_FAILPOINTS.
+ * Every scenario runs parametrized over {threaded, epoll}: the
+ * containment contract is engine-independent, and for the epoll
+ * engine it sharpens into "one poisoned connection never kills its
+ * shard loop" — a shard multiplexes many connections onto one
+ * thread, so a leaked exception there would take innocent
+ * connections down with it. The shards=1 scenarios force every
+ * connection onto the same loop to make that exact mistake fatal.
+ *
+ * Failpoint scenarios need library-side injection sites, so they
+ * skip when the serve library was built with WCNN_NO_FAILPOINTS.
  */
 
 #include <gtest/gtest.h>
@@ -26,9 +35,9 @@
 #include "nn/mlp.hh"
 #include "numeric/rng.hh"
 #include "serve/bundle.hh"
+#include "serve/engine.hh"
 #include "serve/error.hh"
 #include "serve/net/client.hh"
-#include "serve/server.hh"
 
 namespace fp = wcnn::core::failpoint;
 namespace net = wcnn::serve::net;
@@ -41,19 +50,27 @@ using wcnn::nn::Mlp;
 using wcnn::numeric::Rng;
 using wcnn::numeric::Vector;
 using wcnn::serve::BundlePtr;
-using wcnn::serve::InferenceServer;
+using wcnn::serve::EngineKind;
+using wcnn::serve::makeServer;
 using wcnn::serve::ModelBundle;
 using wcnn::serve::ServeError;
+using wcnn::serve::ServeOptions;
+using wcnn::serve::ServerEngine;
 
 namespace {
 
 constexpr const char *kHost = "127.0.0.1";
 
-class ChaosServeTest : public ::testing::Test
+class ChaosServeTest : public ::testing::TestWithParam<EngineKind>
 {
   protected:
     void SetUp() override { fp::reset(); }
     void TearDown() override { fp::reset(); }
+
+    std::unique_ptr<ServerEngine> makeEngine(ServeOptions opts = {})
+    {
+        return makeServer(GetParam(), std::move(opts));
+    }
 };
 
 // GTEST_SKIP() only returns from the enclosing function, so the guard
@@ -82,7 +99,7 @@ const Vector kX{1.0, -0.5, 2.0};
 
 /** A fresh connection must answer exactly (post-fault recovery). */
 void
-expectServesExactly(InferenceServer &server, const BundlePtr &bundle)
+expectServesExactly(ServerEngine &server, const BundlePtr &bundle)
 {
     net::ServeClient client =
         net::ServeClient::connect(kHost, server.port());
@@ -95,16 +112,16 @@ expectServesExactly(InferenceServer &server, const BundlePtr &bundle)
 
 } // namespace
 
-TEST_F(ChaosServeTest, PredictFaultAnswersTypedAndConnectionSurvives)
+TEST_P(ChaosServeTest, PredictFaultAnswersTypedAndConnectionSurvives)
 {
     REQUIRE_LIBRARY_FAILPOINTS();
     const BundlePtr bundle = makeBundle();
-    InferenceServer server;
-    server.deploy(bundle);
-    server.start();
+    auto server = makeEngine();
+    server->deploy(bundle);
+    server->start();
 
     net::ServeClient client =
-        net::ServeClient::connect(kHost, server.port());
+        net::ServeClient::connect(kHost, server->port());
     fp::armFromSpec("serve.predict=nth:2");
     // Distinct inputs: a repeated input would be a cache hit and
     // never reach the batcher (and so never hit the failpoint).
@@ -119,23 +136,22 @@ TEST_F(ChaosServeTest, PredictFaultAnswersTypedAndConnectionSurvives)
     for (std::size_t j = 0; j < want.size(); ++j)
         EXPECT_EQ(got[j], want[j]);
     EXPECT_EQ(fp::fires("serve.predict"), 1u);
-    server.stop();
+    server->stop();
 }
 
-TEST_F(ChaosServeTest, ReadFaultCostsOnlyThatConnection)
+TEST_P(ChaosServeTest, ReadFaultCostsOnlyThatConnection)
 {
     REQUIRE_LIBRARY_FAILPOINTS();
     const BundlePtr bundle = makeBundle();
-    InferenceServer server;
-    server.deploy(bundle);
-    server.start();
+    auto server = makeEngine();
+    server->deploy(bundle);
+    server->start();
 
     fp::armFromSpec("serve.read=nth:1");
     net::ServeClient client =
-        net::ServeClient::connect(kHost, server.port());
-    // The injected read fault kills the connection at the first
-    // refill; depending on arrival the first predict may still be
-    // answered, but within two calls the client must see a transport
+        net::ServeClient::connect(kHost, server->port());
+    // The injected read fault kills the connection at the first read
+    // attempt; within two calls the client must see a transport
     // failure.
     bool faulted = false;
     for (int i = 0; i < 2 && !faulted; ++i) {
@@ -149,76 +165,156 @@ TEST_F(ChaosServeTest, ReadFaultCostsOnlyThatConnection)
     EXPECT_EQ(fp::fires("serve.read"), 1u);
 
     fp::reset();
-    expectServesExactly(server, bundle); // the server survived
-    server.stop();
+    expectServesExactly(*server, bundle); // the server survived
+    server->stop();
 }
 
-TEST_F(ChaosServeTest, DecodeFaultCostsOnlyThatConnection)
+TEST_P(ChaosServeTest, DecodeFaultCostsOnlyThatConnection)
 {
     REQUIRE_LIBRARY_FAILPOINTS();
     const BundlePtr bundle = makeBundle();
-    InferenceServer server;
-    server.deploy(bundle);
-    server.start();
+    auto server = makeEngine();
+    server->deploy(bundle);
+    server->start();
 
     fp::armFromSpec("serve.decode=nth:1");
     net::ServeClient client =
-        net::ServeClient::connect(kHost, server.port());
+        net::ServeClient::connect(kHost, server->port());
     EXPECT_THROW((void)client.predict(kX), ServeError);
 
     fp::reset();
-    expectServesExactly(server, bundle);
-    server.stop();
+    expectServesExactly(*server, bundle);
+    server->stop();
 }
 
-TEST_F(ChaosServeTest, WriteFaultCostsOnlyThatConnection)
+TEST_P(ChaosServeTest, WriteFaultCostsOnlyThatConnection)
 {
     REQUIRE_LIBRARY_FAILPOINTS();
     const BundlePtr bundle = makeBundle();
-    InferenceServer server;
-    server.deploy(bundle);
-    server.start();
+    auto server = makeEngine();
+    server->deploy(bundle);
+    server->start();
 
     fp::armFromSpec("serve.write=nth:1");
     net::ServeClient client =
-        net::ServeClient::connect(kHost, server.port());
+        net::ServeClient::connect(kHost, server->port());
     // The answer is computed but its write faults: the client sees
     // the connection die, never a wrong result.
     EXPECT_THROW((void)client.predict(kX), ServeError);
 
     fp::reset();
-    expectServesExactly(server, bundle);
-    server.stop();
+    expectServesExactly(*server, bundle);
+    server->stop();
 }
 
-TEST_F(ChaosServeTest, AcceptFaultDropsOneConnectionThenRecovers)
+TEST_P(ChaosServeTest, AcceptFaultDropsOneConnectionThenRecovers)
 {
     REQUIRE_LIBRARY_FAILPOINTS();
     const BundlePtr bundle = makeBundle();
-    InferenceServer server;
-    server.deploy(bundle);
-    server.start();
+    auto server = makeEngine();
+    server->deploy(bundle);
+    server->start();
 
     fp::armFromSpec("serve.accept=nth:1");
     net::ServeClient dropped =
-        net::ServeClient::connect(kHost, server.port());
+        net::ServeClient::connect(kHost, server->port());
     EXPECT_THROW((void)dropped.predict(kX), ServeError);
     EXPECT_EQ(fp::fires("serve.accept"), 1u);
 
     // nth:1 is exhausted: the very next connection is served.
-    expectServesExactly(server, bundle);
-    server.stop();
+    expectServesExactly(*server, bundle);
+    server->stop();
 }
 
-TEST_F(ChaosServeTest, MultiSiteChaosSweepNeverKillsTheServer)
+/**
+ * The epoll sharpening of blast-radius containment: with every
+ * connection forced onto ONE shard loop, a peer that sends wire
+ * garbage gets its typed protocol error and its close — while the
+ * other connections multiplexed on the very same loop thread keep
+ * being served exactly. (Threaded engine: trivially true, one thread
+ * per connection — kept in the matrix as the reference behavior.)
+ */
+TEST_P(ChaosServeTest, PoisonedConnectionNeverKillsItsShardLoop)
+{
+    const BundlePtr bundle = makeBundle();
+    ServeOptions opts;
+    opts.shards = 1;
+    auto server = makeEngine(opts);
+    server->deploy(bundle);
+    server->start();
+
+    // Three bystanders sharing the poisoned connection's shard.
+    std::vector<net::ServeClient> bystanders;
+    for (int i = 0; i < 3; ++i)
+        bystanders.push_back(
+            net::ServeClient::connect(kHost, server->port()));
+
+    net::ServeClient poisoned =
+        net::ServeClient::connect(kHost, server->port());
+    const char garbage[] = "\xde\xad\xbe\xef not a frame";
+    poisoned.rawSend(garbage, sizeof(garbage) - 1);
+    // The poisoned peer gets a typed protocol error, then the close.
+    const net::Frame answer = poisoned.readFrame();
+    EXPECT_EQ(answer.type, net::FrameType::Error);
+    EXPECT_EQ(answer.errorKind, "serve.protocol");
+    EXPECT_THROW((void)poisoned.readFrame(), ServeError);
+
+    // Every bystander on the same shard still gets exact answers.
+    for (net::ServeClient &client : bystanders) {
+        const Vector got = client.predict(kX);
+        const Vector want = bundle->predict(kX);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t j = 0; j < want.size(); ++j)
+            EXPECT_EQ(got[j], want[j]);
+    }
+    EXPECT_GE(server->stats().errors, 1u);
+    server->stop();
+}
+
+/** Same single-shard setup, but the poison is an injected decode
+ *  fault instead of wire garbage. */
+TEST_P(ChaosServeTest, DecodePoisonLeavesShardServingBystanders)
 {
     REQUIRE_LIBRARY_FAILPOINTS();
     const BundlePtr bundle = makeBundle();
-    wcnn::serve::ServeOptions opts;
+    ServeOptions opts;
+    opts.shards = 1;
+    auto server = makeEngine(opts);
+    server->deploy(bundle);
+    server->start();
+
+    net::ServeClient bystander =
+        net::ServeClient::connect(kHost, server->port());
+    // Warm the bystander so its connection is fully established and
+    // mode-detected before the fault arms.
+    (void)bystander.predict(kX);
+
+    fp::armFromSpec("serve.decode=nth:1");
+    net::ServeClient poisoned =
+        net::ServeClient::connect(kHost, server->port());
+    EXPECT_THROW((void)poisoned.predict(kX), ServeError);
+    EXPECT_EQ(fp::fires("serve.decode"), 1u);
+    fp::reset();
+
+    // The bystander's shard loop survived its neighbour's fault.
+    const Vector probe{0.25, 0.5, -0.75};
+    const Vector got = bystander.predict(probe);
+    const Vector want = bundle->predict(probe);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t j = 0; j < want.size(); ++j)
+        EXPECT_EQ(got[j], want[j]);
+    server->stop();
+}
+
+TEST_P(ChaosServeTest, MultiSiteChaosSweepNeverKillsTheServer)
+{
+    REQUIRE_LIBRARY_FAILPOINTS();
+    const BundlePtr bundle = makeBundle();
+    ServeOptions opts;
     opts.cache.capacity = 128;
-    InferenceServer server(opts);
-    server.deploy(bundle);
-    server.start();
+    auto server = makeEngine(opts);
+    server->deploy(bundle);
+    server->start();
 
     // Every site at once, seeded probabilistic triggers (replayable).
     fp::armFromSpec("serve.accept=prob:0.05:11;"
@@ -242,8 +338,8 @@ TEST_F(ChaosServeTest, MultiSiteChaosSweepNeverKillsTheServer)
                 try {
                     if (!client)
                         client = std::make_unique<net::ServeClient>(
-                            net::ServeClient::connect(kHost,
-                                                      server.port()));
+                            net::ServeClient::connect(
+                                kHost, server->port()));
                     const Vector got = client->predict(x);
                     const Vector want = bundle->predict(x);
                     if (got.size() != want.size()) {
@@ -282,7 +378,14 @@ TEST_F(ChaosServeTest, MultiSiteChaosSweepNeverKillsTheServer)
 
     // Full recovery once disarmed, then a graceful drain.
     fp::reset();
-    expectServesExactly(server, bundle);
-    server.stop();
-    EXPECT_FALSE(server.running());
+    expectServesExactly(*server, bundle);
+    server->stop();
+    EXPECT_FALSE(server->running());
 }
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, ChaosServeTest,
+    ::testing::Values(EngineKind::Threaded, EngineKind::Epoll),
+    [](const ::testing::TestParamInfo<EngineKind> &info) {
+        return std::string(wcnn::serve::engineName(info.param));
+    });

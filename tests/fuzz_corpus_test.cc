@@ -22,6 +22,8 @@
 #include "core/error.hh"
 #include "data/csv.hh"
 #include "nn/serialize.hh"
+#include "serve/error.hh"
+#include "serve/net/protocol.hh"
 
 #ifndef WCNN_CORPUS_DIR
 #error "build must define WCNN_CORPUS_DIR (see tests/CMakeLists.txt)"
@@ -59,6 +61,46 @@ const char *const kModelCorpus[] = {
     "model_negative_dim.txt",
 };
 
+/**
+ * Hostile wire bytes for the serving decoder, categorized by the
+ * typed outcome the connection handler owes them. tryDecode never
+ * throws on wire content; the final status after consuming every
+ * complete frame is the whole contract.
+ */
+struct WireCase
+{
+    const char *name;
+
+    /** Complete frames decodable before the fault. */
+    std::size_t leadingFrames;
+
+    /** Status the decoder must settle on after those frames. */
+    wcnn::serve::net::DecodeStatus finalStatus;
+};
+
+const WireCase kWireCorpus[] = {
+    // Truncated streams: a valid prefix that never completes. At
+    // EOF the handler treats NeedMore as a dead peer, not garbage.
+    {"wire_truncated_length_prefix.bin", 0,
+     wcnn::serve::net::DecodeStatus::NeedMore},
+    {"wire_truncated_mid_body.bin", 0,
+     wcnn::serve::net::DecodeStatus::NeedMore},
+    // Lying lengths and mid-stream garbage: typed error, close.
+    {"wire_request_zero_declared_length.bin", 0,
+     wcnn::serve::net::DecodeStatus::Malformed},
+    {"wire_garbage_between_frames.bin", 1,
+     wcnn::serve::net::DecodeStatus::Malformed},
+    {"wire_second_frame_bad_magic.bin", 1,
+     wcnn::serve::net::DecodeStatus::Malformed},
+};
+
+/** JSON request lines that must raise a typed ProtocolError. */
+const char *const kJsonWireCorpus[] = {
+    "wire_json_embedded_nul.bin",
+    "wire_json_unterminated_string.bin",
+    "wire_json_bare_array.bin",
+};
+
 } // namespace
 
 TEST(FuzzCorpus, EveryMalformedCsvRaisesATypedIoError)
@@ -91,6 +133,56 @@ TEST(FuzzCorpus, EveryMalformedModelRaisesATypedIoError)
         } catch (const wcnn::ContractViolation &e) {
             ADD_FAILURE() << name << ": contract abort instead of "
                           << "IoError: " << e.what();
+        }
+    }
+}
+
+TEST(FuzzCorpus, EveryHostileWireStreamSettlesOnItsTypedStatus)
+{
+    namespace net = wcnn::serve::net;
+    for (const WireCase &wire : kWireCorpus) {
+        const std::string raw = slurp(wire.name);
+        const auto *data =
+            reinterpret_cast<const std::uint8_t *>(raw.data());
+        std::size_t off = 0;
+        std::size_t frames = 0;
+        net::DecodeStatus status = net::DecodeStatus::NeedMore;
+        // Decode exactly the way a connection handler does: consume
+        // complete frames until the stream is exhausted or faulted.
+        while (off < raw.size()) {
+            const net::DecodeResult r =
+                net::tryDecode(data + off, raw.size() - off);
+            status = r.status;
+            if (r.status != net::DecodeStatus::Frame)
+                break;
+            ++frames;
+            off += r.consumed;
+        }
+        EXPECT_EQ(frames, wire.leadingFrames) << wire.name;
+        EXPECT_EQ(status, wire.finalStatus) << wire.name;
+        if (wire.finalStatus == net::DecodeStatus::Malformed) {
+            const net::DecodeResult r =
+                net::tryDecode(data + off, raw.size() - off);
+            EXPECT_FALSE(r.error.empty())
+                << wire.name << ": malformed verdict needs a reason";
+        }
+    }
+}
+
+TEST(FuzzCorpus, EveryHostileJsonLineRaisesATypedProtocolError)
+{
+    namespace net = wcnn::serve::net;
+    for (const char *name : kJsonWireCorpus) {
+        const std::string line = slurp(name);
+        try {
+            (void)net::parseJsonLine(line);
+            ADD_FAILURE() << name << ": parser accepted hostile JSON";
+        } catch (const wcnn::serve::ProtocolError &e) {
+            EXPECT_EQ(std::string(e.kind()), "serve.protocol") << name;
+            EXPECT_FALSE(std::string(e.what()).empty()) << name;
+        } catch (const wcnn::ContractViolation &e) {
+            ADD_FAILURE() << name << ": contract abort instead of "
+                          << "ProtocolError: " << e.what();
         }
     }
 }

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the epoll Reactor and the TimerWheel — the two
+ * pieces of src/serve/net/reactor.hh the EventServer trusts blindly
+ * from its shard loops. The wheel tests drive time by hand (the
+ * wheel never reads a clock; callers pass now_ns), which makes the
+ * nastiest case deterministic: SubTickSurvivorIsNotLostForARotation
+ * pins a real bug where an entry due later within the tick being
+ * swept stayed in a slot the cursor had just passed and was silently
+ * parked for a full rotation (~51 s at serving configuration — long
+ * past any idle timeout).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "serve/net/reactor.hh"
+
+using wcnn::serve::net::Reactor;
+using wcnn::serve::net::TimerWheel;
+
+namespace {
+
+std::vector<int>
+collectAt(TimerWheel &wheel, std::int64_t now_ns)
+{
+    std::vector<int> due;
+    wheel.collect(now_ns, due);
+    return due;
+}
+
+} // namespace
+
+TEST(TimerWheelTest, FiresAtTheDeadlineNotBefore)
+{
+    TimerWheel wheel(/*tick_ns=*/100, /*slot_count=*/8,
+                     /*now_ns=*/0);
+    wheel.schedule(7, 250);
+    EXPECT_TRUE(collectAt(wheel, 100).empty());
+    EXPECT_TRUE(collectAt(wheel, 249).empty());
+    // Never early; at most one tick late (the 249 sweep re-bucketed
+    // the sub-tick survivor into the next tick's slot).
+    const std::vector<int> due = collectAt(wheel, 310);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], 7);
+    // Fired entries are gone; nothing refires.
+    EXPECT_TRUE(collectAt(wheel, 2000).empty());
+}
+
+TEST(TimerWheelTest, PastDeadlineFiresOnTheNextCollect)
+{
+    TimerWheel wheel(100, 8, /*now_ns=*/1000);
+    wheel.schedule(3, 400); // already overdue at construction
+    const std::vector<int> due = collectAt(wheel, 1000);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], 3);
+}
+
+/** The regression: a deadline later within the tick being swept must
+ *  survive INTO A FUTURE SWEEP, not stay behind the cursor. */
+TEST(TimerWheelTest, SubTickSurvivorIsNotLostForARotation)
+{
+    TimerWheel wheel(100, 8, 0);
+    wheel.schedule(42, 150);
+    // Sweep mid-tick: tick 1 is visited at now=120, but the entry is
+    // due at 150 — not yet. The broken wheel kept it in slot 1 while
+    // the cursor advanced to tick 2, losing it until tick 9.
+    EXPECT_TRUE(collectAt(wheel, 120).empty());
+    const std::vector<int> due = collectAt(wheel, 230);
+    ASSERT_EQ(due.size(), 1u) << "survivor was parked behind the cursor";
+    EXPECT_EQ(due[0], 42);
+}
+
+TEST(TimerWheelTest, LazyReArmBehindTheCursorStillFires)
+{
+    TimerWheel wheel(100, 8, 0);
+    // The EventServer's idle handling re-arms lazily: on fire, a
+    // refreshed deadline is rescheduled, and that deadline's natural
+    // tick can already be behind the sweep cursor.
+    wheel.schedule(5, 100);
+    std::vector<int> due = collectAt(wheel, 450);
+    ASSERT_EQ(due.size(), 1u);
+    wheel.schedule(5, 420); // behind cursorTick: clamps forward
+    due = collectAt(wheel, 560);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], 5);
+}
+
+TEST(TimerWheelTest, SweepLongerThanOneRotationVisitsEverySlot)
+{
+    TimerWheel wheel(100, 4, 0); // rotation = 400 ns
+    wheel.schedule(1, 150);
+    wheel.schedule(2, 250);
+    wheel.schedule(3, 1150); // a later rotation of slot 3
+    // One giant gap (a stalled loop) must still fire everything due.
+    std::vector<int> due = collectAt(wheel, 5000);
+    std::sort(due.begin(), due.end());
+    ASSERT_EQ(due.size(), 3u);
+    EXPECT_EQ(due[0], 1);
+    EXPECT_EQ(due[1], 2);
+    EXPECT_EQ(due[2], 3);
+}
+
+TEST(TimerWheelTest, DistantDeadlineWaitsItsRotations)
+{
+    TimerWheel wheel(100, 4, 0);
+    wheel.schedule(9, 950); // more than two rotations out
+    EXPECT_TRUE(collectAt(wheel, 120).empty());
+    EXPECT_TRUE(collectAt(wheel, 520).empty());
+    EXPECT_TRUE(collectAt(wheel, 900).empty());
+    // The 900 sweep re-bucketed the survivor one tick forward:
+    // never early, at most one tick late.
+    const std::vector<int> due = collectAt(wheel, 1050);
+    ASSERT_EQ(due.size(), 1u);
+    EXPECT_EQ(due[0], 9);
+}
+
+TEST(ReactorTest, WaitTimesOutEmptyWithNothingRegistered)
+{
+    Reactor reactor;
+    std::vector<Reactor::Event> events;
+    reactor.wait(events, 10);
+    EXPECT_TRUE(events.empty());
+}
+
+TEST(ReactorTest, WakeupInterruptsWaitWithoutAnEvent)
+{
+    Reactor reactor;
+    std::thread waker([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        reactor.wakeup();
+    });
+    std::vector<Reactor::Event> events;
+    // Far below the 5 s timeout: only the wakeup can end the wait
+    // this fast, and the wakeup descriptor itself is filtered out.
+    reactor.wait(events, 5000);
+    EXPECT_TRUE(events.empty());
+    waker.join();
+}
+
+TEST(ReactorTest, CoalescedWakeupsNeverBlockTheNextWait)
+{
+    Reactor reactor;
+    for (int i = 0; i < 3; ++i)
+        reactor.wakeup();
+    std::vector<Reactor::Event> events;
+    reactor.wait(events, 1000); // drains the counter, returns
+    EXPECT_TRUE(events.empty());
+    // The counter was fully drained: this wait must time out idle
+    // rather than spin on a stale wakeup.
+    reactor.wait(events, 10);
+    EXPECT_TRUE(events.empty());
+}

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * The serving equivalence gate: epoll engine vs threaded reference.
+ *
+ * The repo's discipline for fast paths is "admitted only through an
+ * equivalence gate" (kernel_equivalence_test pins the SIMD kernels to
+ * the reference kernels bit-for-bit). This suite is the serving
+ * counterpart: the epoll EventServer earns its place by producing
+ * BYTE-IDENTICAL response streams to the thread-per-connection
+ * InferenceServer on the same scripted traffic — binary framing and
+ * JSON lines, pipelined bursts under different TCP fragmentations,
+ * typed per-request errors, wire garbage, connection-limit
+ * rejections, and hot swap under load. Where hard byte-identity
+ * would require fixing TCP segmentation itself (queue-overload
+ * timing), the suite pins the ordering *semantics* instead: every
+ * request gets an in-order typed outcome on both engines.
+ *
+ * The scripted clients write raw protocol bytes, half-close, and
+ * slurp the response stream to EOF — no client-library smarts hide a
+ * server-side difference. Identical per-client streams across
+ * engines (and across chunkings of the same frames) is the whole
+ * assertion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/standardizer.hh"
+#include "nn/mlp.hh"
+#include "numeric/rng.hh"
+#include "serve/bundle.hh"
+#include "serve/engine.hh"
+#include "serve/error.hh"
+#include "serve/net/client.hh"
+#include "serve/net/protocol.hh"
+#include "serve/net/socket.hh"
+
+namespace net = wcnn::serve::net;
+
+using wcnn::data::Standardizer;
+using wcnn::nn::Activation;
+using wcnn::nn::InitRule;
+using wcnn::nn::LayerSpec;
+using wcnn::nn::Mlp;
+using wcnn::numeric::Rng;
+using wcnn::numeric::Vector;
+using wcnn::serve::BundlePtr;
+using wcnn::serve::EngineKind;
+using wcnn::serve::makeServer;
+using wcnn::serve::ModelBundle;
+using wcnn::serve::Overloaded;
+using wcnn::serve::ServeOptions;
+
+namespace {
+
+constexpr const char *kHost = "127.0.0.1";
+
+const EngineKind kEngines[] = {EngineKind::Threaded,
+                               EngineKind::Epoll};
+
+BundlePtr
+makeBundle(std::uint64_t seed = 7)
+{
+    Rng rng(seed);
+    Mlp mlp(3,
+            {LayerSpec{6, Activation::logistic(1.0)},
+             LayerSpec{2, Activation::identity()}},
+            InitRule::SmallUniform, rng);
+    return std::make_shared<const ModelBundle>(ModelBundle::fromParts(
+        std::move(mlp), Standardizer::identity(3),
+        Standardizer::identity(2), {"a", "b", "c"}, {"u", "v"},
+        "equivalence-" + std::to_string(seed)));
+}
+
+/** One scripted client: raw byte chunks written in order, with an
+ *  optional pause between chunks to force separate server reads. */
+struct ClientScript
+{
+    std::vector<net::Bytes> chunks;
+    int interChunkDelayMs = 0;
+};
+
+/** Append-concatenate. */
+void
+append(net::Bytes &to, const net::Bytes &piece)
+{
+    to.insert(to.end(), piece.begin(), piece.end());
+}
+
+net::Bytes
+fromString(const std::string &text)
+{
+    return net::Bytes(text.begin(), text.end());
+}
+
+/** Split a byte string into fixed-size pieces. */
+std::vector<net::Bytes>
+splitChunks(const net::Bytes &all, std::size_t piece)
+{
+    std::vector<net::Bytes> out;
+    for (std::size_t off = 0; off < all.size(); off += piece) {
+        const std::size_t end = std::min(off + piece, all.size());
+        out.emplace_back(all.begin() + static_cast<std::ptrdiff_t>(off),
+                         all.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+    return out;
+}
+
+/**
+ * Run every script concurrently against a fresh server of the given
+ * engine: write the chunks, half-close, slurp the response stream to
+ * EOF. Returns one raw byte stream per client.
+ */
+std::vector<net::Bytes>
+runScripts(EngineKind kind, const ServeOptions &opts,
+           const BundlePtr &bundle,
+           const std::vector<ClientScript> &scripts)
+{
+    auto server = makeServer(kind, opts);
+    server->deploy(bundle);
+    server->start();
+
+    std::vector<net::Bytes> streams(scripts.size());
+    std::vector<std::thread> threads;
+    threads.reserve(scripts.size());
+    for (std::size_t i = 0; i < scripts.size(); ++i) {
+        threads.emplace_back([&, i] {
+            net::TcpStream stream =
+                net::TcpStream::connect(kHost, server->port());
+            for (const net::Bytes &chunk : scripts[i].chunks) {
+                stream.writeAll(chunk.data(), chunk.size());
+                if (scripts[i].interChunkDelayMs > 0)
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(
+                            scripts[i].interChunkDelayMs));
+            }
+            stream.shutdownWrite();
+            std::uint8_t buf[4096];
+            std::size_t n = 0;
+            while (stream.readSome(buf, sizeof(buf), n, 10000) ==
+                   net::ReadStatus::Data)
+                streams[i].insert(streams[i].end(), buf, buf + n);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    server->stop();
+    return streams;
+}
+
+/** Decode a raw response stream into frames (must parse cleanly). */
+std::vector<net::Frame>
+decodeStream(const net::Bytes &stream)
+{
+    std::vector<net::Frame> frames;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+        const net::DecodeResult r =
+            net::tryDecode(stream.data() + off, stream.size() - off);
+        EXPECT_EQ(r.status, net::DecodeStatus::Frame)
+            << "undecodable response stream at offset " << off;
+        if (r.status != net::DecodeStatus::Frame)
+            break;
+        frames.push_back(r.frame);
+        off += r.consumed;
+    }
+    return frames;
+}
+
+} // namespace
+
+TEST(ServeEquivalenceTest,
+     BinaryPipeliningIsChunkingInvariantAndByteIdentical)
+{
+    const BundlePtr bundle = makeBundle();
+
+    // The same 8 pipelined requests, three TCP fragmentations: one
+    // frame per write, everything in one write, and 7-byte shreds
+    // (every length prefix split across segments).
+    Rng rng(101);
+    net::Bytes all;
+    std::vector<net::Bytes> perFrame;
+    for (int i = 0; i < 8; ++i) {
+        const Vector x{rng.uniform(-2, 2), rng.uniform(-2, 2),
+                       rng.uniform(-2, 2)};
+        perFrame.push_back(net::encodeRequest(x));
+        append(all, perFrame.back());
+    }
+    const std::vector<ClientScript> scripts = {
+        ClientScript{perFrame, 1},
+        ClientScript{{all}, 0},
+        ClientScript{splitChunks(all, 7), 1},
+    };
+
+    std::vector<net::Bytes> reference;
+    for (const EngineKind kind : kEngines) {
+        const std::vector<net::Bytes> streams =
+            runScripts(kind, ServeOptions{}, bundle, scripts);
+        // Chunking invariance within one engine: the response stream
+        // depends on the frames sent, never on TCP segmentation.
+        EXPECT_EQ(streams[0], streams[1])
+            << wcnn::serve::engineName(kind);
+        EXPECT_EQ(streams[0], streams[2])
+            << wcnn::serve::engineName(kind);
+        ASSERT_EQ(decodeStream(streams[0]).size(), 8u);
+        if (reference.empty())
+            reference = streams;
+        else
+            EXPECT_EQ(streams, reference)
+                << "epoll engine diverged from threaded reference";
+    }
+}
+
+TEST(ServeEquivalenceTest, MixedPingsAndRequestsKeepArrivalOrder)
+{
+    const BundlePtr bundle = makeBundle();
+    const Vector x0{0.5, -1.0, 1.5};
+    const Vector x1{1.5, 0.25, -0.5};
+    const Vector x2{-0.75, 2.0, 0.0};
+
+    net::Bytes burst;
+    append(burst, net::encodeRequest(x0));
+    append(burst, net::encodePing());
+    append(burst, net::encodeRequest(x1));
+    append(burst, net::encodePing());
+    append(burst, net::encodeRequest(x2));
+
+    net::Bytes reference;
+    for (const EngineKind kind : kEngines) {
+        const std::vector<net::Bytes> streams = runScripts(
+            kind, ServeOptions{}, bundle, {ClientScript{{burst}, 0}});
+        const std::vector<net::Frame> frames =
+            decodeStream(streams[0]);
+        // Strict arrival order: a pong never overtakes the response
+        // of a request received before it.
+        ASSERT_EQ(frames.size(), 5u) << wcnn::serve::engineName(kind);
+        EXPECT_EQ(frames[0].type, net::FrameType::Response);
+        EXPECT_EQ(frames[1].type, net::FrameType::Pong);
+        EXPECT_EQ(frames[2].type, net::FrameType::Response);
+        EXPECT_EQ(frames[3].type, net::FrameType::Pong);
+        EXPECT_EQ(frames[4].type, net::FrameType::Response);
+        const Vector want0 = bundle->predict(x0);
+        for (std::size_t j = 0; j < want0.size(); ++j)
+            EXPECT_EQ(frames[0].values[j], want0[j]);
+        if (reference.empty())
+            reference = streams[0];
+        else
+            EXPECT_EQ(streams[0], reference);
+    }
+}
+
+TEST(ServeEquivalenceTest, TypedErrorsAndGarbageAreByteIdentical)
+{
+    const BundlePtr bundle = makeBundle();
+
+    // good, wrong-arity, good, then wire garbage: the responses and
+    // the bad-request error keep arrival order, the protocol error
+    // for the garbage comes last, then the connection closes.
+    net::Bytes burst;
+    append(burst, net::encodeRequest({1.0, 2.0, 3.0}));
+    append(burst, net::encodeRequest({4.0, 5.0})); // arity 2 != 3
+    append(burst, net::encodeRequest({6.0, 7.0, 8.0}));
+    append(burst, fromString("zz")); // not a frame
+
+    net::Bytes reference;
+    for (const EngineKind kind : kEngines) {
+        const std::vector<net::Bytes> streams = runScripts(
+            kind, ServeOptions{}, bundle, {ClientScript{{burst}, 0}});
+        const std::vector<net::Frame> frames =
+            decodeStream(streams[0]);
+        ASSERT_EQ(frames.size(), 4u) << wcnn::serve::engineName(kind);
+        EXPECT_EQ(frames[0].type, net::FrameType::Response);
+        EXPECT_EQ(frames[1].type, net::FrameType::Error);
+        EXPECT_EQ(frames[1].errorKind, "serve.bad_request");
+        EXPECT_EQ(frames[2].type, net::FrameType::Response);
+        EXPECT_EQ(frames[3].type, net::FrameType::Error);
+        EXPECT_EQ(frames[3].errorKind, "serve.protocol");
+        if (reference.empty())
+            reference = streams[0];
+        else
+            EXPECT_EQ(streams[0], reference);
+    }
+}
+
+TEST(ServeEquivalenceTest, JsonLinesModeIsByteIdentical)
+{
+    const BundlePtr bundle = makeBundle();
+
+    // Client 0: predict / ping / wrong-arity / predict — all valid
+    // JSON, so the connection stays open until the half-close.
+    net::Bytes lines0;
+    append(lines0,
+           fromString("{\"op\":\"predict\",\"x\":[0.5,-1.0,1.5]}\n"));
+    append(lines0, fromString("{\"op\":\"ping\"}\n"));
+    append(lines0, fromString("{\"op\":\"predict\",\"x\":[1.0]}\n"));
+    append(lines0,
+           fromString("{\"op\":\"predict\",\"x\":[2.0,0.25,-0.5]}\n"));
+
+    // Client 1: one good line, then a line with an embedded NUL — a
+    // protocol error that closes the connection.
+    std::string nul_line = "{\"op\":\"predict\",";
+    nul_line += '\0';
+    nul_line += "\"x\":[1,2,3]}\n";
+    net::Bytes lines1;
+    append(lines1,
+           fromString("{\"op\":\"predict\",\"x\":[1.0,1.0,1.0]}\n"));
+    append(lines1, fromString(nul_line));
+
+    const std::vector<ClientScript> scripts = {
+        ClientScript{splitChunks(lines0, 11), 1}, // shredded lines
+        ClientScript{{lines1}, 0},
+    };
+
+    std::vector<net::Bytes> reference;
+    for (const EngineKind kind : kEngines) {
+        const std::vector<net::Bytes> streams =
+            runScripts(kind, ServeOptions{}, bundle, scripts);
+        const std::string s0(streams[0].begin(), streams[0].end());
+        EXPECT_NE(s0.find("\"pong\":true"), std::string::npos)
+            << wcnn::serve::engineName(kind);
+        EXPECT_NE(s0.find("serve.bad_request"), std::string::npos);
+        const std::string s1(streams[1].begin(), streams[1].end());
+        EXPECT_NE(s1.find("serve.protocol"), std::string::npos);
+        if (reference.empty())
+            reference = streams;
+        else
+            EXPECT_EQ(streams, reference);
+    }
+}
+
+TEST(ServeEquivalenceTest, ConnectionLimitRejectionIsByteIdentical)
+{
+    const BundlePtr bundle = makeBundle();
+    ServeOptions opts;
+    opts.maxConnections = 1;
+
+    net::Bytes reference;
+    for (const EngineKind kind : kEngines) {
+        auto server = makeServer(kind, opts);
+        server->deploy(bundle);
+        server->start();
+
+        // Occupy the single slot, with a round trip to guarantee the
+        // connection is fully registered on both engines.
+        net::ServeClient occupant =
+            net::ServeClient::connect(kHost, server->port());
+        (void)occupant.predict({1.0, 2.0, 3.0});
+
+        // The surplus connection gets the typed rejection, then EOF.
+        net::TcpStream surplus =
+            net::TcpStream::connect(kHost, server->port());
+        net::Bytes stream;
+        std::uint8_t buf[4096];
+        std::size_t n = 0;
+        while (surplus.readSome(buf, sizeof(buf), n, 10000) ==
+               net::ReadStatus::Data)
+            stream.insert(stream.end(), buf, buf + n);
+
+        const std::vector<net::Frame> frames = decodeStream(stream);
+        ASSERT_EQ(frames.size(), 1u) << wcnn::serve::engineName(kind);
+        EXPECT_EQ(frames[0].type, net::FrameType::Error);
+        EXPECT_EQ(frames[0].errorKind, "serve.overloaded");
+        EXPECT_EQ(server->stats().rejectedConnections, 1u);
+        if (reference.empty())
+            reference = stream;
+        else
+            EXPECT_EQ(stream, reference);
+        server->stop();
+    }
+}
+
+TEST(ServeEquivalenceTest, HotSwapUnderLoadIsIdenticalOnBothEngines)
+{
+    const BundlePtr bundleA = makeBundle(21);
+    const BundlePtr bundleB = makeBundle(22);
+
+    // Deterministic request set, reused in both phases so the swap's
+    // cache invalidation is also exercised.
+    Rng rng(33);
+    std::vector<Vector> xs;
+    for (int i = 0; i < 6; ++i)
+        xs.push_back({rng.uniform(-2, 2), rng.uniform(-2, 2),
+                      rng.uniform(-2, 2)});
+
+    for (const EngineKind kind : kEngines) {
+        auto server = makeServer(kind, ServeOptions{});
+        server->deploy(bundleA);
+        server->start();
+
+        // A churn client pipelines throughout the swap: every answer
+        // must be bit-exact under SOME deployed bundle, and once B
+        // appears, A never comes back (monotone transition).
+        std::atomic<bool> churn_stop{false};
+        std::string churn_failure;
+        const Vector churn_x{0.125, -0.25, 0.5};
+        std::thread churn([&] {
+            const Vector wantA = bundleA->predict(churn_x);
+            const Vector wantB = bundleB->predict(churn_x);
+            bool saw_b = false;
+            try {
+                net::ServeClient client =
+                    net::ServeClient::connect(kHost, server->port());
+                while (!churn_stop.load()) {
+                    const Vector got = client.predict(churn_x);
+                    const bool is_a = got == wantA;
+                    const bool is_b = got == wantB;
+                    if (!is_a && !is_b) {
+                        churn_failure = "answer under no bundle";
+                        return;
+                    }
+                    if (is_b)
+                        saw_b = true;
+                    else if (saw_b && is_a) {
+                        churn_failure = "bundle A after bundle B";
+                        return;
+                    }
+                }
+            } catch (const wcnn::Error &e) {
+                churn_failure = e.what();
+            }
+        });
+
+        net::ServeClient client =
+            net::ServeClient::connect(kHost, server->port());
+        for (const Vector &x : xs) {
+            const Vector got = client.predict(x);
+            const Vector want = bundleA->predict(x);
+            ASSERT_EQ(got.size(), want.size());
+            for (std::size_t j = 0; j < want.size(); ++j)
+                EXPECT_EQ(got[j], want[j])
+                    << wcnn::serve::engineName(kind) << " phase A";
+        }
+
+        server->deploy(bundleB);
+
+        for (const Vector &x : xs) {
+            const Vector got = client.predict(x);
+            const Vector want = bundleB->predict(x);
+            ASSERT_EQ(got.size(), want.size());
+            for (std::size_t j = 0; j < want.size(); ++j)
+                EXPECT_EQ(got[j], want[j])
+                    << wcnn::serve::engineName(kind) << " phase B";
+        }
+
+        churn_stop.store(true);
+        churn.join();
+        EXPECT_EQ(churn_failure, "")
+            << wcnn::serve::engineName(kind);
+        server->stop();
+    }
+}
+
+TEST(ServeEquivalenceTest, QueueOverloadKeepsOrderingSemantics)
+{
+    // Hard byte-identity here would require fixing TCP segmentation
+    // itself (which read chunk a request lands in decides its batch
+    // group). The pinned contract is the ordering SEMANTICS: every
+    // pipelined request gets an in-order outcome — a bit-exact
+    // response or a typed serve.overloaded error — and a queue this
+    // small must overload on both engines.
+    const BundlePtr bundle = makeBundle();
+    ServeOptions opts;
+    opts.cache.capacity = 0; // misses only: every request queues
+    opts.batch.maxQueueRows = 2;
+    opts.batch.maxBatch = 64;
+    opts.batch.maxDelayUs = 250000; // hold groups: keep rows pending
+
+    Rng rng(55);
+    std::vector<Vector> xs;
+    for (int i = 0; i < 16; ++i)
+        xs.push_back({rng.uniform(-2, 2), rng.uniform(-2, 2),
+                      rng.uniform(-2, 2)});
+
+    for (const EngineKind kind : kEngines) {
+        auto server = makeServer(kind, opts);
+        server->deploy(bundle);
+        server->start();
+
+        net::ServeClient client =
+            net::ServeClient::connect(kHost, server->port(), 30000);
+        for (const Vector &x : xs)
+            client.sendPredict(x);
+
+        int overloaded = 0;
+        int exact = 0;
+        for (const Vector &x : xs) {
+            try {
+                const Vector got = client.readPrediction();
+                const Vector want = bundle->predict(x);
+                ASSERT_EQ(got.size(), want.size());
+                for (std::size_t j = 0; j < want.size(); ++j)
+                    EXPECT_EQ(got[j], want[j])
+                        << wcnn::serve::engineName(kind);
+                ++exact;
+            } catch (const Overloaded &) {
+                ++overloaded;
+            }
+        }
+        // Every request answered in order, and the 16-request burst
+        // cannot fit a 2-row queue: overload must have fired.
+        EXPECT_EQ(exact + overloaded, 16)
+            << wcnn::serve::engineName(kind);
+        EXPECT_GE(overloaded, 1) << wcnn::serve::engineName(kind);
+        server->stop();
+    }
+}

@@ -49,8 +49,8 @@
 #include "numeric/kernels/policy.hh"
 #include "numeric/rng.hh"
 #include "serve/bundle.hh"
+#include "serve/engine.hh"
 #include "serve/loadgen.hh"
-#include "serve/server.hh"
 #include "sim/sample_space.hh"
 
 namespace {
@@ -455,6 +455,8 @@ serveOptionsFromArgs(const Args &args)
         "threads", static_cast<double>(opts.batch.threads)));
     opts.cache.capacity = static_cast<std::size_t>(args.num(
         "cache", static_cast<double>(opts.cache.capacity)));
+    opts.shards = static_cast<std::size_t>(
+        args.num("shards", static_cast<double>(opts.shards)));
     return opts;
 }
 
@@ -464,6 +466,7 @@ cmdServe(const Args &args)
     if (args.has("help")) {
         std::puts(
             "wcnn serve --model MODEL.bundle [--port P] [--host H]\n"
+            "           [--engine threaded|epoll] [--shards N]\n"
             "           [--max-batch N] [--max-delay-us U] "
             "[--threads N]\n"
             "           [--cache N] [--max-conn N] [--idle-ms MS]\n"
@@ -471,6 +474,11 @@ cmdServe(const Args &args)
             "\n"
             "Serves predictions over TCP (binary frames or JSON "
             "lines on one port).\n"
+            "--engine picks the front end: the threaded reference "
+            "server or the\n"
+            "epoll reactor with per-core shards (identical wire "
+            "behaviour; see\n"
+            "tests/serve_equivalence_test.cc).\n"
             "Runs until stdin closes, or for --duration seconds.");
         return 0;
     }
@@ -482,12 +490,18 @@ cmdServe(const Args &args)
     auto bundle = std::make_shared<serve::ModelBundle>(
         loadBundle("serve", model_path));
 
-    serve::InferenceServer server(serveOptionsFromArgs(args));
+    const serve::EngineKind engine =
+        serve::parseEngineKind(args.str("engine", "threaded"));
+    const std::unique_ptr<serve::ServerEngine> server_ptr =
+        serve::makeServer(engine, serveOptionsFromArgs(args));
+    serve::ServerEngine &server = *server_ptr;
     server.deploy(bundle);
     server.start();
-    std::printf("serving %s on %s:%u (max-batch %zu, cache %zu)\n",
+    std::printf("serving %s on %s:%u (engine %s, max-batch %zu, "
+                "cache %zu)\n",
                 bundle->describe().c_str(),
                 server.options().host.c_str(), server.port(),
+                serve::engineName(engine),
                 server.options().batch.maxBatch,
                 server.options().cache.capacity);
     std::fflush(stdout);
@@ -528,6 +542,7 @@ cmdBenchServe(const Args &args)
             "[--requests N]\n"
             "                 [--pipeline N] [--max-batch N] "
             "[--cache N] [--key-pool N]\n"
+            "                 [--engine threaded|epoll]\n"
             "\n"
             "Measures TCP serving throughput: per-request baseline "
             "vs micro-batched,\n"
@@ -554,6 +569,8 @@ cmdBenchServe(const Args &args)
     const auto cache_capacity =
         static_cast<std::size_t>(args.num("cache", 0));
 
+    const serve::EngineKind engine =
+        serve::parseEngineKind(args.str("engine", "threaded"));
     const auto run = [&](const char *label, std::size_t batch_rows,
                          bool coalesce, std::size_t cache_cap,
                          std::size_t key_pool) {
@@ -562,7 +579,9 @@ cmdBenchServe(const Args &args)
         opts.batch.maxBatch = batch_rows;
         opts.coalesceFrames = coalesce;
         opts.cache.capacity = cache_cap;
-        serve::InferenceServer server(opts);
+        const std::unique_ptr<serve::ServerEngine> server_ptr =
+            serve::makeServer(engine, std::move(opts));
+        serve::ServerEngine &server = *server_ptr;
         server.deploy(bundle);
         server.start();
         serve::LoadgenOptions shaped = load;
@@ -578,9 +597,10 @@ cmdBenchServe(const Args &args)
         return report;
     };
 
-    std::printf("bench-serve: %zu clients x %zu requests, pipeline "
-                "%zu\n",
-                load.clients, load.requestsPerClient, load.pipeline);
+    std::printf("bench-serve: engine %s, %zu clients x %zu requests, "
+                "pipeline %zu\n",
+                serve::engineName(engine), load.clients,
+                load.requestsPerClient, load.pipeline);
     const auto baseline = run("per-request", 1, false, 0, 0);
     const auto batched = run("micro-batched", max_batch, true, 0, 0);
     if (baseline.throughputRps > 0.0)

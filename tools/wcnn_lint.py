@@ -38,11 +38,13 @@ Rules:
       failures defeat the typed error taxonomy (src/core/error.hh) and
       hide chaos-injected faults from the quarantine bookkeeping.
   R7  No POSIX socket headers or socket syscalls outside
-      src/serve/net/. All transport goes through TcpStream/TcpListener
-      (and ServeClient above them): one place owns fd lifetimes,
-      EINTR/EOF handling, and timeouts, and the serve failpoint sites
-      actually cover every byte on the wire. A stray recv() elsewhere
-      is invisible to the chaos harness.
+      src/serve/net/ — and no epoll/eventfd either. All transport goes
+      through TcpStream/TcpListener (and ServeClient above them), all
+      event multiplexing through the Reactor: one place owns fd
+      lifetimes, EINTR/EOF handling, and timeouts, and the serve
+      failpoint sites actually cover every byte on the wire. A stray
+      recv() or epoll_wait() elsewhere is invisible to the chaos
+      harness.
   R8  Hand-rolled compute kernels live in src/numeric/kernels/ only.
       Outside that directory, no SIMD intrinsics (<immintrin.h> and
       friends, _mm*/__m128-style identifiers), no `#pragma omp`, and —
@@ -81,13 +83,16 @@ RETHROW_RE = re.compile(
 
 SOCKET_HEADER_RE = re.compile(
     r"#\s*include\s*<(?:sys/socket\.h|netinet/[\w./]+|arpa/inet\.h"
-    r"|netdb\.h|sys/un\.h)>")
-# Bare POSIX socket calls. The lookbehind drops member calls
-# (x.accept(, p->listen() and qualified names; bind/connect are
-# deliberately not listed (std::bind, TcpStream::connect).
+    r"|netdb\.h|sys/un\.h|sys/epoll\.h|sys/eventfd\.h)>")
+# Bare POSIX socket / event-multiplexing calls. The lookbehind drops
+# member calls (x.accept(, p->listen() and qualified names;
+# bind/connect are deliberately not listed (std::bind,
+# TcpStream::connect). epoll/eventfd ride along: event readiness is
+# the Reactor's job, and the Reactor lives in src/serve/net/.
 SOCKET_CALL_RE = re.compile(
     r"(?<![\w:.>])(?:socket|accept4?|listen|recv|recvfrom|send|sendto"
-    r"|setsockopt|getsockname|inet_pton|inet_ntop)\s*\(")
+    r"|setsockopt|getsockname|inet_pton|inet_ntop"
+    r"|epoll_create1?|epoll_ctl|epoll_wait|eventfd)\s*\(")
 
 INTRINSIC_RE = re.compile(
     r"#\s*include\s*<(?:[a-z]+mmintrin|immintrin|avx\w*intrin)\.h>"
