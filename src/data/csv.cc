@@ -1,6 +1,8 @@
 #include "csv.hh"
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -75,6 +77,23 @@ writeCsv(const Dataset &ds, std::ostream &os)
         }
         os << '\n';
     }
+}
+
+std::string
+csvDigest(const Dataset &ds)
+{
+    std::ostringstream text;
+    writeCsv(ds, text);
+    // FNV-1a 64.
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const char c : text.str()) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 1099511628211ull;
+    }
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(hash));
+    return hex;
 }
 
 void

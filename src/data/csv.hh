@@ -56,6 +56,16 @@ void writeCsv(const Dataset &ds, std::ostream &os);
 void saveCsv(const Dataset &ds, const std::string &path);
 
 /**
+ * Content digest of a dataset: FNV-1a 64 over its serialized CSV
+ * text, as 16 lowercase hex digits. Because the CSV writer prints
+ * round-trip-exact values, equal digests mean bit-identical datasets
+ * — the golden scenario suite pins these across thread counts.
+ *
+ * @param ds Dataset to digest.
+ */
+std::string csvDigest(const Dataset &ds);
+
+/**
  * Parse a dataset from a stream.
  *
  * @param is Source stream positioned at the header row.

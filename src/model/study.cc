@@ -20,13 +20,24 @@ runStudy(const StudyOptions &options)
     numeric::Rng rng(options.seed);
     auto configs = sim::latinHypercubeDesign(
         options.space, options.designSamples, rng);
+    // The design only decides the four swept axes; overlay them onto
+    // the base configuration so scenario-declared load models, arrival
+    // processes and run windows apply to every sample.
+    for (sim::ThreeTierConfig &cfg : configs) {
+        sim::ThreeTierConfig full = options.baseConfig;
+        full.injectionRate = cfg.injectionRate;
+        full.defaultQueue = cfg.defaultQueue;
+        full.mfgQueue = cfg.mfgQueue;
+        full.webQueue = cfg.webQueue;
+        cfg = full;
+    }
     if (options.sliceAnchorsPerAxis > 0) {
         const std::size_t k = options.sliceAnchorsPerAxis;
         for (std::size_t i = 0; i < k; ++i) {
             for (std::size_t j = 0; j < k; ++j) {
-                sim::ThreeTierConfig cfg;
-                cfg.injectionRate = 560.0;
-                cfg.mfgQueue = 16.0;
+                sim::ThreeTierConfig cfg = options.baseConfig;
+                cfg.injectionRate = options.anchorInjection;
+                cfg.mfgQueue = options.anchorMfg;
                 const auto frac = [k](std::size_t t) {
                     return k == 1 ? 0.5
                                   : static_cast<double>(t) /
@@ -43,9 +54,12 @@ runStudy(const StudyOptions &options)
                 // Anchors feed the section-5 surface analysis, so
                 // they get longer measurement windows than the
                 // space-filling samples (less sampling noise exactly
-                // where the figures are drawn).
-                cfg.warmup = 40.0;
-                cfg.measure = 240.0;
+                // where the figures are drawn). Scaled off the base
+                // windows; for the default 30/120 base this is the
+                // historical 40/240.
+                cfg.warmup = options.baseConfig.warmup +
+                             options.baseConfig.warmup / 3.0;
+                cfg.measure = 2.0 * options.baseConfig.measure;
                 configs.push_back(cfg);
             }
         }

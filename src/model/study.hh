@@ -57,6 +57,22 @@ struct StudyOptions
     /** Workload demand model. */
     sim::WorkloadParams params = sim::WorkloadParams::defaults();
 
+    /**
+     * Template for every collected configuration: the design only
+     * varies the four swept axes; everything else (load model,
+     * arrival process, population/think time, run windows) is taken
+     * from this base. Scenarios lower their `arrivals`/`run` sections
+     * here. The default base reproduces the historical study
+     * bit-for-bit.
+     */
+    sim::ThreeTierConfig baseConfig{};
+
+    /** Injection rate of the section-5 analysis slice anchors. */
+    double anchorInjection = 560.0;
+
+    /** Mfg queue size of the section-5 analysis slice anchors. */
+    double anchorMfg = 16.0;
+
     /** Base NN hyperparameters (tuning may override two fields). */
     NnModelOptions nn{};
 

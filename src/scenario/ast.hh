@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Syntax tree of the scenario DSL.
+ *
+ * The grammar is keyword-generic: a document is a list of statements,
+ * a statement is `keyword value... ;` or `keyword value... { block }`,
+ * and a value is a number, string, bare identifier (enum constant or
+ * `let` reference) or a bracketed list of values. Which keywords are
+ * legal where — and what their values must be — is the resolver's
+ * business (resolve.hh); keeping the tree shape-only makes the parser
+ * small, the printer total, and the parse→print→parse fixpoint test
+ * meaningful.
+ *
+ * Grammar (EBNF):
+ *
+ *   document  := statement*
+ *   statement := "let" IDENT "=" value ";"
+ *              | IDENT value* ( ";" | "{" statement* "}" )
+ *   value     := NUMBER | STRING | IDENT
+ *              | "[" [ value { "," value } ] "]"
+ *
+ * Comments run from `#` to end of line. Strings are double-quoted,
+ * single-line, and have no escape sequences.
+ */
+
+#ifndef WCNN_SCENARIO_AST_HH
+#define WCNN_SCENARIO_AST_HH
+
+#include <string>
+#include <vector>
+
+#include "scenario/error.hh"
+
+namespace wcnn {
+namespace scenario {
+
+/** Shape of one value. */
+enum class ValueKind
+{
+    Number, ///< finite double literal
+    String, ///< double-quoted text
+    Ident,  ///< bare word: enum constant or let reference
+    List,   ///< [ v, v, ... ]
+};
+
+/** One parsed value. */
+struct Value
+{
+    ValueKind kind = ValueKind::Number;
+
+    /** Number: the literal's value. */
+    double number = 0.0;
+
+    /** String/Ident: the text (strings unquoted). */
+    std::string text;
+
+    /** List: the elements, in source order. */
+    std::vector<Value> items;
+
+    /** Source position of the value's first token. */
+    SourceLoc loc;
+};
+
+/**
+ * One parsed statement. `let NAME = v;` is represented with keyword
+ * "let" and args = { Ident(NAME), v }.
+ */
+struct Statement
+{
+    /** Leading keyword. */
+    std::string keyword;
+
+    /** Values between the keyword and the terminator. */
+    std::vector<Value> args;
+
+    /** Whether the statement carried a `{ ... }` block. */
+    bool hasBlock = false;
+
+    /** Block statements, in source order (empty without a block). */
+    std::vector<Statement> block;
+
+    /** Source position of the keyword. */
+    SourceLoc loc;
+};
+
+/** A parsed scenario document. */
+struct Document
+{
+    std::vector<Statement> statements;
+};
+
+} // namespace scenario
+} // namespace wcnn
+
+#endif // WCNN_SCENARIO_AST_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Typed diagnostics of the scenario DSL.
+ *
+ * Malformed scenario text is *input*, not a bug: every lexer, parser
+ * and resolver failure is reported as a ScenarioError carrying the
+ * 1-based line/column of the offending token, never as a contract
+ * violation. The fuzz corpus (tests/corpus/scn_*.wcnn) pins exactly
+ * this: any byte stream either parses or raises a ScenarioError, in
+ * every build preset including -DWCNN_NO_CONTRACTS=ON.
+ */
+
+#ifndef WCNN_SCENARIO_ERROR_HH
+#define WCNN_SCENARIO_ERROR_HH
+
+#include <cstddef>
+#include <string>
+
+#include "core/error.hh"
+
+namespace wcnn {
+namespace scenario {
+
+/** Position in scenario source text, 1-based. */
+struct SourceLoc
+{
+    std::size_t line = 1;
+    std::size_t column = 1;
+};
+
+/**
+ * A scenario failed to parse or resolve. Kind "scenario.parse" for
+ * lexical/syntactic faults, "scenario.resolve" for semantically
+ * invalid documents (unknown sections, out-of-range values, cyclic
+ * lets...). what() embeds the location as "line L, column C".
+ */
+class ScenarioError : public Error
+{
+  public:
+    /**
+     * @param kind    "scenario.parse" or "scenario.resolve".
+     * @param loc     Source position of the fault.
+     * @param message Description, without location prefix.
+     */
+    ScenarioError(const std::string &kind, SourceLoc loc,
+                  const std::string &message)
+        : Error(kind, "line " + std::to_string(loc.line) + ", column " +
+                          std::to_string(loc.column) + ": " + message),
+          where(loc)
+    {
+    }
+
+    /** Source position of the fault. */
+    SourceLoc loc() const { return where; }
+
+  private:
+    SourceLoc where;
+};
+
+/** Raise a "scenario.parse" fault at loc. */
+[[noreturn]] inline void
+parseError(SourceLoc loc, const std::string &message)
+{
+    throw ScenarioError("scenario.parse", loc, message);
+}
+
+/** Raise a "scenario.resolve" fault at loc. */
+[[noreturn]] inline void
+resolveError(SourceLoc loc, const std::string &message)
+{
+    throw ScenarioError("scenario.resolve", loc, message);
+}
+
+} // namespace scenario
+} // namespace wcnn
+
+#endif // WCNN_SCENARIO_ERROR_HH

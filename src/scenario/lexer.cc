@@ -1,0 +1,228 @@
+#include "lexer.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace wcnn {
+namespace scenario {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentBody(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isNumberStart(char c)
+{
+    return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+           c == '+' || c == '.';
+}
+
+class Cursor
+{
+  public:
+    explicit Cursor(const std::string &source) : src(source) {}
+
+    bool done() const { return pos >= src.size(); }
+    char peek() const { return done() ? '\0' : src[pos]; }
+
+    char
+    advance()
+    {
+        const char c = src[pos++];
+        if (c == '\n') {
+            ++loc.line;
+            loc.column = 1;
+        } else {
+            ++loc.column;
+        }
+        return c;
+    }
+
+    SourceLoc here() const { return loc; }
+    std::size_t offset() const { return pos; }
+    const std::string &source() const { return src; }
+
+  private:
+    const std::string &src;
+    std::size_t pos = 0;
+    SourceLoc loc;
+};
+
+Token
+lexNumber(Cursor &cur)
+{
+    Token tok;
+    tok.kind = TokenKind::Number;
+    tok.loc = cur.here();
+    const std::size_t start = cur.offset();
+    // Consume the maximal run of characters that can appear in a
+    // decimal literal, then let strtod validate the shape. Exponent
+    // signs only count as number characters right after e/E so that
+    // "1e-3" lexes as one token but "3-2" does not.
+    while (!cur.done()) {
+        const char c = cur.peek();
+        const bool in_number =
+            std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+            c == 'e' || c == 'E' ||
+            ((c == '+' || c == '-') && cur.offset() > start &&
+             (cur.source()[cur.offset() - 1] == 'e' ||
+              cur.source()[cur.offset() - 1] == 'E'));
+        if (!in_number && !(cur.offset() == start && (c == '+' || c == '-')))
+            break;
+        cur.advance();
+    }
+    tok.text = cur.source().substr(start, cur.offset() - start);
+
+    char *end = nullptr;
+    const char *begin = tok.text.c_str();
+    tok.number = std::strtod(begin, &end);
+    if (end != begin + tok.text.size() || tok.text.empty())
+        parseError(tok.loc, "malformed number '" + tok.text + "'");
+    if (!std::isfinite(tok.number))
+        parseError(tok.loc,
+                   "number '" + tok.text + "' overflows a double");
+    return tok;
+}
+
+Token
+lexString(Cursor &cur)
+{
+    Token tok;
+    tok.kind = TokenKind::String;
+    tok.loc = cur.here();
+    cur.advance(); // opening quote
+    while (true) {
+        if (cur.done() || cur.peek() == '\n')
+            parseError(tok.loc, "unterminated string");
+        const char c = cur.advance();
+        if (c == '"')
+            return tok;
+        tok.text.push_back(c);
+    }
+}
+
+Token
+lexIdent(Cursor &cur)
+{
+    Token tok;
+    tok.kind = TokenKind::Ident;
+    tok.loc = cur.here();
+    while (!cur.done() && isIdentBody(cur.peek()))
+        tok.text.push_back(cur.advance());
+    return tok;
+}
+
+} // namespace
+
+const char *
+tokenKindName(TokenKind kind)
+{
+    switch (kind) {
+    case TokenKind::Ident:
+        return "identifier";
+    case TokenKind::Number:
+        return "number";
+    case TokenKind::String:
+        return "string";
+    case TokenKind::Semicolon:
+        return "';'";
+    case TokenKind::Equals:
+        return "'='";
+    case TokenKind::Comma:
+        return "','";
+    case TokenKind::LBracket:
+        return "'['";
+    case TokenKind::RBracket:
+        return "']'";
+    case TokenKind::LBrace:
+        return "'{'";
+    case TokenKind::RBrace:
+        return "'}'";
+    case TokenKind::End:
+        return "end of input";
+    }
+    return "token";
+}
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    std::vector<Token> tokens;
+    Cursor cur(source);
+    while (!cur.done()) {
+        const char c = cur.peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            cur.advance();
+            continue;
+        }
+        if (c == '#') {
+            while (!cur.done() && cur.peek() != '\n')
+                cur.advance();
+            continue;
+        }
+        if (c == '"') {
+            tokens.push_back(lexString(cur));
+            continue;
+        }
+        if (isIdentStart(c)) {
+            tokens.push_back(lexIdent(cur));
+            continue;
+        }
+        if (isNumberStart(c)) {
+            tokens.push_back(lexNumber(cur));
+            continue;
+        }
+
+        Token tok;
+        tok.loc = cur.here();
+        tok.text.assign(1, c);
+        switch (c) {
+        case ';':
+            tok.kind = TokenKind::Semicolon;
+            break;
+        case '=':
+            tok.kind = TokenKind::Equals;
+            break;
+        case ',':
+            tok.kind = TokenKind::Comma;
+            break;
+        case '[':
+            tok.kind = TokenKind::LBracket;
+            break;
+        case ']':
+            tok.kind = TokenKind::RBracket;
+            break;
+        case '{':
+            tok.kind = TokenKind::LBrace;
+            break;
+        case '}':
+            tok.kind = TokenKind::RBrace;
+            break;
+        default:
+            parseError(tok.loc, "unexpected character '" +
+                                    std::string(1, c) + "'");
+        }
+        cur.advance();
+        tokens.push_back(tok);
+    }
+
+    Token end;
+    end.kind = TokenKind::End;
+    end.loc = cur.here();
+    tokens.push_back(end);
+    return tokens;
+}
+
+} // namespace scenario
+} // namespace wcnn

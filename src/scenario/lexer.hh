@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tokenizer of the scenario DSL.
+ *
+ * The surface syntax is deliberately tiny — identifiers, numbers,
+ * double-quoted strings, `; = , [ ] { }` punctuation and `#` line
+ * comments — so the whole lexical grammar fits in one pass with no
+ * lookahead. Every token carries its 1-based line/column so parser and
+ * resolver diagnostics can point at source (lint rule R9: this header
+ * is private to src/scenario/; external code goes through
+ * scenario::parse).
+ */
+
+#ifndef WCNN_SCENARIO_LEXER_HH
+#define WCNN_SCENARIO_LEXER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "scenario/error.hh"
+
+namespace wcnn {
+namespace scenario {
+
+/** Lexical class of a token. */
+enum class TokenKind
+{
+    Ident,      ///< bare word: section keys, enum values, let names
+    Number,     ///< decimal literal, strtod syntax, finite
+    String,     ///< double-quoted, single-line, no escapes
+    Semicolon,  ///< ;
+    Equals,     ///< =
+    Comma,      ///< ,
+    LBracket,   ///< [
+    RBracket,   ///< ]
+    LBrace,     ///< {
+    RBrace,     ///< }
+    End,        ///< end of input (always the last token)
+};
+
+/** Human-readable name of a token kind ("identifier", "';'", ...). */
+const char *tokenKindName(TokenKind kind);
+
+/** One lexed token. */
+struct Token
+{
+    TokenKind kind = TokenKind::End;
+    /** Ident/String: the text (unquoted); Number: the literal. */
+    std::string text;
+    /** Number: the parsed value. */
+    double number = 0.0;
+    /** Position of the token's first character. */
+    SourceLoc loc;
+};
+
+/**
+ * Tokenize scenario source text.
+ *
+ * @param source Scenario text.
+ * @return Tokens, terminated by one TokenKind::End.
+ * @throws ScenarioError (kind "scenario.parse") on an unterminated
+ *         string, a malformed or non-finite number, or a byte outside
+ *         the alphabet.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace scenario
+} // namespace wcnn
+
+#endif // WCNN_SCENARIO_LEXER_HH

@@ -1,0 +1,118 @@
+#include "library.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hh"
+#include "scenario/parser.hh"
+#include "scenario/printer.hh"
+
+#ifndef WCNN_SCENARIO_DEFAULT_DIR
+#define WCNN_SCENARIO_DEFAULT_DIR ""
+#endif
+
+namespace wcnn {
+namespace scenario {
+
+std::string
+libraryDir()
+{
+    if (const char *dir = std::getenv("WCNN_SCENARIO_DIR"))
+        return dir;
+    return WCNN_SCENARIO_DEFAULT_DIR;
+}
+
+std::vector<std::string>
+libraryNames()
+{
+    // Hard-coded on purpose; see the file comment.
+    return {
+        "browse_heavy_mix",
+        "bursty_mmpp",
+        "closed_heavy_think",
+        "closed_loop",
+        "db_bound",
+        "deterministic_services",
+        "diurnal",
+        "exp_services",
+        "gc_pressure",
+        "heavy_tail",
+        "hetero_big_host",
+        "hetero_small_host",
+        "no_gc",
+        "paper_3tier",
+        "surge_mmpp3",
+    };
+}
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw IoError("cannot read scenario file '" + path + "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    if (in.bad())
+        throw IoError("read failure on scenario file '" + path + "'");
+    return text.str();
+}
+
+} // namespace
+
+ResolvedScenario
+loadFile(const std::string &path)
+{
+    return resolveText(slurp(path));
+}
+
+ResolvedScenario
+loadNamed(const std::string &name)
+{
+    return loadFile(libraryDir() + "/" + name + ".wcnn");
+}
+
+std::string
+canonicalForm(const std::string &path)
+{
+    return print(parse(slurp(path)));
+}
+
+void
+applyBase(const ResolvedScenario &scenario,
+          std::vector<sim::ThreeTierConfig> &configs)
+{
+    for (sim::ThreeTierConfig &cfg : configs) {
+        sim::ThreeTierConfig full = scenario.base;
+        full.injectionRate = cfg.injectionRate;
+        full.defaultQueue = cfg.defaultQueue;
+        full.mfgQueue = cfg.mfgQueue;
+        full.webQueue = cfg.webQueue;
+        full.seed = cfg.seed;
+        cfg = full;
+    }
+}
+
+model::StudyOptions
+studyOptionsFor(const ResolvedScenario &scenario)
+{
+    model::StudyOptions options;
+    options.space = scenario.space;
+    options.params = scenario.params;
+    options.baseConfig = scenario.base;
+    const auto clamp = [](double v, const sim::ParameterRange &r) {
+        return std::min(std::max(v, r.lo), r.hi);
+    };
+    options.anchorInjection =
+        clamp(scenario.base.injectionRate, scenario.space.injectionRate);
+    options.anchorMfg =
+        clamp(scenario.base.mfgQueue, scenario.space.mfgQueue);
+    return options;
+}
+
+} // namespace scenario
+} // namespace wcnn

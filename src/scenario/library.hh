@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Named scenario library and study/collection bridges.
+ *
+ * Shipped scenarios live as .wcnn files under <repo>/scenarios/; the
+ * directory is baked in at configure time (WCNN_SCENARIO_DEFAULT_DIR)
+ * and overridable with the WCNN_SCENARIO_DIR environment variable for
+ * installed or relocated trees. The catalog of shipped names is
+ * hard-coded here on purpose: a scenario file that goes missing fails
+ * loudly in the smoke tests instead of silently shrinking the
+ * library.
+ */
+
+#ifndef WCNN_SCENARIO_LIBRARY_HH
+#define WCNN_SCENARIO_LIBRARY_HH
+
+#include <string>
+#include <vector>
+
+#include "model/study.hh"
+#include "scenario/resolve.hh"
+
+namespace wcnn {
+namespace scenario {
+
+/** Directory holding the shipped .wcnn files. */
+std::string libraryDir();
+
+/** Names of every shipped scenario (file stems, sorted). */
+std::vector<std::string> libraryNames();
+
+/**
+ * Load and resolve one scenario file.
+ *
+ * @param path Path to a .wcnn file.
+ * @throws IoError if the file cannot be read; ScenarioError if it
+ *         does not parse or resolve.
+ */
+ResolvedScenario loadFile(const std::string &path);
+
+/**
+ * Load a scenario by name from the library directory
+ * (<libraryDir()>/<name>.wcnn).
+ */
+ResolvedScenario loadNamed(const std::string &name);
+
+/**
+ * Read a scenario file and return its canonical printed form
+ * (parse + print; see printer.hh). Throws like loadFile.
+ */
+std::string canonicalForm(const std::string &path);
+
+/**
+ * Overlay a scenario's base configuration onto designed
+ * configurations: each config keeps its four swept axes and its seed,
+ * everything else (load model, arrival process, run windows,
+ * population/think time) comes from the scenario.
+ */
+void applyBase(const ResolvedScenario &scenario,
+               std::vector<sim::ThreeTierConfig> &configs);
+
+/**
+ * Study options running the full pipeline under a scenario: its
+ * space, demand model and base configuration, with the analysis-slice
+ * anchors moved to the scenario's declared operating point (clamped
+ * into the space). For paper_3tier this reproduces the default
+ * StudyOptions bit-for-bit.
+ */
+model::StudyOptions studyOptionsFor(const ResolvedScenario &scenario);
+
+} // namespace scenario
+} // namespace wcnn
+
+#endif // WCNN_SCENARIO_LIBRARY_HH

@@ -1,0 +1,178 @@
+#include "parser.hh"
+
+#include "core/failpoint.hh"
+#include "scenario/lexer.hh"
+
+namespace wcnn {
+namespace scenario {
+
+namespace {
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens) : tokens(std::move(tokens))
+    {
+    }
+
+    Document
+    document()
+    {
+        Document doc;
+        while (peek().kind != TokenKind::End)
+            doc.statements.push_back(statement());
+        return doc;
+    }
+
+  private:
+    const Token &peek() const { return tokens[pos]; }
+
+    const Token &
+    advance()
+    {
+        const Token &tok = tokens[pos];
+        if (tok.kind != TokenKind::End)
+            ++pos;
+        return tok;
+    }
+
+    const Token &
+    expect(TokenKind kind, const char *what)
+    {
+        if (peek().kind != kind) {
+            parseError(peek().loc,
+                       std::string("expected ") + what + ", got " +
+                           describe(peek()));
+        }
+        return advance();
+    }
+
+    static std::string
+    describe(const Token &tok)
+    {
+        if (tok.kind == TokenKind::Ident ||
+            tok.kind == TokenKind::Number)
+            return "'" + tok.text + "'";
+        return tokenKindName(tok.kind);
+    }
+
+    void
+    enter(SourceLoc loc)
+    {
+        if (++depth > maxNestingDepth)
+            parseError(loc, "nesting deeper than " +
+                                std::to_string(maxNestingDepth) +
+                                " levels");
+    }
+
+    void leave() { --depth; }
+
+    Statement
+    statement()
+    {
+        Statement stmt;
+        const Token &key = expect(TokenKind::Ident, "a statement keyword");
+        stmt.keyword = key.text;
+        stmt.loc = key.loc;
+
+        if (stmt.keyword == "let")
+            return letStatement(stmt);
+
+        while (peek().kind == TokenKind::Number ||
+               peek().kind == TokenKind::String ||
+               peek().kind == TokenKind::Ident ||
+               peek().kind == TokenKind::LBracket)
+            stmt.args.push_back(value());
+
+        if (peek().kind == TokenKind::LBrace) {
+            enter(peek().loc);
+            advance();
+            stmt.hasBlock = true;
+            while (peek().kind != TokenKind::RBrace) {
+                if (peek().kind == TokenKind::End)
+                    parseError(peek().loc, "unterminated block opened "
+                                           "for '" +
+                                               stmt.keyword + "'");
+                stmt.block.push_back(statement());
+            }
+            advance();
+            leave();
+            return stmt;
+        }
+        expect(TokenKind::Semicolon, "';' or '{'");
+        return stmt;
+    }
+
+    Statement
+    letStatement(Statement stmt)
+    {
+        const Token &name = expect(TokenKind::Ident, "a name after 'let'");
+        Value ref;
+        ref.kind = ValueKind::Ident;
+        ref.text = name.text;
+        ref.loc = name.loc;
+        stmt.args.push_back(ref);
+        expect(TokenKind::Equals, "'='");
+        stmt.args.push_back(value());
+        expect(TokenKind::Semicolon, "';'");
+        return stmt;
+    }
+
+    Value
+    value()
+    {
+        Value val;
+        val.loc = peek().loc;
+        switch (peek().kind) {
+        case TokenKind::Number:
+            val.kind = ValueKind::Number;
+            val.number = advance().number;
+            return val;
+        case TokenKind::String:
+            val.kind = ValueKind::String;
+            val.text = advance().text;
+            return val;
+        case TokenKind::Ident:
+            val.kind = ValueKind::Ident;
+            val.text = advance().text;
+            return val;
+        case TokenKind::LBracket: {
+            enter(peek().loc);
+            advance();
+            val.kind = ValueKind::List;
+            if (peek().kind != TokenKind::RBracket) {
+                val.items.push_back(value());
+                while (peek().kind == TokenKind::Comma) {
+                    advance();
+                    val.items.push_back(value());
+                }
+            }
+            expect(TokenKind::RBracket, "']'");
+            leave();
+            return val;
+        }
+        default:
+            parseError(peek().loc,
+                       "expected a value, got " + describe(peek()));
+        }
+    }
+
+    std::vector<Token> tokens;
+    std::size_t pos = 0;
+    std::size_t depth = 0;
+};
+
+} // namespace
+
+Document
+parse(const std::string &source)
+{
+    WCNN_FAILPOINT("scenario.parse",
+                   throw ScenarioError("scenario.parse", SourceLoc{},
+                                       "injected: scenario.parse"));
+    Parser parser(lex(source));
+    return parser.document();
+}
+
+} // namespace scenario
+} // namespace wcnn

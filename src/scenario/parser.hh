@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Recursive-descent parser of the scenario DSL.
+ *
+ * parse() is total over byte streams: any input either yields a
+ * Document or raises a ScenarioError with the line/column of the
+ * offending token — never a contract violation, never UB. The fuzz
+ * corpus and the property tests pin this.
+ */
+
+#ifndef WCNN_SCENARIO_PARSER_HH
+#define WCNN_SCENARIO_PARSER_HH
+
+#include <string>
+
+#include "scenario/ast.hh"
+
+namespace wcnn {
+namespace scenario {
+
+/** Nesting-depth bound of `{}`/`[]` (defeats stack exhaustion). */
+constexpr std::size_t maxNestingDepth = 32;
+
+/**
+ * Parse scenario source text.
+ *
+ * @param source Scenario text.
+ * @return The parsed document.
+ * @throws ScenarioError (kind "scenario.parse") on any lexical or
+ *         syntactic fault.
+ */
+Document parse(const std::string &source);
+
+} // namespace scenario
+} // namespace wcnn
+
+#endif // WCNN_SCENARIO_PARSER_HH

@@ -1,0 +1,90 @@
+#include "printer.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace wcnn {
+namespace scenario {
+
+namespace {
+
+std::string
+formatNumber(double v)
+{
+    char buf[64];
+    // Integral values print without a fraction; everything else gets
+    // 17 significant digits, enough to reproduce the double exactly.
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+    else
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+void
+printStatement(const Statement &stmt, std::size_t indent,
+               std::string &out)
+{
+    out.append(indent, ' ');
+    out += stmt.keyword;
+    if (stmt.keyword == "let") {
+        // let NAME = value;
+        out += ' ';
+        out += stmt.args[0].text;
+        out += " = ";
+        out += printValue(stmt.args[1]);
+        out += ";\n";
+        return;
+    }
+    for (const Value &arg : stmt.args) {
+        out += ' ';
+        out += printValue(arg);
+    }
+    if (!stmt.hasBlock) {
+        out += ";\n";
+        return;
+    }
+    out += " {\n";
+    for (const Statement &child : stmt.block)
+        printStatement(child, indent + 4, out);
+    out.append(indent, ' ');
+    out += "}\n";
+}
+
+} // namespace
+
+std::string
+printValue(const Value &value)
+{
+    switch (value.kind) {
+    case ValueKind::Number:
+        return formatNumber(value.number);
+    case ValueKind::String:
+        return "\"" + value.text + "\"";
+    case ValueKind::Ident:
+        return value.text;
+    case ValueKind::List: {
+        std::string out = "[";
+        for (std::size_t i = 0; i < value.items.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += printValue(value.items[i]);
+        }
+        out += "]";
+        return out;
+    }
+    }
+    return {};
+}
+
+std::string
+print(const Document &doc)
+{
+    std::string out;
+    for (const Statement &stmt : doc.statements)
+        printStatement(stmt, 0, out);
+    return out;
+}
+
+} // namespace scenario
+} // namespace wcnn

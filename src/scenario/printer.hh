@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Canonical printer of scenario documents.
+ *
+ * print() renders a Document back to DSL text in one normal form:
+ * four-space indentation, one statement per line, integral numbers
+ * without a fraction and everything else with 17 significant digits
+ * (round-trip exact for doubles). The property suite pins the
+ * fixpoint parse(print(parse(s))) == parse(s) — printed form included
+ * — for every shipped scenario.
+ */
+
+#ifndef WCNN_SCENARIO_PRINTER_HH
+#define WCNN_SCENARIO_PRINTER_HH
+
+#include <string>
+
+#include "scenario/ast.hh"
+
+namespace wcnn {
+namespace scenario {
+
+/** Render one value in canonical form (no trailing newline). */
+std::string printValue(const Value &value);
+
+/** Render a whole document in canonical form. */
+std::string print(const Document &doc);
+
+} // namespace scenario
+} // namespace wcnn
+
+#endif // WCNN_SCENARIO_PRINTER_HH

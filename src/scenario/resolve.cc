@@ -1,0 +1,743 @@
+#include "resolve.hh"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "core/failpoint.hh"
+#include "scenario/parser.hh"
+
+namespace wcnn {
+namespace scenario {
+
+namespace {
+
+const char *
+txnClassKeyword(sim::TxnClass cls)
+{
+    switch (cls) {
+    case sim::TxnClass::Manufacturing:
+        return "manufacturing";
+    case sim::TxnClass::DealerPurchase:
+        return "dealer_purchase";
+    case sim::TxnClass::DealerManage:
+        return "dealer_manage";
+    case sim::TxnClass::DealerBrowse:
+        return "dealer_browse";
+    }
+    return "";
+}
+
+class Resolver
+{
+  public:
+    explicit Resolver(const Document &doc) : doc(doc) {}
+
+    ResolvedScenario
+    run()
+    {
+        out.params = sim::WorkloadParams::defaults();
+        out.space = sim::SampleSpace::paperLike();
+        collectLets();
+        for (const Statement &stmt : doc.statements)
+            topLevel(stmt);
+        if (out.name.empty()) {
+            resolveError(SourceLoc{},
+                         "missing required `scenario \"name\";`");
+        }
+        finalChecks();
+        return out;
+    }
+
+  private:
+    // ---- let environment -------------------------------------------
+
+    void
+    collectLets()
+    {
+        for (const Statement &stmt : doc.statements) {
+            if (stmt.keyword != "let")
+                continue;
+            const std::string &name = stmt.args[0].text;
+            if (!lets.emplace(name, &stmt.args[1]).second) {
+                resolveError(stmt.loc,
+                             "duplicate let '" + name + "'");
+            }
+        }
+    }
+
+    /** Follow Ident chains through lets; cycle- and undefined-safe. */
+    Value
+    deref(const Value &v) const
+    {
+        if (v.kind != ValueKind::Ident)
+            return v;
+        std::set<std::string> visiting;
+        const Value *cur = &v;
+        while (cur->kind == ValueKind::Ident) {
+            if (!visiting.insert(cur->text).second) {
+                resolveError(v.loc, "cyclic let reference through '" +
+                                        cur->text + "'");
+            }
+            const auto it = lets.find(cur->text);
+            if (it == lets.end()) {
+                resolveError(cur->loc, "undefined reference '" +
+                                           cur->text + "'");
+            }
+            cur = it->second;
+        }
+        return *cur;
+    }
+
+    // ---- typed value accessors -------------------------------------
+
+    double
+    numberValue(const Value &v) const
+    {
+        const Value d = deref(v);
+        if (d.kind != ValueKind::Number) {
+            resolveError(v.loc, "expected a number, got " +
+                                    printableKind(d.kind));
+        }
+        return d.number;
+    }
+
+    std::vector<double>
+    listValue(const Value &v) const
+    {
+        const Value d = deref(v);
+        if (d.kind != ValueKind::List) {
+            resolveError(v.loc, "expected a [list], got " +
+                                    printableKind(d.kind));
+        }
+        std::vector<double> nums;
+        for (const Value &item : d.items)
+            nums.push_back(numberValue(item));
+        return nums;
+    }
+
+    static std::string
+    printableKind(ValueKind kind)
+    {
+        switch (kind) {
+        case ValueKind::Number:
+            return "a number";
+        case ValueKind::String:
+            return "a string";
+        case ValueKind::Ident:
+            return "an identifier";
+        case ValueKind::List:
+            return "a list";
+        }
+        return "a value";
+    }
+
+    // ---- statement-shape helpers -----------------------------------
+
+    /** Leaf statement: no block, between min and max values. */
+    static void
+    leaf(const Statement &s, std::size_t min, std::size_t max)
+    {
+        if (s.hasBlock) {
+            resolveError(s.loc, "key '" + s.keyword +
+                                    "' does not take a block");
+        }
+        if (s.args.size() < min || s.args.size() > max) {
+            resolveError(s.loc,
+                         "key '" + s.keyword + "' takes " +
+                             (min == max
+                                  ? std::to_string(min)
+                                  : std::to_string(min) + " to " +
+                                        std::to_string(max)) +
+                             " value(s), got " +
+                             std::to_string(s.args.size()));
+        }
+    }
+
+    /** Section statement: block required, exactly n values. */
+    static void
+    section(const Statement &s, std::size_t n)
+    {
+        if (!s.hasBlock) {
+            resolveError(s.loc, "section '" + s.keyword +
+                                    "' needs a { block }");
+        }
+        if (s.args.size() != n) {
+            resolveError(s.loc, "section '" + s.keyword + "' takes " +
+                                    std::to_string(n) +
+                                    " value(s), got " +
+                                    std::to_string(s.args.size()));
+        }
+    }
+
+    double
+    num(const Statement &s)
+    {
+        leaf(s, 1, 1);
+        return numberValue(s.args[0]);
+    }
+
+    double
+    numMin(const Statement &s, double min, const char *why)
+    {
+        const double v = num(s);
+        if (!(v >= min)) {
+            resolveError(s.loc, "'" + s.keyword + "' must be " + why +
+                                    ", got " + std::to_string(v));
+        }
+        return v;
+    }
+
+    double
+    numPositive(const Statement &s)
+    {
+        const double v = num(s);
+        if (!(v > 0.0)) {
+            resolveError(s.loc, "'" + s.keyword +
+                                    "' must be positive, got " +
+                                    std::to_string(v));
+        }
+        return v;
+    }
+
+    std::size_t
+    count(const Statement &s, std::size_t min)
+    {
+        const double v = num(s);
+        if (v != std::floor(v) || v < 0.0 || v > 1e9) {
+            resolveError(s.loc, "'" + s.keyword +
+                                    "' must be a whole number, got " +
+                                    std::to_string(v));
+        }
+        const auto n = static_cast<std::size_t>(v);
+        if (n < min) {
+            resolveError(s.loc, "'" + s.keyword + "' must be at least " +
+                                    std::to_string(min) + ", got " +
+                                    std::to_string(n));
+        }
+        return n;
+    }
+
+    std::string
+    ident(const Value &v) const
+    {
+        if (v.kind != ValueKind::Ident) {
+            resolveError(v.loc, "expected an identifier, got " +
+                                    printableKind(v.kind));
+        }
+        return v.text;
+    }
+
+    std::string
+    text(const Value &v) const
+    {
+        const Value d = deref(v);
+        if (d.kind != ValueKind::String) {
+            resolveError(v.loc, "expected a \"string\", got " +
+                                    printableKind(d.kind));
+        }
+        return d.text;
+    }
+
+    /** Reject the second occurrence of a section or key. */
+    void
+    once(const std::string &what, SourceLoc loc)
+    {
+        if (!seen.insert(what).second)
+            resolveError(loc, "duplicate " + what);
+    }
+
+    // ---- sections --------------------------------------------------
+
+    void
+    topLevel(const Statement &s)
+    {
+        if (s.keyword == "let")
+            return; // collected up front; forward references are legal
+        if (s.keyword == "scenario") {
+            leaf(s, 1, 1);
+            once("`scenario`", s.loc);
+            out.name = text(s.args[0]);
+            checkName(s.args[0].loc, out.name);
+            scenarioLoc = s.loc;
+            return;
+        }
+        if (s.keyword == "describe") {
+            leaf(s, 1, 1);
+            once("`describe`", s.loc);
+            out.description = text(s.args[0]);
+            return;
+        }
+        if (s.keyword == "host") {
+            section(s, 0);
+            once("`host`", s.loc);
+            hostSection(s);
+            return;
+        }
+        if (s.keyword == "pool") {
+            section(s, 1);
+            poolSection(s);
+            return;
+        }
+        if (s.keyword == "class") {
+            section(s, 1);
+            classSection(s);
+            return;
+        }
+        if (s.keyword == "arrivals") {
+            section(s, 1);
+            once("`arrivals`", s.loc);
+            arrivalsSection(s);
+            return;
+        }
+        if (s.keyword == "run") {
+            section(s, 0);
+            once("`run`", s.loc);
+            runSection(s);
+            return;
+        }
+        if (s.keyword == "space") {
+            section(s, 0);
+            once("`space`", s.loc);
+            spaceSection(s);
+            return;
+        }
+        resolveError(s.loc, "unknown section '" + s.keyword + "'");
+    }
+
+    void
+    checkName(SourceLoc loc, const std::string &name)
+    {
+        if (name.empty())
+            resolveError(loc, "scenario name must not be empty");
+        for (char c : name) {
+            const bool ok = (c >= 'a' && c <= 'z') ||
+                            (c >= '0' && c <= '9') || c == '_';
+            if (!ok) {
+                resolveError(loc,
+                             "scenario name must match [a-z0-9_]+, got "
+                             "\"" +
+                                 name + "\"");
+            }
+        }
+    }
+
+    void
+    hostSection(const Statement &host)
+    {
+        for (const Statement &s : host.block) {
+            once("host key '" + s.keyword + "'", s.loc);
+            if (s.keyword == "cores") {
+                out.params.cores = count(s, 1);
+            } else if (s.keyword == "thread_overhead") {
+                out.params.threadOverhead =
+                    numMin(s, 0.0, "non-negative");
+            } else if (s.keyword == "cs_overhead") {
+                out.params.csOverhead = numMin(s, 0.0, "non-negative");
+            } else if (s.keyword == "db_connections") {
+                out.params.dbConnections = count(s, 1);
+            } else if (s.keyword == "db_lock_factor") {
+                out.params.dbLockFactor = numMin(s, 0.0, "non-negative");
+            } else if (s.keyword == "backlog_cap") {
+                out.params.backlogCap = count(s, 1);
+            } else if (s.keyword == "default_backlog_cap") {
+                out.params.defaultBacklogCap = count(s, 1);
+            } else if (s.keyword == "network_latency") {
+                out.params.networkLatency =
+                    numMin(s, 0.0, "non-negative");
+            } else if (s.keyword == "service") {
+                serviceKey(s);
+            } else if (s.keyword == "gc") {
+                section(s, 0);
+                gcSection(s);
+            } else {
+                resolveError(s.loc,
+                             "unknown host key '" + s.keyword + "'");
+            }
+        }
+    }
+
+    void
+    serviceKey(const Statement &s)
+    {
+        leaf(s, 1, 2);
+        const std::string family = ident(s.args[0]);
+        if (family == "lognormal") {
+            out.params.serviceDist = sim::ServiceDist::Lognormal;
+            if (s.args.size() == 2) {
+                const double cov = numberValue(s.args[1]);
+                if (!(cov > 0.0)) {
+                    resolveError(s.args[1].loc,
+                                 "lognormal cov must be positive, got " +
+                                     std::to_string(cov));
+                }
+                out.params.serviceCov = cov;
+            }
+            return;
+        }
+        if (s.args.size() == 2) {
+            resolveError(s.args[1].loc,
+                         "service '" + family +
+                             "' takes no cov (only lognormal does)");
+        }
+        if (family == "exponential") {
+            out.params.serviceDist = sim::ServiceDist::Exponential;
+        } else if (family == "deterministic") {
+            out.params.serviceDist = sim::ServiceDist::Deterministic;
+        } else {
+            resolveError(s.args[0].loc,
+                         "unknown service distribution '" + family +
+                             "' (lognormal, exponential, "
+                             "deterministic)");
+        }
+    }
+
+    void
+    gcSection(const Statement &gc)
+    {
+        for (const Statement &s : gc.block) {
+            once("gc key '" + s.keyword + "'", s.loc);
+            if (s.keyword == "txn_interval") {
+                out.params.gcTxnInterval = count(s, 0);
+            } else if (s.keyword == "pause_mean") {
+                out.params.gcPauseMean = numPositive(s);
+            } else {
+                resolveError(s.loc,
+                             "unknown gc key '" + s.keyword + "'");
+            }
+        }
+    }
+
+    void
+    poolSection(const Statement &pool)
+    {
+        const std::string name = ident(pool.args[0]);
+        double *slot = nullptr;
+        if (name == "mfg")
+            slot = &out.base.mfgQueue;
+        else if (name == "web")
+            slot = &out.base.webQueue;
+        else if (name == "default")
+            slot = &out.base.defaultQueue;
+        else {
+            resolveError(pool.args[0].loc,
+                         "unknown pool '" + name +
+                             "' (mfg, web, default)");
+        }
+        once("`pool " + name + "`", pool.loc);
+
+        bool have_threads = false;
+        for (const Statement &s : pool.block) {
+            if (s.keyword == "threads") {
+                *slot = static_cast<double>(count(s, 0));
+                have_threads = true;
+            } else {
+                resolveError(s.loc,
+                             "unknown pool key '" + s.keyword + "'");
+            }
+        }
+        if (!have_threads) {
+            resolveError(pool.loc,
+                         "pool '" + name + "' needs a `threads N;`");
+        }
+    }
+
+    void
+    classSection(const Statement &cls_stmt)
+    {
+        const std::string name = ident(cls_stmt.args[0]);
+        sim::TxnProfile *profile = nullptr;
+        for (sim::TxnClass cls : sim::allTxnClasses) {
+            if (name == txnClassKeyword(cls)) {
+                profile = &out.params.profiles[static_cast<std::size_t>(
+                    cls)];
+                break;
+            }
+        }
+        if (!profile) {
+            resolveError(cls_stmt.args[0].loc,
+                         "unknown transaction class '" + name +
+                             "' (manufacturing, dealer_purchase, "
+                             "dealer_manage, dealer_browse)");
+        }
+        once("`class " + name + "`", cls_stmt.loc);
+
+        for (const Statement &s : cls_stmt.block) {
+            once("class " + name + " key '" + s.keyword + "'", s.loc);
+            if (s.keyword == "mix") {
+                profile->mix = numMin(s, 0.0, "non-negative");
+            } else if (s.keyword == "cpu_pre") {
+                profile->cpuPre = numPositive(s);
+            } else if (s.keyword == "cpu_post") {
+                profile->cpuPost = numPositive(s);
+            } else if (s.keyword == "db") {
+                profile->dbDemand = numPositive(s);
+            } else if (s.keyword == "rt_limit") {
+                profile->rtLimit = numPositive(s);
+            } else if (s.keyword == "aux") {
+                section(s, 0);
+                auxSection(s, *profile);
+            } else if (s.keyword == "no_aux") {
+                leaf(s, 0, 0);
+                profile->hasAuxHop = false;
+                profile->auxCpu = 0.0;
+                profile->auxDb = 0.0;
+            } else {
+                resolveError(s.loc, "unknown class key '" + s.keyword +
+                                        "'");
+            }
+        }
+    }
+
+    void
+    auxSection(const Statement &aux, sim::TxnProfile &profile)
+    {
+        profile.hasAuxHop = true;
+        bool have_cpu = false;
+        bool have_db = false;
+        for (const Statement &s : aux.block) {
+            if (s.keyword == "cpu") {
+                profile.auxCpu = numPositive(s);
+                have_cpu = true;
+            } else if (s.keyword == "db") {
+                profile.auxDb = numPositive(s);
+                have_db = true;
+            } else {
+                resolveError(s.loc,
+                             "unknown aux key '" + s.keyword + "'");
+            }
+        }
+        if (!have_cpu || !have_db) {
+            resolveError(aux.loc,
+                         "aux needs both `cpu X;` and `db X;`");
+        }
+    }
+
+    void
+    arrivalsSection(const Statement &arr)
+    {
+        const std::string family = ident(arr.args[0]);
+        std::map<std::string, const Statement *> keys;
+        for (const Statement &s : arr.block) {
+            if (!keys.emplace(s.keyword, &s).second) {
+                resolveError(s.loc, "duplicate arrivals key '" +
+                                        s.keyword + "'");
+            }
+        }
+        const auto take = [&](const char *key) -> const Statement * {
+            const auto it = keys.find(key);
+            if (it == keys.end())
+                return nullptr;
+            const Statement *s = it->second;
+            keys.erase(it);
+            return s;
+        };
+        const auto need = [&](const char *key) -> const Statement & {
+            const Statement *s = take(key);
+            if (!s) {
+                resolveError(arr.loc, "arrivals " + family +
+                                          " needs a `" + key + "` key");
+            }
+            return *s;
+        };
+        const auto done = [&] {
+            if (!keys.empty()) {
+                const Statement *stray = keys.begin()->second;
+                resolveError(stray->loc,
+                             "unknown arrivals " + family + " key '" +
+                                 stray->keyword + "'");
+            }
+        };
+
+        sim::ArrivalSpec &spec = out.base.arrival;
+        if (family == "poisson") {
+            spec.kind = sim::ArrivalKind::Poisson;
+            spec.nominalRate = numPositive(need("rate"));
+            out.base.loadModel = sim::LoadModel::Open;
+            out.base.injectionRate = spec.nominalRate;
+            done();
+            return;
+        }
+        if (family == "mmpp") {
+            spec.kind = sim::ArrivalKind::Mmpp;
+            const Statement &rates = need("rates");
+            leaf(rates, 1, 1);
+            spec.stateRates = listValue(rates.args[0]);
+            const Statement &sw = need("switch");
+            leaf(sw, 1, 1);
+            spec.switchRates = listValue(sw.args[0]);
+            if (spec.stateRates.empty()) {
+                resolveError(rates.loc,
+                             "mmpp needs at least one state rate");
+            }
+            if (spec.stateRates.size() != spec.switchRates.size()) {
+                resolveError(sw.loc,
+                             "mmpp `switch` needs one rate per state: " +
+                                 std::to_string(spec.stateRates.size()) +
+                                 " state(s), " +
+                                 std::to_string(spec.switchRates.size()) +
+                                 " switch rate(s)");
+            }
+            for (double r : spec.stateRates) {
+                if (!(r > 0.0)) {
+                    resolveError(rates.loc,
+                                 "mmpp state rates must be positive");
+                }
+            }
+            for (double r : spec.switchRates) {
+                if (!(r > 0.0)) {
+                    resolveError(sw.loc,
+                                 "mmpp switch rates must be positive");
+                }
+            }
+            spec.nominalRate = spec.meanRate();
+            out.base.loadModel = sim::LoadModel::Open;
+            out.base.injectionRate = spec.nominalRate;
+            done();
+            return;
+        }
+        if (family == "diurnal") {
+            spec.kind = sim::ArrivalKind::Diurnal;
+            spec.nominalRate = numPositive(need("rate"));
+            const Statement &amp = need("amplitude");
+            spec.amplitude = num(amp);
+            if (!(spec.amplitude >= 0.0 && spec.amplitude < 1.0)) {
+                resolveError(amp.loc,
+                             "diurnal amplitude must lie in [0, 1), "
+                             "got " +
+                                 std::to_string(spec.amplitude));
+            }
+            spec.period = numPositive(need("period"));
+            out.base.loadModel = sim::LoadModel::Open;
+            out.base.injectionRate = spec.nominalRate;
+            done();
+            return;
+        }
+        if (family == "closed") {
+            spec.kind = sim::ArrivalKind::Closed;
+            out.base.loadModel = sim::LoadModel::Closed;
+            out.base.population = count(need("population"), 1);
+            out.base.thinkTime = numPositive(need("think"));
+            done();
+            return;
+        }
+        resolveError(arr.args[0].loc,
+                     "unknown arrival family '" + family +
+                         "' (poisson, mmpp, diurnal, closed)");
+    }
+
+    void
+    runSection(const Statement &run)
+    {
+        for (const Statement &s : run.block) {
+            once("run key '" + s.keyword + "'", s.loc);
+            if (s.keyword == "warmup") {
+                out.base.warmup = numMin(s, 0.0, "non-negative");
+            } else if (s.keyword == "measure") {
+                out.base.measure = numPositive(s);
+            } else {
+                resolveError(s.loc,
+                             "unknown run key '" + s.keyword + "'");
+            }
+        }
+    }
+
+    void
+    spaceSection(const Statement &space)
+    {
+        for (const Statement &s : space.block) {
+            once("space axis '" + s.keyword + "'", s.loc);
+            sim::ParameterRange *range = nullptr;
+            if (s.keyword == "injection_rate")
+                range = &out.space.injectionRate;
+            else if (s.keyword == "default_queue")
+                range = &out.space.defaultQueue;
+            else if (s.keyword == "mfg_queue")
+                range = &out.space.mfgQueue;
+            else if (s.keyword == "web_queue")
+                range = &out.space.webQueue;
+            else {
+                resolveError(s.loc, "unknown space axis '" + s.keyword +
+                                        "' (injection_rate, "
+                                        "default_queue, mfg_queue, "
+                                        "web_queue)");
+            }
+            leaf(s, 2, 3);
+            range->lo = numberValue(s.args[0]);
+            range->hi = numberValue(s.args[1]);
+            if (s.args.size() == 3) {
+                const std::string mode = ident(s.args[2]);
+                if (mode == "integer")
+                    range->integral = true;
+                else if (mode == "continuous")
+                    range->integral = false;
+                else {
+                    resolveError(s.args[2].loc,
+                                 "expected 'integer' or 'continuous', "
+                                 "got '" +
+                                     mode + "'");
+                }
+            }
+            if (!(range->hi >= range->lo)) {
+                resolveError(s.loc, "'" + s.keyword +
+                                        "' bounds are out of order: " +
+                                        std::to_string(range->lo) +
+                                        " > " +
+                                        std::to_string(range->hi));
+            }
+            const double floor_lo =
+                s.keyword == "injection_rate" ? 1e-9 : 0.0;
+            if (!(range->lo >= floor_lo)) {
+                resolveError(s.loc,
+                             "'" + s.keyword + "' lower bound must be " +
+                                 (floor_lo > 0.0 ? "positive"
+                                                 : "non-negative"));
+            }
+        }
+    }
+
+    void
+    finalChecks()
+    {
+        double mix_total = 0.0;
+        for (sim::TxnClass cls : sim::allTxnClasses)
+            mix_total += out.params.profile(cls).mix;
+        if (!(mix_total > 0.0)) {
+            resolveError(scenarioLoc,
+                         "the transaction mix has no positive weight");
+        }
+        // The design sweeps injectionRate across the space; the
+        // simulator requires it positive even for closed scenarios
+        // (where it is inert but still validated).
+        if (!(out.space.injectionRate.lo > 0.0)) {
+            resolveError(scenarioLoc,
+                         "injection_rate lower bound must be positive");
+        }
+    }
+
+    const Document &doc;
+    ResolvedScenario out;
+    std::map<std::string, const Value *> lets;
+    std::set<std::string> seen;
+    SourceLoc scenarioLoc;
+};
+
+} // namespace
+
+ResolvedScenario
+resolve(const Document &doc)
+{
+    WCNN_FAILPOINT("scenario.resolve",
+                   throw ScenarioError("scenario.resolve", SourceLoc{},
+                                       "injected: scenario.resolve"));
+    return Resolver(doc).run();
+}
+
+ResolvedScenario
+resolveText(const std::string &source)
+{
+    return resolve(parse(source));
+}
+
+} // namespace scenario
+} // namespace wcnn

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Scenario resolver: parsed document -> simulation-ready bundle.
+ *
+ * The resolver is the single trust boundary between scenario text and
+ * the simulator. The simulator validates with *contracts* (bugs trip
+ * aborts, and are compiled out under WCNN_NO_CONTRACTS); scenario
+ * text is *input*, so the resolver re-checks every value the
+ * simulator would assert on — positive rates, matching MMPP vectors,
+ * sane run windows, ordered space bounds — and reports violations as
+ * typed ScenarioErrors with source locations. A document that
+ * resolves cleanly can be simulated without tripping any contract.
+ *
+ * Sections (all optional except `scenario`; defaults are the paper's
+ * operating point, see DESIGN.md §5.8):
+ *
+ *   scenario "name";                     # required, exactly once
+ *   describe "free text";
+ *   host { cores N; service FAMILY [COV]; gc { ... } ... }
+ *   pool mfg|web|default { threads N; }
+ *   class manufacturing|dealer_purchase|... { mix X; db X; ... }
+ *   arrivals poisson|mmpp|diurnal|closed { ... }
+ *   run { warmup X; measure X; }
+ *   space { injection_rate LO HI; mfg_queue LO HI integer; ... }
+ *   let NAME = value;                    # top level, forward refs ok
+ */
+
+#ifndef WCNN_SCENARIO_RESOLVE_HH
+#define WCNN_SCENARIO_RESOLVE_HH
+
+#include <string>
+
+#include "scenario/ast.hh"
+#include "sim/sample_space.hh"
+#include "sim/three_tier.hh"
+#include "sim/workload.hh"
+
+namespace wcnn {
+namespace scenario {
+
+/** Everything a scenario declares, lowered onto simulator types. */
+struct ResolvedScenario
+{
+    /** Scenario name (matches the library file stem). */
+    std::string name;
+
+    /** Free-text description (empty if not declared). */
+    std::string description;
+
+    /**
+     * Operating-point configuration: arrival process, load model,
+     * pool sizes, run windows. Design sweeps overlay the four swept
+     * axes onto copies of this base (see scenario::applyBase).
+     */
+    sim::ThreeTierConfig base;
+
+    /** Demand model (host + transaction classes). */
+    sim::WorkloadParams params;
+
+    /** Configuration-space ranges for designs over this scenario. */
+    sim::SampleSpace space;
+};
+
+/**
+ * Resolve a parsed document.
+ *
+ * @param doc Parser output.
+ * @return The lowered scenario.
+ * @throws ScenarioError (kind "scenario.resolve") on any semantic
+ *         fault: unknown sections or keys, wrong arity or type,
+ *         duplicate sections, undefined or cyclic `let` references,
+ *         and values the simulator would reject.
+ */
+ResolvedScenario resolve(const Document &doc);
+
+/** Convenience: parse + resolve in one step. */
+ResolvedScenario resolveText(const std::string &source);
+
+} // namespace scenario
+} // namespace wcnn
+
+#endif // WCNN_SCENARIO_RESOLVE_HH

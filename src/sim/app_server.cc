@@ -22,7 +22,15 @@ AppServer::sampleDemand(double mean)
 {
     if (mean <= 0.0)
         return 0.0;
-    return rng.lognormal(mean, params.serviceCov);
+    switch (params.serviceDist) {
+    case ServiceDist::Lognormal:
+        return rng.lognormal(mean, params.serviceCov);
+    case ServiceDist::Exponential:
+        return rng.exponential(mean);
+    case ServiceDist::Deterministic:
+        return mean;
+    }
+    WCNN_UNREACHABLE("invalid ServiceDist");
 }
 
 void

@@ -1,0 +1,201 @@
+#include "arrival.hh"
+
+#include <cmath>
+
+#include "core/contracts.hh"
+
+namespace wcnn {
+namespace sim {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+} // namespace
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+    case ArrivalKind::Poisson:
+        return "poisson";
+    case ArrivalKind::Mmpp:
+        return "mmpp";
+    case ArrivalKind::Diurnal:
+        return "diurnal";
+    case ArrivalKind::Closed:
+        return "closed";
+    }
+    WCNN_UNREACHABLE("invalid ArrivalKind");
+}
+
+double
+ArrivalSpec::meanRate() const
+{
+    if (kind != ArrivalKind::Mmpp)
+        return nominalRate;
+    WCNN_REQUIRE(!stateRates.empty() &&
+                     stateRates.size() == switchRates.size(),
+                 "MMPP needs matching, non-empty rate vectors");
+    // Cyclic chain: expected time per cycle in state i is
+    // 1/switchRates[i], so the stationary time share is proportional
+    // to it and the mean rate is the share-weighted state-rate mix.
+    double weighted = 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < stateRates.size(); ++i) {
+        WCNN_REQUIRE(switchRates[i] > 0.0,
+                     "MMPP switch rates must be positive");
+        const double share = 1.0 / switchRates[i];
+        weighted += stateRates[i] * share;
+        total += share;
+    }
+    return weighted / total;
+}
+
+double
+ArrivalSpec::envelopeRate(double t) const
+{
+    switch (kind) {
+    case ArrivalKind::Diurnal:
+        WCNN_REQUIRE(period > 0.0, "diurnal period must be positive");
+        return nominalRate *
+               (1.0 + amplitude * std::sin(kTwoPi * (t / period)));
+    case ArrivalKind::Poisson:
+    case ArrivalKind::Closed:
+        return nominalRate;
+    case ArrivalKind::Mmpp:
+        return meanRate();
+    }
+    WCNN_UNREACHABLE("invalid ArrivalKind");
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec &spec, double mean_rate,
+                               numeric::Rng rng)
+    : spec(spec), scale(1.0), rng(rng)
+{
+    WCNN_REQUIRE(mean_rate > 0.0, "arrival mean rate must be positive, got ",
+                 mean_rate);
+    WCNN_REQUIRE(spec.kind != ArrivalKind::Closed,
+                 "closed loops have no open-loop arrival process");
+    const double declared = spec.meanRate();
+    WCNN_REQUIRE(declared > 0.0, "declared arrival envelope must have a "
+                                 "positive mean rate");
+    scale = mean_rate / declared;
+    switch (spec.kind) {
+    case ArrivalKind::Mmpp:
+        for (double r : spec.stateRates)
+            WCNN_REQUIRE(r > 0.0, "MMPP state rates must be positive");
+        stateTime.assign(spec.stateRates.size(), 0.0);
+        sojournLeft =
+            this->rng.exponential(1.0 / spec.switchRates[0]);
+        break;
+    case ArrivalKind::Diurnal:
+        WCNN_REQUIRE(spec.amplitude >= 0.0 && spec.amplitude < 1.0,
+                     "diurnal amplitude must lie in [0, 1), got ",
+                     spec.amplitude);
+        WCNN_REQUIRE(spec.period > 0.0,
+                     "diurnal period must be positive, got ", spec.period);
+        break;
+    case ArrivalKind::Poisson:
+        break;
+    case ArrivalKind::Closed:
+        WCNN_UNREACHABLE("rejected above");
+    }
+}
+
+double
+ArrivalProcess::timeInState(std::size_t s) const
+{
+    WCNN_CHECK_INDEX(s, stateTime.empty() ? 1 : stateTime.size());
+    return stateTime.empty() ? clock : stateTime[s];
+}
+
+double
+ArrivalProcess::nextGap()
+{
+    switch (spec.kind) {
+    case ArrivalKind::Poisson: {
+        const double gap =
+            rng.exponential(1.0 / (spec.nominalRate * scale));
+        clock += gap;
+        return gap;
+    }
+    case ArrivalKind::Mmpp: {
+        // Competing exponentials: the next arrival in the current
+        // state races the end of the state's sojourn. Crossing a
+        // switch resamples the arrival gap — memorylessness makes
+        // that statistically exact for an MMPP.
+        double gap = 0.0;
+        for (;;) {
+            const double rate = spec.stateRates[stateIndex] * scale;
+            const double arrival = rng.exponential(1.0 / rate);
+            if (arrival <= sojournLeft) {
+                sojournLeft -= arrival;
+                stateTime[stateIndex] += arrival;
+                gap += arrival;
+                clock += gap;
+                return gap;
+            }
+            gap += sojournLeft;
+            stateTime[stateIndex] += sojournLeft;
+            stateIndex = (stateIndex + 1) % spec.stateRates.size();
+            ++nSwitches;
+            sojournLeft =
+                rng.exponential(1.0 / spec.switchRates[stateIndex]);
+        }
+    }
+    case ArrivalKind::Diurnal: {
+        // Thinning (Lewis-Shedler): candidate arrivals at the peak
+        // rate, accepted with probability envelope(t) / peak.
+        const double peak =
+            spec.nominalRate * scale * (1.0 + spec.amplitude);
+        double gap = 0.0;
+        for (;;) {
+            gap += rng.exponential(1.0 / peak);
+            const double rate = scale * spec.envelopeRate(clock + gap);
+            if (rng.uniform() < rate / peak) {
+                clock += gap;
+                return gap;
+            }
+        }
+    }
+    case ArrivalKind::Closed:
+        break;
+    }
+    WCNN_UNREACHABLE("invalid ArrivalKind in nextGap");
+}
+
+ProcessDriver::ProcessDriver(Simulator &sim, AppServer &server,
+                             const ArrivalSpec &spec, double mean_rate,
+                             const WorkloadParams &params,
+                             numeric::Rng rng, double horizon)
+    : sim(sim), server(server), horizon(horizon), rng(rng),
+      process(spec, mean_rate, this->rng.split())
+{
+    for (TxnClass cls : allTxnClasses)
+        mixWeights.push_back(params.profile(cls).mix);
+}
+
+void
+ProcessDriver::start()
+{
+    sim.schedule(process.nextGap(), [this] { injectNext(); });
+}
+
+void
+ProcessDriver::injectNext()
+{
+    if (sim.now() > horizon)
+        return;
+
+    Request req;
+    req.id = ++nInjected;
+    req.cls = allTxnClasses[rng.discrete(mixWeights)];
+    req.arrivalTime = sim.now();
+    server.handle(req);
+
+    sim.schedule(process.nextGap(), [this] { injectNext(); });
+}
+
+} // namespace sim
+} // namespace wcnn

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Arrival-process taxonomy beyond the paper's open Poisson driver.
+ *
+ * The paper injects load as a homogeneous Poisson stream at one
+ * configured rate. Real workloads are burstier and time-varying:
+ * request-rate traces of production websites show diurnal envelopes
+ * and burst regimes (arXiv 1507.07204), and the scenario library
+ * exercises the surrogate across exactly those families. This module
+ * defines the declarative ArrivalSpec the scenario DSL lowers to, a
+ * pure ArrivalProcess generator (testable without a simulator), and
+ * the ProcessDriver that injects such a stream into the app server.
+ *
+ * Rate scaling: a spec declares absolute rates; meanRate() is its
+ * stationary mean. At simulation time the whole envelope is scaled by
+ * injectionRate / meanRate(), so the `injection_rate` configuration
+ * axis means "mean offered load" for every arrival family and design
+ * sweeps stay meaningful. When injectionRate equals meanRate() the
+ * scale is exactly 1.0 and the declared rates are used bit-for-bit.
+ */
+
+#ifndef WCNN_SIM_ARRIVAL_HH
+#define WCNN_SIM_ARRIVAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/rng.hh"
+#include "sim/app_server.hh"
+#include "sim/simulator.hh"
+#include "sim/txn.hh"
+#include "sim/workload.hh"
+
+namespace wcnn {
+namespace sim {
+
+/** Arrival-process family of a workload scenario. */
+enum class ArrivalKind : std::uint8_t
+{
+    Poisson, ///< homogeneous Poisson at the configured rate (paper)
+    Mmpp,    ///< Markov-modulated Poisson, cyclic state chain
+    Diurnal, ///< sinusoidal rate envelope (nonhomogeneous Poisson)
+    Closed,  ///< fixed user population with think times
+};
+
+/** Stable lowercase name of an arrival kind ("poisson", ...). */
+const char *arrivalKindName(ArrivalKind kind);
+
+/**
+ * Declarative arrival-process description (what the scenario DSL's
+ * `arrivals` section lowers to). Poisson needs no extra fields — the
+ * rate is ThreeTierConfig::injectionRate, preserving the paper path.
+ */
+struct ArrivalSpec
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+
+    /**
+     * MMPP: per-state arrival rates (req/s, all > 0). States form a
+     * cycle 0 -> 1 -> ... -> n-1 -> 0, which keeps the stationary
+     * distribution closed-form: time share of state i is proportional
+     * to 1 / switchRates[i].
+     */
+    std::vector<double> stateRates;
+
+    /** MMPP: per-state exit (switch) rates (1/s, all > 0). */
+    std::vector<double> switchRates;
+
+    /** Diurnal: relative swing of the envelope, in [0, 1). */
+    double amplitude = 0.0;
+
+    /** Diurnal: envelope period (simulated seconds, > 0). */
+    double period = 60.0;
+
+    /**
+     * Stationary mean arrival rate of the declared envelope at scale
+     * 1: the configured rate for Poisson/Diurnal (`nominalRate`), the
+     * cycle-weighted state mix for MMPP. Closed has no open-loop
+     * rate; meanRate() returns nominalRate for symmetry.
+     */
+    double meanRate() const;
+
+    /**
+     * Declared base rate (req/s) for Poisson and Diurnal; for MMPP it
+     * is ignored (the state rates define the envelope). The resolver
+     * sets ThreeTierConfig::injectionRate to meanRate(), making the
+     * simulation-time scale factor exactly 1 at the declared point.
+     */
+    double nominalRate = 560.0;
+
+    /**
+     * Instantaneous envelope rate at absolute time t, at scale 1.
+     * For MMPP this is the stationary mean (the state path is
+     * random); for Diurnal it is the deterministic sinusoid. Pure
+     * function — the periodicity property test pins
+     * envelopeRate(t + period) == envelopeRate(t) to sin() roundoff.
+     */
+    double envelopeRate(double t) const;
+};
+
+/**
+ * Deterministic arrival-gap generator for one spec. Pure with respect
+ * to its Rng: no simulator needed, which is what the statistical
+ * property tests exercise (declared rate vs. realized inter-arrival
+ * mean, MMPP switch counts vs. declared exit rates, diurnal
+ * periodicity).
+ */
+class ArrivalProcess
+{
+  public:
+    /**
+     * @param spec      Arrival family and parameters (validated by
+     *                  contract — callers lower through the scenario
+     *                  resolver, which raises typed errors first).
+     * @param mean_rate Target mean rate; the declared envelope is
+     *                  scaled by mean_rate / spec.meanRate().
+     * @param rng       Generator owned by this process.
+     */
+    ArrivalProcess(const ArrivalSpec &spec, double mean_rate,
+                   numeric::Rng rng);
+
+    /** Advance to the next arrival; returns the gap in seconds. */
+    double nextGap();
+
+    /** Internal clock: total time generated so far (seconds). */
+    double elapsed() const { return clock; }
+
+    /** Current MMPP state (0 for the other families). */
+    std::size_t state() const { return stateIndex; }
+
+    /** MMPP state switches generated so far. */
+    std::uint64_t switches() const { return nSwitches; }
+
+    /** Time spent in one MMPP state so far (seconds). */
+    double timeInState(std::size_t s) const;
+
+  private:
+    ArrivalSpec spec;
+    double scale; ///< mean_rate / spec.meanRate()
+    numeric::Rng rng;
+
+    double clock = 0.0;
+    std::size_t stateIndex = 0;
+    std::uint64_t nSwitches = 0;
+    std::vector<double> stateTime;
+    double sojournLeft = 0.0; ///< MMPP: remaining time in this state
+};
+
+/**
+ * Open-loop injector for MMPP/diurnal streams: the Driver's shape
+ * (one scheduled event per arrival, class drawn from the mix) with
+ * the gap sequence produced by an ArrivalProcess. The Poisson family
+ * keeps using the original Driver so the paper's code path stays
+ * byte-identical.
+ */
+class ProcessDriver
+{
+  public:
+    /**
+     * @param sim       Owning simulator.
+     * @param server    Target application server.
+     * @param spec      Arrival family (Mmpp or Diurnal).
+     * @param mean_rate Target mean rate (> 0), usually
+     *                  ThreeTierConfig::injectionRate.
+     * @param params    Workload (for the class mix).
+     * @param rng       Generator; split internally between gap
+     *                  generation and class draws.
+     * @param horizon   Stop injecting at this simulation time.
+     */
+    ProcessDriver(Simulator &sim, AppServer &server,
+                  const ArrivalSpec &spec, double mean_rate,
+                  const WorkloadParams &params, numeric::Rng rng,
+                  double horizon);
+
+    /** Schedule the first arrival. */
+    void start();
+
+    /** Requests injected so far. */
+    std::uint64_t injected() const { return nInjected; }
+
+  private:
+    void injectNext();
+
+    Simulator &sim;
+    AppServer &server;
+    double horizon;
+    numeric::Rng rng; ///< class draws
+    ArrivalProcess process;
+    std::vector<double> mixWeights;
+    std::uint64_t nInjected = 0;
+};
+
+} // namespace sim
+} // namespace wcnn
+
+#endif // WCNN_SIM_ARRIVAL_HH

@@ -6,6 +6,7 @@
 
 #include "numeric/rng.hh"
 #include "sim/app_server.hh"
+#include "sim/arrival.hh"
 #include "sim/cpu.hh"
 #include "sim/database.hh"
 #include "sim/closed_driver.hh"
@@ -74,11 +75,23 @@ simulateThreeTier(const ThreeTierConfig &cfg,
 
     std::uint64_t injected = 0;
     if (cfg.loadModel == LoadModel::Open) {
-        Driver driver(sim, server, cfg.injectionRate, params,
-                      master.split(), run_end);
-        driver.start();
-        sim.run(run_end);
-        injected = driver.injected();
+        if (cfg.arrival.kind == ArrivalKind::Poisson) {
+            // The paper's homogeneous driver, kept on its original
+            // code path so seeds replay bit-identically to pre-DSL
+            // builds.
+            Driver driver(sim, server, cfg.injectionRate, params,
+                          master.split(), run_end);
+            driver.start();
+            sim.run(run_end);
+            injected = driver.injected();
+        } else {
+            ProcessDriver driver(sim, server, cfg.arrival,
+                                 cfg.injectionRate, params,
+                                 master.split(), run_end);
+            driver.start();
+            sim.run(run_end);
+            injected = driver.injected();
+        }
     } else {
         ClosedLoopDriver driver(sim, server, cfg.population,
                                 cfg.thinkTime, params, master.split(),

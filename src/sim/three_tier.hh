@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/arrival.hh"
 #include "sim/collector.hh"
 #include "sim/workload.hh"
 
@@ -61,6 +62,15 @@ struct ThreeTierConfig
 
     /** Closed model: mean think time per user (seconds). */
     double thinkTime = 0.5;
+
+    /**
+     * Arrival-process family (Open load model). The default Poisson
+     * spec reproduces the paper's driver bit-for-bit; Mmpp/Diurnal
+     * specs route through the ProcessDriver with the declared
+     * envelope scaled so its mean equals injectionRate. Ignored when
+     * loadModel is Closed.
+     */
+    ArrivalSpec arrival;
 
     /** Inputs in canonical column order. */
     std::vector<double> toVector() const;

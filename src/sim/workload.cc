@@ -1,7 +1,23 @@
 #include "workload.hh"
 
+#include "core/contracts.hh"
+
 namespace wcnn {
 namespace sim {
+
+const char *
+serviceDistName(ServiceDist dist)
+{
+    switch (dist) {
+    case ServiceDist::Lognormal:
+        return "lognormal";
+    case ServiceDist::Exponential:
+        return "exponential";
+    case ServiceDist::Deterministic:
+        return "deterministic";
+    }
+    WCNN_UNREACHABLE("invalid ServiceDist");
+}
 
 WorkloadParams
 WorkloadParams::defaults()

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstddef>
+#include <cstdint>
 
 #include "sim/txn.hh"
 
@@ -59,6 +60,25 @@ struct TxnProfile
     double rtLimit = 2.0;
 };
 
+/**
+ * Service-time distribution family of all CPU/DB demands.
+ *
+ * The paper's synthetic workload draws lognormal demands; the
+ * scenario library also exercises the surrogate under exponential
+ * (memoryless, CV fixed at 1) and deterministic (CV 0) services,
+ * which move the queueing behaviour between the M/M- and M/D-like
+ * regimes without touching the demand means.
+ */
+enum class ServiceDist : std::uint8_t
+{
+    Lognormal,     ///< mean + serviceCov (the paper-like default)
+    Exponential,   ///< memoryless; serviceCov is ignored (CV = 1)
+    Deterministic, ///< exactly the mean; serviceCov is ignored (CV = 0)
+};
+
+/** Stable lowercase name of a service distribution ("lognormal", ...). */
+const char *serviceDistName(ServiceDist dist);
+
 /** Whole-system demand and host parameters. */
 struct WorkloadParams
 {
@@ -93,6 +113,9 @@ struct WorkloadParams
      * the driver measures end-to-end latency, not server residence.
      */
     double networkLatency = 0.35;
+
+    /** Distribution family of all service demands. */
+    ServiceDist serviceDist = ServiceDist::Lognormal;
 
     /** Coefficient of variation of all service demands (lognormal). */
     double serviceCov = 0.8;

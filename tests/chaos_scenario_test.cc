@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Fault injection against the scenario layer. The contract pinned
+ * here is blast-radius containment: a fault injected at the
+ * scenario.parse or scenario.resolve failpoint surfaces as the same
+ * typed ScenarioError a genuinely malformed file produces, the
+ * failing load costs exactly that one load, and after disarming the
+ * same scenario loads cleanly — no poisoned caches, no partial
+ * resolver state, no contract trips.
+ *
+ * Failpoint scenarios need library-side injection sites, so they skip
+ * when the library was built with WCNN_NO_FAILPOINTS.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/failpoint.hh"
+#include "scenario/library.hh"
+#include "scenario/resolve.hh"
+
+namespace fp = wcnn::core::failpoint;
+
+using namespace wcnn;
+
+namespace {
+
+class ChaosScenarioTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fp::reset(); }
+    void TearDown() override { fp::reset(); }
+};
+
+#define REQUIRE_LIBRARY_FAILPOINTS()                                   \
+    do {                                                               \
+        if (!fp::compiledIn())                                         \
+            GTEST_SKIP() << "library built with WCNN_NO_FAILPOINTS";   \
+    } while (0)
+
+constexpr const char *kMinimal = "scenario \"chaos\";";
+
+} // namespace
+
+TEST_F(ChaosScenarioTest, ParseFaultSurfacesAsATypedScenarioError)
+{
+    REQUIRE_LIBRARY_FAILPOINTS();
+    fp::armFromSpec("scenario.parse=always");
+    try {
+        (void)scenario::resolveText(kMinimal);
+        FAIL() << "armed scenario.parse failpoint did not fire";
+    } catch (const scenario::ScenarioError &e) {
+        EXPECT_EQ(std::string(e.kind()), "scenario.parse");
+        EXPECT_NE(std::string(e.what()).find("injected"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(fp::fires("scenario.parse"), 1u);
+}
+
+TEST_F(ChaosScenarioTest, ResolveFaultSurfacesAsATypedScenarioError)
+{
+    REQUIRE_LIBRARY_FAILPOINTS();
+    fp::armFromSpec("scenario.resolve=always");
+    try {
+        (void)scenario::resolveText(kMinimal);
+        FAIL() << "armed scenario.resolve failpoint did not fire";
+    } catch (const scenario::ScenarioError &e) {
+        EXPECT_EQ(std::string(e.kind()), "scenario.resolve");
+    }
+    // The parse stage ran untouched; only resolution faulted.
+    EXPECT_EQ(fp::hits("scenario.resolve"), 1u);
+}
+
+TEST_F(ChaosScenarioTest, NthTriggerCostsExactlyTheScheduledLoad)
+{
+    REQUIRE_LIBRARY_FAILPOINTS();
+    // Loads 1 and 3 succeed; only load 2 pays for the fault.
+    fp::armFromSpec("scenario.parse=nth:2");
+    EXPECT_NO_THROW((void)scenario::resolveText(kMinimal));
+    EXPECT_THROW((void)scenario::resolveText(kMinimal),
+                 scenario::ScenarioError);
+    EXPECT_NO_THROW((void)scenario::resolveText(kMinimal));
+    EXPECT_EQ(fp::hits("scenario.parse"), 3u);
+    EXPECT_EQ(fp::fires("scenario.parse"), 1u);
+}
+
+TEST_F(ChaosScenarioTest, LibraryLoadsRecoverAfterDisarm)
+{
+    REQUIRE_LIBRARY_FAILPOINTS();
+    fp::armFromSpec("scenario.resolve=always");
+    EXPECT_THROW((void)scenario::loadNamed("paper_3tier"),
+                 scenario::ScenarioError);
+
+    // Blast radius: the failed load left nothing behind; the same
+    // scenario resolves to its full shape immediately after disarm.
+    fp::reset();
+    const scenario::ResolvedScenario rs =
+        scenario::loadNamed("paper_3tier");
+    EXPECT_EQ(rs.name, "paper_3tier");
+    EXPECT_EQ(rs.base.injectionRate, 560.0);
+}
+
+TEST_F(ChaosScenarioTest, InjectedFaultsNarrowFromTheBaseError)
+{
+    REQUIRE_LIBRARY_FAILPOINTS();
+    // Drivers that only catch wcnn::Error (the CLI's `scenario
+    // --check`) contain injected faults the same way they contain
+    // genuinely malformed files.
+    fp::armFromSpec("scenario.parse=always");
+    EXPECT_THROW((void)scenario::resolveText(kMinimal), wcnn::Error);
+}

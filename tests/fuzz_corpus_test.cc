@@ -22,6 +22,8 @@
 #include "core/error.hh"
 #include "data/csv.hh"
 #include "nn/serialize.hh"
+#include "scenario/error.hh"
+#include "scenario/resolve.hh"
 #include "serve/error.hh"
 #include "serve/net/protocol.hh"
 
@@ -99,6 +101,42 @@ const char *const kJsonWireCorpus[] = {
     "wire_json_embedded_nul.bin",
     "wire_json_unterminated_string.bin",
     "wire_json_bare_array.bin",
+};
+
+/**
+ * Malformed scenario text, categorized by which stage owes the
+ * diagnostic: "scenario.parse" for lexical/syntactic faults,
+ * "scenario.resolve" for documents that parse but declare something
+ * semantically invalid. Either way the contract layer stays silent —
+ * the resolver pre-validates everything the simulator asserts on.
+ */
+struct ScenarioCase
+{
+    const char *name;
+    const char *kind;
+};
+
+const ScenarioCase kScenarioCorpus[] = {
+    // Lexical faults.
+    {"scn_unterminated_string.wcnn", "scenario.parse"},
+    {"scn_nonfinite_literal.wcnn", "scenario.parse"},
+    {"scn_bad_token.wcnn", "scenario.parse"},
+    // Syntactic faults.
+    {"scn_truncated_block.wcnn", "scenario.parse"},
+    {"scn_missing_semicolon.wcnn", "scenario.parse"},
+    {"scn_deep_nesting.wcnn", "scenario.parse"},
+    // Semantic faults.
+    {"scn_string_where_number.wcnn", "scenario.resolve"},
+    {"scn_empty.wcnn", "scenario.resolve"},
+    {"scn_duplicate_pool.wcnn", "scenario.resolve"},
+    {"scn_duplicate_class.wcnn", "scenario.resolve"},
+    {"scn_cyclic_let.wcnn", "scenario.resolve"},
+    {"scn_undefined_ref.wcnn", "scenario.resolve"},
+    {"scn_unknown_section.wcnn", "scenario.resolve"},
+    {"scn_wrong_arity.wcnn", "scenario.resolve"},
+    {"scn_negative_rate.wcnn", "scenario.resolve"},
+    {"scn_unknown_pool.wcnn", "scenario.resolve"},
+    {"scn_mmpp_mismatch.wcnn", "scenario.resolve"},
 };
 
 } // namespace
@@ -187,6 +225,30 @@ TEST(FuzzCorpus, EveryHostileJsonLineRaisesATypedProtocolError)
     }
 }
 
+TEST(FuzzCorpus, EveryMalformedScenarioRaisesATypedScenarioError)
+{
+    for (const ScenarioCase &c : kScenarioCorpus) {
+        const std::string source = slurp(c.name);
+        try {
+            (void)wcnn::scenario::resolveText(source);
+            ADD_FAILURE() << c.name
+                          << ": resolver accepted malformed input";
+        } catch (const wcnn::scenario::ScenarioError &e) {
+            EXPECT_EQ(std::string(e.kind()), c.kind) << c.name;
+            // Every diagnostic carries a usable 1-based location,
+            // embedded in what() for drivers that only print.
+            EXPECT_GE(e.loc().line, 1u) << c.name;
+            EXPECT_GE(e.loc().column, 1u) << c.name;
+            EXPECT_NE(std::string(e.what()).find("line "),
+                      std::string::npos)
+                << c.name;
+        } catch (const wcnn::ContractViolation &e) {
+            ADD_FAILURE() << c.name << ": contract abort instead of "
+                          << "ScenarioError: " << e.what();
+        }
+    }
+}
+
 TEST(FuzzCorpus, CorpusFailuresAreCatchableAsTheBaseError)
 {
     // One taxonomy: anything the parsers throw narrows from
@@ -195,4 +257,7 @@ TEST(FuzzCorpus, CorpusFailuresAreCatchableAsTheBaseError)
     EXPECT_THROW((void)wcnn::data::readCsv(csv), wcnn::Error);
     std::stringstream model(slurp("model_bad_magic.txt"));
     EXPECT_THROW((void)wcnn::nn::Serializer::read(model), wcnn::Error);
+    EXPECT_THROW(
+        (void)wcnn::scenario::resolveText(slurp("scn_bad_token.wcnn")),
+        wcnn::Error);
 }

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Golden pinning of the scenario library's collected datasets.
+ *
+ * Two guarantees, layered:
+ *
+ *  1. Byte identity with the legacy path: the paper_3tier scenario,
+ *     swept and collected, must produce the *same CSV text* as the
+ *     hard-coded SampleSpace::paperLike() + WorkloadParams::defaults()
+ *     pipeline — proving the DSL changed the spelling of the paper's
+ *     experiment, not the experiment.
+ *
+ *  2. Cross-thread and cross-session determinism for every shipped
+ *     scenario: a small seeded design's dataset digest is identical at
+ *     1, 2 and 8 collection threads, and equal to the digest pinned
+ *     below. Any RNG-threading, seed-assignment or arrival-process
+ *     regression fails here by name.
+ *
+ * Regenerate after an *intentional* simulator change with
+ *   WCNN_GOLDEN_REGEN=1 ./golden_scenario_test
+ * and paste the printed block over the table below.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "data/csv.hh"
+#include "numeric/rng.hh"
+#include "scenario/library.hh"
+#include "sim/sample_space.hh"
+
+#ifndef WCNN_SCENARIO_SRC_DIR
+#error "build must define WCNN_SCENARIO_SRC_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace {
+
+using namespace wcnn;
+
+/** Design size per scenario: small, but exercises the whole space. */
+constexpr std::size_t kDesignPoints = 4;
+
+/** Design seed; also the collection seed base. */
+constexpr std::uint64_t kSeed = 2006;
+
+/** Per-scenario digest of the canonical small-design dataset. */
+struct GoldenDigest
+{
+    const char *name;
+    const char *digest;
+};
+
+const GoldenDigest kGoldenDigests[] = {
+    {"browse_heavy_mix", "8d463827663dd28e"},
+    {"bursty_mmpp", "85ab11326898cf23"},
+    {"closed_heavy_think", "8fd2f400bd3709f4"},
+    {"closed_loop", "b8d03c13aca5c538"},
+    {"db_bound", "e83677404e64c67a"},
+    {"deterministic_services", "1153a7710012d11e"},
+    {"diurnal", "a99e5f41bb0ba1e3"},
+    {"exp_services", "17e677ab32bce01f"},
+    {"gc_pressure", "2552a8b55eb7a3ea"},
+    {"heavy_tail", "f9efec5efd0a0660"},
+    {"hetero_big_host", "b297556643f20cfd"},
+    {"hetero_small_host", "618b394c064a4c09"},
+    {"no_gc", "6c876f6aed764910"},
+    {"paper_3tier", "e632754e57e77172"},
+    {"surge_mmpp3", "65321d5a7d63eb81"},
+};
+
+/**
+ * The canonical small design over one scenario: LHS(4) on its space,
+ * base overlaid, windows shortened to a test budget (the full
+ * declared windows run in `wcnn fit --scenario` and the benches).
+ */
+std::vector<sim::ThreeTierConfig>
+canonicalDesign(const scenario::ResolvedScenario &rs)
+{
+    numeric::Rng rng(kSeed);
+    auto configs =
+        sim::latinHypercubeDesign(rs.space, kDesignPoints, rng);
+    scenario::applyBase(rs, configs);
+    for (sim::ThreeTierConfig &cfg : configs) {
+        cfg.warmup = 4.0;
+        cfg.measure = 16.0;
+    }
+    return configs;
+}
+
+data::Dataset
+collectAtThreads(const scenario::ResolvedScenario &rs,
+                 std::size_t threads)
+{
+    return sim::collectSimulated(canonicalDesign(rs), rs.params, kSeed,
+                                 1, threads);
+}
+
+} // namespace
+
+TEST(GoldenScenarioTest, PaperScenarioIsByteIdenticalToTheLegacyPath)
+{
+    // Legacy spelling: hard-coded space, default params, default
+    // config fields (only the windows shortened, same as the design).
+    numeric::Rng legacy_rng(kSeed);
+    auto legacy = sim::latinHypercubeDesign(sim::SampleSpace::paperLike(),
+                                            kDesignPoints, legacy_rng);
+    for (sim::ThreeTierConfig &cfg : legacy) {
+        cfg.warmup = 4.0;
+        cfg.measure = 16.0;
+    }
+    const data::Dataset expected = sim::collectSimulated(
+        legacy, sim::WorkloadParams::defaults(), kSeed, 1, 1);
+
+    const scenario::ResolvedScenario rs =
+        scenario::loadNamed("paper_3tier");
+    const data::Dataset actual = collectAtThreads(rs, 1);
+
+    std::ostringstream want, got;
+    data::writeCsv(expected, want);
+    data::writeCsv(actual, got);
+    EXPECT_EQ(got.str(), want.str())
+        << "paper_3tier.wcnn no longer reproduces the hard-coded "
+           "pipeline byte for byte";
+}
+
+TEST(GoldenScenarioTest, PinnedDigestsAtEveryThreadCount)
+{
+    const bool regen = std::getenv("WCNN_GOLDEN_REGEN") != nullptr;
+    if (regen)
+        std::printf("const GoldenDigest kGoldenDigests[] = {\n");
+
+    for (const GoldenDigest &golden : kGoldenDigests) {
+        const scenario::ResolvedScenario rs =
+            scenario::loadNamed(golden.name);
+        const std::string at1 =
+            data::csvDigest(collectAtThreads(rs, 1));
+        const std::string at2 =
+            data::csvDigest(collectAtThreads(rs, 2));
+        const std::string at8 =
+            data::csvDigest(collectAtThreads(rs, 8));
+
+        // Thread-count invariance holds even while regenerating.
+        EXPECT_EQ(at2, at1) << golden.name << ": 2 threads diverge";
+        EXPECT_EQ(at8, at1) << golden.name << ": 8 threads diverge";
+
+        if (regen) {
+            std::printf("    {\"%s\", \"%s\"},\n", golden.name,
+                        at1.c_str());
+        } else {
+            EXPECT_EQ(at1, golden.digest) << golden.name;
+        }
+    }
+
+    if (regen) {
+        std::printf("};\n");
+        GTEST_SKIP() << "regeneration run; digest table printed above";
+    }
+}
+
+TEST(GoldenScenarioTest, DigestTableCoversTheWholeLibrary)
+{
+    // A scenario added to the library without a pinned digest (or
+    // vice versa) fails here rather than silently going unpinned.
+    const auto names = scenario::libraryNames();
+    ASSERT_EQ(names.size(),
+              sizeof(kGoldenDigests) / sizeof(kGoldenDigests[0]));
+    for (std::size_t i = 0; i < names.size(); ++i)
+        EXPECT_EQ(names[i], kGoldenDigests[i].name);
+}

@@ -107,11 +107,12 @@ TEST(AdaptiveTuneTest, ConvergesTowardTheDome)
                             quickOptions());
     // The dome peaks at 500; random 10-point designs rarely land
     // within 2% of it, the guided loop should.
-    const double best_tput =
-        domeObjective(sim::ThreeTierConfig{
-                          result.bestConfig[0], result.bestConfig[1],
-                          result.bestConfig[2], result.bestConfig[3]})
-            .throughput;
+    sim::ThreeTierConfig best_cfg;
+    best_cfg.injectionRate = result.bestConfig[0];
+    best_cfg.defaultQueue = result.bestConfig[1];
+    best_cfg.mfgQueue = result.bestConfig[2];
+    best_cfg.webQueue = result.bestConfig[3];
+    const double best_tput = domeObjective(best_cfg).throughput;
     EXPECT_GT(best_tput, 480.0);
 }
 

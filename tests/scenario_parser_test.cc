@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests of the scenario DSL's lexical and syntactic layer: token
+ * positions, statement/value shapes, the canonical printer, and the
+ * parse-time diagnostics (typed ScenarioError with a 1-based source
+ * location — never a contract trip, which the fuzz corpus re-checks
+ * under the sanitizer and no-contracts presets).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/parser.hh"
+#include "scenario/printer.hh"
+
+namespace {
+
+using namespace wcnn::scenario;
+
+/** Parse text expecting one "scenario.parse" fault; return it. */
+ScenarioError
+parseFailure(const std::string &source)
+{
+    try {
+        (void)parse(source);
+    } catch (const ScenarioError &e) {
+        EXPECT_EQ(std::string(e.kind()), "scenario.parse");
+        return e;
+    }
+    ADD_FAILURE() << "parser accepted: " << source;
+    return ScenarioError("scenario.parse", SourceLoc{}, "unreached");
+}
+
+} // namespace
+
+TEST(ScenarioParserTest, LeafStatementCarriesKeywordAndArgs)
+{
+    const Document doc = parse("pool mfg 3 \"hi\";");
+    ASSERT_EQ(doc.statements.size(), 1u);
+    const Statement &s = doc.statements[0];
+    EXPECT_EQ(s.keyword, "pool");
+    EXPECT_FALSE(s.hasBlock);
+    ASSERT_EQ(s.args.size(), 3u);
+    EXPECT_EQ(s.args[0].kind, ValueKind::Ident);
+    EXPECT_EQ(s.args[0].text, "mfg");
+    EXPECT_EQ(s.args[1].kind, ValueKind::Number);
+    EXPECT_EQ(s.args[1].number, 3.0);
+    EXPECT_EQ(s.args[2].kind, ValueKind::String);
+    EXPECT_EQ(s.args[2].text, "hi");
+}
+
+TEST(ScenarioParserTest, BlocksNestAndKeepSourceOrder)
+{
+    const Document doc =
+        parse("host {\n  cores 8;\n  gc { pause_mean 0.1; }\n}\n");
+    ASSERT_EQ(doc.statements.size(), 1u);
+    const Statement &host = doc.statements[0];
+    EXPECT_TRUE(host.hasBlock);
+    ASSERT_EQ(host.block.size(), 2u);
+    EXPECT_EQ(host.block[0].keyword, "cores");
+    EXPECT_EQ(host.block[1].keyword, "gc");
+    ASSERT_EQ(host.block[1].block.size(), 1u);
+    EXPECT_EQ(host.block[1].block[0].keyword, "pause_mean");
+}
+
+TEST(ScenarioParserTest, NumbersFollowStrtodSyntax)
+{
+    const Document doc = parse("k 1e-3 -2.5 +40 .5 6E2;");
+    ASSERT_EQ(doc.statements[0].args.size(), 5u);
+    EXPECT_DOUBLE_EQ(doc.statements[0].args[0].number, 1e-3);
+    EXPECT_DOUBLE_EQ(doc.statements[0].args[1].number, -2.5);
+    EXPECT_DOUBLE_EQ(doc.statements[0].args[2].number, 40.0);
+    EXPECT_DOUBLE_EQ(doc.statements[0].args[3].number, 0.5);
+    EXPECT_DOUBLE_EQ(doc.statements[0].args[4].number, 600.0);
+}
+
+TEST(ScenarioParserTest, ListsHoldNestedValues)
+{
+    const Document doc = parse("rates [380, 900, [1, 2]];");
+    const Value &list = doc.statements[0].args[0];
+    ASSERT_EQ(list.kind, ValueKind::List);
+    ASSERT_EQ(list.items.size(), 3u);
+    EXPECT_EQ(list.items[0].number, 380.0);
+    EXPECT_EQ(list.items[2].kind, ValueKind::List);
+    ASSERT_EQ(list.items[2].items.size(), 2u);
+
+    const Document empty = parse("rates [];");
+    EXPECT_TRUE(empty.statements[0].args[0].items.empty());
+}
+
+TEST(ScenarioParserTest, LetLowersToNameAndValue)
+{
+    const Document doc = parse("let baseline = 380;");
+    const Statement &s = doc.statements[0];
+    EXPECT_EQ(s.keyword, "let");
+    ASSERT_EQ(s.args.size(), 2u);
+    EXPECT_EQ(s.args[0].kind, ValueKind::Ident);
+    EXPECT_EQ(s.args[0].text, "baseline");
+    EXPECT_EQ(s.args[1].number, 380.0);
+}
+
+TEST(ScenarioParserTest, CommentsRunToEndOfLine)
+{
+    const Document doc =
+        parse("# leading comment\nscenario \"x\"; # trailing\n");
+    ASSERT_EQ(doc.statements.size(), 1u);
+    EXPECT_EQ(doc.statements[0].keyword, "scenario");
+}
+
+TEST(ScenarioParserTest, DiagnosticsPointAtTheOffendingToken)
+{
+    // Missing ';' after `warmup 5` — the '}' on line 2, column 16.
+    const ScenarioError e =
+        parseFailure("scenario \"x\";\nrun { warmup 5 }\n");
+    EXPECT_EQ(e.loc().line, 2u);
+    EXPECT_EQ(e.loc().column, 16u);
+    EXPECT_NE(std::string(e.what()).find("line 2, column 16"),
+              std::string::npos);
+
+    // Unterminated string points at its opening quote.
+    const ScenarioError str = parseFailure("describe \"oops\n");
+    EXPECT_EQ(str.loc().line, 1u);
+    EXPECT_EQ(str.loc().column, 10u);
+
+    // Unexpected byte.
+    const ScenarioError bad = parseFailure("rate @5;");
+    EXPECT_EQ(bad.loc().line, 1u);
+    EXPECT_EQ(bad.loc().column, 6u);
+}
+
+TEST(ScenarioParserTest, NonFiniteLiteralsAreLexicalFaults)
+{
+    const ScenarioError e = parseFailure("rate 1e999;");
+    EXPECT_NE(std::string(e.what()).find("overflows"),
+              std::string::npos);
+}
+
+TEST(ScenarioParserTest, NestingDepthIsBounded)
+{
+    // Exactly at the bound parses; one deeper is a typed fault, not a
+    // stack overflow.
+    std::string at_bound = "a ";
+    for (std::size_t i = 0; i < maxNestingDepth; ++i)
+        at_bound += "{ a ";
+    at_bound += ";";
+    for (std::size_t i = 0; i < maxNestingDepth; ++i)
+        at_bound += " }";
+    EXPECT_NO_THROW((void)parse(at_bound));
+
+    std::string too_deep = "v ";
+    for (std::size_t i = 0; i <= maxNestingDepth; ++i)
+        too_deep += "[";
+    const ScenarioError e = parseFailure(too_deep);
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, PrinterEmitsCanonicalForm)
+{
+    const Document doc = parse(
+        "scenario   \"x\" ;\n"
+        "# comment vanishes\n"
+        "let r=[380,900];\n"
+        "arrivals mmpp { rates r; switch [0.05, 0.25]; }");
+    EXPECT_EQ(print(doc),
+              "scenario \"x\";\n"
+              "let r = [380, 900];\n"
+              "arrivals mmpp {\n"
+              "    rates r;\n"
+              "    switch [0.050000000000000003, 0.25];\n"
+              "}\n");
+}
+
+TEST(ScenarioParserTest, PrintedFormReparsesToTheSamePrint)
+{
+    // The printer's one normal form: print(parse(print(parse(s))))
+    // == print(parse(s)) even for inputs full of comments, odd
+    // whitespace and non-canonical number spellings.
+    const char *sources[] = {
+        "scenario \"x\"; run { warmup 5; measure 2e1; }",
+        "let a = 1; let b = a;\narrivals poisson { rate b; }",
+        "host { service lognormal 0.80000; }\n# tail comment",
+    };
+    for (const char *s : sources) {
+        const std::string once = print(parse(s));
+        EXPECT_EQ(print(parse(once)), once) << s;
+    }
+}

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Statistical and structural properties of the scenario layer.
+ *
+ * The arrival generators are pure with respect to their Rng, so their
+ * declared statistics are directly checkable: Poisson inter-arrival
+ * means, MMPP stationary state shares and switch frequencies, diurnal
+ * envelope periodicity and realized mean rate. Sample sizes put the
+ * estimators' 3-sigma bands well inside the asserted tolerances, so
+ * the checks are deterministic in practice (fixed seeds) and
+ * diagnostic in failure (a broken generator misses by far more).
+ *
+ * The structural half pins the printer fixpoint over the shipped
+ * library: for every file under scenarios/, print(parse(s)) is a
+ * normal form — reparsing and reprinting reproduces it byte for byte
+ * — and printing does not change resolved semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "numeric/rng.hh"
+#include "scenario/library.hh"
+#include "scenario/parser.hh"
+#include "scenario/printer.hh"
+#include "scenario/resolve.hh"
+#include "sim/arrival.hh"
+
+#ifndef WCNN_SCENARIO_SRC_DIR
+#error "build must define WCNN_SCENARIO_SRC_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace {
+
+using namespace wcnn;
+
+/** Read one shipped scenario source file; missing files fail. */
+std::string
+slurpScenario(const std::string &name)
+{
+    const std::string path =
+        std::string(WCNN_SCENARIO_SRC_DIR) + "/" + name + ".wcnn";
+    std::ifstream is(path);
+    if (!is)
+        ADD_FAILURE() << "scenario file missing: " << path;
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+/** Draw n gaps; return the realized mean rate n / elapsed. */
+double
+realizedRate(sim::ArrivalProcess &process, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i)
+        (void)process.nextGap();
+    return static_cast<double>(n) / process.elapsed();
+}
+
+} // namespace
+
+TEST(ScenarioPropertyTest, PoissonInterArrivalMeanMatchesTheRate)
+{
+    sim::ArrivalSpec spec;
+    spec.kind = sim::ArrivalKind::Poisson;
+    spec.nominalRate = 560.0;
+
+    sim::ArrivalProcess process(spec, 560.0, numeric::Rng(11));
+    const std::size_t n = 1000000;
+    // Relative 3-sigma of the mean estimator is 3/sqrt(n) = 0.3 %.
+    EXPECT_NEAR(realizedRate(process, n), 560.0, 560.0 * 0.01);
+
+    // The envelope scales to whatever mean rate the sweep asks for.
+    sim::ArrivalProcess scaled(spec, 1120.0, numeric::Rng(12));
+    EXPECT_NEAR(realizedRate(scaled, n), 1120.0, 1120.0 * 0.01);
+}
+
+TEST(ScenarioPropertyTest, MmppMatchesItsStationaryLaw)
+{
+    sim::ArrivalSpec spec;
+    spec.kind = sim::ArrivalKind::Mmpp;
+    spec.stateRates = {380.0, 900.0};
+    spec.switchRates = {0.5, 2.5};
+
+    // Cyclic 2-state chain: expected sojourns 2.0 s and 0.4 s, so the
+    // state-0 time share is 2.0/2.4 and the mean rate is the
+    // share-weighted mix.
+    const double share0 = 2.0 / 2.4;
+    const double mean =
+        380.0 * share0 + 900.0 * (1.0 - share0);
+    EXPECT_DOUBLE_EQ(spec.meanRate(), mean);
+
+    sim::ArrivalProcess process(spec, mean, numeric::Rng(13));
+    const std::size_t n = 1000000;
+    EXPECT_NEAR(realizedRate(process, n), mean, mean * 0.02);
+
+    // Time-in-state bookkeeping is exhaustive...
+    const double elapsed = process.elapsed();
+    EXPECT_NEAR(process.timeInState(0) + process.timeInState(1),
+                elapsed, elapsed * 1e-9);
+    // ...and the realized share matches the stationary law.
+    EXPECT_NEAR(process.timeInState(0) / elapsed, share0,
+                share0 * 0.02);
+
+    // Switch frequency: 2 switches per cycle of expected length 2.4 s.
+    // ~1800 switch events here, so 3 sigma is ~7 %.
+    const double switches_per_s =
+        static_cast<double>(process.switches()) / elapsed;
+    EXPECT_NEAR(switches_per_s, 2.0 / 2.4, (2.0 / 2.4) * 0.10);
+}
+
+TEST(ScenarioPropertyTest, DiurnalEnvelopeIsPeriodic)
+{
+    sim::ArrivalSpec spec;
+    spec.kind = sim::ArrivalKind::Diurnal;
+    spec.nominalRate = 520.0;
+    spec.amplitude = 0.35;
+    spec.period = 60.0;
+
+    // One period later the envelope repeats (to sin() roundoff, far
+    // below any physical meaning), and the swing stays inside the
+    // declared amplitude band.
+    for (double t = 0.0; t < 180.0; t += 7.5) {
+        EXPECT_NEAR(spec.envelopeRate(t + spec.period),
+                    spec.envelopeRate(t), 1e-9);
+        EXPECT_GE(spec.envelopeRate(t), 520.0 * (1.0 - 0.35) - 1e-9);
+        EXPECT_LE(spec.envelopeRate(t), 520.0 * (1.0 + 0.35) + 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(spec.envelopeRate(0.0), 520.0);
+    EXPECT_DOUBLE_EQ(spec.meanRate(), 520.0);
+}
+
+TEST(ScenarioPropertyTest, DiurnalThinningRealizesTheMeanRate)
+{
+    sim::ArrivalSpec spec;
+    spec.kind = sim::ArrivalKind::Diurnal;
+    spec.nominalRate = 520.0;
+    spec.amplitude = 0.35;
+    spec.period = 60.0;
+
+    // Over many whole periods the sinusoid averages out, so the
+    // realized rate converges on the declared mean.
+    sim::ArrivalProcess process(spec, 520.0, numeric::Rng(14));
+    EXPECT_NEAR(realizedRate(process, 1000000), 520.0, 520.0 * 0.02);
+}
+
+TEST(ScenarioPropertyTest, EveryShippedScenarioHitsThePrinterFixpoint)
+{
+    for (const std::string &name : scenario::libraryNames()) {
+        const std::string source = slurpScenario(name);
+        const std::string once = scenario::print(scenario::parse(source));
+        const std::string twice = scenario::print(scenario::parse(once));
+        EXPECT_EQ(twice, once) << name << ": print is not a fixpoint";
+    }
+}
+
+TEST(ScenarioPropertyTest, PrintingPreservesResolvedSemantics)
+{
+    for (const std::string &name : scenario::libraryNames()) {
+        const std::string source = slurpScenario(name);
+        const scenario::ResolvedScenario direct =
+            scenario::resolveText(source);
+        const scenario::ResolvedScenario reprinted =
+            scenario::resolveText(
+                scenario::print(scenario::parse(source)));
+
+        EXPECT_EQ(reprinted.name, direct.name);
+        EXPECT_EQ(reprinted.base.injectionRate,
+                  direct.base.injectionRate)
+            << name;
+        EXPECT_EQ(reprinted.base.arrival.kind, direct.base.arrival.kind)
+            << name;
+        EXPECT_EQ(reprinted.base.warmup, direct.base.warmup) << name;
+        EXPECT_EQ(reprinted.base.measure, direct.base.measure) << name;
+        EXPECT_EQ(reprinted.space.injectionRate.lo,
+                  direct.space.injectionRate.lo)
+            << name;
+        EXPECT_EQ(reprinted.space.injectionRate.hi,
+                  direct.space.injectionRate.hi)
+            << name;
+        EXPECT_EQ(reprinted.params.serviceCov, direct.params.serviceCov)
+            << name;
+    }
+}
+
+TEST(ScenarioPropertyTest, LibraryDirMatchesTheSourceTree)
+{
+    // The tests above read scenarios/ straight from the source tree;
+    // the library must be reading the same place (unless the user
+    // points WCNN_SCENARIO_DIR elsewhere, which test runs do not).
+    if (std::getenv("WCNN_SCENARIO_DIR") != nullptr)
+        GTEST_SKIP() << "WCNN_SCENARIO_DIR overrides the default";
+    EXPECT_EQ(scenario::libraryDir(),
+              std::string(WCNN_SCENARIO_SRC_DIR));
+}

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Unit tests of the scenario resolver: lowering onto the simulator
+ * types, defaulting, `let` indirection, and the semantic diagnostics.
+ * The headline guarantee sits first: the shipped paper_3tier scenario
+ * resolves to exactly the compiled-in defaults, field by field, so the
+ * DSL path and the hard-coded path are the same experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/library.hh"
+#include "scenario/resolve.hh"
+#include "sim/three_tier.hh"
+#include "sim/workload.hh"
+
+namespace {
+
+using namespace wcnn;
+using namespace wcnn::scenario;
+
+/** Resolve text expecting one "scenario.resolve" fault; return it. */
+ScenarioError
+resolveFailure(const std::string &source)
+{
+    try {
+        (void)resolveText(source);
+    } catch (const ScenarioError &e) {
+        EXPECT_EQ(std::string(e.kind()), "scenario.resolve") << source;
+        return e;
+    }
+    ADD_FAILURE() << "resolver accepted: " << source;
+    return ScenarioError("scenario.resolve", SourceLoc{}, "unreached");
+}
+
+void
+expectSameRange(const sim::ParameterRange &got,
+                const sim::ParameterRange &want, const char *axis)
+{
+    EXPECT_EQ(got.lo, want.lo) << axis;
+    EXPECT_EQ(got.hi, want.hi) << axis;
+    EXPECT_EQ(got.integral, want.integral) << axis;
+}
+
+void
+expectCompiledDefaults(const ResolvedScenario &rs)
+{
+    const sim::ThreeTierConfig cfg;
+    EXPECT_EQ(rs.base.injectionRate, cfg.injectionRate);
+    EXPECT_EQ(rs.base.defaultQueue, cfg.defaultQueue);
+    EXPECT_EQ(rs.base.mfgQueue, cfg.mfgQueue);
+    EXPECT_EQ(rs.base.webQueue, cfg.webQueue);
+    EXPECT_EQ(rs.base.warmup, cfg.warmup);
+    EXPECT_EQ(rs.base.measure, cfg.measure);
+    EXPECT_EQ(rs.base.loadModel, sim::LoadModel::Open);
+    EXPECT_EQ(rs.base.arrival.kind, sim::ArrivalKind::Poisson);
+    EXPECT_EQ(rs.base.arrival.nominalRate, cfg.injectionRate);
+
+    const sim::WorkloadParams def = sim::WorkloadParams::defaults();
+    EXPECT_EQ(rs.params.cores, def.cores);
+    EXPECT_EQ(rs.params.threadOverhead, def.threadOverhead);
+    EXPECT_EQ(rs.params.csOverhead, def.csOverhead);
+    EXPECT_EQ(rs.params.dbConnections, def.dbConnections);
+    EXPECT_EQ(rs.params.dbLockFactor, def.dbLockFactor);
+    EXPECT_EQ(rs.params.backlogCap, def.backlogCap);
+    EXPECT_EQ(rs.params.defaultBacklogCap, def.defaultBacklogCap);
+    EXPECT_EQ(rs.params.networkLatency, def.networkLatency);
+    EXPECT_EQ(rs.params.serviceDist, def.serviceDist);
+    EXPECT_EQ(rs.params.serviceCov, def.serviceCov);
+    EXPECT_EQ(rs.params.gcTxnInterval, def.gcTxnInterval);
+    EXPECT_EQ(rs.params.gcPauseMean, def.gcPauseMean);
+    for (sim::TxnClass cls : sim::allTxnClasses) {
+        const sim::TxnProfile &got = rs.params.profile(cls);
+        const sim::TxnProfile &want = def.profile(cls);
+        const auto i = static_cast<int>(cls);
+        EXPECT_EQ(got.mix, want.mix) << "class " << i;
+        EXPECT_EQ(got.cpuPre, want.cpuPre) << "class " << i;
+        EXPECT_EQ(got.cpuPost, want.cpuPost) << "class " << i;
+        EXPECT_EQ(got.dbDemand, want.dbDemand) << "class " << i;
+        EXPECT_EQ(got.hasAuxHop, want.hasAuxHop) << "class " << i;
+        EXPECT_EQ(got.auxCpu, want.auxCpu) << "class " << i;
+        EXPECT_EQ(got.auxDb, want.auxDb) << "class " << i;
+        EXPECT_EQ(got.rtLimit, want.rtLimit) << "class " << i;
+    }
+
+    const sim::SampleSpace paper = sim::SampleSpace::paperLike();
+    expectSameRange(rs.space.injectionRate, paper.injectionRate,
+                    "injection_rate");
+    expectSameRange(rs.space.defaultQueue, paper.defaultQueue,
+                    "default_queue");
+    expectSameRange(rs.space.mfgQueue, paper.mfgQueue, "mfg_queue");
+    expectSameRange(rs.space.webQueue, paper.webQueue, "web_queue");
+}
+
+} // namespace
+
+TEST(ScenarioResolveTest, MinimalScenarioInheritsAllDefaults)
+{
+    // Declaring nothing but the name must mean "the paper's setup".
+    const ResolvedScenario rs = resolveText("scenario \"minimal\";");
+    EXPECT_EQ(rs.name, "minimal");
+    EXPECT_TRUE(rs.description.empty());
+    expectCompiledDefaults(rs);
+}
+
+TEST(ScenarioResolveTest, ShippedPaperScenarioEqualsCompiledDefaults)
+{
+    // The keystone of the byte-identity chain: paper_3tier.wcnn spells
+    // every default out explicitly, and must land on the exact same
+    // values bit for bit. collectSimulated over equal configs/params
+    // is deterministic, so equal inputs here mean equal datasets.
+    const ResolvedScenario rs = loadNamed("paper_3tier");
+    EXPECT_EQ(rs.name, "paper_3tier");
+    EXPECT_FALSE(rs.description.empty());
+    expectCompiledDefaults(rs);
+}
+
+TEST(ScenarioResolveTest, SectionsLowerOntoSimulatorTypes)
+{
+    const ResolvedScenario rs = resolveText(
+        "scenario \"custom\";\n"
+        "host { cores 8; service exponential; gc { txn_interval 0; } }\n"
+        "pool mfg { threads 4; }\n"
+        "pool web { threads 6; }\n"
+        "class manufacturing { mix 0.5; db 0.040; aux { cpu 0.002; "
+        "db 0.010; } }\n"
+        "class dealer_browse { no_aux; }\n"
+        "arrivals diurnal { rate 200; amplitude 0.3; period 90; }\n"
+        "run { warmup 2; measure 11; }\n"
+        "space { injection_rate 100 300; mfg_queue 2 8 integer; }\n");
+    EXPECT_EQ(rs.params.cores, 8u);
+    EXPECT_EQ(rs.params.serviceDist, sim::ServiceDist::Exponential);
+    EXPECT_EQ(rs.params.gcTxnInterval, 0u);
+    EXPECT_EQ(rs.base.mfgQueue, 4.0);
+    EXPECT_EQ(rs.base.webQueue, 6.0);
+    // Untouched pool keeps its default.
+    EXPECT_EQ(rs.base.defaultQueue, sim::ThreeTierConfig{}.defaultQueue);
+
+    const sim::TxnProfile &mfg =
+        rs.params.profile(sim::TxnClass::Manufacturing);
+    EXPECT_EQ(mfg.mix, 0.5);
+    EXPECT_EQ(mfg.dbDemand, 0.040);
+    EXPECT_TRUE(mfg.hasAuxHop);
+    EXPECT_EQ(mfg.auxCpu, 0.002);
+    EXPECT_EQ(mfg.auxDb, 0.010);
+    // Unmentioned keys keep their defaults.
+    EXPECT_EQ(mfg.cpuPre,
+              sim::WorkloadParams::defaults()
+                  .profile(sim::TxnClass::Manufacturing)
+                  .cpuPre);
+    EXPECT_FALSE(
+        rs.params.profile(sim::TxnClass::DealerBrowse).hasAuxHop);
+
+    EXPECT_EQ(rs.base.arrival.kind, sim::ArrivalKind::Diurnal);
+    EXPECT_EQ(rs.base.arrival.nominalRate, 200.0);
+    EXPECT_EQ(rs.base.arrival.amplitude, 0.3);
+    EXPECT_EQ(rs.base.arrival.period, 90.0);
+    EXPECT_EQ(rs.base.injectionRate, 200.0);
+    EXPECT_EQ(rs.base.warmup, 2.0);
+    EXPECT_EQ(rs.base.measure, 11.0);
+    EXPECT_EQ(rs.space.injectionRate.lo, 100.0);
+    EXPECT_EQ(rs.space.injectionRate.hi, 300.0);
+    EXPECT_EQ(rs.space.mfgQueue.lo, 2.0);
+    EXPECT_TRUE(rs.space.mfgQueue.integral);
+    // Undeclared axes keep the paper-like range.
+    EXPECT_EQ(rs.space.webQueue.lo,
+              sim::SampleSpace::paperLike().webQueue.lo);
+}
+
+TEST(ScenarioResolveTest, MmppLowersRatesAndSetsMeanInjection)
+{
+    const ResolvedScenario rs = resolveText(
+        "scenario \"b\";\n"
+        "arrivals mmpp { rates [380, 900]; switch [0.05, 0.25]; }\n"
+        "space { injection_rate 400 600; }\n");
+    EXPECT_EQ(rs.base.arrival.kind, sim::ArrivalKind::Mmpp);
+    ASSERT_EQ(rs.base.arrival.stateRates.size(), 2u);
+    EXPECT_EQ(rs.base.arrival.stateRates[1], 900.0);
+    EXPECT_EQ(rs.base.arrival.switchRates[0], 0.05);
+    // injectionRate is the stationary mean: time shares proportional
+    // to 1/switch, so (380/0.05 + 900/0.25) / (1/0.05 + 1/0.25).
+    const double expected =
+        (380.0 / 0.05 + 900.0 / 0.25) / (1.0 / 0.05 + 1.0 / 0.25);
+    EXPECT_DOUBLE_EQ(rs.base.injectionRate, expected);
+    EXPECT_DOUBLE_EQ(rs.base.arrival.meanRate(), expected);
+}
+
+TEST(ScenarioResolveTest, ClosedArrivalsSwitchTheLoadModel)
+{
+    const ResolvedScenario rs = resolveText(
+        "scenario \"c\";\n"
+        "arrivals closed { population 250; think 1.5; }\n");
+    EXPECT_EQ(rs.base.loadModel, sim::LoadModel::Closed);
+    EXPECT_EQ(rs.base.population, 250u);
+    EXPECT_EQ(rs.base.thinkTime, 1.5);
+}
+
+TEST(ScenarioResolveTest, LetReferencesResolveThroughChains)
+{
+    const ResolvedScenario rs = resolveText(
+        "let base = 300;\n"
+        "let alias = base;\n"
+        "scenario \"lets\";\n"
+        "arrivals poisson { rate alias; }\n");
+    EXPECT_EQ(rs.base.injectionRate, 300.0);
+}
+
+TEST(ScenarioResolveTest, DiagnosticsCoverTheSemanticFaults)
+{
+    // Each fault names the offending construct and carries a location.
+    EXPECT_NE(std::string(resolveFailure("pool mfg { threads 4; }")
+                              .what())
+                  .find("scenario"),
+              std::string::npos);
+    EXPECT_NE(std::string(resolveFailure("scenario \"x\";\n"
+                                         "arrivals warp { rate 1; }")
+                              .what())
+                  .find("warp"),
+              std::string::npos);
+    EXPECT_NE(std::string(resolveFailure("scenario \"x\";\n"
+                                         "host { cores 2.5; }")
+                              .what())
+                  .find("whole number"),
+              std::string::npos);
+    EXPECT_NE(std::string(resolveFailure("scenario \"x\";\n"
+                                         "run { measure 0; }")
+                              .what())
+                  .find("positive"),
+              std::string::npos);
+    EXPECT_NE(
+        std::string(
+            resolveFailure("scenario \"x\";\n"
+                           "space { injection_rate 600 500; }")
+                .what())
+            .find("out of order"),
+        std::string::npos);
+    EXPECT_NE(std::string(resolveFailure("scenario \"Bad Name\";")
+                              .what())
+                  .find("[a-z0-9_]+"),
+              std::string::npos);
+    // Zeroing the whole mix is caught at the end, not by the
+    // simulator's contracts.
+    EXPECT_NE(
+        std::string(resolveFailure("scenario \"x\";\n"
+                                   "class manufacturing { mix 0; }\n"
+                                   "class dealer_purchase { mix 0; }\n"
+                                   "class dealer_manage { mix 0; }\n"
+                                   "class dealer_browse { mix 0; }\n")
+                        .what())
+            .find("mix"),
+        std::string::npos);
+
+    const ScenarioError dup = resolveFailure(
+        "scenario \"x\";\nrun { warmup 1; }\nrun { warmup 2; }");
+    EXPECT_NE(std::string(dup.what()).find("duplicate"),
+              std::string::npos);
+    EXPECT_EQ(dup.loc().line, 3u);
+}
+
+TEST(ScenarioResolveTest, EveryLibraryNameLoadsAndMatchesItsFile)
+{
+    // The catalog is hard-coded so a missing file fails loudly; this
+    // is that loud failure, plus the name<->stem convention.
+    for (const std::string &name : libraryNames()) {
+        const ResolvedScenario rs = loadNamed(name);
+        EXPECT_EQ(rs.name, name);
+        EXPECT_FALSE(rs.description.empty()) << name;
+    }
+}

@@ -46,8 +46,10 @@
 #include "model/nn_model.hh"
 #include "model/recommender.hh"
 #include "model/surface.hh"
+#include "model/study.hh"
 #include "numeric/kernels/policy.hh"
 #include "numeric/rng.hh"
+#include "scenario/library.hh"
 #include "serve/bundle.hh"
 #include "serve/engine.hh"
 #include "serve/loadgen.hh"
@@ -116,10 +118,20 @@ parseCsvNumbers(const std::string &text)
     return out;
 }
 
-sim::ThreeTierConfig
-configFromArgs(const Args &args)
+/** --scenario accepts a library name or a path to a .wcnn file. */
+scenario::ResolvedScenario
+loadScenarioArg(const std::string &arg)
 {
-    sim::ThreeTierConfig cfg;
+    const bool is_path = arg.find('/') != std::string::npos ||
+                         (arg.size() > 5 &&
+                          arg.compare(arg.size() - 5, 5, ".wcnn") == 0);
+    return is_path ? scenario::loadFile(arg) : scenario::loadNamed(arg);
+}
+
+sim::ThreeTierConfig
+configFromArgs(const Args &args, const sim::ThreeTierConfig &base)
+{
+    sim::ThreeTierConfig cfg = base;
     cfg.injectionRate = args.num("inj", cfg.injectionRate);
     cfg.defaultQueue = args.num("default", cfg.defaultQueue);
     cfg.mfgQueue = args.num("mfg", cfg.mfgQueue);
@@ -140,16 +152,29 @@ int
 cmdSimulate(const Args &args)
 {
     if (args.has("help")) {
-        std::puts("wcnn simulate [--inj R] [--default N] [--mfg N] "
-                  "[--web N] [--seed S]\n"
-                  "              [--warmup S] [--measure S] [--closed "
-                  "--population N --think S]");
+        std::puts("wcnn simulate [--scenario NAME|FILE.wcnn] [--inj R] "
+                  "[--default N] [--mfg N]\n"
+                  "              [--web N] [--seed S] [--warmup S] "
+                  "[--measure S]\n"
+                  "              [--closed --population N --think S]\n"
+                  "\n"
+                  "--scenario starts from a scenario's operating point "
+                  "(arrival process,\n"
+                  "pools, demands); the other flags override on top.");
         return 0;
     }
-    const sim::ThreeTierConfig cfg = configFromArgs(args);
+    sim::ThreeTierConfig base;
+    sim::WorkloadParams params = sim::WorkloadParams::defaults();
+    if (args.has("scenario")) {
+        const scenario::ResolvedScenario rs =
+            loadScenarioArg(args.str("scenario", ""));
+        base = rs.base;
+        params = rs.params;
+    }
+    const sim::ThreeTierConfig cfg = configFromArgs(args, base);
     sim::RunDiagnostics diag;
-    const sim::PerfSample sample = sim::simulateThreeTier(
-        cfg, sim::WorkloadParams::defaults(), &diag);
+    const sim::PerfSample sample =
+        sim::simulateThreeTier(cfg, params, &diag);
     const auto names = sim::PerfSample::indicatorNames();
     const auto values = sample.toVector();
     for (std::size_t j = 0; j < names.size(); ++j)
@@ -167,10 +192,12 @@ cmdCollect(const Args &args)
     if (args.has("help")) {
         std::puts("wcnn collect --out FILE.csv [--samples N] "
                   "[--design lhs|random|grid|factorial]\n"
-                  "             [--replicates N] [--seed S] "
-                  "[--analytic]\n"
+                  "             [--scenario NAME|FILE.wcnn] "
+                  "[--replicates N] [--seed S] [--analytic]\n"
                   "             [--retries N] [--quarantine]\n"
                   "\n"
+                  "  --scenario      design over the scenario's space "
+                  "and run its workload\n"
                   "  --retries N     attempts per replicate for "
                   "transient sim faults (default 1)\n"
                   "  --quarantine    drop configurations whose "
@@ -187,7 +214,15 @@ cmdCollect(const Args &args)
     const auto seed = static_cast<std::uint64_t>(args.num("seed", 1));
     const std::string design = args.str("design", "lhs");
 
-    const sim::SampleSpace space = sim::SampleSpace::paperLike();
+    sim::SampleSpace space = sim::SampleSpace::paperLike();
+    sim::WorkloadParams params = sim::WorkloadParams::defaults();
+    std::unique_ptr<scenario::ResolvedScenario> rs;
+    if (args.has("scenario")) {
+        rs = std::make_unique<scenario::ResolvedScenario>(
+            loadScenarioArg(args.str("scenario", "")));
+        space = rs->space;
+        params = rs->params;
+    }
     numeric::Rng rng(seed);
     std::vector<sim::ThreeTierConfig> configs;
     if (design == "lhs") {
@@ -208,10 +243,12 @@ cmdCollect(const Args &args)
         return 2;
     }
 
+    if (rs)
+        scenario::applyBase(*rs, configs);
+
     data::Dataset ds;
     if (args.has("analytic")) {
-        ds = sim::collectAnalytic(configs,
-                                  sim::WorkloadParams::defaults());
+        ds = sim::collectAnalytic(configs, params);
     } else {
         const auto replicates =
             static_cast<std::size_t>(args.num("replicates", 3));
@@ -223,9 +260,8 @@ cmdCollect(const Args &args)
             static_cast<std::size_t>(args.num("retries", 1));
         collect.quarantine = args.has("quarantine");
         sim::CollectReport report;
-        ds = sim::collectSimulated(configs,
-                                   sim::WorkloadParams::defaults(),
-                                   seed, replicates, collect, &report);
+        ds = sim::collectSimulated(configs, params, seed, replicates,
+                                   collect, &report);
         if (report.retries() > 0 || report.dropped() > 0) {
             std::printf("collection: %zu retried attempts, %zu "
                         "configurations dropped\n",
@@ -243,14 +279,58 @@ cmdFit(const Args &args)
     if (args.has("help")) {
         std::puts("wcnn fit --data FILE.csv --out MODEL.bundle "
                   "[--units N] [--threshold T] [--cv] [--seed S] "
-                  "[--tag LABEL]");
+                  "[--tag LABEL]\n"
+                  "wcnn fit --scenario NAME|FILE.wcnn --out "
+                  "MODEL.bundle [--samples N]\n"
+                  "         [--replicates N] [--threads N] [--tune] "
+                  "[--units N] [--threshold T]\n"
+                  "\n"
+                  "With --scenario the full study pipeline runs "
+                  "(collect under the scenario,\n"
+                  "cross-validate, fit) instead of loading a CSV.");
         return 0;
     }
     const std::string data_path = args.str("data", "");
     const std::string out = args.str("out", "");
-    if (data_path.empty() || out.empty()) {
-        std::fputs("fit: --data and --out are required\n", stderr);
+    if (out.empty() ||
+        (data_path.empty() && !args.has("scenario"))) {
+        std::fputs("fit: --out and (--data | --scenario) are "
+                   "required\n",
+                   stderr);
         return 2;
+    }
+
+    if (data_path.empty()) {
+        const scenario::ResolvedScenario rs =
+            loadScenarioArg(args.str("scenario", ""));
+        model::StudyOptions study = scenario::studyOptionsFor(rs);
+        study.designSamples =
+            static_cast<std::size_t>(args.num("samples", 64));
+        study.replicates =
+            static_cast<std::size_t>(args.num("replicates", 3));
+        study.seed = static_cast<std::uint64_t>(args.num("seed", 2006));
+        study.threads =
+            static_cast<std::size_t>(args.num("threads", 1));
+        study.tune = args.has("tune");
+        study.nn.hiddenUnits = {
+            static_cast<std::size_t>(args.num("units", 16))};
+        study.nn.train.targetLoss = args.num("threshold", 0.02);
+        std::printf("fit: running study for scenario '%s' (%zu "
+                    "samples x %zu replicates)\n",
+                    rs.name.c_str(), study.designSamples,
+                    study.replicates);
+        const model::StudyResult result = model::runStudy(study);
+        std::fputs(model::formatTable(result.cv).c_str(), stdout);
+        std::printf("overall accuracy: %.1f %%\n",
+                    100.0 * result.cv.overallAccuracy());
+        const serve::ModelBundle bundle = serve::ModelBundle::fromModel(
+            result.finalModel, result.dataset.inputs(),
+            result.dataset.outputs(), args.str("tag", rs.name));
+        bundle.save(out);
+        std::printf("trained %s on %zu samples -> %s\n",
+                    result.finalModel.network().describe().c_str(),
+                    result.dataset.size(), out.c_str());
+        return 0;
     }
     const data::Dataset ds = data::loadCsv(data_path);
     model::NnModelOptions opts;
@@ -619,6 +699,79 @@ cmdBenchServe(const Args &args)
 }
 
 int
+cmdScenario(const Args &args)
+{
+    if (args.has("help")) {
+        std::puts(
+            "wcnn scenario --list\n"
+            "wcnn scenario --show NAME|FILE.wcnn\n"
+            "wcnn scenario --check NAME|FILE.wcnn\n"
+            "\n"
+            "  --list    every shipped scenario with its arrival "
+            "family and description\n"
+            "  --show    canonical form plus the resolved operating "
+            "point\n"
+            "  --check   parse + resolve, reporting typed diagnostics "
+            "(exit 1 on fault)");
+        std::printf("\nScenario files live in %s; WCNN_SCENARIO_DIR "
+                    "overrides.\n",
+                    scenario::libraryDir().c_str());
+        return 0;
+    }
+    if (args.has("list")) {
+        for (const std::string &name : scenario::libraryNames()) {
+            const scenario::ResolvedScenario rs =
+                scenario::loadNamed(name);
+            std::printf("%-24s %-8s %s\n", name.c_str(),
+                        sim::arrivalKindName(rs.base.arrival.kind),
+                        rs.description.c_str());
+        }
+        return 0;
+    }
+    if (args.has("show")) {
+        const std::string arg = args.str("show", "");
+        const bool is_path =
+            arg.find('/') != std::string::npos ||
+            (arg.size() > 5 &&
+             arg.compare(arg.size() - 5, 5, ".wcnn") == 0);
+        const std::string path =
+            is_path ? arg
+                    : scenario::libraryDir() + "/" + arg + ".wcnn";
+        const scenario::ResolvedScenario rs = scenario::loadFile(path);
+        std::fputs(scenario::canonicalForm(path).c_str(), stdout);
+        std::printf("\n# resolved: arrivals %s, load %s, pools "
+                    "(mfg %.0f, web %.0f, default %.0f), "
+                    "injection %.1f, windows %g+%gs\n",
+                    sim::arrivalKindName(rs.base.arrival.kind),
+                    rs.base.loadModel == sim::LoadModel::Open
+                        ? "open"
+                        : "closed",
+                    rs.base.mfgQueue, rs.base.webQueue,
+                    rs.base.defaultQueue, rs.base.injectionRate,
+                    rs.base.warmup, rs.base.measure);
+        return 0;
+    }
+    if (args.has("check")) {
+        const std::string arg = args.str("check", "");
+        try {
+            const scenario::ResolvedScenario rs = loadScenarioArg(arg);
+            std::printf("%s: ok (scenario \"%s\")\n", arg.c_str(),
+                        rs.name.c_str());
+            return 0;
+        } catch (const wcnn::Error &e) {
+            // what() already leads with the kind ("scenario.parse:
+            // line L, column C: ...").
+            std::fprintf(stderr, "%s: %s\n", arg.c_str(), e.what());
+            return 1;
+        }
+    }
+    std::fputs("scenario: one of --list, --show, --check is "
+               "required (see --help)\n",
+               stderr);
+    return 2;
+}
+
+int
 usage()
 {
     std::puts(
@@ -630,6 +783,8 @@ usage()
         "  simulate    run the 3-tier workload simulator once\n"
         "  collect     build a (configuration -> indicators) sample "
         "set\n"
+        "  scenario    list/show/check declarative workload "
+        "scenarios\n"
         "  fit         train the non-linear model on a sample CSV\n"
         "  predict     evaluate a trained model at a configuration\n"
         "  surface     sweep and classify a (default, web) slice\n"
@@ -671,6 +826,8 @@ main(int argc, char **argv)
             return cmdSimulate(args);
         if (cmd == "collect")
             return cmdCollect(args);
+        if (cmd == "scenario")
+            return cmdScenario(args);
         if (cmd == "fit")
             return cmdFit(args);
         if (cmd == "predict")

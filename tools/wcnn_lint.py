@@ -54,6 +54,15 @@ Rules:
       dispatch, the equivalence harness, and the ULP budget actually
       govern every hot loop; a stray hand matmul elsewhere is admitted
       by nothing.
+  R9  Scenario files are parsed only via scenario::parse /
+      scenario::loadFile. Outside src/scenario/, no include of the
+      private lexer header and no code that opens a .wcnn path
+      directly (ifstream/fopen/open on a "*.wcnn" literal). The
+      parser is the layer's totality guarantee — any byte stream
+      yields a Document or a typed ScenarioError — and the fuzz
+      corpus only covers text that flows through it; a side-channel
+      reader would dodge the diagnostics, the failpoints, and the
+      canonical printer.
 """
 
 from __future__ import annotations
@@ -282,6 +291,30 @@ def check_kernel_containment(errors: list[str]) -> None:
                     f"numeric::Matrix / kernels::gemm")
 
 
+LEXER_INCLUDE_RE = re.compile(r'#\s*include\s*"scenario/lexer\.hh"')
+# A stream/FILE opened on a .wcnn literal outside the scenario layer.
+WCNN_OPEN_RE = re.compile(
+    r'(?:ifstream|fstream|fopen|::open)\s*\([^)]*\.wcnn')
+
+
+def check_scenario_containment(errors: list[str]) -> None:
+    for path in iter_sources(["src", "tests", "bench", "tools", "examples"]):
+        rel = path.relative_to(REPO).as_posix()
+        if rel.startswith("src/scenario/"):
+            continue
+        for lineno, line in code_lines(path):
+            if LEXER_INCLUDE_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: R9 private scenario lexer header "
+                    f"included outside src/scenario/; use "
+                    f"scenario::parse")
+            elif WCNN_OPEN_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: R9 .wcnn file opened directly "
+                    f"({line.strip()[:60]}); go through "
+                    f"scenario::loadFile/loadNamed")
+
+
 def main() -> int:
     errors: list[str] = []
     check_rng_containment(errors)
@@ -292,6 +325,7 @@ def main() -> int:
     check_no_swallowing_catch_all(errors)
     check_socket_containment(errors)
     check_kernel_containment(errors)
+    check_scenario_containment(errors)
     for e in errors:
         print(e)
     if errors:
