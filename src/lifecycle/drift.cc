@@ -1,0 +1,58 @@
+#include "drift.hh"
+
+#include "core/contracts.hh"
+#include "core/telemetry.hh"
+
+namespace wcnn {
+namespace lifecycle {
+
+DriftDetector::DriftDetector(DriftOptions options) : opts(options)
+{
+    WCNN_REQUIRE(opts.window >= 1, "drift window must be >= 1");
+    WCNN_REQUIRE(opts.patience >= 1, "drift patience must be >= 1");
+    WCNN_REQUIRE(opts.threshold >= 0.0,
+                 "drift threshold must be non-negative");
+}
+
+bool
+DriftDetector::feed(double relative_error)
+{
+    sum += relative_error;
+    if (++filled < opts.window)
+        return false;
+
+    // Window boundary: evaluate, then tumble. The mean is a fixed-
+    // order sum of the window's errors, so it is bit-stable for a
+    // given record stream.
+    lastMean = sum / static_cast<double>(opts.window);
+    sum = 0.0;
+    filled = 0;
+    ++nWindows;
+
+    if (lastMean > opts.threshold) {
+        ++nStrikes;
+        WCNN_COUNTER_ADD("lifecycle.drift_strikes", 1);
+        if (nStrikes >= opts.patience) {
+            nStrikes = 0;
+            WCNN_EVENT("lifecycle.drift");
+            WCNN_COUNTER_ADD("lifecycle.drifts", 1);
+            return true;
+        }
+    } else {
+        nStrikes = 0;
+    }
+    return false;
+}
+
+void
+DriftDetector::reset()
+{
+    sum = 0.0;
+    filled = 0;
+    nStrikes = 0;
+    nWindows = 0;
+    lastMean = 0.0;
+}
+
+} // namespace lifecycle
+} // namespace wcnn

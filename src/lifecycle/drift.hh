@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Online drift detection over the record stream.
+ *
+ * A deployed surrogate goes stale when the workload it models moves —
+ * the time-varying-workload setting of arXiv 1507.07204. The detector
+ * watches the stream of prediction-vs-observed relative errors
+ * (record.hh) through tumbling windows of `window` records: a window
+ * whose mean error exceeds `threshold` is a strike, `patience`
+ * consecutive strikes declare drift. Both the strike rule and the
+ * window boundaries are functions of record *counts* alone — no
+ * wall clock anywhere (lint R10) — so the same stream always yields
+ * the same drift points, which is what the replay goldens pin.
+ */
+
+#ifndef WCNN_LIFECYCLE_DRIFT_HH
+#define WCNN_LIFECYCLE_DRIFT_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wcnn {
+namespace lifecycle {
+
+/** Drift detector tuning. */
+struct DriftOptions
+{
+    /** Records per tumbling evaluation window (>= 1). */
+    std::size_t window = 32;
+
+    /** Mean relative error above which a window is a strike. */
+    double threshold = 0.25;
+
+    /** Consecutive strikes that declare drift (>= 1). */
+    std::size_t patience = 2;
+};
+
+/**
+ * Tumbling-window strike counter over per-record relative errors.
+ */
+class DriftDetector
+{
+  public:
+    /** @param options Window/threshold/patience tuning. */
+    explicit DriftDetector(DriftOptions options);
+
+    /**
+     * Feed one record's relative error.
+     *
+     * @return True when this record completes the window that reaches
+     *         `patience` consecutive strikes — the drift point.
+     */
+    bool feed(double relative_error);
+
+    /** Forget all window state (after drift or promotion). */
+    void reset();
+
+    /** Windows fully evaluated since the last reset(). */
+    std::uint64_t windowsEvaluated() const { return nWindows; }
+
+    /** Current consecutive strike count. */
+    std::size_t strikes() const { return nStrikes; }
+
+    /** Mean error of the last completed window (0 before any). */
+    double lastWindowError() const { return lastMean; }
+
+    /** The tuning in effect. */
+    const DriftOptions &options() const { return opts; }
+
+  private:
+    DriftOptions opts;
+    double sum = 0.0;
+    std::size_t filled = 0;
+    std::size_t nStrikes = 0;
+    std::uint64_t nWindows = 0;
+    double lastMean = 0.0;
+};
+
+} // namespace lifecycle
+} // namespace wcnn
+
+#endif // WCNN_LIFECYCLE_DRIFT_HH

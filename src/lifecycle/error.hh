@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Typed errors of the model lifecycle subsystem.
+ *
+ * The lifecycle loop adds faults neither the offline pipeline nor the
+ * serving layer sees: journals on disk can be malformed, a retrain on
+ * live feedback can diverge, and every stage transition carries a
+ * failpoint site (lifecycle.{observe,detect,retrain,shadow,promote})
+ * whose injected faults must surface typed, never as contract trips.
+ * Each fault is a wcnn::Error subclass with a stable kind() so callers
+ * — and the chaos suite — can switch on it without parsing prose.
+ *
+ * Kinds:
+ *  - "lifecycle"         — base / injected lifecycle-stage fault.
+ *  - "lifecycle.journal" — malformed or unreadable journal file.
+ *  - "lifecycle.retrain" — candidate training failed (divergence).
+ */
+
+#ifndef WCNN_LIFECYCLE_ERROR_HH
+#define WCNN_LIFECYCLE_ERROR_HH
+
+#include <string>
+#include <utility>
+
+#include "core/error.hh"
+
+namespace wcnn {
+namespace lifecycle {
+
+/** Base of every lifecycle fault. Kind "lifecycle". */
+class LifecycleError : public Error
+{
+  public:
+    /** @param message Description of the lifecycle fault. */
+    explicit LifecycleError(const std::string &message)
+        : Error("lifecycle", message)
+    {
+    }
+
+  protected:
+    /** For subclasses refining the kind (e.g. "lifecycle.journal"). */
+    LifecycleError(std::string kind, const std::string &message)
+        : Error(std::move(kind), message)
+    {
+    }
+};
+
+/**
+ * Malformed or unreadable journal file. Kind "lifecycle.journal".
+ * Journal text is external input, so parse faults are typed — never
+ * contract violations.
+ */
+class JournalError : public LifecycleError
+{
+  public:
+    /** @param message Description, including the offending line. */
+    explicit JournalError(const std::string &message)
+        : LifecycleError("lifecycle.journal", message)
+    {
+    }
+};
+
+/**
+ * Candidate training failed — the retrain diverged or was refused.
+ * Kind "lifecycle.retrain". The controller treats this as a rejected
+ * candidate: the incumbent keeps serving, monitoring resumes.
+ */
+class RetrainFailure : public LifecycleError
+{
+  public:
+    /** @param message Description of the training failure. */
+    explicit RetrainFailure(const std::string &message)
+        : LifecycleError("lifecycle.retrain", message)
+    {
+    }
+};
+
+} // namespace lifecycle
+} // namespace wcnn
+
+#endif // WCNN_LIFECYCLE_ERROR_HH

@@ -1,0 +1,181 @@
+#include "journal.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/contracts.hh"
+#include "lifecycle/error.hh"
+
+namespace wcnn {
+namespace lifecycle {
+
+namespace {
+
+constexpr const char *kMagic = "wcnn-journal";
+constexpr int kVersion = 1;
+
+/** %.17g: the round-trip contract every serializer in the tree uses. */
+void
+appendDouble(std::string &out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+[[noreturn]] void
+badLine(std::size_t line_no, const std::string &why)
+{
+    throw JournalError("line " + std::to_string(line_no) + ": " + why);
+}
+
+/** Parse exactly `n` doubles from the cursor. */
+void
+parseDoubles(const char *&cursor, std::size_t n, numeric::Vector &out,
+             std::size_t line_no)
+{
+    out.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        char *end = nullptr;
+        out[i] = std::strtod(cursor, &end);
+        if (end == cursor)
+            badLine(line_no, "expected a number");
+        cursor = end;
+    }
+}
+
+} // namespace
+
+Journal
+readJournal(std::istream &is)
+{
+    Journal journal;
+    std::string line;
+    std::size_t line_no = 1;
+
+    if (!std::getline(is, line))
+        throw JournalError("empty stream (missing header)");
+    {
+        std::istringstream header(line);
+        std::string magic;
+        int version = 0;
+        if (!(header >> magic >> version >> journal.inputDim >>
+              journal.outputDim) ||
+            magic != kMagic)
+            badLine(1, "bad header (expected 'wcnn-journal 1 "
+                       "<xdim> <ydim>')");
+        if (version != kVersion)
+            badLine(1, "unsupported journal version " +
+                           std::to_string(version));
+        if (journal.inputDim == 0 || journal.outputDim == 0)
+            badLine(1, "journal dimensions must be positive");
+    }
+
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        ObservationRecord record;
+        record.seq = journal.records.size();
+        const char *cursor = line.c_str();
+        parseDoubles(cursor, journal.inputDim, record.x, line_no);
+        parseDoubles(cursor, journal.outputDim, record.predicted,
+                     line_no);
+        parseDoubles(cursor, journal.outputDim, record.observed,
+                     line_no);
+        while (*cursor == ' ' || *cursor == '\t' || *cursor == '\r')
+            ++cursor;
+        if (*cursor != '\0')
+            badLine(line_no, "trailing bytes after the record");
+        journal.records.push_back(std::move(record));
+    }
+    return journal;
+}
+
+Journal
+readJournal(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throw JournalError("cannot open '" + path + "' for reading");
+    return readJournal(is);
+}
+
+std::string
+formatRecordLine(const ObservationRecord &record)
+{
+    std::string out;
+    out.reserve((record.x.size() + record.predicted.size() +
+                 record.observed.size()) *
+                20);
+    bool first = true;
+    const auto emit = [&](const numeric::Vector &values) {
+        for (double v : values) {
+            if (!first)
+                out += ' ';
+            first = false;
+            appendDouble(out, v);
+        }
+    };
+    emit(record.x);
+    emit(record.predicted);
+    emit(record.observed);
+    out += '\n';
+    return out;
+}
+
+void
+writeJournal(std::ostream &os, const Journal &journal)
+{
+    os << kMagic << ' ' << kVersion << ' ' << journal.inputDim << ' '
+       << journal.outputDim << '\n';
+    for (const ObservationRecord &record : journal.records) {
+        WCNN_REQUIRE(record.x.size() == journal.inputDim &&
+                         record.predicted.size() == journal.outputDim &&
+                         record.observed.size() == journal.outputDim,
+                     "record arity disagrees with the journal header");
+        os << formatRecordLine(record);
+    }
+}
+
+void
+writeJournal(const std::string &path, const Journal &journal)
+{
+    std::ofstream os(path);
+    if (!os)
+        throw JournalError("cannot open '" + path + "' for writing");
+    writeJournal(os, journal);
+    os.flush();
+    if (!os)
+        throw JournalError("write to '" + path + "' failed");
+}
+
+JournalWriter::JournalWriter(const std::string &path,
+                             std::size_t input_dim,
+                             std::size_t output_dim)
+    : out(path), filePath(path)
+{
+    WCNN_REQUIRE(input_dim > 0 && output_dim > 0,
+                 "journal dimensions must be positive");
+    if (!out)
+        throw JournalError("cannot open '" + path + "' for writing");
+    out << kMagic << ' ' << kVersion << ' ' << input_dim << ' '
+        << output_dim << '\n';
+    out.flush();
+    if (!out)
+        throw JournalError("write to '" + path + "' failed");
+}
+
+void
+JournalWriter::append(const ObservationRecord &record)
+{
+    out << formatRecordLine(record);
+    out.flush();
+    if (!out)
+        throw JournalError("write to '" + filePath + "' failed");
+    ++count;
+}
+
+} // namespace lifecycle
+} // namespace wcnn

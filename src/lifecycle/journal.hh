@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The observation journal: the record stream, durable.
+ *
+ * A live server appends every accepted Observe record to a journal
+ * file; `wcnn lifecycle replay` reads one back and re-runs the whole
+ * drift → retrain → shadow → promote/reject loop over it. Because the
+ * lifecycle state machine is a pure function of the record stream
+ * (record.hh, lint R10), replaying a journal with the same seed
+ * reproduces the live run's decisions bit-identically — the journal
+ * *is* the experiment log.
+ *
+ * Format (text, one record per line, %.17g doubles so every value
+ * round-trips exactly):
+ *
+ *     wcnn-journal 1 <xdim> <ydim>
+ *     <x...> <predicted...> <observed...>      # xdim + 2*ydim values
+ *
+ * The sequence number is implicit: line order is arrival order.
+ * Malformed journal text throws JournalError (it is external input),
+ * never a contract trip.
+ */
+
+#ifndef WCNN_LIFECYCLE_JOURNAL_HH
+#define WCNN_LIFECYCLE_JOURNAL_HH
+
+#include <cstddef>
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lifecycle/record.hh"
+
+namespace wcnn {
+namespace lifecycle {
+
+/** A parsed journal: dimensions plus the full record stream. */
+struct Journal
+{
+    /** Configuration arity of every record. */
+    std::size_t inputDim = 0;
+
+    /** Indicator arity of every record. */
+    std::size_t outputDim = 0;
+
+    /** Records in arrival order; records[i].seq == i. */
+    std::vector<ObservationRecord> records;
+};
+
+/**
+ * Read a journal stream.
+ *
+ * @throws JournalError on a bad header, wrong value count, or
+ *         unparseable number (with the 1-based line in the message).
+ */
+Journal readJournal(std::istream &is);
+
+/** Read a journal file. @throws JournalError (also on open failure). */
+Journal readJournal(const std::string &path);
+
+/** Write a complete journal (header + records). */
+void writeJournal(std::ostream &os, const Journal &journal);
+
+/** Write a journal file. @throws JournalError on I/O failure. */
+void writeJournal(const std::string &path, const Journal &journal);
+
+/** Format one record line (no header, '\n'-terminated). */
+std::string formatRecordLine(const ObservationRecord &record);
+
+/**
+ * Append-mode journal writer for a live server: writes the header on
+ * creation, then one line per append(), flushed so a crashed server
+ * loses at most the in-flight record.
+ */
+class JournalWriter
+{
+  public:
+    /**
+     * Create/truncate the journal file and write its header.
+     *
+     * @throws JournalError when the file cannot be opened.
+     */
+    JournalWriter(const std::string &path, std::size_t input_dim,
+                  std::size_t output_dim);
+
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Append one record. @throws JournalError on write failure. */
+    void append(const ObservationRecord &record);
+
+    /** Records appended so far. */
+    std::size_t size() const { return count; }
+
+  private:
+    std::ofstream out;
+    std::string filePath;
+    std::size_t count = 0;
+};
+
+} // namespace lifecycle
+} // namespace wcnn
+
+#endif // WCNN_LIFECYCLE_JOURNAL_HH

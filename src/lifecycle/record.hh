@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The unit of lifecycle feedback: one (x, predicted, observed) record.
+ *
+ * Every Observe request a client sends becomes one ObservationRecord:
+ * the configuration it measured, what the incumbent bundle predicted
+ * for that configuration at observe time, and what the client actually
+ * observed. The *record stream* — these records in server arrival
+ * order — is the only input the lifecycle state machine is allowed to
+ * depend on (lint rule R10 bans wall-clock reads from src/lifecycle/),
+ * which is what makes `wcnn lifecycle replay` bit-identical to the
+ * live run that produced the journal.
+ */
+
+#ifndef WCNN_LIFECYCLE_RECORD_HH
+#define WCNN_LIFECYCLE_RECORD_HH
+
+#include <cstdint>
+
+#include "numeric/matrix.hh"
+
+namespace wcnn {
+namespace lifecycle {
+
+/** One journaled feedback observation, in arrival order. */
+struct ObservationRecord
+{
+    /** Position in the record stream (0-based arrival index). */
+    std::uint64_t seq = 0;
+
+    /** Configuration the client measured. */
+    numeric::Vector x;
+
+    /** What the then-incumbent bundle predicted for x. */
+    numeric::Vector predicted;
+
+    /** What the client actually observed. */
+    numeric::Vector observed;
+};
+
+/**
+ * Mean relative error of a prediction against its observation:
+ * mean_j |p_j - o_j| / (|o_j| + 1e-9). The 1e-9 keeps zero-valued
+ * indicators finite without drowning real signal. Pure arithmetic on
+ * the record — the drift statistic of DESIGN.md §5.9.
+ */
+inline double
+relativeError(const numeric::Vector &predicted,
+              const numeric::Vector &observed)
+{
+    double sum = 0.0;
+    for (std::size_t j = 0; j < observed.size(); ++j) {
+        const double o = observed[j] < 0 ? -observed[j] : observed[j];
+        const double d = predicted[j] - observed[j];
+        sum += (d < 0 ? -d : d) / (o + 1e-9);
+    }
+    return observed.empty() ? 0.0
+                            : sum / static_cast<double>(observed.size());
+}
+
+} // namespace lifecycle
+} // namespace wcnn
+
+#endif // WCNN_LIFECYCLE_RECORD_HH

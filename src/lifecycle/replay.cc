@@ -1,0 +1,48 @@
+#include "replay.hh"
+
+#include <utility>
+
+#include "core/contracts.hh"
+#include "core/telemetry.hh"
+#include "lifecycle/error.hh"
+
+namespace wcnn {
+namespace lifecycle {
+
+ReplayResult
+replayJournal(const Journal &journal, serve::BundlePtr initial,
+              const LifecycleOptions &options)
+{
+    WCNN_REQUIRE(initial != nullptr && initial->fitted(),
+                 "replay needs a loaded incumbent bundle");
+    if (initial->inputDim() != journal.inputDim ||
+        initial->outputDim() != journal.outputDim)
+        throw JournalError(
+            "bundle is " + std::to_string(initial->inputDim()) + "x" +
+            std::to_string(initial->outputDim()) + ", journal is " +
+            std::to_string(journal.inputDim) + "x" +
+            std::to_string(journal.outputDim));
+
+    WCNN_SPAN("lifecycle.replay");
+
+    serve::BundleRegistry registry;
+    registry.swap(std::move(initial));
+    RegistryHost host(registry);
+    LifecycleController controller(host, options);
+
+    for (const ObservationRecord &record : journal.records)
+        controller.record(record);
+
+    ReplayResult result;
+    result.records = journal.records.size();
+    result.decisions = controller.decisions();
+    result.digest = decisionDigest(result.decisions);
+    result.finalVersion = registry.version();
+    result.finalBundle = registry.active();
+    result.finalBundleDigest = bundleDigest(*result.finalBundle);
+    result.stats = controller.stats();
+    return result;
+}
+
+} // namespace lifecycle
+} // namespace wcnn

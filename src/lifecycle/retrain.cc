@@ -1,0 +1,55 @@
+#include "retrain.hh"
+
+#include <memory>
+#include <utility>
+
+#include "core/contracts.hh"
+#include "core/telemetry.hh"
+#include "data/dataset.hh"
+#include "lifecycle/error.hh"
+#include "numeric/rng.hh"
+#include "serve/error.hh"
+
+namespace wcnn {
+namespace lifecycle {
+
+serve::BundlePtr
+retrainCandidate(const std::vector<ObservationRecord> &window,
+                 const std::vector<std::string> &input_names,
+                 const std::vector<std::string> &output_names,
+                 const RetrainOptions &options,
+                 std::uint64_t retrain_index)
+{
+    WCNN_REQUIRE(!window.empty(), "retrain window must not be empty");
+    WCNN_SPAN("lifecycle.retrain", retrain_index);
+    WCNN_COUNTER_ADD("lifecycle.retrains", 1);
+
+    data::Dataset ds(input_names, output_names);
+    for (const ObservationRecord &record : window)
+        ds.add(record.x, record.observed);
+
+    // Seed-stream discipline: the k-th retrain of a run draws the
+    // k-th substream of the base seed, exactly like a parallel task
+    // claims the stream of its task index — replay reproduces the
+    // candidate's weights bit-for-bit.
+    model::NnModelOptions model_options = options.model;
+    model_options.seed =
+        numeric::Rng::stream(options.seed, retrain_index).next();
+
+    model::NnModel candidate(model_options);
+    try {
+        candidate.fit(ds);
+    } catch (const nn::TrainDivergence &error) {
+        throw RetrainFailure("retrain " + std::to_string(retrain_index) +
+                             " diverged: " +
+                             serve::bareErrorMessage(error));
+    }
+
+    return std::make_shared<const serve::ModelBundle>(
+        serve::ModelBundle::fromModel(
+            candidate, input_names, output_names,
+            "lifecycle-r" + std::to_string(retrain_index)));
+}
+
+} // namespace lifecycle
+} // namespace wcnn

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shadow retraining: fresh candidate bundles from feedback windows.
+ *
+ * On drift the controller retrains the surrogate on the most recent
+ * window of (x, observed) pairs — the trace-driven learning of arXiv
+ * 2002.10788: the model chases the workload it actually serves, not
+ * the design-of-experiments sweep it was born from. Reuses the exact
+ * offline fit path (model::NnModel -> nn::Trainer) under seed-stream
+ * discipline: retrain k of a run draws its seed from
+ * Rng::stream(baseSeed, k), so the k-th candidate of a replay is
+ * bit-identical to the k-th candidate of the live run that journaled
+ * the records.
+ */
+
+#ifndef WCNN_LIFECYCLE_RETRAIN_HH
+#define WCNN_LIFECYCLE_RETRAIN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lifecycle/record.hh"
+#include "model/nn_model.hh"
+#include "serve/bundle.hh"
+
+namespace wcnn {
+namespace lifecycle {
+
+/** Retraining knobs. */
+struct RetrainOptions
+{
+    /**
+     * Model hyperparameters of every candidate (topology, training
+     * schedule, standardization). The per-retrain seed is derived
+     * from `seed` below; the value in here is ignored.
+     */
+    model::NnModelOptions model;
+
+    /** Base seed; retrain k trains with Rng::stream(seed, k). */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Train one candidate bundle on a window of feedback records.
+ *
+ * @param window        Records to fit (x -> observed); non-empty,
+ *                      uniform arity.
+ * @param input_names   Schema for the candidate bundle's inputs.
+ * @param output_names  Schema for the candidate bundle's outputs.
+ * @param options       Hyperparameters + base seed.
+ * @param retrain_index 0-based retrain counter of this run (the seed
+ *                      stream index and the candidate's tag suffix).
+ * @return A fitted bundle tagged "lifecycle-r<retrain_index>".
+ * @throws RetrainFailure when training diverges (the controller
+ *         rejects the candidate and keeps monitoring).
+ */
+serve::BundlePtr
+retrainCandidate(const std::vector<ObservationRecord> &window,
+                 const std::vector<std::string> &input_names,
+                 const std::vector<std::string> &output_names,
+                 const RetrainOptions &options,
+                 std::uint64_t retrain_index);
+
+} // namespace lifecycle
+} // namespace wcnn
+
+#endif // WCNN_LIFECYCLE_RETRAIN_HH

@@ -42,6 +42,50 @@ ServeCore::deploy(BundlePtr bundle)
     return version;
 }
 
+void
+ServeCore::setObservationSink(ObservationSink new_sink)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    sink = std::move(new_sink);
+}
+
+void
+ServeCore::observe(const numeric::Vector &x, const numeric::Vector &y)
+{
+    const BundlePtr bundle = bundles.active();
+    if (bundle == nullptr)
+        throw NoModelError();
+    if (x.size() != bundle->inputDim())
+        throw BadRequest("observation has " + std::to_string(x.size()) +
+                         " inputs, bundle expects " +
+                         std::to_string(bundle->inputDim()));
+    if (y.size() != bundle->outputDim())
+        throw BadRequest("observation has " + std::to_string(y.size()) +
+                         " outputs, bundle expects " +
+                         std::to_string(bundle->outputDim()));
+
+    // Direct forward on the incumbent: deterministic bits, and neither
+    // the cache nor the batcher sees feedback traffic.
+    const numeric::Vector predicted = bundle->predict(x);
+
+    nObservations.fetch_add(1);
+    WCNN_COUNTER_ADD("serve.observations", 1);
+
+    // The sink is called under the lock: the acquisition order defines
+    // the record-stream order lifecycle decisions are functions of. A
+    // sink fault is contained — the record is dropped and counted, the
+    // client still gets its Ack, the incumbent keeps serving.
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    if (!sink)
+        return;
+    try {
+        sink(x, predicted, y);
+    } catch (const wcnn::Error &) {
+        nDroppedObservations.fetch_add(1);
+        WCNN_COUNTER_ADD("serve.observations_dropped", 1);
+    }
+}
+
 numeric::Vector
 ServeCore::predict(const numeric::Vector &x)
 {
@@ -283,6 +327,8 @@ ServeCore::statsSnapshot() const
     s.requests = nRequests.load();
     s.errors = nErrors.load();
     s.pings = nPings.load();
+    s.observations = nObservations.load();
+    s.droppedObservations = nDroppedObservations.load();
     return s;
 }
 

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,16 @@ struct ServeOptions
      */
     std::size_t shards = 0;
 
+    /**
+     * Epoll engine only: number of SO_REUSEPORT acceptor threads,
+     * each with its own listening socket on the same address — the
+     * kernel load-balances incoming connections across them, removing
+     * the single-acceptor bottleneck under connection storms. 1 (the
+     * default) keeps the original single-listener behavior, with no
+     * SO_REUSEPORT set. The threaded engine ignores it.
+     */
+    std::size_t acceptors = 1;
+
     /** Micro-batching knobs. */
     BatcherOptions batch;
 
@@ -96,6 +107,10 @@ struct ServeStats
     std::uint64_t errors = 0;
     /** Pings answered. */
     std::uint64_t pings = 0;
+    /** Observe feedback records accepted (Ack sent). */
+    std::uint64_t observations = 0;
+    /** Observations dropped because the lifecycle sink faulted. */
+    std::uint64_t droppedObservations = 0;
     /** Connections currently being served. */
     std::size_t activeConnections = 0;
 };
@@ -120,6 +135,35 @@ class ServeCore
 
     /** Snapshot of the active bundle (null before the first deploy). */
     BundlePtr active() const { return bundles.active(); }
+
+    /** Version of the active bundle (bumps on every deploy). */
+    std::uint64_t version() const { return bundles.version(); }
+
+    /**
+     * Lifecycle feedback sink: (x, predicted, observed) per accepted
+     * Observe request. Calls are serialized under one lock, so the
+     * order the sink sees *is* the record-stream order the lifecycle
+     * determinism contract is stated over.
+     */
+    using ObservationSink = std::function<void(
+        const numeric::Vector &x, const numeric::Vector &predicted,
+        const numeric::Vector &observed)>;
+
+    /** Install (or clear, with {}) the observation sink. */
+    void setObservationSink(ObservationSink sink);
+
+    /**
+     * Handle one Observe feedback record: validate, predict x on the
+     * incumbent bundle (direct, deterministic bits — no cache, no
+     * batcher), and forward (x, predicted, observed) to the sink.
+     * The reply a client sees never depends on the sink: a sink
+     * fault is contained here (record dropped, counter bumped), so
+     * shadow evaluation is invisible on the wire by construction.
+     *
+     * @throws NoModelError before the first deploy, BadRequest when
+     *         x or y disagree with the bundle's dimensions.
+     */
+    void observe(const numeric::Vector &x, const numeric::Vector &y);
 
     /** In-process predict: cache, then micro-batcher on a miss. */
     numeric::Vector predict(const numeric::Vector &x);
@@ -218,11 +262,17 @@ class ServeCore
     PredictionCache cache;
     MicroBatcher queue;
 
+    /** Serializes sink installs and calls (record-stream order). */
+    mutable std::mutex sinkMutex;
+    ObservationSink sink;
+
     std::atomic<std::uint64_t> nAccepted{0};
     std::atomic<std::uint64_t> nRejected{0};
     std::atomic<std::uint64_t> nRequests{0};
     std::atomic<std::uint64_t> nErrors{0};
     std::atomic<std::uint64_t> nPings{0};
+    std::atomic<std::uint64_t> nObservations{0};
+    std::atomic<std::uint64_t> nDroppedObservations{0};
 };
 
 /**
@@ -246,6 +296,15 @@ class ServerEngine
 
     /** Snapshot of the active bundle (null before the first deploy). */
     BundlePtr active() const { return core.active(); }
+
+    /** Version of the active bundle (bumps on every deploy). */
+    std::uint64_t version() const { return core.version(); }
+
+    /** Install the lifecycle observation sink; see ServeCore. */
+    void setObservationSink(ServeCore::ObservationSink sink)
+    {
+        core.setObservationSink(std::move(sink));
+    }
 
     /** In-process predict, bit-identical to ModelBundle::predict. */
     numeric::Vector predict(const numeric::Vector &x)

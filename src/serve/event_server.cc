@@ -419,13 +419,26 @@ EventServer::start()
     for (std::size_t i = 0; i < shard_count; ++i)
         workers.push_back(std::make_unique<Shard>(*this));
 
-    listener = std::make_unique<net::TcpListener>(opts.host, opts.port,
-                                                  opts.backlog);
-    boundPort = listener->port();
+    // Multi-acceptor mode: every listener sets SO_REUSEPORT and binds
+    // the same address, so the kernel spreads incoming connections
+    // across the acceptor threads. With the default of one acceptor
+    // the socket options (and behavior) are exactly the original.
+    const std::size_t acceptor_count =
+        opts.acceptors > 0 ? opts.acceptors : 1;
+    const bool reuse_port = acceptor_count > 1;
+    listeners.push_back(std::make_unique<net::TcpListener>(
+        opts.host, opts.port, opts.backlog, reuse_port));
+    boundPort = listeners.front()->port();
+    for (std::size_t i = 1; i < acceptor_count; ++i)
+        listeners.push_back(std::make_unique<net::TcpListener>(
+            opts.host, boundPort, opts.backlog, /*reuse_port=*/true));
+
     for (auto &worker : workers)
         worker->start();
     accepting.store(true);
-    acceptor = std::thread([this] { acceptLoop(); });
+    acceptors.reserve(acceptor_count);
+    for (std::size_t i = 0; i < acceptor_count; ++i)
+        acceptors.emplace_back([this, i] { acceptLoop(i); });
 }
 
 void
@@ -433,10 +446,12 @@ EventServer::stop()
 {
     stopping.store(true, std::memory_order_release);
     accepting.store(false);
-    if (listener != nullptr)
+    for (auto &listener : listeners)
         listener->close();
-    if (acceptor.joinable())
-        acceptor.join();
+    for (std::thread &acceptor : acceptors)
+        if (acceptor.joinable())
+            acceptor.join();
+    acceptors.clear();
     for (auto &worker : workers)
         worker->wake();
     for (auto &worker : workers)
@@ -450,11 +465,12 @@ EventServer::stop()
 }
 
 void
-EventServer::acceptLoop()
+EventServer::acceptLoop(std::size_t slot)
 {
-    std::size_t next = 0;
+    net::TcpListener &listener = *listeners[slot];
+    std::size_t next = slot % workers.size();
     while (!stopping.load()) {
-        net::TcpStream stream = listener->accept(kTickMs);
+        net::TcpStream stream = listener.accept(kTickMs);
         if (!stream.valid())
             continue;
         if (stopping.load())

@@ -101,12 +101,16 @@ class EventServer : public ServerEngine
         return liveConns.load();
     }
 
-    void acceptLoop();
+    /** One acceptor thread's loop over its own listener. `slot`
+     *  staggers the round-robin start so multiple acceptors spread
+     *  their connections over different shards. */
+    void acceptLoop(std::size_t slot);
 
     std::vector<std::unique_ptr<Shard>> workers;
-    std::unique_ptr<net::TcpListener> listener;
+    /** One listener per acceptor; >1 share the port via SO_REUSEPORT. */
+    std::vector<std::unique_ptr<net::TcpListener>> listeners;
     std::uint16_t boundPort = 0;
-    std::thread acceptor;
+    std::vector<std::thread> acceptors;
     std::atomic<bool> accepting{false};
     std::atomic<bool> stopping{false};
     std::atomic<std::size_t> liveConns{0};

@@ -62,6 +62,21 @@ ServeClient::readPrediction()
     }
 }
 
+void
+ServeClient::observe(const numeric::Vector &x, const numeric::Vector &y)
+{
+    const Bytes frame = encodeObserve(x, y);
+    stream.writeAll(frame.data(), frame.size());
+    Frame reply = readFrame();
+    if (reply.type == FrameType::Ack)
+        return;
+    if (reply.type == FrameType::Error)
+        throwServeError(reply.errorKind, reply.errorMessage);
+    throw ProtocolError("expected an ack frame, got type " +
+                        std::to_string(static_cast<unsigned>(
+                            reply.type)));
+}
+
 bool
 ServeClient::ping()
 {

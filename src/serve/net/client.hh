@@ -83,6 +83,16 @@ class ServeClient
     numeric::Vector readPrediction();
 
     /**
+     * One blocking observe round trip: report the indicator values
+     * actually measured for configuration x (the lifecycle feedback
+     * channel). Returns on the server's Ack.
+     *
+     * @throws The server's typed error (NoModelError, BadRequest) or
+     *         ServeError on transport failure.
+     */
+    void observe(const numeric::Vector &x, const numeric::Vector &y);
+
+    /**
      * Liveness round trip.
      *
      * @return True when the server answered the ping with a pong.

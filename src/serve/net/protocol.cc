@@ -303,6 +303,32 @@ encodePong()
     return {kMagic, static_cast<std::uint8_t>(FrameType::Pong), 0, 0, 0, 0};
 }
 
+Bytes
+encodeObserve(const numeric::Vector &x, const numeric::Vector &y)
+{
+    WCNN_REQUIRE(x.size() <= kMaxVectorLen && y.size() <= kMaxVectorLen,
+                 "vector too long for one frame");
+    Bytes out;
+    out.reserve(10 + (x.size() + y.size()) * 8);
+    out.push_back(kMagic);
+    out.push_back(static_cast<std::uint8_t>(FrameType::Observe));
+    putU32(out,
+           static_cast<std::uint32_t>(4 + (x.size() + y.size()) * 8));
+    putU16(out, static_cast<std::uint16_t>(x.size()));
+    for (double v : x)
+        putF64(out, v);
+    putU16(out, static_cast<std::uint16_t>(y.size()));
+    for (double v : y)
+        putF64(out, v);
+    return out;
+}
+
+Bytes
+encodeAck()
+{
+    return {kMagic, static_cast<std::uint8_t>(FrameType::Ack), 0, 0, 0, 0};
+}
+
 DecodeResult
 tryDecode(const std::uint8_t *data, std::size_t size)
 {
@@ -317,7 +343,7 @@ tryDecode(const std::uint8_t *data, std::size_t size)
 
     const std::uint8_t raw_type = data[1];
     if (raw_type < static_cast<std::uint8_t>(FrameType::Request) ||
-        raw_type > static_cast<std::uint8_t>(FrameType::Pong))
+        raw_type > static_cast<std::uint8_t>(FrameType::Ack))
         return malformed("unknown frame type " +
                          std::to_string(static_cast<unsigned>(raw_type)));
     const FrameType type = static_cast<FrameType>(raw_type);
@@ -337,9 +363,35 @@ tryDecode(const std::uint8_t *data, std::size_t size)
     switch (type) {
     case FrameType::Ping:
     case FrameType::Pong:
+    case FrameType::Ack:
         if (body_len != 0)
-            return malformed("ping/pong frame with a non-empty body");
+            return malformed("ping/pong/ack frame with a non-empty body");
         break;
+
+    case FrameType::Observe: {
+        if (body_len < 4)
+            return malformed("observe frame body shorter than its counts");
+        const std::uint16_t xn = getU16(body);
+        if (body_len < 4 + static_cast<std::size_t>(xn) * 8)
+            return malformed("observe frame x overruns the body");
+        const std::uint8_t *yhead = body + 2 + xn * 8;
+        const std::uint16_t yn = getU16(yhead);
+        if (body_len != 4 + (static_cast<std::size_t>(xn) +
+                             static_cast<std::size_t>(yn)) *
+                                8)
+            return malformed(
+                "observe frame counts disagree with body length " +
+                std::to_string(body_len));
+        if (xn == 0 || yn == 0)
+            return malformed("observe frame with an empty vector");
+        r.frame.values.resize(xn);
+        for (std::size_t i = 0; i < xn; ++i)
+            r.frame.values[i] = getF64(body + 2 + i * 8);
+        r.frame.observed.resize(yn);
+        for (std::size_t i = 0; i < yn; ++i)
+            r.frame.observed[i] = getF64(yhead + 2 + i * 8);
+        break;
+    }
 
     case FrameType::Request:
     case FrameType::Response: {
@@ -388,6 +440,8 @@ parseJsonLine(const std::string &line)
     bool have_op = false;
     numeric::Vector x;
     bool have_x = false;
+    numeric::Vector y;
+    bool have_y = false;
 
     scan.expect('{');
     if (!scan.consume('}')) {
@@ -400,6 +454,9 @@ parseJsonLine(const std::string &line)
             } else if (key == "x") {
                 x = scan.parseNumberArray();
                 have_x = true;
+            } else if (key == "y") {
+                y = scan.parseNumberArray();
+                have_y = true;
             } else {
                 // Tolerate unknown scalar members so clients may add
                 // metadata; nested objects are out of grammar.
@@ -429,6 +486,18 @@ parseJsonLine(const std::string &line)
     Frame frame;
     if (op == "ping") {
         frame.type = FrameType::Ping;
+        return frame;
+    }
+    if (op == "observe") {
+        if (!have_x || x.empty() || !have_y || y.empty())
+            throw ProtocolError("bad JSON request: observe needs "
+                                "non-empty \"x\" and \"y\" arrays");
+        if (x.size() > kMaxVectorLen || y.size() > kMaxVectorLen)
+            throw ProtocolError(
+                "bad JSON request: \"x\" or \"y\" is too long");
+        frame.type = FrameType::Observe;
+        frame.values = std::move(x);
+        frame.observed = std::move(y);
         return frame;
     }
     if (op != "predict")
@@ -471,6 +540,12 @@ std::string
 formatJsonPong()
 {
     return "{\"ok\":true,\"pong\":true}\n";
+}
+
+std::string
+formatJsonAck()
+{
+    return "{\"ok\":true,\"observed\":true}\n";
 }
 
 } // namespace net

@@ -18,10 +18,15 @@
  *    Request/Response bodies: u16le count, then count f64le values.
  *    Error bodies: u16le kindLen, kind bytes, u16le msgLen, msg bytes.
  *    Ping/Pong bodies are empty.
+ *    Observe bodies: u16le xCount, xCount f64le configuration values,
+ *    u16le yCount, yCount f64le observed indicator values — the
+ *    feedback channel of the model lifecycle loop. Ack bodies are
+ *    empty (the server's receipt for one Observe).
  *
  *  - **JSON lines** (first byte '{'): one request object per '\n'-
- *    terminated line — {"op":"predict","x":[...]} or {"op":"ping"} —
- *    answered with one JSON line: {"ok":true,"y":[...]},
+ *    terminated line — {"op":"predict","x":[...]}, {"op":"observe",
+ *    "x":[...],"y":[...]}, or {"op":"ping"} — answered with one JSON
+ *    line: {"ok":true,"y":[...]}, {"ok":true,"observed":true},
  *    {"ok":true,"pong":true}, or {"ok":false,"kind":"...",
  *    "error":"..."}. Doubles are printed with round-trip (%.17g)
  *    precision. Meant for humans with netcat, not for throughput.
@@ -68,6 +73,8 @@ enum class FrameType : std::uint8_t
     Error = 0x03,    ///< server -> client: typed failure (kind, message)
     Ping = 0x04,     ///< client -> server: liveness probe
     Pong = 0x05,     ///< server -> client: liveness answer
+    Observe = 0x06,  ///< client -> server: observed indicators for x
+    Ack = 0x07,      ///< server -> client: receipt for one Observe
 };
 
 /** One decoded frame (or parsed JSON request). */
@@ -75,8 +82,11 @@ struct Frame
 {
     FrameType type = FrameType::Ping;
 
-    /** Payload of Request/Response frames. */
+    /** Payload of Request/Response frames; the x half of Observe. */
     numeric::Vector values;
+
+    /** Observed indicator values (the y half of Observe frames). */
+    numeric::Vector observed;
 
     /** Error kind of Error frames (wcnn::Error::kind()). */
     std::string errorKind;
@@ -102,6 +112,15 @@ Bytes encodePing();
 
 /** Encode a Pong frame. */
 Bytes encodePong();
+
+/**
+ * Encode an Observe frame: configuration x and the indicator values a
+ * client actually measured for it. Both sizes <= kMaxVectorLen.
+ */
+Bytes encodeObserve(const numeric::Vector &x, const numeric::Vector &y);
+
+/** Encode an Ack frame. */
+Bytes encodeAck();
 
 /** Outcome of one tryDecode() call. */
 enum class DecodeStatus
@@ -161,6 +180,9 @@ std::string formatJsonError(const std::string &kind,
 
 /** Format the ping answer line (with '\n'). */
 std::string formatJsonPong();
+
+/** Format the observe receipt line (with '\n'). */
+std::string formatJsonAck();
 
 } // namespace net
 } // namespace serve

@@ -167,12 +167,17 @@ class TcpListener
     /**
      * Bind and listen.
      *
-     * @param host    Local IPv4 address to bind ("127.0.0.1").
-     * @param port    Port; 0 picks an ephemeral port (see port()).
-     * @param backlog listen(2) backlog.
+     * @param host       Local IPv4 address to bind ("127.0.0.1").
+     * @param port       Port; 0 picks an ephemeral port (see port()).
+     * @param backlog    listen(2) backlog.
+     * @param reuse_port Also set SO_REUSEPORT before binding, so
+     *                   multiple listeners can share one address and
+     *                   the kernel load-balances accepts across them
+     *                   (the epoll engine's multi-acceptor mode).
      * @throws ServeError when the address cannot be bound.
      */
-    TcpListener(const std::string &host, std::uint16_t port, int backlog);
+    TcpListener(const std::string &host, std::uint16_t port, int backlog,
+                bool reuse_port = false);
 
     TcpListener(const TcpListener &) = delete;
     TcpListener &operator=(const TcpListener &) = delete;

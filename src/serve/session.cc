@@ -80,6 +80,10 @@ Session::processBinary()
             core.notePing();
             stageDone(net::encodePong());
             break;
+        case net::FrameType::Observe:
+            handleObserve(r.frame.values, r.frame.observed,
+                          /*json=*/false);
+            break;
         default:
             // Clients must not send server-side frame types.
             stageDone(net::encodeError(
@@ -123,6 +127,9 @@ Session::processJson()
             if (frame.type == net::FrameType::Ping) {
                 core.notePing();
                 stageDone(toBytes(net::formatJsonPong()));
+            } else if (frame.type == net::FrameType::Observe) {
+                handleObserve(frame.values, frame.observed,
+                              /*json=*/true);
             } else {
                 seqs.push_back(baseSeq + outbox.size());
                 outbox.emplace_back(); // pending reply slot
@@ -142,6 +149,27 @@ Session::processJson()
 
     return close_after_flush ? Verdict::CloseAfterFlush
                              : Verdict::Continue;
+}
+
+void
+Session::handleObserve(const numeric::Vector &x,
+                       const numeric::Vector &y, bool json)
+{
+    // Observations are answered inline, in arrival order: the direct
+    // incumbent forward is synchronous and never enters the batcher,
+    // so the Ack (or typed validation error) stages immediately behind
+    // whatever predictions are still pending ahead of it.
+    try {
+        core.observe(x, y);
+        stageDone(json ? toBytes(net::formatJsonAck())
+                       : net::encodeAck());
+    } catch (const wcnn::Error &error) {
+        core.noteFrameError();
+        stageDone(json ? toBytes(net::formatJsonError(
+                             error.kind(), bareErrorMessage(error)))
+                       : net::encodeError(error.kind(),
+                                          bareErrorMessage(error)));
+    }
 }
 
 void

@@ -151,6 +151,10 @@ class Session
     Verdict processBinary();
     Verdict processJson();
 
+    /** Answer one Observe record inline (Ack or typed error). */
+    void handleObserve(const numeric::Vector &x,
+                       const numeric::Vector &y, bool json);
+
     /** Stage a completed reply at the tail of the outbox. */
     void stageDone(net::Bytes bytes);
 

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The drift detector's strike arithmetic: tumbling windows, the
+ * threshold rule, patience, reset, and determinism — all functions of
+ * record counts alone (lint R10), so two detectors fed the same error
+ * stream agree on every drift point.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lifecycle/drift.hh"
+#include "lifecycle/record.hh"
+
+namespace {
+
+using namespace wcnn;
+using lifecycle::DriftDetector;
+using lifecycle::DriftOptions;
+
+DriftOptions
+smallOptions()
+{
+    DriftOptions opts;
+    opts.window = 4;
+    opts.threshold = 0.5;
+    opts.patience = 2;
+    return opts;
+}
+
+TEST(LifecycleDrift, QuietStreamNeverDrifts)
+{
+    DriftDetector detector(smallOptions());
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(detector.feed(0.1));
+    EXPECT_EQ(detector.windowsEvaluated(), 25u);
+    EXPECT_EQ(detector.strikes(), 0u);
+}
+
+TEST(LifecycleDrift, DriftNeedsPatienceConsecutiveStrikes)
+{
+    DriftDetector detector(smallOptions());
+    // First hot window: one strike, no drift yet.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(detector.feed(1.0));
+    EXPECT_EQ(detector.strikes(), 1u);
+    // Second hot window: second consecutive strike fires on its last
+    // record.
+    EXPECT_FALSE(detector.feed(1.0));
+    EXPECT_FALSE(detector.feed(1.0));
+    EXPECT_FALSE(detector.feed(1.0));
+    EXPECT_TRUE(detector.feed(1.0));
+}
+
+TEST(LifecycleDrift, QuietWindowResetsTheStreak)
+{
+    DriftDetector detector(smallOptions());
+    for (int i = 0; i < 4; ++i)
+        detector.feed(1.0); // strike
+    for (int i = 0; i < 4; ++i)
+        detector.feed(0.0); // quiet window: streak broken
+    EXPECT_EQ(detector.strikes(), 0u);
+    // A single further hot window must not drift on its own.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(detector.feed(1.0));
+    EXPECT_EQ(detector.strikes(), 1u);
+}
+
+TEST(LifecycleDrift, WindowMeanDecides)
+{
+    // Mean over the window decides, not any single record: 3 zeros +
+    // one 1.9 gives mean 0.475 < 0.5 — no strike.
+    DriftDetector detector(smallOptions());
+    detector.feed(0.0);
+    detector.feed(0.0);
+    detector.feed(0.0);
+    EXPECT_FALSE(detector.feed(1.9));
+    EXPECT_EQ(detector.strikes(), 0u);
+    EXPECT_NEAR(detector.lastWindowError(), 0.475, 1e-12);
+
+    // 3 zeros + one 2.1: mean 0.525 > 0.5 — strike.
+    detector.feed(0.0);
+    detector.feed(0.0);
+    detector.feed(0.0);
+    EXPECT_FALSE(detector.feed(2.1));
+    EXPECT_EQ(detector.strikes(), 1u);
+}
+
+TEST(LifecycleDrift, ResetForgetsEverything)
+{
+    DriftDetector detector(smallOptions());
+    for (int i = 0; i < 6; ++i)
+        detector.feed(1.0);
+    detector.reset();
+    EXPECT_EQ(detector.strikes(), 0u);
+    EXPECT_EQ(detector.windowsEvaluated(), 0u);
+    // The partial window was discarded: a full fresh window is needed
+    // for the next strike.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_FALSE(detector.feed(1.0));
+    EXPECT_EQ(detector.strikes(), 1u);
+}
+
+TEST(LifecycleDrift, PatienceOneFiresOnFirstHotWindow)
+{
+    DriftOptions opts = smallOptions();
+    opts.patience = 1;
+    DriftDetector detector(opts);
+    detector.feed(1.0);
+    detector.feed(1.0);
+    detector.feed(1.0);
+    EXPECT_TRUE(detector.feed(1.0));
+}
+
+TEST(LifecycleDrift, DeterministicAcrossInstances)
+{
+    // Same stream, same decisions — the property the replay goldens
+    // build on.
+    std::vector<double> stream;
+    double v = 0.05;
+    for (int i = 0; i < 200; ++i) {
+        v = v * 1.07 + 0.01;
+        stream.push_back(v > 2.0 ? 2.0 : v);
+    }
+    DriftDetector a(smallOptions());
+    DriftDetector b(smallOptions());
+    for (double e : stream) {
+        const bool da = a.feed(e);
+        const bool db = b.feed(e);
+        EXPECT_EQ(da, db);
+        if (da) {
+            a.reset();
+            b.reset();
+        }
+    }
+    EXPECT_EQ(a.windowsEvaluated(), b.windowsEvaluated());
+    EXPECT_EQ(a.strikes(), b.strikes());
+}
+
+TEST(LifecycleDrift, RelativeErrorIsMeanOverIndicators)
+{
+    EXPECT_NEAR(lifecycle::relativeError({1.0, 2.0}, {2.0, 2.0}), 0.25,
+                1e-9);
+    EXPECT_NEAR(lifecycle::relativeError({1.0}, {1.0}), 0.0, 1e-12);
+    EXPECT_EQ(lifecycle::relativeError({}, {}), 0.0);
+    // Negative observations are compared in magnitude.
+    EXPECT_NEAR(lifecycle::relativeError({-1.0}, {-2.0}), 0.5, 1e-9);
+}
+
+} // namespace

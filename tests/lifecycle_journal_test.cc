@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The observation journal: round-trips, the append writer, and typed
+ * rejection of malformed journal text. The journal is external input
+ * (a file a human can edit), so every malformed shape must surface as
+ * JournalError with a line number — never a contract trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "lifecycle/error.hh"
+#include "lifecycle/journal.hh"
+
+namespace {
+
+using namespace wcnn;
+using lifecycle::Journal;
+using lifecycle::JournalError;
+using lifecycle::ObservationRecord;
+
+Journal
+sampleJournal()
+{
+    Journal journal;
+    journal.inputDim = 2;
+    journal.outputDim = 1;
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        ObservationRecord rec;
+        rec.seq = i;
+        const double base = static_cast<double>(i);
+        rec.x = {0.125 + base, -3.0 / 7.0 * base};
+        rec.predicted = {1.0 + base * 1e-13};
+        rec.observed = {1.0 - base * 1e-13};
+        journal.records.push_back(rec);
+    }
+    return journal;
+}
+
+TEST(LifecycleJournal, RoundTripsExactly)
+{
+    const Journal original = sampleJournal();
+    std::ostringstream out;
+    lifecycle::writeJournal(out, original);
+
+    std::istringstream in(out.str());
+    const Journal back = lifecycle::readJournal(in);
+
+    ASSERT_EQ(back.inputDim, original.inputDim);
+    ASSERT_EQ(back.outputDim, original.outputDim);
+    ASSERT_EQ(back.records.size(), original.records.size());
+    for (std::size_t i = 0; i < original.records.size(); ++i) {
+        EXPECT_EQ(back.records[i].seq, i);
+        // %.17g must round-trip every double bit-exactly.
+        EXPECT_EQ(back.records[i].x, original.records[i].x);
+        EXPECT_EQ(back.records[i].predicted,
+                  original.records[i].predicted);
+        EXPECT_EQ(back.records[i].observed,
+                  original.records[i].observed);
+    }
+}
+
+TEST(LifecycleJournal, WriterMatchesBatchWriter)
+{
+    const Journal journal = sampleJournal();
+    const std::string path =
+        testing::TempDir() + "lifecycle_journal_writer.journal";
+    {
+        lifecycle::JournalWriter writer(path, journal.inputDim,
+                                        journal.outputDim);
+        for (const ObservationRecord &rec : journal.records)
+            writer.append(rec);
+        EXPECT_EQ(writer.size(), journal.records.size());
+    }
+    std::ostringstream batch;
+    lifecycle::writeJournal(batch, journal);
+
+    std::ifstream in(path);
+    std::ostringstream streamed;
+    streamed << in.rdbuf();
+    EXPECT_EQ(streamed.str(), batch.str());
+
+    const Journal back = lifecycle::readJournal(path);
+    EXPECT_EQ(back.records.size(), journal.records.size());
+    std::remove(path.c_str());
+}
+
+TEST(LifecycleJournal, RejectsBadHeader)
+{
+    std::istringstream in("not-a-journal 1 2 1\n");
+    EXPECT_THROW(lifecycle::readJournal(in), JournalError);
+
+    std::istringstream version("wcnn-journal 9 2 1\n");
+    EXPECT_THROW(lifecycle::readJournal(version), JournalError);
+
+    std::istringstream empty("");
+    EXPECT_THROW(lifecycle::readJournal(empty), JournalError);
+}
+
+TEST(LifecycleJournal, RejectsWrongValueCount)
+{
+    // Header promises 2 + 2*1 = 4 values per line; give 3.
+    std::istringstream in("wcnn-journal 1 2 1\n1 2 3\n");
+    try {
+        lifecycle::readJournal(in);
+        FAIL() << "expected JournalError";
+    } catch (const JournalError &e) {
+        EXPECT_NE(std::string(e.what()).find("line 2"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(LifecycleJournal, RejectsUnparseableNumber)
+{
+    std::istringstream in("wcnn-journal 1 2 1\n1 2 x 4\n");
+    EXPECT_THROW(lifecycle::readJournal(in), JournalError);
+}
+
+TEST(LifecycleJournal, RejectsMissingFile)
+{
+    EXPECT_THROW(lifecycle::readJournal(std::string(
+                     "/nonexistent/lifecycle.journal")),
+                 JournalError);
+}
+
+TEST(LifecycleJournal, ErrorKindsAreStable)
+{
+    try {
+        std::istringstream in("bogus\n");
+        lifecycle::readJournal(in);
+        FAIL() << "expected JournalError";
+    } catch (const JournalError &e) {
+        EXPECT_EQ(e.kind(), std::string("lifecycle.journal"));
+    }
+}
+
+} // namespace

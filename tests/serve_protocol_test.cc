@@ -114,6 +114,87 @@ TEST(ServeProtocolTest, PingPongRoundTrip)
               FrameType::Pong);
 }
 
+TEST(ServeProtocolTest, ObserveRoundTripsBitExact)
+{
+    const Vector x{1.5, -0.0, 6.02214076e23};
+    const Vector y{-123.456, 1e-308};
+    const Bytes wire = net::encodeObserve(x, y);
+    const net::DecodeResult r = tryDecode(wire.data(), wire.size());
+    ASSERT_EQ(r.status, DecodeStatus::Frame);
+    EXPECT_EQ(r.consumed, wire.size());
+    ASSERT_EQ(r.frame.type, FrameType::Observe);
+    ASSERT_EQ(r.frame.values.size(), x.size());
+    ASSERT_EQ(r.frame.observed.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        EXPECT_EQ(bits(r.frame.values[i]), bits(x[i])) << "x " << i;
+    for (std::size_t i = 0; i < y.size(); ++i)
+        EXPECT_EQ(bits(r.frame.observed[i]), bits(y[i])) << "y " << i;
+}
+
+TEST(ServeProtocolTest, AckRoundTrips)
+{
+    const Bytes wire = net::encodeAck();
+    const net::DecodeResult r = tryDecode(wire.data(), wire.size());
+    ASSERT_EQ(r.status, DecodeStatus::Frame);
+    EXPECT_EQ(r.frame.type, FrameType::Ack);
+    EXPECT_EQ(r.consumed, wire.size());
+}
+
+TEST(ServeProtocolTest, ObserveEveryStrictPrefixNeedsMore)
+{
+    const Bytes wire = net::encodeObserve({1.0, 2.0}, {3.0});
+    for (std::size_t n = 0; n < wire.size(); ++n)
+        EXPECT_EQ(tryDecode(wire.data(), n).status,
+                  DecodeStatus::NeedMore)
+            << "prefix of " << n << " bytes";
+}
+
+TEST(ServeProtocolTest, ObserveRejectsMalformedCounts)
+{
+    // Empty vectors are meaningless feedback: both sides rejected.
+    Bytes wire = net::encodeObserve({1.0}, {2.0});
+    // Patch xCount to 0 (first two body bytes, little-endian).
+    wire[6] = 0;
+    wire[7] = 0;
+    EXPECT_EQ(tryDecode(wire.data(), wire.size()).status,
+              DecodeStatus::Malformed);
+
+    // Counts that disagree with the body length are malformed, not a
+    // read past the buffer.
+    Bytes oversize = net::encodeObserve({1.0}, {2.0});
+    oversize[6] = 0xff;
+    EXPECT_EQ(tryDecode(oversize.data(), oversize.size()).status,
+              DecodeStatus::Malformed);
+}
+
+TEST(ServeProtocolTest, JsonObserveLineParses)
+{
+    const std::string line =
+        "{\"op\":\"observe\",\"x\":[1.5,2.5],\"y\":[3.5]}";
+    const net::Frame frame = net::parseJsonLine(line);
+    EXPECT_EQ(frame.type, FrameType::Observe);
+    ASSERT_EQ(frame.values.size(), 2u);
+    ASSERT_EQ(frame.observed.size(), 1u);
+    EXPECT_EQ(frame.values[0], 1.5);
+    EXPECT_EQ(frame.observed[0], 3.5);
+}
+
+TEST(ServeProtocolTest, JsonObserveRequiresBothVectors)
+{
+    EXPECT_THROW(
+        (void)net::parseJsonLine("{\"op\":\"observe\",\"x\":[1.0]}"),
+        ProtocolError);
+    EXPECT_THROW(
+        (void)net::parseJsonLine("{\"op\":\"observe\",\"y\":[1.0]}"),
+        ProtocolError);
+}
+
+TEST(ServeProtocolTest, JsonAckLineIsStable)
+{
+    EXPECT_EQ(net::formatJsonAck(),
+              "{\"ok\":true,\"observed\":true}\n");
+}
+
 TEST(ServeProtocolTest, EveryStrictPrefixNeedsMore)
 {
     const Bytes wire = net::encodeRequest({1.0, 2.0, 3.0});

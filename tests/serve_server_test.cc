@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdint>
 #include <memory>
@@ -425,4 +426,188 @@ TEST(ServeServerTest, PerRequestBaselineModeAnswersIdentically)
         expectExactlyEqual(client.readPrediction(),
                            bundle->predict(sent[i]));
     server.stop();
+}
+
+TEST(ServeServerTest, ObserveRoundTripsAndFeedsTheSink)
+{
+    const BundlePtr bundle = makeBundle();
+    InferenceServer server;
+    server.deploy(bundle);
+
+    // The sink sees (x, incumbent prediction, observation) for every
+    // accepted record, in wire order.
+    struct Seen
+    {
+        Vector x, predicted, observed;
+    };
+    std::vector<Seen> seen;
+    server.setObservationSink([&seen](const Vector &x,
+                                      const Vector &predicted,
+                                      const Vector &observed) {
+        seen.push_back({x, predicted, observed});
+    });
+    server.start();
+
+    net::ServeClient client =
+        net::ServeClient::connect(kHost, server.port());
+    client.observe({1.0, 2.0, 3.0}, {4.0, 5.0});
+    client.observe({0.5, 0.5, 0.5}, {1.0, 1.0});
+    client.close();
+    server.stop();
+
+    ASSERT_EQ(seen.size(), 2u);
+    expectExactlyEqual(seen[0].x, {1.0, 2.0, 3.0});
+    expectExactlyEqual(seen[0].predicted,
+                       bundle->predict({1.0, 2.0, 3.0}));
+    expectExactlyEqual(seen[0].observed, {4.0, 5.0});
+    expectExactlyEqual(seen[1].observed, {1.0, 1.0});
+    const InferenceServer::Stats s = server.stats();
+    EXPECT_EQ(s.observations, 2u);
+    EXPECT_EQ(s.droppedObservations, 0u);
+    EXPECT_EQ(s.errors, 0u);
+}
+
+TEST(ServeServerTest, ObserveArityMismatchAnswersTypedAndKeepsServing)
+{
+    InferenceServer server;
+    server.deploy(makeBundle());
+    server.start();
+    net::ServeClient client =
+        net::ServeClient::connect(kHost, server.port());
+    // Wrong x arity, then wrong y arity: typed BadRequest both times,
+    // and the connection keeps serving afterwards.
+    EXPECT_THROW(client.observe({1.0}, {1.0, 2.0}), BadRequest);
+    EXPECT_THROW(client.observe({1.0, 2.0, 3.0}, {1.0}), BadRequest);
+    client.observe({1.0, 2.0, 3.0}, {1.0, 2.0});
+    EXPECT_EQ(client.predict({1.0, 2.0, 3.0}).size(), 2u);
+    server.stop();
+    EXPECT_EQ(server.stats().observations, 1u);
+}
+
+TEST(ServeServerTest, ObserveWithoutModelAnswersTyped)
+{
+    InferenceServer server;
+    server.start();
+    net::ServeClient client =
+        net::ServeClient::connect(kHost, server.port());
+    EXPECT_THROW(client.observe({1.0}, {1.0}), NoModelError);
+    server.stop();
+}
+
+TEST(ServeServerTest, JsonObserveSharesThePort)
+{
+    const BundlePtr bundle = makeBundle();
+    InferenceServer server;
+    server.deploy(bundle);
+    std::vector<Vector> observed;
+    server.setObservationSink(
+        [&observed](const Vector &, const Vector &, const Vector &o) {
+            observed.push_back(o);
+        });
+    server.start();
+
+    net::TcpStream stream = net::TcpStream::connect(kHost, server.port());
+    const std::string lines =
+        "{\"op\":\"observe\",\"x\":[1,2,3],\"y\":[7.5,8.5]}\n"
+        "{\"op\":\"predict\",\"x\":[1,2,3]}\n";
+    stream.writeAll(lines.data(), lines.size());
+    const std::vector<std::string> replies = readJsonLines(stream, 2);
+    server.stop();
+
+    ASSERT_EQ(replies.size(), 2u);
+    EXPECT_EQ(replies[0], "{\"ok\":true,\"observed\":true}");
+    EXPECT_EQ(replies[1].find("{\"ok\":true,\"y\":["), 0u);
+    ASSERT_EQ(observed.size(), 1u);
+    expectExactlyEqual(observed[0], {7.5, 8.5});
+}
+
+TEST(ServeServerTest, FaultedSinkDropsRecordButStillAcks)
+{
+    const BundlePtr bundle = makeBundle();
+    InferenceServer server;
+    server.deploy(bundle);
+    std::size_t calls = 0;
+    server.setObservationSink(
+        [&calls](const Vector &, const Vector &, const Vector &) {
+            if (++calls == 2)
+                throw wcnn::serve::ServeError("sink exploded");
+        });
+    server.start();
+    net::ServeClient client =
+        net::ServeClient::connect(kHost, server.port());
+    // All three observes are Acked; the middle record is dropped and
+    // counted, invisible to the client.
+    client.observe({1.0, 2.0, 3.0}, {1.0, 1.0});
+    client.observe({2.0, 2.0, 3.0}, {1.0, 1.0});
+    client.observe({3.0, 2.0, 3.0}, {1.0, 1.0});
+    server.stop();
+    EXPECT_EQ(calls, 3u);
+    const InferenceServer::Stats s = server.stats();
+    EXPECT_EQ(s.observations, 3u);
+    EXPECT_EQ(s.droppedObservations, 1u);
+    EXPECT_EQ(s.errors, 0u);
+}
+
+TEST(ServeServerTest, MultiAcceptorServesEveryClientExactly)
+{
+    // SO_REUSEPORT fan-in: 4 accept loops share the port on the epoll
+    // engine; every client still gets bit-exact answers regardless of
+    // which listener the kernel hands it to.
+    const BundlePtr bundle = makeBundle(6, 2);
+    ServeOptions opts;
+    opts.acceptors = 4;
+    opts.shards = 2;
+    auto server =
+        wcnn::serve::makeServer(wcnn::serve::EngineKind::Epoll, opts);
+    server->deploy(bundle);
+    server->start();
+
+    constexpr int kClients = 12;
+    constexpr int kRequests = 20;
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            try {
+                net::ServeClient client =
+                    net::ServeClient::connect(kHost, server->port());
+                Rng rng(1000 + static_cast<std::uint64_t>(c));
+                for (int i = 0; i < kRequests; ++i) {
+                    const Vector x{rng.uniform(-1, 1),
+                                   rng.uniform(-1, 1)};
+                    const Vector want = bundle->predict(x);
+                    const Vector got = client.predict(x);
+                    if (got != want)
+                        failures.fetch_add(1);
+                }
+            } catch (const std::exception &) {
+                failures.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    server->stop();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(server->stats().accepted,
+              static_cast<std::uint64_t>(kClients));
+    EXPECT_EQ(server->stats().requests,
+              static_cast<std::uint64_t>(kClients * kRequests));
+}
+
+TEST(ServeServerTest, SingleAcceptorDefaultBehavesAsBefore)
+{
+    // acceptors=1 must not set SO_REUSEPORT or change observable
+    // behaviour: one listener, same accept/stop semantics.
+    ServeOptions opts;
+    opts.acceptors = 1;
+    auto server =
+        wcnn::serve::makeServer(wcnn::serve::EngineKind::Epoll, opts);
+    server->deploy(makeBundle());
+    server->start();
+    net::ServeClient client =
+        net::ServeClient::connect(kHost, server->port());
+    EXPECT_EQ(client.predict({1.0, 2.0, 3.0}).size(), 2u);
+    server->stop();
+    EXPECT_FALSE(server->running());
 }

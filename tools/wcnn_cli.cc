@@ -41,6 +41,10 @@
 #include "core/failpoint.hh"
 #include "core/telemetry.hh"
 #include "data/csv.hh"
+#include "lifecycle/controller.hh"
+#include "lifecycle/host.hh"
+#include "lifecycle/journal.hh"
+#include "lifecycle/replay.hh"
 #include "model/classify.hh"
 #include "model/cross_validation.hh"
 #include "model/nn_model.hh"
@@ -484,7 +488,15 @@ cmdRecommend(const Args &args)
 {
     if (args.has("help")) {
         std::puts("wcnn recommend --model MODEL.bundle --data FILE.csv "
-                  "[--top K] [--inj R]");
+                  "[--top K] [--inj R]\n"
+                  "               [--scenario NAME|FILE.wcnn]\n"
+                  "\n"
+                  "--scenario searches the scenario's configuration "
+                  "space (axis ranges from\n"
+                  "its sample space) instead of the paper's default "
+                  "grid; --inj still pins\n"
+                  "the injection rate (default: the scenario's "
+                  "midpoint).");
         return 0;
     }
     const std::string model_path = args.str("model", "");
@@ -496,13 +508,36 @@ cmdRecommend(const Args &args)
     }
     const serve::ModelBundle mdl = loadBundle("recommend", model_path);
     const data::Dataset ds = data::loadCsv(data_path);
-    const double inj = args.num("inj", 560.0);
     const auto k = static_cast<std::size_t>(args.num("top", 5));
 
-    model::Recommender rec(mdl, {model::SearchAxis{inj, inj, 1},
-                                 model::SearchAxis{0, 20, 21},
-                                 model::SearchAxis{12, 24, 13},
-                                 model::SearchAxis{14, 20, 7}});
+    // Default axes: the paper's exploration grid. With --scenario the
+    // axes come from that scenario's sample space instead, one grid
+    // point per integer step of the queue axes.
+    std::vector<model::SearchAxis> axes;
+    if (args.has("scenario")) {
+        const scenario::ResolvedScenario rs =
+            loadScenarioArg(args.str("scenario", ""));
+        const sim::SampleSpace &space = rs.space;
+        const double inj = args.num(
+            "inj",
+            0.5 * (space.injectionRate.lo + space.injectionRate.hi));
+        const auto queue_axis = [](const sim::ParameterRange &range) {
+            const auto points = static_cast<std::size_t>(
+                range.hi - range.lo + 1.0);
+            return model::SearchAxis{range.lo, range.hi,
+                                     points > 1 ? points : 1};
+        };
+        axes = {model::SearchAxis{inj, inj, 1},
+                queue_axis(space.defaultQueue),
+                queue_axis(space.mfgQueue), queue_axis(space.webQueue)};
+    } else {
+        const double inj = args.num("inj", 560.0);
+        axes = {model::SearchAxis{inj, inj, 1},
+                model::SearchAxis{0, 20, 21},
+                model::SearchAxis{12, 24, 13},
+                model::SearchAxis{14, 20, 7}};
+    }
+    model::Recommender rec(mdl, axes);
     const auto top =
         rec.recommend(model::ScoringFunction::forWorkload(ds), k);
     std::printf("%4s %28s %12s %12s\n", "#",
@@ -537,6 +572,37 @@ serveOptionsFromArgs(const Args &args)
         "cache", static_cast<double>(opts.cache.capacity)));
     opts.shards = static_cast<std::size_t>(
         args.num("shards", static_cast<double>(opts.shards)));
+    opts.acceptors = static_cast<std::size_t>(
+        args.num("acceptors", static_cast<double>(opts.acceptors)));
+    return opts;
+}
+
+/** Lifecycle knobs shared by `serve --lifecycle` and
+ *  `lifecycle replay`; every knob has the library default. */
+lifecycle::LifecycleOptions
+lifecycleOptionsFromArgs(const Args &args)
+{
+    lifecycle::LifecycleOptions opts;
+    opts.drift.window = static_cast<std::size_t>(args.num(
+        "drift-window", static_cast<double>(opts.drift.window)));
+    opts.drift.threshold =
+        args.num("drift-threshold", opts.drift.threshold);
+    opts.drift.patience = static_cast<std::size_t>(args.num(
+        "drift-patience", static_cast<double>(opts.drift.patience)));
+    opts.retrain.seed = static_cast<std::uint64_t>(
+        args.num("seed", static_cast<double>(opts.retrain.seed)));
+    opts.retrain.model.train.maxEpochs =
+        static_cast<std::size_t>(args.num(
+            "epochs",
+            static_cast<double>(opts.retrain.model.train.maxEpochs)));
+    opts.retrainWindow = static_cast<std::size_t>(args.num(
+        "retrain-window", static_cast<double>(opts.retrainWindow)));
+    opts.shadowWindow = static_cast<std::size_t>(args.num(
+        "shadow-window", static_cast<double>(opts.shadowWindow)));
+    opts.historyLimit = static_cast<std::size_t>(args.num(
+        "history", static_cast<double>(opts.historyLimit)));
+    opts.threads = static_cast<std::size_t>(args.num(
+        "lifecycle-threads", static_cast<double>(opts.threads)));
     return opts;
 }
 
@@ -546,11 +612,14 @@ cmdServe(const Args &args)
     if (args.has("help")) {
         std::puts(
             "wcnn serve --model MODEL.bundle [--port P] [--host H]\n"
-            "           [--engine threaded|epoll] [--shards N]\n"
+            "           [--engine threaded|epoll] [--shards N] "
+            "[--acceptors N]\n"
             "           [--max-batch N] [--max-delay-us U] "
             "[--threads N]\n"
             "           [--cache N] [--max-conn N] [--idle-ms MS]\n"
             "           [--duration SECONDS]\n"
+            "           [--lifecycle] [--journal FILE] "
+            "[lifecycle knobs]\n"
             "\n"
             "Serves predictions over TCP (binary frames or JSON "
             "lines on one port).\n"
@@ -558,8 +627,24 @@ cmdServe(const Args &args)
             "server or the\n"
             "epoll reactor with per-core shards (identical wire "
             "behaviour; see\n"
-            "tests/serve_equivalence_test.cc).\n"
-            "Runs until stdin closes, or for --duration seconds.");
+            "tests/serve_equivalence_test.cc). --acceptors > 1 runs "
+            "that many\n"
+            "SO_REUSEPORT accept loops (epoll engine only).\n"
+            "--lifecycle attaches the model-lifecycle controller to "
+            "the observation\n"
+            "stream: drift detection, shadow retraining and gated "
+            "promotion driven\n"
+            "by client `observe` frames. --journal appends every "
+            "observation to FILE\n"
+            "for offline `wcnn lifecycle replay`. Knobs: "
+            "--drift-window, \n"
+            "--drift-threshold, --drift-patience, --retrain-window, "
+            "--shadow-window,\n"
+            "--history, --seed, --epochs, --lifecycle-threads.\n"
+            "Runs until stdin closes, or for --duration seconds; in "
+            "foreground mode\n"
+            "a line reading `rollback` re-promotes the previous "
+            "bundle.");
         return 0;
     }
     const std::string model_path = args.str("model", "");
@@ -576,6 +661,37 @@ cmdServe(const Args &args)
         serve::makeServer(engine, serveOptionsFromArgs(args));
     serve::ServerEngine &server = *server_ptr;
     server.deploy(bundle);
+
+    // --lifecycle: hang the controller off the observation sink so
+    // every `observe` frame feeds drift detection / shadow retraining.
+    // The journal writer (if any) sees each record first, so an
+    // offline `lifecycle replay` of the journal reproduces tonight's
+    // decisions bit-for-bit.
+    std::unique_ptr<lifecycle::EngineHost> host;
+    std::unique_ptr<lifecycle::LifecycleController> controller;
+    std::unique_ptr<lifecycle::JournalWriter> journal;
+    if (args.has("lifecycle")) {
+        host = std::make_unique<lifecycle::EngineHost>(server);
+        controller = std::make_unique<lifecycle::LifecycleController>(
+            *host, lifecycleOptionsFromArgs(args));
+        const std::string journal_path = args.str("journal", "");
+        if (!journal_path.empty())
+            journal = std::make_unique<lifecycle::JournalWriter>(
+                journal_path, bundle->inputDim(), bundle->outputDim());
+        lifecycle::LifecycleController &ctl = *controller;
+        lifecycle::JournalWriter *jw = journal.get();
+        server.setObservationSink(
+            [&ctl, jw](const numeric::Vector &x,
+                       const numeric::Vector &predicted,
+                       const numeric::Vector &observed) {
+                lifecycle::ObservationRecord rec{0, x, predicted,
+                                                 observed};
+                if (jw != nullptr)
+                    jw->append(rec);
+                ctl.record(rec);
+            });
+    }
+
     server.start();
     std::printf("serving %s on %s:%u (engine %s, max-batch %zu, "
                 "cache %zu)\n",
@@ -593,8 +709,19 @@ cmdServe(const Args &args)
     } else {
         // Foreground mode: drain stdin; EOF (or a closed pipe) is the
         // shutdown signal, so `echo | wcnn serve ...` exits cleanly.
+        // With --lifecycle, a line reading "rollback" restores the
+        // previously displaced bundle.
         std::string line;
         while (std::getline(std::cin, line)) {
+            if (controller != nullptr && line == "rollback") {
+                if (controller->rollback())
+                    std::printf("rollback: restored bundle, now v%llu\n",
+                                static_cast<unsigned long long>(
+                                    server.version()));
+                else
+                    std::puts("rollback: history is empty");
+                std::fflush(stdout);
+            }
         }
     }
     server.stop();
@@ -610,6 +737,20 @@ cmdServe(const Args &args)
                 static_cast<unsigned long long>(stats.accepted),
                 static_cast<unsigned long long>(batch.batches),
                 batch.maxBatchRows, cache.hitRatio());
+    if (controller != nullptr) {
+        const lifecycle::LifecycleStats ls = controller->stats();
+        std::printf("lifecycle: %llu records, %llu drifts, %llu "
+                    "retrains, %llu promotions, %llu rejections, "
+                    "%llu rollbacks (digest %s, v%llu)\n",
+                    static_cast<unsigned long long>(ls.records),
+                    static_cast<unsigned long long>(ls.drifts),
+                    static_cast<unsigned long long>(ls.retrains),
+                    static_cast<unsigned long long>(ls.promotions),
+                    static_cast<unsigned long long>(ls.rejections),
+                    static_cast<unsigned long long>(ls.rollbacks),
+                    controller->digest().c_str(),
+                    static_cast<unsigned long long>(server.version()));
+    }
     return 0;
 }
 
@@ -772,6 +913,83 @@ cmdScenario(const Args &args)
 }
 
 int
+cmdLifecycle(const std::string &sub, const Args &args)
+{
+    if (args.has("help") || sub.empty()) {
+        std::puts(
+            "wcnn lifecycle replay --journal FILE --model "
+            "MODEL.bundle\n"
+            "                      [--drift-window N] "
+            "[--drift-threshold T]\n"
+            "                      [--drift-patience N] "
+            "[--retrain-window N]\n"
+            "                      [--shadow-window N] [--history N] "
+            "[--seed S]\n"
+            "                      [--epochs N] [--lifecycle-threads "
+            "N] [--out BUNDLE]\n"
+            "\n"
+            "Re-runs the drift -> retrain -> shadow -> promote loop "
+            "over a journaled\n"
+            "observation stream (see `wcnn serve --lifecycle "
+            "--journal`). Decisions\n"
+            "are a pure function of the records and the seed, so the "
+            "replay\n"
+            "reproduces a live run bit-identically at any thread "
+            "count; the printed\n"
+            "decision digest is the value CI pins. --out saves the "
+            "bundle left\n"
+            "serving after the last record.");
+        return sub.empty() && !args.has("help") ? 2 : 0;
+    }
+    if (sub != "replay") {
+        std::fprintf(stderr,
+                     "lifecycle: unknown subcommand '%s' (expected "
+                     "'replay')\n",
+                     sub.c_str());
+        return 2;
+    }
+    const std::string journal_path = args.str("journal", "");
+    const std::string model_path = args.str("model", "");
+    if (journal_path.empty() || model_path.empty()) {
+        std::fputs("lifecycle replay: --journal and --model are "
+                   "required\n",
+                   stderr);
+        return 2;
+    }
+    const lifecycle::Journal journal =
+        lifecycle::readJournal(journal_path);
+    auto bundle = std::make_shared<serve::ModelBundle>(
+        loadBundle("lifecycle", model_path));
+    const lifecycle::ReplayResult result = lifecycle::replayJournal(
+        journal, bundle, lifecycleOptionsFromArgs(args));
+
+    for (const lifecycle::Decision &d : result.decisions)
+        std::printf("decision: %s",
+                    lifecycle::formatDecision(d).c_str());
+    std::printf("records: %zu\n", result.records);
+    std::printf("decisions: %zu\n", result.decisions.size());
+    std::printf("digest: %s\n", result.digest.c_str());
+    std::printf("version: %llu\n",
+                static_cast<unsigned long long>(result.finalVersion));
+    std::printf("bundle-digest: %s\n",
+                result.finalBundleDigest.c_str());
+    const lifecycle::LifecycleStats &ls = result.stats;
+    std::printf("stats: drifts=%llu retrains=%llu promotions=%llu "
+                "rejections=%llu\n",
+                static_cast<unsigned long long>(ls.drifts),
+                static_cast<unsigned long long>(ls.retrains),
+                static_cast<unsigned long long>(ls.promotions),
+                static_cast<unsigned long long>(ls.rejections));
+
+    const std::string out_path = args.str("out", "");
+    if (!out_path.empty() && result.finalBundle != nullptr) {
+        result.finalBundle->save(out_path);
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+    return 0;
+}
+
+int
 usage()
 {
     std::puts(
@@ -791,6 +1009,8 @@ usage()
         "  recommend   rank configurations by a scoring function\n"
         "  serve       run the TCP inference server on a bundle\n"
         "  bench-serve measure serving throughput and latency\n"
+        "  lifecycle   replay a journaled observation stream "
+        "offline\n"
         "\n"
         "global flags:\n"
         "  --kernels reference|fast   numeric kernel policy (also\n"
@@ -820,6 +1040,19 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage();
     const std::string cmd = argv[1];
+    if (cmd == "lifecycle") {
+        // Subverb form: `wcnn lifecycle replay --flags` — consume the
+        // positional subverb before the flag parser sees it.
+        const std::string sub =
+            (argc > 2 && argv[2][0] != '-') ? argv[2] : "";
+        const Args sub_args(argc, argv, sub.empty() ? 2 : 3);
+        try {
+            return cmdLifecycle(sub, sub_args);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "wcnn lifecycle: %s\n", e.what());
+            return 1;
+        }
+    }
     const Args args(argc, argv, 2);
     try {
         if (cmd == "simulate")

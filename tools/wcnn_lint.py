@@ -63,6 +63,18 @@ Rules:
       corpus only covers text that flows through it; a side-channel
       reader would dodge the diagnostics, the failpoints, and the
       canonical printer.
+  R10 The lifecycle subsystem reads no clock. Under src/lifecycle/ no
+      value-returning time source is allowed — telemetry::nowNs() /
+      timedSeconds(), any ::now(), sleep_for/sleep_until — because
+      drift, retrain, shadow and promotion decisions are defined as
+      pure functions of (record stream, seed): a replayed journal must
+      reproduce the live run bit for bit on any host, at any speed.
+      WCNN_SPAN is exempt: its timing flows to the telemetry trace
+      only, never into a decision. The subsystem is also an
+      encapsulation boundary: `#include "lifecycle/..."` is allowed
+      only inside src/lifecycle/ itself and in the driver layers
+      (tools/, tests/, bench/) — core libraries must not grow a
+      dependency on the control loop above them.
 """
 
 from __future__ import annotations
@@ -315,6 +327,33 @@ def check_scenario_containment(errors: list[str]) -> None:
                     f"scenario::loadFile/loadNamed")
 
 
+LIFECYCLE_CLOCK_RE = re.compile(
+    r"\bnowNs\s*\(|\btimedSeconds\s*\(|::\s*now\s*\("
+    r"|\bsleep_for\b|\bsleep_until\b")
+LIFECYCLE_INCLUDE_RE = re.compile(r'#\s*include\s*"lifecycle/')
+# Directories whose code may depend on the lifecycle subsystem.
+LIFECYCLE_DRIVERS = ("src/lifecycle/", "tools/", "tests/", "bench/")
+
+
+def check_lifecycle_determinism(errors: list[str]) -> None:
+    for path in iter_sources(["src", "tests", "bench", "tools", "examples"]):
+        rel = path.relative_to(REPO).as_posix()
+        in_lifecycle = rel.startswith("src/lifecycle/")
+        may_include = rel.startswith(LIFECYCLE_DRIVERS)
+        for lineno, line in code_lines(path):
+            if in_lifecycle and LIFECYCLE_CLOCK_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: R10 wall-clock read in the "
+                    f"lifecycle subsystem ({line.strip()[:60]}); "
+                    f"decisions are functions of the record stream "
+                    f"only")
+            if not may_include and LIFECYCLE_INCLUDE_RE.search(line):
+                errors.append(
+                    f"{rel}:{lineno}: R10 lifecycle header included "
+                    f"outside src/lifecycle/ and the driver layers "
+                    f"(tools/, tests/, bench/)")
+
+
 def main() -> int:
     errors: list[str] = []
     check_rng_containment(errors)
@@ -326,6 +365,7 @@ def main() -> int:
     check_socket_containment(errors)
     check_kernel_containment(errors)
     check_scenario_containment(errors)
+    check_lifecycle_determinism(errors)
     for e in errors:
         print(e)
     if errors:
